@@ -1,0 +1,263 @@
+//! XISS-style node index with structural joins.
+//!
+//! Every record-tree node is indexed under its name (or hashed value) with
+//! an *extended preorder* region label `(doc, begin, end, level)`, as in Li
+//! & Moon's XISS. "A complex path expression is decomposed into a collection
+//! of basic path expressions … all other forms of expressions involve join
+//! operations": we evaluate the pattern tree bottom-up, fetching candidate
+//! node lists per name and combining them with containment
+//! (ancestor-descendant) and parent-child structural joins.
+//!
+//! Unlike the raw-path index and ViST's subsequence matching, structural
+//! joins bind node *instances*, so this baseline is exact — which is why it
+//! pays for its precision with joins on every query (Table 4's `node index`
+//! column).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vist_btree::BTree;
+use vist_query::{parse_query, Axis, Pattern, PatternNode, PatternTest};
+use vist_seq::{document_to_record_tree, hash_value, RecordNode, SiblingOrder, Sym, SymbolTable};
+use vist_storage::{BufferPool, MemPager};
+use vist_xml::Document;
+
+use crate::DocId;
+
+/// A region-labeled node occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Region {
+    doc: DocId,
+    begin: u32,
+    end: u32,
+    level: u16,
+}
+
+/// The XISS-style node index.
+pub struct NodeIndex {
+    /// key = sym ‖ doc ‖ begin → value = (end, level)
+    tree: BTree,
+    table: SymbolTable,
+    order: SiblingOrder,
+    next_doc: DocId,
+    doc_count: u64,
+}
+
+impl NodeIndex {
+    /// An empty in-memory node index.
+    pub fn in_memory(page_size: usize, cache_pages: usize) -> vist_storage::Result<Self> {
+        let pool = Arc::new(BufferPool::with_capacity(
+            MemPager::new(page_size),
+            cache_pages,
+        ));
+        Ok(NodeIndex {
+            tree: BTree::create(pool)?,
+            table: SymbolTable::new(),
+            order: SiblingOrder::Lexicographic,
+            next_doc: 0,
+            doc_count: 0,
+        })
+    }
+
+    /// Number of indexed documents.
+    #[must_use]
+    pub fn doc_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    /// Total bytes of the backing store.
+    #[must_use]
+    pub fn store_bytes(&self) -> u64 {
+        self.tree.pool().store_bytes()
+    }
+
+    /// Index a document, returning its id.
+    pub fn insert_document(&mut self, doc: &Document) -> vist_storage::Result<DocId> {
+        let id = self.next_doc;
+        self.next_doc += 1;
+        self.doc_count += 1;
+        let Some(tree) = document_to_record_tree(doc, &mut self.table, &self.order) else {
+            return Ok(id);
+        };
+        let mut counter = 0u32;
+        self.insert_regions(&tree, id, 0, &mut counter)?;
+        Ok(id)
+    }
+
+    fn insert_regions(
+        &mut self,
+        node: &RecordNode,
+        doc: DocId,
+        level: u16,
+        counter: &mut u32,
+    ) -> vist_storage::Result<u32> {
+        let begin = *counter;
+        *counter += 1;
+        for c in &node.children {
+            self.insert_regions(c, doc, level + 1, counter)?;
+        }
+        let end = *counter;
+        let mut key = node.sym.encode();
+        key.extend_from_slice(&doc.to_be_bytes());
+        key.extend_from_slice(&begin.to_be_bytes());
+        let mut value = Vec::with_capacity(6);
+        value.extend_from_slice(&end.to_le_bytes());
+        value.extend_from_slice(&level.to_le_bytes());
+        self.tree.insert(&key, &value)?;
+        Ok(end)
+    }
+
+    /// Parse and run a query via structural joins.
+    pub fn query(&mut self, expr: &str) -> Result<Vec<DocId>, crate::pathindex::QueryError> {
+        let pattern = parse_query(expr)
+            .map_err(crate::pathindex::QueryError::Parse)?
+            .to_pattern();
+        self.query_pattern(&pattern)
+            .map_err(crate::pathindex::QueryError::Storage)
+    }
+
+    /// Run a pre-parsed pattern.
+    pub fn query_pattern(&mut self, pattern: &Pattern) -> vist_storage::Result<Vec<DocId>> {
+        let matches = self.eval(&pattern.root)?;
+        let mut docs: Vec<DocId> = matches
+            .into_iter()
+            .filter(|r| pattern.root.axis == Axis::Descendant || r.level == 0)
+            .map(|r| r.doc)
+            .collect();
+        docs.sort_unstable();
+        docs.dedup();
+        Ok(docs)
+    }
+
+    /// Nodes whose subtree satisfies the pattern rooted at `p`.
+    fn eval(&self, p: &PatternNode) -> vist_storage::Result<Vec<Region>> {
+        let mut candidates = self.fetch(&p.test)?;
+        for child in &p.children {
+            if candidates.is_empty() {
+                break;
+            }
+            let child_matches = self.eval(child)?;
+            // Structural join: group the inner side by document, sorted by
+            // begin, then probe per candidate.
+            let mut by_doc: HashMap<DocId, Vec<Region>> = HashMap::new();
+            for m in child_matches {
+                by_doc.entry(m.doc).or_default().push(m);
+            }
+            for v in by_doc.values_mut() {
+                v.sort_by_key(|r| r.begin);
+            }
+            candidates.retain(|c| {
+                let Some(inner) = by_doc.get(&c.doc) else {
+                    return false;
+                };
+                // Find inner regions contained in (c.begin, c.end).
+                let start = inner.partition_point(|r| r.begin <= c.begin);
+                inner[start..]
+                    .iter()
+                    .take_while(|r| r.begin < c.end)
+                    .any(|r| match child.axis {
+                        Axis::Child => r.level == c.level + 1,
+                        Axis::Descendant => true,
+                    })
+            });
+        }
+        Ok(candidates)
+    }
+
+    /// Atomic lookup: all occurrences of a name test.
+    fn fetch(&self, test: &PatternTest) -> vist_storage::Result<Vec<Region>> {
+        let ranges: Vec<Vec<u8>> = match test {
+            PatternTest::Tag(name) => match self.table.lookup(name) {
+                Some(sym) => vec![Sym::Tag(sym).encode()],
+                None => return Ok(Vec::new()),
+            },
+            PatternTest::Value(lit) => vec![Sym::Value(hash_value(lit)).encode()],
+            // '*' matches any element: XISS has no better option than
+            // touching every element entry (tag-kind keys start with 0x01).
+            PatternTest::Star => vec![vec![0x01]],
+        };
+        let mut out = Vec::new();
+        for prefix in ranges {
+            for item in self.tree.scan_prefix(&prefix)? {
+                let (key, value) = item?;
+                let (_, used) = Sym::decode(&key);
+                let doc = DocId::from_be_bytes(key[used..used + 8].try_into().expect("doc"));
+                let begin = u32::from_be_bytes(key[used + 8..used + 12].try_into().expect("begin"));
+                let end = u32::from_le_bytes(value[0..4].try_into().expect("end"));
+                let level = u16::from_le_bytes(value[4..6].try_into().expect("level"));
+                out.push(Region {
+                    doc,
+                    begin,
+                    end,
+                    level,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vist_xml::parse;
+
+    fn filled() -> NodeIndex {
+        let mut idx = NodeIndex::in_memory(4096, 256).unwrap();
+        for xml in [
+            "<p><s><l>boston</l></s><b><l>newyork</l></b></p>",
+            "<p><s><l>tokyo</l></s><b><l>newyork</l></b></p>",
+            "<p><s><l>boston</l></s><b><l>paris</l></b></p>",
+        ] {
+            idx.insert_document(&parse(xml).unwrap()).unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn atomic_and_path_queries() {
+        let mut idx = filled();
+        assert_eq!(idx.query("/p/s/l[text='boston']").unwrap(), vec![0, 2]);
+        assert_eq!(idx.query("//l").unwrap(), vec![0, 1, 2]);
+        assert!(idx.query("/p/l").unwrap().is_empty(), "l is not a child of p");
+        assert_eq!(idx.query("/p//l").unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn branching_and_wildcards() {
+        let mut idx = filled();
+        assert_eq!(
+            idx.query("/p[s/l='boston']/b[l='newyork']").unwrap(),
+            vec![0]
+        );
+        assert_eq!(idx.query("/p/*[l='newyork']").unwrap(), vec![0, 1]);
+        assert_eq!(idx.query("/*/s").unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn structural_joins_are_exact() {
+        // The ViST/path-index false positive is correctly rejected here.
+        let mut idx = NodeIndex::in_memory(4096, 64).unwrap();
+        idx.insert_document(&parse("<a><b><c>1</c></b><b><d>2</d></b></a>").unwrap())
+            .unwrap();
+        idx.insert_document(&parse("<a><b><c>1</c><d>2</d></b></a>").unwrap())
+            .unwrap();
+        assert_eq!(idx.query("/a/b[c='1'][d='2']").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn attribute_regions() {
+        let mut idx = NodeIndex::in_memory(4096, 64).unwrap();
+        idx.insert_document(&parse(r#"<item location="US"/>"#).unwrap())
+            .unwrap();
+        assert_eq!(idx.query("/item[location='US']").unwrap(), vec![0]);
+        assert!(idx.query("/item[location='EU']").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_names_return_empty() {
+        let mut idx = filled();
+        assert!(idx.query("/unknown").unwrap().is_empty());
+        assert!(idx.query("//nothing[text='x']").unwrap().is_empty());
+    }
+}

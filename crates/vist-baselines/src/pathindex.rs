@@ -1,0 +1,302 @@
+//! Index-Fabric-style raw-path index.
+//!
+//! Every root-to-leaf path of the record tree (element/attribute names, with
+//! the hashed value as the final step) is inserted as one key. A structural
+//! query is *disassembled* into its root-to-leaf pattern paths; each is
+//! answered by a prefix scan (falling back to wider scans when wildcards
+//! appear before any concrete step — exactly why Table 4 shows this method
+//! degrading on `*` and `//` queries), and the per-path document-id sets are
+//! intersected ("combined by expensive join operations").
+//!
+//! Like the original, matching at the document level can accept a document
+//! where two branch paths are satisfied by *different* instances of a shared
+//! ancestor — the same class of false positives ViST has. The exact matcher
+//! in `vist-query` is the oracle.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use vist_btree::BTree;
+use vist_query::{parse_query, Axis, Pattern, PatternNode, PatternTest};
+use vist_seq::{document_to_record_tree, hash_value, RecordNode, SiblingOrder, Sym, SymbolTable};
+use vist_storage::{BufferPool, MemPager};
+use vist_xml::Document;
+
+use crate::DocId;
+
+/// One step of a disassembled query path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PStep {
+    Sym(Sym),
+    Star,
+    DSlash,
+}
+
+/// The raw-path index.
+pub struct PathIndex {
+    tree: BTree,
+    table: SymbolTable,
+    order: SiblingOrder,
+    next_doc: DocId,
+    doc_count: u64,
+}
+
+impl PathIndex {
+    /// An empty in-memory path index.
+    pub fn in_memory(page_size: usize, cache_pages: usize) -> vist_storage::Result<Self> {
+        let pool = Arc::new(BufferPool::with_capacity(
+            MemPager::new(page_size),
+            cache_pages,
+        ));
+        Ok(PathIndex {
+            tree: BTree::create(pool)?,
+            table: SymbolTable::new(),
+            order: SiblingOrder::Lexicographic,
+            next_doc: 0,
+            doc_count: 0,
+        })
+    }
+
+    /// Number of indexed documents.
+    #[must_use]
+    pub fn doc_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    /// Total bytes of the backing store.
+    #[must_use]
+    pub fn store_bytes(&self) -> u64 {
+        self.tree.pool().store_bytes()
+    }
+
+    /// Index a document, returning its id.
+    pub fn insert_document(&mut self, doc: &Document) -> vist_storage::Result<DocId> {
+        let id = self.next_doc;
+        self.next_doc += 1;
+        self.doc_count += 1;
+        let Some(tree) = document_to_record_tree(doc, &mut self.table, &self.order) else {
+            return Ok(id);
+        };
+        let mut path = Vec::new();
+        self.insert_paths(&tree, &mut path, id)?;
+        Ok(id)
+    }
+
+    fn insert_paths(
+        &mut self,
+        node: &RecordNode,
+        path: &mut Vec<u8>,
+        doc: DocId,
+    ) -> vist_storage::Result<()> {
+        let mark = path.len();
+        path.extend_from_slice(&node.sym.encode());
+        if node.children.is_empty() {
+            // Leaf: materialize the raw path key.
+            let mut key = path.clone();
+            key.push(0x00);
+            key.extend_from_slice(&doc.to_be_bytes());
+            self.tree.insert(&key, &[])?;
+        } else {
+            for c in &node.children {
+                self.insert_paths(c, path, doc)?;
+            }
+        }
+        path.truncate(mark);
+        Ok(())
+    }
+
+    /// Parse and run a query: disassemble into root-to-leaf pattern paths,
+    /// evaluate each, intersect the document-id sets.
+    pub fn query(&mut self, expr: &str) -> Result<Vec<DocId>, QueryError> {
+        let pattern = parse_query(expr).map_err(QueryError::Parse)?.to_pattern();
+        self.query_pattern(&pattern).map_err(QueryError::Storage)
+    }
+
+    /// Run a pre-parsed pattern.
+    pub fn query_pattern(&mut self, pattern: &Pattern) -> vist_storage::Result<Vec<DocId>> {
+        let mut paths = Vec::new();
+        collect_paths(&pattern.root, &mut Vec::new(), &mut paths, &mut self.table);
+        let mut result: Option<BTreeSet<DocId>> = None;
+        for p in &paths {
+            let docs = self.eval_path(p)?;
+            result = Some(match result {
+                None => docs,
+                Some(acc) => acc.intersection(&docs).copied().collect(),
+            });
+            if result.as_ref().is_some_and(BTreeSet::is_empty) {
+                break; // join already empty
+            }
+        }
+        Ok(result.unwrap_or_default().into_iter().collect())
+    }
+
+    /// Evaluate one pattern path: prefix-scan up to the first wildcard, then
+    /// filter decoded paths against the full pattern.
+    fn eval_path(&self, steps: &[PStep]) -> vist_storage::Result<BTreeSet<DocId>> {
+        // Longest concrete byte prefix.
+        let mut prefix = Vec::new();
+        let mut wildcarded = false;
+        for s in steps {
+            match s {
+                PStep::Sym(sym) => prefix.extend_from_slice(&sym.encode()),
+                PStep::Star | PStep::DSlash => {
+                    wildcarded = true;
+                    break;
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        for item in self.tree.scan_prefix(&prefix)? {
+            let (key, _) = item?;
+            let (path, doc) = decode_key(&key);
+            if !wildcarded || prefix_match(steps, &path) {
+                out.insert(doc);
+            } else {
+                continue;
+            }
+            // Fully-concrete patterns matched by raw prefix still need the
+            // step boundary check: the scan prefix ends exactly at a symbol
+            // boundary by construction, so any hit is a real path prefix.
+        }
+        Ok(out)
+    }
+}
+
+/// Decode a stored key back into its path symbols and document id.
+fn decode_key(key: &[u8]) -> (Vec<Sym>, DocId) {
+    let mut syms = Vec::new();
+    let mut pos = 0;
+    while key[pos] != 0x00 {
+        let (sym, used) = Sym::decode(&key[pos..]);
+        syms.push(sym);
+        pos += used;
+    }
+    let doc = DocId::from_be_bytes(key[pos + 1..pos + 9].try_into().expect("doc id"));
+    (syms, doc)
+}
+
+/// Does the pattern match a *prefix* of the stored path? (`*` = one step,
+/// `//` = zero or more steps.)
+fn prefix_match(pat: &[PStep], path: &[Sym]) -> bool {
+    match pat.first() {
+        None => true,
+        Some(PStep::Sym(s)) => path.first() == Some(s) && prefix_match(&pat[1..], &path[1..]),
+        Some(PStep::Star) => !path.is_empty() && prefix_match(&pat[1..], &path[1..]),
+        Some(PStep::DSlash) => (0..=path.len()).any(|k| prefix_match(&pat[1..], &path[k..])),
+    }
+}
+
+/// Disassemble a pattern tree into its root-to-leaf paths.
+fn collect_paths(
+    node: &PatternNode,
+    cur: &mut Vec<PStep>,
+    out: &mut Vec<Vec<PStep>>,
+    table: &mut SymbolTable,
+) {
+    let mark = cur.len();
+    if node.axis == Axis::Descendant {
+        cur.push(PStep::DSlash);
+    }
+    match &node.test {
+        PatternTest::Tag(name) => cur.push(PStep::Sym(Sym::Tag(table.intern(name)))),
+        PatternTest::Star => cur.push(PStep::Star),
+        PatternTest::Value(lit) => cur.push(PStep::Sym(Sym::Value(hash_value(lit)))),
+    }
+    if node.children.is_empty() {
+        out.push(cur.clone());
+    } else {
+        for c in &node.children {
+            collect_paths(c, cur, out, table);
+        }
+    }
+    cur.truncate(mark);
+}
+
+/// Errors from [`PathIndex::query`].
+#[derive(Debug)]
+pub enum QueryError {
+    /// The expression failed to parse.
+    Parse(vist_query::QueryParseError),
+    /// The storage layer failed.
+    Storage(vist_storage::Error),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vist_xml::parse;
+
+    fn filled() -> PathIndex {
+        let mut idx = PathIndex::in_memory(4096, 256).unwrap();
+        for xml in [
+            "<p><s><l>boston</l></s><b><l>newyork</l></b></p>",
+            "<p><s><l>tokyo</l></s><b><l>newyork</l></b></p>",
+            "<p><s><l>boston</l></s><b><l>paris</l></b></p>",
+        ] {
+            idx.insert_document(&parse(xml).unwrap()).unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn single_path_queries() {
+        let mut idx = filled();
+        assert_eq!(idx.query("/p/s/l[text='boston']").unwrap(), vec![0, 2]);
+        assert_eq!(idx.query("/p/s/l").unwrap(), vec![0, 1, 2]);
+        assert!(idx.query("/p/s/x").unwrap().is_empty());
+        assert!(idx.query("/q").unwrap().is_empty());
+    }
+
+    #[test]
+    fn branching_queries_join_paths() {
+        let mut idx = filled();
+        assert_eq!(
+            idx.query("/p[s/l='boston']/b[l='newyork']").unwrap(),
+            vec![0]
+        );
+        assert_eq!(
+            idx.query("/p[s/l='tokyo']/b[l='newyork']").unwrap(),
+            vec![1]
+        );
+        assert!(idx.query("/p[s/l='tokyo']/b[l='paris']").unwrap().is_empty());
+    }
+
+    #[test]
+    fn wildcard_queries() {
+        let mut idx = filled();
+        assert_eq!(idx.query("/p/*[l='newyork']").unwrap(), vec![0, 1]);
+        assert_eq!(idx.query("//l[text='paris']").unwrap(), vec![2]);
+        assert_eq!(idx.query("/p//l").unwrap(), vec![0, 1, 2]);
+        assert_eq!(idx.query("/*/s").unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn attributes_indexed_as_path_steps() {
+        let mut idx = PathIndex::in_memory(4096, 64).unwrap();
+        idx.insert_document(&parse(r#"<item location="US"><name>cpu</name></item>"#).unwrap())
+            .unwrap();
+        assert_eq!(idx.query("/item[location='US']").unwrap(), vec![0]);
+        assert!(idx.query("/item[location='EU']").unwrap().is_empty());
+    }
+
+    #[test]
+    fn doc_level_join_false_positive_documented() {
+        // Two branch paths satisfied by DIFFERENT b-subtrees: the raw-path
+        // join (by doc id) accepts — same approximation class as ViST.
+        let mut idx = PathIndex::in_memory(4096, 64).unwrap();
+        idx.insert_document(&parse("<a><b><c>1</c></b><b><d>2</d></b></a>").unwrap())
+            .unwrap();
+        assert_eq!(idx.query("/a/b[c='1'][d='2']").unwrap(), vec![0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: the node index (structural joins) must agree *exactly*
+//! with the tree-embedding oracle; the raw-path index must be complete
+//! (no false negatives) at the document level.
+
+use proptest::prelude::*;
+use vist_baselines::{NodeIndex, PathIndex};
+use vist_query::{matches_document, parse_query};
+use vist_seq::SiblingOrder;
+use vist_xml::{Document, ElementBuilder};
+
+const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+const VALUES: [&str; 3] = ["1", "2", "3"];
+
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    let leaf = (0usize..NAMES.len(), proptest::option::of(0usize..VALUES.len())).prop_map(
+        |(n, v)| {
+            let mut e = ElementBuilder::new(NAMES[n]);
+            if let Some(v) = v {
+                e = e.text(VALUES[v]);
+            }
+            e
+        },
+    );
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        (
+            0usize..NAMES.len(),
+            proptest::collection::vec(inner, 0..3),
+            proptest::option::of(0usize..VALUES.len()),
+        )
+            .prop_map(|(n, children, v)| {
+                let mut e = ElementBuilder::new(NAMES[n]).children(children);
+                if let Some(v) = v {
+                    e = e.text(VALUES[v]);
+                }
+                e
+            })
+    })
+    .prop_map(ElementBuilder::into_document)
+}
+
+fn query_strategy() -> impl Strategy<Value = String> {
+    let step = (0usize..=NAMES.len(), prop::bool::ANY).prop_map(|(n, dslash)| {
+        let name = if n == NAMES.len() { "*" } else { NAMES[n] };
+        format!("{}{}", if dslash { "//" } else { "/" }, name)
+    });
+    (
+        proptest::collection::vec(step, 1..4),
+        proptest::option::of((0usize..NAMES.len(), 0usize..VALUES.len())),
+    )
+        .prop_map(|(steps, branch)| {
+            let mut q = steps.concat();
+            if let Some((bn, bv)) = branch {
+                q.push_str(&format!("[{}='{}']", NAMES[bn], VALUES[bv]));
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn node_index_equals_exact_oracle(
+        docs in proptest::collection::vec(doc_strategy(), 1..10),
+        queries in proptest::collection::vec(query_strategy(), 1..5),
+    ) {
+        let mut idx = NodeIndex::in_memory(4096, 256).unwrap();
+        for d in &docs {
+            idx.insert_document(d).unwrap();
+        }
+        for q in &queries {
+            let pattern = parse_query(q).unwrap().to_pattern();
+            let exact: Vec<u64> = docs
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| matches_document(&pattern, d, &SiblingOrder::Lexicographic))
+                .map(|(i, _)| i as u64)
+                .collect();
+            let got = idx.query(q).unwrap();
+            prop_assert_eq!(&got, &exact, "query {}", q);
+        }
+    }
+
+    #[test]
+    fn path_index_is_complete(
+        docs in proptest::collection::vec(doc_strategy(), 1..10),
+        queries in proptest::collection::vec(query_strategy(), 1..5),
+    ) {
+        let mut idx = PathIndex::in_memory(4096, 256).unwrap();
+        for d in &docs {
+            idx.insert_document(d).unwrap();
+        }
+        for q in &queries {
+            let pattern = parse_query(q).unwrap().to_pattern();
+            let got = idx.query(q).unwrap();
+            for (i, d) in docs.iter().enumerate() {
+                if matches_document(&pattern, d, &SiblingOrder::Lexicographic) {
+                    prop_assert!(
+                        got.contains(&(i as u64)),
+                        "false negative doc {} for {}",
+                        i,
+                        q
+                    );
+                }
+            }
+        }
+    }
+}

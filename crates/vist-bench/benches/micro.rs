@@ -1,0 +1,224 @@
+//! Criterion micro-benchmarks for the individual components: B+Tree
+//! operations, sequence conversion, scope allocation, and end-to-end
+//! insert/query on small indexes.
+//!
+//! ```sh
+//! cargo bench -p vist-bench
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use vist_btree::BTree;
+use vist_core::{AllocatorKind, IndexOptions, NodeState, QueryOptions, ScopeAllocator, VistIndex};
+use vist_datagen::{dblp, synthetic::SyntheticConfig, synthetic::SyntheticGen};
+use vist_seq::{document_to_sequence, SiblingOrder, SymbolTable, Sym, Symbol, MAX_SCOPE};
+use vist_storage::{BufferPool, MemPager};
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.throughput(Throughput::Elements(1));
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(20);
+
+    g.bench_function("insert_sequential", |b| {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 4096));
+        let mut t = BTree::create(pool).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            t.insert(&i.to_be_bytes(), b"value").unwrap();
+            i += 1;
+        });
+    });
+
+    g.bench_function("insert_random", |b| {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 4096));
+        let mut t = BTree::create(pool).unwrap();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t.insert(&x.to_be_bytes(), b"value").unwrap();
+        });
+    });
+
+    g.bench_function("get_hit", |b| {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 4096));
+        let mut t = BTree::create(pool).unwrap();
+        for i in 0..100_000u64 {
+            t.insert(&i.to_be_bytes(), b"value").unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let v = t.get(&(i % 100_000).to_be_bytes()).unwrap();
+            assert!(v.is_some());
+            i += 7919;
+        });
+    });
+
+    g.bench_function("bulk_load_100k", |b| {
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..100_000u64)
+            .map(|i| (i.to_be_bytes().to_vec(), b"value".to_vec()))
+            .collect();
+        b.iter_batched(
+            || items.clone(),
+            |items| {
+                let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 1 << 15));
+                let t = BTree::bulk_load(pool, items).unwrap();
+                criterion::black_box(t.root_page());
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    g.bench_function("scan_100", |b| {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 4096));
+        let mut t = BTree::create(pool).unwrap();
+        for i in 0..100_000u64 {
+            t.insert(&i.to_be_bytes(), b"value").unwrap();
+        }
+        let mut start = 0u64;
+        b.iter(|| {
+            let lo = (start % 90_000).to_be_bytes();
+            let hi = (start % 90_000 + 100).to_be_bytes();
+            let n = t.scan(&lo[..]..&hi[..]).unwrap().count();
+            assert_eq!(n, 100);
+            start += 7919;
+        });
+    });
+    g.finish();
+}
+
+fn bench_sequence(c: &mut Criterion) {
+    let docs = dblp::documents(200, 1);
+    let mut g = c.benchmark_group("sequence");
+    g.throughput(Throughput::Elements(docs.len() as u64));
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(20);
+    g.bench_function("dblp_convert_200", |b| {
+        b.iter_batched(
+            SymbolTable::new,
+            |mut table| {
+                for d in &docs {
+                    let s = document_to_sequence(d, &mut table, &SiblingOrder::Lexicographic);
+                    criterion::black_box(s);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scope_alloc");
+    g.throughput(Throughput::Elements(1));
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(20);
+    g.bench_function("geometric_adaptive", |b| {
+        let alloc = ScopeAllocator::new(16, true, AllocatorKind::NoClues);
+        let mut parent = NodeState {
+            n: 0,
+            size: MAX_SCOPE,
+            next: 1,
+            k: 0,
+        };
+        let mut i = 0u32;
+        b.iter(|| {
+            let a = alloc.allocate(&mut parent, None, Sym::Tag(Symbol(i % 64)), 8);
+            criterion::black_box(&a);
+            i += 1;
+            if parent.available() < 1 << 20 {
+                parent = NodeState {
+                    n: 0,
+                    size: MAX_SCOPE,
+                    next: 1,
+                    k: 0,
+                };
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vist");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+
+    g.bench_function("insert_dblp_record", |b| {
+        let docs = dblp::documents(10_000, 5);
+        let mut idx = VistIndex::in_memory(IndexOptions {
+            store_documents: false,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            idx.insert_document(&docs[i % docs.len()]).unwrap();
+            i += 1;
+        });
+    });
+
+    let mut idx = VistIndex::in_memory(IndexOptions {
+        store_documents: false,
+        ..Default::default()
+    })
+    .unwrap();
+    for d in dblp::documents(10_000, 6) {
+        idx.insert_document(&d).unwrap();
+    }
+    let opts = QueryOptions::default();
+    g.bench_function("query_value_path", |b| {
+        b.iter(|| {
+            let r = idx
+                .query("/book/author[text='David Smith']", &opts)
+                .unwrap();
+            criterion::black_box(r);
+        });
+    });
+    g.bench_function("query_branching", |b| {
+        b.iter(|| {
+            let r = idx
+                .query("/article[journal='TODS']/author[text='David Smith']", &opts)
+                .unwrap();
+            criterion::black_box(r);
+        });
+    });
+    g.bench_function("query_descendant_wildcard", |b| {
+        b.iter(|| {
+            let r = idx.query("//author[text='David Smith']", &opts).unwrap();
+            criterion::black_box(r);
+        });
+    });
+
+    let mut gen = SyntheticGen::new(SyntheticConfig::default());
+    let mut synth = VistIndex::in_memory(IndexOptions {
+        store_documents: false,
+        ..Default::default()
+    })
+    .unwrap();
+    for _ in 0..5_000 {
+        let d = gen.document();
+        synth.insert_document(&d).unwrap();
+    }
+    let queries: Vec<_> = (0..64).map(|_| gen.query(6, 0.0)).collect();
+    g.bench_function("query_synthetic_len6", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let r = synth
+                .query_pattern(&queries[i % queries.len()], &opts)
+                .unwrap();
+            criterion::black_box(r);
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_btree, bench_sequence, bench_alloc, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! **Ablation A2**: statistical clues vs no clues in dynamic scope
+//! allocation (paper §3.4.1, Eq 2–4 vs Eq 5–6).
+//!
+//! A [`StatsModel`] is collected from a sample of the data (as the paper
+//! does: "we collect statistics during data generation for dynamic labeling
+//! purpose"), then the same documents are indexed with and without it.
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin ablation_clues
+//! ```
+
+use std::time::Instant;
+
+use vist_bench::{mib, print_table, scaled};
+use vist_core::{AllocatorKind, IndexOptions, StatsModel, VistIndex};
+use vist_datagen::synthetic::{SyntheticConfig, SyntheticGen};
+use vist_seq::{document_to_sequence, SiblingOrder, SymbolTable};
+
+fn main() {
+    let n = scaled(8_000, 800);
+    let sample = n / 10;
+    let mut gen = SyntheticGen::new(SyntheticConfig {
+        k: 10,
+        j: 8,
+        l: 30,
+        seed: 19,
+    });
+    eprintln!("generating {n} documents ({sample} used as the stats sample) ...");
+    let docs = gen.documents(n);
+
+    // Collect clues from the sample.
+    let mut table = SymbolTable::new();
+    let sample_seqs: Vec<_> = docs[..sample]
+        .iter()
+        .map(|d| document_to_sequence(d, &mut table, &SiblingOrder::Lexicographic))
+        .collect();
+    let stats = StatsModel::from_sequences(&sample_seqs);
+    eprintln!("stats model: {} contexts", stats.contexts());
+
+    let mut rows = Vec::new();
+    for (label, kind) in [
+        ("no clues (Eq 5-6)", AllocatorKind::NoClues),
+        ("with clues (Eq 2-4)", AllocatorKind::WithClues(stats)),
+    ] {
+        let mut index = VistIndex::in_memory(IndexOptions {
+            lambda: 8,
+            adaptive: true,
+            allocator: kind,
+            store_documents: false,
+            cache_pages: 1 << 16,
+            ..Default::default()
+        })
+        .expect("index");
+        let t0 = Instant::now();
+        for d in &docs {
+            index.insert_document(d).expect("insert");
+        }
+        let build = t0.elapsed();
+        let s = index.stats();
+        rows.push(vec![
+            label.to_string(),
+            s.underflows.to_string(),
+            s.deep_borrows.to_string(),
+            s.nodes.to_string(),
+            mib(s.store_bytes),
+            format!("{:.2}", build.as_secs_f64()),
+        ]);
+    }
+    println!("\nAblation A2 — allocation clues (synthetic, N={n}, L=30, λ=8)\n");
+    print_table(
+        &[
+            "scheme",
+            "tight underflows",
+            "incarnations",
+            "nodes",
+            "index (MiB)",
+            "build (s)",
+        ],
+        &rows,
+    );
+    println!("\n(clues should cut underflows by giving frequent followers larger subscopes)");
+}

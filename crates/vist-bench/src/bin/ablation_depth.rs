@@ -1,0 +1,94 @@
+//! **Ablation A6**: document depth / recursion, an axis the paper does not
+//! evaluate. Treebank-like parse trees recurse (`NP` inside `NP` …), so the
+//! same element name appears at many levels — deep prefixes stress the
+//! D-Ancestor key space, and `//` queries must fan out across levels.
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin ablation_depth
+//! ```
+
+use std::time::{Duration, Instant};
+
+use vist_baselines::{NodeIndex, PathIndex};
+use vist_bench::{mib, ms, print_table, scaled};
+use vist_core::{IndexOptions, QueryOptions, VistIndex};
+use vist_datagen::treebank::{documents, sample_queries, TreebankConfig};
+
+fn main() {
+    let n = scaled(4_000, 400);
+    let mut rows = Vec::new();
+    for max_depth in [4usize, 8, 12, 16] {
+        let docs = documents(n, &TreebankConfig {
+            max_depth,
+            seed: 23,
+        });
+        let elem_depth = docs
+            .iter()
+            .flat_map(|d| d.preorder().map(|x| d.depth(x)).max())
+            .max()
+            .unwrap();
+
+        let mut vist = VistIndex::in_memory(IndexOptions {
+            store_documents: false,
+            cache_pages: 1 << 14,
+            ..Default::default()
+        })
+        .expect("vist");
+        let mut path = PathIndex::in_memory(4096, 1 << 14).expect("path");
+        let mut node = NodeIndex::in_memory(4096, 1 << 14).expect("node");
+        let t0 = Instant::now();
+        for d in &docs {
+            vist.insert_document(d).expect("insert");
+        }
+        let build = t0.elapsed();
+        for d in &docs {
+            path.insert_document(d).expect("insert");
+            node.insert_document(d).expect("insert");
+        }
+
+        let queries = sample_queries();
+        let mut t_vist = Duration::ZERO;
+        let mut t_path = Duration::ZERO;
+        let mut t_node = Duration::ZERO;
+        for (_, q) in &queries {
+            t_vist += vist_bench::time_avg(3, || {
+                let _ = vist.query(q, &QueryOptions::default()).expect("query");
+            });
+            t_path += vist_bench::time_avg(3, || {
+                let _ = path.query(q).expect("query");
+            });
+            t_node += vist_bench::time_avg(3, || {
+                let _ = node.query(q).expect("query");
+            });
+        }
+        let k = queries.len() as u32;
+        let s = vist.stats();
+        rows.push(vec![
+            max_depth.to_string(),
+            elem_depth.to_string(),
+            s.dkeys.to_string(),
+            mib(s.store_bytes),
+            format!("{:.2}", build.as_secs_f64()),
+            ms(t_vist / k),
+            ms(t_path / k),
+            ms(t_node / k),
+        ]);
+        eprintln!("max_depth {max_depth}: done");
+    }
+    println!("\nAblation A6 — recursion depth (treebank-like, N={n}, avg over T1-T5)\n");
+    print_table(
+        &[
+            "grammar depth",
+            "doc depth",
+            "dkeys",
+            "ViST index (MiB)",
+            "ViST build (s)",
+            "ViST (ms)",
+            "path idx (ms)",
+            "node idx (ms)",
+        ],
+        &rows,
+    );
+    println!("\n(deep recursion multiplies distinct (symbol, prefix) pairs — the D-Ancestor");
+    println!(" key space grows with depth while the node index is depth-insensitive)");
+}

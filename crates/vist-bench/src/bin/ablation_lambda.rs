@@ -1,0 +1,83 @@
+//! **Ablation A1**: the scope-allocation λ parameter and the adaptive
+//! divisor, measured by underflow behaviour, index size, and query time.
+//!
+//! The paper's fixed-λ scheme (Eq 5–6) exhausts a hot node's scope after
+//! ~`126 / log2(λ)` children; this ablation quantifies how often that
+//! happens on realistic data and what the adaptive divisor (λ+k) buys.
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin ablation_lambda
+//! ```
+
+use std::time::{Duration, Instant};
+
+use vist_bench::{mib, ms, print_table, scaled};
+use vist_core::{IndexOptions, QueryOptions, VistIndex};
+use vist_datagen::synthetic::{SyntheticConfig, SyntheticGen};
+
+fn main() {
+    let n = scaled(8_000, 800);
+    let mut rows = Vec::new();
+    for (lambda, adaptive) in [
+        (2u64, false),
+        (16, false),
+        (256, false),
+        (2, true),
+        (16, true),
+        (256, true),
+    ] {
+        let mut gen = SyntheticGen::new(SyntheticConfig {
+            k: 10,
+            j: 8,
+            l: 30,
+            seed: 17,
+        });
+        let mut index = VistIndex::in_memory(IndexOptions {
+            lambda,
+            adaptive,
+            store_documents: false,
+            cache_pages: 1 << 16,
+            ..Default::default()
+        })
+        .expect("index");
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let d = gen.document();
+            index.insert_document(&d).expect("insert");
+        }
+        let build = t0.elapsed();
+
+        let opts = QueryOptions::default();
+        let queries: Vec<_> = (0..25).map(|_| gen.query(6, vist_bench::wildcard_prob())).collect();
+        let mut total = Duration::ZERO;
+        for q in &queries {
+            let t = Instant::now();
+            let _ = index.query_pattern(q, &opts).expect("query");
+            total += t.elapsed();
+        }
+        let s = index.stats();
+        rows.push(vec![
+            lambda.to_string(),
+            adaptive.to_string(),
+            s.underflows.to_string(),
+            s.deep_borrows.to_string(),
+            mib(s.store_bytes),
+            format!("{:.2}", build.as_secs_f64()),
+            ms(total / queries.len() as u32),
+        ]);
+        eprintln!("λ={lambda} adaptive={adaptive}: done");
+    }
+    println!("\nAblation A1 — λ and adaptive divisor (synthetic, N={n}, L=30)\n");
+    print_table(
+        &[
+            "λ",
+            "adaptive",
+            "tight underflows",
+            "incarnations",
+            "index (MiB)",
+            "build (s)",
+            "query (ms)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,58 @@
+//! **Ablation A4**: B+Tree page size. The paper uses 2 KiB Berkeley DB
+//! pages; this sweep shows size/time trade-offs at 2–16 KiB on the
+//! DBLP-like workload.
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin ablation_pagesize
+//! ```
+
+use std::time::{Duration, Instant};
+
+use vist_bench::{mib, ms, print_table, scaled};
+use vist_core::{IndexOptions, QueryOptions, VistIndex};
+use vist_datagen::dblp;
+
+fn main() {
+    let n = scaled(10_000, 1_000);
+    eprintln!("generating {n} DBLP-like records ...");
+    let docs = dblp::documents(n, 42);
+    let queries = dblp::table3_queries();
+
+    let mut rows = Vec::new();
+    for page_size in [2048usize, 4096, 8192, 16384] {
+        let cache_pages = (64usize << 20) / page_size; // fixed 64 MiB cache
+        let mut index = VistIndex::in_memory(IndexOptions {
+            page_size,
+            cache_pages,
+            store_documents: false,
+            ..Default::default()
+        })
+        .expect("index");
+        let t0 = Instant::now();
+        for d in &docs {
+            index.insert_document(d).expect("insert");
+        }
+        let build = t0.elapsed();
+
+        let opts = QueryOptions::default();
+        let mut total = Duration::ZERO;
+        for (_, q) in &queries {
+            let t = Instant::now();
+            let _ = index.query(q, &opts).expect("query");
+            total += t.elapsed();
+        }
+        let s = index.stats();
+        rows.push(vec![
+            page_size.to_string(),
+            mib(s.store_bytes),
+            format!("{:.2}", build.as_secs_f64()),
+            ms(total / queries.len() as u32),
+        ]);
+        eprintln!("page {page_size}: done");
+    }
+    println!("\nAblation A4 — page size (DBLP-like, N={n}; paper used 2048)\n");
+    print_table(
+        &["page size", "index (MiB)", "build (s)", "avg Q1-Q5 time (ms)"],
+        &rows,
+    );
+}

@@ -1,0 +1,113 @@
+//! **Ablation A5**: Index Fabric's refined paths, quantifying the paper's
+//! three criticisms (§1 and §5):
+//!
+//! 1. registered branching queries become one posting lookup;
+//! 2. the speedup does not generalize — an unregistered variant of the
+//!    same query shape still pays decomposition + joins;
+//! 3. maintenance cost grows with the number of refined paths (every
+//!    insert probes every registered pattern).
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin ablation_refined
+//! ```
+
+use std::time::Instant;
+
+use vist_baselines::RefinedPathIndex;
+use vist_bench::{ms, print_table, scaled};
+use vist_core::{IndexOptions, QueryOptions, VistIndex};
+use vist_datagen::xmark;
+
+fn main() {
+    let n = scaled(8_000, 800);
+    eprintln!("generating {n} XMARK-like records ...");
+    let docs = xmark::documents(n, 43);
+    let queries = xmark::table3_queries();
+
+    // --- effect on query time (registered vs not) -------------------------
+    let mut refined = RefinedPathIndex::in_memory(4096, 1 << 14).expect("index");
+    // Register Q6 and Q8 (the branching queries), leave Q7 unregistered.
+    refined.register_refined(&queries[0].1).expect("register Q6");
+    refined.register_refined(&queries[2].1).expect("register Q8");
+    let t0 = Instant::now();
+    for d in &docs {
+        refined.insert_document(d).expect("insert");
+    }
+    let build_with = t0.elapsed();
+
+    let mut plain = RefinedPathIndex::in_memory(4096, 1 << 14).expect("index");
+    let t0 = Instant::now();
+    for d in &docs {
+        plain.insert_document(d).expect("insert");
+    }
+    let build_without = t0.elapsed();
+
+    let mut vist = VistIndex::in_memory(IndexOptions {
+        store_documents: false,
+        cache_pages: 1 << 14,
+        ..Default::default()
+    })
+    .expect("vist");
+    for d in &docs {
+        vist.insert_document(d).expect("insert");
+    }
+
+    let mut rows = Vec::new();
+    for (label, q) in &queries {
+        let t_ref = vist_bench::time_avg(3, || {
+            let _ = refined.query(q).expect("query");
+        });
+        let t_plain = vist_bench::time_avg(3, || {
+            let _ = plain.query(q).expect("query");
+        });
+        let t_vist = vist_bench::time_avg(3, || {
+            let _ = vist.query(q, &QueryOptions::default()).expect("query");
+        });
+        let registered = matches!(*label, "Q6" | "Q8");
+        rows.push(vec![
+            (*label).to_string(),
+            if registered { "yes" } else { "no" }.to_string(),
+            ms(t_ref),
+            ms(t_plain),
+            ms(t_vist),
+        ]);
+    }
+    println!("\nAblation A5 — refined paths (XMARK-like, N={n}; Q6+Q8 registered)\n");
+    print_table(
+        &[
+            "query",
+            "registered",
+            "Fabric+refined (ms)",
+            "Fabric raw (ms)",
+            "ViST (ms)",
+        ],
+        &rows,
+    );
+
+    // --- maintenance cost vs registry size --------------------------------
+    println!(
+        "\nbuild time: raw {:.2}s, with 2 refined paths {:.2}s",
+        build_without.as_secs_f64(),
+        build_with.as_secs_f64()
+    );
+    let mut rows = Vec::new();
+    for n_refined in [0usize, 4, 16, 64] {
+        let mut idx = RefinedPathIndex::in_memory(4096, 1 << 14).expect("index");
+        for i in 0..n_refined {
+            idx.register_refined(&format!("/site//item[location='US']/mail/date[text='x{i}']"))
+                .expect("register");
+        }
+        let t0 = Instant::now();
+        for d in docs.iter().take(n / 2) {
+            idx.insert_document(d).expect("insert");
+        }
+        rows.push(vec![
+            n_refined.to_string(),
+            format!("{:.2}", t0.elapsed().as_secs_f64()),
+        ]);
+    }
+    println!("\nmaintenance cost (insert {} docs):\n", n / 2);
+    print_table(&["refined paths", "insert time (s)"], &rows);
+    println!("\n(the paper: \"the number of refined paths can have a huge impact on the");
+    println!(" size and the maintenance cost of the index\" — each insert probes each)");
+}

@@ -1,0 +1,45 @@
+//! Convenience wrapper: run every table/figure/ablation binary in sequence
+//! (same process, same scale), so one command regenerates the whole
+//! evaluation.
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin all
+//! VIST_BENCH_SCALE=5 cargo run --release -p vist-bench --bin all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table4",
+        "fig10a",
+        "fig10b",
+        "fig11a",
+        "fig11b",
+        "ablation_lambda",
+        "ablation_clues",
+        "ablation_verify",
+        "ablation_pagesize",
+        "ablation_refined",
+        "ablation_depth",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n================ {bin} ================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            failed.push(bin);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed: {failed:?}");
+        std::process::exit(1);
+    }
+}

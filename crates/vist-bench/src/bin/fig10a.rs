@@ -1,0 +1,80 @@
+//! **Figure 10(a)**: query processing time vs query length, on the
+//! synthetic dataset (paper: k=10, j=8, L=30, N=1,000,000; query lengths
+//! 2–12).
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin fig10a
+//! VIST_BENCH_SCALE=10 cargo run --release -p vist-bench --bin fig10a
+//! ```
+//!
+//! Expected shape: time grows with query length ("longer queries require
+//! larger amount of index traversals").
+
+use std::time::{Duration, Instant};
+
+use vist_bench::{ms, print_table, scaled};
+use vist_core::{IndexOptions, QueryOptions, VistIndex};
+use vist_datagen::synthetic::{SyntheticConfig, SyntheticGen};
+
+fn main() {
+    let n = scaled(30_000, 3_000);
+    let cfg = SyntheticConfig {
+        k: 10,
+        j: 8,
+        l: 30,
+        seed: 7,
+    };
+    eprintln!("generating {n} synthetic sequences (k=10, j=8, L=30) ...");
+    let mut gen = SyntheticGen::new(cfg);
+
+    let mut index = VistIndex::in_memory(IndexOptions {
+        store_documents: false,
+        cache_pages: 1 << 16,
+        ..Default::default()
+    })
+    .expect("index");
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let d = gen.document();
+        index.insert_document(&d).expect("insert");
+    }
+    eprintln!("built in {:.2?} ({} nodes)", t0.elapsed(), index.stats().nodes);
+
+    // As in the paper, reported time excludes result output; each point
+    // averages many random queries of that length.
+    let queries_per_point = 25;
+    let opts = QueryOptions::default();
+    let mut rows = Vec::new();
+    for qlen in (2..=12).step_by(2) {
+        let queries: Vec<_> = (0..queries_per_point)
+            .map(|_| gen.query(qlen, vist_bench::wildcard_prob()))
+            .collect();
+        let mut match_total = Duration::ZERO;
+        let mut full_total = Duration::ZERO;
+        let mut hits = 0usize;
+        for q in &queries {
+            // Match time, excluding DocId output (what the paper plots).
+            let t = Instant::now();
+            let (scopes, _) = index.match_scopes(q, &opts).expect("match");
+            match_total += t.elapsed();
+            let _ = scopes;
+            // Full time including DocId resolution, for reference.
+            let t = Instant::now();
+            let r = index.query_pattern(q, &opts).expect("query");
+            full_total += t.elapsed();
+            hits += r.doc_ids.len();
+        }
+        rows.push(vec![
+            qlen.to_string(),
+            ms(match_total / queries_per_point as u32),
+            ms(full_total / queries_per_point as u32),
+            format!("{:.1}", hits as f64 / queries_per_point as f64),
+        ]);
+    }
+    println!("\nFigure 10(a) — query time vs query length (synthetic, N={n}, L=30)");
+    println!("(the paper plots match time, excluding DocId output)\n");
+    print_table(
+        &["query length", "match time (ms)", "incl. DocId output (ms)", "avg hits"],
+        &rows,
+    );
+}

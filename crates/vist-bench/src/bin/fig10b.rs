@@ -1,0 +1,96 @@
+//! **Figure 10(b)**: query processing time vs data size, synthetic
+//! sequences of average length 60, queries of length 6 (paper: N up to
+//! 12,000,000 elements).
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin fig10b
+//! ```
+//!
+//! Expected shape: sub-linear growth — "our index structure scales up
+//! sub-linearly with the increase of data size". The index is grown
+//! *incrementally* (ViST is dynamic) and the same fixed query workload is
+//! timed after each growth step; as in the paper, the reported time is the
+//! match cost excluding DocId output.
+
+use std::time::{Duration, Instant};
+
+use vist_bench::{ms, print_table, scaled};
+use vist_core::{IndexOptions, QueryOptions, VistIndex};
+use vist_datagen::synthetic::{SyntheticConfig, SyntheticGen};
+
+fn main() {
+    let max_docs = scaled(20_000, 2_000);
+    let steps = 5;
+    let queries_per_point = 30;
+    let qlen = 6;
+
+    // A fixed query workload, independent of the data generator's state.
+    let mut qgen = SyntheticGen::new(SyntheticConfig {
+        k: 10,
+        j: 8,
+        l: 60,
+        seed: 1234,
+    });
+    let queries: Vec<_> = (0..queries_per_point)
+        .map(|_| qgen.query(qlen, vist_bench::wildcard_prob()))
+        .collect();
+
+    let mut gen = SyntheticGen::new(SyntheticConfig {
+        k: 10,
+        j: 8,
+        l: 60,
+        seed: 11,
+    });
+    let mut index = VistIndex::in_memory(IndexOptions {
+        store_documents: false,
+        cache_pages: 1 << 16,
+        ..Default::default()
+    })
+    .expect("index");
+
+    let opts = QueryOptions::default();
+    let mut rows = Vec::new();
+    let mut inserted = 0usize;
+    let mut build_total = Duration::ZERO;
+    for step in 1..=steps {
+        let target = max_docs * step / steps;
+        let t0 = Instant::now();
+        while inserted < target {
+            let d = gen.document();
+            index.insert_document(&d).expect("insert");
+            inserted += 1;
+        }
+        build_total += t0.elapsed();
+
+        let mut total = Duration::ZERO;
+        let mut hits = 0usize;
+        for q in &queries {
+            let t = Instant::now();
+            let (scopes, _) = index.match_scopes(q, &opts).expect("match");
+            total += t.elapsed();
+            hits += scopes.len();
+        }
+        rows.push(vec![
+            inserted.to_string(),
+            (inserted * 60).to_string(),
+            ms(total / queries.len() as u32),
+            hits.to_string(),
+            format!("{:.2}", build_total.as_secs_f64()),
+        ]);
+        eprintln!("N={inserted}: done");
+    }
+    println!(
+        "\nFigure 10(b) — query time vs data size (synthetic, L=60, query length {qlen})\n"
+    );
+    print_table(
+        &[
+            "sequences",
+            "elements",
+            "avg match time (ms)",
+            "matched scopes",
+            "cumulative build (s)",
+        ],
+        &rows,
+    );
+    println!("\n(sub-linear: time should grow far slower than the element count)");
+}

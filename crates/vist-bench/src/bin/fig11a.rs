@@ -1,0 +1,80 @@
+//! **Figure 11(a)**: index size for the DBLP-like and XMARK-like datasets,
+//! broken down into the DocId B+Tree and the combined D-Ancestor +
+//! S-Ancestor B+Trees (paper: DBLP 301 MB of data; XMARK items 52 MB).
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin fig11a
+//! ```
+//!
+//! Expected shape: the DocId tree holds one entry per document (N entries)
+//! and is much smaller than the D/S-Ancestor trees (up to N·L entries);
+//! total index size is a small multiple of the raw sequence footprint.
+
+use vist_bench::{mib, print_table, scaled};
+use vist_core::{IndexOptions, VistIndex};
+use vist_datagen::{dblp, xmark};
+use vist_seq::{document_to_sequence, SiblingOrder, SymbolTable};
+use vist_xml::Document;
+
+fn measure(name: &str, docs: &[Document]) -> Vec<String> {
+    // Raw data footprint (serialized XML) and sequence footprint.
+    let data_bytes: usize = docs.iter().map(|d| d.to_xml().len()).sum();
+    let mut table = SymbolTable::new();
+    let total_elems: usize = docs
+        .iter()
+        .map(|d| document_to_sequence(d, &mut table, &SiblingOrder::Lexicographic).len())
+        .sum();
+
+    let mut index = VistIndex::in_memory(IndexOptions {
+        store_documents: false, // size the *index*, not a document store
+        cache_pages: 1 << 16,
+        ..Default::default()
+    })
+    .expect("index");
+    for d in docs {
+        index.insert_document(d).expect("insert");
+    }
+    let s = index.stats();
+    let b = index.store().tree_breakdown().expect("breakdown");
+    // The two B+Trees of the paper's figure: the DocId tree (one entry per
+    // document) and the combined D-Ancestor + S-Ancestor trees (one entry
+    // per dkey + per node).
+    vec![
+        name.to_string(),
+        docs.len().to_string(),
+        total_elems.to_string(),
+        mib(data_bytes as u64),
+        mib(b.docid.total_bytes),
+        mib(b.ds_ancestor_bytes()),
+        mib(b.edges.total_bytes),
+        mib(s.store_bytes),
+        format!("{:.2}", s.store_bytes as f64 / data_bytes as f64),
+    ]
+}
+
+fn main() {
+    let n_dblp = scaled(20_000, 2_000);
+    let n_xmark = scaled(12_000, 1_200);
+    eprintln!("generating and indexing ...");
+    let rows = vec![
+        measure("DBLP-like", &dblp::documents(n_dblp, 42)),
+        measure("XMARK-like", &xmark::documents(n_xmark, 43)),
+    ];
+    println!("\nFigure 11(a) — index size\n");
+    print_table(
+        &[
+            "dataset",
+            "records",
+            "elements",
+            "data (MiB)",
+            "DocId tree (MiB)",
+            "D+S-Ancestor trees (MiB)",
+            "edges tree (MiB)",
+            "index (MiB)",
+            "index/data",
+        ],
+        &rows,
+    );
+    println!("\n(the paper's figure shows the DocId tree dwarfed by the combined D/S trees;");
+    println!(" the edges tree is our insert-path addition, excluded from the paper's design)");
+}

@@ -1,0 +1,67 @@
+//! **Figure 11(b)**: index construction time vs dataset size, for RIST and
+//! ViST (paper: synthetic k=10, j=8, L=32, up to 60M elements; both curves
+//! linear, RIST above ViST since it materializes the suffix tree first).
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin fig11b
+//! ```
+
+use std::time::Instant;
+
+use vist_bench::{print_table, scaled};
+use vist_core::{IndexOptions, RistIndex, VistIndex};
+use vist_datagen::synthetic::{SyntheticConfig, SyntheticGen};
+
+fn main() {
+    let max_docs = scaled(16_000, 1_600);
+    let steps = 4;
+    let opts = || IndexOptions {
+        store_documents: false,
+        cache_pages: 1 << 16,
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    for step in 1..=steps {
+        let n = max_docs * step / steps;
+        let mut gen = SyntheticGen::new(SyntheticConfig {
+            k: 10,
+            j: 8,
+            l: 32,
+            seed: 13,
+        });
+        let docs = gen.documents(n);
+
+        let t0 = Instant::now();
+        let mut vist = VistIndex::in_memory(opts()).expect("vist");
+        for d in &docs {
+            vist.insert_document(d).expect("insert");
+        }
+        let t_vist = t0.elapsed();
+
+        let t0 = Instant::now();
+        let rist = RistIndex::build_in_memory(&docs, opts()).expect("rist");
+        let t_rist = t0.elapsed();
+
+        rows.push(vec![
+            (n * 32).to_string(),
+            format!("{:.2}", t_vist.as_secs_f64()),
+            format!("{:.2}", t_rist.as_secs_f64()),
+            vist.stats().nodes.to_string(),
+            rist.stats().nodes.to_string(),
+        ]);
+        eprintln!("N={n}: vist {:.2?}, rist done", t_vist);
+    }
+    println!("\nFigure 11(b) — index construction time (synthetic, L=32)\n");
+    print_table(
+        &[
+            "elements",
+            "ViST build (s)",
+            "RIST build (s)",
+            "ViST nodes",
+            "RIST nodes",
+        ],
+        &rows,
+    );
+    println!("\n(both should grow linearly in the element count)");
+}

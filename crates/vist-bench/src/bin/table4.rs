@@ -1,0 +1,113 @@
+//! **Table 4**: query response times of RIST/ViST vs the raw-path index
+//! (Index Fabric) and the node index (XISS), on the eight Table 3 queries
+//! over the DBLP-like and XMARK-like datasets.
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin table4
+//! VIST_BENCH_SCALE=10 cargo run --release -p vist-bench --bin table4
+//! ```
+//!
+//! Expected shape (paper): ViST is low and flat across all eight queries;
+//! the path index is competitive on the plain path Q1 but degrades sharply
+//! on wildcards (Q3, Q4) and branching queries (Q5–Q8); the node index pays
+//! join costs everywhere, worst on the low-selectivity Q1.
+
+use std::time::Instant;
+
+use vist_baselines::{NodeIndex, PathIndex};
+use vist_bench::{ms, print_table, scaled};
+use vist_core::{IndexOptions, QueryOptions, VistIndex};
+use vist_datagen::{dblp, xmark};
+
+fn main() {
+    let n_dblp = scaled(20_000, 2_000);
+    let n_xmark = scaled(12_000, 1_200);
+    eprintln!("generating {n_dblp} DBLP-like + {n_xmark} XMARK-like records ...");
+    let dblp_docs = dblp::documents(n_dblp, 42);
+    let xmark_docs = xmark::documents(n_xmark, 43);
+
+    let mut queries: Vec<(&str, String, usize)> = Vec::new(); // (label, expr, dataset 0/1)
+    for (l, q) in dblp::table3_queries() {
+        queries.push((l, q, 0));
+    }
+    for (l, q) in xmark::table3_queries() {
+        queries.push((l, q, 1));
+    }
+
+    eprintln!("building indexes ...");
+    let datasets = [&dblp_docs, &xmark_docs];
+    let mut vists = Vec::new();
+    let mut paths = Vec::new();
+    let mut nodes = Vec::new();
+    for docs in datasets {
+        let t0 = Instant::now();
+        let mut v = VistIndex::in_memory(IndexOptions {
+            store_documents: false,
+            cache_pages: 1 << 16,
+            ..Default::default()
+        })
+        .expect("vist");
+        for d in docs.iter() {
+            v.insert_document(d).expect("insert");
+        }
+        eprintln!("  vist built in {:.2?}", t0.elapsed());
+        vists.push(v);
+
+        let t0 = Instant::now();
+        let mut p = PathIndex::in_memory(4096, 1 << 16).expect("path");
+        for d in docs.iter() {
+            p.insert_document(d).expect("insert");
+        }
+        eprintln!("  path index built in {:.2?}", t0.elapsed());
+        paths.push(p);
+
+        let t0 = Instant::now();
+        let mut n = NodeIndex::in_memory(4096, 1 << 16).expect("node");
+        for d in docs.iter() {
+            n.insert_document(d).expect("insert");
+        }
+        eprintln!("  node index built in {:.2?}", t0.elapsed());
+        nodes.push(n);
+    }
+
+    let iters: usize = 3;
+    let mut rows = Vec::new();
+    for (label, q, ds) in &queries {
+        let opts = QueryOptions::default();
+        let hits = vists[*ds].query(q, &opts).expect("query").doc_ids.len();
+        let t_vist = vist_bench::time_avg(iters, || {
+            let _ = vists[*ds].query(q, &opts).expect("query");
+        });
+        let t_path = vist_bench::time_avg(iters, || {
+            let _ = paths[*ds].query(q).expect("query");
+        });
+        let t_node = vist_bench::time_avg(iters, || {
+            let _ = nodes[*ds].query(q).expect("query");
+        });
+        rows.push(vec![
+            (*label).to_string(),
+            if *ds == 0 { "DBLP" } else { "XMARK" }.to_string(),
+            ms(t_vist),
+            ms(t_path),
+            ms(t_node),
+            hits.to_string(),
+            q.clone(),
+        ]);
+    }
+    println!("\nTable 4 — query response times (milliseconds)");
+    println!(
+        "datasets: DBLP-like n={n_dblp}, XMARK-like n={n_xmark} (paper: 289,627 / SF 1.0)\n"
+    );
+    print_table(
+        &[
+            "query",
+            "dataset",
+            "RIST/ViST",
+            "raw path index (Index Fabric)",
+            "node index (XISS)",
+            "hits",
+            "expression",
+        ],
+        &rows,
+    );
+}

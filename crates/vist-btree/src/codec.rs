@@ -1,0 +1,221 @@
+//! Order-preserving key encodings.
+//!
+//! B+Tree keys compare as raw byte strings, so multi-field keys must be
+//! encoded such that byte order equals logical order. Fixed-width big-endian
+//! integers have this property; [`KeyWriter`] concatenates them. For a
+//! trailing variable-length field (ViST's path prefixes), plain concatenation
+//! is order-preserving as long as it is the *last* field — which is how every
+//! key in this workspace is laid out (and the D-Ancestor key additionally
+//! stores the prefix *length* before the content, matching the paper's
+//! ordering: "first by the Symbol, then by the length of the Prefix, and
+//! lastly by the content of the Prefix").
+
+/// Incrementally builds a composite key.
+#[derive(Default, Debug, Clone)]
+pub struct KeyWriter {
+    buf: Vec<u8>,
+}
+
+impl KeyWriter {
+    /// New empty key.
+    #[must_use]
+    pub fn new() -> Self {
+        KeyWriter { buf: Vec::new() }
+    }
+
+    /// New empty key with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        KeyWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a big-endian `u128` (ViST scope labels).
+    pub fn u128(&mut self, v: u128) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append raw bytes (only order-preserving as the final field).
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finish, returning the encoded key.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes encoded so far.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Reads fields back out of a composite key.
+#[derive(Debug)]
+pub struct KeyReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> KeyReader<'a> {
+    /// Start reading `buf` from the beginning.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        KeyReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Read a big-endian `u16`.
+    pub fn u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().unwrap())
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Read a big-endian `u128`.
+    pub fn u128(&mut self) -> u128 {
+        u128::from_be_bytes(self.take(16).try_into().unwrap())
+    }
+
+    /// Remaining unread bytes.
+    #[must_use]
+    pub fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Bytes remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// The smallest key strictly greater than every key starting with `prefix`
+/// (i.e. the exclusive upper bound of the prefix range), or `None` when
+/// `prefix` is all `0xFF` and no such key exists.
+#[must_use]
+pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut out = prefix.to_vec();
+    while let Some(last) = out.pop() {
+        if last < 0xFF {
+            out.push(last + 1);
+            return Some(out);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_roundtrip() {
+        let mut w = KeyWriter::new();
+        w.u8(3).u16(777).u32(1 << 30).u64(u64::MAX - 5).u128(1 << 100);
+        let key = w.finish();
+        let mut r = KeyReader::new(&key);
+        assert_eq!(r.u8(), 3);
+        assert_eq!(r.u16(), 777);
+        assert_eq!(r.u32(), 1 << 30);
+        assert_eq!(r.u64(), u64::MAX - 5);
+        assert_eq!(r.u128(), 1 << 100);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_preserves_order() {
+        let enc = |v: u64| {
+            let mut w = KeyWriter::new();
+            w.u64(v);
+            w.finish()
+        };
+        let mut values = [0u64, 1, 255, 256, 65535, 1 << 32, u64::MAX];
+        values.sort_unstable();
+        for pair in values.windows(2) {
+            assert!(enc(pair[0]) < enc(pair[1]), "{} vs {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn composite_order_major_to_minor() {
+        let enc = |a: u32, b: u32| {
+            let mut w = KeyWriter::new();
+            w.u32(a).u32(b);
+            w.finish()
+        };
+        assert!(enc(1, 999) < enc(2, 0));
+        assert!(enc(2, 0) < enc(2, 1));
+    }
+
+    #[test]
+    fn prefix_upper_bound_basics() {
+        assert_eq!(prefix_upper_bound(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_upper_bound(&[1, 0xFF]), Some(vec![2]));
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+        // Everything with the prefix sorts below the bound; the bound itself
+        // does not have the prefix.
+        let ub = prefix_upper_bound(b"ab").unwrap();
+        assert!(b"ab".as_slice() < ub.as_slice());
+        assert!(b"ab\xff\xff\xff".as_slice() < ub.as_slice());
+        assert!(!ub.starts_with(b"ab"));
+    }
+
+    #[test]
+    fn rest_returns_trailing_bytes() {
+        let mut w = KeyWriter::new();
+        w.u32(9).bytes(b"tail");
+        let k = w.finish();
+        let mut r = KeyReader::new(&k);
+        assert_eq!(r.u32(), 9);
+        assert_eq!(r.rest(), b"tail");
+    }
+}

@@ -1,0 +1,254 @@
+//! Ordered range scans over the leaf chain.
+
+use std::collections::VecDeque;
+use std::ops::{Bound, RangeBounds};
+
+use vist_storage::{PageId, Result, SlottedPage, INVALID_PAGE};
+
+use crate::node::{decode_leaf_cell, link1, NODE_HDR};
+use crate::tree::BTree;
+
+/// Iterator over `(key, value)` pairs in key order.
+///
+/// Created by [`BTree::scan`] / [`BTree::scan_prefix`]. The scan borrows the
+/// tree immutably, so the tree cannot be modified while a scan is live — the
+/// borrow checker enforces the stability the iterator relies on.
+///
+/// Each leaf page's qualifying records are copied out in one batch, so page
+/// guards are never held across `next()` calls.
+pub struct Scan<'a> {
+    tree: &'a BTree,
+    /// Records buffered from the current leaf.
+    buffered: VecDeque<(Vec<u8>, Vec<u8>)>,
+    /// Next leaf to read, or `INVALID_PAGE` when exhausted.
+    next_leaf: PageId,
+    start: Bound<Vec<u8>>,
+    end: Bound<Vec<u8>>,
+    done: bool,
+}
+
+fn within_start(key: &[u8], start: &Bound<Vec<u8>>) -> bool {
+    match start {
+        Bound::Unbounded => true,
+        Bound::Included(s) => key >= s.as_slice(),
+        Bound::Excluded(s) => key > s.as_slice(),
+    }
+}
+
+fn within_end(key: &[u8], end: &Bound<Vec<u8>>) -> bool {
+    match end {
+        Bound::Unbounded => true,
+        Bound::Included(e) => key <= e.as_slice(),
+        Bound::Excluded(e) => key < e.as_slice(),
+    }
+}
+
+impl<'a> Scan<'a> {
+    pub(crate) fn new<'k, R>(tree: &'a BTree, range: R) -> Result<Self>
+    where
+        R: RangeBounds<&'k [u8]>,
+    {
+        let start = match range.start_bound() {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(s) => Bound::Included(s.to_vec()),
+            Bound::Excluded(s) => Bound::Excluded(s.to_vec()),
+        };
+        let end = match range.end_bound() {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(e) => Bound::Included(e.to_vec()),
+            Bound::Excluded(e) => Bound::Excluded(e.to_vec()),
+        };
+        let first_leaf = match &start {
+            Bound::Unbounded => tree.leftmost_leaf()?,
+            Bound::Included(s) | Bound::Excluded(s) => tree.leaf_for(s)?,
+        };
+        let mut scan = Scan {
+            tree,
+            buffered: VecDeque::new(),
+            next_leaf: first_leaf,
+            start,
+            end,
+            done: false,
+        };
+        scan.fill()?;
+        Ok(scan)
+    }
+
+    /// Read the next leaf's qualifying records into the buffer. Sets `done`
+    /// when the end bound is passed or the chain ends.
+    fn fill(&mut self) -> Result<()> {
+        while self.buffered.is_empty() && !self.done {
+            if self.next_leaf == INVALID_PAGE {
+                self.done = true;
+                return Ok(());
+            }
+            let page = self.tree.pool().fetch(self.next_leaf)?;
+            let buf = page.data();
+            self.next_leaf = link1(buf);
+            let p = SlottedPage::new(buf, NODE_HDR);
+            for i in 0..p.slot_count() {
+                let (k, v) = decode_leaf_cell(p.cell(i)?);
+                if !within_start(k, &self.start) {
+                    continue;
+                }
+                if !within_end(k, &self.end) {
+                    self.done = true;
+                    break;
+                }
+                self.buffered.push_back((k.to_vec(), v.to_vec()));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for Scan<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.buffered.is_empty() {
+            if let Err(e) = self.fill() {
+                self.done = true;
+                return Some(Err(e));
+            }
+        }
+        self.buffered.pop_front().map(Ok)
+    }
+}
+
+impl BTree {
+    /// Iterate over all `(key, value)` pairs with keys in `range`, in key
+    /// order.
+    ///
+    /// ```
+    /// # use std::sync::Arc;
+    /// # use vist_storage::{BufferPool, MemPager};
+    /// # use vist_btree::BTree;
+    /// # let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 16));
+    /// # let mut t = BTree::create(pool).unwrap();
+    /// t.insert(b"a", b"1").unwrap();
+    /// t.insert(b"b", b"2").unwrap();
+    /// t.insert(b"c", b"3").unwrap();
+    /// let hits: Vec<_> = t
+    ///     .scan(&b"a"[..]..&b"c"[..])
+    ///     .unwrap()
+    ///     .map(|r| r.unwrap().0)
+    ///     .collect();
+    /// assert_eq!(hits, vec![b"a".to_vec(), b"b".to_vec()]);
+    /// ```
+    pub fn scan<'k, R>(&self, range: R) -> Result<Scan<'_>>
+    where
+        R: RangeBounds<&'k [u8]>,
+    {
+        Scan::new(self, range)
+    }
+
+    /// Iterate over all entries whose key starts with `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Scan<'_>> {
+        match crate::codec::prefix_upper_bound(prefix) {
+            Some(ub) => self.scan((Bound::Included(prefix), Bound::Excluded(ub.as_slice()))),
+            None => self.scan((Bound::Included(prefix), Bound::Unbounded)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vist_storage::{BufferPool, MemPager};
+
+    fn filled(n: u32) -> BTree {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 256));
+        let mut t = BTree::create(pool).unwrap();
+        for i in 0..n {
+            t.insert(format!("k{i:06}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        t
+    }
+
+    fn keys(scan: Scan<'_>) -> Vec<String> {
+        scan.map(|r| String::from_utf8(r.unwrap().0).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn full_scan_in_order() {
+        let t = filled(1500);
+        let ks = keys(t.scan(..).unwrap());
+        assert_eq!(ks.len(), 1500);
+        let mut sorted = ks.clone();
+        sorted.sort();
+        assert_eq!(ks, sorted);
+        assert_eq!(ks[0], "k000000");
+        assert_eq!(ks[1499], "k001499");
+    }
+
+    #[test]
+    fn bounded_ranges() {
+        let t = filled(100);
+        let ks = keys(t.scan(&b"k000010"[..]..&b"k000013"[..]).unwrap());
+        assert_eq!(ks, vec!["k000010", "k000011", "k000012"]);
+        // Inclusive end.
+        let ks = keys(t.scan(&b"k000097"[..]..=&b"k000099"[..]).unwrap());
+        assert_eq!(ks, vec!["k000097", "k000098", "k000099"]);
+        // Start beyond the data.
+        let ks = keys(t.scan(&b"z"[..]..).unwrap());
+        assert!(ks.is_empty());
+        // Excluded start.
+        let ks = keys(
+            t.scan((
+                Bound::Excluded(&b"k000000"[..]),
+                Bound::Excluded(&b"k000003"[..]),
+            ))
+            .unwrap(),
+        );
+        assert_eq!(ks, vec!["k000001", "k000002"]);
+    }
+
+    #[test]
+    fn range_bounds_not_in_tree() {
+        let t = filled(50);
+        // Bounds fall between existing keys.
+        let ks = keys(t.scan(&b"k0000055"[..]..&b"k0000105"[..]).unwrap());
+        assert_eq!(ks, vec!["k000006", "k000007", "k000008", "k000009", "k000010"]);
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 64));
+        let mut t = BTree::create(pool).unwrap();
+        for k in ["ab", "abc", "abd", "ac", "b"] {
+            t.insert(k.as_bytes(), b"").unwrap();
+        }
+        let ks = keys(t.scan_prefix(b"ab").unwrap());
+        assert_eq!(ks, vec!["ab", "abc", "abd"]);
+        let ks = keys(t.scan_prefix(b"").unwrap());
+        assert_eq!(ks.len(), 5);
+        let ks = keys(t.scan_prefix(b"zz").unwrap());
+        assert!(ks.is_empty());
+    }
+
+    #[test]
+    fn empty_tree_scans_empty() {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 16));
+        let t = BTree::create(pool).unwrap();
+        assert!(keys(t.scan(..).unwrap()).is_empty());
+        assert!(keys(t.scan(&b"a"[..]..&b"z"[..]).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn scan_after_deletions() {
+        let mut t = filled(300);
+        for i in (0..300u32).step_by(2) {
+            t.delete(format!("k{i:06}").as_bytes()).unwrap();
+        }
+        let ks = keys(t.scan(..).unwrap());
+        assert_eq!(ks.len(), 150);
+        assert!(ks.iter().all(|k| {
+            let n: u32 = k[1..].parse().unwrap();
+            n % 2 == 1
+        }));
+    }
+}

@@ -1,0 +1,51 @@
+//! Disk-based B+Tree with variable-length byte-string keys and values.
+//!
+//! The ViST paper implements its three index trees (D-Ancestor, S-Ancestor,
+//! DocId) "using the B+ Tree API provided by the Berkeley DB library". This
+//! crate is the from-scratch replacement: a paged B+Tree over
+//! [`vist_storage::BufferPool`] with
+//!
+//! * variable-length keys and values in slotted pages,
+//! * ordered range scans through a doubly-linked leaf chain,
+//! * insert-or-replace, exact lookup, and delete,
+//! * PostgreSQL-style *lazy deletion* (empty pages are unlinked and freed;
+//!   under-full pages are left in place rather than merged — the classic
+//!   trade-off that keeps variable-length-key deletion simple and fast),
+//! * many trees sharing one pager/pool, as ViST needs ("the combined
+//!   D-Ancestor and S-Ancestor B+ Trees" plus the DocId tree live in one
+//!   store), and
+//! * order-preserving key codecs ([`codec`]) so composite integer keys
+//!   compare correctly as raw bytes.
+//!
+//! Keys are compared lexicographically as byte strings; encode multi-field
+//! keys with [`codec::KeyWriter`].
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vist_storage::{BufferPool, MemPager};
+//! use vist_btree::BTree;
+//!
+//! let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 64));
+//! let mut tree = BTree::create(Arc::clone(&pool)).unwrap();
+//! tree.insert(b"purchase", b"1").unwrap();
+//! tree.insert(b"seller", b"2").unwrap();
+//! assert_eq!(tree.get(b"seller").unwrap().as_deref(), Some(&b"2"[..]));
+//! let all: Vec<_> = tree.scan(..).unwrap().collect::<Result<_, _>>().unwrap();
+//! assert_eq!(all.len(), 2);
+//! ```
+
+mod bulk;
+pub mod codec;
+mod cursor;
+mod node;
+mod stats;
+mod tree;
+#[doc(hidden)]
+pub mod verify;
+
+pub use cursor::Scan;
+pub use stats::TreeStats;
+pub use tree::BTree;
+pub use vist_storage::{Error, Result};

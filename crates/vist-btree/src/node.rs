@@ -1,0 +1,287 @@
+//! B+Tree node layout on top of [`vist_storage::SlottedPage`].
+//!
+//! Every page starts with a fixed node header, followed by a slotted region:
+//!
+//! ```text
+//! +0  u8   kind: 1 = leaf, 2 = internal
+//! +1  u32  leaf: next-leaf page id       | internal: leftmost child page id
+//! +5  u32  leaf: prev-leaf page id       | internal: unused
+//! +9  u8   reserved
+//! +10 ...  slotted region
+//! ```
+//!
+//! Leaf cells are `[klen u16][vlen u16][key][value]`. Internal cells are
+//! `[klen u16][child u32][key]`; the child of cell *i* holds keys in
+//! `[key_i, key_{i+1})`, and the header's leftmost child holds keys below
+//! `key_0`. Cells are kept sorted by key; positional slot insertion in the
+//! slotted layer keeps the directory sorted for free.
+
+use vist_storage::{PageId, SlotId, SlottedPage, SlottedPageMut, INVALID_PAGE};
+
+/// Bytes reserved at the start of a page for the node header.
+pub const NODE_HDR: usize = 10;
+
+const KIND_LEAF: u8 = 1;
+const KIND_INTERNAL: u8 = 2;
+
+/// Node type tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Stores key/value records; linked to neighbours.
+    Leaf,
+    /// Stores separator keys and child pointers.
+    Internal,
+}
+
+pub(crate) fn kind(buf: &[u8]) -> NodeKind {
+    match buf[0] {
+        KIND_LEAF => NodeKind::Leaf,
+        KIND_INTERNAL => NodeKind::Internal,
+        other => panic!("corrupt node: bad kind byte {other}"),
+    }
+}
+
+pub(crate) fn link1(buf: &[u8]) -> PageId {
+    PageId::from_le_bytes(buf[1..5].try_into().unwrap())
+}
+
+pub(crate) fn link2(buf: &[u8]) -> PageId {
+    PageId::from_le_bytes(buf[5..9].try_into().unwrap())
+}
+
+pub(crate) fn set_kind(buf: &mut [u8], k: NodeKind) {
+    buf[0] = match k {
+        NodeKind::Leaf => KIND_LEAF,
+        NodeKind::Internal => KIND_INTERNAL,
+    };
+}
+
+pub(crate) fn set_link1(buf: &mut [u8], pid: PageId) {
+    buf[1..5].copy_from_slice(&pid.to_le_bytes());
+}
+
+pub(crate) fn set_link2(buf: &mut [u8], pid: PageId) {
+    buf[5..9].copy_from_slice(&pid.to_le_bytes());
+}
+
+/// Initialize a page as an empty leaf with no neighbours.
+pub(crate) fn init_leaf(buf: &mut [u8]) {
+    set_kind(buf, NodeKind::Leaf);
+    set_link1(buf, INVALID_PAGE);
+    set_link2(buf, INVALID_PAGE);
+    SlottedPageMut::init(buf, NODE_HDR);
+}
+
+/// Initialize a page as an empty internal node with the given leftmost child.
+pub(crate) fn init_internal(buf: &mut [u8], leftmost: PageId) {
+    set_kind(buf, NodeKind::Internal);
+    set_link1(buf, leftmost);
+    set_link2(buf, INVALID_PAGE);
+    SlottedPageMut::init(buf, NODE_HDR);
+}
+
+/// Encode a leaf cell.
+pub(crate) fn leaf_cell(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut cell = Vec::with_capacity(4 + key.len() + value.len());
+    cell.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    cell.extend_from_slice(&(value.len() as u16).to_le_bytes());
+    cell.extend_from_slice(key);
+    cell.extend_from_slice(value);
+    cell
+}
+
+/// Decode a leaf cell into `(key, value)`.
+pub(crate) fn decode_leaf_cell(cell: &[u8]) -> (&[u8], &[u8]) {
+    let klen = u16::from_le_bytes(cell[0..2].try_into().unwrap()) as usize;
+    let vlen = u16::from_le_bytes(cell[2..4].try_into().unwrap()) as usize;
+    (&cell[4..4 + klen], &cell[4 + klen..4 + klen + vlen])
+}
+
+/// Encode an internal cell.
+pub(crate) fn internal_cell(key: &[u8], child: PageId) -> Vec<u8> {
+    let mut cell = Vec::with_capacity(6 + key.len());
+    cell.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    cell.extend_from_slice(&child.to_le_bytes());
+    cell.extend_from_slice(key);
+    cell
+}
+
+/// Decode an internal cell into `(key, child)`.
+pub(crate) fn decode_internal_cell(cell: &[u8]) -> (&[u8], PageId) {
+    let klen = u16::from_le_bytes(cell[0..2].try_into().unwrap()) as usize;
+    let child = PageId::from_le_bytes(cell[2..6].try_into().unwrap());
+    (&cell[6..6 + klen], child)
+}
+
+/// Key of the cell at `slot` (works for both node kinds).
+pub(crate) fn cell_key(buf: &[u8], node_kind: NodeKind, slot: SlotId) -> &[u8] {
+    let page = SlottedPage::new(buf, NODE_HDR);
+    let cell = page.cell(slot).expect("slot in range");
+    match node_kind {
+        NodeKind::Leaf => decode_leaf_cell(cell).0,
+        NodeKind::Internal => decode_internal_cell(cell).0,
+    }
+}
+
+/// Binary search the node's cells. `Ok(i)` if slot `i` has exactly `key`,
+/// `Err(i)` with the insertion point otherwise.
+pub(crate) fn search(buf: &[u8], key: &[u8]) -> Result<SlotId, SlotId> {
+    let k = kind(buf);
+    let page = SlottedPage::new(buf, NODE_HDR);
+    let n = page.slot_count();
+    let (mut lo, mut hi) = (0u32, u32::from(n));
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match cell_key(buf, k, mid as SlotId).cmp(key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid as SlotId),
+        }
+    }
+    Err(lo as SlotId)
+}
+
+/// First slot whose key is strictly greater than `key`. Used for internal
+/// routing and separator insertion so that, when lazy deletion has left a
+/// stale separator equal to a fresh one, keys route to the *later* (newer)
+/// child.
+pub(crate) fn upper_bound(buf: &[u8], key: &[u8]) -> SlotId {
+    let k = kind(buf);
+    let page = SlottedPage::new(buf, NODE_HDR);
+    let n = page.slot_count();
+    let (mut lo, mut hi) = (0u32, u32::from(n));
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if cell_key(buf, k, mid as SlotId) <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as SlotId
+}
+
+/// The shortest key `s` with `left_last < s <= right_first` — the classic
+/// separator suffix truncation. Internal nodes route correctly with `s` in
+/// place of `right_first`, and for long shared-prefix key spaces (ViST's
+/// D-Ancestor keys) `s` is dramatically shorter.
+pub(crate) fn shortest_separator(left_last: &[u8], right_first: &[u8]) -> Vec<u8> {
+    debug_assert!(left_last < right_first);
+    // Length of the longest common prefix.
+    let lcp = left_last
+        .iter()
+        .zip(right_first.iter())
+        .take_while(|(a, b)| a == b)
+        .count();
+    // One byte past the common prefix distinguishes them (and exists,
+    // because left_last < right_first).
+    right_first[..(lcp + 1).min(right_first.len())].to_vec()
+}
+
+/// For an internal node, the child page that covers `key` (the last cell with
+/// key <= `key`), and the slot index of the cell it came from (`None` =
+/// leftmost child).
+pub(crate) fn child_for(buf: &[u8], key: &[u8]) -> (Option<SlotId>, PageId) {
+    debug_assert_eq!(kind(buf), NodeKind::Internal);
+    match upper_bound(buf, key) {
+        0 => (None, link1(buf)),
+        i => {
+            let page = SlottedPage::new(buf, NODE_HDR);
+            let (_, child) = decode_internal_cell(page.cell(i - 1).expect("in range"));
+            (Some(i - 1), child)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_page_with(keys: &[&[u8]]) -> Vec<u8> {
+        let mut buf = vec![0u8; 1024];
+        init_leaf(&mut buf);
+        for (i, k) in keys.iter().enumerate() {
+            let cell = leaf_cell(k, b"v");
+            let mut p = SlottedPageMut::new(&mut buf, NODE_HDR);
+            p.insert(i as SlotId, &cell).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn leaf_cell_roundtrip() {
+        let cell = leaf_cell(b"key", b"value");
+        let (k, v) = decode_leaf_cell(&cell);
+        assert_eq!((k, v), (&b"key"[..], &b"value"[..]));
+        let empty = leaf_cell(b"", b"");
+        assert_eq!(decode_leaf_cell(&empty), (&b""[..], &b""[..]));
+    }
+
+    #[test]
+    fn internal_cell_roundtrip() {
+        let cell = internal_cell(b"sep", 42);
+        assert_eq!(decode_internal_cell(&cell), (&b"sep"[..], 42));
+    }
+
+    #[test]
+    fn binary_search_finds_and_inserts() {
+        let buf = leaf_page_with(&[b"b", b"d", b"f"]);
+        assert_eq!(search(&buf, b"b"), Ok(0));
+        assert_eq!(search(&buf, b"d"), Ok(1));
+        assert_eq!(search(&buf, b"f"), Ok(2));
+        assert_eq!(search(&buf, b"a"), Err(0));
+        assert_eq!(search(&buf, b"c"), Err(1));
+        assert_eq!(search(&buf, b"e"), Err(2));
+        assert_eq!(search(&buf, b"g"), Err(3));
+    }
+
+    #[test]
+    fn child_routing() {
+        let mut buf = vec![0u8; 1024];
+        init_internal(&mut buf, 100);
+        {
+            let mut p = SlottedPageMut::new(&mut buf, NODE_HDR);
+            p.insert(0, &internal_cell(b"d", 200)).unwrap();
+            p.insert(1, &internal_cell(b"m", 300)).unwrap();
+        }
+        assert_eq!(child_for(&buf, b"a"), (None, 100));
+        assert_eq!(child_for(&buf, b"d"), (Some(0), 200));
+        assert_eq!(child_for(&buf, b"k"), (Some(0), 200));
+        assert_eq!(child_for(&buf, b"m"), (Some(1), 300));
+        assert_eq!(child_for(&buf, b"z"), (Some(1), 300));
+    }
+
+    #[test]
+    fn shortest_separator_laws() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"apple", b"banana"),
+            (b"abc", b"abd"),
+            (b"abc", b"abcd"),
+            (b"", b"a"),
+            (b"a\xff", b"b"),
+            (b"same-prefix-aaaa", b"same-prefix-bbbb"),
+        ];
+        for (l, r) in cases {
+            let s = shortest_separator(l, r);
+            assert!(*l < s.as_slice(), "{l:?} < {s:?}");
+            assert!(s.as_slice() <= *r, "{s:?} <= {r:?}");
+            assert!(s.len() <= r.len());
+        }
+        // The win: long shared prefixes truncate to lcp+1 bytes.
+        let s = shortest_separator(b"prefix-prefix-prefix-a", b"prefix-prefix-prefix-b");
+        assert_eq!(s, b"prefix-prefix-prefix-b".to_vec());
+        let s = shortest_separator(b"aaaa0000", b"ab999999999999");
+        assert_eq!(s, b"ab".to_vec());
+    }
+
+    #[test]
+    fn links_roundtrip() {
+        let mut buf = vec![0u8; 256];
+        init_leaf(&mut buf);
+        assert_eq!(link1(&buf), INVALID_PAGE);
+        set_link1(&mut buf, 7);
+        set_link2(&mut buf, 9);
+        assert_eq!((link1(&buf), link2(&buf)), (7, 9));
+        assert_eq!(kind(&buf), NodeKind::Leaf);
+    }
+}

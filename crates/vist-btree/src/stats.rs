@@ -1,0 +1,124 @@
+//! Per-tree space accounting, used by the index-size experiments
+//! (Figure 11a reports the DocId tree and the combined D/S-Ancestor trees
+//! separately).
+
+use vist_storage::{Result, SlottedPage};
+
+use crate::node::{decode_internal_cell, kind, link1, NodeKind, NODE_HDR};
+use crate::tree::BTree;
+
+/// Space statistics of one B+Tree.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Leaf pages.
+    pub leaf_pages: u64,
+    /// Internal pages.
+    pub internal_pages: u64,
+    /// Key/value records stored.
+    pub entries: u64,
+    /// Bytes occupied by live cells (keys + values + headers).
+    pub used_bytes: u64,
+    /// Total bytes of all pages of this tree.
+    pub total_bytes: u64,
+    /// Height of the tree (1 = a single leaf).
+    pub height: u32,
+}
+
+impl TreeStats {
+    /// Space utilization in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        self.used_bytes as f64 / self.total_bytes as f64
+    }
+}
+
+impl BTree {
+    /// Walk the whole tree and account its pages, entries and bytes.
+    /// O(pages); intended for tooling and experiments, not hot paths.
+    pub fn tree_stats(&self) -> Result<TreeStats> {
+        let page_size = self.pool().page_size() as u64;
+        let mut stats = TreeStats::default();
+        let mut depth_of_leaf = 0u32;
+        let mut stack: Vec<(vist_storage::PageId, u32)> = vec![(self.root_page(), 1)];
+        while let Some((pid, depth)) = stack.pop() {
+            let page = self.pool().fetch(pid)?;
+            let buf = page.data();
+            let p = SlottedPage::new(buf, NODE_HDR);
+            let used = (page_size as usize) - p.total_free();
+            stats.used_bytes += used as u64;
+            stats.total_bytes += page_size;
+            match kind(buf) {
+                NodeKind::Leaf => {
+                    stats.leaf_pages += 1;
+                    stats.entries += u64::from(p.slot_count());
+                    depth_of_leaf = depth_of_leaf.max(depth);
+                }
+                NodeKind::Internal => {
+                    stats.internal_pages += 1;
+                    stack.push((link1(buf), depth + 1));
+                    for i in 0..p.slot_count() {
+                        let (_, child) = decode_internal_cell(p.cell(i)?);
+                        stack.push((child, depth + 1));
+                    }
+                }
+            }
+        }
+        stats.height = depth_of_leaf;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vist_storage::{BufferPool, MemPager};
+
+    fn tree_with(n: u32) -> BTree {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 256));
+        let mut t = BTree::create(pool).unwrap();
+        for i in 0..n {
+            t.insert(format!("key{i:06}").as_bytes(), b"value").unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree_is_one_leaf() {
+        let t = tree_with(0);
+        let s = t.tree_stats().unwrap();
+        assert_eq!(s.leaf_pages, 1);
+        assert_eq!(s.internal_pages, 0);
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.height, 1);
+    }
+
+    #[test]
+    fn entries_and_pages_counted() {
+        let t = tree_with(2000);
+        let s = t.tree_stats().unwrap();
+        assert_eq!(s.entries, 2000);
+        assert!(s.leaf_pages > 10, "512-byte pages force many leaves");
+        assert!(s.internal_pages >= 1);
+        assert!(s.height >= 2);
+        assert!(s.utilization() > 0.3 && s.utilization() <= 1.0);
+        assert_eq!(
+            s.total_bytes,
+            (s.leaf_pages + s.internal_pages) * 512
+        );
+    }
+
+    #[test]
+    fn stats_shrink_after_full_deletion() {
+        let mut t = tree_with(1000);
+        for i in 0..1000 {
+            t.delete(format!("key{i:06}").as_bytes()).unwrap();
+        }
+        let s = t.tree_stats().unwrap();
+        assert_eq!(s.entries, 0);
+        assert!(s.leaf_pages + s.internal_pages < 5, "lazy deletion reclaims empties");
+    }
+}

@@ -1,0 +1,665 @@
+//! B+Tree insert / lookup / delete.
+
+use std::sync::Arc;
+
+use vist_storage::{BufferPool, Error, PageId, Result, SlotId, SlottedPage, SlottedPageMut, INVALID_PAGE};
+
+use crate::node::{
+    child_for, decode_internal_cell, decode_leaf_cell, init_internal, init_leaf, internal_cell,
+    kind, leaf_cell, link1, link2, search, set_link1, set_link2, upper_bound, NodeKind, NODE_HDR,
+};
+
+/// A B+Tree over a shared [`BufferPool`].
+///
+/// Multiple trees may share one pool (ViST keeps its D-Ancestor/S-Ancestor
+/// and DocId trees in a single store). The root page id changes as the tree
+/// grows or shrinks; persist [`BTree::root_page`] and reopen with
+/// [`BTree::open`].
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    max_cell: usize,
+}
+
+impl BTree {
+    pub(crate) fn max_cell_for(pool: &BufferPool) -> usize {
+        let usable = pool.page_size() - NODE_HDR - 6;
+        usable / 2 - 4
+    }
+
+    /// Create a fresh empty tree in `pool`.
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let root = pool.allocate()?;
+        {
+            let mut page = pool.fetch_mut(root)?;
+            init_leaf(page.data_mut());
+        }
+        let max_cell = Self::max_cell_for(&pool);
+        Ok(BTree {
+            pool,
+            root,
+            max_cell,
+        })
+    }
+
+    /// Reopen a tree whose root page id was persisted earlier.
+    pub fn open(pool: Arc<BufferPool>, root: PageId) -> Result<Self> {
+        let max_cell = Self::max_cell_for(&pool);
+        Ok(BTree {
+            pool,
+            root,
+            max_cell,
+        })
+    }
+
+    /// Current root page id (persist this to reopen the tree).
+    #[must_use]
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// The buffer pool this tree lives in.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Largest `key.len() + value.len()` this tree accepts.
+    #[must_use]
+    pub fn max_record(&self) -> usize {
+        self.max_cell - 4
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut pid = self.root;
+        loop {
+            let page = self.pool.fetch(pid)?;
+            let buf = page.data();
+            match kind(buf) {
+                NodeKind::Internal => {
+                    let (_, child) = child_for(buf, key);
+                    pid = child;
+                }
+                NodeKind::Leaf => {
+                    return Ok(match search(buf, key) {
+                        Ok(slot) => {
+                            let p = SlottedPage::new(buf, NODE_HDR);
+                            let (_, v) = decode_leaf_cell(p.cell(slot)?);
+                            Some(v.to_vec())
+                        }
+                        Err(_) => None,
+                    });
+                }
+            }
+        }
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Insert or replace. Returns the previous value, if any.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        let cell_len = 4 + key.len() + value.len();
+        if cell_len > self.max_cell {
+            return Err(Error::PageOverflow {
+                requested: cell_len,
+                available: self.max_cell,
+            });
+        }
+        let (old, split) = self.insert_rec(self.root, key, value)?;
+        if let Some((sep, right)) = split {
+            let new_root = self.pool.allocate()?;
+            let mut page = self.pool.fetch_mut(new_root)?;
+            init_internal(page.data_mut(), self.root);
+            let cell = internal_cell(&sep, right);
+            SlottedPageMut::new(page.data_mut(), NODE_HDR).insert(0, &cell)?;
+            drop(page);
+            self.root = new_root;
+        }
+        Ok(old)
+    }
+
+    fn insert_rec(&mut self, pid: PageId, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
+        let node_kind = {
+            let page = self.pool.fetch(pid)?;
+            kind(page.data())
+        };
+        match node_kind {
+            NodeKind::Leaf => self.insert_leaf(pid, key, value),
+            NodeKind::Internal => {
+                let child = {
+                    let page = self.pool.fetch(pid)?;
+                    child_for(page.data(), key).1
+                };
+                let (old, split) = self.insert_rec(child, key, value)?;
+                let Some((sep, right)) = split else {
+                    return Ok((old, None));
+                };
+                let up = self.insert_internal_cell(pid, &sep, right)?;
+                Ok((old, up))
+            }
+        }
+    }
+
+    fn insert_leaf(&mut self, pid: PageId, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
+        let mut page = self.pool.fetch_mut(pid)?;
+        let buf = page.data_mut();
+        let (slot, old) = match search(buf, key) {
+            Ok(i) => {
+                let old = {
+                    let p = SlottedPage::new(buf, NODE_HDR);
+                    decode_leaf_cell(p.cell(i)?).1.to_vec()
+                };
+                SlottedPageMut::new(buf, NODE_HDR).remove(i)?;
+                (i, Some(old))
+            }
+            Err(i) => (i, None),
+        };
+        let cell = leaf_cell(key, value);
+        match SlottedPageMut::new(buf, NODE_HDR).insert(slot, &cell) {
+            Ok(()) => Ok((old, None)),
+            Err(Error::PageOverflow { .. }) => {
+                let split = self.split_leaf(page, slot, key, value)?;
+                Ok((old, Some(split)))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Split a full leaf, inserting `(key, value)` at positional `slot`.
+    fn split_leaf(
+        &mut self,
+        mut page: vist_storage::PageRefMut,
+        slot: SlotId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(Vec<u8>, PageId)> {
+        let left_pid = page.id();
+        // Collect all records plus the new one, in key order.
+        let mut records: Vec<(Vec<u8>, Vec<u8>)> = {
+            let buf = page.data();
+            let p = SlottedPage::new(buf, NODE_HDR);
+            (0..p.slot_count())
+                .map(|i| {
+                    let (k, v) = decode_leaf_cell(p.cell(i).expect("in range"));
+                    (k.to_vec(), v.to_vec())
+                })
+                .collect()
+        };
+        records.insert(slot as usize, (key.to_vec(), value.to_vec()));
+        // Split point: first index where the left half reaches half the bytes.
+        let total: usize = records.iter().map(|(k, v)| 4 + k.len() + v.len()).sum();
+        let mut acc = 0usize;
+        let mut split_at = records.len() - 1;
+        for (i, (k, v)) in records.iter().enumerate() {
+            acc += 4 + k.len() + v.len();
+            if acc * 2 >= total && i + 1 < records.len() {
+                split_at = i + 1;
+                break;
+            }
+        }
+        let split_at = split_at.clamp(1, records.len() - 1);
+        let right_records = records.split_off(split_at);
+        // Suffix-truncated separator: shortest key separating the halves.
+        let sep = crate::node::shortest_separator(
+            &records.last().expect("left non-empty").0,
+            &right_records[0].0,
+        );
+
+        let right_pid = self.pool.allocate()?;
+        let old_next = link1(page.data());
+        let old_prev = link2(page.data());
+        // Rewrite the left node.
+        {
+            let buf = page.data_mut();
+            init_leaf(buf);
+            set_link1(buf, right_pid);
+            set_link2(buf, old_prev);
+            let mut p = SlottedPageMut::new(buf, NODE_HDR);
+            for (i, (k, v)) in records.iter().enumerate() {
+                p.insert(i as SlotId, &leaf_cell(k, v))?;
+            }
+        }
+        drop(page);
+        // Build the right node.
+        {
+            let mut rp = self.pool.fetch_mut(right_pid)?;
+            let buf = rp.data_mut();
+            init_leaf(buf);
+            set_link1(buf, old_next);
+            set_link2(buf, left_pid);
+            let mut p = SlottedPageMut::new(buf, NODE_HDR);
+            for (i, (k, v)) in right_records.iter().enumerate() {
+                p.insert(i as SlotId, &leaf_cell(k, v))?;
+            }
+        }
+        // Fix the back link of the following leaf.
+        if old_next != INVALID_PAGE {
+            let mut np = self.pool.fetch_mut(old_next)?;
+            set_link2(np.data_mut(), right_pid);
+        }
+        Ok((sep, right_pid))
+    }
+
+    /// Insert a separator cell into an internal node, splitting it if full.
+    /// Separators are inserted *after* any equal key so that routing by
+    /// "last cell with key <= target" always reaches the newer (right) child.
+    fn insert_internal_cell(
+        &mut self,
+        pid: PageId,
+        sep: &[u8],
+        child: PageId,
+    ) -> Result<Option<(Vec<u8>, PageId)>> {
+        let mut page = self.pool.fetch_mut(pid)?;
+        let buf = page.data_mut();
+        let slot = upper_bound(buf, sep);
+        let cell = internal_cell(sep, child);
+        match SlottedPageMut::new(buf, NODE_HDR).insert(slot, &cell) {
+            Ok(()) => Ok(None),
+            Err(Error::PageOverflow { .. }) => {
+                Ok(Some(self.split_internal(page, slot, sep, child)?))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn split_internal(
+        &mut self,
+        mut page: vist_storage::PageRefMut,
+        slot: SlotId,
+        sep: &[u8],
+        child: PageId,
+    ) -> Result<(Vec<u8>, PageId)> {
+        let mut cells: Vec<(Vec<u8>, PageId)> = {
+            let buf = page.data();
+            let p = SlottedPage::new(buf, NODE_HDR);
+            (0..p.slot_count())
+                .map(|i| {
+                    let (k, c) = decode_internal_cell(p.cell(i).expect("in range"));
+                    (k.to_vec(), c)
+                })
+                .collect()
+        };
+        cells.insert(slot as usize, (sep.to_vec(), child));
+        // The middle cell's key moves up; its child becomes the right node's
+        // leftmost child.
+        let total: usize = cells.iter().map(|(k, _)| 6 + k.len()).sum();
+        let mut acc = 0usize;
+        let mut mid = cells.len() / 2;
+        for (i, (k, _)) in cells.iter().enumerate() {
+            acc += 6 + k.len();
+            if acc * 2 >= total {
+                mid = i;
+                break;
+            }
+        }
+        let mid = mid.clamp(1, cells.len() - 2);
+        let right_cells = cells.split_off(mid + 1);
+        let (up_key, right_leftmost) = cells.pop().expect("mid >= 1");
+
+        let leftmost = link1(page.data());
+        let right_pid = self.pool.allocate()?;
+        {
+            let buf = page.data_mut();
+            init_internal(buf, leftmost);
+            let mut p = SlottedPageMut::new(buf, NODE_HDR);
+            for (i, (k, c)) in cells.iter().enumerate() {
+                p.insert(i as SlotId, &internal_cell(k, *c))?;
+            }
+        }
+        drop(page);
+        {
+            let mut rp = self.pool.fetch_mut(right_pid)?;
+            let buf = rp.data_mut();
+            init_internal(buf, right_leftmost);
+            let mut p = SlottedPageMut::new(buf, NODE_HDR);
+            for (i, (k, c)) in right_cells.iter().enumerate() {
+                p.insert(i as SlotId, &internal_cell(k, *c))?;
+            }
+        }
+        Ok((up_key, right_pid))
+    }
+
+    /// Delete `key`. Returns the removed value, if the key was present.
+    ///
+    /// Deletion is *lazy* in the PostgreSQL style: pages are only reclaimed
+    /// when they become completely empty, in which case they are unlinked
+    /// from the leaf chain, their parent reference is removed, and the root
+    /// collapses when it has a single child.
+    pub fn delete(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let (old, emptied) = self.delete_rec(self.root, key)?;
+        if emptied {
+            // The root lost everything. An empty leaf root is fine as-is; an
+            // internal root whose leftmost child was freed must be reset to
+            // an empty leaf (its child pointer dangles).
+            let mut page = self.pool.fetch_mut(self.root)?;
+            if kind(page.data()) == NodeKind::Internal {
+                init_leaf(page.data_mut());
+            }
+            return Ok(old);
+        }
+        // Collapse a chain of single-child internal roots.
+        loop {
+            let page = self.pool.fetch(self.root)?;
+            let buf = page.data();
+            if kind(buf) != NodeKind::Internal {
+                break;
+            }
+            let p = SlottedPage::new(buf, NODE_HDR);
+            if p.slot_count() != 0 {
+                break;
+            }
+            let new_root = link1(buf);
+            drop(page);
+            self.pool.free(self.root)?;
+            self.root = new_root;
+        }
+        Ok(old)
+    }
+
+    /// Returns `(removed value, node became empty)`.
+    #[allow(clippy::type_complexity)]
+    fn delete_rec(&mut self, pid: PageId, key: &[u8]) -> Result<(Option<Vec<u8>>, bool)> {
+        let node_kind = {
+            let page = self.pool.fetch(pid)?;
+            kind(page.data())
+        };
+        match node_kind {
+            NodeKind::Leaf => {
+                let mut page = self.pool.fetch_mut(pid)?;
+                let buf = page.data_mut();
+                match search(buf, key) {
+                    Err(_) => Ok((None, false)),
+                    Ok(slot) => {
+                        let old = {
+                            let p = SlottedPage::new(buf, NODE_HDR);
+                            decode_leaf_cell(p.cell(slot)?).1.to_vec()
+                        };
+                        let mut p = SlottedPageMut::new(buf, NODE_HDR);
+                        p.remove(slot)?;
+                        let empty = p.slot_count() == 0;
+                        Ok((Some(old), empty))
+                    }
+                }
+            }
+            NodeKind::Internal => {
+                let (cell_idx, child) = {
+                    let page = self.pool.fetch(pid)?;
+                    child_for(page.data(), key)
+                };
+                let (old, child_empty) = self.delete_rec(child, key)?;
+                if !child_empty {
+                    return Ok((old, false));
+                }
+                self.unlink_and_free(child)?;
+                let mut page = self.pool.fetch_mut(pid)?;
+                let buf = page.data_mut();
+                match cell_idx {
+                    Some(i) => {
+                        SlottedPageMut::new(buf, NODE_HDR).remove(i)?;
+                    }
+                    None => {
+                        // Leftmost child vanished: promote cell 0's child to
+                        // leftmost, or report this node empty.
+                        let p = SlottedPage::new(buf, NODE_HDR);
+                        if p.slot_count() == 0 {
+                            return Ok((old, true));
+                        }
+                        let (_, c0) = decode_internal_cell(p.cell(0)?);
+                        set_link1(buf, c0);
+                        SlottedPageMut::new(buf, NODE_HDR).remove(0)?;
+                    }
+                }
+                // After removing a non-leftmost cell the node still has its
+                // leftmost child, so it is never empty here; the truly-empty
+                // case was returned from the leftmost branch above.
+                Ok((old, false))
+            }
+        }
+    }
+
+    /// Unlink `pid` from the leaf chain (if it is a leaf) and free it.
+    fn unlink_and_free(&mut self, pid: PageId) -> Result<()> {
+        let (is_leaf, next, prev) = {
+            let page = self.pool.fetch(pid)?;
+            let buf = page.data();
+            (kind(buf) == NodeKind::Leaf, link1(buf), link2(buf))
+        };
+        if is_leaf {
+            if prev != INVALID_PAGE {
+                let mut p = self.pool.fetch_mut(prev)?;
+                set_link1(p.data_mut(), next);
+            }
+            if next != INVALID_PAGE {
+                let mut p = self.pool.fetch_mut(next)?;
+                set_link2(p.data_mut(), prev);
+            }
+        }
+        self.pool.free(pid)
+    }
+
+    /// Leftmost leaf page of the tree.
+    pub(crate) fn leftmost_leaf(&self) -> Result<PageId> {
+        let mut pid = self.root;
+        loop {
+            let page = self.pool.fetch(pid)?;
+            let buf = page.data();
+            match kind(buf) {
+                NodeKind::Leaf => return Ok(pid),
+                NodeKind::Internal => pid = link1(buf),
+            }
+        }
+    }
+
+    /// Leaf page whose key range covers `key`.
+    pub(crate) fn leaf_for(&self, key: &[u8]) -> Result<PageId> {
+        let mut pid = self.root;
+        loop {
+            let page = self.pool.fetch(pid)?;
+            let buf = page.data();
+            match kind(buf) {
+                NodeKind::Leaf => return Ok(pid),
+                NodeKind::Internal => pid = child_for(buf, key).1,
+            }
+        }
+    }
+
+    /// Number of entries (walks the whole leaf chain — O(n)).
+    pub fn len(&self) -> Result<u64> {
+        let mut n = 0u64;
+        let mut pid = self.leftmost_leaf()?;
+        while pid != INVALID_PAGE {
+            let page = self.pool.fetch(pid)?;
+            let buf = page.data();
+            n += u64::from(SlottedPage::new(buf, NODE_HDR).slot_count());
+            pid = link1(buf);
+        }
+        Ok(n)
+    }
+
+    /// `true` when the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        let pid = self.leftmost_leaf()?;
+        let page = self.pool.fetch(pid)?;
+        let buf = page.data();
+        Ok(SlottedPage::new(buf, NODE_HDR).slot_count() == 0 && link1(buf) == INVALID_PAGE)
+    }
+}
+
+/// `(replaced old value, upward split (separator, new right page))`.
+type InsertOutcome = (Option<Vec<u8>>, Option<(Vec<u8>, PageId)>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vist_storage::MemPager;
+
+    fn tree() -> BTree {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 256));
+        BTree::create(pool).unwrap()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = tree();
+        assert_eq!(t.insert(b"b", b"2").unwrap(), None);
+        assert_eq!(t.insert(b"a", b"1").unwrap(), None);
+        assert_eq!(t.insert(b"c", b"3").unwrap(), None);
+        assert_eq!(t.get(b"a").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(t.get(b"b").unwrap().as_deref(), Some(&b"2"[..]));
+        assert_eq!(t.get(b"c").unwrap().as_deref(), Some(&b"3"[..]));
+        assert_eq!(t.get(b"d").unwrap(), None);
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut t = tree();
+        assert_eq!(t.insert(b"k", b"v1").unwrap(), None);
+        assert_eq!(t.insert(b"k", b"v2").unwrap().as_deref(), Some(&b"v1"[..]));
+        assert_eq!(t.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+        assert_eq!(t.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let mut t = tree();
+        let n = 2000u32;
+        for i in 0..n {
+            // Insert in a scrambled order.
+            let k = (i.wrapping_mul(2654435761)) % n;
+            let key = format!("key{k:08}");
+            t.insert(key.as_bytes(), &k.to_le_bytes()).unwrap();
+        }
+        // Duplicates overwritten, all multiples present.
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..n {
+            let k = (i.wrapping_mul(2654435761)) % n;
+            seen.insert(k);
+        }
+        assert_eq!(t.len().unwrap(), seen.len() as u64);
+        for k in &seen {
+            let key = format!("key{k:08}");
+            assert_eq!(
+                t.get(key.as_bytes()).unwrap().as_deref(),
+                Some(&k.to_le_bytes()[..]),
+                "key {k}"
+            );
+        }
+        crate::verify::check(&t).unwrap();
+    }
+
+    #[test]
+    fn delete_simple_and_missing() {
+        let mut t = tree();
+        t.insert(b"x", b"1").unwrap();
+        assert_eq!(t.delete(b"x").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(t.delete(b"x").unwrap(), None);
+        assert_eq!(t.get(b"x").unwrap(), None);
+        assert!(t.is_empty().unwrap());
+    }
+
+    #[test]
+    fn delete_everything_collapses_tree() {
+        let mut t = tree();
+        let n = 1200u32;
+        for i in 0..n {
+            t.insert(format!("k{i:06}").as_bytes(), b"v").unwrap();
+        }
+        crate::verify::check(&t).unwrap();
+        for i in 0..n {
+            assert!(t.delete(format!("k{i:06}").as_bytes()).unwrap().is_some());
+        }
+        assert!(t.is_empty().unwrap());
+        assert_eq!(t.len().unwrap(), 0);
+        crate::verify::check(&t).unwrap();
+        // Lazy deletion must still reclaim: only a handful of pages remain.
+        assert!(t.pool().live_pages() < 10, "pages: {}", t.pool().live_pages());
+    }
+
+    #[test]
+    fn interleaved_insert_delete_matches_btreemap() {
+        use std::collections::BTreeMap;
+        let mut t = tree();
+        let mut model = BTreeMap::new();
+        let mut x = 0x243F6A88u64;
+        for step in 0..6000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = format!("{:04}", (x >> 33) % 500);
+            if (x >> 7).is_multiple_of(3) {
+                let tv = t.delete(k.as_bytes()).unwrap();
+                let mv = model.remove(k.as_bytes());
+                assert_eq!(tv, mv, "step {step} delete {k}");
+            } else {
+                let v = format!("v{step}");
+                let tv = t.insert(k.as_bytes(), v.as_bytes()).unwrap();
+                let mv = model.insert(k.as_bytes().to_vec(), v.as_bytes().to_vec());
+                assert_eq!(tv, mv, "step {step} insert {k}");
+            }
+        }
+        assert_eq!(t.len().unwrap(), model.len() as u64);
+        for (k, v) in &model {
+            assert_eq!(t.get(k).unwrap().as_deref(), Some(&v[..]));
+        }
+        crate::verify::check(&t).unwrap();
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut t = tree();
+        let big = vec![0u8; 600];
+        assert!(matches!(
+            t.insert(b"k", &big),
+            Err(Error::PageOverflow { .. })
+        ));
+        // Tree unharmed.
+        t.insert(b"k", b"small").unwrap();
+        assert_eq!(t.get(b"k").unwrap().as_deref(), Some(&b"small"[..]));
+    }
+
+    #[test]
+    fn variable_length_keys() {
+        let mut t = tree();
+        let keys: Vec<Vec<u8>> = (0..300)
+            .map(|i| {
+                let mut k = vec![b'p'; i % 40];
+                k.extend_from_slice(format!("{i:05}").as_bytes());
+                k
+            })
+            .collect();
+        for k in &keys {
+            t.insert(k, b"v").unwrap();
+        }
+        for k in &keys {
+            assert!(t.contains(k).unwrap());
+        }
+        crate::verify::check(&t).unwrap();
+    }
+
+    #[test]
+    fn empty_key_and_value_supported() {
+        let mut t = tree();
+        t.insert(b"", b"").unwrap();
+        assert_eq!(t.get(b"").unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(t.delete(b"").unwrap().as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn reopen_by_root_page() {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 64));
+        let mut t = BTree::create(Arc::clone(&pool)).unwrap();
+        for i in 0..500u32 {
+            t.insert(format!("k{i:05}").as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let root = t.root_page();
+        drop(t);
+        let t2 = BTree::open(pool, root).unwrap();
+        assert_eq!(t2.len().unwrap(), 500);
+        assert_eq!(
+            t2.get(b"k00042").unwrap().as_deref(),
+            Some(&42u32.to_le_bytes()[..])
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests: the B+Tree must behave exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences, and its
+//! structural invariants must hold after every batch.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vist_btree::{verify, BTree};
+use vist_storage::{BufferPool, FilePager, MemPager};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Get(Vec<u8>),
+    Scan(Vec<u8>, Vec<u8>),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet and lengths force heavy key collisions and deep
+    // structure sharing.
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..6)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (key_strategy(), proptest::collection::vec(any::<u8>(), 0..20))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key_strategy().prop_map(Op::Delete),
+        1 => key_strategy().prop_map(Op::Get),
+        1 => (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Scan(a, b)),
+    ]
+}
+
+fn run_ops(tree: &mut BTree, ops: &[Op]) {
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(k, v) => {
+                let got = tree.insert(k, v).unwrap();
+                let want = model.insert(k.clone(), v.clone());
+                assert_eq!(got, want, "op {i}: insert {k:?}");
+            }
+            Op::Delete(k) => {
+                let got = tree.delete(k).unwrap();
+                let want = model.remove(k);
+                assert_eq!(got, want, "op {i}: delete {k:?}");
+            }
+            Op::Get(k) => {
+                assert_eq!(tree.get(k).unwrap(), model.get(k).cloned(), "op {i}");
+            }
+            Op::Scan(a, b) => {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let got: Vec<_> = tree
+                    .scan(&lo[..]..&hi[..])
+                    .unwrap()
+                    .map(|r| r.unwrap())
+                    .collect();
+                let want: Vec<_> = model
+                    .range::<Vec<u8>, _>((Bound::Included(lo), Bound::Excluded(hi)))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                assert_eq!(got, want, "op {i}: scan {lo:?}..{hi:?}");
+            }
+        }
+    }
+    verify::check(tree).unwrap();
+    // Full scan equals the model.
+    let got: Vec<_> = tree.scan(..).unwrap().map(|r| r.unwrap()).collect();
+    let want: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    assert_eq!(got, want);
+    assert_eq!(tree.len().unwrap(), model.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn btree_matches_btreemap_mem(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        // Tiny pages force frequent splits and multi-level trees.
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(256), 32));
+        let mut tree = BTree::create(pool).unwrap();
+        run_ops(&mut tree, &ops);
+    }
+
+    #[test]
+    fn btree_matches_btreemap_file(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let path = std::env::temp_dir().join(format!(
+            "vist-btree-prop-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let pager = FilePager::create(&path, 256).unwrap();
+            let pool = Arc::new(BufferPool::with_capacity(pager, 16));
+            let mut tree = BTree::create(pool).unwrap();
+            run_ops(&mut tree, &ops);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_preserves_contents(kvs in proptest::collection::btree_map(
+        key_strategy(), proptest::collection::vec(any::<u8>(), 0..16), 0..120)) {
+        let path = std::env::temp_dir().join(format!(
+            "vist-btree-reopen-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let root;
+        {
+            let pager = FilePager::create(&path, 256).unwrap();
+            let pool = Arc::new(BufferPool::with_capacity(pager, 16));
+            let mut tree = BTree::create(pool.clone()).unwrap();
+            for (k, v) in &kvs {
+                tree.insert(k, v).unwrap();
+            }
+            root = tree.root_page();
+            pool.flush().unwrap();
+        }
+        {
+            let pager = FilePager::open(&path).unwrap();
+            let pool = Arc::new(BufferPool::with_capacity(pager, 16));
+            let tree = BTree::open(pool, root).unwrap();
+            verify::check(&tree).unwrap();
+            let got: Vec<_> = tree.scan(..).unwrap().map(|r| r.unwrap()).collect();
+            let want: Vec<_> = kvs.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            prop_assert_eq!(got, want);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for index operations.
+
+use std::fmt;
+
+/// Result alias for index operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from building or querying an index.
+#[derive(Debug)]
+pub enum Error {
+    /// The storage/B+Tree layer failed.
+    Storage(vist_storage::Error),
+    /// A query expression failed to parse.
+    Query(vist_query::QueryParseError),
+    /// The on-disk index is malformed or from an incompatible version.
+    Corrupt(String),
+    /// The requested operation needs stored documents
+    /// (`IndexOptions::store_documents`), but the index was built without.
+    DocumentsNotStored,
+    /// The document id is not present in the index.
+    NoSuchDocument(u64),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "storage error: {e}"),
+            Error::Query(e) => write!(f, "{e}"),
+            Error::Corrupt(m) => write!(f, "corrupt index: {m}"),
+            Error::DocumentsNotStored => {
+                write!(f, "operation requires store_documents=true at index creation")
+            }
+            Error::NoSuchDocument(id) => write!(f, "no document with id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            Error::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vist_storage::Error> for Error {
+    fn from(e: vist_storage::Error) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<vist_query::QueryParseError> for Error {
+    fn from(e: vist_query::QueryParseError) -> Self {
+        Error::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::DocumentsNotStored.to_string().contains("store_documents"));
+        assert!(Error::NoSuchDocument(9).to_string().contains('9'));
+        assert!(Error::Corrupt("bad".into()).to_string().contains("bad"));
+    }
+}

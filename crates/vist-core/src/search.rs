@@ -1,0 +1,224 @@
+//! Algorithm 2: non-contiguous subsequence matching using B+Trees.
+//!
+//! Shared by [`crate::VistIndex`] and [`crate::RistIndex`] — "ViST uses the
+//! same sequence matching algorithm as RIST".
+//!
+//! For each query element the D-Ancestor tree is consulted (an exact get for
+//! concrete prefixes, a range query for `*`/`//` prefixes), and within each
+//! matching D-Ancestor entry the S-Ancestor tree is range-queried for labels
+//! strictly inside the previous match's scope — the "jump" that eliminates
+//! suffix-tree traversal. When the last element matches, the DocId tree is
+//! range-queried over the final node's scope.
+
+use std::collections::BTreeSet;
+
+use vist_query::{QueryElem, QuerySequence};
+use vist_seq::{dkey, PathSym, Prefix, Sym, Symbol};
+
+use crate::error::Result;
+use crate::store::{DocId, Store};
+
+/// Instrumentation counters for one search.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Exact D-Ancestor lookups performed.
+    pub dancestor_gets: u64,
+    /// D-Ancestor range scans performed (wildcard prefixes).
+    pub dancestor_scans: u64,
+    /// D-Ancestor entries that matched some query element.
+    pub dkeys_matched: u64,
+    /// S-Ancestor range queries performed.
+    pub sancestor_scans: u64,
+    /// Virtual suffix tree nodes visited (partial matches explored).
+    pub nodes_visited: u64,
+    /// DocId range queries performed.
+    pub docid_scans: u64,
+}
+
+impl QueryStats {
+    /// Accumulate another search's counters into this one.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.dancestor_gets += other.dancestor_gets;
+        self.dancestor_scans += other.dancestor_scans;
+        self.dkeys_matched += other.dkeys_matched;
+        self.sancestor_scans += other.sancestor_scans;
+        self.nodes_visited += other.nodes_visited;
+        self.docid_scans += other.docid_scans;
+    }
+}
+
+/// Where matched results go: either resolved to document ids (the normal
+/// mode) or kept as the final nodes' scopes (the paper's measured quantity
+/// for Figure 10, which excludes "the time spent in data output after each
+/// range query on the DocId B+Tree").
+pub enum MatchOutput<'a> {
+    /// Resolve matches to document ids via DocId range queries.
+    Docs(&'a mut BTreeSet<DocId>),
+    /// Collect the final matched scopes `[n, n+size)` without touching the
+    /// DocId tree.
+    Scopes(&'a mut Vec<(u128, u128)>),
+}
+
+/// Run Algorithm 2 for one query sequence, adding matching document ids to
+/// `out`.
+pub fn search_store(
+    store: &Store,
+    qseq: &QuerySequence,
+    out: &mut BTreeSet<DocId>,
+    stats: &mut QueryStats,
+) -> Result<()> {
+    search_store_into(store, qseq, &mut MatchOutput::Docs(out), stats)
+}
+
+/// Run Algorithm 2 with an explicit output mode (see [`MatchOutput`]).
+pub fn search_store_into(
+    store: &Store,
+    qseq: &QuerySequence,
+    out: &mut MatchOutput<'_>,
+    stats: &mut QueryStats,
+) -> Result<()> {
+    if qseq.elems.is_empty() {
+        return Ok(());
+    }
+    let mut ctx = Ctx {
+        paths: vec![Vec::new(); qseq.elems.len()],
+        concrete_cache: vec![None; qseq.elems.len()],
+    };
+    // The virtual root covers the whole label space; its own label 0 is
+    // excluded from descendant ranges by the strict lower bound.
+    step(store, qseq, 0, 0, vist_seq::MAX_SCOPE, &mut ctx, out, stats)
+}
+
+/// Cached D-Ancestor resolution: `None` = not yet looked up; `Some(None)` =
+/// looked up, key absent; `Some(Some((prefix, dkey-id)))` = present.
+type CachedLookup = Option<Option<(Vec<Symbol>, u64)>>;
+
+struct Ctx {
+    /// Concrete root-to-self path of each matched query element.
+    paths: Vec<Vec<Symbol>>,
+    /// For elements whose *pattern* prefix is fully concrete, the D-Ancestor
+    /// lookup is independent of the bindings; resolve it once per query.
+    concrete_cache: Vec<CachedLookup>,
+}
+
+/// Rebuild the lookup prefix for element `qi` from its parent's instantiated
+/// concrete path plus the placeholder steps between them.
+fn lookup_prefix(qe: &QueryElem, paths: &[Vec<Symbol>]) -> Prefix {
+    // (only called for wildcarded prefixes; concrete ones take the cached
+    // fast path in `step`)
+    let mut steps: Vec<PathSym> = match qe.parent {
+        Some(p) => paths[p].iter().map(|&s| PathSym::Tag(s)).collect(),
+        None => Vec::new(),
+    };
+    steps.extend_from_slice(&qe.steps_after_parent);
+    Prefix(steps)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step(
+    store: &Store,
+    qseq: &QuerySequence,
+    qi: usize,
+    prev_n: u128,
+    prev_end: u128,
+    ctx: &mut Ctx,
+    out: &mut MatchOutput<'_>,
+    stats: &mut QueryStats,
+) -> Result<()> {
+    if qi == qseq.elems.len() {
+        match out {
+            MatchOutput::Docs(set) => {
+                // "Perform a range query [n, n+size) on the DocId B+Tree."
+                stats.docid_scans += 1;
+                set.extend(store.docids_in_range(prev_n, prev_end)?);
+            }
+            MatchOutput::Scopes(v) => v.push((prev_n, prev_end)),
+        }
+        return Ok(());
+    }
+    let qe = &qseq.elems[qi];
+
+    // Fast path: a fully concrete pattern prefix means the D-Ancestor lookup
+    // does not depend on what earlier elements bound to — resolve it once.
+    if !qe.prefix.has_wildcard() {
+        if ctx.concrete_cache[qi].is_none() {
+            stats.dancestor_gets += 1;
+            let concrete = qe.prefix.as_concrete().expect("concrete prefix");
+            let key = dkey::encode(qe.sym, &concrete);
+            ctx.concrete_cache[qi] = Some(store.dkey_get(&key)?.map(|id| (concrete, id)));
+        }
+        let Some(Some((prefix_syms, dkid))) = ctx.concrete_cache[qi].clone() else {
+            return Ok(());
+        };
+        return descend(
+            store, qseq, qi, prev_n, prev_end, prefix_syms, dkid, ctx, out, stats,
+        );
+    }
+
+    // Wildcarded prefix: rebuild the lookup pattern from the parent's
+    // instantiated path, then exact-get or range-scan the D-Ancestor tree.
+    let pattern = lookup_prefix(qe, &ctx.paths);
+    let candidates: Vec<(Vec<Symbol>, u64)> = match dkey::query_for(qe.sym, &pattern) {
+        dkey::DKeyQuery::Exact(key) => {
+            stats.dancestor_gets += 1;
+            match store.dkey_get(&key)? {
+                Some(id) => {
+                    let (_, prefix_syms) = dkey::decode(&key);
+                    vec![(prefix_syms, id)]
+                }
+                None => Vec::new(),
+            }
+        }
+        dkey::DKeyQuery::Range { lo, hi, pattern } => {
+            stats.dancestor_scans += 1;
+            store
+                .dkey_scan(&lo, &hi)?
+                .into_iter()
+                .filter_map(|(key, id)| {
+                    let (_, prefix_syms) = dkey::decode(&key);
+                    pattern.matches(&prefix_syms).then_some((prefix_syms, id))
+                })
+                .collect()
+        }
+    };
+    for (prefix_syms, dkid) in candidates {
+        descend(
+            store, qseq, qi, prev_n, prev_end, prefix_syms, dkid, ctx, out, stats,
+        )?;
+    }
+    Ok(())
+}
+
+/// Range-query the S-Ancestor entries of one matched D-Ancestor key inside
+/// the previous match's scope, binding and recursing on each hit.
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    store: &Store,
+    qseq: &QuerySequence,
+    qi: usize,
+    prev_n: u128,
+    prev_end: u128,
+    prefix_syms: Vec<Symbol>,
+    dkid: u64,
+    ctx: &mut Ctx,
+    out: &mut MatchOutput<'_>,
+    stats: &mut QueryStats,
+) -> Result<()> {
+    stats.dkeys_matched += 1;
+    stats.sancestor_scans += 1;
+    let nodes = store.nodes_in_scope(dkid, prev_n, prev_end)?;
+    if nodes.is_empty() {
+        return Ok(());
+    }
+    let qe = &qseq.elems[qi];
+    // Bind this element's concrete path for descendant instantiation.
+    ctx.paths[qi] = prefix_syms;
+    if let Sym::Tag(t) = qe.sym {
+        ctx.paths[qi].push(t);
+    }
+    for node in nodes {
+        stats.nodes_visited += 1;
+        step(store, qseq, qi + 1, node.n, node.end(), ctx, out, stats)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Index-level statistics, reported by the Figure 11 experiments.
+
+use vist_storage::IoStats;
+
+/// A snapshot of an index's size and health counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Live documents.
+    pub documents: u64,
+    /// Virtual suffix tree nodes (entries in the S-Ancestor tree).
+    pub nodes: u64,
+    /// Distinct `(symbol, prefix)` pairs (entries in the D-Ancestor tree).
+    pub dkeys: u64,
+    /// Within-parent scope underflows (sound tight allocations).
+    pub underflows: u64,
+    /// Underflows that borrowed from a non-parent ancestor (the paper's
+    /// lossy case — affected chains may be missed by scope-range queries).
+    pub deep_borrows: u64,
+    /// Total bytes of the backing store (the "index size" of Figure 11a).
+    pub store_bytes: u64,
+    /// Cumulative I/O counters of the shared buffer pool.
+    pub io: IoStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_plain_data() {
+        let s = IndexStats {
+            documents: 1,
+            nodes: 2,
+            dkeys: 3,
+            underflows: 0,
+            deep_borrows: 0,
+            store_bytes: 4096,
+            io: IoStats::default(),
+        };
+        let s2 = s;
+        assert_eq!(s, s2);
+    }
+}

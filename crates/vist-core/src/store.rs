@@ -1,0 +1,788 @@
+//! The on-disk layout: five B+Trees sharing one buffer pool, plus a meta
+//! page.
+//!
+//! | tree | key | value | role |
+//! |---|---|---|---|
+//! | `dancestor` | D-Ancestor key (`dkey`) | dkey-id (u64) | the paper's D-Ancestor B+Tree |
+//! | `sancestor` | dkey-id ‖ `n` | `(size, next, k)` | the per-dkey S-Ancestor B+Trees, combined (as in the paper's experiments) into one tree keyed by dkey-id first |
+//! | `docid` | `n` ‖ doc-id | — | the DocId B+Tree |
+//! | `edges` | parent `n` ‖ dkey-id | child `n` | insert-path navigation: "search in e for the scope that is an immediate child of s". The paper inverts its closed-form allocation (Eq 4/6); our cursor-based allocator is not invertible, so the trie edge is stored explicitly. Queries never touch this tree. |
+//! | `aux` | tagged | — | symbol table, sibling order, stored documents (chunked) |
+//!
+//! The *meta page* (the first page allocated) persists tree roots and
+//! counters so the index can be reopened.
+
+use std::sync::Arc;
+
+use vist_btree::{codec::KeyWriter, BTree};
+use vist_seq::{SiblingOrder, SymbolTable};
+use vist_storage::{BufferPool, PageId};
+
+use crate::error::{Error, Result};
+
+/// Identifier of an indexed document.
+pub type DocId = u64;
+
+const MAGIC: &[u8; 8] = b"VISTIDX1";
+
+/// Allocation state of a virtual-suffix-tree node: its scope plus the
+/// dynamic-allocation cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeState {
+    /// Scope start (the node's label).
+    pub n: u128,
+    /// Scope width (`[n, n+size)`).
+    pub size: u128,
+    /// Next free label inside the scope (allocation cursor).
+    pub next: u128,
+    /// Number of child subscopes allocated (the paper's `k`).
+    pub k: u64,
+}
+
+impl NodeState {
+    /// Exclusive end of the scope.
+    #[must_use]
+    pub fn end(&self) -> u128 {
+        self.n + self.size
+    }
+
+    /// Labels still unallocated inside this scope.
+    #[must_use]
+    pub fn available(&self) -> u128 {
+        self.end() - self.next
+    }
+}
+
+/// Mutable counters persisted in the meta page.
+#[derive(Debug, Clone)]
+pub struct Meta {
+    /// Next D-Ancestor key id to assign.
+    pub next_dkey: u64,
+    /// Next document id to assign.
+    pub next_doc: u64,
+    /// The virtual root node's allocation state (label 0, scope = all).
+    pub root: NodeState,
+    /// Scope-allocation λ.
+    pub lambda: u64,
+    /// Adaptive divisor growth (see `alloc`).
+    pub adaptive: bool,
+    /// Whether original documents are stored (enables verification).
+    pub store_documents: bool,
+    /// Count of scope underflows resolved within the parent scope (sound).
+    pub underflows: u64,
+    /// Count of underflows that had to borrow from a non-parent ancestor —
+    /// these can break S-Ancestor containment for the borrowed chain, the
+    /// paper-faithful lossy case.
+    pub deep_borrows: u64,
+    /// Number of live documents.
+    pub doc_count: u64,
+    /// Number of virtual suffix tree nodes.
+    pub node_count: u64,
+}
+
+impl Meta {
+    fn fresh(lambda: u64, adaptive: bool, store_documents: bool) -> Self {
+        Meta {
+            next_dkey: 0,
+            next_doc: 0,
+            root: NodeState {
+                n: 0,
+                size: vist_seq::MAX_SCOPE,
+                next: 1,
+                k: 0,
+            },
+            lambda,
+            adaptive,
+            store_documents,
+            underflows: 0,
+            deep_borrows: 0,
+            doc_count: 0,
+            node_count: 0,
+        }
+    }
+}
+
+/// The persistent store shared by [`crate::VistIndex`] and
+/// [`crate::RistIndex`].
+pub struct Store {
+    pool: Arc<BufferPool>,
+    /// D-Ancestor tree.
+    pub dancestor: BTree,
+    /// Combined S-Ancestor tree.
+    pub sancestor: BTree,
+    /// DocId tree.
+    pub docid: BTree,
+    /// Trie-edge tree (insertion only).
+    pub edges: BTree,
+    /// Symbol table / order / documents.
+    pub aux: BTree,
+    /// Counters.
+    pub meta: Meta,
+    meta_page: PageId,
+    persisted_symbols: usize,
+}
+
+// aux key tags
+const AUX_SYMBOL: u8 = 1;
+const AUX_ORDER: u8 = 2;
+const AUX_DOC: u8 = 3;
+const AUX_STATS: u8 = 4;
+
+impl Store {
+    /// Create a fresh store in `pool`.
+    pub fn create(
+        pool: Arc<BufferPool>,
+        lambda: u64,
+        adaptive: bool,
+        store_documents: bool,
+    ) -> Result<Self> {
+        let meta_page = pool.allocate()?;
+        let dancestor = BTree::create(Arc::clone(&pool))?;
+        let sancestor = BTree::create(Arc::clone(&pool))?;
+        let docid = BTree::create(Arc::clone(&pool))?;
+        let edges = BTree::create(Arc::clone(&pool))?;
+        let aux = BTree::create(Arc::clone(&pool))?;
+        let mut store = Store {
+            pool,
+            dancestor,
+            sancestor,
+            docid,
+            edges,
+            aux,
+            meta: Meta::fresh(lambda, adaptive, store_documents),
+            meta_page,
+            persisted_symbols: 0,
+        };
+        store.write_meta()?;
+        Ok(store)
+    }
+
+    /// Reopen a store previously flushed to `pool`'s backing file. Returns
+    /// the store plus the persisted symbol table and sibling order.
+    pub fn open(pool: Arc<BufferPool>, meta_page: PageId) -> Result<(Self, SymbolTable, SiblingOrder)> {
+        let page = pool.fetch(meta_page)?;
+        let buf = page.data();
+        if &buf[0..8] != MAGIC {
+            return Err(Error::Corrupt("bad index magic".into()));
+        }
+        let rd = |at: usize| -> u32 { u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) };
+        let rd64 = |at: usize| -> u64 { u64::from_le_bytes(buf[at..at + 8].try_into().unwrap()) };
+        let rd128 =
+            |at: usize| -> u128 { u128::from_le_bytes(buf[at..at + 16].try_into().unwrap()) };
+        let roots = [rd(8), rd(12), rd(16), rd(20), rd(24)];
+        let meta = Meta {
+            next_dkey: rd64(28),
+            next_doc: rd64(36),
+            root: NodeState {
+                n: 0,
+                size: vist_seq::MAX_SCOPE,
+                next: rd128(44),
+                k: rd64(60),
+            },
+            lambda: rd64(68),
+            adaptive: buf[76] != 0,
+            store_documents: buf[77] != 0,
+            underflows: rd64(78),
+            deep_borrows: rd64(86),
+            doc_count: rd64(94),
+            node_count: rd64(102),
+        };
+        drop(page);
+        let dancestor = BTree::open(Arc::clone(&pool), roots[0])?;
+        let sancestor = BTree::open(Arc::clone(&pool), roots[1])?;
+        let docid = BTree::open(Arc::clone(&pool), roots[2])?;
+        let edges = BTree::open(Arc::clone(&pool), roots[3])?;
+        let aux = BTree::open(Arc::clone(&pool), roots[4])?;
+        let mut store = Store {
+            pool,
+            dancestor,
+            sancestor,
+            docid,
+            edges,
+            aux,
+            meta,
+            meta_page,
+            persisted_symbols: 0,
+        };
+        let (table, order) = store.load_table_and_order()?;
+        store.persisted_symbols = table.len();
+        Ok((store, table, order))
+    }
+
+    fn write_meta(&mut self) -> Result<()> {
+        let mut page = self.pool.fetch_mut(self.meta_page)?;
+        let buf = page.data_mut();
+        buf[0..8].copy_from_slice(MAGIC);
+        let roots = [
+            self.dancestor.root_page(),
+            self.sancestor.root_page(),
+            self.docid.root_page(),
+            self.edges.root_page(),
+            self.aux.root_page(),
+        ];
+        for (i, r) in roots.iter().enumerate() {
+            buf[8 + 4 * i..12 + 4 * i].copy_from_slice(&r.to_le_bytes());
+        }
+        buf[28..36].copy_from_slice(&self.meta.next_dkey.to_le_bytes());
+        buf[36..44].copy_from_slice(&self.meta.next_doc.to_le_bytes());
+        buf[44..60].copy_from_slice(&self.meta.root.next.to_le_bytes());
+        buf[60..68].copy_from_slice(&self.meta.root.k.to_le_bytes());
+        buf[68..76].copy_from_slice(&self.meta.lambda.to_le_bytes());
+        buf[76] = u8::from(self.meta.adaptive);
+        buf[77] = u8::from(self.meta.store_documents);
+        buf[78..86].copy_from_slice(&self.meta.underflows.to_le_bytes());
+        buf[86..94].copy_from_slice(&self.meta.deep_borrows.to_le_bytes());
+        buf[94..102].copy_from_slice(&self.meta.doc_count.to_le_bytes());
+        buf[102..110].copy_from_slice(&self.meta.node_count.to_le_bytes());
+        Ok(())
+    }
+
+    /// Persist counters, tree roots, new symbols, and the sibling order, then
+    /// flush the pool to the backing store.
+    pub fn flush(&mut self, table: &SymbolTable, order: &SiblingOrder) -> Result<()> {
+        // Append newly interned symbols.
+        for id in self.persisted_symbols..table.len() {
+            let sym = vist_seq::Symbol(id as u32);
+            let mut k = KeyWriter::new();
+            k.u8(AUX_SYMBOL).u32(id as u32);
+            self.aux.insert(k.as_slice(), table.name(sym).as_bytes())?;
+        }
+        self.persisted_symbols = table.len();
+        // Order (rewritten each flush; small).
+        if let SiblingOrder::Dtd(names) = order {
+            for (i, n) in names.iter().enumerate() {
+                let mut k = KeyWriter::new();
+                k.u8(AUX_ORDER).u32(i as u32);
+                self.aux.insert(k.as_slice(), n.as_bytes())?;
+            }
+        }
+        self.write_meta()?;
+        self.pool.flush()?;
+        Ok(())
+    }
+
+    fn load_table_and_order(&self) -> Result<(SymbolTable, SiblingOrder)> {
+        let mut table = SymbolTable::new();
+        for item in self.aux.scan_prefix(&[AUX_SYMBOL])? {
+            let (_, v) = item?;
+            let name = String::from_utf8(v)
+                .map_err(|_| Error::Corrupt("non-UTF8 symbol name".into()))?;
+            table.intern(&name);
+        }
+        let mut dtd = Vec::new();
+        for item in self.aux.scan_prefix(&[AUX_ORDER])? {
+            let (_, v) = item?;
+            dtd.push(
+                String::from_utf8(v).map_err(|_| Error::Corrupt("non-UTF8 order name".into()))?,
+            );
+        }
+        let order = if dtd.is_empty() {
+            SiblingOrder::Lexicographic
+        } else {
+            SiblingOrder::Dtd(dtd)
+        };
+        Ok((table, order))
+    }
+
+    /// The shared buffer pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    // ----- D-Ancestor tree -----
+
+    /// Look up the id of a D-Ancestor key.
+    pub fn dkey_get(&self, dkey: &[u8]) -> Result<Option<u64>> {
+        Ok(self
+            .dancestor
+            .get(dkey)?
+            .map(|v| u64::from_le_bytes(v.try_into().expect("dkey id width"))))
+    }
+
+    /// Look up or allocate the id of a D-Ancestor key.
+    pub fn dkey_get_or_create(&mut self, dkey: &[u8]) -> Result<u64> {
+        if let Some(id) = self.dkey_get(dkey)? {
+            return Ok(id);
+        }
+        let id = self.meta.next_dkey;
+        self.meta.next_dkey += 1;
+        self.dancestor.insert(dkey, &id.to_le_bytes())?;
+        Ok(id)
+    }
+
+    /// Scan D-Ancestor keys in `[lo, hi)`, returning `(dkey, id)` pairs.
+    pub fn dkey_scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, u64)>> {
+        let mut out = Vec::new();
+        for item in self.dancestor.scan(lo..hi)? {
+            let (k, v) = item?;
+            out.push((k, u64::from_le_bytes(v.try_into().expect("dkey id width"))));
+        }
+        Ok(out)
+    }
+
+    // ----- S-Ancestor tree -----
+
+    fn sanc_key(dkey_id: u64, n: u128) -> Vec<u8> {
+        let mut k = KeyWriter::with_capacity(24);
+        k.u64(dkey_id).u128(n);
+        k.finish()
+    }
+
+    fn encode_node(state: &NodeState) -> [u8; 40] {
+        let mut v = [0u8; 40];
+        v[0..16].copy_from_slice(&state.size.to_le_bytes());
+        v[16..32].copy_from_slice(&state.next.to_le_bytes());
+        v[32..40].copy_from_slice(&state.k.to_le_bytes());
+        v
+    }
+
+    fn decode_node(n: u128, v: &[u8]) -> NodeState {
+        NodeState {
+            n,
+            size: u128::from_le_bytes(v[0..16].try_into().expect("node size")),
+            next: u128::from_le_bytes(v[16..32].try_into().expect("node next")),
+            k: u64::from_le_bytes(v[32..40].try_into().expect("node k")),
+        }
+    }
+
+    /// Read a node's allocation state.
+    pub fn node_get(&self, dkey_id: u64, n: u128) -> Result<Option<NodeState>> {
+        Ok(self
+            .sancestor
+            .get(&Self::sanc_key(dkey_id, n))?
+            .map(|v| Self::decode_node(n, &v)))
+    }
+
+    /// Write a node's allocation state.
+    pub fn node_put(&mut self, dkey_id: u64, state: &NodeState) -> Result<()> {
+        self.sancestor
+            .insert(&Self::sanc_key(dkey_id, state.n), &Self::encode_node(state))?;
+        Ok(())
+    }
+
+    /// All nodes of D-Ancestor entry `dkey_id` with label strictly inside
+    /// `(lo, hi)` — the paper's S-Ancestorship range query.
+    pub fn nodes_in_scope(&self, dkey_id: u64, lo: u128, hi: u128) -> Result<Vec<NodeState>> {
+        let lo_key = Self::sanc_key(dkey_id, lo);
+        let hi_key = Self::sanc_key(dkey_id, hi);
+        let mut out = Vec::new();
+        for item in self.sancestor.scan((
+            std::ops::Bound::Excluded(lo_key.as_slice()),
+            std::ops::Bound::Excluded(hi_key.as_slice()),
+        ))? {
+            let (k, v) = item?;
+            let n = u128::from_be_bytes(k[8..24].try_into().expect("sanc key n"));
+            out.push(Self::decode_node(n, &v));
+        }
+        Ok(out)
+    }
+
+    // ----- edges tree -----
+
+    fn edge_key(parent_n: u128, dkey_id: u64) -> Vec<u8> {
+        let mut k = KeyWriter::with_capacity(24);
+        k.u128(parent_n).u64(dkey_id);
+        k.finish()
+    }
+
+    /// The immediate child of node `parent_n` for D-Ancestor entry `dkey_id`.
+    pub fn edge_get(&self, parent_n: u128, dkey_id: u64) -> Result<Option<u128>> {
+        Ok(self
+            .edges
+            .get(&Self::edge_key(parent_n, dkey_id))?
+            .map(|v| u128::from_le_bytes(v.try_into().expect("edge value"))))
+    }
+
+    /// Record the immediate child of `parent_n` for `dkey_id`.
+    pub fn edge_put(&mut self, parent_n: u128, dkey_id: u64, child_n: u128) -> Result<()> {
+        self.edges
+            .insert(&Self::edge_key(parent_n, dkey_id), &child_n.to_le_bytes())?;
+        Ok(())
+    }
+
+    // ----- DocId tree -----
+
+    fn docid_key(n: u128, doc: DocId) -> Vec<u8> {
+        let mut k = KeyWriter::with_capacity(24);
+        k.u128(n).u64(doc);
+        k.finish()
+    }
+
+    /// Attach a document id to node `n`.
+    pub fn docid_put(&mut self, n: u128, doc: DocId) -> Result<()> {
+        self.docid.insert(&Self::docid_key(n, doc), &[])?;
+        Ok(())
+    }
+
+    /// Detach a document id from node `n`; returns whether it was present.
+    pub fn docid_delete(&mut self, n: u128, doc: DocId) -> Result<bool> {
+        Ok(self.docid.delete(&Self::docid_key(n, doc))?.is_some())
+    }
+
+    /// All document ids attached to nodes with labels in `[lo, hi)` — the
+    /// paper's final DocId range query.
+    pub fn docids_in_range(&self, lo: u128, hi: u128) -> Result<Vec<DocId>> {
+        let lo_key = Self::docid_key(lo, 0);
+        let hi_key = Self::docid_key(hi, 0);
+        let mut out = Vec::new();
+        for item in self.docid.scan(lo_key.as_slice()..hi_key.as_slice())? {
+            let (k, _) = item?;
+            out.push(u64::from_be_bytes(k[16..24].try_into().expect("docid key")));
+        }
+        Ok(out)
+    }
+
+    // ----- stored documents (aux, chunked) -----
+
+    fn doc_chunk_key(doc: DocId, chunk: u32) -> Vec<u8> {
+        let mut k = KeyWriter::with_capacity(13);
+        k.u8(AUX_DOC).u64(doc).u32(chunk);
+        k.finish()
+    }
+
+    /// Store a document's XML text (chunked to fit pages).
+    pub fn doc_put(&mut self, doc: DocId, xml: &[u8]) -> Result<()> {
+        let chunk_size = self.aux.max_record() - 16;
+        for (i, chunk) in xml.chunks(chunk_size.max(1)).enumerate() {
+            self.aux.insert(&Self::doc_chunk_key(doc, i as u32), chunk)?;
+        }
+        // Empty documents still need a presence marker.
+        if xml.is_empty() {
+            self.aux.insert(&Self::doc_chunk_key(doc, 0), &[])?;
+        }
+        Ok(())
+    }
+
+    /// Fetch a stored document's XML text.
+    pub fn doc_get(&self, doc: DocId) -> Result<Option<Vec<u8>>> {
+        let mut prefix = KeyWriter::with_capacity(9);
+        prefix.u8(AUX_DOC).u64(doc);
+        let mut out = Vec::new();
+        let mut found = false;
+        for item in self.aux.scan_prefix(prefix.as_slice())? {
+            let (_, v) = item?;
+            out.extend_from_slice(&v);
+            found = true;
+        }
+        Ok(found.then_some(out))
+    }
+
+    /// Remove a stored document's XML text; returns whether it existed.
+    pub fn doc_remove(&mut self, doc: DocId) -> Result<bool> {
+        let mut prefix = KeyWriter::with_capacity(9);
+        prefix.u8(AUX_DOC).u64(doc);
+        let keys: Vec<Vec<u8>> = self
+            .aux
+            .scan_prefix(prefix.as_slice())?
+            .map(|r| r.map(|(k, _)| k))
+            .collect::<vist_storage::Result<_>>()?;
+        for k in &keys {
+            self.aux.delete(k)?;
+        }
+        Ok(!keys.is_empty())
+    }
+
+    /// Iterate all stored document ids.
+    pub fn doc_ids(&self) -> Result<Vec<DocId>> {
+        let mut out = Vec::new();
+        let mut last = None;
+        for item in self.aux.scan_prefix(&[AUX_DOC])? {
+            let (k, _) = item?;
+            let id = u64::from_be_bytes(k[1..9].try_into().expect("doc key"));
+            if last != Some(id) {
+                out.push(id);
+                last = Some(id);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total bytes of the backing store.
+    #[must_use]
+    pub fn store_bytes(&self) -> u64 {
+        self.pool.store_bytes()
+    }
+
+    /// Replace the D-Ancestor tree with a bulk-loaded one (static builds).
+    /// Entries are sorted internally; ids must be unique per key.
+    pub fn bulk_load_dkeys(&mut self, mut entries: Vec<(Vec<u8>, u64)>) -> Result<()> {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        self.meta.next_dkey = self.meta.next_dkey.max(entries.len() as u64);
+        let items = entries
+            .into_iter()
+            .map(|(k, id)| (k, id.to_le_bytes().to_vec()));
+        self.dancestor = BTree::bulk_load(Arc::clone(&self.pool), items.collect::<Vec<_>>())?;
+        Ok(())
+    }
+
+    /// Replace the S-Ancestor tree with a bulk-loaded one (static builds).
+    pub fn bulk_load_nodes(&mut self, mut nodes: Vec<(u64, NodeState)>) -> Result<()> {
+        nodes.sort_by_key(|(dkid, st)| (*dkid, st.n));
+        let items: Vec<(Vec<u8>, Vec<u8>)> = nodes
+            .into_iter()
+            .map(|(dkid, st)| {
+                (
+                    Self::sanc_key(dkid, st.n),
+                    Self::encode_node(&st).to_vec(),
+                )
+            })
+            .collect();
+        self.meta.node_count = items.len() as u64;
+        self.sancestor = BTree::bulk_load(Arc::clone(&self.pool), items)?;
+        Ok(())
+    }
+
+    /// Replace the DocId tree with a bulk-loaded one (static builds).
+    pub fn bulk_load_docids(&mut self, mut entries: Vec<(u128, DocId)>) -> Result<()> {
+        entries.sort_unstable();
+        let items: Vec<(Vec<u8>, Vec<u8>)> = entries
+            .into_iter()
+            .map(|(n, doc)| (Self::docid_key(n, doc), Vec::new()))
+            .collect();
+        self.docid = BTree::bulk_load(Arc::clone(&self.pool), items)?;
+        Ok(())
+    }
+
+    /// Persist a statistics model (allocation clues) so it survives reopen.
+    pub fn save_stats_model(&mut self, model: &crate::alloc::StatsModel) -> Result<()> {
+        for (cur, next, p) in model.to_triples() {
+            let mut k = vec![AUX_STATS];
+            k.extend_from_slice(&cur.encode());
+            k.extend_from_slice(&next.encode());
+            self.aux.insert(&k, &p.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Load a persisted statistics model, if any transitions were saved.
+    pub fn load_stats_model(&self) -> Result<Option<crate::alloc::StatsModel>> {
+        let mut triples = Vec::new();
+        for item in self.aux.scan_prefix(&[AUX_STATS])? {
+            let (k, v) = item?;
+            let (cur, used) = vist_seq::Sym::decode(&k[1..]);
+            let (next, _) = vist_seq::Sym::decode(&k[1 + used..]);
+            let p = f64::from_le_bytes(
+                v.try_into()
+                    .map_err(|_| Error::Corrupt("bad stats value".into()))?,
+            );
+            triples.push((cur, next, p));
+        }
+        if triples.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(crate::alloc::StatsModel::from_triples(triples)))
+        }
+    }
+
+    /// Per-tree space accounting (O(pages); for experiments/tooling).
+    pub fn tree_breakdown(&self) -> Result<StoreBreakdown> {
+        Ok(StoreBreakdown {
+            dancestor: self.dancestor.tree_stats()?,
+            sancestor: self.sancestor.tree_stats()?,
+            docid: self.docid.tree_stats()?,
+            edges: self.edges.tree_stats()?,
+            aux: self.aux.tree_stats()?,
+        })
+    }
+}
+
+/// Space statistics of every tree in the store (Figure 11a's breakdown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreBreakdown {
+    /// The D-Ancestor tree.
+    pub dancestor: vist_btree::TreeStats,
+    /// The combined S-Ancestor tree.
+    pub sancestor: vist_btree::TreeStats,
+    /// The DocId tree.
+    pub docid: vist_btree::TreeStats,
+    /// The insert-path edges tree.
+    pub edges: vist_btree::TreeStats,
+    /// Symbol table / order / stored documents.
+    pub aux: vist_btree::TreeStats,
+}
+
+impl StoreBreakdown {
+    /// The paper's "combined D-Ancestor and S-Ancestor B+Trees" bytes.
+    #[must_use]
+    pub fn ds_ancestor_bytes(&self) -> u64 {
+        self.dancestor.total_bytes + self.sancestor.total_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vist_storage::{FilePager, MemPager};
+
+    fn mem_store() -> Store {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 128));
+        Store::create(pool, 2, true, true).unwrap()
+    }
+
+    #[test]
+    fn dkey_ids_are_stable_and_dense() {
+        let mut s = mem_store();
+        let a = s.dkey_get_or_create(b"alpha").unwrap();
+        let b = s.dkey_get_or_create(b"beta").unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.dkey_get_or_create(b"alpha").unwrap(), 0);
+        assert_eq!(s.dkey_get(b"gamma").unwrap(), None);
+    }
+
+    #[test]
+    fn node_state_roundtrip_and_scope_scan() {
+        let mut s = mem_store();
+        let id = s.dkey_get_or_create(b"k").unwrap();
+        for n in [10u128, 20, 30] {
+            s.node_put(id, &NodeState { n, size: 5, next: n + 1, k: 0 }).unwrap();
+        }
+        assert_eq!(
+            s.node_get(id, 20).unwrap(),
+            Some(NodeState { n: 20, size: 5, next: 21, k: 0 })
+        );
+        assert_eq!(s.node_get(id, 21).unwrap(), None);
+        // (10, 30) exclusive: only n=20.
+        let hits = s.nodes_in_scope(id, 10, 30).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].n, 20);
+        // Other dkey ids are invisible.
+        let other = s.dkey_get_or_create(b"other").unwrap();
+        assert!(s.nodes_in_scope(other, 0, 1000).unwrap().is_empty());
+    }
+
+    #[test]
+    fn docid_range_queries() {
+        let mut s = mem_store();
+        s.docid_put(100, 1).unwrap();
+        s.docid_put(100, 2).unwrap();
+        s.docid_put(150, 3).unwrap();
+        s.docid_put(200, 4).unwrap();
+        assert_eq!(s.docids_in_range(100, 200).unwrap(), vec![1, 2, 3]);
+        assert_eq!(s.docids_in_range(100, 201).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(s.docids_in_range(101, 150).unwrap(), Vec::<DocId>::new());
+        assert!(s.docid_delete(100, 2).unwrap());
+        assert!(!s.docid_delete(100, 2).unwrap());
+        assert_eq!(s.docids_in_range(100, 200).unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn edges_navigation() {
+        let mut s = mem_store();
+        s.edge_put(0, 7, 42).unwrap();
+        assert_eq!(s.edge_get(0, 7).unwrap(), Some(42));
+        assert_eq!(s.edge_get(0, 8).unwrap(), None);
+        assert_eq!(s.edge_get(1, 7).unwrap(), None);
+    }
+
+    #[test]
+    fn documents_chunked_roundtrip() {
+        let mut s = mem_store();
+        let small = b"<a/>".to_vec();
+        let big = vec![b'x'; 20_000]; // spans many chunks
+        s.doc_put(1, &small).unwrap();
+        s.doc_put(2, &big).unwrap();
+        assert_eq!(s.doc_get(1).unwrap(), Some(small));
+        assert_eq!(s.doc_get(2).unwrap(), Some(big));
+        assert_eq!(s.doc_get(3).unwrap(), None);
+        assert_eq!(s.doc_ids().unwrap(), vec![1, 2]);
+        assert!(s.doc_remove(2).unwrap());
+        assert_eq!(s.doc_get(2).unwrap(), None);
+        assert_eq!(s.doc_ids().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn flush_and_reopen_preserves_everything() {
+        let path = std::env::temp_dir().join(format!("vist-store-{}", std::process::id()));
+        let meta_page;
+        {
+            let pager = FilePager::create(&path, 4096).unwrap();
+            let pool = Arc::new(BufferPool::with_capacity(pager, 64));
+            let mut s = Store::create(pool, 3, true, true).unwrap();
+            meta_page = 1; // first allocation in a FilePager
+            let id = s.dkey_get_or_create(b"key1").unwrap();
+            s.node_put(id, &NodeState { n: 5, size: 100, next: 6, k: 2 }).unwrap();
+            s.docid_put(5, 77).unwrap();
+            s.doc_put(77, b"<x/>").unwrap();
+            s.meta.next_doc = 78;
+            s.meta.doc_count = 1;
+            let mut table = SymbolTable::new();
+            table.intern("purchase");
+            table.intern("seller");
+            s.flush(&table, &SiblingOrder::Dtd(vec!["purchase".into()])).unwrap();
+        }
+        {
+            let pager = FilePager::open(&path).unwrap();
+            let pool = Arc::new(BufferPool::with_capacity(pager, 64));
+            let (s, table, order) = Store::open(pool, meta_page).unwrap();
+            assert_eq!(s.meta.lambda, 3);
+            assert_eq!(s.meta.next_doc, 78);
+            assert_eq!(s.meta.doc_count, 1);
+            assert_eq!(table.len(), 2);
+            assert!(table.lookup("seller").is_some());
+            assert!(matches!(order, SiblingOrder::Dtd(v) if v == vec!["purchase".to_string()]));
+            let id = s.dkey_get(b"key1").unwrap().unwrap();
+            assert_eq!(
+                s.node_get(id, 5).unwrap(),
+                Some(NodeState { n: 5, size: 100, next: 6, k: 2 })
+            );
+            assert_eq!(s.docids_in_range(5, 6).unwrap(), vec![77]);
+            assert_eq!(s.doc_get(77).unwrap(), Some(b"<x/>".to_vec()));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bulk_loaders_match_incremental_writes() {
+        // Incrementally-built store.
+        let mut a = mem_store();
+        let keys = [b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()];
+        for k in &keys {
+            a.dkey_get_or_create(k).unwrap();
+        }
+        for (i, n) in [(0u64, 10u128), (0, 20), (1, 15)] {
+            a.node_put(i, &NodeState { n, size: 5, next: n + 1, k: 0 }).unwrap();
+        }
+        a.docid_put(10, 1).unwrap();
+        a.docid_put(15, 2).unwrap();
+
+        // Bulk-built store (input deliberately unsorted).
+        let mut b = mem_store();
+        b.bulk_load_dkeys(vec![
+            (b"gamma".to_vec(), 2),
+            (b"alpha".to_vec(), 0),
+            (b"beta".to_vec(), 1),
+        ])
+        .unwrap();
+        b.bulk_load_nodes(vec![
+            (1, NodeState { n: 15, size: 5, next: 16, k: 0 }),
+            (0, NodeState { n: 20, size: 5, next: 21, k: 0 }),
+            (0, NodeState { n: 10, size: 5, next: 11, k: 0 }),
+        ])
+        .unwrap();
+        b.bulk_load_docids(vec![(15, 2), (10, 1)]).unwrap();
+
+        for k in &keys {
+            assert_eq!(a.dkey_get(k).unwrap(), b.dkey_get(k).unwrap());
+        }
+        for (i, n) in [(0u64, 10u128), (0, 20), (1, 15)] {
+            assert_eq!(a.node_get(i, n).unwrap(), b.node_get(i, n).unwrap());
+        }
+        assert_eq!(
+            a.docids_in_range(0, 100).unwrap(),
+            b.docids_in_range(0, 100).unwrap()
+        );
+        assert_eq!(a.nodes_in_scope(0, 0, 100).unwrap(), b.nodes_in_scope(0, 0, 100).unwrap());
+        assert_eq!(b.meta.node_count, 3);
+    }
+
+    #[test]
+    fn open_rejects_garbage_meta() {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 16));
+        let pid = pool.allocate().unwrap();
+        assert!(matches!(
+            Store::open(pool, pid),
+            Err(Error::Corrupt(_))
+        ));
+    }
+}

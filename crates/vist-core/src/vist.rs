@@ -1,0 +1,974 @@
+//! [`VistIndex`]: the paper's main contribution — the dynamically labeled,
+//! fully B+Tree-resident index (Algorithms 2–4).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
+
+use vist_query::{matches_document, parse_query, translate, try_translate, Pattern, TranslateOptions};
+use vist_seq::{dkey, document_to_sequence, Sequence, SiblingOrder, Sym, SymbolTable};
+use vist_storage::{BufferPool, FilePager, MemPager, PageId};
+use vist_xml::Document;
+
+use crate::alloc::{Allocation, AllocatorKind, ScopeAllocator};
+use crate::error::{Error, Result};
+use crate::search::{search_store, search_store_into, MatchOutput, QueryStats};
+use crate::stats::IndexStats;
+use crate::store::{DocId, NodeState, Store};
+
+/// Configuration for creating an index.
+#[derive(Debug, Clone)]
+pub struct IndexOptions {
+    /// Page size of the backing store (the paper uses 2 KiB; we default to
+    /// 4 KiB).
+    pub page_size: usize,
+    /// Buffer-pool capacity, in pages.
+    pub cache_pages: usize,
+    /// Scope-allocation λ (expected fanout).
+    pub lambda: u64,
+    /// Grow the allocation divisor with child count (prevents hot-node
+    /// scope exhaustion; see `alloc`).
+    pub adaptive: bool,
+    /// Allocation scheme (geometric, or probability-guided by a
+    /// [`crate::StatsModel`]).
+    pub allocator: AllocatorKind,
+    /// Store original documents (enables exact verification and deletion).
+    pub store_documents: bool,
+    /// Sibling ordering used for sequence conversion.
+    pub order: SiblingOrder,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            page_size: 4096,
+            cache_pages: 1024,
+            lambda: 16,
+            adaptive: true,
+            allocator: AllocatorKind::NoClues,
+            store_documents: true,
+            order: SiblingOrder::Lexicographic,
+        }
+    }
+}
+
+/// Options for a single query.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Post-filter candidates through the exact tree-pattern matcher,
+    /// removing ViST's known false positives. Requires
+    /// [`IndexOptions::store_documents`].
+    pub verify: bool,
+    /// Cap on alternative query sequences (see
+    /// [`TranslateOptions::max_sequences`]).
+    pub max_sequences: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            verify: false,
+            max_sequences: 24,
+        }
+    }
+}
+
+/// Result of a query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Matching document ids, ascending.
+    pub doc_ids: Vec<DocId>,
+    /// Candidate count before verification (equals `doc_ids.len()` when
+    /// verification is off).
+    pub candidates: usize,
+    /// Whether alternative-sequence generation was truncated (possible
+    /// false negatives).
+    pub truncated: bool,
+    /// Search instrumentation.
+    pub stats: QueryStats,
+}
+
+/// The ViST index.
+///
+/// See the crate docs for an end-to-end example.
+pub struct VistIndex {
+    store: Store,
+    table: SymbolTable,
+    order: SiblingOrder,
+    alloc: ScopeAllocator,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    Root,
+    Node(u64),
+}
+
+/// Sentinel dkey-id for overflow edges: `edge(x, OVERFLOW_EDGE)` points from
+/// a node incarnation to its successor incarnation. Real dkey-ids are dense
+/// from 0 and never reach this value.
+const OVERFLOW_EDGE: u64 = u64::MAX;
+
+struct ChainEntry {
+    loc: Loc,
+    /// The original node's label (head of its incarnation chain).
+    head_n: u128,
+    /// Allocation state of the *latest* incarnation.
+    state: NodeState,
+    sym: Option<Sym>,
+}
+
+impl VistIndex {
+    /// Create a transient in-memory index.
+    pub fn in_memory(opts: IndexOptions) -> Result<Self> {
+        let pool = Arc::new(BufferPool::with_capacity(
+            MemPager::new(opts.page_size),
+            opts.cache_pages,
+        ));
+        Self::create_on(pool, opts)
+    }
+
+    /// Create a new index file at `path` (truncates any existing file).
+    pub fn create_file<P: AsRef<Path>>(path: P, opts: IndexOptions) -> Result<Self> {
+        let pager = FilePager::create(path, opts.page_size)?;
+        let pool = Arc::new(BufferPool::with_capacity(pager, opts.cache_pages));
+        Self::create_on(pool, opts)
+    }
+
+    /// Create an index on an existing pool (advanced; lets tests share
+    /// pagers).
+    pub fn create_on(pool: Arc<BufferPool>, opts: IndexOptions) -> Result<Self> {
+        let store = Store::create(pool, opts.lambda, opts.adaptive, opts.store_documents)?;
+        Ok(VistIndex {
+            store,
+            table: SymbolTable::new(),
+            order: opts.order,
+            alloc: ScopeAllocator::new(opts.lambda, opts.adaptive, opts.allocator),
+        })
+    }
+
+    /// Reopen an index file created by [`VistIndex::create_file`] (after a
+    /// [`VistIndex::flush`]). A persisted statistics model (from a
+    /// `WithClues` allocator) is restored automatically.
+    pub fn open_file<P: AsRef<Path>>(path: P, cache_pages: usize) -> Result<Self> {
+        let pager = FilePager::open(path)?;
+        let pool = Arc::new(BufferPool::with_capacity(pager, cache_pages));
+        // The meta page is always the first page a FilePager hands out.
+        let meta_page: PageId = 1;
+        let (store, table, order) = Store::open(pool, meta_page)?;
+        let kind = match store.load_stats_model()? {
+            Some(model) => AllocatorKind::WithClues(model),
+            None => AllocatorKind::NoClues,
+        };
+        let alloc = ScopeAllocator::new(store.meta.lambda, store.meta.adaptive, kind);
+        Ok(VistIndex {
+            store,
+            table,
+            order,
+            alloc,
+        })
+    }
+
+    /// Replace the scope-allocation policy (e.g. re-supply clues after
+    /// reopening).
+    pub fn set_allocator(&mut self, kind: AllocatorKind) {
+        self.alloc = ScopeAllocator::new(self.store.meta.lambda, self.store.meta.adaptive, kind);
+    }
+
+    /// The symbol table shared by data and queries.
+    #[must_use]
+    pub fn table(&self) -> &SymbolTable {
+        &self.table
+    }
+
+    /// The sibling order used for sequence conversion.
+    #[must_use]
+    pub fn order(&self) -> &SiblingOrder {
+        &self.order
+    }
+
+    /// Direct read access to the underlying store (benchmarks, tools).
+    #[must_use]
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Number of live documents.
+    #[must_use]
+    pub fn doc_count(&self) -> u64 {
+        self.store.meta.doc_count
+    }
+
+    /// Index statistics (sizes, underflow counters, I/O).
+    #[must_use]
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            documents: self.store.meta.doc_count,
+            nodes: self.store.meta.node_count,
+            dkeys: self.store.meta.next_dkey,
+            underflows: self.store.meta.underflows,
+            deep_borrows: self.store.meta.deep_borrows,
+            store_bytes: self.store.store_bytes(),
+            io: self.store.pool().stats(),
+        }
+    }
+
+    /// Persist meta state and flush dirty pages to the backing store. A
+    /// `WithClues` allocator's statistics model is persisted too, so it is
+    /// restored by [`VistIndex::open_file`].
+    pub fn flush(&mut self) -> Result<()> {
+        if let AllocatorKind::WithClues(model) = &self.alloc.kind {
+            let model = model.clone();
+            self.store.save_stats_model(&model)?;
+        }
+        let table = self.table.clone();
+        let order = self.order.clone();
+        self.store.flush(&table, &order)?;
+        Ok(())
+    }
+
+    /// Parse and insert an XML document, returning its id.
+    pub fn insert_xml(&mut self, xml: &str) -> Result<DocId> {
+        let doc = vist_xml::parse(xml).map_err(|e| Error::Corrupt(format!("bad XML: {e}")))?;
+        self.insert_document_impl(&doc, Some(xml))
+    }
+
+    /// Insert a parsed document (Algorithm 4), returning its id.
+    pub fn insert_document(&mut self, doc: &Document) -> Result<DocId> {
+        self.insert_document_impl(doc, None)
+    }
+
+    /// Stream a large container document (e.g. a whole XMARK `site`) and
+    /// index each sub-tree rooted at one of `record_names` as its own
+    /// document — the paper's break-down methodology ("we break down its
+    /// tree structure into a set of sub structures ... and convert each
+    /// instance of these sub structures into a structure-encoded
+    /// sequence"). The container is never materialized.
+    pub fn insert_records(&mut self, xml: &str, record_names: &[&str]) -> Result<Vec<DocId>> {
+        let mut ids = Vec::new();
+        for rec in vist_xml::RecordSplitter::new(xml, record_names) {
+            let doc = rec.map_err(|e| Error::Corrupt(format!("bad XML: {e}")))?;
+            ids.push(self.insert_document(&doc)?);
+        }
+        Ok(ids)
+    }
+
+    fn insert_document_impl(&mut self, doc: &Document, raw: Option<&str>) -> Result<DocId> {
+        let seq = document_to_sequence(doc, &mut self.table, &self.order);
+        let xml_owned;
+        let xml: Option<&str> = if self.store.meta.store_documents {
+            Some(match raw {
+                Some(r) => r,
+                None => {
+                    xml_owned = doc.to_xml();
+                    &xml_owned
+                }
+            })
+        } else {
+            None
+        };
+        self.insert_sequence(&seq, xml)
+    }
+
+    /// Insert a pre-converted structure-encoded sequence. `xml` is stored
+    /// for verification/deletion when document storage is enabled.
+    pub fn insert_sequence(&mut self, seq: &Sequence, xml: Option<&str>) -> Result<DocId> {
+        let doc_id = self.store.meta.next_doc;
+        self.store.meta.next_doc += 1;
+        self.store.meta.doc_count += 1;
+        if self.store.meta.store_documents {
+            self.store.doc_put(doc_id, xml.unwrap_or("").as_bytes())?;
+        }
+
+        let n = seq.len();
+        let mut chain: Vec<ChainEntry> = vec![ChainEntry {
+            loc: Loc::Root,
+            head_n: 0,
+            state: self.store.meta.root,
+            sym: None,
+        }];
+        for (i, elem) in seq.iter().enumerate() {
+            let prefix = elem
+                .prefix
+                .as_concrete()
+                .ok_or_else(|| Error::Corrupt("wildcard in data sequence".into()))?;
+            let key = dkey::encode(elem.sym, &prefix);
+            let dkid = self.store.dkey_get_or_create(&key)?;
+
+            // Follow an existing branch if there is one (Algorithm 4:
+            // "search in e for scope r such that r is an immediate child of
+            // s"), checking every incarnation of the parent.
+            let head_n = chain.last().expect("chain non-empty").head_n;
+            if let Some(child_n) = self.find_child(head_n, dkid)? {
+                let state = self
+                    .store
+                    .node_get(dkid, child_n)?
+                    .ok_or_else(|| Error::Corrupt("edge points to missing node".into()))?;
+                chain.push(ChainEntry {
+                    loc: Loc::Node(dkid),
+                    head_n: child_n,
+                    state,
+                    sym: Some(elem.sym),
+                });
+                continue;
+            }
+
+            // Allocate a fresh child scope from the parent's latest
+            // incarnation. The remaining tail (this element included) must
+            // be able to nest below it.
+            let rem = (n - i) as u128;
+            let parent_sym = chain.last().expect("non-empty").sym;
+            let mut pstate = chain.last().expect("non-empty").state;
+            match self.alloc.allocate(&mut pstate, parent_sym, elem.sym, rem) {
+                Allocation::Child { state, tight } => {
+                    if tight {
+                        self.store.meta.underflows += 1;
+                    }
+                    let parent_inc_n = chain.last().expect("non-empty").state.n;
+                    let ploc = chain.last().expect("non-empty").loc;
+                    self.write_state(ploc, &pstate)?;
+                    chain.last_mut().expect("non-empty").state = pstate;
+                    self.store.node_put(dkid, &state)?;
+                    self.store.edge_put(parent_inc_n, dkid, state.n)?;
+                    self.store.meta.node_count += 1;
+                    chain.push(ChainEntry {
+                        loc: Loc::Node(dkid),
+                        head_n: state.n,
+                        state,
+                        sym: Some(elem.sym),
+                    });
+                }
+                Allocation::Underflow => {
+                    // Scope underflow (paper §3.4.1), resolved *soundly* by
+                    // node incarnations — see `grow_and_insert_tail`.
+                    let last_n = self.grow_and_insert_tail(&mut chain, &seq.0[i..])?;
+                    self.store.docid_put(last_n, doc_id)?;
+                    return Ok(doc_id);
+                }
+            }
+        }
+        let last_n = chain.last().expect("non-empty").state.n;
+        self.store.docid_put(last_n, doc_id)?;
+        Ok(doc_id)
+    }
+
+    /// Find the child of a node for `dkid`, following the node's overflow
+    /// (incarnation) chain.
+    fn find_child(&self, head_n: u128, dkid: u64) -> Result<Option<u128>> {
+        let mut n = head_n;
+        loop {
+            if let Some(c) = self.store.edge_get(n, dkid)? {
+                return Ok(Some(c));
+            }
+            match self.store.edge_get(n, OVERFLOW_EDGE)? {
+                Some(next) => n = next,
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Scope underflow resolution.
+    ///
+    /// The paper borrows the remaining labels from the nearest ancestor with
+    /// spare scope — which breaks S-Ancestor containment whenever the donor
+    /// is not the direct parent, silently losing future matches through the
+    /// borrowed chain. We fix this with **node incarnations**: the donor's
+    /// block is nested into one fresh S-Ancestor entry *per intermediate
+    /// level*, each carrying the same D-Ancestor key as the node it extends
+    /// and linked from it by an overflow edge. Containment then holds by
+    /// construction at every level, and since Algorithm 2 already iterates
+    /// all S-Ancestor entries of a D-Ancestor key, queries find incarnations
+    /// with no changes. The `deep_borrows` counter tallies these events.
+    fn grow_and_insert_tail(
+        &mut self,
+        chain: &mut [ChainEntry],
+        tail: &[vist_seq::SeqElem],
+    ) -> Result<u128> {
+        let rem = tail.len() as u128;
+        // Donor j must cover incarnations for chain[j+1..] plus the tail.
+        let donor = (0..chain.len() - 1)
+            .rev()
+            .find(|&j| {
+                let levels = (chain.len() - 1 - j) as u128;
+                chain[j].state.available() >= levels + rem
+            })
+            .ok_or_else(|| Error::Corrupt("virtual suffix tree label space exhausted".into()))?;
+        self.store.meta.deep_borrows += 1;
+        let levels = (chain.len() - 1 - donor) as u128;
+        let needed = levels + rem;
+        let block = chain[donor].state.next;
+        chain[donor].state.next += needed;
+        chain[donor].state.k += 1;
+        let donor_loc = chain[donor].loc;
+        let donor_state = chain[donor].state;
+        self.write_state(donor_loc, &donor_state)?;
+
+        // One incarnation per level between the donor and the exhausted
+        // parent, nested like a chain.
+        let mut off = 0u128;
+        #[allow(clippy::needless_range_loop)] // chain[lvl] is both read and written
+        for lvl in donor + 1..chain.len() {
+            let Loc::Node(dkid) = chain[lvl].loc else {
+                return Err(Error::Corrupt("root cannot be incarnated".into()));
+            };
+            let inc = NodeState {
+                n: block + off,
+                size: needed - off,
+                next: block + off + 1,
+                k: 0,
+            };
+            self.store.node_put(dkid, &inc)?;
+            self.store
+                .edge_put(chain[lvl].state.n, OVERFLOW_EDGE, inc.n)?;
+            chain[lvl].state = inc;
+            off += 1;
+        }
+
+        // Sequentially label the remaining elements, nested below the
+        // parent's fresh incarnation.
+        let mut prev_n = chain.last().expect("non-empty").state.n;
+        let mut last_n = prev_n;
+        for elem in tail {
+            let prefix = elem
+                .prefix
+                .as_concrete()
+                .ok_or_else(|| Error::Corrupt("wildcard in data sequence".into()))?;
+            let key = dkey::encode(elem.sym, &prefix);
+            let dkid = self.store.dkey_get_or_create(&key)?;
+            let state = NodeState {
+                n: block + off,
+                size: needed - off,
+                next: block + off + 1,
+                k: 0,
+            };
+            self.store.node_put(dkid, &state)?;
+            self.store.edge_put(prev_n, dkid, state.n)?;
+            self.store.meta.node_count += 1;
+            prev_n = state.n;
+            last_n = state.n;
+            off += 1;
+        }
+        Ok(last_n)
+    }
+
+    fn write_state(&mut self, loc: Loc, state: &NodeState) -> Result<()> {
+        match loc {
+            Loc::Root => {
+                self.store.meta.root = *state;
+                Ok(())
+            }
+            Loc::Node(dkid) => self.store.node_put(dkid, state),
+        }
+    }
+
+    /// Remove a document (requires stored documents). The document's id
+    /// disappears from all query results; shared trie nodes remain, as in
+    /// the paper's design (rebuild to reclaim space).
+    pub fn remove_document(&mut self, doc_id: DocId) -> Result<()> {
+        if !self.store.meta.store_documents {
+            return Err(Error::DocumentsNotStored);
+        }
+        let xml = self
+            .store
+            .doc_get(doc_id)?
+            .ok_or(Error::NoSuchDocument(doc_id))?;
+        let text = String::from_utf8(xml)
+            .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
+        let doc = vist_xml::parse(&text)
+            .map_err(|e| Error::Corrupt(format!("stored document unparseable: {e}")))?;
+        let seq = document_to_sequence(&doc, &mut self.table, &self.order);
+        // Walk the trie edges to the final node.
+        let mut cur = 0u128; // virtual root label
+        for elem in seq.iter() {
+            let prefix = elem
+                .prefix
+                .as_concrete()
+                .ok_or_else(|| Error::Corrupt("wildcard in data sequence".into()))?;
+            let key = dkey::encode(elem.sym, &prefix);
+            let dkid = self
+                .store
+                .dkey_get(&key)?
+                .ok_or_else(|| Error::Corrupt("document path missing from index".into()))?;
+            cur = self
+                .find_child(cur, dkid)?
+                .ok_or_else(|| Error::Corrupt("document path missing from index".into()))?;
+        }
+        if !self.store.docid_delete(cur, doc_id)? {
+            return Err(Error::NoSuchDocument(doc_id));
+        }
+        self.store.doc_remove(doc_id)?;
+        self.store.meta.doc_count = self.store.meta.doc_count.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Ids of all stored documents, ascending (requires stored documents).
+    pub fn document_ids(&self) -> Result<Vec<DocId>> {
+        if !self.store.meta.store_documents {
+            return Err(Error::DocumentsNotStored);
+        }
+        self.store.doc_ids()
+    }
+
+    /// Fetch a stored document's XML text.
+    pub fn get_document_xml(&self, doc_id: DocId) -> Result<String> {
+        if !self.store.meta.store_documents {
+            return Err(Error::DocumentsNotStored);
+        }
+        let xml = self
+            .store
+            .doc_get(doc_id)?
+            .ok_or(Error::NoSuchDocument(doc_id))?;
+        String::from_utf8(xml).map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))
+    }
+
+    /// Run a pattern and return the matched final *scopes* without resolving
+    /// them to document ids — the quantity the paper times in Figure 10
+    /// (match cost excluding DocId output).
+    pub fn match_scopes(
+        &mut self,
+        pattern: &Pattern,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<(u128, u128)>, QueryStats)> {
+        let translation = translate(
+            pattern,
+            &mut self.table,
+            &TranslateOptions {
+                order: self.order.clone(),
+                max_sequences: opts.max_sequences,
+            },
+        );
+        let mut scopes = Vec::new();
+        let mut stats = QueryStats::default();
+        for qs in &translation.sequences {
+            if qs.elems.is_empty() {
+                scopes.push((0, vist_seq::MAX_SCOPE));
+                continue;
+            }
+            search_store_into(
+                &self.store,
+                qs,
+                &mut MatchOutput::Scopes(&mut scopes),
+                &mut stats,
+            )?;
+        }
+        Ok((scopes, stats))
+    }
+
+    /// Explain a query: show its translation into structure-encoded
+    /// sequence(s) (the paper's Table 2 form), then run it and report the
+    /// per-tree probe counts. Intended for debugging and teaching; the
+    /// output format is human-oriented and not stable.
+    pub fn explain(&mut self, expr: &str, opts: &QueryOptions) -> Result<String> {
+        use std::fmt::Write as _;
+        let pattern = parse_query(expr)?.to_pattern();
+        let translation = translate(
+            &pattern,
+            &mut self.table,
+            &TranslateOptions {
+                order: self.order.clone(),
+                max_sequences: opts.max_sequences,
+            },
+        );
+        let mut out = String::new();
+        writeln!(out, "query:   {expr}").unwrap();
+        writeln!(out, "pattern: {}", pattern.to_expr()).unwrap();
+        writeln!(
+            out,
+            "{} alternative sequence(s){}:",
+            translation.sequences.len(),
+            if translation.truncated { " (truncated)" } else { "" }
+        )
+        .unwrap();
+        for (i, qs) in translation.sequences.iter().enumerate() {
+            let mut line = String::new();
+            for e in &qs.elems {
+                let sym = match e.sym {
+                    vist_seq::Sym::Tag(t) => self.table.name(t).to_string(),
+                    vist_seq::Sym::Value(v) => format!("v{:04x}", v & 0xFFFF),
+                };
+                line.push_str(&format!("({},{})", sym, e.prefix.display(&self.table)));
+            }
+            writeln!(out, "  #{i}: {line}").unwrap();
+        }
+        let result = self.query_pattern(&pattern, opts)?;
+        let st = result.stats;
+        writeln!(out, "answers: {} document(s)", result.doc_ids.len()).unwrap();
+        writeln!(
+            out,
+            "probes:  {} D-Ancestor gets, {} D-Ancestor range scans, {} dkeys matched,",
+            st.dancestor_gets, st.dancestor_scans, st.dkeys_matched
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "         {} S-Ancestor scans, {} nodes visited, {} DocId scans",
+            st.sancestor_scans, st.nodes_visited, st.docid_scans
+        )
+        .unwrap();
+        Ok(out)
+    }
+
+    /// Parse and run a path-expression query.
+    pub fn query(&mut self, expr: &str, opts: &QueryOptions) -> Result<QueryResult> {
+        let pattern = parse_query(expr)?.to_pattern();
+        self.query_pattern(&pattern, opts)
+    }
+
+    /// Parse and run a query **without mutating the index** (`&self`).
+    ///
+    /// Unlike [`VistIndex::query`], translation does not intern unseen
+    /// names; a query naming an element absent from the data returns an
+    /// empty result directly. Suitable for read-only / shared access.
+    pub fn query_shared(&self, expr: &str, opts: &QueryOptions) -> Result<QueryResult> {
+        let pattern = parse_query(expr)?.to_pattern();
+        self.query_pattern_shared(&pattern, opts)
+    }
+
+    /// Run a pre-parsed pattern without mutating the index.
+    pub fn query_pattern_shared(
+        &self,
+        pattern: &Pattern,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult> {
+        let topts = TranslateOptions {
+            order: self.order.clone(),
+            max_sequences: opts.max_sequences,
+        };
+        let Some(translation) = try_translate(pattern, &self.table, &topts) else {
+            return Ok(QueryResult {
+                doc_ids: Vec::new(),
+                candidates: 0,
+                truncated: false,
+                stats: QueryStats::default(),
+            });
+        };
+        let mut out: BTreeSet<DocId> = BTreeSet::new();
+        let mut stats = QueryStats::default();
+        for qs in &translation.sequences {
+            if qs.elems.is_empty() {
+                out.extend(self.store.docids_in_range(0, vist_seq::MAX_SCOPE)?);
+            } else {
+                search_store(&self.store, qs, &mut out, &mut stats)?;
+            }
+        }
+        let candidates = out.len();
+        let doc_ids: Vec<DocId> = if opts.verify {
+            if !self.store.meta.store_documents {
+                return Err(Error::DocumentsNotStored);
+            }
+            let mut verified = Vec::new();
+            for id in out {
+                let xml = self.store.doc_get(id)?.ok_or(Error::NoSuchDocument(id))?;
+                let text = String::from_utf8(xml)
+                    .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
+                let doc = vist_xml::parse(&text)
+                    .map_err(|e| Error::Corrupt(format!("stored document unparseable: {e}")))?;
+                if matches_document(pattern, &doc, &self.order) {
+                    verified.push(id);
+                }
+            }
+            verified
+        } else {
+            out.into_iter().collect()
+        };
+        Ok(QueryResult {
+            doc_ids,
+            candidates,
+            truncated: translation.truncated,
+            stats,
+        })
+    }
+
+    /// Rebuild the index from its stored documents into a fresh one,
+    /// reclaiming the space left behind by deletions (shared trie nodes are
+    /// never removed incrementally, matching the paper's design). Document
+    /// ids are preserved. Requires [`IndexOptions::store_documents`].
+    pub fn rebuild(&self, opts: IndexOptions) -> Result<VistIndex> {
+        if !self.store.meta.store_documents {
+            return Err(Error::DocumentsNotStored);
+        }
+        let mut fresh = VistIndex::in_memory(opts)?;
+        self.rebuild_into(&mut fresh)?;
+        Ok(fresh)
+    }
+
+    /// Rebuild into a fresh file-backed index at `path` (same semantics as
+    /// [`VistIndex::rebuild`]).
+    pub fn rebuild_to_file<P: AsRef<Path>>(&self, path: P, opts: IndexOptions) -> Result<VistIndex> {
+        if !self.store.meta.store_documents {
+            return Err(Error::DocumentsNotStored);
+        }
+        let mut fresh = VistIndex::create_file(path, opts)?;
+        self.rebuild_into(&mut fresh)?;
+        fresh.flush()?;
+        Ok(fresh)
+    }
+
+    fn rebuild_into(&self, fresh: &mut VistIndex) -> Result<()> {
+        for id in self.store.doc_ids()? {
+            let xml = self.store.doc_get(id)?.ok_or(Error::NoSuchDocument(id))?;
+            let text = String::from_utf8(xml)
+                .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
+            // Preserve the original ids: ids are ascending, so pinning
+            // next_doc before each insert keeps them stable.
+            fresh.store.meta.next_doc = id;
+            fresh.insert_xml(&text)?;
+        }
+        fresh.store.meta.next_doc = self.store.meta.next_doc;
+        Ok(())
+    }
+
+    /// Run a pre-parsed query pattern.
+    pub fn query_pattern(&mut self, pattern: &Pattern, opts: &QueryOptions) -> Result<QueryResult> {
+        let translation = translate(
+            pattern,
+            &mut self.table,
+            &TranslateOptions {
+                order: self.order.clone(),
+                max_sequences: opts.max_sequences,
+            },
+        );
+        let mut out: BTreeSet<DocId> = BTreeSet::new();
+        let mut stats = QueryStats::default();
+        for qs in &translation.sequences {
+            if qs.elems.is_empty() {
+                // An all-wildcard query (e.g. `/*`) matches every document.
+                out.extend(self.store.docids_in_range(0, vist_seq::MAX_SCOPE)?);
+            } else {
+                search_store(&self.store, qs, &mut out, &mut stats)?;
+            }
+        }
+        let candidates = out.len();
+        let doc_ids: Vec<DocId> = if opts.verify {
+            if !self.store.meta.store_documents {
+                return Err(Error::DocumentsNotStored);
+            }
+            let mut verified = Vec::new();
+            for id in out {
+                let xml = self
+                    .store
+                    .doc_get(id)?
+                    .ok_or(Error::NoSuchDocument(id))?;
+                let text = String::from_utf8(xml)
+                    .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
+                let doc = vist_xml::parse(&text)
+                    .map_err(|e| Error::Corrupt(format!("stored document unparseable: {e}")))?;
+                if matches_document(pattern, &doc, &self.order) {
+                    verified.push(id);
+                }
+            }
+            verified
+        } else {
+            out.into_iter().collect()
+        };
+        Ok(QueryResult {
+            doc_ids,
+            candidates,
+            truncated: translation.truncated,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> VistIndex {
+        VistIndex::in_memory(IndexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn insert_and_query_single_document() {
+        let mut idx = index();
+        let id = idx.insert_xml("<book><author>David</author></book>").unwrap();
+        let r = idx
+            .query("/book/author[text='David']", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(r.doc_ids, vec![id]);
+        let r = idx
+            .query("/book/author[text='Mary']", &QueryOptions::default())
+            .unwrap();
+        assert!(r.doc_ids.is_empty());
+    }
+
+    #[test]
+    fn selective_across_documents() {
+        let mut idx = index();
+        let mut ids = Vec::new();
+        for i in 0..50 {
+            let author = if i % 5 == 0 { "David" } else { "Other" };
+            let xml = format!("<book><author>{author}</author><year>{}</year></book>", 1990 + i);
+            ids.push(idx.insert_xml(&xml).unwrap());
+        }
+        let r = idx
+            .query("/book/author[text='David']", &QueryOptions::default())
+            .unwrap();
+        let expect: Vec<DocId> = ids.iter().copied().step_by(5).collect();
+        assert_eq!(r.doc_ids, expect);
+        // Year-specific query hits exactly one.
+        let r = idx
+            .query("/book[year='2013']", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(r.doc_ids.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_and_descendant_queries() {
+        let mut idx = index();
+        let a = idx
+            .insert_xml("<p><s><l>boston</l></s><b><l>newyork</l></b></p>")
+            .unwrap();
+        let b = idx
+            .insert_xml("<p><s><l>tokyo</l></s><b><l>paris</l></b></p>")
+            .unwrap();
+        let r = idx.query("/p/*[l='boston']", &QueryOptions::default()).unwrap();
+        assert_eq!(r.doc_ids, vec![a]);
+        let r = idx.query("//l[text='paris']", &QueryOptions::default()).unwrap();
+        assert_eq!(r.doc_ids, vec![b]);
+        let r = idx.query("/p//l", &QueryOptions::default()).unwrap();
+        assert_eq!(r.doc_ids, vec![a, b]);
+    }
+
+    #[test]
+    fn verification_removes_false_positives() {
+        let mut idx = index();
+        let fp = idx
+            .insert_xml("<a><b><c>1</c></b><b><d>2</d></b></a>")
+            .unwrap();
+        let real = idx.insert_xml("<a><b><c>1</c><d>2</d></b></a>").unwrap();
+        let raw = idx
+            .query("/a/b[c='1'][d='2']", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(raw.doc_ids, vec![fp, real], "raw ViST semantics includes the false positive");
+        let verified = idx
+            .query(
+                "/a/b[c='1'][d='2']",
+                &QueryOptions { verify: true, ..Default::default() },
+            )
+            .unwrap();
+        assert_eq!(verified.doc_ids, vec![real]);
+        assert_eq!(verified.candidates, 2);
+    }
+
+    #[test]
+    fn remove_document_hides_it() {
+        let mut idx = index();
+        let a = idx.insert_xml("<r><x>1</x></r>").unwrap();
+        let b = idx.insert_xml("<r><x>1</x></r>").unwrap();
+        assert_eq!(idx.doc_count(), 2);
+        idx.remove_document(a).unwrap();
+        assert_eq!(idx.doc_count(), 1);
+        let r = idx.query("/r/x[text='1']", &QueryOptions::default()).unwrap();
+        assert_eq!(r.doc_ids, vec![b]);
+        assert!(matches!(
+            idx.remove_document(a),
+            Err(Error::NoSuchDocument(_))
+        ));
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let path = std::env::temp_dir().join(format!("vist-index-{}", std::process::id()));
+        let id;
+        {
+            let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+            id = idx.insert_xml("<book><author>David</author></book>").unwrap();
+            idx.insert_xml("<book><author>Mary</author></book>").unwrap();
+            idx.flush().unwrap();
+        }
+        {
+            let mut idx = VistIndex::open_file(&path, 256).unwrap();
+            assert_eq!(idx.doc_count(), 2);
+            let r = idx
+                .query("/book/author[text='David']", &QueryOptions::default())
+                .unwrap();
+            assert_eq!(r.doc_ids, vec![id]);
+            // And it stays dynamic after reopen.
+            let id3 = idx.insert_xml("<book><author>David</author><extra/></book>").unwrap();
+            let r = idx
+                .query("/book/author[text='David']", &QueryOptions::default())
+                .unwrap();
+            assert_eq!(r.doc_ids, vec![id, id3]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn underflow_path_exercised_with_tiny_lambda() {
+        // Force deep borrows by a pathological allocator: fixed λ=2 exhausts
+        // a hot node's scope after ~126 children.
+        let mut idx = VistIndex::in_memory(IndexOptions {
+            lambda: 2,
+            adaptive: false,
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..500 {
+            idx.insert_xml(&format!("<r><v>{i}</v></r>")).unwrap();
+        }
+        let stats = idx.stats();
+        assert!(
+            stats.underflows + stats.deep_borrows > 0,
+            "expected scope underflows: {stats:?}"
+        );
+        // Incarnations keep the index sound: EVERY document remains findable
+        // by its unique value, and the umbrella query finds all of them.
+        for i in 0..500 {
+            let r = idx
+                .query(&format!("/r/v[text='{i}']"), &QueryOptions::default())
+                .unwrap();
+            assert_eq!(r.doc_ids.len(), 1, "value {i}");
+        }
+        let all = idx.query("/r/v", &QueryOptions::default()).unwrap();
+        assert_eq!(all.doc_ids.len(), 500);
+    }
+
+    #[test]
+    fn table4_style_queries_end_to_end() {
+        let mut idx = index();
+        let d1 = idx
+            .insert_xml(
+                "<site><reg><item location=\"US\"><mail><date>12/15/1999</date></mail></item></reg></site>",
+            )
+            .unwrap();
+        let _d2 = idx
+            .insert_xml(
+                "<site><reg><item location=\"EU\"><mail><date>01/01/2000</date></mail></item></reg></site>",
+            )
+            .unwrap();
+        let r = idx
+            .query(
+                "/site//item[location='US']/mail/date[text='12/15/1999']",
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(r.doc_ids, vec![d1]);
+    }
+
+    #[test]
+    fn query_parse_errors_propagate() {
+        let mut idx = index();
+        assert!(matches!(
+            idx.query("not a query", &QueryOptions::default()),
+            Err(Error::Query(_))
+        ));
+    }
+
+    #[test]
+    fn without_stored_documents_verify_errors() {
+        let mut idx = VistIndex::in_memory(IndexOptions {
+            store_documents: false,
+            ..Default::default()
+        })
+        .unwrap();
+        idx.insert_xml("<a><b/></a>").unwrap();
+        let r = idx.query("/a/b", &QueryOptions::default()).unwrap();
+        assert_eq!(r.doc_ids.len(), 1);
+        assert!(matches!(
+            idx.query("/a/b", &QueryOptions { verify: true, ..Default::default() }),
+            Err(Error::DocumentsNotStored)
+        ));
+        assert!(matches!(idx.remove_document(0), Err(Error::DocumentsNotStored)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Shared-read concurrency: `query_shared(&self)` from many threads over
+//! one index, exercising the buffer pool's synchronization.
+
+use vist_core::{IndexOptions, QueryOptions, VistIndex};
+
+#[test]
+fn parallel_shared_queries_agree_with_serial() {
+    let mut idx = VistIndex::in_memory(IndexOptions {
+        cache_pages: 64, // tiny cache: force eviction churn under contention
+        ..Default::default()
+    })
+    .unwrap();
+    for i in 0..400 {
+        idx.insert_xml(&format!(
+            "<r><a>{}</a><b><c>{}</c></b></r>",
+            i % 13,
+            i % 7
+        ))
+        .unwrap();
+    }
+    let queries: Vec<String> = (0..13)
+        .map(|v| format!("/r/a[text='{v}']"))
+        .chain((0..7).map(|v| format!("/r[b/c='{v}']")))
+        .chain(["//c".to_string(), "/r/*[c='3']".to_string()])
+        .collect();
+    let expected: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| idx.query_shared(q, &QueryOptions::default()).unwrap().doc_ids)
+        .collect();
+
+    let idx = &idx;
+    let queries = &queries;
+    let expected = &expected;
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            s.spawn(move || {
+                for round in 0..20 {
+                    let qi = (t * 7 + round) % queries.len();
+                    let got = idx
+                        .query_shared(&queries[qi], &QueryOptions::default())
+                        .unwrap()
+                        .doc_ids;
+                    assert_eq!(got, expected[qi], "thread {t} round {round}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn index_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VistIndex>();
+}

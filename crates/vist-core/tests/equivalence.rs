@@ -1,0 +1,189 @@
+//! Cross-engine equivalence property tests.
+//!
+//! The three engines of the paper — Naive (Algorithm 1 over the trie), RIST
+//! (static labels + Algorithm 2), and ViST (dynamic labels + Algorithm 2) —
+//! must return *identical* results on arbitrary document sets and queries,
+//! and all must agree with the brute-force subsequence-matching reference
+//! (`vist_query::sequence_matches`). With verification on, ViST must agree
+//! with the exact tree-embedding oracle.
+
+use proptest::prelude::*;
+use vist_core::{IndexOptions, NaiveIndex, QueryOptions, RistIndex, VistIndex};
+use vist_query::{matches_document, sequence_matches, translate, Pattern, TranslateOptions};
+use vist_seq::{document_to_sequence, SiblingOrder, SymbolTable};
+use vist_xml::{Document, ElementBuilder};
+
+/// Small vocabularies force structural sharing and collisions.
+const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+const VALUES: [&str; 4] = ["1", "2", "3", "4"];
+
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    let leaf = (0usize..NAMES.len(), proptest::option::of(0usize..VALUES.len())).prop_map(
+        |(n, v)| {
+            let mut e = ElementBuilder::new(NAMES[n]);
+            if let Some(v) = v {
+                e = e.text(VALUES[v]);
+            }
+            e
+        },
+    );
+    let tree = leaf.prop_recursive(3, 20, 4, |inner| {
+        (
+            0usize..NAMES.len(),
+            proptest::collection::vec(inner, 0..4),
+            proptest::option::of(0usize..VALUES.len()),
+        )
+            .prop_map(|(n, children, v)| {
+                let mut e = ElementBuilder::new(NAMES[n]).children(children);
+                if let Some(v) = v {
+                    e = e.text(VALUES[v]);
+                }
+                e
+            })
+    });
+    tree.prop_map(ElementBuilder::into_document)
+}
+
+/// Random queries over the same vocabulary: paths with optional wildcards,
+/// descendant steps, one optional branch predicate and one optional value.
+fn query_strategy() -> impl Strategy<Value = String> {
+    let step = (0usize..=NAMES.len(), prop::bool::ANY).prop_map(|(n, dslash)| {
+        let name = if n == NAMES.len() { "*" } else { NAMES[n] };
+        format!("{}{}", if dslash { "//" } else { "/" }, name)
+    });
+    (
+        proptest::collection::vec(step, 1..4),
+        proptest::option::of((0usize..NAMES.len(), 0usize..VALUES.len())),
+        proptest::option::of(0usize..VALUES.len()),
+    )
+        .prop_map(|(steps, branch, text)| {
+            let mut q = steps.concat();
+            if let Some((bn, bv)) = branch {
+                q.push_str(&format!("[{}='{}']", NAMES[bn], VALUES[bv]));
+            }
+            if let Some(t) = text {
+                q.push_str(&format!("[text='{}']", VALUES[t]));
+            }
+            q
+        })
+}
+
+/// Reference answer: brute-force subsequence matching per document.
+fn reference_answer(pattern: &Pattern, docs: &[Document]) -> Vec<u64> {
+    let mut table = SymbolTable::new();
+    let seqs: Vec<_> = docs
+        .iter()
+        .map(|d| document_to_sequence(d, &mut table, &SiblingOrder::Lexicographic))
+        .collect();
+    let translation = translate(
+        pattern,
+        &mut table,
+        &TranslateOptions::default(),
+    );
+    let mut out = Vec::new();
+    for (i, seq) in seqs.iter().enumerate() {
+        if translation
+            .sequences
+            .iter()
+            .any(|qs| sequence_matches(qs, seq))
+        {
+            out.push(i as u64);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_engines_agree(
+        docs in proptest::collection::vec(doc_strategy(), 1..12),
+        queries in proptest::collection::vec(query_strategy(), 1..6),
+    ) {
+        let mut naive = NaiveIndex::default();
+        let mut vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
+        // Stress dynamic labeling too: tiny λ without adaptivity.
+        let mut vist_tiny = VistIndex::in_memory(IndexOptions {
+            lambda: 2,
+            adaptive: false,
+            ..Default::default()
+        })
+        .unwrap();
+        for d in &docs {
+            naive.insert_document(d);
+            vist.insert_document(d).unwrap();
+            vist_tiny.insert_document(d).unwrap();
+        }
+        let mut rist = RistIndex::build_in_memory(&docs, IndexOptions::default()).unwrap();
+
+        let opts = QueryOptions::default();
+        for q in &queries {
+            let pattern = vist_query::parse_query(q).unwrap().to_pattern();
+            let expect = reference_answer(&pattern, &docs);
+            let n = naive.query(q, &opts).unwrap();
+            let r = rist.query(q, &opts).unwrap().doc_ids;
+            let v = vist.query(q, &opts).unwrap().doc_ids;
+            let vt = vist_tiny.query(q, &opts).unwrap().doc_ids;
+            prop_assert_eq!(&n, &expect, "naive vs reference: {}", q);
+            prop_assert_eq!(&r, &expect, "rist vs reference: {}", q);
+            prop_assert_eq!(&v, &expect, "vist vs reference: {}", q);
+            prop_assert_eq!(&vt, &expect, "vist(λ=2 fixed) vs reference: {}", q);
+        }
+    }
+
+    #[test]
+    fn verified_queries_match_exact_oracle(
+        docs in proptest::collection::vec(doc_strategy(), 1..10),
+        queries in proptest::collection::vec(query_strategy(), 1..5),
+    ) {
+        let mut vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
+        for d in &docs {
+            vist.insert_document(d).unwrap();
+        }
+        for q in &queries {
+            let pattern = vist_query::parse_query(q).unwrap().to_pattern();
+            let exact: Vec<u64> = docs
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| matches_document(&pattern, d, &SiblingOrder::Lexicographic))
+                .map(|(i, _)| i as u64)
+                .collect();
+            let verified = vist
+                .query(q, &QueryOptions { verify: true, ..Default::default() })
+                .unwrap();
+            prop_assert_eq!(&verified.doc_ids, &exact, "query {}", q);
+            // Raw candidates are always a superset of the exact answer
+            // (completeness: no false negatives).
+            let raw = vist.query(q, &QueryOptions::default()).unwrap();
+            for id in &exact {
+                prop_assert!(raw.doc_ids.contains(id), "false negative {} for {}", id, q);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_deletion_equals_fresh_build(
+        docs in proptest::collection::vec(doc_strategy(), 2..10),
+        remove_mask in proptest::collection::vec(prop::bool::ANY, 2..10),
+        query in query_strategy(),
+    ) {
+        let mut vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
+        let ids: Vec<u64> = docs.iter().map(|d| vist.insert_document(d).unwrap()).collect();
+        let mut kept = Vec::new();
+        for (i, d) in docs.iter().enumerate() {
+            if remove_mask.get(i).copied().unwrap_or(false) {
+                vist.remove_document(ids[i]).unwrap();
+            } else {
+                kept.push((ids[i], d.clone()));
+            }
+        }
+        let pattern = vist_query::parse_query(&query).unwrap().to_pattern();
+        let kept_docs: Vec<Document> = kept.iter().map(|(_, d)| d.clone()).collect();
+        let expect_local = reference_answer(&pattern, &kept_docs);
+        // Map local indices back to original ids.
+        let expect: Vec<u64> = expect_local.iter().map(|&i| kept[i as usize].0).collect();
+        let got = vist.query(&query, &QueryOptions::default()).unwrap().doc_ids;
+        prop_assert_eq!(got, expect, "after deletion: {}", query);
+    }
+}

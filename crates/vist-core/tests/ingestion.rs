@@ -1,0 +1,40 @@
+//! Streaming ingestion: the paper's XMARK break-down as an API.
+
+use vist_core::{IndexOptions, QueryOptions, VistIndex};
+
+#[test]
+fn insert_records_splits_a_container_document() {
+    let site = "<site>\
+        <people>\
+          <person id='p1'><name>Alice</name><address><city>Pocatello</city></address></person>\
+          <person id='p2'><name>Bob</name></person>\
+        </people>\
+        <regions><europe>\
+          <item id='i1' location='US'><mail><date>12/15/1999</date></mail></item>\
+          <item id='i2' location='EU'><mail><date>01/01/2000</date></mail></item>\
+        </europe></regions>\
+    </site>";
+    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let ids = idx.insert_records(site, &["person", "item"]).unwrap();
+    assert_eq!(ids.len(), 4);
+    assert_eq!(idx.doc_count(), 4);
+
+    let opts = QueryOptions::default();
+    // Queries now address the records directly.
+    let r = idx.query("/person/address/city[text='Pocatello']", &opts).unwrap();
+    assert_eq!(r.doc_ids.len(), 1);
+    let r = idx.query("/item[location='US']/mail/date[text='12/15/1999']", &opts).unwrap();
+    assert_eq!(r.doc_ids.len(), 1);
+    let r = idx.query("//date", &opts).unwrap();
+    assert_eq!(r.doc_ids.len(), 2);
+    // Records are independently removable.
+    idx.remove_document(ids[0]).unwrap();
+    let r = idx.query("/person", &opts).unwrap();
+    assert_eq!(r.doc_ids.len(), 1);
+}
+
+#[test]
+fn insert_records_rejects_malformed_container() {
+    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    assert!(idx.insert_records("<site><person></site>", &["person"]).is_err());
+}

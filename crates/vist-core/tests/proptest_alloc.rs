@@ -1,0 +1,113 @@
+//! Property tests for dynamic scope allocation: under arbitrary allocation
+//! sequences (any λ, adaptivity, clue model, min sizes), child scopes are
+//! always disjoint, nested in their parent, and never overlap the parent's
+//! own label.
+
+use proptest::prelude::*;
+use vist_core::{Allocation, AllocatorKind, NodeState, ScopeAllocator, StatsModel};
+use vist_seq::{Sym, Symbol, MAX_SCOPE};
+
+#[derive(Debug, Clone)]
+struct AllocOp {
+    sym: u32,
+    min_size: u128,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<AllocOp>> {
+    proptest::collection::vec(
+        (0u32..8, 1u128..64).prop_map(|(sym, min_size)| AllocOp { sym, min_size }),
+        1..200,
+    )
+}
+
+fn model() -> StatsModel {
+    // A hand-made model with extreme probabilities to stress the clamps.
+    StatsModel::from_triples((0..8).flat_map(|a| {
+        (0..8).map(move |b| {
+            (
+                Sym::Tag(Symbol(a)),
+                Sym::Tag(Symbol(b)),
+                if b == 0 { 0.93 } else { 0.01 },
+            )
+        })
+    }))
+}
+
+fn check(alloc: &ScopeAllocator, parent_size: u128, ops: &[AllocOp]) {
+    let mut parent = NodeState {
+        n: 7,
+        size: parent_size,
+        next: 8,
+        k: 0,
+    };
+    let mut children: Vec<NodeState> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match alloc.allocate(
+            &mut parent,
+            Some(Sym::Tag(Symbol(0))),
+            Sym::Tag(Symbol(op.sym)),
+            op.min_size,
+        ) {
+            Allocation::Child { state, .. } => {
+                assert!(state.size >= op.min_size, "op {i}: min size honoured");
+                assert!(state.n > parent.n, "op {i}: child after parent label");
+                assert!(
+                    state.n + state.size <= parent.n + parent.size,
+                    "op {i}: child inside parent"
+                );
+                if let Some(prev) = children.last() {
+                    assert!(
+                        state.n >= prev.n + prev.size,
+                        "op {i}: children disjoint and ordered"
+                    );
+                }
+                assert_eq!(state.next, state.n + 1, "op {i}: fresh cursor");
+                children.push(state);
+            }
+            Allocation::Underflow => {
+                // Underflow must only occur when the parent truly cannot
+                // supply the requested labels.
+                assert!(
+                    parent.available() < op.min_size
+                        || parent.available() == 0
+                        || op.min_size > parent.available(),
+                    "op {i}: spurious underflow (avail={}, want={})",
+                    parent.available(),
+                    op.min_size
+                );
+            }
+        }
+        assert_eq!(parent.k as usize, children.len(), "op {i}: k tracks children");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn geometric_invariants(
+        ops in ops_strategy(),
+        lambda in 2u64..64,
+        adaptive in any::<bool>(),
+        size_exp in 8u32..120,
+    ) {
+        let alloc = ScopeAllocator::new(lambda, adaptive, AllocatorKind::NoClues);
+        check(&alloc, 1u128 << size_exp, &ops);
+    }
+
+    #[test]
+    fn with_clues_invariants(
+        ops in ops_strategy(),
+        lambda in 2u64..64,
+        size_exp in 8u32..120,
+    ) {
+        let alloc = ScopeAllocator::new(lambda, true, AllocatorKind::WithClues(model()));
+        check(&alloc, 1u128 << size_exp, &ops);
+    }
+
+    #[test]
+    fn full_scope_never_overflows(ops in ops_strategy()) {
+        let alloc = ScopeAllocator::new(2, true, AllocatorKind::NoClues);
+        check(&alloc, MAX_SCOPE, &ops);
+    }
+}

@@ -1,0 +1,123 @@
+//! Failure injection: corrupted files and abuse must yield clean errors,
+//! never panics or silent wrong answers.
+
+use vist_core::{Error, IndexOptions, QueryOptions, VistIndex};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("vist-robust-{name}-{}", std::process::id()))
+}
+
+#[test]
+fn opening_a_missing_file_errors() {
+    let Err(err) = VistIndex::open_file("/nonexistent/path/idx.vist", 64) else {
+        panic!("opening a missing file must fail");
+    };
+    assert!(matches!(err, Error::Storage(_)), "{err}");
+}
+
+#[test]
+fn opening_garbage_errors_cleanly() {
+    let path = tmp("garbage");
+    std::fs::write(&path, vec![0xABu8; 8192]).unwrap();
+    let Err(err) = VistIndex::open_file(&path, 64) else {
+        panic!("opening garbage must fail");
+    };
+    // Either bad pager magic or bad index magic, both reported as errors.
+    let msg = err.to_string();
+    assert!(msg.contains("corrupt") || msg.contains("magic"), "{msg}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncated_index_file_errors_not_panics() {
+    let path = tmp("truncated");
+    {
+        let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+        for i in 0..200 {
+            idx.insert_xml(&format!("<a><b>{i}</b></a>")).unwrap();
+        }
+        idx.flush().unwrap();
+    }
+    // Chop the file in half.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    // Opening may succeed (meta page intact) but operations must error, not
+    // panic.
+    match VistIndex::open_file(&path, 64) {
+        Err(_) => {}
+        Ok(mut idx) => {
+            let _ = idx.query("/a/b", &QueryOptions::default());
+            let _ = idx.insert_xml("<a><b>new</b></a>");
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn bad_xml_rejected_without_state_damage() {
+    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let good = idx.insert_xml("<a><b>1</b></a>").unwrap();
+    assert!(idx.insert_xml("<a><b>").is_err());
+    assert!(idx.insert_xml("").is_err());
+    assert!(idx.insert_xml("not xml at all").is_err());
+    // The index still answers correctly; the doc counter only advanced for
+    // committed inserts... (failed parses never reached insert_sequence).
+    let r = idx.query("/a/b[text='1']", &QueryOptions::default()).unwrap();
+    assert_eq!(r.doc_ids, vec![good]);
+}
+
+#[test]
+fn bad_queries_rejected() {
+    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    idx.insert_xml("<a/>").unwrap();
+    for q in ["", "a", "/a[", "/a]']", "//", "/a[text=]"] {
+        assert!(
+            matches!(idx.query(q, &QueryOptions::default()), Err(Error::Query(_))),
+            "{q} should be a parse error"
+        );
+    }
+}
+
+#[test]
+fn huge_values_and_names_handled() {
+    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    // A very long text value: hashed, so it indexes fine.
+    let long_text = "x".repeat(100_000);
+    let id = idx
+        .insert_xml(&format!("<a><b>{long_text}</b></a>"))
+        .unwrap();
+    let r = idx
+        .query(&format!("/a/b[text='{long_text}']"), &QueryOptions::default())
+        .unwrap();
+    assert_eq!(r.doc_ids, vec![id]);
+    // A deep document: prefix keys grow with depth; must either index or
+    // error cleanly (here: depth 40 fits comfortably).
+    let mut deep = String::new();
+    for i in 0..40 {
+        deep.push_str(&format!("<d{i}>"));
+    }
+    deep.push_str("leaf");
+    for i in (0..40).rev() {
+        deep.push_str(&format!("</d{i}>"));
+    }
+    let id = idx.insert_xml(&deep).unwrap();
+    let r = idx
+        .query("//d39[text='leaf']", &QueryOptions::default())
+        .unwrap();
+    assert_eq!(r.doc_ids, vec![id]);
+}
+
+#[test]
+fn remove_twice_and_remove_unknown() {
+    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let id = idx.insert_xml("<a/>").unwrap();
+    idx.remove_document(id).unwrap();
+    assert!(matches!(
+        idx.remove_document(id),
+        Err(Error::NoSuchDocument(_))
+    ));
+    assert!(matches!(
+        idx.remove_document(999),
+        Err(Error::NoSuchDocument(_))
+    ));
+}

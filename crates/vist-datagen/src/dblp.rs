@@ -1,0 +1,189 @@
+//! DBLP-like bibliographic record generator.
+//!
+//! Mirrors the structural statistics the paper relies on: one record per
+//! publication, tree depth ≤ 6 (record → field → text, plus attributes),
+//! average structure-encoded sequence length around 31, and DBLP's element
+//! vocabulary (`article`, `inproceedings`, `book`, … with `author`, `title`,
+//! `year`, `key`, `mdate`, …).
+//!
+//! Sentinels for the paper's Table 3 queries:
+//! * authors named `David …` occur with realistic skew (Q2–Q4 use
+//!   `author[text='David Smith']`);
+//! * exactly one book per ~2000 records carries
+//!   `key='books/bc/MaierW88'` (Q5);
+//! * every record has a `title` (Q1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vist_xml::{Document, ElementBuilder};
+
+use crate::words::{author, date, phrase, pick, CONFERENCES, JOURNALS, PUBLISHERS};
+
+/// The key planted for the paper's Q5.
+pub const PLANTED_BOOK_KEY: &str = "books/bc/MaierW88";
+
+/// Generate `n` DBLP-like records, deterministically from `seed`.
+#[must_use]
+pub fn documents(n: usize, seed: u64) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|i| record(&mut rng, i)).collect()
+}
+
+fn record(rng: &mut StdRng, i: usize) -> Document {
+    // Record-type mix roughly like DBLP: mostly inproceedings + articles.
+    // Record 500 of every 2000 is forced to be the planted Q5 book.
+    let planted = i % 2000 == 500;
+    let kind = if planted {
+        "book"
+    } else {
+        match rng.random_range(0..100) {
+            0..=44 => "inproceedings",
+            45..=84 => "article",
+            85..=92 => "book",
+            93..=96 => "phdthesis",
+            _ => "www",
+        }
+    };
+    let mut e = ElementBuilder::new(kind)
+        .attr(
+            "key",
+            if planted {
+                PLANTED_BOOK_KEY.to_string()
+            } else {
+                format!("{}/{}/{}", kind, pick(rng, CONFERENCES), i)
+            },
+        )
+        .attr("mdate", crate::words::date(rng));
+    // Authors: 1–5, skewed.
+    let n_authors = 1 + crate::words::skewed(rng, 5);
+    for _ in 0..n_authors {
+        e = e.child(ElementBuilder::new("author").text(author(rng)));
+    }
+    let title_len = 3 + rng.random_range(0..6);
+    e = e.child(ElementBuilder::new("title").text(phrase(rng, title_len)));
+    e = e.child(ElementBuilder::new("year").text(rng.random_range(1980..=2003).to_string()));
+    match kind {
+        "article" => {
+            e = e
+                .child(ElementBuilder::new("journal").text(pick(rng, JOURNALS)))
+                .child(ElementBuilder::new("volume").text(rng.random_range(1..=40).to_string()))
+                .child(ElementBuilder::new("pages").text(format!(
+                    "{}-{}",
+                    rng.random_range(1..=500),
+                    rng.random_range(501..=999)
+                )));
+        }
+        "inproceedings" => {
+            e = e
+                .child(ElementBuilder::new("booktitle").text(pick(rng, CONFERENCES)))
+                .child(ElementBuilder::new("pages").text(format!(
+                    "{}-{}",
+                    rng.random_range(1..=500),
+                    rng.random_range(501..=999)
+                )));
+            if rng.random_bool(0.6) {
+                e = e.child(
+                    ElementBuilder::new("ee").text(format!("db/conf/paper{}.html", i)),
+                );
+            }
+        }
+        "book" => {
+            e = e
+                .child(ElementBuilder::new("publisher").text(pick(rng, PUBLISHERS)))
+                .child(ElementBuilder::new("isbn").text(format!("0-201-{:05}-{}", i % 100_000, i % 10)));
+        }
+        "phdthesis" => {
+            e = e.child(ElementBuilder::new("school").text(format!("University {}", i % 50)));
+        }
+        _ => {
+            e = e.child(ElementBuilder::new("url").text(format!("http://example.org/{i}")));
+        }
+    }
+    // Common optional DBLP fields, sized so the average structure-encoded
+    // sequence length lands near the paper's ~31.
+    e = e.child(ElementBuilder::new("url").text(format!("db/rec/{i}")));
+    if rng.random_bool(0.5) {
+        e = e.child(ElementBuilder::new("month").text(format!("{}", 1 + i % 12)));
+    }
+    if rng.random_bool(0.4) {
+        e = e.child(ElementBuilder::new("note").text(phrase(rng, 2)));
+    }
+    for c in 0..rng.random_range(0..4) {
+        e = e.child(ElementBuilder::new("cite").text(format!("ref/{}/{}", (i + c) % 997, c)));
+    }
+    if rng.random_bool(0.3) {
+        e = e.child(ElementBuilder::new("cdrom").text(date(rng)));
+    }
+    e.into_document()
+}
+
+/// The paper's Table 3 DBLP queries (Q1–Q5), with literals matching the
+/// planted sentinels.
+#[must_use]
+pub fn table3_queries() -> Vec<(&'static str, String)> {
+    vec![
+        ("Q1", "/inproceedings/title".to_string()),
+        ("Q2", "/book/author[text='David Smith']".to_string()),
+        ("Q3", "/*/author[text='David Smith']".to_string()),
+        ("Q4", "//author[text='David Smith']".to_string()),
+        ("Q5", format!("/book[key='{PLANTED_BOOK_KEY}']/author")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vist_seq::{document_to_sequence, SiblingOrder, SymbolTable};
+
+    #[test]
+    fn deterministic() {
+        let a = documents(50, 42);
+        let b = documents(50, 42);
+        let xml_a: Vec<String> = a.iter().map(Document::to_xml).collect();
+        let xml_b: Vec<String> = b.iter().map(Document::to_xml).collect();
+        assert_eq!(xml_a, xml_b);
+        let c = documents(50, 43);
+        assert_ne!(xml_a, c.iter().map(Document::to_xml).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn structural_statistics_match_dblp() {
+        let docs = documents(2000, 1);
+        let mut table = SymbolTable::new();
+        let mut total_len = 0usize;
+        let mut max_depth = 0usize;
+        for d in &docs {
+            let seq = document_to_sequence(d, &mut table, &SiblingOrder::Lexicographic);
+            total_len += seq.len();
+            let depth = seq.iter().map(|e| e.prefix.len() + 1).max().unwrap_or(0);
+            max_depth = max_depth.max(depth);
+        }
+        let avg = total_len as f64 / docs.len() as f64;
+        // Paper: "average length of the structure-encoded sequences derived
+        // from the DBLP records is around 31", "maximum depth 6".
+        assert!((20.0..45.0).contains(&avg), "avg seq len {avg}");
+        assert!(max_depth <= 6, "depth {max_depth}");
+        // Vocabulary is DBLP-small.
+        assert!(table.len() < 40, "symbols: {}", table.len());
+    }
+
+    #[test]
+    fn sentinels_present() {
+        let docs = documents(4000, 7);
+        let xml: Vec<String> = docs.iter().map(Document::to_xml).collect();
+        assert!(
+            xml.iter().any(|x| x.contains(PLANTED_BOOK_KEY)),
+            "planted key must appear"
+        );
+        let davids = xml.iter().filter(|x| x.contains(">David ")).count();
+        assert!(davids > 40, "David authors should be common: {davids}");
+        assert!(xml.iter().all(|x| x.contains("<title>")));
+    }
+
+    #[test]
+    fn queries_parse() {
+        for (_, q) in table3_queries() {
+            vist_query::parse_query(&q).unwrap();
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! IMDB-like movie record generator.
+//!
+//! The paper names "the Internet movie database IMDB" alongside DBLP as the
+//! archetype of XML databases that "contain a large set of records of the
+//! same structure" — the regime where per-record sequences shine. The real
+//! dump is unavailable offline; this generator produces homogeneous movie
+//! records with the fields queries care about (title, year, genre,
+//! director, cast with roles, rating), plus planted sentinels so the sample
+//! queries are selective but non-empty.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vist_xml::{Document, ElementBuilder};
+
+use crate::words::{author, phrase, pick, skewed};
+
+/// The director planted for the sample queries.
+pub const PLANTED_DIRECTOR: &str = "Stanley Kubrick";
+/// The actor planted for the sample queries.
+pub const PLANTED_ACTOR: &str = "Grace Kelly";
+
+const GENRES: &[&str] = &[
+    "drama", "comedy", "thriller", "scifi", "noir", "western", "documentary", "animation",
+];
+
+/// Generate `n` movie records, deterministically from `seed`.
+#[must_use]
+pub fn documents(n: usize, seed: u64) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|i| movie(&mut rng, i)).collect()
+}
+
+fn movie(rng: &mut StdRng, i: usize) -> Document {
+    let planted_director = rng.random_bool(0.01);
+    let director = if planted_director {
+        PLANTED_DIRECTOR.to_string()
+    } else {
+        author(rng)
+    };
+    let mut e = ElementBuilder::new("movie")
+        .attr("id", format!("tt{i:07}"))
+        .child({
+            let title_len = 2 + rng.random_range(0..3);
+            ElementBuilder::new("title").text(phrase(rng, title_len))
+        })
+        .child(ElementBuilder::new("year").text(rng.random_range(1920..=2003).to_string()))
+        .child(ElementBuilder::new("genre").text(pick(rng, GENRES)))
+        .child(ElementBuilder::new("director").text(director))
+        .child(
+            ElementBuilder::new("rating")
+                .attr("votes", rng.random_range(10..100_000).to_string())
+                .text(format!("{:.1}", 1.0 + 9.0 * rng.random::<f64>())),
+        );
+    // Cast: 1-6 actors, each with a role; one planted star.
+    let cast_size = 1 + skewed(rng, 6);
+    let mut cast = ElementBuilder::new("cast");
+    for c in 0..cast_size {
+        // The planted star worked with the planted director repeatedly (as
+        // real filmographies correlate), so the conjunctive M5 is non-empty.
+        let planted_actor_p = if planted_director { 0.5 } else { 0.02 };
+        let name = if c == 0 && rng.random_bool(planted_actor_p) {
+            PLANTED_ACTOR.to_string()
+        } else {
+            author(rng)
+        };
+        cast = cast.child(
+            ElementBuilder::new("actor")
+                .child(ElementBuilder::new("name").text(name))
+                .child(ElementBuilder::new("role").text(phrase(rng, 1))),
+        );
+    }
+    e = e.child(cast);
+    if rng.random_bool(0.4) {
+        e = e.child(
+            ElementBuilder::new("release")
+                .child(ElementBuilder::new("country").text(pick(rng, crate::words::COUNTRIES)))
+                .child(ElementBuilder::new("date").text(crate::words::date(rng))),
+        );
+    }
+    e.into_document()
+}
+
+/// Sample queries over the movie records (same flavour as Table 3).
+#[must_use]
+pub fn sample_queries() -> Vec<(&'static str, String)> {
+    vec![
+        ("M1", "/movie/title".to_string()),
+        ("M2", format!("/movie/director[text='{PLANTED_DIRECTOR}']")),
+        ("M3", format!("//actor/name[text='{PLANTED_ACTOR}']")),
+        ("M4", "/movie[genre='noir']/cast/actor/name".to_string()),
+        (
+            "M5",
+            format!("/movie[director='{PLANTED_DIRECTOR}']/cast/actor[name='{PLANTED_ACTOR}']"),
+        ),
+        ("M6", "/movie/*[date]".to_string()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_homogeneous() {
+        let a = documents(200, 3);
+        let b = documents(200, 3);
+        assert_eq!(
+            a.iter().map(Document::to_xml).collect::<Vec<_>>(),
+            b.iter().map(Document::to_xml).collect::<Vec<_>>()
+        );
+        // Every record is a movie with the core fields.
+        for d in &a {
+            let root = d.root().unwrap();
+            assert_eq!(d.name(root), "movie");
+            let names: Vec<&str> = d.child_elements(root).map(|c| d.name(c)).collect();
+            for required in ["title", "year", "genre", "director", "cast"] {
+                assert!(names.contains(&required), "{names:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sentinels_present() {
+        let docs = documents(3000, 9);
+        let xml: Vec<String> = docs.iter().map(Document::to_xml).collect();
+        assert!(xml.iter().any(|x| x.contains(PLANTED_DIRECTOR)));
+        assert!(xml.iter().any(|x| x.contains(PLANTED_ACTOR)));
+    }
+
+    #[test]
+    fn queries_parse() {
+        for (_, q) in sample_queries() {
+            vist_query::parse_query(&q).unwrap();
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The paper's §4 synthetic generator, verbatim:
+//!
+//! > "The data generator is based conceptually on a tree of height k where
+//! > each node has j sub nodes. We generate a subtree of L nodes. First we
+//! > select the root node, then we randomly select the next node x from the
+//! > tree, under the condition that x has not been selected, and x is a
+//! > child node of a selected node. We repeat this process N times to
+//! > generate N data sequences of length L. Random queries can be generated
+//! > in the same way."
+//!
+//! A conceptual-tree node is identified by its path of child indices; its
+//! element name is `e{child_index}` (j distinct names), so distinct
+//! positions share names and structure matters — the regime sequence
+//! matching is designed for.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vist_query::{Axis, Pattern, PatternNode, PatternTest};
+use vist_xml::Document;
+
+/// Parameters of the synthetic workload.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Height of the conceptual tree (paper: k = 10).
+    pub k: usize,
+    /// Fanout of the conceptual tree (paper: j = 8).
+    pub j: usize,
+    /// Nodes per generated subtree/document (paper: L = 30 or 60).
+    pub l: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            k: 10,
+            j: 8,
+            l: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// Generator state; call [`SyntheticGen::document`] repeatedly for the N
+/// sequences, and [`SyntheticGen::query`] for random queries over the same
+/// conceptual tree.
+pub struct SyntheticGen {
+    cfg: SyntheticConfig,
+    rng: StdRng,
+}
+
+/// A selected subtree, as parent-pointer arrays over conceptual-tree nodes.
+struct Subtree {
+    /// Per node: child index within the conceptual tree (= name), depth, and
+    /// the index of its parent in this subtree (`None` for the root).
+    nodes: Vec<(usize, usize, Option<usize>)>,
+}
+
+impl SyntheticGen {
+    /// New generator.
+    #[must_use]
+    pub fn new(cfg: SyntheticConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        SyntheticGen { cfg, rng }
+    }
+
+    /// Select a random connected subtree of `size` nodes, exactly as the
+    /// paper describes: grow from the root by repeatedly picking a random
+    /// unselected child of a selected node.
+    fn subtree(&mut self, size: usize) -> Subtree {
+        let mut nodes: Vec<(usize, usize, Option<usize>)> = vec![(0, 0, None)];
+        // Frontier of candidate (parent_idx, child_index) pairs.
+        let mut frontier: Vec<(usize, usize)> = (0..self.cfg.j).map(|c| (0, c)).collect();
+        while nodes.len() < size && !frontier.is_empty() {
+            let pick = self.rng.random_range(0..frontier.len());
+            let (parent, child_idx) = frontier.swap_remove(pick);
+            let depth = nodes[parent].1 + 1;
+            let me = nodes.len();
+            nodes.push((child_idx, depth, Some(parent)));
+            if depth + 1 < self.cfg.k {
+                frontier.extend((0..self.cfg.j).map(|c| (me, c)));
+            }
+        }
+        Subtree { nodes }
+    }
+
+    /// Generate the next random document of `cfg.l` nodes. Every leaf also
+    /// receives a text value drawn from a per-name value pool, so value
+    /// queries are meaningful.
+    pub fn document(&mut self) -> Document {
+        let sub = self.subtree(self.cfg.l);
+        let mut doc = Document::new();
+        let mut ids = Vec::with_capacity(sub.nodes.len());
+        for &(child_idx, _, parent) in &sub.nodes {
+            let name = format!("e{child_idx}");
+            let id = match parent {
+                None => doc.add_root("r"),
+                Some(p) => doc.add_element(ids[p], name),
+            };
+            ids.push(id);
+        }
+        // Values on leaves.
+        let leaf_value_range = 100;
+        let parents: std::collections::HashSet<usize> =
+            sub.nodes.iter().filter_map(|n| n.2).collect();
+        for (i, &(child_idx, _, _)) in sub.nodes.iter().enumerate() {
+            if !parents.contains(&i) {
+                let v = self.rng.random_range(0..leaf_value_range);
+                doc.add_text(ids[i], format!("v{child_idx}_{v}"));
+            }
+        }
+        doc
+    }
+
+    /// Generate a random query of `len` nodes "in the same way": a random
+    /// connected subtree of the conceptual tree, turned into a query
+    /// pattern. With probability `wildcards`, a non-root node's name test is
+    /// replaced by `*` or its axis by `//`.
+    pub fn query(&mut self, len: usize, wildcards: f64) -> Pattern {
+        let sub = self.subtree(len.max(1));
+        // Build pattern nodes bottom-up.
+        let mut children: Vec<Vec<PatternNode>> = vec![Vec::new(); sub.nodes.len()];
+        for i in (1..sub.nodes.len()).rev() {
+            let (child_idx, _, parent) = sub.nodes[i];
+            let mut axis = Axis::Child;
+            let mut test = PatternTest::Tag(format!("e{child_idx}"));
+            if self.rng.random_bool(wildcards) {
+                if self.rng.random_bool(0.5) {
+                    test = PatternTest::Star;
+                } else {
+                    axis = Axis::Descendant;
+                }
+            }
+            let node = PatternNode {
+                axis,
+                test,
+                children: std::mem::take(&mut children[i]),
+            };
+            children[parent.expect("non-root")].push(node);
+        }
+        Pattern {
+            root: PatternNode {
+                axis: Axis::Child,
+                test: PatternTest::Tag("r".to_string()),
+                children: std::mem::take(&mut children[0]),
+            },
+        }
+    }
+
+    /// Generate `n` documents.
+    pub fn documents(&mut self, n: usize) -> Vec<Document> {
+        (0..n).map(|_| self.document()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_have_requested_size() {
+        let mut g = SyntheticGen::new(SyntheticConfig {
+            k: 10,
+            j: 8,
+            l: 30,
+            seed: 3,
+        });
+        for _ in 0..20 {
+            let d = g.document();
+            // L element nodes + leaf text nodes.
+            let elements = d.preorder().filter(|&n| d.is_element(n)).count();
+            assert_eq!(elements, 30);
+        }
+    }
+
+    #[test]
+    fn depth_bounded_by_k() {
+        let mut g = SyntheticGen::new(SyntheticConfig {
+            k: 4,
+            j: 2,
+            l: 64, // wants more nodes than a height-4 binary tree has below depth limit
+            seed: 9,
+        });
+        let d = g.document();
+        // Element depth is bounded by k; text leaves sit one level below.
+        let max_depth = d
+            .preorder()
+            .filter(|&n| d.is_element(n))
+            .map(|n| d.depth(n))
+            .max()
+            .unwrap();
+        assert!(max_depth <= 4, "depth {max_depth}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = SyntheticGen::new(SyntheticConfig::default());
+        let mut b = SyntheticGen::new(SyntheticConfig::default());
+        assert_eq!(a.document().to_xml(), b.document().to_xml());
+        // Queries too.
+        let qa = a.query(6, 0.3);
+        let qb = b.query(6, 0.3);
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn queries_find_matches_in_their_own_distribution() {
+        use vist_core_free_check::*;
+        mod vist_core_free_check {
+            pub use vist_query::matches_document;
+            pub use vist_seq::SiblingOrder;
+        }
+        let mut g = SyntheticGen::new(SyntheticConfig {
+            k: 6,
+            j: 3,
+            l: 12,
+            seed: 21,
+        });
+        let docs = g.documents(200);
+        let mut hits = 0;
+        for _ in 0..20 {
+            let q = g.query(3, 0.2);
+            hits += docs
+                .iter()
+                .filter(|d| matches_document(&q, d, &SiblingOrder::Lexicographic))
+                .count();
+        }
+        assert!(hits > 0, "random queries should hit random data");
+    }
+}

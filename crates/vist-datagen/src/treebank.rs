@@ -1,0 +1,165 @@
+//! Treebank-like deep recursive records.
+//!
+//! Parse-tree corpora (Penn Treebank exports) are the classic third dataset
+//! of the XML-indexing literature: unlike DBLP's flat records, elements
+//! recurse (`NP` inside `VP` inside `S` inside `NP` …), producing deep
+//! documents where the same name appears at many levels — the regime that
+//! stresses `//` queries and prefix-based indexes. The paper doesn't
+//! evaluate on Treebank; this generator powers the depth ablation
+//! (`ablation_depth`) that extends the evaluation to that regime.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vist_xml::{Document, ElementBuilder};
+
+/// The word planted for the sample queries.
+pub const PLANTED_WORD: &str = "colorless";
+
+const WORDS: &[&str] = &[
+    "time", "flies", "like", "an", "arrow", "fruit", "banana", "green", "ideas", "sleep",
+    "furiously", "the", "old", "man", "boats", "ship", "sees", "with", "telescope",
+];
+
+/// Configuration for the treebank generator.
+#[derive(Debug, Clone)]
+pub struct TreebankConfig {
+    /// Maximum recursion depth of the parse tree (element depth ≈ 2·this).
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TreebankConfig {
+    fn default() -> Self {
+        TreebankConfig {
+            max_depth: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate `n` sentence records.
+#[must_use]
+pub fn documents(n: usize, cfg: &TreebankConfig) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..n).map(|i| sentence(&mut rng, cfg.max_depth, i)).collect()
+}
+
+fn sentence(rng: &mut StdRng, max_depth: usize, i: usize) -> Document {
+    let mut s = ElementBuilder::new("S").attr("id", format!("s{i}"));
+    s = s.child(np(rng, max_depth.saturating_sub(1), i));
+    s = s.child(vp(rng, max_depth.saturating_sub(1), i));
+    ElementBuilder::new("FILE").child(s).into_document()
+}
+
+fn word(rng: &mut StdRng, i: usize) -> String {
+    if i.is_multiple_of(200) && rng.random_bool(0.5) {
+        PLANTED_WORD.to_string()
+    } else {
+        WORDS[rng.random_range(0..WORDS.len())].to_string()
+    }
+}
+
+fn np(rng: &mut StdRng, depth: usize, i: usize) -> ElementBuilder {
+    let mut e = ElementBuilder::new("NP");
+    if depth == 0 || rng.random_bool(0.4) {
+        e = e.child(ElementBuilder::new("N").text(word(rng, i)));
+        return e;
+    }
+    match rng.random_range(0..3) {
+        0 => {
+            // NP -> DET N
+            e = e
+                .child(ElementBuilder::new("DET").text("the"))
+                .child(ElementBuilder::new("N").text(word(rng, i)));
+        }
+        1 => {
+            // NP -> NP PP (recursion!)
+            e = e.child(np(rng, depth - 1, i)).child(pp(rng, depth - 1, i));
+        }
+        _ => {
+            // NP -> ADJ NP (recursion)
+            e = e
+                .child(ElementBuilder::new("ADJ").text(word(rng, i)))
+                .child(np(rng, depth - 1, i));
+        }
+    }
+    e
+}
+
+fn vp(rng: &mut StdRng, depth: usize, i: usize) -> ElementBuilder {
+    let mut e = ElementBuilder::new("VP").child(ElementBuilder::new("V").text(word(rng, i)));
+    if depth > 0 && rng.random_bool(0.7) {
+        e = e.child(np(rng, depth - 1, i));
+    }
+    if depth > 0 && rng.random_bool(0.3) {
+        e = e.child(pp(rng, depth - 1, i));
+    }
+    e
+}
+
+fn pp(rng: &mut StdRng, depth: usize, i: usize) -> ElementBuilder {
+    ElementBuilder::new("PP")
+        .child(ElementBuilder::new("P").text("with"))
+        .child(np(rng, depth.saturating_sub(1), i))
+}
+
+/// Sample queries stressing recursion and `//`.
+#[must_use]
+pub fn sample_queries() -> Vec<(&'static str, String)> {
+    vec![
+        ("T1", "/FILE/S/NP".to_string()),
+        ("T2", format!("//N[text='{PLANTED_WORD}']")),
+        ("T3", "/FILE/S//PP//N".to_string()),
+        ("T4", "//NP[ADJ]//PP/P".to_string()),
+        ("T5", format!("/FILE/S/VP//NP/N[text='{PLANTED_WORD}']")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deep_and_recursive() {
+        let docs = documents(200, &TreebankConfig {
+            max_depth: 10,
+            seed: 5,
+        });
+        let max_depth = docs
+            .iter()
+            .flat_map(|d| d.preorder().map(|n| d.depth(n)).max())
+            .max()
+            .unwrap();
+        assert!(max_depth > 8, "recursion should go deep: {max_depth}");
+        // NP must appear at multiple depths within one document somewhere.
+        let multi_level = docs.iter().any(|d| {
+            let depths: std::collections::HashSet<usize> = d
+                .preorder()
+                .filter(|&n| d.name(n) == "NP")
+                .map(|n| d.depth(n))
+                .collect();
+            depths.len() >= 3
+        });
+        assert!(multi_level, "NP should recurse");
+    }
+
+    #[test]
+    fn deterministic_and_sentinels() {
+        let cfg = TreebankConfig::default();
+        let a = documents(500, &cfg);
+        let b = documents(500, &cfg);
+        assert_eq!(
+            a.iter().map(Document::to_xml).collect::<Vec<_>>(),
+            b.iter().map(Document::to_xml).collect::<Vec<_>>()
+        );
+        assert!(a.iter().any(|d| d.to_xml().contains(PLANTED_WORD)));
+    }
+
+    #[test]
+    fn queries_parse() {
+        for (_, q) in sample_queries() {
+            vist_query::parse_query(&q).unwrap();
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared word pools and small random-text helpers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) const TITLE_WORDS: &[&str] = &[
+    "efficient", "scalable", "dynamic", "adaptive", "indexing", "querying", "semistructured",
+    "data", "structures", "trees", "sequences", "matching", "databases", "systems", "processing",
+    "optimization", "algorithms", "storage", "distributed", "parallel", "streams", "graphs",
+    "patterns", "mining", "views", "caching", "joins", "selectivity", "estimation", "labeling",
+];
+
+pub(crate) const FIRST_NAMES: &[&str] = &[
+    "David", "Mary", "John", "Wei", "Haixun", "Sanghyun", "Philip", "Jennifer", "Michael",
+    "Rajeev", "Hector", "Divesh", "Jeffrey", "Dan", "Serge", "Laura", "Alon", "Jun", "Quanzhong",
+    "Brian",
+];
+
+pub(crate) const LAST_NAMES: &[&str] = &[
+    "Smith", "Wang", "Park", "Yu", "Fan", "Widom", "Ullman", "Suciu", "Abiteboul", "Moon",
+    "Naughton", "Korth", "Cooper", "Sample", "Franklin", "Garcia", "Li", "Chen", "Kim", "Milo",
+];
+
+pub(crate) const JOURNALS: &[&str] = &[
+    "TODS", "VLDB Journal", "SIGMOD Record", "TKDE", "Information Systems", "Acta Informatica",
+];
+
+pub(crate) const CONFERENCES: &[&str] = &[
+    "SIGMOD", "VLDB", "ICDE", "PODS", "EDBT", "CIKM", "WWW", "KDD",
+];
+
+pub(crate) const PUBLISHERS: &[&str] = &[
+    "Morgan Kaufmann", "Addison-Wesley", "Springer", "Prentice Hall", "ACM Press",
+];
+
+pub(crate) const CITIES: &[&str] = &[
+    "Pocatello", "Boston", "NewYork", "SanDiego", "Tokyo", "Paris", "London", "Seoul",
+    "Hawthorne", "Pohang", "Chicago", "Seattle", "Austin", "Denver", "Miami", "Portland",
+];
+
+pub(crate) const COUNTRIES: &[&str] = &[
+    "UnitedStates", "Korea", "Japan", "France", "Germany", "Canada", "Brazil", "India",
+];
+
+pub(crate) const LOCATIONS: &[&str] = &["US", "EU", "ASIA", "US", "US", "EU"]; // US-heavy, as in XMARK
+
+pub(crate) const CATEGORIES: &[&str] = &[
+    "electronics", "books", "music", "garden", "sports", "toys", "art", "tools",
+];
+
+/// A space-joined random phrase of `n` words.
+pub(crate) fn phrase(rng: &mut StdRng, n: usize) -> String {
+    (0..n)
+        .map(|_| TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A "First Last" author name. Zipf-flavoured: squaring the uniform draw
+/// skews toward low indices, giving a realistic hot-author distribution
+/// (index 0 pairs "David Smith", so `author[text='David Smith']` is
+/// selective but non-empty, like the paper's Q2–Q4 literal).
+pub(crate) fn author(rng: &mut StdRng) -> String {
+    let f = skewed(rng, FIRST_NAMES.len());
+    let l = skewed(rng, LAST_NAMES.len());
+    format!("{} {}", FIRST_NAMES[f], LAST_NAMES[l])
+}
+
+/// Zipf-ish skewed index in `[0, n)`.
+pub(crate) fn skewed(rng: &mut StdRng, n: usize) -> usize {
+    let u: f64 = rng.random();
+    ((u * u) * n as f64) as usize % n
+}
+
+/// A date string in the paper's `MM/DD/YYYY` style.
+pub(crate) fn date(rng: &mut StdRng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.random_range(1..=12),
+        rng.random_range(1..=28),
+        rng.random_range(1995..=2003)
+    )
+}
+
+pub(crate) fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(author(&mut a), author(&mut b));
+        assert_eq!(phrase(&mut a, 4), phrase(&mut b, 4));
+        assert_eq!(date(&mut a), date(&mut b));
+    }
+
+    #[test]
+    fn skew_prefers_low_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws: Vec<usize> = (0..2000).map(|_| skewed(&mut rng, 20)).collect();
+        let low = draws.iter().filter(|&&d| d < 10).count();
+        assert!(low > 1200, "low half should dominate: {low}/2000");
+    }
+}

@@ -1,0 +1,237 @@
+//! XMARK-like sub-structure generator.
+//!
+//! The paper notes XMARK "is a single record with a very large and
+//! complicated tree structure", so "we break down its tree structure into a
+//! set of sub structures, including item, person, open auction, closed
+//! auction, etc" — each instance becoming one structure-encoded sequence.
+//! This generator produces those sub-structure instances directly, with the
+//! element/attribute shapes that queries Q6–Q8 exercise. Each instance is
+//! rooted under `site` (so `/site//item/...` paths resolve), mirroring the
+//! break-down where every sub-structure keeps its rooted context.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vist_xml::{Document, ElementBuilder};
+
+use crate::words::{date, phrase, pick, CATEGORIES, CITIES, COUNTRIES, LOCATIONS};
+
+/// The date planted for the paper's Q6 and Q8.
+pub const PLANTED_DATE: &str = "12/15/1999";
+/// The city planted for the paper's Q7.
+pub const PLANTED_CITY: &str = "Pocatello";
+/// The person planted for the paper's Q8.
+pub const PLANTED_PERSON: &str = "person1";
+
+/// Generate `n` XMARK-like sub-structure instances from `seed`.
+/// The mix is ~40% item, ~25% person, ~15% open auction, ~20% closed
+/// auction, roughly xmlgen's proportions at SF 1.
+#[must_use]
+pub fn documents(n: usize, seed: u64) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| match rng.random_range(0..100) {
+            0..=39 => item(&mut rng, i),
+            40..=64 => person(&mut rng, i),
+            65..=79 => open_auction(&mut rng, i),
+            _ => closed_auction(&mut rng, i),
+        })
+        .collect()
+}
+
+fn sentinel_date(rng: &mut StdRng) -> String {
+    if rng.random_bool(0.02) {
+        PLANTED_DATE.to_string()
+    } else {
+        date(rng)
+    }
+}
+
+fn item(rng: &mut StdRng, i: usize) -> Document {
+    let mut e = ElementBuilder::new("item")
+        .attr("id", format!("item{i}"))
+        .attr("location", pick(rng, LOCATIONS))
+        .child(ElementBuilder::new("name").text(phrase(rng, 2)))
+        .child(ElementBuilder::new("category").text(pick(rng, CATEGORIES)))
+        .child(ElementBuilder::new("quantity").text(rng.random_range(1..=5).to_string()))
+        .child(
+            ElementBuilder::new("description").child(
+                ElementBuilder::new("parlist")
+                    .child(ElementBuilder::new("listitem").text(phrase(rng, 4))),
+            ),
+        );
+    // mail/date: Q6's target.
+    let mails = rng.random_range(0..=2);
+    for m in 0..=mails {
+        e = e.child(
+            ElementBuilder::new("mail")
+                .child(ElementBuilder::new("from").text(format!("person{}", (i + m) % 500)))
+                .child(ElementBuilder::new("to").text(format!("person{}", (i + m + 1) % 500)))
+                .child(ElementBuilder::new("date").text(sentinel_date(rng))),
+        );
+    }
+    ElementBuilder::new("site")
+        .child(ElementBuilder::new("regions").child(
+            ElementBuilder::new(pick(rng, &["africa", "asia", "europe", "namerica", "samerica"]))
+                .child(e),
+        ))
+        .into_document()
+}
+
+fn person(rng: &mut StdRng, i: usize) -> Document {
+    let city = if rng.random_bool(0.03) {
+        PLANTED_CITY
+    } else {
+        pick(rng, CITIES)
+    };
+    let mut e = ElementBuilder::new("person")
+        .attr("id", format!("person{i}"))
+        .child(ElementBuilder::new("name").text(crate::words::author(rng)))
+        .child(ElementBuilder::new("emailaddress").text(format!("mailto:p{i}@example.org")));
+    if rng.random_bool(0.7) {
+        // Q7 goes /site//person/*/city — city under an intermediate element.
+        e = e.child(
+            ElementBuilder::new("address")
+                .child(ElementBuilder::new("street").text(format!("{} Main St", i % 999)))
+                .child(ElementBuilder::new("city").text(city))
+                .child(ElementBuilder::new("country").text(pick(rng, COUNTRIES)))
+                .child(ElementBuilder::new("zipcode").text(format!("{}", 10000 + i % 89999))),
+        );
+    }
+    if rng.random_bool(0.5) {
+        e = e.child(
+            ElementBuilder::new("profile")
+                .attr("income", format!("{}", rng.random_range(20000..120000)))
+                .child(ElementBuilder::new("interest").text(pick(rng, CATEGORIES))),
+        );
+    }
+    ElementBuilder::new("site")
+        .child(ElementBuilder::new("people").child(e))
+        .into_document()
+}
+
+fn open_auction(rng: &mut StdRng, i: usize) -> Document {
+    let mut e = ElementBuilder::new("open_auction")
+        .attr("id", format!("open_auction{i}"))
+        .child(ElementBuilder::new("initial").text(format!("{}.00", rng.random_range(1..300))))
+        .child(ElementBuilder::new("current").text(format!("{}.00", rng.random_range(300..900))))
+        .child(ElementBuilder::new("itemref").attr("item", format!("item{}", i % 1000)))
+        .child(ElementBuilder::new("seller").attr("person", format!("person{}", i % 500)))
+        .child(ElementBuilder::new("quantity").text("1"));
+    for _ in 0..rng.random_range(0..3) {
+        e = e.child(
+            ElementBuilder::new("bidder")
+                .child(ElementBuilder::new("date").text(sentinel_date(rng)))
+                .child(ElementBuilder::new("increase").text(format!("{}.00", rng.random_range(1..50))))
+                .child(
+                    ElementBuilder::new("personref")
+                        .attr("person", format!("person{}", rng.random_range(0..500))),
+                ),
+        );
+    }
+    ElementBuilder::new("site")
+        .child(ElementBuilder::new("open_auctions").child(e))
+        .into_document()
+}
+
+fn closed_auction(rng: &mut StdRng, i: usize) -> Document {
+    // Q8: //closed_auction[*[person='person1']]/date[text='12/15/1999'].
+    // The `*` binds to buyer/seller/annotation carrying a person value.
+    let planted = rng.random_bool(0.05);
+    let person = if planted {
+        PLANTED_PERSON.to_string()
+    } else {
+        format!("person{}", rng.random_range(0..500))
+    };
+    // Q8 needs the person AND the date on one auction: correlate them, as a
+    // buyer's activity bursts would in real data.
+    let the_date = if planted && rng.random_bool(0.5) {
+        PLANTED_DATE.to_string()
+    } else {
+        sentinel_date(rng)
+    };
+    let e = ElementBuilder::new("closed_auction")
+        .child(ElementBuilder::new("seller").child(ElementBuilder::new("person").text(person.clone())))
+        .child(
+            ElementBuilder::new("buyer")
+                .child(ElementBuilder::new("person").text(format!("person{}", rng.random_range(0..500)))),
+        )
+        .child(ElementBuilder::new("itemref").attr("item", format!("item{}", i % 1000)))
+        .child(ElementBuilder::new("price").text(format!("{}.00", rng.random_range(10..900))))
+        .child(ElementBuilder::new("date").text(the_date))
+        .child(ElementBuilder::new("quantity").text("1"))
+        .child(
+            ElementBuilder::new("annotation")
+                .child(ElementBuilder::new("author").child(ElementBuilder::new("person").text(person)))
+                .child(ElementBuilder::new("description").text(phrase(rng, 5))),
+        );
+    ElementBuilder::new("site")
+        .child(ElementBuilder::new("closed_auctions").child(e))
+        .into_document()
+}
+
+/// The paper's Table 3 XMARK queries (Q6–Q8), literal values included.
+#[must_use]
+pub fn table3_queries() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "Q6",
+            format!("/site//item[location='US']/mail/date[text='{PLANTED_DATE}']"),
+        ),
+        (
+            "Q7",
+            format!("/site//person/*/city[text='{PLANTED_CITY}']"),
+        ),
+        (
+            "Q8",
+            format!("//closed_auction[*[person='{PLANTED_PERSON}']]/date[text='{PLANTED_DATE}']"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_varied() {
+        let a = documents(100, 5);
+        let b = documents(100, 5);
+        assert_eq!(
+            a.iter().map(Document::to_xml).collect::<Vec<_>>(),
+            b.iter().map(Document::to_xml).collect::<Vec<_>>()
+        );
+        let kinds: std::collections::HashSet<String> = a
+            .iter()
+            .map(|d| {
+                let root = d.root().unwrap();
+                let section = d.child_elements(root).next().unwrap();
+                d.name(section).to_string()
+            })
+            .collect();
+        assert!(kinds.len() >= 3, "expected a mix of sub-structures: {kinds:?}");
+    }
+
+    #[test]
+    fn sentinels_present() {
+        let docs = documents(2000, 11);
+        let xml: Vec<String> = docs.iter().map(Document::to_xml).collect();
+        assert!(xml.iter().any(|x| x.contains(PLANTED_DATE)));
+        assert!(xml.iter().any(|x| x.contains(PLANTED_CITY)));
+        assert!(xml
+            .iter()
+            .any(|x| x.contains("closed_auction") && x.contains(PLANTED_PERSON)));
+        // Q8's conjunction must be satisfiable: some closed_auction carries
+        // both the planted person and the planted date.
+        assert!(xml.iter().any(|x| x.contains("closed_auction")
+            && x.contains(PLANTED_PERSON)
+            && x.contains(PLANTED_DATE)));
+        assert!(xml.iter().any(|x| x.contains("location=\"US\"")));
+    }
+
+    #[test]
+    fn queries_parse() {
+        for (_, q) in table3_queries() {
+            vist_query::parse_query(&q).unwrap();
+        }
+    }
+}

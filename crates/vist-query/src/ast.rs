@@ -1,0 +1,219 @@
+//! Query AST (as parsed) and the normalized pattern tree (as matched).
+
+/// How a step relates to its predecessor: `/` or `//`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/` — direct child.
+    Child,
+    /// `//` — descendant at any depth ≥ 1.
+    Descendant,
+}
+
+/// The node test of a step: a name or `*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameTest {
+    /// A concrete element/attribute name.
+    Name(String),
+    /// `*` — any single element.
+    Star,
+}
+
+/// One location step, e.g. `item[location='US']`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// `/` or `//` before this step.
+    pub axis: Axis,
+    /// Name or `*`.
+    pub test: NameTest,
+    /// `[...]` predicates attached to the step.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A `[...]` predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `[text='lit']` — the step's own text/attribute value.
+    Text(String),
+    /// `[rel/path]` or `[rel/path='lit']` — existence of a branch, optionally
+    /// ending in a value.
+    Path {
+        /// Relative steps (first step's axis is relative to the current node).
+        steps: Vec<Step>,
+        /// Trailing `='lit'` comparison on the last step, if any.
+        value: Option<String>,
+    },
+}
+
+/// A parsed absolute path query (the paper's Table 3 form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The absolute steps; the first step's axis is relative to the document
+    /// root (`/a` vs `//a`).
+    pub steps: Vec<Step>,
+}
+
+/// Node test of a [`PatternNode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternTest {
+    /// A named element/attribute node.
+    Tag(String),
+    /// `*` — any one element (discarded at translation; becomes a `*`
+    /// placeholder in descendants' prefixes).
+    Star,
+    /// A leaf value; compared by `h(text)`.
+    Value(String),
+}
+
+impl PatternTest {
+    /// The tag name, when this is a `Tag` test.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            PatternTest::Tag(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// A node of the normalized query tree (the paper's Figure 2 graphs):
+/// every step and predicate lowered onto the record-tree model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternNode {
+    /// Relation to the parent pattern node.
+    pub axis: Axis,
+    /// What this node must match.
+    pub test: PatternTest,
+    /// Branch children (predicates and the continuation path alike).
+    pub children: Vec<PatternNode>,
+}
+
+/// A whole query pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// The root pattern node (relates to the document root via its axis).
+    pub root: PatternNode,
+}
+
+impl Query {
+    /// Normalize into a [`Pattern`] tree: nest the path steps, attach
+    /// predicates as branch children, lower `text=`/`=` comparisons to
+    /// `Value` leaf children.
+    ///
+    /// # Panics
+    /// Panics if the query has no steps (the parser never produces that).
+    #[must_use]
+    pub fn to_pattern(&self) -> Pattern {
+        assert!(!self.steps.is_empty(), "empty query");
+        Pattern {
+            root: nest_steps(&self.steps, None),
+        }
+    }
+}
+
+/// Build the chain for `steps`, with `tail_value` attached to the last step.
+fn nest_steps(steps: &[Step], tail_value: Option<&str>) -> PatternNode {
+    let step = &steps[0];
+    let mut node = PatternNode {
+        axis: step.axis,
+        test: match &step.test {
+            NameTest::Name(n) => PatternTest::Tag(n.clone()),
+            NameTest::Star => PatternTest::Star,
+        },
+        children: Vec::new(),
+    };
+    for pred in &step.predicates {
+        match pred {
+            Predicate::Text(lit) => node.children.push(PatternNode {
+                axis: Axis::Child,
+                test: PatternTest::Value(lit.clone()),
+                children: Vec::new(),
+            }),
+            Predicate::Path { steps, value } => {
+                node.children.push(nest_steps(steps, value.as_deref()));
+            }
+        }
+    }
+    if steps.len() > 1 {
+        node.children.push(nest_steps(&steps[1..], tail_value));
+    } else if let Some(lit) = tail_value {
+        node.children.push(PatternNode {
+            axis: Axis::Child,
+            test: PatternTest::Value(lit.to_string()),
+            children: Vec::new(),
+        });
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(axis: Axis, name: &str) -> Step {
+        Step {
+            axis,
+            test: NameTest::Name(name.into()),
+            predicates: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn simple_path_nests() {
+        let q = Query {
+            steps: vec![step(Axis::Child, "a"), step(Axis::Child, "b")],
+        };
+        let p = q.to_pattern();
+        assert_eq!(p.root.test, PatternTest::Tag("a".into()));
+        assert_eq!(p.root.children.len(), 1);
+        assert_eq!(p.root.children[0].test, PatternTest::Tag("b".into()));
+    }
+
+    #[test]
+    fn predicates_become_branches() {
+        let mut s = step(Axis::Child, "book");
+        s.predicates.push(Predicate::Path {
+            steps: vec![step(Axis::Child, "author")],
+            value: Some("David".into()),
+        });
+        let q = Query {
+            steps: vec![s, step(Axis::Child, "title")],
+        };
+        let p = q.to_pattern();
+        assert_eq!(p.root.children.len(), 2);
+        // Branch: author -> value(David)
+        let author = &p.root.children[0];
+        assert_eq!(author.test, PatternTest::Tag("author".into()));
+        assert_eq!(author.children[0].test, PatternTest::Value("David".into()));
+        // Continuation: title
+        assert_eq!(p.root.children[1].test, PatternTest::Tag("title".into()));
+    }
+
+    #[test]
+    fn text_predicate_on_last_step() {
+        let mut s = step(Axis::Child, "author");
+        s.predicates.push(Predicate::Text("David".into()));
+        let q = Query { steps: vec![s] };
+        let p = q.to_pattern();
+        assert_eq!(p.root.children.len(), 1);
+        assert_eq!(
+            p.root.children[0].test,
+            PatternTest::Value("David".into())
+        );
+    }
+
+    #[test]
+    fn trailing_value_on_path_predicate() {
+        // /a[b/c='x'] — the value hangs off c, not b.
+        let mut s = step(Axis::Child, "a");
+        s.predicates.push(Predicate::Path {
+            steps: vec![step(Axis::Child, "b"), step(Axis::Child, "c")],
+            value: Some("x".into()),
+        });
+        let q = Query { steps: vec![s] };
+        let p = q.to_pattern();
+        let b = &p.root.children[0];
+        let c = &b.children[0];
+        assert_eq!(c.test, PatternTest::Tag("c".into()));
+        assert_eq!(c.children[0].test, PatternTest::Value("x".into()));
+    }
+}

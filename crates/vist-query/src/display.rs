@@ -1,0 +1,224 @@
+//! Rendering queries back to path-expression text.
+//!
+//! `parse_query(q).to_pattern().to_expr()` produces an equivalent
+//! expression (used for logging, the CLI, and round-trip tests). Branch
+//! children render as predicates; the last child of a chain renders as the
+//! continuation path, matching the surface syntax's shape.
+
+use std::fmt;
+
+use crate::ast::{Axis, Pattern, PatternNode, PatternTest};
+
+impl Pattern {
+    /// Render as a path expression equivalent to this pattern.
+    #[must_use]
+    pub fn to_expr(&self) -> String {
+        let mut out = String::new();
+        render(&self.root, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_expr())
+    }
+}
+
+fn render(node: &PatternNode, out: &mut String) {
+    out.push_str(match node.axis {
+        Axis::Child => "/",
+        Axis::Descendant => "//",
+    });
+    match &node.test {
+        PatternTest::Tag(name) => out.push_str(name),
+        PatternTest::Star => out.push('*'),
+        PatternTest::Value(_) => unreachable!("values render inside predicates"),
+    }
+    // All children render as predicates except a single trailing element
+    // chain, which renders as the continuation path.
+    let (branches, continuation) = split_children(node);
+    for b in branches {
+        out.push('[');
+        render_predicate(b, out);
+        out.push(']');
+    }
+    if let Some(cont) = continuation {
+        render(cont, out);
+    }
+}
+
+/// Choose the continuation: the last non-value child, if any.
+fn split_children(node: &PatternNode) -> (Vec<&PatternNode>, Option<&PatternNode>) {
+    let cont_idx = node
+        .children
+        .iter()
+        .rposition(|c| !matches!(c.test, PatternTest::Value(_)));
+    let mut branches = Vec::new();
+    for (i, c) in node.children.iter().enumerate() {
+        if Some(i) != cont_idx {
+            branches.push(c);
+        }
+    }
+    (branches, cont_idx.map(|i| &node.children[i]))
+}
+
+fn render_predicate(node: &PatternNode, out: &mut String) {
+    match &node.test {
+        PatternTest::Value(lit) => {
+            out.push_str("text='");
+            out.push_str(lit);
+            out.push('\'');
+        }
+        _ => {
+            // Relative path: render like an absolute one, then strip the
+            // leading '/' (predicates use child-relative steps).
+            let mut inner = String::new();
+            render_relative(node, &mut inner);
+            out.push_str(&inner);
+        }
+    }
+}
+
+fn render_relative(node: &PatternNode, out: &mut String) {
+    if node.axis == Axis::Descendant {
+        out.push_str("//");
+    }
+    match &node.test {
+        PatternTest::Tag(name) => out.push_str(name),
+        PatternTest::Star => out.push('*'),
+        PatternTest::Value(_) => unreachable!("handled by render_predicate"),
+    }
+    // Inside predicates: value children become ='lit' when single and last;
+    // everything else nests as further predicates / path steps.
+    let (branches, continuation) = split_children(node);
+    let mut value_suffix: Option<&str> = None;
+    let mut rest: Vec<&PatternNode> = Vec::new();
+    for b in branches {
+        match &b.test {
+            PatternTest::Value(lit) if value_suffix.is_none() && continuation.is_none() => {
+                value_suffix = Some(lit);
+            }
+            _ => rest.push(b),
+        }
+    }
+    for b in rest {
+        out.push('[');
+        render_predicate(b, out);
+        out.push(']');
+    }
+    if let Some(cont) = continuation {
+        if cont.axis == Axis::Child {
+            out.push('/');
+        }
+        render_relative(cont, out);
+    }
+    if let Some(lit) = value_suffix {
+        out.push_str("='");
+        out.push_str(lit);
+        out.push('\'');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_query;
+
+    /// Parse → render → parse must be a fixed point (same pattern).
+    fn roundtrips(q: &str) {
+        let p1 = parse_query(q).unwrap().to_pattern();
+        let rendered = p1.to_expr();
+        let p2 = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("rendered '{rendered}' unparseable: {e}"))
+            .to_pattern();
+        assert_eq!(p1, p2, "{q} -> {rendered}");
+    }
+
+    #[test]
+    fn table3_queries_roundtrip() {
+        for q in [
+            "/inproceedings/title",
+            "/book/author[text='David']",
+            "/*/author[text='David']",
+            "//author[text='David']",
+            "/book[key='books/bc/MaierW88']/author",
+            "/site//item[location='US']/mail/date[text='12/15/1999']",
+            "/site//person/*/city[text='Pocatello']",
+            "//closed_auction[*[person='person1']]/date[text='12/15/1999']",
+        ] {
+            roundtrips(q);
+        }
+    }
+
+    #[test]
+    fn branches_and_values_roundtrip() {
+        for q in [
+            "/a[b][c]/d",
+            "/a[b/c='1'][d='2']",
+            "/a[text='x'][b]",
+            "//a[//b='x']",
+            "/a/*[b]/c",
+            "/a[b[c][d]]/e",
+        ] {
+            roundtrips(q);
+        }
+    }
+
+    #[test]
+    fn random_patterns_roundtrip() {
+        // A deterministic pseudo-random pattern generator over the
+        // expressible shapes (values only as leaves; names from a small
+        // alphabet).
+        use crate::ast::{Axis, Pattern, PatternNode, PatternTest};
+        fn next(rng: &mut u64) -> usize {
+            *rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*rng >> 33) as usize
+        }
+        fn gen(rng: &mut u64, depth: usize) -> PatternNode {
+            let axis = if next(rng).is_multiple_of(4) { Axis::Descendant } else { Axis::Child };
+            let test = match next(rng) % 6 {
+                0 => PatternTest::Star,
+                n => PatternTest::Tag(format!("n{}", n % 4)),
+            };
+            let n_children = if depth == 0 { 0 } else { next(rng) % 3 };
+            let mut children: Vec<PatternNode> = (0..n_children)
+                .map(|_| gen(rng, depth - 1))
+                .collect();
+            if next(rng).is_multiple_of(3) {
+                let v = format!("v{}", next(rng) % 5);
+                children.push(PatternNode {
+                    axis: Axis::Child,
+                    test: PatternTest::Value(v),
+                    children: Vec::new(),
+                });
+            }
+            PatternNode { axis, test, children }
+        }
+        // Branch children are unordered conjuncts; rendering may reorder
+        // them (values render as predicates before the continuation path),
+        // so compare modulo recursive child order.
+        fn canon(n: &PatternNode) -> String {
+            let mut kids: Vec<String> = n.children.iter().map(canon).collect();
+            kids.sort();
+            format!("{:?}|{:?}|{:?}", n.axis, n.test, kids)
+        }
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        for case in 0..300 {
+            let root = gen(&mut rng, 3);
+            let p1 = Pattern { root };
+            let expr = p1.to_expr();
+            let p2 = parse_query(&expr)
+                .unwrap_or_else(|e| panic!("case {case}: '{expr}' unparseable: {e}"))
+                .to_pattern();
+            assert_eq!(canon(&p1.root), canon(&p2.root), "case {case}: {expr}");
+        }
+    }
+
+    #[test]
+    fn display_matches_to_expr() {
+        let p = parse_query("/a/b[c='1']").unwrap().to_pattern();
+        assert_eq!(format!("{p}"), p.to_expr());
+    }
+}

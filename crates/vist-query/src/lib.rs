@@ -1,0 +1,47 @@
+//! Query language and query-side algorithms for the ViST reproduction.
+//!
+//! The paper expresses queries as XPath-style path expressions with
+//! branches (`[...]` predicates), wildcards (`*`), and descendant steps
+//! (`//`) — see its Table 3. This crate provides:
+//!
+//! * [`parse_query`] — a recursive-descent parser for exactly that subset,
+//! * [`Pattern`] — the normalized *query tree* over the record-tree model
+//!   (attributes lowered to child nodes, values hashed), i.e. the graphs of
+//!   the paper's Figure 2,
+//! * [`translate`] — the query tree → structure-encoded query sequence(s)
+//!   conversion of Section 2, including the Q5 rule (identical sibling names
+//!   under a branch ⇒ emit every permutation and union the results) extended
+//!   to wildcard-rooted branches whose sibling position is unknowable,
+//! * [`matches_document`] / [`matches_record_tree`] — an **exact**
+//!   tree-embedding matcher used as ground truth in tests and as the
+//!   optional post-verification step that removes ViST's known false
+//!   positives, and
+//! * [`sequence_matches`] — a brute-force reference implementation of the
+//!   paper's (non-contiguous) subsequence-matching semantics, with wildcard
+//!   instantiation, used to validate the index.
+//!
+//! # Example
+//!
+//! ```
+//! use vist_query::parse_query;
+//!
+//! let q = parse_query("/site//item[location='US']/mail/date[text='12/15/1999']").unwrap();
+//! let pattern = q.to_pattern();
+//! assert_eq!(pattern.root.test.name(), Some("site"));
+//! ```
+
+mod ast;
+mod display;
+mod matcher;
+mod parser;
+mod seqmatch;
+mod translate;
+
+pub use ast::{Axis, NameTest, Pattern, PatternNode, PatternTest, Predicate, Query, Step};
+pub use matcher::{matches_document, matches_record_tree};
+pub use parser::{parse_query, QueryParseError};
+pub use seqmatch::sequence_matches;
+pub use translate::{
+    translate, translate_with, try_translate, NameResolver, QueryElem, QuerySequence,
+    TranslateOptions, Translation,
+};

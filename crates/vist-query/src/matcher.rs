@@ -1,0 +1,172 @@
+//! Exact tree-pattern matching against documents — the ground truth.
+//!
+//! ViST's subsequence matching is known (from follow-up literature) to admit
+//! **false positives**: a non-contiguous subsequence match does not always
+//! correspond to a valid embedding of the query tree, because two query
+//! branches can bind to *different* instances of a repeated ancestor. This
+//! module implements the exact XPath-style semantics by direct tree
+//! embedding; it is used as the test oracle and as the optional
+//! post-verification filter on ViST's candidate results.
+
+use vist_seq::{hash_value, RecordNode, SiblingOrder, Sym, SymbolTable};
+use vist_xml::Document;
+
+use crate::ast::{Axis, Pattern, PatternNode, PatternTest};
+
+/// Does `doc` match the query pattern? (Exact semantics.)
+///
+/// The document is lowered to its record tree with the given sibling order
+/// (ordering does not affect the answer, but the lowering of attributes and
+/// hashing of values must agree with the index side).
+#[must_use]
+pub fn matches_document(pattern: &Pattern, doc: &Document, order: &SiblingOrder) -> bool {
+    let mut scratch = SymbolTable::new();
+    match vist_seq::document_to_record_tree(doc, &mut scratch, order) {
+        Some(tree) => matches_record_tree(pattern, &tree),
+        None => false,
+    }
+}
+
+/// Does the record tree match the query pattern? (Exact semantics.)
+#[must_use]
+pub fn matches_record_tree(pattern: &Pattern, root: &RecordNode) -> bool {
+    match pattern.root.axis {
+        // `/a`: the root element itself must match.
+        Axis::Child => node_matches(&pattern.root, root),
+        // `//a`: any node (the root included — it is already a descendant of
+        // the conceptual document node).
+        Axis::Descendant => any_self_or_descendant(root, |n| node_matches(&pattern.root, n)),
+    }
+}
+
+fn any_self_or_descendant(node: &RecordNode, f: impl Fn(&RecordNode) -> bool + Copy) -> bool {
+    if f(node) {
+        return true;
+    }
+    node.children.iter().any(|c| any_self_or_descendant(c, f))
+}
+
+fn any_proper_descendant(node: &RecordNode, f: impl Fn(&RecordNode) -> bool + Copy) -> bool {
+    node.children.iter().any(|c| any_self_or_descendant(c, f))
+}
+
+fn test_matches(test: &PatternTest, node: &RecordNode) -> bool {
+    match (test, node.sym) {
+        (PatternTest::Tag(name), Sym::Tag(_)) => node.name == *name,
+        (PatternTest::Star, Sym::Tag(_)) => true,
+        (PatternTest::Value(lit), Sym::Value(h)) => hash_value(lit) == h,
+        _ => false,
+    }
+}
+
+/// XPath predicate semantics: every pattern child must be satisfiable under
+/// this node, independently of the others (two predicates may bind to the
+/// same document child).
+fn node_matches(p: &PatternNode, node: &RecordNode) -> bool {
+    if !test_matches(&p.test, node) {
+        return false;
+    }
+    p.children.iter().all(|pc| match pc.axis {
+        Axis::Child => node.children.iter().any(|dc| node_matches(pc, dc)),
+        Axis::Descendant => any_proper_descendant(node, |d| node_matches(pc, d)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use vist_xml::parse;
+
+    fn check(query: &str, xml: &str) -> bool {
+        let q = parse_query(query).unwrap().to_pattern();
+        let doc = parse(xml).unwrap();
+        matches_document(&q, &doc, &SiblingOrder::Lexicographic)
+    }
+
+    #[test]
+    fn simple_paths() {
+        assert!(check("/a/b", "<a><b/></a>"));
+        assert!(!check("/a/b", "<a><c/></a>"));
+        assert!(!check("/a/b", "<x><b/></x>"));
+        assert!(!check("/a/b", "<a><c><b/></c></a>"), "b not a direct child");
+    }
+
+    #[test]
+    fn descendant_axis() {
+        assert!(check("/a//b", "<a><b/></a>"), "// includes depth 1");
+        assert!(check("/a//b", "<a><c><d><b/></d></c></a>"));
+        assert!(!check("/a//b", "<a><c/></a>"));
+        assert!(check("//b", "<b/>"), "leading // can match the root");
+        assert!(check("//b", "<a><b/></a>"));
+    }
+
+    #[test]
+    fn star_matches_any_element_not_values() {
+        assert!(check("/a/*/c", "<a><x><c/></x></a>"));
+        assert!(check("/a/*/c", "<a><y><c/></y></a>"));
+        assert!(!check("/a/*/c", "<a><c/></a>"), "* consumes one level");
+        // * must not match a text value node.
+        assert!(!check("/a/*/c", "<a>just text</a>"));
+    }
+
+    #[test]
+    fn text_and_attribute_values() {
+        assert!(check("/book/author[text='David']", "<book><author>David</author></book>"));
+        assert!(!check("/book/author[text='David']", "<book><author>Mary</author></book>"));
+        // Attributes are child nodes in the record-tree model.
+        assert!(check("/book[key='k1']/author", r#"<book key="k1"><author>x</author></book>"#));
+        assert!(!check("/book[key='k1']/author", r#"<book key="k2"><author>x</author></book>"#));
+        // Value comparison trims, like hash_value.
+        assert!(check("/a[text='v']", "<a>  v  </a>"));
+    }
+
+    #[test]
+    fn branch_predicates_conjunctive() {
+        let xml = r#"<p><s><l>boston</l></s><b><l>newyork</l></b></p>"#;
+        assert!(check("/p[s/l='boston']/b[l='newyork']", xml));
+        assert!(!check("/p[s/l='boston']/b[l='tokyo']", xml));
+        assert!(!check("/p[s/l='chicago']/b[l='newyork']", xml));
+    }
+
+    #[test]
+    fn correct_binding_across_branches() {
+        // The classic ViST false-positive shape: query asks for ONE b with
+        // both c='1' and d='2'; the document has two b's each carrying one.
+        // Exact matching must say NO.
+        let xml = "<a><b><c>1</c></b><b><d>2</d></b></a>";
+        assert!(!check("/a/b[c='1'][d='2']", xml));
+        // And YES when a single b carries both.
+        let xml2 = "<a><b><c>1</c><d>2</d></b></a>";
+        assert!(check("/a/b[c='1'][d='2']", xml2));
+    }
+
+    #[test]
+    fn existence_predicate_without_value() {
+        assert!(check("/a[b]/c", "<a><b/><c/></a>"));
+        assert!(!check("/a[b]/c", "<a><c/></a>"));
+    }
+
+    #[test]
+    fn nested_star_predicate_q8_shape() {
+        let xml = "<ca><ann><person>p1</person></ann><date>d</date></ca>";
+        assert!(check("//ca[*[person='p1']]/date", xml));
+        assert!(!check("//ca[*[person='p2']]/date", xml));
+        // The * requires an intermediate element: person directly under ca
+        // does not satisfy *[person=..].
+        let flat = "<ca><person>p1</person><date>d</date></ca>";
+        assert!(!check("//ca[*[person='p1']]/date", flat));
+    }
+
+    #[test]
+    fn two_predicates_may_share_one_child() {
+        // XPath semantics: [b][b/c] can both bind the same b.
+        assert!(check("/a[b][b/c]", "<a><b><c/></b></a>"));
+    }
+
+    #[test]
+    fn descendant_value_search() {
+        assert!(check("//item[location='US']", r#"<site><r><item location="US"/></r></site>"#));
+        assert!(!check("//item[location='US']", r#"<site><r><item location="EU"/></r></site>"#));
+    }
+}

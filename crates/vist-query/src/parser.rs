@@ -1,0 +1,325 @@
+//! Recursive-descent parser for the XPath subset of the paper's Table 3.
+//!
+//! Grammar:
+//!
+//! ```text
+//! query     := axis step (axis step)*
+//! axis      := '/' | '//'
+//! step      := nametest predicate*
+//! nametest  := NAME | '*'
+//! predicate := '[' ('text' '=' literal
+//!                  | relpath ('=' literal)?) ']'
+//! relpath   := step (axis step)*          (first step: child axis)
+//! literal   := "'" [^']* "'" | '"' [^"]* '"'
+//! NAME      := [A-Za-z_][A-Za-z0-9_.:-]*  (plus non-ASCII)
+//! ```
+
+use std::fmt;
+
+use crate::ast::{Axis, NameTest, Predicate, Query, Step};
+
+/// A syntax error in a query expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parse a path-expression query, e.g.
+/// `//closed_auction[*[person='person1']]/date[text='12/15/1999']`.
+pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
+    let mut p = P {
+        src: input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let steps = p.parse_absolute_path()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(Query { steps })
+}
+
+struct P<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: impl Into<String>) -> QueryParseError {
+        QueryParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_axis(&mut self) -> Option<Axis> {
+        if self.eat("//") {
+            Some(Axis::Descendant)
+        } else if self.eat("/") {
+            Some(Axis::Child)
+        } else {
+            None
+        }
+    }
+
+    fn parse_absolute_path(&mut self) -> Result<Vec<Step>, QueryParseError> {
+        self.skip_ws();
+        let Some(first_axis) = self.parse_axis() else {
+            return Err(self.err("query must start with '/' or '//'"));
+        };
+        self.parse_path(first_axis)
+    }
+
+    fn parse_path(&mut self, first_axis: Axis) -> Result<Vec<Step>, QueryParseError> {
+        let mut steps = vec![self.parse_step(first_axis)?];
+        loop {
+            let save = self.pos;
+            match self.parse_axis() {
+                Some(axis) => steps.push(self.parse_step(axis)?),
+                None => {
+                    self.pos = save;
+                    return Ok(steps);
+                }
+            }
+        }
+    }
+
+    fn parse_step(&mut self, axis: Axis) -> Result<Step, QueryParseError> {
+        self.skip_ws();
+        let test = if self.eat("*") {
+            NameTest::Star
+        } else {
+            NameTest::Name(self.parse_name()?)
+        };
+        let mut predicates = Vec::new();
+        loop {
+            self.skip_ws();
+            if !self.eat("[") {
+                break;
+            }
+            predicates.push(self.parse_predicate()?);
+            self.skip_ws();
+            if !self.eat("]") {
+                return Err(self.err("expected ']'"));
+            }
+        }
+        Ok(Step {
+            axis,
+            test,
+            predicates,
+        })
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, QueryParseError> {
+        self.skip_ws();
+        // `text = 'lit'` — check for the keyword followed by '='.
+        let save = self.pos;
+        if self.eat("text") {
+            self.skip_ws();
+            if self.eat("=") {
+                self.skip_ws();
+                return Ok(Predicate::Text(self.parse_literal()?));
+            }
+            self.pos = save; // 'text...' was actually a name like 'texture'
+        }
+        // Relative path, first step child-axis unless written with // ahead.
+        let first_axis = if self.eat("//") {
+            Axis::Descendant
+        } else {
+            self.eat("/"); // tolerate an optional leading '/'
+            Axis::Child
+        };
+        let steps = self.parse_path(first_axis)?;
+        self.skip_ws();
+        let value = if self.eat("=") {
+            self.skip_ws();
+            Some(self.parse_literal()?)
+        } else {
+            None
+        };
+        Ok(Predicate::Path { steps, value })
+    }
+
+    fn parse_name(&mut self) -> Result<String, QueryParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name or '*'"));
+        }
+        let first = self.bytes[start];
+        if first.is_ascii_digit() || matches!(first, b'-' | b'.') {
+            return Err(QueryParseError {
+                offset: start,
+                message: "names may not start with a digit, '-' or '.'".into(),
+            });
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn parse_literal(&mut self) -> Result<String, QueryParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'\'' | b'"')) => q,
+            _ => return Err(self.err("expected a quoted literal")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let lit = self.src[start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(lit);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated literal"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_queries_all_parse() {
+        // The paper's Q1–Q8 (Table 3).
+        let queries = [
+            "/inproceedings/title",
+            "/book/author[text='David']",
+            "/*/author[text='David']",
+            "//author[text='David']",
+            "/book[key='books/bc/MaierW88']/author",
+            "/site//item[location='US']/mail/date[text='12/15/1999']",
+            "/site//person/*/city[text='Pocatello']",
+            "//closed_auction[*[person='person1']]/date[text='12/15/1999']",
+        ];
+        for q in queries {
+            parse_query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn simple_path_structure() {
+        let q = parse_query("/a/b//c").unwrap();
+        assert_eq!(q.steps.len(), 3);
+        assert_eq!(q.steps[0].axis, Axis::Child);
+        assert_eq!(q.steps[0].test, NameTest::Name("a".into()));
+        assert_eq!(q.steps[2].axis, Axis::Descendant);
+        assert_eq!(q.steps[2].test, NameTest::Name("c".into()));
+    }
+
+    #[test]
+    fn star_and_descendant_roots() {
+        let q = parse_query("//item").unwrap();
+        assert_eq!(q.steps[0].axis, Axis::Descendant);
+        let q = parse_query("/*/b").unwrap();
+        assert_eq!(q.steps[0].test, NameTest::Star);
+    }
+
+    #[test]
+    fn predicate_forms() {
+        let q = parse_query("/a[b]").unwrap();
+        assert_eq!(q.steps[0].predicates.len(), 1);
+        let q = parse_query("/a[b/c='x'][text=\"y\"]").unwrap();
+        assert_eq!(q.steps[0].predicates.len(), 2);
+        match &q.steps[0].predicates[0] {
+            Predicate::Path { steps, value } => {
+                assert_eq!(steps.len(), 2);
+                assert_eq!(value.as_deref(), Some("x"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.steps[0].predicates[1], Predicate::Text("y".into()));
+    }
+
+    #[test]
+    fn nested_star_predicate() {
+        // Q8's shape.
+        let q = parse_query("//ca[*[person='p1']]/date").unwrap();
+        let pred = &q.steps[0].predicates[0];
+        match pred {
+            Predicate::Path { steps, value } => {
+                assert_eq!(steps[0].test, NameTest::Star);
+                assert!(value.is_none());
+                assert_eq!(steps[0].predicates.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn name_starting_with_text_is_not_keyword() {
+        let q = parse_query("/a[texture='x']").unwrap();
+        match &q.steps[0].predicates[0] {
+            Predicate::Path { steps, .. } => {
+                assert_eq!(steps[0].test, NameTest::Name("texture".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let q = parse_query("  /a [ b = 'x' ] / c  ").unwrap();
+        assert_eq!(q.steps.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("a/b").is_err(), "must be absolute");
+        assert!(parse_query("/a[").is_err());
+        assert!(parse_query("/a[b='x]").is_err(), "unterminated literal");
+        assert!(parse_query("/a]").is_err(), "trailing input");
+        assert!(parse_query("/1bad").is_err());
+        assert!(parse_query("/a[=‘x’]").is_err());
+    }
+
+    #[test]
+    fn descendant_inside_predicate() {
+        let q = parse_query("/a[//b='x']").unwrap();
+        match &q.steps[0].predicates[0] {
+            Predicate::Path { steps, .. } => assert_eq!(steps[0].axis, Axis::Descendant),
+            other => panic!("{other:?}"),
+        }
+    }
+}

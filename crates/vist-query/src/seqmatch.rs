@@ -1,0 +1,178 @@
+//! Brute-force reference implementation of the paper's matching semantics:
+//! non-contiguous subsequence matching with wildcard instantiation.
+//!
+//! This is the specification the index must agree with (`vist-core` tests
+//! cross-check against it). It deliberately reproduces the paper's
+//! semantics, *including* the known false positives relative to exact tree
+//! embedding — see [`crate::matches_document`] for the exact oracle.
+
+use vist_seq::{PathSym, Prefix, Sequence, Sym, Symbol};
+
+use crate::translate::QuerySequence;
+
+/// Does `data` (a document's structure-encoded sequence) contain a match for
+/// `query` under the paper's subsequence semantics?
+///
+/// Elements must match in order at strictly increasing data positions; each
+/// element's prefix pattern is rebuilt from its *parent's instantiated*
+/// concrete path plus the placeholder steps between them, so a `*` or `//`
+/// bound by an ancestor match constrains every descendant ("`(v2, P∗L)` is
+/// not considered as a wild-card query").
+#[must_use]
+pub fn sequence_matches(query: &QuerySequence, data: &Sequence) -> bool {
+    if query.elems.is_empty() {
+        return true;
+    }
+    // paths[i] = concrete root-to-self path of matched query element i
+    // (prefix symbols plus its own tag symbol; values contribute nothing
+    // below themselves and store just the prefix).
+    let mut paths: Vec<Vec<Symbol>> = vec![Vec::new(); query.elems.len()];
+    match_from(query, 0, data, 0, &mut paths)
+}
+
+fn match_from(
+    query: &QuerySequence,
+    qi: usize,
+    data: &Sequence,
+    start: usize,
+    paths: &mut Vec<Vec<Symbol>>,
+) -> bool {
+    if qi == query.elems.len() {
+        return true;
+    }
+    let qe = &query.elems[qi];
+    // Rebuild the lookup pattern from the parent's instantiated path.
+    let mut pattern: Vec<PathSym> = match qe.parent {
+        Some(p) => paths[p].iter().map(|&s| PathSym::Tag(s)).collect(),
+        None => Vec::new(),
+    };
+    pattern.extend_from_slice(&qe.steps_after_parent);
+    let pattern = Prefix(pattern);
+
+    for j in start..data.0.len() {
+        let de = &data.0[j];
+        if de.sym != qe.sym {
+            continue;
+        }
+        let concrete = de
+            .prefix
+            .as_concrete()
+            .expect("data prefixes are concrete");
+        if !pattern.matches(&concrete) {
+            continue;
+        }
+        // Bind: this element's concrete path = its prefix + its own symbol.
+        paths[qi] = concrete.clone();
+        if let Sym::Tag(t) = de.sym {
+            paths[qi].push(t);
+        }
+        if match_from(query, qi + 1, data, j + 1, paths) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::{translate, TranslateOptions};
+    use crate::{matches_document, parse_query};
+    use vist_seq::{document_to_sequence, SiblingOrder, SymbolTable};
+    use vist_xml::parse;
+
+    /// Match under paper semantics: any alternative sequence matches.
+    fn paper_match(query: &str, xml: &str) -> bool {
+        let mut table = SymbolTable::new();
+        let doc = parse(xml).unwrap();
+        let data = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+        let pattern = parse_query(query).unwrap().to_pattern();
+        let t = translate(&pattern, &mut table, &TranslateOptions::default());
+        t.sequences.iter().any(|s| sequence_matches(s, &data))
+    }
+
+    fn exact_match(query: &str, xml: &str) -> bool {
+        let q = parse_query(query).unwrap().to_pattern();
+        let doc = parse(xml).unwrap();
+        matches_document(&q, &doc, &SiblingOrder::Lexicographic)
+    }
+
+    #[test]
+    fn simple_paths_agree_with_exact() {
+        let cases = [
+            ("/a/b", "<a><b/></a>", true),
+            ("/a/b", "<a><c/></a>", false),
+            ("/a/b/c", "<a><b><c/></b></a>", true),
+            ("/a/b", "<a><c><b/></c></a>", false),
+        ];
+        for (q, xml, want) in cases {
+            assert_eq!(paper_match(q, xml), want, "{q} vs {xml}");
+            assert_eq!(exact_match(q, xml), want, "exact: {q} vs {xml}");
+        }
+    }
+
+    #[test]
+    fn branches_values_wildcards() {
+        let xml = r#"<p><s><l>boston</l></s><b><l>newyork</l></b></p>"#;
+        assert!(paper_match("/p[s/l='boston']/b[l='newyork']", xml));
+        assert!(!paper_match("/p[s/l='tokyo']/b[l='newyork']", xml));
+        assert!(paper_match("/p/*[l='boston']", xml));
+        assert!(paper_match("/p/*[l='newyork']", xml));
+        assert!(!paper_match("/p/*[l='tokyo']", xml));
+        assert!(paper_match("//l", xml));
+        assert!(paper_match("/p//l", xml));
+    }
+
+    #[test]
+    fn wildcard_instantiation_prevents_cross_binding() {
+        // (v, P*L) must bind to the same * as (L, P*): value 'boston' lives
+        // under s/l, so /p/*[l='x'] with x under the OTHER branch must fail.
+        let xml = r#"<p><s><l>boston</l></s><b><m>newyork</m></b></p>"#;
+        assert!(paper_match("/p/*[l='boston']", xml));
+        // 'newyork' exists but under m, and under b not s.
+        assert!(!paper_match("/p/*[l='newyork']", xml));
+    }
+
+    #[test]
+    fn q5_permutations_find_both_orders() {
+        // Data where the C branch comes after the D branch in preorder.
+        // Query /A[B/C]/B/D needs the permuted sequence to match.
+        let xml_cd = "<a1><b><c/></b><b><d/></b></a1>";
+        let xml_dc = "<a1><b><d/></b><b><c/></b></a1>";
+        // (lowercase names to match xml)
+        assert!(paper_match("/a1[b/c]/b/d", xml_cd));
+        assert!(paper_match("/a1[b/c]/b/d", xml_dc));
+    }
+
+    #[test]
+    fn known_false_positive_demonstrated() {
+        // ViST's documented unsoundness: the query wants ONE b carrying both
+        // c='1' and d='2'; the data has them under different b siblings.
+        // Subsequence semantics accepts; exact semantics rejects.
+        let xml = "<a><b><c>1</c></b><b><d>2</d></b></a>";
+        let q = "/a/b[c='1'][d='2']";
+        assert!(paper_match(q, xml), "paper semantics yields a false positive");
+        assert!(!exact_match(q, xml), "exact semantics rejects");
+        // The non-anomalous document matches under both.
+        let xml_ok = "<a><b><c>1</c><d>2</d></b></a>";
+        assert!(paper_match(q, xml_ok));
+        assert!(exact_match(q, xml_ok));
+    }
+
+    #[test]
+    fn deep_descendant_queries() {
+        let xml = "<site><x><y><item><location>US</location></item></y></x></site>";
+        assert!(paper_match("/site//item[location='US']", xml));
+        assert!(!paper_match("/site//item[location='EU']", xml));
+        assert!(paper_match("//item/location", xml));
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let q = QuerySequence { elems: Vec::new() };
+        let mut table = SymbolTable::new();
+        let doc = parse("<a/>").unwrap();
+        let data = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+        assert!(sequence_matches(&q, &data));
+    }
+}

@@ -1,0 +1,611 @@
+//! Query tree → structure-encoded query sequence(s) (paper Section 2).
+//!
+//! Rules, from the paper:
+//!
+//! * queries are converted by preorder traversal, like data;
+//! * wildcard nodes (`*`, `//`) are **discarded**, but "the prefix paths of
+//!   their sub nodes will contain a `*` or `//` symbol as a place holder";
+//! * sibling order must agree with the data conversion (DTD order, else
+//!   lexicographic, values first);
+//! * when a branch has children whose relative order in the data preorder
+//!   cannot be determined — the paper's Q5 case of *identical sibling names*,
+//!   which we extend to wildcard-rooted and descendant-axis branches whose
+//!   names are unknown — the query is converted into **multiple sequences**
+//!   ("we find matches for these two sequences separately and union their
+//!   results").
+//!
+//! Each produced [`QuerySequence`] also carries, per element, its parent
+//! element index and the placeholder steps separating it from the parent, so
+//! the search algorithm can *instantiate* wildcards once matched ("the
+//! matching of `(L, P*)` will instantiate the `*` in `(v2, P*L)` to a
+//! concrete symbol").
+
+use vist_seq::{hash_value, PathSym, Prefix, SiblingOrder, Sym, SymbolTable};
+
+use crate::ast::{Axis, Pattern, PatternNode, PatternTest};
+
+/// One element of a query sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryElem {
+    /// The element's symbol (always concrete — wildcard nodes are discarded).
+    pub sym: Sym,
+    /// Full pattern prefix, possibly containing `*` / `//` placeholders.
+    pub prefix: Prefix,
+    /// Index (within the sequence) of the nearest emitted ancestor.
+    pub parent: Option<usize>,
+    /// Placeholder/tag steps strictly between the parent's path and this
+    /// element (excluding the parent's own symbol). Used to rebuild the
+    /// lookup prefix from the parent's *instantiated* path during search.
+    pub steps_after_parent: Vec<PathSym>,
+}
+
+/// A structure-encoded query sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySequence {
+    /// Elements in query preorder.
+    pub elems: Vec<QueryElem>,
+}
+
+/// Options for [`translate`].
+#[derive(Debug, Clone)]
+pub struct TranslateOptions {
+    /// Sibling ordering — must match the one the data was indexed with.
+    pub order: SiblingOrder,
+    /// Cap on the number of alternative sequences generated for ambiguous
+    /// branch orders. Exceeding the cap truncates (a potential source of
+    /// false negatives, reported via `Translation::truncated`).
+    pub max_sequences: usize,
+}
+
+impl Default for TranslateOptions {
+    fn default() -> Self {
+        TranslateOptions {
+            order: SiblingOrder::Lexicographic,
+            max_sequences: 24,
+        }
+    }
+}
+
+/// Result of translation: the alternative sequences to match and union.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// Alternative query sequences (≥ 1); results are unioned.
+    pub sequences: Vec<QuerySequence>,
+    /// `true` if ambiguity exceeded `max_sequences` and alternatives were
+    /// dropped.
+    pub truncated: bool,
+}
+
+/// How query tag names are mapped to symbols during translation.
+pub trait NameResolver {
+    /// The symbol for `name`, or `None` when it cannot exist in the data.
+    fn sym(&mut self, name: &str) -> Option<vist_seq::Symbol>;
+}
+
+/// Interns unknown names (the default: harmless, but needs `&mut`).
+impl NameResolver for SymbolTable {
+    fn sym(&mut self, name: &str) -> Option<vist_seq::Symbol> {
+        Some(self.intern(name))
+    }
+}
+
+/// Read-only resolution: unknown names mean the query cannot match.
+struct ReadOnly<'a>(&'a SymbolTable);
+
+impl NameResolver for ReadOnly<'_> {
+    fn sym(&mut self, name: &str) -> Option<vist_seq::Symbol> {
+        self.0.lookup(name)
+    }
+}
+
+/// Translate a pattern into its query sequence(s).
+///
+/// Interns query names into `table`; names unknown to the data simply never
+/// match.
+pub fn translate(
+    pattern: &Pattern,
+    table: &mut SymbolTable,
+    opts: &TranslateOptions,
+) -> Translation {
+    translate_with(pattern, table, opts).expect("interning resolver never fails")
+}
+
+/// Translate without mutating the symbol table. Returns `None` when the
+/// query names an element/attribute absent from `table` — such a query can
+/// match nothing, so callers should return an empty result. This enables
+/// shared (`&self`) query execution.
+pub fn try_translate(
+    pattern: &Pattern,
+    table: &SymbolTable,
+    opts: &TranslateOptions,
+) -> Option<Translation> {
+    translate_with(pattern, &mut ReadOnly(table), opts)
+}
+
+/// Translate with an explicit [`NameResolver`].
+pub fn translate_with(
+    pattern: &Pattern,
+    resolver: &mut dyn NameResolver,
+    opts: &TranslateOptions,
+) -> Option<Translation> {
+    let mut out = Vec::new();
+    let mut truncated = false;
+    let mut failed = false;
+    // Enumerate child-order choices lazily through a stack of pending
+    // emissions; simplest correct approach: recursively expand the cartesian
+    // product of per-node orderings, pruning at the cap.
+    let mut state = EmitState {
+        table: resolver,
+        opts,
+        results: &mut out,
+        truncated: &mut truncated,
+        failed: &mut failed,
+    };
+    let seed = QuerySequence { elems: Vec::new() };
+    emit_node(
+        &mut state,
+        &pattern.root,
+        seed,
+        None,
+        Vec::new(),
+        Prefix::empty(),
+        &mut |state, seq| {
+            if state.results.len() < state.opts.max_sequences {
+                if !state.results.contains(&seq) {
+                    state.results.push(seq);
+                }
+            } else {
+                *state.truncated = true;
+            }
+        },
+    );
+    if failed {
+        return None;
+    }
+    Some(Translation {
+        sequences: out,
+        truncated,
+    })
+}
+
+struct EmitState<'a> {
+    table: &'a mut dyn NameResolver,
+    opts: &'a TranslateOptions,
+    results: &'a mut Vec<QuerySequence>,
+    truncated: &'a mut bool,
+    failed: &'a mut bool,
+}
+
+type Sink<'s, 'f> = dyn FnMut(&mut EmitState<'s>, QuerySequence) + 'f;
+
+/// Emit `node` (and its subtree, over all ambiguous child orders) onto the
+/// partial sequence `seq`, invoking `done` once per completed alternative.
+fn emit_node<'a>(
+    state: &mut EmitState<'a>,
+    node: &PatternNode,
+    seq: QuerySequence,
+    parent: Option<usize>,
+    pending: Vec<PathSym>,
+    parent_path: Prefix,
+    done: &mut Sink<'a, '_>,
+) {
+    // Steps contributed by this node's axis.
+    let mut eff = pending;
+    if node.axis == Axis::Descendant {
+        eff.push(PathSym::DoubleSlash);
+    }
+    match &node.test {
+        PatternTest::Star => {
+            // Discarded: children inherit the placeholders.
+            let mut child_pending = eff;
+            child_pending.push(PathSym::Star);
+            emit_children(
+                state,
+                node,
+                seq,
+                parent,
+                child_pending,
+                parent_path,
+                done,
+            );
+        }
+        PatternTest::Tag(name) => {
+            let Some(symbol) = state.table.sym(name) else {
+                *state.failed = true;
+                return;
+            };
+            let sym = Sym::Tag(symbol);
+            let mut prefix = parent_path.clone();
+            for s in &eff {
+                prefix = prefix.child(*s);
+            }
+            let mut seq = seq;
+            let idx = seq.elems.len();
+            seq.elems.push(QueryElem {
+                sym,
+                prefix: prefix.clone(),
+                parent,
+                steps_after_parent: eff,
+            });
+            let child_path = prefix.child(PathSym::Tag(match sym {
+                Sym::Tag(t) => t,
+                Sym::Value(_) => unreachable!(),
+            }));
+            emit_children(state, node, seq, Some(idx), Vec::new(), child_path, done);
+        }
+        PatternTest::Value(lit) => {
+            let sym = Sym::Value(hash_value(lit));
+            let mut prefix = parent_path;
+            for s in &eff {
+                prefix = prefix.child(*s);
+            }
+            let mut seq = seq;
+            seq.elems.push(QueryElem {
+                sym,
+                prefix,
+                parent,
+                steps_after_parent: eff,
+            });
+            debug_assert!(node.children.is_empty(), "value nodes are leaves");
+            done(state, seq);
+        }
+    }
+}
+
+/// Emit the node's children in every admissible order.
+#[allow(clippy::too_many_arguments)]
+fn emit_children<'a>(
+    state: &mut EmitState<'a>,
+    node: &PatternNode,
+    seq: QuerySequence,
+    parent: Option<usize>,
+    pending: Vec<PathSym>,
+    parent_path: Prefix,
+    done: &mut Sink<'a, '_>,
+) {
+    if node.children.is_empty() {
+        done(state, seq);
+        return;
+    }
+    let (orders, hit_cap) =
+        child_orders(&node.children, &state.opts.order, state.opts.max_sequences);
+    if hit_cap {
+        *state.truncated = true;
+    }
+    for order in orders {
+        emit_child_list(
+            state,
+            node,
+            &order,
+            0,
+            seq.clone(),
+            parent,
+            pending.clone(),
+            parent_path.clone(),
+            done,
+        );
+    }
+}
+
+/// Emit children `order[at..]` in order, chaining through the sink.
+#[allow(clippy::too_many_arguments)]
+fn emit_child_list<'a>(
+    state: &mut EmitState<'a>,
+    node: &PatternNode,
+    order: &[usize],
+    at: usize,
+    seq: QuerySequence,
+    parent: Option<usize>,
+    pending: Vec<PathSym>,
+    parent_path: Prefix,
+    done: &mut Sink<'a, '_>,
+) {
+    if at == order.len() {
+        done(state, seq);
+        return;
+    }
+    let child = &node.children[order[at]];
+    emit_node(
+        state,
+        child,
+        seq,
+        parent,
+        pending.clone(),
+        parent_path.clone(),
+        &mut |state, seq| {
+            emit_child_list(
+                state,
+                node,
+                order,
+                at + 1,
+                seq,
+                parent,
+                pending.clone(),
+                parent_path.clone(),
+                done,
+            );
+        },
+    );
+}
+
+/// All admissible child orders, capped.
+///
+/// * value children sort first, tag children by the sibling order;
+/// * runs of same-name tag children with non-identical subtrees generate all
+///   permutations of the run (the paper's Q5 rule);
+/// * "floating" children — `*`-rooted or descendant-axis branches, whose
+///   position in the data preorder is unknowable — are interleaved at every
+///   position.
+fn child_orders(
+    children: &[PatternNode],
+    order: &SiblingOrder,
+    cap: usize,
+) -> (Vec<Vec<usize>>, bool) {
+    // Generate up to cap+1 orders so truncation is detectable.
+    let gen_cap = cap + 1;
+    let mut fixed: Vec<usize> = Vec::new();
+    let mut floating: Vec<usize> = Vec::new();
+    for (i, c) in children.iter().enumerate() {
+        let is_floating =
+            matches!(c.test, PatternTest::Star) || c.axis == Axis::Descendant;
+        if is_floating {
+            floating.push(i);
+        } else {
+            fixed.push(i);
+        }
+    }
+    // Sort the fixed children canonically (values first, then by name).
+    fixed.sort_by(|&a, &b| sort_key(&children[a], order).cmp(&sort_key(&children[b], order)));
+
+    // Permute same-key runs where members differ.
+    let mut fixed_orders: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut i = 0;
+    while i < fixed.len() {
+        let mut j = i + 1;
+        while j < fixed.len()
+            && sort_key(&children[fixed[i]], order) == sort_key(&children[fixed[j]], order)
+        {
+            j += 1;
+        }
+        let run = &fixed[i..j];
+        let all_identical = run
+            .windows(2)
+            .all(|w| children[w[0]] == children[w[1]]);
+        let run_perms: Vec<Vec<usize>> = if run.len() == 1 || all_identical {
+            vec![run.to_vec()]
+        } else {
+            permutations(run, gen_cap)
+        };
+        let mut next = Vec::new();
+        'outer: for base in &fixed_orders {
+            for perm in &run_perms {
+                if next.len() >= gen_cap {
+                    break 'outer;
+                }
+                let mut v = base.clone();
+                v.extend_from_slice(perm);
+                next.push(v);
+            }
+        }
+        fixed_orders = next;
+        i = j;
+    }
+
+    // Interleave floating children at every position (keeping the floats'
+    // relative order among themselves — different float orders are covered
+    // by interleaving each independently, capped).
+    let mut orders = fixed_orders;
+    for &f in &floating {
+        let mut next = Vec::new();
+        'outer: for base in &orders {
+            for pos in 0..=base.len() {
+                if next.len() >= gen_cap {
+                    break 'outer;
+                }
+                let mut v = base.clone();
+                v.insert(pos, f);
+                next.push(v);
+            }
+        }
+        orders = next;
+    }
+    let hit_cap = orders.len() > cap;
+    orders.truncate(cap.max(1));
+    (orders, hit_cap)
+}
+
+fn sort_key<'a>(n: &'a PatternNode, order: &SiblingOrder) -> (u8, usize, &'a str) {
+    match &n.test {
+        PatternTest::Value(_) => (0, 0, ""),
+        PatternTest::Tag(name) => {
+            let (rank, nm) = order.rank(name);
+            (1, rank, nm)
+        }
+        PatternTest::Star => (2, 0, ""), // floating; key unused for ordering
+    }
+}
+
+fn permutations(items: &[usize], cap: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items = items.to_vec();
+    permute_rec(&mut items, 0, cap, &mut out);
+    out
+}
+
+fn permute_rec(items: &mut Vec<usize>, at: usize, cap: usize, out: &mut Vec<Vec<usize>>) {
+    if out.len() >= cap {
+        return;
+    }
+    if at == items.len() {
+        out.push(items.clone());
+        return;
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        permute_rec(items, at + 1, cap, out);
+        items.swap(at, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn xlate(q: &str) -> (Translation, SymbolTable) {
+        let mut table = SymbolTable::new();
+        let pattern = parse_query(q).unwrap().to_pattern();
+        let t = translate(&pattern, &mut table, &TranslateOptions::default());
+        (t, table)
+    }
+
+    fn render(seq: &QuerySequence, table: &SymbolTable) -> String {
+        let mut out = String::new();
+        for e in &seq.elems {
+            let sym = match e.sym {
+                Sym::Tag(t) => table.name(t).to_string(),
+                Sym::Value(_) => "v".to_string(),
+            };
+            out.push_str(&format!("({},{})", sym, e.prefix.display(table)));
+        }
+        out
+    }
+
+    #[test]
+    fn table2_q1_simple_path() {
+        // /P/S/I/M → (P,)(S,P)(I,PS)(M,PSI)
+        let (t, table) = xlate("/P/S/I/M");
+        assert_eq!(t.sequences.len(), 1);
+        assert_eq!(render(&t.sequences[0], &table), "(P,)(S,P)(I,P/S)(M,P/S/I)");
+        assert!(!t.truncated);
+    }
+
+    #[test]
+    fn table2_q2_branching() {
+        // /P[S[L=v5]]/B[L=v7] →
+        // (P,)(S,P)(L,PS)(v5,PSL)(B,P)(L,PB)(v7,PBL)
+        let (t, table) = xlate("/P[S[L='v5']]/B[L='v7']");
+        assert_eq!(t.sequences.len(), 1, "B and S are distinct names: no ambiguity");
+        assert_eq!(
+            render(&t.sequences[0], &table),
+            "(P,)(B,P)(L,P/B)(v,P/B/L)(S,P)(L,P/S)(v,P/S/L)"
+        );
+        // Note: lexicographic order puts B before S, unlike the paper's
+        // hand-drawn order; data conversion uses the same rule, so matching
+        // is consistent.
+    }
+
+    #[test]
+    fn table2_q3_star() {
+        // /P/*[L=v5] → (P,)(L,P*)(v5,P*L)
+        let (t, table) = xlate("/P/*[L='v5']");
+        assert_eq!(t.sequences.len(), 1);
+        assert_eq!(render(&t.sequences[0], &table), "(P,)(L,P/*)(v,P/*/L)");
+        // Parent/step bookkeeping for instantiation:
+        let s = &t.sequences[0];
+        assert_eq!(s.elems[1].parent, Some(0));
+        assert_eq!(s.elems[1].steps_after_parent, vec![PathSym::Star]);
+        assert_eq!(s.elems[2].parent, Some(1));
+        assert!(s.elems[2].steps_after_parent.is_empty());
+    }
+
+    #[test]
+    fn table2_q4_double_slash() {
+        // /P//I[M=v3] → (P,)(I,P//)(M,P//I)(v3,P//IM)
+        let (t, table) = xlate("/P//I[M='v3']");
+        assert_eq!(t.sequences.len(), 1);
+        assert_eq!(
+            render(&t.sequences[0], &table),
+            "(P,)(I,P///)(M,P////I)(v,P////I/M)"
+        );
+        let s = &t.sequences[0];
+        assert_eq!(s.elems[1].steps_after_parent, vec![PathSym::DoubleSlash]);
+    }
+
+    #[test]
+    fn q5_identical_sibling_names_produce_permutations() {
+        // /A[B/C]/B/D — two B branches with different subtrees → 2 sequences.
+        let (t, table) = xlate("/A[B/C]/B/D");
+        assert_eq!(t.sequences.len(), 2);
+        let rendered: Vec<String> =
+            t.sequences.iter().map(|s| render(s, &table)).collect();
+        assert!(rendered.contains(&"(A,)(B,A)(C,A/B)(B,A)(D,A/B)".to_string()));
+        assert!(rendered.contains(&"(A,)(B,A)(D,A/B)(B,A)(C,A/B)".to_string()));
+    }
+
+    #[test]
+    fn identical_branches_do_not_permute() {
+        let (t, _) = xlate("/A[B/C][B/C]");
+        assert_eq!(t.sequences.len(), 1, "identical subtrees need no union");
+    }
+
+    #[test]
+    fn star_branch_floats_to_every_position() {
+        // Q8 shape: a * branch plus a named branch → 2 placements.
+        let (t, _) = xlate("//ca[*[p='1']]/date");
+        assert_eq!(t.sequences.len(), 2);
+    }
+
+    #[test]
+    fn leading_descendant_and_star_roots() {
+        let (t, table) = xlate("//author[text='David']");
+        assert_eq!(render(&t.sequences[0], &table), "(author,//)(v,///author)");
+        let (t, table) = xlate("/*/author[text='David']");
+        assert_eq!(render(&t.sequences[0], &table), "(author,*)(v,*/author)");
+    }
+
+    #[test]
+    fn values_sort_before_tags() {
+        let (t, table) = xlate("/a[b][text='x']");
+        assert_eq!(render(&t.sequences[0], &table), "(a,)(v,a)(b,a)");
+    }
+
+    #[test]
+    fn cap_truncates_explosive_queries() {
+        let mut table = SymbolTable::new();
+        // Five identical-name branches with distinct subtrees: 5! = 120 > 24.
+        let pattern = parse_query("/a[b/c1][b/c2][b/c3][b/c4][b/c5]")
+            .unwrap()
+            .to_pattern();
+        let t = translate(&pattern, &mut table, &TranslateOptions::default());
+        assert!(t.truncated);
+        assert_eq!(t.sequences.len(), 24);
+    }
+
+    #[test]
+    fn try_translate_is_read_only() {
+        let mut table = SymbolTable::new();
+        table.intern("a");
+        table.intern("b");
+        let before = table.len();
+        // All names known: same result as the interning translate.
+        let pattern = parse_query("/a/b").unwrap().to_pattern();
+        let ro = try_translate(&pattern, &table, &TranslateOptions::default()).unwrap();
+        assert_eq!(ro.sequences.len(), 1);
+        assert_eq!(table.len(), before, "no interning");
+        // Unknown name: unsatisfiable.
+        let pattern = parse_query("/a/zzz").unwrap().to_pattern();
+        assert!(try_translate(&pattern, &table, &TranslateOptions::default()).is_none());
+        assert_eq!(table.len(), before);
+        // Wildcards don't need names.
+        let pattern = parse_query("/a/*").unwrap().to_pattern();
+        assert!(try_translate(&pattern, &table, &TranslateOptions::default()).is_some());
+    }
+
+    #[test]
+    fn parent_chain_is_consistent() {
+        let (t, _) = xlate("/site//item[location='US']/mail/date[text='12/15/1999']");
+        for s in &t.sequences {
+            for (i, e) in s.elems.iter().enumerate() {
+                if let Some(p) = e.parent {
+                    assert!(p < i, "parent precedes child");
+                    // Child prefix extends parent's prefix + sym + steps.
+                    assert_eq!(
+                        e.prefix.len(),
+                        s.elems[p].prefix.len() + 1 + e.steps_after_parent.len()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Structure-encoded sequences — ViST's representation of XML data and
+//! queries (Section 2 of the paper).
+//!
+//! A structure-encoded sequence is the preorder sequence of
+//! `(symbol, prefix)` pairs of an XML document tree, where attribute names
+//! are child nodes, and attribute values / element text are hashed leaf
+//! "value" symbols (`v1 = h("dell")` in the paper). Querying XML then
+//! reduces to *non-contiguous subsequence matching* over these sequences.
+//!
+//! This crate defines the shared vocabulary of the whole workspace:
+//!
+//! * [`SymbolTable`] / [`Sym`] — interned element/attribute names plus hashed
+//!   values and the `*` / `//` wildcard placeholders,
+//! * [`Prefix`] — a root-to-parent path, with wildcard matching for query
+//!   prefixes,
+//! * [`SeqElem`] / [`Sequence`] — the `(symbol, prefix)` sequence and the
+//!   document → sequence conversion with deterministic sibling ordering,
+//! * [`Scope`] / [`DynamicScope`] — virtual-suffix-tree labels (Definitions
+//!   2–3), and
+//! * [`dkey`] — the on-disk D-Ancestor key encoding, ordered exactly as the
+//!   paper requires ("first by the Symbol, then by the length of the Prefix,
+//!   and lastly by the content of the Prefix") so wildcard prefixes become
+//!   B+Tree range queries.
+
+mod prefix;
+mod scope;
+mod sequence;
+mod symbols;
+
+pub mod dkey;
+
+pub use prefix::{PathSym, Prefix};
+pub use scope::{decode_scope_value, encode_scope_value, DynamicScope, Scope, MAX_SCOPE};
+pub use sequence::{
+    document_to_record_tree, document_to_sequence, record_tree_to_elems, sort_siblings,
+    RecordNode, SeqElem, Sequence, SiblingOrder,
+};
+pub use symbols::{hash_value, Sym, Symbol, SymbolTable};

@@ -1,0 +1,218 @@
+//! Prefix paths, with wildcard placeholders and pattern matching.
+
+use crate::symbols::{Symbol, SymbolTable};
+
+/// One step of a prefix path. Data prefixes contain only `Tag`s; query
+/// prefixes may contain the wildcard placeholders the paper leaves behind
+/// when wildcard nodes are discarded ("the prefix paths of their sub nodes
+/// will contain a `*` or `//` symbol as a place holder").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathSym {
+    /// A concrete element/attribute name.
+    Tag(Symbol),
+    /// `*`: matches exactly one path symbol.
+    Star,
+    /// `//`: matches any (possibly empty) run of path symbols.
+    DoubleSlash,
+}
+
+/// A root-to-parent path of symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Prefix(pub Vec<PathSym>);
+
+impl Prefix {
+    /// The empty prefix (the root element's prefix, `(P, ε)` in the paper).
+    #[must_use]
+    pub fn empty() -> Self {
+        Prefix(Vec::new())
+    }
+
+    /// Number of path steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the root prefix.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Append a step, returning the extended prefix.
+    #[must_use]
+    pub fn child(&self, step: PathSym) -> Prefix {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(step);
+        Prefix(v)
+    }
+
+    /// `true` when the prefix contains any wildcard placeholder.
+    #[must_use]
+    pub fn has_wildcard(&self) -> bool {
+        self.0
+            .iter()
+            .any(|s| matches!(s, PathSym::Star | PathSym::DoubleSlash))
+    }
+
+    /// `true` when the prefix contains a `//` placeholder (variable length).
+    #[must_use]
+    pub fn has_double_slash(&self) -> bool {
+        self.0.iter().any(|s| matches!(s, PathSym::DoubleSlash))
+    }
+
+    /// Match this (possibly wildcarded) prefix pattern against a concrete
+    /// data prefix: `*` consumes exactly one symbol, `//` consumes zero or
+    /// more.
+    #[must_use]
+    pub fn matches(&self, data: &[Symbol]) -> bool {
+        fn rec(pat: &[PathSym], data: &[Symbol]) -> bool {
+            match pat.first() {
+                None => data.is_empty(),
+                Some(PathSym::Tag(t)) => {
+                    data.first() == Some(t) && rec(&pat[1..], &data[1..])
+                }
+                Some(PathSym::Star) => !data.is_empty() && rec(&pat[1..], &data[1..]),
+                Some(PathSym::DoubleSlash) => {
+                    (0..=data.len()).any(|skip| rec(&pat[1..], &data[skip..]))
+                }
+            }
+        }
+        rec(&self.0, data)
+    }
+
+    /// View as concrete symbols; `None` if any wildcard is present.
+    #[must_use]
+    pub fn as_concrete(&self) -> Option<Vec<Symbol>> {
+        self.0
+            .iter()
+            .map(|s| match s {
+                PathSym::Tag(t) => Some(*t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render with a symbol table, e.g. `P/S/I` or `P/*/L`.
+    #[must_use]
+    pub fn display(&self, table: &SymbolTable) -> String {
+        let parts: Vec<String> = self
+            .0
+            .iter()
+            .map(|s| match s {
+                PathSym::Tag(t) => table.name(*t).to_string(),
+                PathSym::Star => "*".to_string(),
+                PathSym::DoubleSlash => "//".to_string(),
+            })
+            .collect();
+        parts.join("/")
+    }
+
+    /// Instantiate wildcards against a concrete data prefix that this pattern
+    /// [`matches`](Prefix::matches): returns the data prefix (which is what a
+    /// match binds the pattern to). Callers use this to replace a matched
+    /// wildcard prefix with the concrete one, as in the paper: "the matching
+    /// of `(L, P*)` will instantiate the `*` in `(v2, P*L)` to a concrete
+    /// symbol".
+    #[must_use]
+    pub fn instantiate(&self, data: &[Symbol]) -> Option<Prefix> {
+        if self.matches(data) {
+            Some(Prefix(data.iter().map(|&s| PathSym::Tag(s)).collect()))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(ids: &[u32]) -> Vec<Symbol> {
+        ids.iter().map(|&i| Symbol(i)).collect()
+    }
+
+    fn pat(steps: &[i64]) -> Prefix {
+        // -1 = Star, -2 = DoubleSlash, otherwise Tag(id)
+        Prefix(
+            steps
+                .iter()
+                .map(|&s| match s {
+                    -1 => PathSym::Star,
+                    -2 => PathSym::DoubleSlash,
+                    id => PathSym::Tag(Symbol(id as u32)),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn concrete_match_is_equality() {
+        assert!(pat(&[1, 2, 3]).matches(&syms(&[1, 2, 3])));
+        assert!(!pat(&[1, 2, 3]).matches(&syms(&[1, 2])));
+        assert!(!pat(&[1, 2, 3]).matches(&syms(&[1, 2, 4])));
+        assert!(pat(&[]).matches(&syms(&[])));
+        assert!(!pat(&[]).matches(&syms(&[1])));
+    }
+
+    #[test]
+    fn star_matches_exactly_one() {
+        // The paper's Q3: (L, P*) — P then any one symbol.
+        let p = pat(&[1, -1]);
+        assert!(p.matches(&syms(&[1, 2])));
+        assert!(p.matches(&syms(&[1, 9])));
+        assert!(!p.matches(&syms(&[1])));
+        assert!(!p.matches(&syms(&[1, 2, 3])));
+        assert!(!p.matches(&syms(&[2, 2])));
+    }
+
+    #[test]
+    fn double_slash_matches_any_run_including_empty() {
+        // The paper's Q4: (I, P//) — P then any descendant position.
+        let p = pat(&[1, -2]);
+        assert!(p.matches(&syms(&[1])), "// matches zero symbols (P/I)");
+        assert!(p.matches(&syms(&[1, 5])));
+        assert!(p.matches(&syms(&[1, 5, 6, 7])));
+        assert!(!p.matches(&syms(&[2])));
+        // // in the middle: (M, P//I)
+        let p = pat(&[1, -2, 3]);
+        assert!(p.matches(&syms(&[1, 3])));
+        assert!(p.matches(&syms(&[1, 9, 3])));
+        assert!(p.matches(&syms(&[1, 9, 8, 3])));
+        assert!(!p.matches(&syms(&[1, 9, 8])));
+    }
+
+    #[test]
+    fn combined_wildcards() {
+        let p = pat(&[-2, 4, -1]);
+        assert!(p.matches(&syms(&[4, 0])));
+        assert!(p.matches(&syms(&[1, 2, 4, 9])));
+        assert!(!p.matches(&syms(&[4])));
+    }
+
+    #[test]
+    fn wildcard_flags() {
+        assert!(!pat(&[1, 2]).has_wildcard());
+        assert!(pat(&[1, -1]).has_wildcard());
+        assert!(pat(&[1, -2]).has_double_slash());
+        assert!(!pat(&[1, -1]).has_double_slash());
+    }
+
+    #[test]
+    fn as_concrete_and_instantiate() {
+        assert_eq!(pat(&[1, 2]).as_concrete(), Some(syms(&[1, 2])));
+        assert_eq!(pat(&[1, -1]).as_concrete(), None);
+        let inst = pat(&[1, -1]).instantiate(&syms(&[1, 7])).unwrap();
+        assert_eq!(inst, pat(&[1, 7]));
+        assert!(pat(&[1, -1]).instantiate(&syms(&[2, 7])).is_none());
+    }
+
+    #[test]
+    fn display_renders_wildcards() {
+        let mut t = SymbolTable::new();
+        let p = t.intern("P");
+        let prefix = Prefix(vec![PathSym::Tag(p), PathSym::Star, PathSym::DoubleSlash]);
+        assert_eq!(prefix.display(&t), "P/*///");
+    }
+}

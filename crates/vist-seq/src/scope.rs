@@ -1,0 +1,144 @@
+//! Virtual-suffix-tree labels and scopes (paper §3.3–3.4).
+
+/// The size of the root scope. The paper uses "8 bytes to label a virtual
+/// suffix tree node (i.e. MAX = 2^256 − 1)" — the arithmetic there is a
+/// typo; we use 16-byte (`u128`) labels with two bits of headroom, giving
+/// the same practical behaviour: a root scope so large that top-down
+/// geometric allocation rarely underflows.
+pub const MAX_SCOPE: u128 = 1 << 126;
+
+/// A static RIST label `⟨n, size⟩`: node id `n`, subtree occupying
+/// `[n, n + size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scope {
+    /// Preorder id of the node; also the start of its scope.
+    pub n: u128,
+    /// Width of the scope, including the node itself (`size >= 1`).
+    pub size: u128,
+}
+
+impl Scope {
+    /// The whole label space.
+    #[must_use]
+    pub fn root() -> Self {
+        Scope {
+            n: 0,
+            size: MAX_SCOPE,
+        }
+    }
+
+    /// Exclusive end of the scope.
+    #[must_use]
+    pub fn end(&self) -> u128 {
+        self.n + self.size
+    }
+
+    /// S-Ancestorship test: is `other` inside this scope (a descendant)?
+    ///
+    /// The paper's Definition 3: `y` is a descendant of `x` iff
+    /// `[n_y, n_y + size_y) ⊂ [n_x, n_x + size_x)`. Because allocation
+    /// guarantees nesting, checking the start point suffices, which is what
+    /// lets the S-Ancestor B+Tree answer this with the range query
+    /// `n_x < n_y ≤ n_x + size_x`.
+    #[must_use]
+    pub fn contains(&self, other: &Scope) -> bool {
+        other.n > self.n && other.end() <= self.end()
+    }
+
+    /// Does this scope contain the point `n` (excluding its own id)?
+    #[must_use]
+    pub fn contains_point(&self, n: u128) -> bool {
+        n > self.n && n < self.end()
+    }
+}
+
+/// A dynamic ViST scope `⟨n, size, k⟩` (Definition 3): the static label plus
+/// the number of subscopes already allocated inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicScope {
+    /// The node's label / scope.
+    pub scope: Scope,
+    /// Number of child subscopes handed out so far.
+    pub k: u64,
+}
+
+impl DynamicScope {
+    /// Fresh dynamic scope with no children allocated.
+    #[must_use]
+    pub fn new(n: u128, size: u128) -> Self {
+        DynamicScope {
+            scope: Scope { n, size },
+            k: 0,
+        }
+    }
+
+    /// The root of the virtual suffix tree.
+    #[must_use]
+    pub fn root() -> Self {
+        DynamicScope {
+            scope: Scope::root(),
+            k: 0,
+        }
+    }
+}
+
+/// On-disk encoding of a dynamic scope's value part (size, k): the S-Ancestor
+/// B+Tree keys on `n` and stores this as the value.
+#[must_use]
+pub fn encode_scope_value(scope: &DynamicScope) -> [u8; 24] {
+    let mut out = [0u8; 24];
+    out[..16].copy_from_slice(&scope.scope.size.to_le_bytes());
+    out[16..].copy_from_slice(&scope.k.to_le_bytes());
+    out
+}
+
+/// Inverse of [`encode_scope_value`], given the key `n`.
+#[must_use]
+pub fn decode_scope_value(n: u128, value: &[u8]) -> DynamicScope {
+    let size = u128::from_le_bytes(value[..16].try_into().expect("scope value size"));
+    let k = u64::from_le_bytes(value[16..24].try_into().expect("scope value k"));
+    DynamicScope {
+        scope: Scope { n, size },
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_matches_definition() {
+        let outer = Scope { n: 10, size: 100 };
+        assert!(outer.contains(&Scope { n: 11, size: 99 }));
+        assert!(outer.contains(&Scope { n: 50, size: 10 }));
+        assert!(!outer.contains(&Scope { n: 10, size: 100 }), "not self");
+        assert!(!outer.contains(&Scope { n: 9, size: 5 }));
+        assert!(!outer.contains(&Scope { n: 50, size: 100 }), "overhang");
+        assert!(outer.contains_point(11));
+        assert!(outer.contains_point(109));
+        assert!(!outer.contains_point(10));
+        assert!(!outer.contains_point(110));
+    }
+
+    #[test]
+    fn root_scope_is_huge() {
+        let r = Scope::root();
+        assert_eq!(r.n, 0);
+        assert!(r.size > 1 << 100);
+    }
+
+    #[test]
+    fn scope_value_roundtrip() {
+        let ds = DynamicScope {
+            scope: Scope {
+                n: 12345,
+                size: 1 << 90,
+            },
+            k: 7,
+        };
+        let enc = encode_scope_value(&ds);
+        let dec = decode_scope_value(12345, &enc);
+        assert_eq!(dec, ds);
+    }
+}

@@ -1,0 +1,367 @@
+//! Document → structure-encoded sequence conversion (paper Definition 1).
+
+use vist_xml::{Document, NodeId};
+
+use crate::prefix::{PathSym, Prefix};
+use crate::symbols::{hash_value, Sym, SymbolTable};
+
+/// One `(symbol, prefix)` pair of a structure-encoded sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqElem {
+    /// The node's symbol (tag or hashed value).
+    pub sym: Sym,
+    /// Root-to-parent path. Concrete for data; may hold wildcards in queries.
+    pub prefix: Prefix,
+}
+
+/// A structure-encoded sequence: the preorder sequence of `(symbol, prefix)`
+/// pairs of an XML record tree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sequence(pub Vec<SeqElem>);
+
+impl Sequence {
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when the sequence has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, SeqElem> {
+        self.0.iter()
+    }
+
+    /// Render like the paper's Figure 4, e.g. `(P,)(S,P)(N,P/S)...`.
+    #[must_use]
+    pub fn display(&self, table: &SymbolTable) -> String {
+        let mut out = String::new();
+        for e in &self.0 {
+            let sym = match e.sym {
+                Sym::Tag(t) => table.name(t).to_string(),
+                Sym::Value(v) => format!("v{:04x}", v & 0xFFFF),
+            };
+            out.push_str(&format!("({},{})", sym, e.prefix.display(table)));
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a Sequence {
+    type Item = &'a SeqElem;
+    type IntoIter = std::slice::Iter<'a, SeqElem>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// How sibling nodes are ordered during conversion.
+///
+/// Isomorphic trees must produce identical preorder sequences, so the paper
+/// enforces an order among siblings: "The DTD schema embodies a linear order
+/// of all elements/attributes defined therein. If the DTD is not available,
+/// we simply use the lexicographical order of the names." Value (text) nodes
+/// always come first under their parent; same-name siblings keep document
+/// order ("we order them arbitrarily" — but deterministically).
+#[derive(Debug, Clone, Default)]
+pub enum SiblingOrder {
+    /// Lexicographic order of element/attribute names (the DTD-less default).
+    #[default]
+    Lexicographic,
+    /// The DTD's linear element order: rank = position in this list; names
+    /// missing from the list sort after listed ones, lexicographically.
+    Dtd(Vec<String>),
+}
+
+impl SiblingOrder {
+    /// Build the DTD ordering from DTD text (paper Figure 1 style): parse
+    /// the `<!ELEMENT>`/`<!ATTLIST>` declarations and use their linear
+    /// declaration order.
+    pub fn from_dtd(dtd_text: &str) -> Result<Self, vist_xml::ParseError> {
+        Ok(SiblingOrder::Dtd(
+            vist_xml::parse_dtd(dtd_text)?.sibling_order(),
+        ))
+    }
+
+    /// Sort rank for a name: lower ranks sort first.
+    #[must_use]
+    pub fn rank<'a>(&self, name: &'a str) -> (usize, &'a str) {
+        match self {
+            SiblingOrder::Lexicographic => (0, name),
+            SiblingOrder::Dtd(order) => order
+                .iter()
+                .position(|n| n == name)
+                .map_or((order.len(), name), |i| (i, "")),
+        }
+    }
+}
+
+/// The record tree: the XML document with attributes lowered to child nodes
+/// and text/attribute values lowered to hashed leaf values — exactly the
+/// tree of the paper's Figure 3. Both the sequence conversion and the exact
+/// tree-pattern matcher (`vist-query`) operate on this shared form, so they
+/// agree on attribute lowering, value hashing, and sibling ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordNode {
+    /// Tag or hashed-value symbol.
+    pub sym: Sym,
+    /// Name used for sibling ordering (empty for values).
+    pub name: String,
+    /// Ordered children (values first, then tags per the sibling order).
+    pub children: Vec<RecordNode>,
+}
+
+/// Lower an XML document into its record tree (see [`RecordNode`]).
+/// Returns `None` for a document without a root element.
+pub fn document_to_record_tree(
+    doc: &Document,
+    table: &mut SymbolTable,
+    order: &SiblingOrder,
+) -> Option<RecordNode> {
+    doc.root().map(|root| build_rnode(doc, root, table, order))
+}
+
+fn build_rnode(
+    doc: &Document,
+    id: NodeId,
+    table: &mut SymbolTable,
+    order: &SiblingOrder,
+) -> RecordNode {
+    let name = doc.name(id).to_string();
+    let sym = Sym::Tag(table.intern(&name));
+    let mut children: Vec<RecordNode> = Vec::new();
+    // Attribute nodes, each with a hashed-value leaf child.
+    for attr in doc.attributes(id) {
+        children.push(RecordNode {
+            sym: Sym::Tag(table.intern(&attr.name)),
+            name: attr.name.clone(),
+            children: vec![RecordNode {
+                sym: Sym::Value(hash_value(&attr.value)),
+                name: String::new(),
+                children: Vec::new(),
+            }],
+        });
+    }
+    // Text children become value leaves; element children recurse.
+    for &c in doc.children(id) {
+        if let Some(t) = doc.text(c) {
+            if !t.trim().is_empty() {
+                children.push(RecordNode {
+                    sym: Sym::Value(hash_value(t)),
+                    name: String::new(),
+                    children: Vec::new(),
+                });
+            }
+        } else {
+            children.push(build_rnode(doc, c, table, order));
+        }
+    }
+    sort_siblings(&mut children, order);
+    RecordNode {
+        sym,
+        name,
+        children,
+    }
+}
+
+/// Stable sort: values first, then tags by the configured order. Stability
+/// keeps same-name siblings in document order.
+pub fn sort_siblings(children: &mut [RecordNode], order: &SiblingOrder) {
+    children.sort_by(|a, b| {
+        let ka = sort_key(a, order);
+        let kb = sort_key(b, order);
+        ka.cmp(&kb)
+    });
+}
+
+fn sort_key<'a>(n: &'a RecordNode, order: &SiblingOrder) -> (u8, usize, &'a str) {
+    match n.sym {
+        Sym::Value(_) => (0, 0, ""),
+        Sym::Tag(_) => {
+            let (rank, name) = order.rank(&n.name);
+            (1, rank, name)
+        }
+    }
+}
+
+fn emit(node: &RecordNode, prefix: &Prefix, out: &mut Vec<SeqElem>) {
+    out.push(SeqElem {
+        sym: node.sym,
+        prefix: prefix.clone(),
+    });
+    if node.children.is_empty() {
+        return;
+    }
+    let child_prefix = match node.sym {
+        Sym::Tag(t) => prefix.child(PathSym::Tag(t)),
+        Sym::Value(_) => unreachable!("value nodes are leaves"),
+    };
+    for c in &node.children {
+        emit(c, &child_prefix, out);
+    }
+}
+
+/// Convert an XML document into its structure-encoded sequence.
+///
+/// Interns names into `table` (shared with the index the sequence feeds).
+/// Returns an empty sequence for a document without a root.
+pub fn document_to_sequence(
+    doc: &Document,
+    table: &mut SymbolTable,
+    order: &SiblingOrder,
+) -> Sequence {
+    let Some(tree) = document_to_record_tree(doc, table, order) else {
+        return Sequence::default();
+    };
+    Sequence(record_tree_to_elems(&tree, doc.node_count()))
+}
+
+/// Flatten a record tree into its `(symbol, prefix)` preorder elements.
+#[must_use]
+pub fn record_tree_to_elems(tree: &RecordNode, capacity_hint: usize) -> Vec<SeqElem> {
+    let mut out = Vec::with_capacity(capacity_hint);
+    emit(tree, &Prefix::empty(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vist_xml::parse;
+
+    /// The paper's running example (Figure 3): a purchase record. Element
+    /// names shortened to the paper's single letters so the expected
+    /// sequence is readable.
+    fn purchase_record() -> Document {
+        // P = Purchase, S = Seller, B = Buyer, I = Item, L = Location,
+        // N = Name, M = Manufacturer. Values v1.. are the attr/text values.
+        parse(concat!(
+            r#"<P>"#,
+            r#"<S>"#,
+            r#"<N>dell</N>"#,
+            r#"<I><M>ibm</M><N>part1</N><I><M>panasia</M></I></I>"#,
+            r#"<I><N>part2</N></I>"#,
+            r#"<L>boston</L>"#,
+            r#"</S>"#,
+            r#"<B><L>newyork</L><N>intel</N></B>"#,
+            r#"</P>"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn figure4_structure_encoded_sequence() {
+        let doc = purchase_record();
+        let mut table = SymbolTable::new();
+        let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+        // Render symbol-kind skeleton: element names and 'v' for values.
+        let skeleton: Vec<String> = seq
+            .iter()
+            .map(|e| match e.sym {
+                Sym::Tag(t) => table.name(t).to_string(),
+                Sym::Value(_) => "v".to_string(),
+            })
+            .collect();
+        // Lexicographic sibling order: B < S under P; under S: I, I, L, N;
+        // under I1: sub-I < M < N; values always first under their parent.
+        // Preorder: P B(Lv Nv) S(I1(I(Mv) Mv Nv) I2(Nv) Lv Nv)
+        assert_eq!(skeleton.join(""), "PBLvNvSIIMvMvNvINvLvNv");
+        // Prefix of every element is the path to its parent.
+        assert_eq!(seq.0[1].prefix.len(), 1); // (B, P)
+        let deepest = seq.iter().map(|e| e.prefix.len()).max().unwrap();
+        assert_eq!(deepest, 5, "value under P/S/I/I/M");
+    }
+
+    #[test]
+    fn prefixes_trace_ancestry() {
+        let doc = parse("<a><b><c>x</c></b></a>").unwrap();
+        let mut table = SymbolTable::new();
+        let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+        let a = table.lookup("a").unwrap();
+        let b = table.lookup("b").unwrap();
+        let c = table.lookup("c").unwrap();
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq.0[0].prefix, Prefix::empty());
+        assert_eq!(seq.0[1].prefix.0, vec![PathSym::Tag(a)]);
+        assert_eq!(seq.0[2].prefix.0, vec![PathSym::Tag(a), PathSym::Tag(b)]);
+        assert_eq!(
+            seq.0[3].prefix.0,
+            vec![PathSym::Tag(a), PathSym::Tag(b), PathSym::Tag(c)]
+        );
+        assert_eq!(seq.0[3].sym, Sym::Value(hash_value("x")));
+    }
+
+    #[test]
+    fn attributes_become_child_nodes() {
+        let doc = parse(r#"<item name="cpu" maker="intel"/>"#).unwrap();
+        let mut table = SymbolTable::new();
+        let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+        // item, maker, v, name, v  (lexicographic: maker < name)
+        assert_eq!(seq.len(), 5);
+        let maker = table.lookup("maker").unwrap();
+        let name = table.lookup("name").unwrap();
+        assert_eq!(seq.0[1].sym, Sym::Tag(maker));
+        assert_eq!(seq.0[2].sym, Sym::Value(hash_value("intel")));
+        assert_eq!(seq.0[3].sym, Sym::Tag(name));
+        assert_eq!(seq.0[4].sym, Sym::Value(hash_value("cpu")));
+    }
+
+    #[test]
+    fn isomorphic_documents_produce_identical_sequences() {
+        // Same tree, different sibling order in the source text.
+        let d1 = parse("<r><a/><b/><c>t</c></r>").unwrap();
+        let d2 = parse("<r><c>t</c><b/><a/></r>").unwrap();
+        let mut t1 = SymbolTable::new();
+        let mut t2 = SymbolTable::new();
+        let s1 = document_to_sequence(&d1, &mut t1, &SiblingOrder::Lexicographic);
+        let s2 = document_to_sequence(&d2, &mut t2, &SiblingOrder::Lexicographic);
+        // Compare by display (symbol tables interned in different orders).
+        assert_eq!(s1.display(&t1), s2.display(&t2));
+    }
+
+    #[test]
+    fn dtd_order_overrides_lexicographic() {
+        let doc = parse("<r><a/><z/></r>").unwrap();
+        let order = SiblingOrder::Dtd(vec!["r".into(), "z".into(), "a".into()]);
+        let mut table = SymbolTable::new();
+        let seq = document_to_sequence(&doc, &mut table, &order);
+        let names: Vec<&str> = seq
+            .iter()
+            .map(|e| match e.sym {
+                Sym::Tag(t) => table.name(t),
+                Sym::Value(_) => "v",
+            })
+            .collect();
+        assert_eq!(names, vec!["r", "z", "a"]);
+    }
+
+    #[test]
+    fn same_name_siblings_keep_document_order() {
+        let doc = parse("<r><i>1</i><i>2</i></r>").unwrap();
+        let mut table = SymbolTable::new();
+        let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+        assert_eq!(seq.0[2].sym, Sym::Value(hash_value("1")));
+        assert_eq!(seq.0[4].sym, Sym::Value(hash_value("2")));
+    }
+
+    #[test]
+    fn empty_document_gives_empty_sequence() {
+        let doc = Document::new();
+        let mut table = SymbolTable::new();
+        let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn display_shows_pairs() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let mut table = SymbolTable::new();
+        let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+        assert_eq!(seq.display(&table), "(a,)(b,a)");
+    }
+}

@@ -1,0 +1,232 @@
+//! Symbol interning and value hashing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned element/attribute name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+/// A symbol occurring in a structure-encoded sequence.
+///
+/// Data sequences contain only `Tag` and `Value`; query sequences may also
+/// contain the wildcard placeholders (after translation the wildcards live
+/// in *prefixes*, but the variants are shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sym {
+    /// An element or attribute name.
+    Tag(Symbol),
+    /// A hashed attribute value or text value (`h(text)`, as in the paper).
+    Value(u64),
+}
+
+impl Sym {
+    /// Byte encoding used inside B+Tree keys. `Tag` sorts before `Value`;
+    /// within a kind, order follows the id / hash.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Sym::Tag(Symbol(id)) => {
+                let mut v = Vec::with_capacity(5);
+                v.push(0x01);
+                v.extend_from_slice(&id.to_be_bytes());
+                v
+            }
+            Sym::Value(h) => {
+                let mut v = Vec::with_capacity(9);
+                v.push(0x02);
+                v.extend_from_slice(&h.to_be_bytes());
+                v
+            }
+        }
+    }
+
+    /// Decode from the front of `buf`, returning the symbol and the number of
+    /// bytes consumed.
+    #[must_use]
+    pub fn decode(buf: &[u8]) -> (Sym, usize) {
+        match buf[0] {
+            0x01 => (
+                Sym::Tag(Symbol(u32::from_be_bytes(buf[1..5].try_into().unwrap()))),
+                5,
+            ),
+            0x02 => (
+                Sym::Value(u64::from_be_bytes(buf[1..9].try_into().unwrap())),
+                9,
+            ),
+            other => panic!("corrupt symbol tag byte {other}"),
+        }
+    }
+}
+
+/// Hash a text value into the value-symbol space (the paper's `h()`).
+///
+/// FNV-1a over the trimmed text. Deterministic across runs and platforms.
+/// Collisions map distinct texts to one symbol — a (rare) source of false
+/// positives the paper's design accepts; the exact-verification mode in
+/// `vist-query` removes them.
+#[must_use]
+pub fn hash_value(text: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in text.trim().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Bidirectional map between names and [`Symbol`]s.
+///
+/// One table is shared by an index and every query against it; symbol ids are
+/// dense and allocation order is insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Intern `name`, returning its symbol (allocating one if new).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = Symbol(u32::try_from(self.names.len()).expect("symbol space exhausted"));
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), s);
+        s
+    }
+
+    /// Look up an existing symbol without allocating.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The name behind a symbol.
+    #[must_use]
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of interned names.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no names are interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Serialize to bytes (length-prefixed names in id order) so an on-disk
+    /// index can persist its table.
+    #[must_use]
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
+        for n in &self.names {
+            out.extend_from_slice(&(n.len() as u32).to_le_bytes());
+            out.extend_from_slice(n.as_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`SymbolTable::serialize`].
+    #[must_use]
+    pub fn deserialize(buf: &[u8]) -> Option<Self> {
+        let mut table = SymbolTable::new();
+        let count = u32::from_le_bytes(buf.get(0..4)?.try_into().ok()?) as usize;
+        let mut pos = 4;
+        for _ in 0..count {
+            let len = u32::from_le_bytes(buf.get(pos..pos + 4)?.try_into().ok()?) as usize;
+            pos += 4;
+            let name = std::str::from_utf8(buf.get(pos..pos + len)?).ok()?;
+            pos += len;
+            table.intern(name);
+        }
+        Some(table)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Tag(Symbol(id)) => write!(f, "t{id}"),
+            Sym::Value(h) => write!(f, "v{:x}", h & 0xFFFF),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("purchase");
+        let b = t.intern("seller");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("purchase"), a);
+        assert_eq!(t.name(a), "purchase");
+        assert_eq!(t.lookup("seller"), Some(b));
+        assert_eq!(t.lookup("buyer"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sym_encode_decode_roundtrip() {
+        for sym in [
+            Sym::Tag(Symbol(0)),
+            Sym::Tag(Symbol(u32::MAX)),
+            Sym::Value(0),
+            Sym::Value(hash_value("dell")),
+        ] {
+            let enc = sym.encode();
+            let (dec, used) = Sym::decode(&enc);
+            assert_eq!(dec, sym);
+            assert_eq!(used, enc.len());
+        }
+    }
+
+    #[test]
+    fn tags_sort_before_values_and_by_id() {
+        assert!(Sym::Tag(Symbol(5)).encode() < Sym::Value(0).encode());
+        assert!(Sym::Tag(Symbol(1)).encode() < Sym::Tag(Symbol(2)).encode());
+        assert!(Sym::Value(10).encode() < Sym::Value(11).encode());
+    }
+
+    #[test]
+    fn hash_value_trims_and_is_stable() {
+        assert_eq!(hash_value("dell"), hash_value("  dell \n"));
+        assert_ne!(hash_value("dell"), hash_value("ibm"));
+        // Pinned value: the on-disk format depends on this function.
+        assert_eq!(hash_value(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn table_serialization_roundtrip() {
+        let mut t = SymbolTable::new();
+        for n in ["purchase", "seller", "item", "名前"] {
+            t.intern(n);
+        }
+        let bytes = t.serialize();
+        let t2 = SymbolTable::deserialize(&bytes).unwrap();
+        assert_eq!(t2.len(), 4);
+        for n in ["purchase", "seller", "item", "名前"] {
+            assert_eq!(t2.lookup(n), t.lookup(n), "{n}");
+        }
+        assert!(SymbolTable::deserialize(&bytes[..bytes.len() - 1]).is_none());
+    }
+}

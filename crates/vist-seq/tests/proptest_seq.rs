@@ -1,0 +1,138 @@
+//! Property tests for the sequence layer: key-order laws, prefix-matching
+//! laws, and conversion invariants.
+
+use proptest::prelude::*;
+use vist_seq::{
+    dkey, document_to_sequence, PathSym, Prefix, SiblingOrder, Sym, Symbol, SymbolTable,
+};
+use vist_xml::{Document, ElementBuilder};
+
+fn sym_strategy() -> impl Strategy<Value = Sym> {
+    prop_oneof![
+        (0u32..50).prop_map(|i| Sym::Tag(Symbol(i))),
+        any::<u64>().prop_map(Sym::Value),
+    ]
+}
+
+fn prefix_strategy() -> impl Strategy<Value = Vec<Symbol>> {
+    proptest::collection::vec((0u32..20).prop_map(Symbol), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The D-Ancestor key encoding must order by (symbol, prefix length,
+    /// prefix content) — the exact ordering the paper requires for wildcard
+    /// range queries.
+    #[test]
+    fn dkey_order_law(
+        a_sym in sym_strategy(), a_pre in prefix_strategy(),
+        b_sym in sym_strategy(), b_pre in prefix_strategy(),
+    ) {
+        let ka = dkey::encode(a_sym, &a_pre);
+        let kb = dkey::encode(b_sym, &b_pre);
+        let logical = (a_sym.encode(), a_pre.len(), a_pre.clone())
+            .cmp(&(b_sym.encode(), b_pre.len(), b_pre.clone()));
+        prop_assert_eq!(ka.cmp(&kb), logical);
+        // And decoding inverts encoding.
+        prop_assert_eq!(dkey::decode(&ka), (a_sym, a_pre));
+    }
+
+    /// `*` consumes exactly one symbol: a pattern with k stars and t tags
+    /// (no `//`) matches only prefixes of length k + t.
+    #[test]
+    fn star_pattern_length_law(
+        steps in proptest::collection::vec(
+            prop_oneof![(0u32..5).prop_map(|i| PathSym::Tag(Symbol(i))), Just(PathSym::Star)],
+            0..6,
+        ),
+        data in prefix_strategy(),
+    ) {
+        let pat = Prefix(steps.clone());
+        if pat.matches(&data) {
+            prop_assert_eq!(steps.len(), data.len());
+        }
+    }
+
+    /// `//` is monotone: if a pattern with a `//` matches some data prefix,
+    /// inserting extra symbols at the `//` position still matches.
+    #[test]
+    fn dslash_monotonicity(
+        head in proptest::collection::vec((0u32..5).prop_map(Symbol), 0..3),
+        tail in proptest::collection::vec((0u32..5).prop_map(Symbol), 0..3),
+        insert in (0u32..5).prop_map(Symbol),
+    ) {
+        let mut steps: Vec<PathSym> = head.iter().map(|&s| PathSym::Tag(s)).collect();
+        steps.push(PathSym::DoubleSlash);
+        steps.extend(tail.iter().map(|&s| PathSym::Tag(s)));
+        let pat = Prefix(steps);
+
+        let data: Vec<Symbol> = head.iter().chain(tail.iter()).copied().collect();
+        prop_assert!(pat.matches(&data), "zero-width // must match");
+        let mut widened = head.clone();
+        widened.push(insert);
+        widened.extend(tail.iter().copied());
+        prop_assert!(pat.matches(&widened), "one inserted symbol must match");
+    }
+
+    /// Document → sequence: element count preserved, prefixes nest (each
+    /// element's prefix extends some earlier element's prefix by exactly its
+    /// symbol), and the symbol kinds match the node kinds.
+    #[test]
+    fn conversion_invariants(doc in doc_strategy()) {
+        let mut table = SymbolTable::new();
+        let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+        // Count: every element + attribute (+ its value) + non-ws text.
+        let mut expected = 0usize;
+        for id in doc.preorder() {
+            if doc.is_element(id) {
+                expected += 1 + 2 * doc.attributes(id).len();
+            } else if !doc.text(id).unwrap_or("").trim().is_empty() {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(seq.len(), expected);
+        // Structural law: preorder prefixes form a valid tree walk — each
+        // prefix is either empty (the root) or equal to some previous
+        // element's prefix plus that element's own tag.
+        let mut seen_paths: Vec<Vec<Symbol>> = vec![Vec::new()];
+        for e in seq.iter() {
+            let p = e.prefix.as_concrete().expect("data prefixes concrete");
+            prop_assert!(seen_paths.contains(&p), "prefix {:?} has no origin", p);
+            if let Sym::Tag(t) = e.sym {
+                let mut mine = p.clone();
+                mine.push(t);
+                seen_paths.push(mine);
+            }
+        }
+    }
+}
+
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    let names = ["a", "b", "c"];
+    let leaf = (0usize..3, proptest::option::of("[a-z]{0,4}")).prop_map(move |(n, t)| {
+        let mut e = ElementBuilder::new(names[n]);
+        if let Some(t) = t {
+            e = e.text(t);
+        }
+        e
+    });
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        (
+            0usize..3,
+            proptest::collection::vec(inner, 0..4),
+            proptest::collection::vec(("[a-z]{1,3}", "[a-z]{0,3}"), 0..2),
+        )
+            .prop_map(move |(n, children, attrs)| {
+                let mut e = ElementBuilder::new(names[n]).children(children);
+                let mut seen = std::collections::HashSet::new();
+                for (an, av) in attrs {
+                    if seen.insert(an.clone()) {
+                        e = e.attr(an, av);
+                    }
+                }
+                e
+            })
+    })
+    .prop_map(ElementBuilder::into_document)
+}

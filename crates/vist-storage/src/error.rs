@@ -1,0 +1,87 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// A page id referred to a page that does not exist (or was freed).
+    InvalidPage(u64),
+    /// The file is not a valid store (bad magic / version / page size).
+    Corrupt(String),
+    /// A record did not fit in a page, or a slot id was out of range.
+    PageOverflow {
+        /// Bytes that were requested.
+        requested: usize,
+        /// Bytes actually available on the page.
+        available: usize,
+    },
+    /// All buffer-pool frames are pinned; nothing can be evicted.
+    PoolExhausted,
+    /// The requested page size is outside `[MIN_PAGE_SIZE, MAX_PAGE_SIZE]`
+    /// or not a power of two.
+    BadPageSize(usize),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::InvalidPage(p) => write!(f, "invalid page id {p}"),
+            Error::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            Error::PageOverflow {
+                requested,
+                available,
+            } => write!(
+                f,
+                "record of {requested} bytes does not fit in page ({available} bytes free)"
+            ),
+            Error::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            Error::BadPageSize(s) => write!(f, "unsupported page size {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::PageOverflow {
+            requested: 5000,
+            available: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("5000") && s.contains("100"));
+        assert!(Error::InvalidPage(7).to_string().contains('7'));
+        assert!(Error::BadPageSize(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let e = Error::from(std::io::Error::other("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

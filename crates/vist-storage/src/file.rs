@@ -1,0 +1,298 @@
+//! Durable file-backed pager.
+//!
+//! Layout: page 0 is a header (magic, format version, page size, free-list
+//! head, high-water mark). Freed pages form an intrusive linked list: the
+//! first four bytes of a free page hold the id of the next free page. This
+//! mirrors the classic Berkeley-DB-style store the paper builds on.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::pager::check_page_size;
+use crate::{Error, IoStats, PageId, Pager, Result, INVALID_PAGE};
+
+const MAGIC: &[u8; 8] = b"VISTPG01";
+const HDR_MAGIC: usize = 0;
+const HDR_PAGE_SIZE: usize = 8;
+const HDR_FREE_HEAD: usize = 12;
+const HDR_HIGH_WATER: usize = 16;
+const HDR_LIVE: usize = 20;
+const HDR_LEN: usize = 28;
+
+/// A [`Pager`] persisting pages to a file.
+pub struct FilePager {
+    file: File,
+    page_size: usize,
+    free_head: PageId,
+    /// Next never-allocated page id (page 0 is the header).
+    high_water: PageId,
+    live: u64,
+    header_dirty: bool,
+    stats: IoStats,
+}
+
+impl FilePager {
+    /// Create a new store at `path`, truncating any existing file.
+    pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> Result<Self> {
+        check_page_size(page_size)?;
+        if page_size < HDR_LEN {
+            return Err(Error::BadPageSize(page_size));
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut pager = FilePager {
+            file,
+            page_size,
+            free_head: INVALID_PAGE,
+            high_water: 1,
+            live: 0,
+            header_dirty: true,
+            stats: IoStats::default(),
+        };
+        pager.write_header()?;
+        Ok(pager)
+    }
+
+    /// Open an existing store, validating its header.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut hdr = [0u8; HDR_LEN];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut hdr)?;
+        if &hdr[HDR_MAGIC..HDR_MAGIC + 8] != MAGIC {
+            return Err(Error::Corrupt("bad magic".into()));
+        }
+        let page_size = u32::from_le_bytes(hdr[HDR_PAGE_SIZE..HDR_PAGE_SIZE + 4].try_into().unwrap())
+            as usize;
+        check_page_size(page_size).map_err(|_| Error::Corrupt("bad page size in header".into()))?;
+        let free_head =
+            PageId::from_le_bytes(hdr[HDR_FREE_HEAD..HDR_FREE_HEAD + 4].try_into().unwrap());
+        let high_water =
+            PageId::from_le_bytes(hdr[HDR_HIGH_WATER..HDR_HIGH_WATER + 4].try_into().unwrap());
+        let live = u64::from_le_bytes(hdr[HDR_LIVE..HDR_LIVE + 8].try_into().unwrap());
+        if high_water == 0 {
+            return Err(Error::Corrupt("zero high-water mark".into()));
+        }
+        Ok(FilePager {
+            file,
+            page_size,
+            free_head,
+            high_water,
+            live,
+            header_dirty: false,
+            stats: IoStats::default(),
+        })
+    }
+
+    fn write_header(&mut self) -> Result<()> {
+        let mut hdr = vec![0u8; self.page_size.min(256)];
+        hdr[HDR_MAGIC..HDR_MAGIC + 8].copy_from_slice(MAGIC);
+        hdr[HDR_PAGE_SIZE..HDR_PAGE_SIZE + 4]
+            .copy_from_slice(&(self.page_size as u32).to_le_bytes());
+        hdr[HDR_FREE_HEAD..HDR_FREE_HEAD + 4].copy_from_slice(&self.free_head.to_le_bytes());
+        hdr[HDR_HIGH_WATER..HDR_HIGH_WATER + 4].copy_from_slice(&self.high_water.to_le_bytes());
+        hdr[HDR_LIVE..HDR_LIVE + 8].copy_from_slice(&self.live.to_le_bytes());
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&hdr)?;
+        self.header_dirty = false;
+        Ok(())
+    }
+
+    fn offset(&self, id: PageId) -> u64 {
+        u64::from(id) * self.page_size as u64
+    }
+
+    fn check_id(&self, id: PageId) -> Result<()> {
+        if id == 0 || id >= self.high_water {
+            return Err(Error::InvalidPage(u64::from(id)));
+        }
+        Ok(())
+    }
+}
+
+impl Pager for FilePager {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&mut self) -> Result<PageId> {
+        self.stats.allocations += 1;
+        self.live += 1;
+        self.header_dirty = true;
+        if self.free_head != INVALID_PAGE {
+            let id = self.free_head;
+            // The free page's first four bytes link to the next free page.
+            let mut link = [0u8; 4];
+            self.file.seek(SeekFrom::Start(self.offset(id)))?;
+            self.file.read_exact(&mut link)?;
+            self.free_head = PageId::from_le_bytes(link);
+            // Zero the page for the caller.
+            let zero = vec![0u8; self.page_size];
+            self.file.seek(SeekFrom::Start(self.offset(id)))?;
+            self.file.write_all(&zero)?;
+            return Ok(id);
+        }
+        let id = self.high_water;
+        if id == INVALID_PAGE {
+            return Err(Error::Corrupt("page id space exhausted".into()));
+        }
+        self.high_water += 1;
+        // Extend the file so reads of the fresh page see zeroes.
+        let zero = vec![0u8; self.page_size];
+        self.file.seek(SeekFrom::Start(self.offset(id)))?;
+        self.file.write_all(&zero)?;
+        Ok(id)
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        self.check_id(id)?;
+        self.file.seek(SeekFrom::Start(self.offset(id)))?;
+        self.file.write_all(&self.free_head.to_le_bytes())?;
+        self.free_head = id;
+        self.live = self.live.saturating_sub(1);
+        self.header_dirty = true;
+        self.stats.frees += 1;
+        Ok(())
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        self.check_id(id)?;
+        self.file.seek(SeekFrom::Start(self.offset(id)))?;
+        self.file.read_exact(buf)?;
+        self.stats.reads += 1;
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        self.check_id(id)?;
+        self.file.seek(SeekFrom::Start(self.offset(id)))?;
+        self.file.write_all(buf)?;
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn live_pages(&self) -> u64 {
+        self.live
+    }
+
+    fn store_bytes(&self) -> u64 {
+        u64::from(self.high_water) * self.page_size as u64
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if self.header_dirty {
+            self.write_header()?;
+        }
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+}
+
+impl Drop for FilePager {
+    fn drop(&mut self) {
+        if self.header_dirty {
+            let _ = self.write_header();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vist-storage-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_write_reopen_read() {
+        let path = tmp("reopen");
+        let id;
+        {
+            let mut p = FilePager::create(&path, 256).unwrap();
+            id = p.allocate().unwrap();
+            let mut buf = vec![0u8; 256];
+            buf[10] = 0x5A;
+            p.write(id, &buf).unwrap();
+            p.sync().unwrap();
+        }
+        {
+            let mut p = FilePager::open(&path).unwrap();
+            assert_eq!(p.page_size(), 256);
+            assert_eq!(p.live_pages(), 1);
+            let mut out = vec![0u8; 256];
+            p.read(id, &mut out).unwrap();
+            assert_eq!(out[10], 0x5A);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn free_list_survives_reopen() {
+        let path = tmp("freelist");
+        let (a, b);
+        {
+            let mut p = FilePager::create(&path, 256).unwrap();
+            a = p.allocate().unwrap();
+            b = p.allocate().unwrap();
+            p.free(a).unwrap();
+            p.sync().unwrap();
+        }
+        {
+            let mut p = FilePager::open(&path).unwrap();
+            let c = p.allocate().unwrap();
+            assert_eq!(c, a, "freed page is recycled after reopen");
+            let d = p.allocate().unwrap();
+            assert!(d != a && d != b, "next allocation extends the file");
+            // Recycled page must read as zeroes (the free-list link is wiped).
+            let mut out = vec![0xEEu8; 256];
+            p.read(c, &mut out).unwrap();
+            assert!(out.iter().all(|&x| x == 0));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn header_page_not_addressable() {
+        let path = tmp("header");
+        let mut p = FilePager::create(&path, 256).unwrap();
+        assert!(p.read(0, &mut vec![0u8; 256]).is_err());
+        assert!(p.write(0, &vec![0u8; 256]).is_err());
+        assert!(p.free(0).is_err());
+        drop(p);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"this is not a vist store, not at all....").unwrap();
+        assert!(matches!(FilePager::open(&path), Err(Error::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn store_bytes_grows_with_allocations() {
+        let path = tmp("bytes");
+        let mut p = FilePager::create(&path, 256).unwrap();
+        let base = p.store_bytes();
+        p.allocate().unwrap();
+        p.allocate().unwrap();
+        assert_eq!(p.store_bytes(), base + 512);
+        drop(p);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

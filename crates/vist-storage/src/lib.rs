@@ -1,0 +1,60 @@
+//! Paged storage substrate for the ViST index family.
+//!
+//! The SIGMOD 2003 ViST paper implements its B+Trees on top of the Berkeley
+//! DB library. This crate is the from-scratch replacement for that substrate:
+//! a page-oriented storage layer with
+//!
+//! * a [`Pager`] abstraction over fixed-size pages, with an in-memory
+//!   implementation ([`MemPager`]) and a durable file-backed implementation
+//!   ([`FilePager`]) that maintains a free list and a typed header page,
+//! * a [`BufferPool`] that caches pages with CLOCK eviction, pin counting and
+//!   dirty-page write-back, and
+//! * a [`SlottedPage`] layout for variable-length records, used by
+//!   `vist-btree` for its node format.
+//!
+//! The layer is deliberately small but complete: everything the B+Tree needs
+//! (allocation, free, ordered growth, crash-consistent-ish flush, I/O
+//! statistics) is here, and nothing else.
+//!
+//! # Example
+//!
+//! ```
+//! use vist_storage::{BufferPool, MemPager, PageId};
+//!
+//! let pool = BufferPool::with_capacity(MemPager::new(4096), 64);
+//! let pid = pool.allocate().unwrap();
+//! {
+//!     let mut page = pool.fetch_mut(pid).unwrap();
+//!     page.data_mut()[0..4].copy_from_slice(&42u32.to_le_bytes());
+//! }
+//! let page = pool.fetch(pid).unwrap();
+//! assert_eq!(u32::from_le_bytes(page.data()[0..4].try_into().unwrap()), 42);
+//! ```
+
+mod buffer;
+mod error;
+mod file;
+mod mem;
+mod pager;
+mod slotted;
+mod stats;
+
+pub use buffer::{BufferPool, PageRef, PageRefMut};
+pub use error::{Error, Result};
+pub use file::FilePager;
+pub use mem::MemPager;
+pub use pager::{PageId, Pager, INVALID_PAGE};
+pub use slotted::{SlotId, SlottedPage, SlottedPageMut};
+pub use stats::IoStats;
+
+/// Default page size, in bytes. The paper uses 2 KiB Berkeley DB pages; we
+/// default to 4 KiB (a modern filesystem block) and expose the size as a
+/// constructor parameter everywhere so the paper's setting is reproducible
+/// (see the `ablation_pagesize` bench).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Smallest page size the slotted layout supports.
+pub const MIN_PAGE_SIZE: usize = 128;
+
+/// Largest supported page size (fits slot offsets in `u16`).
+pub const MAX_PAGE_SIZE: usize = 1 << 16;

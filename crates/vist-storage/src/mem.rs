@@ -1,0 +1,171 @@
+//! In-memory pager, used for tests and transient indexes.
+
+use crate::pager::check_page_size;
+use crate::{Error, IoStats, PageId, Pager, Result};
+
+/// A [`Pager`] backed by heap memory.
+///
+/// Freed pages are recycled in LIFO order. Reads of never-written pages see
+/// zeroes, matching [`crate::FilePager`] semantics.
+pub struct MemPager {
+    page_size: usize,
+    pages: Vec<Option<Box<[u8]>>>,
+    free: Vec<PageId>,
+    stats: IoStats,
+}
+
+impl MemPager {
+    /// Create an empty in-memory pager with the given page size.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is unsupported (use powers of two in
+    /// `[MIN_PAGE_SIZE, MAX_PAGE_SIZE]`).
+    #[must_use]
+    pub fn new(page_size: usize) -> Self {
+        check_page_size(page_size).expect("unsupported page size");
+        MemPager {
+            page_size,
+            pages: Vec::new(),
+            free: Vec::new(),
+            stats: IoStats::default(),
+        }
+    }
+
+    fn slot(&self, id: PageId) -> Result<usize> {
+        let idx = id as usize;
+        if idx >= self.pages.len() || self.pages[idx].is_none() {
+            return Err(Error::InvalidPage(u64::from(id)));
+        }
+        Ok(idx)
+    }
+}
+
+impl Pager for MemPager {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&mut self) -> Result<PageId> {
+        self.stats.allocations += 1;
+        if let Some(id) = self.free.pop() {
+            self.pages[id as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
+            return Ok(id);
+        }
+        let id = PageId::try_from(self.pages.len())
+            .map_err(|_| Error::Corrupt("page id space exhausted".into()))?;
+        if id == crate::INVALID_PAGE {
+            return Err(Error::Corrupt("page id space exhausted".into()));
+        }
+        self.pages
+            .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+        Ok(id)
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        let idx = self.slot(id)?;
+        self.pages[idx] = None;
+        self.free.push(id);
+        self.stats.frees += 1;
+        Ok(())
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        let idx = self.slot(id)?;
+        buf.copy_from_slice(self.pages[idx].as_ref().expect("checked by slot"));
+        self.stats.reads += 1;
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        let idx = self.slot(id)?;
+        self.pages[idx]
+            .as_mut()
+            .expect("checked by slot")
+            .copy_from_slice(buf);
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn live_pages(&self) -> u64 {
+        (self.pages.len() - self.free.len()) as u64
+    }
+
+    fn store_bytes(&self) -> u64 {
+        (self.pages.len() * self.page_size) as u64
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let mut p = MemPager::new(256);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        assert_ne!(a, b);
+        let mut buf = vec![0u8; 256];
+        buf[0] = 0xAB;
+        p.write(a, &buf).unwrap();
+        let mut out = vec![0u8; 256];
+        p.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 0xAB);
+        p.read(b, &mut out).unwrap();
+        assert_eq!(out[0], 0, "fresh page reads as zeroes");
+    }
+
+    #[test]
+    fn free_recycles_and_zeroes() {
+        let mut p = MemPager::new(256);
+        let a = p.allocate().unwrap();
+        let buf = vec![0xFFu8; 256];
+        p.write(a, &buf).unwrap();
+        p.free(a).unwrap();
+        assert!(p.read(a, &mut vec![0u8; 256]).is_err(), "freed page invalid");
+        let a2 = p.allocate().unwrap();
+        assert_eq!(a, a2, "LIFO recycling");
+        let mut out = vec![0xEEu8; 256];
+        p.read(a2, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0), "recycled page is zeroed");
+    }
+
+    #[test]
+    fn live_pages_and_store_bytes() {
+        let mut p = MemPager::new(256);
+        let a = p.allocate().unwrap();
+        let _b = p.allocate().unwrap();
+        assert_eq!(p.live_pages(), 2);
+        assert_eq!(p.store_bytes(), 512);
+        p.free(a).unwrap();
+        assert_eq!(p.live_pages(), 1);
+        assert_eq!(p.store_bytes(), 512, "store size does not shrink");
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut p = MemPager::new(256);
+        let a = p.allocate().unwrap();
+        p.write(a, &vec![0u8; 256]).unwrap();
+        p.read(a, &mut vec![0u8; 256]).unwrap();
+        p.free(a).unwrap();
+        let s = p.stats();
+        assert_eq!((s.allocations, s.writes, s.reads, s.frees), (1, 1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported page size")]
+    fn bad_page_size_panics() {
+        let _ = MemPager::new(100);
+    }
+}

@@ -1,0 +1,67 @@
+//! The [`Pager`] trait: fixed-size page allocation and I/O.
+
+use crate::{Result, IoStats};
+
+/// Identifier of a page within a pager. Page ids are dense `u32`s; page 0 is
+/// reserved by [`crate::FilePager`] for its header and is never handed out.
+pub type PageId = u32;
+
+/// Sentinel page id used for "null" links (e.g. end of a leaf chain).
+pub const INVALID_PAGE: PageId = u32::MAX;
+
+/// Abstraction over a store of fixed-size pages.
+///
+/// Implementations must hand out page ids that remain valid until
+/// [`Pager::free`] is called on them, and must persist `write` data so a
+/// subsequent `read` observes it. Durability across process restarts is only
+/// required of [`crate::FilePager`] (after [`Pager::sync`]).
+pub trait Pager: Send {
+    /// Size in bytes of every page in this store.
+    fn page_size(&self) -> usize;
+
+    /// Allocate a fresh (zeroed or reused) page and return its id.
+    fn allocate(&mut self) -> Result<PageId>;
+
+    /// Return a previously allocated page to the free pool.
+    fn free(&mut self, id: PageId) -> Result<()>;
+
+    /// Read page `id` into `buf` (`buf.len() == page_size()`).
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()>;
+
+    /// Write `buf` (`buf.len() == page_size()`) to page `id`.
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()>;
+
+    /// Number of pages currently allocated (live, not freed).
+    fn live_pages(&self) -> u64;
+
+    /// Total size of the underlying store in bytes (including freed pages
+    /// and any header); this is what "index size" experiments report.
+    fn store_bytes(&self) -> u64;
+
+    /// Flush buffered writes to durable storage.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Cumulative I/O statistics.
+    fn stats(&self) -> IoStats;
+}
+
+pub(crate) fn check_page_size(size: usize) -> Result<()> {
+    if !(crate::MIN_PAGE_SIZE..=crate::MAX_PAGE_SIZE).contains(&size) || !size.is_power_of_two() {
+        return Err(crate::Error::BadPageSize(size));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_validation() {
+        assert!(check_page_size(4096).is_ok());
+        assert!(check_page_size(128).is_ok());
+        assert!(check_page_size(127).is_err());
+        assert!(check_page_size(3000).is_err());
+        assert!(check_page_size(1 << 17).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests: the file pager must behave exactly like the in-memory
+//! pager under arbitrary allocate/free/write/read sequences, and survive
+//! reopen at any flush point.
+
+use proptest::prelude::*;
+use vist_storage::{FilePager, MemPager, Pager};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate,
+    /// Free the i-th live page (mod live count).
+    Free(usize),
+    /// Write a byte pattern to the i-th live page.
+    Write(usize, u8),
+    /// Read and compare the i-th live page.
+    Read(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Allocate),
+        1 => any::<usize>().prop_map(Op::Free),
+        3 => (any::<usize>(), any::<u8>()).prop_map(|(i, b)| Op::Write(i, b)),
+        2 => any::<usize>().prop_map(Op::Read),
+    ]
+}
+
+fn run_ops(file: &mut FilePager, mem: &mut MemPager, ops: &[Op]) {
+    const PS: usize = 256;
+    // Live pages as (file_pid, mem_pid) pairs.
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Allocate => {
+                let f = file.allocate().unwrap();
+                let m = mem.allocate().unwrap();
+                live.push((f, m));
+            }
+            Op::Free(ix) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (f, m) = live.remove(ix % live.len());
+                file.free(f).unwrap();
+                mem.free(m).unwrap();
+            }
+            Op::Write(ix, byte) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (f, m) = live[ix % live.len()];
+                let buf = vec![*byte; PS];
+                file.write(f, &buf).unwrap();
+                mem.write(m, &buf).unwrap();
+            }
+            Op::Read(ix) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (f, m) = live[ix % live.len()];
+                let mut bf = vec![0u8; PS];
+                let mut bm = vec![1u8; PS];
+                file.read(f, &mut bf).unwrap();
+                mem.read(m, &mut bm).unwrap();
+                assert_eq!(bf, bm, "op {i}: page contents diverge");
+            }
+        }
+        assert_eq!(file.live_pages(), mem.live_pages(), "op {i}");
+    }
+    // Final sweep: every live page identical.
+    for (f, m) in &live {
+        let mut bf = vec![0u8; PS];
+        let mut bm = vec![1u8; PS];
+        file.read(*f, &mut bf).unwrap();
+        mem.read(*m, &mut bm).unwrap();
+        assert_eq!(bf, bm);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn file_pager_matches_mem_pager(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let path = std::env::temp_dir().join(format!(
+            "vist-pager-prop-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let mut file = FilePager::create(&path, 256).unwrap();
+            let mut mem = MemPager::new(256);
+            run_ops(&mut file, &mut mem, &ops);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_preserves_pages(
+        writes in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "vist-pager-reopen-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut pids = Vec::new();
+        {
+            let mut p = FilePager::create(&path, 256).unwrap();
+            for b in &writes {
+                let pid = p.allocate().unwrap();
+                p.write(pid, &vec![*b; 256]).unwrap();
+                pids.push((pid, *b));
+            }
+            p.sync().unwrap();
+        }
+        {
+            let mut p = FilePager::open(&path).unwrap();
+            prop_assert_eq!(p.live_pages(), writes.len() as u64);
+            for (pid, b) in &pids {
+                let mut buf = vec![0u8; 256];
+                p.read(*pid, &mut buf).unwrap();
+                prop_assert!(buf.iter().all(|x| x == b));
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

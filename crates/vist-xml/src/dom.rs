@@ -1,0 +1,317 @@
+//! Arena-based XML document model.
+
+use crate::writer;
+
+/// Index of a node inside a [`Document`]'s arena.
+pub type NodeId = u32;
+
+/// A name/value attribute pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (prefix kept verbatim, no namespace expansion).
+    pub name: String,
+    /// Unescaped attribute value.
+    pub value: String,
+}
+
+/// Payload of a DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeData {
+    /// An element with a tag name and attributes.
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// A text node (unescaped).
+    Text(String),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) data: NodeData,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+}
+
+/// An XML document: a tree of elements and text nodes in a flat arena.
+///
+/// Construct by [`crate::parse`]-ing text or programmatically with
+/// [`crate::ElementBuilder`] / the `add_*` methods here.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: Option<NodeId>,
+}
+
+impl Document {
+    /// An empty document with no root element.
+    #[must_use]
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// The root element, if the document has one.
+    #[must_use]
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Total number of nodes (elements + text) in the document.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// The node's payload.
+    #[must_use]
+    pub fn data(&self, id: NodeId) -> &NodeData {
+        &self.node(id).data
+    }
+
+    /// The node's parent, or `None` for the root.
+    #[must_use]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Child node ids in document order (both elements and text).
+    #[must_use]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// `true` if the node is an element.
+    #[must_use]
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.node(id).data, NodeData::Element { .. })
+    }
+
+    /// Tag name of an element node (empty string for a text node).
+    #[must_use]
+    pub fn name(&self, id: NodeId) -> &str {
+        match &self.node(id).data {
+            NodeData::Element { name, .. } => name,
+            NodeData::Text(_) => "",
+        }
+    }
+
+    /// Text content of a text node (`None` for elements).
+    #[must_use]
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).data {
+            NodeData::Text(t) => Some(t),
+            NodeData::Element { .. } => None,
+        }
+    }
+
+    /// The element's attributes (empty for text nodes).
+    #[must_use]
+    pub fn attributes(&self, id: NodeId) -> &[Attribute] {
+        match &self.node(id).data {
+            NodeData::Element { attributes, .. } => attributes,
+            NodeData::Text(_) => &[],
+        }
+    }
+
+    /// Value of the named attribute, if present.
+    #[must_use]
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attributes(id)
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Iterate over the element children of `id`, skipping text nodes.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(id)
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| self.is_element(c))
+    }
+
+    /// Concatenated text of the node's *direct* text children, trimmed.
+    #[must_use]
+    pub fn direct_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for &c in self.children(id) {
+            if let NodeData::Text(t) = &self.node(c).data {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Create the root element. Panics if a root already exists.
+    pub fn add_root(&mut self, name: impl Into<String>) -> NodeId {
+        assert!(self.root.is_none(), "document already has a root");
+        let id = self.push(NodeData::Element {
+            name: name.into(),
+            attributes: Vec::new(),
+        });
+        self.root = Some(id);
+        id
+    }
+
+    /// Append a child element under `parent`, returning its id.
+    pub fn add_element(&mut self, parent: NodeId, name: impl Into<String>) -> NodeId {
+        let id = self.push(NodeData::Element {
+            name: name.into(),
+            attributes: Vec::new(),
+        });
+        self.nodes[id as usize].parent = Some(parent);
+        self.nodes[parent as usize].children.push(id);
+        id
+    }
+
+    /// Append a text child under `parent`, returning its id.
+    pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let id = self.push(NodeData::Text(text.into()));
+        self.nodes[id as usize].parent = Some(parent);
+        self.nodes[parent as usize].children.push(id);
+        id
+    }
+
+    /// Set (or add) an attribute on an element.
+    ///
+    /// # Panics
+    /// Panics if `id` refers to a text node.
+    pub fn set_attribute(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        match &mut self.nodes[id as usize].data {
+            NodeData::Element { attributes, .. } => {
+                if let Some(a) = attributes.iter_mut().find(|a| a.name == name) {
+                    a.value = value.into();
+                } else {
+                    attributes.push(Attribute {
+                        name,
+                        value: value.into(),
+                    });
+                }
+            }
+            NodeData::Text(_) => panic!("cannot set attribute on a text node"),
+        }
+    }
+
+    fn push(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId::try_from(self.nodes.len()).expect("node arena overflow");
+        self.nodes.push(Node {
+            data,
+            parent: None,
+            children: Vec::new(),
+        });
+        id
+    }
+
+    /// Serialize the document to XML text.
+    #[must_use]
+    pub fn to_xml(&self) -> String {
+        writer::to_xml(self)
+    }
+
+    /// Serialize with indentation (semantics-preserving: mixed content is
+    /// kept inline, so a reparse is structurally identical).
+    #[must_use]
+    pub fn to_xml_pretty(&self, indent: usize) -> String {
+        writer::to_xml_pretty(self, indent)
+    }
+
+    /// Depth-first preorder traversal from the root, yielding every node.
+    pub fn preorder(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let mut stack: Vec<NodeId> = self.root.into_iter().collect();
+        std::iter::from_fn(move || {
+            let id = stack.pop()?;
+            // Push children in reverse so they pop in document order.
+            for &c in self.children(id).iter().rev() {
+                stack.push(c);
+            }
+            Some(id)
+        })
+    }
+
+    /// Depth of node `id` (root = 1), counting element/text levels.
+    #[must_use]
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 1;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut doc = Document::new();
+        let root = doc.add_root("purchase");
+        let seller = doc.add_element(root, "seller");
+        doc.set_attribute(seller, "id", "s1");
+        let name = doc.add_element(seller, "name");
+        doc.add_text(name, "dell");
+        (doc, root, seller, name)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (doc, root, seller, name) = sample();
+        assert_eq!(doc.root(), Some(root));
+        assert_eq!(doc.name(root), "purchase");
+        assert_eq!(doc.parent(seller), Some(root));
+        assert_eq!(doc.children(root), &[seller]);
+        assert_eq!(doc.attribute(seller, "id"), Some("s1"));
+        assert_eq!(doc.attribute(seller, "nope"), None);
+        assert_eq!(doc.direct_text(name), "dell");
+        assert_eq!(doc.depth(root), 1);
+        assert_eq!(doc.depth(name), 3);
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let (doc, root, seller, name) = sample();
+        let order: Vec<NodeId> = doc.preorder().collect();
+        assert_eq!(order[0], root);
+        assert_eq!(order[1], seller);
+        assert_eq!(order[2], name);
+        assert_eq!(order.len(), 4); // + text node
+    }
+
+    #[test]
+    fn set_attribute_overwrites() {
+        let (mut doc, _, seller, _) = sample();
+        doc.set_attribute(seller, "id", "s2");
+        assert_eq!(doc.attribute(seller, "id"), Some("s2"));
+        assert_eq!(doc.attributes(seller).len(), 1);
+    }
+
+    #[test]
+    fn child_elements_skips_text() {
+        let mut doc = Document::new();
+        let root = doc.add_root("r");
+        doc.add_text(root, "hello");
+        let e = doc.add_element(root, "e");
+        doc.add_text(root, "world");
+        let elems: Vec<NodeId> = doc.child_elements(root).collect();
+        assert_eq!(elems, vec![e]);
+        assert_eq!(doc.direct_text(root), "helloworld");
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a root")]
+    fn double_root_panics() {
+        let mut doc = Document::new();
+        doc.add_root("a");
+        doc.add_root("b");
+    }
+}

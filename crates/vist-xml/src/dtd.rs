@@ -1,0 +1,368 @@
+//! DTD (document type definition) parsing — the sibling-order source.
+//!
+//! ViST needs a deterministic order among sibling nodes so isomorphic trees
+//! produce identical preorder sequences; the paper takes it from the DTD:
+//! "The DTD schema embodies a linear order of all elements/attributes
+//! defined therein." This module parses the declaration subset that matters
+//! for that purpose — `<!ELEMENT …>` and `<!ATTLIST …>` — and exposes the
+//! linear declaration order. Content models are retained as raw text
+//! (ViST does not validate against them).
+//!
+//! ```
+//! use vist_xml::parse_dtd;
+//!
+//! // The paper's Figure 1 DTD.
+//! let dtd = parse_dtd(r#"
+//!     <!ELEMENT purchases (purchase*)>
+//!     <!ELEMENT purchase  (seller, buyer)>
+//!     <!ATTLIST seller    ID ID #REQUIRED location CDATA #IMPLIED name CDATA #IMPLIED>
+//!     <!ELEMENT seller    (item*)>
+//!     <!ATTLIST buyer     ID ID #REQUIRED location CDATA #IMPLIED name CDATA #IMPLIED>
+//!     <!ELEMENT buyer     (item*)>
+//!     <!ATTLIST item      name CDATA #REQUIRED manufacturer CDATA #IMPLIED>
+//! "#).unwrap();
+//! assert_eq!(dtd.sibling_order()[..3], ["purchases", "purchase", "seller"]);
+//! assert!(dtd.attributes("seller").iter().any(|a| a == "location"));
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::{ParseError, Position};
+
+/// One `<!ELEMENT>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Element name.
+    pub name: String,
+    /// Raw content model text, e.g. `(seller, buyer)`, `(#PCDATA)`, `EMPTY`.
+    pub content_model: String,
+}
+
+/// A parsed DTD: declaration order plus attribute lists.
+#[derive(Debug, Clone, Default)]
+pub struct Dtd {
+    /// Element declarations, in order.
+    pub elements: Vec<ElementDecl>,
+    /// Attribute names per element, in declaration order.
+    pub attlists: HashMap<String, Vec<String>>,
+    /// All element/attribute names, in first-declaration order — the linear
+    /// order the paper's sibling ordering uses.
+    order: Vec<String>,
+}
+
+impl Dtd {
+    /// The linear order of every element and attribute name, by first
+    /// declaration — feed this to `SiblingOrder::Dtd`.
+    #[must_use]
+    pub fn sibling_order(&self) -> Vec<String> {
+        self.order.clone()
+    }
+
+    /// Attribute names declared for `element` (empty slice if none).
+    #[must_use]
+    pub fn attributes(&self, element: &str) -> &[String] {
+        self.attlists.get(element).map_or(&[], Vec::as_slice)
+    }
+
+    fn note(&mut self, name: &str) {
+        if !self.order.iter().any(|n| n == name) {
+            self.order.push(name.to_string());
+        }
+    }
+}
+
+/// Parse DTD text: a sequence of `<!ELEMENT …>` / `<!ATTLIST …>`
+/// declarations (comments and `<!ENTITY`/`<!NOTATION`/PIs are skipped).
+/// Accepts either a bare declaration list or one wrapped in
+/// `<!DOCTYPE name [ … ]>`.
+pub fn parse_dtd(text: &str) -> Result<Dtd, ParseError> {
+    let mut p = DtdParser {
+        src: text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.parse()
+}
+
+struct DtdParser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DtdParser<'a> {
+    fn position(&self) -> Position {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Position { line, column: col }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.position(), msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, term: &str, what: &str) -> Result<usize, ParseError> {
+        match self.src[self.pos..].find(term) {
+            Some(rel) => {
+                let end = self.pos + rel;
+                self.pos = end + term.len();
+                Ok(end)
+            }
+            None => Err(self.err(format!("unterminated {what}"))),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn parse(&mut self) -> Result<Dtd, ParseError> {
+        let mut dtd = Dtd::default();
+        // Optional DOCTYPE wrapper.
+        self.skip_ws();
+        if self.starts_with("<!DOCTYPE") {
+            self.pos += "<!DOCTYPE".len();
+            let _root = self.name()?;
+            self.skip_ws();
+            if self.peek() == Some(b'[') {
+                self.pos += 1;
+            } else {
+                return Err(self.err("expected '[' after DOCTYPE name"));
+            }
+        }
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Ok(dtd),
+                Some(b']') => {
+                    // end of internal subset; accept optional trailing '>'
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                    }
+                    self.skip_ws();
+                    if self.pos != self.bytes.len() {
+                        return Err(self.err("content after DTD"));
+                    }
+                    return Ok(dtd);
+                }
+                Some(_) => {}
+            }
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->", "comment")?;
+            } else if self.starts_with("<!ELEMENT") {
+                self.pos += "<!ELEMENT".len();
+                let name = self.name()?;
+                self.skip_ws();
+                let start = self.pos;
+                let end = self.skip_until(">", "ELEMENT declaration")?;
+                dtd.note(&name);
+                dtd.elements.push(ElementDecl {
+                    name,
+                    content_model: self.src[start..end].trim().to_string(),
+                });
+            } else if self.starts_with("<!ATTLIST") {
+                self.pos += "<!ATTLIST".len();
+                let element = self.name()?;
+                dtd.note(&element);
+                let start = self.pos;
+                let end = self.skip_until(">", "ATTLIST declaration")?;
+                let body = &self.src[start..end];
+                for attr in parse_attlist_body(body) {
+                    dtd.note(&attr);
+                    let list = dtd.attlists.entry(element.clone()).or_default();
+                    if !list.contains(&attr) {
+                        list.push(attr);
+                    }
+                }
+            } else if self.starts_with("<!ENTITY") || self.starts_with("<!NOTATION") {
+                self.skip_until(">", "declaration")?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>", "processing instruction")?;
+            } else {
+                return Err(self.err("expected a declaration"));
+            }
+        }
+    }
+}
+
+/// Extract attribute names from an ATTLIST body: triples of
+/// `name TYPE DEFAULT`, where TYPE may be an enumeration `(a|b|c)` and
+/// DEFAULT may be `#REQUIRED`, `#IMPLIED`, `#FIXED "v"`, or a quoted
+/// literal.
+fn parse_attlist_body(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut toks = tokenize_attlist(body).into_iter().peekable();
+    while let Some(name) = toks.next() {
+        if name.starts_with('#') || name.starts_with('"') || name.starts_with('\'') {
+            continue; // malformed / stray default; resynchronize
+        }
+        out.push(name);
+        // TYPE: one token, or a parenthesized enumeration (already grouped).
+        let _ty = toks.next();
+        // DEFAULT: #REQUIRED | #IMPLIED | #FIXED "lit" | "lit"
+        match toks.peek().map(String::as_str) {
+            Some("#FIXED") => {
+                toks.next();
+                toks.next(); // the literal
+            }
+            Some(t) if t.starts_with('#') || t.starts_with('"') || t.starts_with('\'') => {
+                toks.next();
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn tokenize_attlist(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let b = body.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            c if (c as char).is_whitespace() => i += 1,
+            b'(' => {
+                let start = i;
+                while i < b.len() && b[i] != b')' {
+                    i += 1;
+                }
+                i = (i + 1).min(b.len());
+                out.push(body[start..i].to_string());
+            }
+            q @ (b'"' | b'\'') => {
+                let start = i;
+                i += 1;
+                while i < b.len() && b[i] != q {
+                    i += 1;
+                }
+                i = (i + 1).min(b.len());
+                out.push(body[start..i].to_string());
+            }
+            _ => {
+                let start = i;
+                while i < b.len() && !(b[i] as char).is_whitespace() && b[i] != b'(' {
+                    i += 1;
+                }
+                out.push(body[start..i].to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE1: &str = r#"
+        <!ELEMENT purchases (purchase*)>
+        <!ELEMENT purchase  (seller, buyer)>
+        <!ATTLIST seller    ID ID #REQUIRED location CDATA #IMPLIED name CDATA #IMPLIED>
+        <!ELEMENT seller    (item*)>
+        <!ATTLIST buyer     ID ID #REQUIRED location CDATA #IMPLIED name CDATA #IMPLIED>
+        <!ELEMENT buyer     (item*)>
+        <!ATTLIST item      name CDATA #REQUIRED manufacturer CDATA #IMPLIED>
+    "#;
+
+    #[test]
+    fn figure1_dtd_parses() {
+        let dtd = parse_dtd(FIGURE1).unwrap();
+        assert_eq!(dtd.elements.len(), 4);
+        assert_eq!(dtd.elements[0].name, "purchases");
+        assert_eq!(dtd.elements[0].content_model, "(purchase*)");
+        assert_eq!(dtd.attributes("seller"), &["ID", "location", "name"]);
+        assert_eq!(dtd.attributes("item"), &["name", "manufacturer"]);
+        assert!(dtd.attributes("purchases").is_empty());
+        // Linear order: first declaration wins; elements and attributes mix.
+        let order = dtd.sibling_order();
+        let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+        assert!(pos("purchases") < pos("purchase"));
+        assert!(pos("seller") < pos("location"), "seller ATTLIST comes first");
+        assert!(pos("location") < pos("item"));
+    }
+
+    #[test]
+    fn doctype_wrapper_accepted() {
+        let dtd = parse_dtd(
+            "<!DOCTYPE purchases [ <!ELEMENT purchases (purchase*)> <!ELEMENT purchase EMPTY> ]>",
+        )
+        .unwrap();
+        assert_eq!(dtd.elements.len(), 2);
+        assert_eq!(dtd.elements[1].content_model, "EMPTY");
+    }
+
+    #[test]
+    fn comments_entities_pis_skipped() {
+        let dtd = parse_dtd(
+            "<!-- header --> <!ENTITY amp '&#38;'> <?pi data?> <!ELEMENT a (#PCDATA)>",
+        )
+        .unwrap();
+        assert_eq!(dtd.elements.len(), 1);
+        assert_eq!(dtd.elements[0].content_model, "(#PCDATA)");
+    }
+
+    #[test]
+    fn enumerated_and_fixed_attributes() {
+        let dtd = parse_dtd(
+            r#"<!ATTLIST item kind (new|used) "new" version CDATA #FIXED "1" id ID #REQUIRED>"#,
+        )
+        .unwrap();
+        assert_eq!(dtd.attributes("item"), &["kind", "version", "id"]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_dtd("<!ELEMENT unterminated").is_err());
+        assert!(parse_dtd("garbage").is_err());
+        assert!(parse_dtd("<!DOCTYPE x <!ELEMENT a EMPTY>").is_err(), "missing [");
+        assert!(parse_dtd("<!DOCTYPE x [ <!ELEMENT a EMPTY> ]> trailing").is_err());
+    }
+
+    #[test]
+    fn duplicate_declarations_keep_first_position() {
+        let dtd = parse_dtd(
+            "<!ELEMENT a (b)> <!ELEMENT b EMPTY> <!ELEMENT a EMPTY> <!ATTLIST b x CDATA #IMPLIED x CDATA #IMPLIED>",
+        )
+        .unwrap();
+        let order = dtd.sibling_order();
+        assert_eq!(order, vec!["a", "b", "x"]);
+        assert_eq!(dtd.attributes("b"), &["x"]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Character escaping and entity expansion.
+
+/// Escape text content (`&`, `<`, `>`).
+#[must_use]
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for double-quoted serialization.
+#[must_use]
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Expand the five predefined entities and numeric character references.
+/// Unknown entities are an error, reported as `Err(position_in_s)`.
+pub fn unescape(s: &str) -> Result<String, usize> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        let semi = s[i..].find(';').ok_or(i)?;
+        let entity = &s[i + 1..i + semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ => {
+                let code = if let Some(hex) = entity.strip_prefix("#x") {
+                    u32::from_str_radix(hex, 16).map_err(|_| i)?
+                } else if let Some(dec) = entity.strip_prefix('#') {
+                    dec.parse::<u32>().map_err(|_| i)?
+                } else {
+                    return Err(i);
+                };
+                out.push(char::from_u32(code).ok_or(i)?);
+            }
+        }
+        i += semi + 1;
+    }
+    Ok(out)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrips_through_unescape() {
+        let cases = [
+            "plain",
+            "a < b && c > d",
+            "quotes \" and ' here",
+            "unicode: héllo → 世界",
+            "",
+        ];
+        for c in cases {
+            assert_eq!(unescape(&escape_text(c)).unwrap(), c);
+            assert_eq!(unescape(&escape_attr(c)).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;").unwrap(), "AB");
+        assert_eq!(unescape("&#x4e16;").unwrap(), "世");
+    }
+
+    #[test]
+    fn bad_entities_rejected() {
+        assert!(unescape("&bogus;").is_err());
+        assert!(unescape("&unterminated").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+        assert!(unescape("&#1114112;").is_err()); // beyond char::MAX
+    }
+
+    #[test]
+    fn mixed_content() {
+        assert_eq!(
+            unescape("1 &lt; 2 &amp;&amp; 3 &gt; 2").unwrap(),
+            "1 < 2 && 3 > 2"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! A from-scratch, non-validating XML 1.0 toolchain.
+//!
+//! The ViST paper indexes XML documents (DBLP records, XMARK sub-structures,
+//! purchase records); this crate supplies the substrate to read and build
+//! them without any external XML dependency:
+//!
+//! * [`Document`] — an arena-based DOM with elements, attributes, and text,
+//! * [`parse`] — a streaming tokenizer + tree builder handling comments,
+//!   CDATA, processing instructions, a DOCTYPE prolog, numeric and named
+//!   character entities, and well-formedness checks with line/column error
+//!   positions,
+//! * [`ElementBuilder`] — ergonomic programmatic construction (used heavily
+//!   by the data generators), and
+//! * [`Document::to_xml`] — a serializer with correct escaping, so
+//!   `parse(doc.to_xml())` round-trips.
+//!
+//! The subset is exactly what structural XML indexing needs: no namespace
+//! expansion (prefixes are kept verbatim as part of the name, which is how
+//! DBLP-era systems treated them), no DTD validation, no external entities.
+//!
+//! # Example
+//!
+//! ```
+//! let doc = vist_xml::parse(r#"
+//!     <purchase>
+//!       <seller id="s1"><name>dell</name></seller>
+//!       <buyer><location>boston</location></buyer>
+//!     </purchase>"#).unwrap();
+//! let root = doc.root().unwrap();
+//! assert_eq!(doc.name(root), "purchase");
+//! let seller = doc.child_elements(root).next().unwrap();
+//! assert_eq!(doc.attribute(seller, "id"), Some("s1"));
+//! ```
+
+mod builder;
+mod dom;
+mod dtd;
+mod error;
+mod escape;
+mod parser;
+mod reader;
+mod split;
+mod writer;
+
+pub use builder::ElementBuilder;
+pub use dom::{Attribute, Document, NodeData, NodeId};
+pub use dtd::{parse_dtd, Dtd, ElementDecl};
+pub use error::{ParseError, Position};
+pub use escape::{escape_attr, escape_text, unescape};
+pub use parser::parse;
+pub use reader::{Event, XmlReader};
+pub use split::RecordSplitter;

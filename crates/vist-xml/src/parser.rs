@@ -1,0 +1,218 @@
+//! DOM construction on top of the streaming reader.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::error::ParseError;
+use crate::reader::{Event, XmlReader};
+
+/// Parse an XML document from text.
+///
+/// Accepts an optional prolog (`<?xml ...?>`, comments, one `<!DOCTYPE ...>`),
+/// then exactly one root element. Comments and processing instructions are
+/// skipped; CDATA sections become text; entities are expanded;
+/// whitespace-only text runs are dropped (record-oriented XML convention).
+/// Errors carry line/column positions.
+///
+/// For streaming access without building a DOM, use [`crate::XmlReader`]
+/// directly — this function is a thin fold over its events.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    let mut reader = XmlReader::new(input);
+    let mut doc = Document::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    while let Some(event) = reader.next_event()? {
+        match event {
+            Event::Start { name, attributes } => {
+                let id = match stack.last() {
+                    None => {
+                        let id = NodeId::try_from(doc.nodes.len())
+                            .map_err(|_| ParseError::new(reader.position(), "document too large"))?;
+                        doc.nodes.push(crate::dom::Node {
+                            data: NodeData::Element {
+                                name,
+                                attributes,
+                            },
+                            parent: None,
+                            children: Vec::new(),
+                        });
+                        doc.root = Some(id);
+                        id
+                    }
+                    Some(&parent) => {
+                        let id = doc.add_element(parent, name);
+                        if let NodeData::Element { attributes: a, .. } =
+                            &mut doc.nodes[id as usize].data
+                        {
+                            *a = attributes;
+                        }
+                        id
+                    }
+                };
+                stack.push(id);
+            }
+            Event::End { .. } => {
+                stack.pop();
+            }
+            Event::Text(t) => {
+                if !t.trim().is_empty() {
+                    if let Some(&parent) = stack.last() {
+                        doc.add_text(parent, t);
+                    }
+                }
+            }
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_document() {
+        let doc = parse("<a/>").unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.name(root), "a");
+        assert!(doc.children(root).is_empty());
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let doc = parse("<a><b>hello</b><c><d/></c></a>").unwrap();
+        let root = doc.root().unwrap();
+        let kids: Vec<_> = doc.child_elements(root).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.name(kids[0]), "b");
+        assert_eq!(doc.direct_text(kids[0]), "hello");
+        assert_eq!(doc.name(kids[1]), "c");
+        assert_eq!(doc.child_elements(kids[1]).count(), 1);
+    }
+
+    #[test]
+    fn attributes_single_and_double_quoted() {
+        let doc = parse(r#"<item name="cpu" maker='intel &amp; co'/>"#).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.attribute(root, "name"), Some("cpu"));
+        assert_eq!(doc.attribute(root, "maker"), Some("intel & co"));
+    }
+
+    #[test]
+    fn prolog_comments_pi_doctype() {
+        let src = r#"<?xml version="1.0"?>
+            <!-- a comment -->
+            <!DOCTYPE purchases [ <!ELEMENT purchase (seller, buyer)> ]>
+            <purchases><!-- inner --><purchase/></purchases>
+            <!-- trailing -->"#;
+        let doc = parse(src).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.name(root), "purchases");
+        assert_eq!(doc.child_elements(root).count(), 1);
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let doc = parse("<a><![CDATA[1 < 2 && raw <tags>]]></a>").unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.direct_text(root), "1 < 2 && raw <tags>");
+    }
+
+    #[test]
+    fn entities_in_text() {
+        let doc = parse("<a>x &lt; y &#65;</a>").unwrap();
+        assert_eq!(doc.direct_text(doc.root().unwrap()), "x < y A");
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let doc = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.children(root).len(), 2, "no whitespace text nodes");
+    }
+
+    #[test]
+    fn errors_mismatched_tag() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+        assert_eq!(err.position.line, 1);
+    }
+
+    #[test]
+    fn errors_unterminated() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a").is_err());
+        assert!(parse("<a attr=>").is_err());
+        assert!(parse("<a><!-- nope</a>").is_err());
+        assert!(parse("<a><![CDATA[ nope</a>").is_err());
+    }
+
+    #[test]
+    fn errors_content_after_root() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("after root"), "{err}");
+    }
+
+    #[test]
+    fn errors_duplicate_attribute() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn errors_bad_entity_position() {
+        let err = parse("<a>\n\n  bad &entity; here</a>").unwrap_err();
+        assert_eq!(err.position.line, 3, "{err}");
+    }
+
+    #[test]
+    fn errors_bad_names() {
+        assert!(parse("<1a/>").is_err());
+        assert!(parse("<-a/>").is_err());
+        assert!(parse("<a><3/></a>").is_err());
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let depth = 200;
+        let mut src = String::new();
+        for i in 0..depth {
+            src.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..depth).rev() {
+            src.push_str(&format!("</n{i}>"));
+        }
+        let doc = parse(&src).unwrap();
+        let mut id = doc.root().unwrap();
+        let mut count = 1;
+        while let Some(c) = doc.child_elements(id).next() {
+            id = c;
+            count += 1;
+        }
+        assert_eq!(count, depth);
+    }
+
+    #[test]
+    fn line_positions_tracked() {
+        let err = parse("<a>\n<b>\n</c>\n</a>").unwrap_err();
+        assert_eq!(err.position.line, 3);
+    }
+
+    #[test]
+    fn unicode_names_and_text() {
+        let doc = parse("<データ 属性=\"値\">世界</データ>").unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.name(root), "データ");
+        assert_eq!(doc.attribute(root, "属性"), Some("値"));
+        assert_eq!(doc.direct_text(root), "世界");
+    }
+
+    #[test]
+    fn mixed_content_order_preserved() {
+        let doc = parse("<a>one<b/>two<c/>three</a>").unwrap();
+        let root = doc.root().unwrap();
+        let kinds: Vec<bool> = doc
+            .children(root)
+            .iter()
+            .map(|&c| doc.is_element(c))
+            .collect();
+        assert_eq!(kinds, vec![false, true, false, true, false]);
+    }
+}

@@ -1,0 +1,465 @@
+//! Streaming pull parser: the event layer beneath [`crate::parse`].
+//!
+//! [`XmlReader`] scans a document and yields [`Event`]s one at a time,
+//! enforcing well-formedness (matching tags, a single root, valid entities)
+//! as it goes. Useful for ingesting large documents without materializing a
+//! DOM — e.g. feeding record sub-trees straight into an index.
+//!
+//! ```
+//! use vist_xml::{Event, XmlReader};
+//!
+//! let mut r = XmlReader::new("<a x='1'>hi<b/></a>");
+//! assert!(matches!(r.next_event().unwrap(), Some(Event::Start { .. })));
+//! assert!(matches!(r.next_event().unwrap(), Some(Event::Text(t)) if t == "hi"));
+//! assert!(matches!(r.next_event().unwrap(), Some(Event::Start { .. }))); // <b>
+//! assert!(matches!(r.next_event().unwrap(), Some(Event::End { .. })));   // </b>
+//! assert!(matches!(r.next_event().unwrap(), Some(Event::End { .. })));   // </a>
+//! assert!(r.next_event().unwrap().is_none());
+//! ```
+
+use crate::dom::Attribute;
+use crate::error::{ParseError, Position};
+use crate::escape::unescape;
+
+/// A parsing event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An element opens (self-closing elements yield `Start` then `End`).
+    Start {
+        /// Tag name.
+        name: String,
+        /// Attributes, unescaped, in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// An element closes.
+    End {
+        /// Tag name (always matches the corresponding `Start`).
+        name: String,
+    },
+    /// A run of character data (entities expanded, CDATA merged). Adjacent
+    /// text separated only by comments/PIs is coalesced into one event;
+    /// whitespace is preserved.
+    Text(String),
+}
+
+/// Pull-based XML reader. See the module docs.
+pub struct XmlReader<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    stack: Vec<String>,
+    seen_root: bool,
+    done: bool,
+    /// End event owed for a self-closing tag.
+    pending_end: Option<String>,
+}
+
+impl<'a> XmlReader<'a> {
+    /// Start reading `src`.
+    #[must_use]
+    pub fn new(src: &'a str) -> Self {
+        XmlReader {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            stack: Vec::new(),
+            seen_root: false,
+            done: false,
+            pending_end: None,
+        }
+    }
+
+    /// Current source position (for error reporting / progress).
+    #[must_use]
+    pub fn position(&self) -> Position {
+        Position {
+            line: self.line,
+            column: (self.pos - self.line_start + 1) as u32,
+        }
+    }
+
+    /// Current element nesting depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn position_at(&self, pos: usize) -> Position {
+        let mut line = 1;
+        let mut line_start = 0;
+        for (i, &b) in self.bytes[..pos.min(self.bytes.len())].iter().enumerate() {
+            if b == b'\n' {
+                line += 1;
+                line_start = i + 1;
+            }
+        }
+        Position {
+            line,
+            column: (pos - line_start + 1) as u32,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.position(), msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn advance(&mut self, n: usize) {
+        for i in self.pos..(self.pos + n).min(self.bytes.len()) {
+            if self.bytes[i] == b'\n' {
+                self.line += 1;
+                self.line_start = i + 1;
+            }
+        }
+        self.pos = (self.pos + n).min(self.bytes.len());
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.advance(s.len());
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}'")))
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.advance(1);
+        }
+    }
+
+    fn skip_until(&mut self, term: &str, what: &str) -> Result<usize, ParseError> {
+        match self.src[self.pos..].find(term) {
+            Some(rel) => {
+                let content_end = self.pos + rel;
+                self.advance(rel + term.len());
+                Ok(content_end)
+            }
+            None => Err(self.err(format!("unterminated {what}"))),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.advance(1);
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        let first = self.bytes[start];
+        if first.is_ascii_digit() || matches!(first, b'-' | b'.') {
+            return Err(self.err("names may not start with a digit, '-' or '.'"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn parse_attribute(&mut self) -> Result<Attribute, ParseError> {
+        let name = self.parse_name()?;
+        self.skip_whitespace();
+        self.expect("=")?;
+        self.skip_whitespace();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.advance(1);
+        let start = self.pos;
+        let term = (quote as char).to_string();
+        let end = self.skip_until(&term, "attribute value")?;
+        let raw = &self.src[start..end];
+        if raw.contains('<') {
+            return Err(ParseError::new(
+                self.position_at(start),
+                "'<' not allowed in attribute value",
+            ));
+        }
+        let value = unescape(raw)
+            .map_err(|off| ParseError::new(self.position_at(start + off), "bad entity"))?;
+        Ok(Attribute { name, value })
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        self.expect("<!DOCTYPE")?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek() {
+                Some(b'<') => depth += 1,
+                Some(b'>') => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.err("unterminated DOCTYPE")),
+            }
+            self.advance(1);
+        }
+        Ok(())
+    }
+
+    /// Next event, or `None` at the (well-formed) end of the document.
+    #[allow(clippy::missing_panics_doc)]
+    pub fn next_event(&mut self) -> Result<Option<Event>, ParseError> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(Some(Event::End { name }));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        if self.stack.is_empty() {
+            if self.seen_root {
+                self.trailing_misc()?;
+                self.done = true;
+                return Ok(None);
+            }
+            self.prolog()?;
+            return self.read_start().map(Some);
+        }
+        // Inside an element: text, child, or end tag.
+        let mut text = String::new();
+        loop {
+            if self.starts_with("</") {
+                if !text.is_empty() {
+                    return Ok(Some(Event::Text(text)));
+                }
+                self.advance(2);
+                let name = self.parse_name()?;
+                let open = self.stack.pop().expect("non-empty stack");
+                if name != open {
+                    return Err(self.err(format!(
+                        "mismatched end tag: expected </{open}>, found </{name}>"
+                    )));
+                }
+                self.skip_whitespace();
+                self.expect(">")?;
+                return Ok(Some(Event::End { name }));
+            } else if self.starts_with("<!--") {
+                self.advance(4);
+                self.skip_until("-->", "comment")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.advance(9);
+                let start = self.pos;
+                let end = self.skip_until("]]>", "CDATA section")?;
+                text.push_str(&self.src[start..end]);
+            } else if self.starts_with("<?") {
+                self.advance(2);
+                self.skip_until("?>", "processing instruction")?;
+            } else if self.peek() == Some(b'<') {
+                if !text.is_empty() {
+                    return Ok(Some(Event::Text(text)));
+                }
+                return self.read_start().map(Some);
+            } else if self.peek().is_none() {
+                return Err(self.err(format!(
+                    "unexpected end of input inside <{}>",
+                    self.stack.last().expect("non-empty stack")
+                )));
+            } else {
+                let start = self.pos;
+                let rel = self.src[self.pos..]
+                    .find('<')
+                    .unwrap_or(self.src.len() - self.pos);
+                self.advance(rel);
+                let raw = &self.src[start..self.pos];
+                let expanded = unescape(raw)
+                    .map_err(|off| ParseError::new(self.position_at(start + off), "bad entity"))?;
+                text.push_str(&expanded);
+            }
+        }
+    }
+
+    fn prolog(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?") {
+                self.advance(2);
+                self.skip_until("?>", "processing instruction")?;
+            } else if self.starts_with("<!--") {
+                self.advance(4);
+                self.skip_until("-->", "comment")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else {
+                break;
+            }
+        }
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected root element"));
+        }
+        Ok(())
+    }
+
+    fn trailing_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                self.advance(4);
+                self.skip_until("-->", "comment")?;
+            } else if self.starts_with("<?") {
+                self.advance(2);
+                self.skip_until("?>", "processing instruction")?;
+            } else if self.pos >= self.bytes.len() {
+                return Ok(());
+            } else {
+                return Err(self.err("content after root element"));
+            }
+        }
+    }
+
+    /// Read a start tag (cursor at `<`).
+    fn read_start(&mut self) -> Result<Event, ParseError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') | Some(b'/') => break,
+                Some(_) => {
+                    let attr = self.parse_attribute()?;
+                    if attributes.iter().any(|a: &Attribute| a.name == attr.name) {
+                        return Err(self.err(format!("duplicate attribute '{}'", attr.name)));
+                    }
+                    attributes.push(attr);
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        self.seen_root = true;
+        if self.starts_with("/>") {
+            self.advance(2);
+            self.pending_end = Some(name.clone());
+        } else {
+            self.expect(">")?;
+            self.stack.push(name.clone());
+        }
+        Ok(Event::Start { name, attributes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Result<Vec<Event>, ParseError> {
+        let mut r = XmlReader::new(src);
+        let mut out = Vec::new();
+        while let Some(e) = r.next_event()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    fn start(name: &str) -> Event {
+        Event::Start {
+            name: name.into(),
+            attributes: Vec::new(),
+        }
+    }
+
+    fn end(name: &str) -> Event {
+        Event::End { name: name.into() }
+    }
+
+    #[test]
+    fn basic_event_stream() {
+        let ev = events("<a><b>hi</b><c/></a>").unwrap();
+        assert_eq!(
+            ev,
+            vec![
+                start("a"),
+                start("b"),
+                Event::Text("hi".into()),
+                end("b"),
+                start("c"),
+                end("c"),
+                end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_and_entities() {
+        let ev = events("<a x='1 &amp; 2'>x &lt; y</a>").unwrap();
+        match &ev[0] {
+            Event::Start { attributes, .. } => {
+                assert_eq!(attributes[0].value, "1 & 2");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(ev[1], Event::Text("x < y".into()));
+    }
+
+    #[test]
+    fn text_coalesced_across_comments_and_cdata() {
+        let ev = events("<a>one<!-- c -->two<![CDATA[<3>]]>three</a>").unwrap();
+        assert_eq!(ev[1], Event::Text("onetwo<3>three".into()));
+        assert_eq!(ev.len(), 3);
+    }
+
+    #[test]
+    fn whitespace_text_is_reported_raw() {
+        // The pull layer does not apply the DOM's whitespace policy.
+        let ev = events("<a> <b/> </a>").unwrap();
+        assert_eq!(
+            ev,
+            vec![
+                start("a"),
+                Event::Text(" ".into()),
+                start("b"),
+                end("b"),
+                Event::Text(" ".into()),
+                end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn wellformedness_enforced() {
+        assert!(events("<a><b></a></b>").is_err());
+        assert!(events("<a>").is_err());
+        assert!(events("<a/><b/>").is_err());
+        assert!(events("<a x='1' x='2'/>").is_err());
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let mut r = XmlReader::new("<a><b><c/></b></a>");
+        let mut max_depth = 0;
+        while r.next_event().unwrap().is_some() {
+            max_depth = max_depth.max(r.depth());
+        }
+        assert_eq!(max_depth, 2, "depth after <c/>'s Start is 2 (c is pending)");
+    }
+
+    #[test]
+    fn streaming_does_not_need_the_whole_tree() {
+        // Count elements of a large document without building a DOM.
+        let mut src = String::from("<root>");
+        for i in 0..10_000 {
+            src.push_str(&format!("<item id='{i}'/>"));
+        }
+        src.push_str("</root>");
+        let mut r = XmlReader::new(&src);
+        let mut count = 0;
+        while let Some(e) = r.next_event().unwrap() {
+            if matches!(e, Event::Start { .. }) {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 10_001);
+    }
+}

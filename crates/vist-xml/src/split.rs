@@ -1,0 +1,199 @@
+//! Streaming record splitter.
+//!
+//! XML databases like XMARK are "a single record with a very large and
+//! complicated tree structure"; the paper indexes them by breaking the tree
+//! "into a set of sub structures, including item, person, open auction,
+//! closed auction, etc" and converting each instance into its own sequence.
+//! [`RecordSplitter`] implements exactly that: it streams a (possibly huge)
+//! container document with [`crate::XmlReader`] and yields each sub-tree
+//! rooted at one of the *record element names* as a standalone
+//! [`Document`], never materializing the container.
+//!
+//! ```
+//! use vist_xml::RecordSplitter;
+//!
+//! let site = "<site><people><person id='p1'/><person id='p2'/></people>\
+//!             <regions><item id='i1'/></regions></site>";
+//! let records: Vec<_> = RecordSplitter::new(site, &["person", "item"])
+//!     .collect::<Result<_, _>>()
+//!     .unwrap();
+//! assert_eq!(records.len(), 3);
+//! assert_eq!(records[0].attribute(records[0].root().unwrap(), "id"), Some("p1"));
+//! ```
+
+use crate::dom::Document;
+use crate::error::ParseError;
+use crate::reader::{Event, XmlReader};
+
+/// Iterator over record sub-trees of a container document. See the module
+/// docs.
+pub struct RecordSplitter<'a> {
+    reader: XmlReader<'a>,
+    record_names: Vec<String>,
+    failed: bool,
+}
+
+impl<'a> RecordSplitter<'a> {
+    /// Split `src`, treating each element whose name is in `record_names`
+    /// as a record root. Records never nest (an inner occurrence of a record
+    /// name inside a record stays part of the outer record).
+    #[must_use]
+    pub fn new(src: &'a str, record_names: &[&str]) -> Self {
+        RecordSplitter {
+            reader: XmlReader::new(src),
+            record_names: record_names.iter().map(|s| (*s).to_string()).collect(),
+            failed: false,
+        }
+    }
+
+    /// Collect one record sub-tree: the `Start` event for its root was just
+    /// consumed.
+    fn collect_record(
+        &mut self,
+        name: String,
+        attributes: Vec<crate::Attribute>,
+    ) -> Result<Document, ParseError> {
+        let mut doc = Document::new();
+        let root = doc.add_root(name);
+        for a in attributes {
+            doc.set_attribute(root, a.name, a.value);
+        }
+        let mut stack = vec![root];
+        loop {
+            let Some(event) = self.reader.next_event()? else {
+                // The reader enforces well-formedness, so this is unreachable
+                // for valid input; report defensively.
+                return Err(ParseError::new(
+                    self.reader.position(),
+                    "input ended inside a record",
+                ));
+            };
+            match event {
+                Event::Start { name, attributes } => {
+                    let parent = *stack.last().expect("record stack non-empty");
+                    let id = doc.add_element(parent, name);
+                    for a in attributes {
+                        doc.set_attribute(id, a.name, a.value);
+                    }
+                    stack.push(id);
+                }
+                Event::End { .. } => {
+                    stack.pop();
+                    if stack.is_empty() {
+                        return Ok(doc);
+                    }
+                }
+                Event::Text(t) => {
+                    if !t.trim().is_empty() {
+                        let parent = *stack.last().expect("record stack non-empty");
+                        doc.add_text(parent, t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for RecordSplitter<'_> {
+    type Item = Result<Document, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            match self.reader.next_event() {
+                Ok(None) => return None,
+                Ok(Some(Event::Start { name, attributes }))
+                    if self.record_names.contains(&name) =>
+                {
+                    match self.collect_record(name, attributes) {
+                        Ok(doc) => return Some(Ok(doc)),
+                        Err(e) => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+                Ok(Some(_)) => continue,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_multiple_record_kinds() {
+        let src = "<site>\
+            <people><person id='p1'><name>A</name></person></people>\
+            <regions><europe><item id='i1'><name>B</name></item></europe></regions>\
+            <people><person id='p2'/></people>\
+        </site>";
+        let recs: Vec<Document> = RecordSplitter::new(src, &["person", "item"])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 3);
+        let names: Vec<&str> = recs
+            .iter()
+            .map(|d| d.name(d.root().unwrap()))
+            .collect();
+        assert_eq!(names, vec!["person", "item", "person"]);
+        assert_eq!(recs[0].direct_text(recs[0].child_elements(recs[0].root().unwrap()).next().unwrap()), "A");
+    }
+
+    #[test]
+    fn nested_record_names_stay_inside_outer_record() {
+        let src = "<r><item id='outer'><item id='inner'/></item></r>";
+        let recs: Vec<Document> = RecordSplitter::new(src, &["item"])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 1);
+        let root = recs[0].root().unwrap();
+        assert_eq!(recs[0].attribute(root, "id"), Some("outer"));
+        assert_eq!(recs[0].child_elements(root).count(), 1);
+    }
+
+    #[test]
+    fn no_records_yields_empty() {
+        let recs: Vec<Document> = RecordSplitter::new("<a><b/></a>", &["zzz"])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn record_preserves_text_and_attrs() {
+        let src = "<db><rec k='v'>hello <b>world</b></rec></db>";
+        let recs: Vec<Document> = RecordSplitter::new(src, &["rec"])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let d = &recs[0];
+        let root = d.root().unwrap();
+        assert_eq!(d.attribute(root, "k"), Some("v"));
+        assert_eq!(d.direct_text(root), "hello");
+        assert_eq!(d.to_xml(), "<rec k=\"v\">hello <b>world</b></rec>");
+    }
+
+    #[test]
+    fn malformed_input_reports_error_once() {
+        let mut it = RecordSplitter::new("<db><rec><oops></rec></db>", &["rec"]);
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none(), "iterator fuses after an error");
+    }
+
+    #[test]
+    fn whole_root_as_record() {
+        let recs: Vec<Document> = RecordSplitter::new("<only><x/></only>", &["only"])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].child_elements(recs[0].root().unwrap()).count(), 1);
+    }
+}

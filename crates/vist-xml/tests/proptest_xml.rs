@@ -1,0 +1,88 @@
+//! Property tests: serialize∘parse is the identity on the DOM (up to
+//! canonical serialization), for arbitrary generated documents.
+
+use proptest::prelude::*;
+use vist_xml::{parse, ElementBuilder};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,8}".prop_map(|s| s)
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes XML-special characters; excludes pure whitespace (dropped by
+    // the parser) by always appending a letter.
+    "[ a-zA-Z0-9<>&'\"\\u{e9}\\u{4e16}]{0,12}".prop_map(|s| format!("{s}x"))
+}
+
+fn element_strategy() -> impl Strategy<Value = ElementBuilder> {
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+        proptest::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = ElementBuilder::new(name);
+            let mut seen = std::collections::HashSet::new();
+            for (an, av) in attrs {
+                if seen.insert(an.clone()) {
+                    e = e.attr(an, av);
+                }
+            }
+            if let Some(t) = text {
+                e = e.text(t);
+            }
+            e
+        });
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec(inner, 0..5),
+            proptest::option::of(text_strategy()),
+        )
+            .prop_map(|(name, children, text)| {
+                let mut e = ElementBuilder::new(name).children(children);
+                if let Some(t) = text {
+                    e = e.text(t);
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parse_serialize_roundtrip(root in element_strategy()) {
+        let doc = root.into_document();
+        let ser = doc.to_xml();
+        let reparsed = parse(&ser).unwrap_or_else(|e| panic!("reparse failed: {e}\n{ser}"));
+        prop_assert_eq!(ser, reparsed.to_xml());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_tagged_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("<!--c-->".to_string()),
+                Just("<![CDATA[d]]>".to_string()),
+                Just("text&amp;".to_string()),
+                Just("&bogus;".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let soup: String = parts.concat();
+        let _ = parse(&soup);
+    }
+}

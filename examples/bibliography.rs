@@ -1,0 +1,85 @@
+//! A DBLP-style bibliography service: bulk load, durable storage, the
+//! paper's Table 3 DBLP queries, verification mode, and reopening.
+//!
+//! ```sh
+//! cargo run --release --example bibliography
+//! ```
+
+use std::time::Instant;
+
+use vist::datagen::dblp;
+use vist::{IndexOptions, QueryOptions, VistIndex};
+
+fn main() -> vist::Result<()> {
+    let n_records = std::env::var("N_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000);
+    let path = std::env::temp_dir().join("vist-bibliography.idx");
+
+    // ---- build a durable index ------------------------------------------
+    println!("generating {n_records} DBLP-like records ...");
+    let docs = dblp::documents(n_records, 42);
+
+    let t0 = Instant::now();
+    let mut index = VistIndex::create_file(&path, IndexOptions::default())?;
+    for d in &docs {
+        index.insert_document(d)?;
+    }
+    index.flush()?;
+    let stats = index.stats();
+    println!(
+        "indexed {} records in {:.2?}: {} nodes, {} dkeys, {:.1} MiB on disk\n",
+        stats.documents,
+        t0.elapsed(),
+        stats.nodes,
+        stats.dkeys,
+        stats.store_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // ---- the paper's Table 3 queries (Q1–Q5) -----------------------------
+    for (label, q) in dblp::table3_queries() {
+        let t = Instant::now();
+        let r = index.query(&q, &QueryOptions::default())?;
+        println!(
+            "{label}: {:<46} {:>6} hits in {:.2?}",
+            q,
+            r.doc_ids.len(),
+            t.elapsed()
+        );
+    }
+
+    // ---- verification mode ------------------------------------------------
+    // ViST's subsequence matching can admit false positives; verified mode
+    // post-filters candidates through exact tree-pattern matching.
+    let q = "/book/author[text='David Smith']";
+    let raw = index.query(q, &QueryOptions::default())?;
+    let verified = index.query(q, &QueryOptions { verify: true, ..Default::default() })?;
+    println!(
+        "\nverification: {} raw candidates -> {} verified answers",
+        raw.doc_ids.len(),
+        verified.doc_ids.len()
+    );
+
+    // ---- durable reopen ----------------------------------------------------
+    drop(index);
+    let mut reopened = VistIndex::open_file(&path, 1024)?;
+    let r = reopened.query("/inproceedings/title", &QueryOptions::default())?;
+    println!(
+        "reopened from {}: {} documents, Q1 still returns {} hits",
+        path.display(),
+        reopened.doc_count(),
+        r.doc_ids.len()
+    );
+
+    // ---- incremental maintenance -------------------------------------------
+    let new_id = reopened.insert_xml(
+        r#"<article key="x"><author>Ada Lovelace</author><title>notes</title><year>1843</year></article>"#,
+    )?;
+    let r = reopened.query("//author[text='Ada Lovelace']", &QueryOptions::default())?;
+    assert_eq!(r.doc_ids, vec![new_id]);
+    println!("dynamic insert after reopen works: new doc {new_id} found");
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

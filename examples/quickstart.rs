@@ -1,0 +1,59 @@
+//! Quickstart: build an index, insert documents, run structural queries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use vist::{IndexOptions, QueryOptions, VistIndex};
+
+fn main() -> vist::Result<()> {
+    // An in-memory index with default settings. Swap `in_memory` for
+    // `create_file("/tmp/books.vist", ...)` for a durable one.
+    let mut index = VistIndex::in_memory(IndexOptions::default())?;
+
+    // Insert a few XML documents; each gets a document id.
+    let books = [
+        r#"<book key="b1"><author>David Maier</author><title>Theory of Databases</title><year>1983</year></book>"#,
+        r#"<book key="b2"><author>Serge Abiteboul</author><author>Dan Suciu</author><title>Data on the Web</title><year>1999</year></book>"#,
+        r#"<inproceedings key="p1"><author>Haixun Wang</author><title>ViST</title><year>2003</year><booktitle>SIGMOD</booktitle></inproceedings>"#,
+    ];
+    for xml in books {
+        let id = index.insert_xml(xml)?;
+        println!("indexed document {id}");
+    }
+
+    // Simple path query.
+    let r = index.query("/book/title", &QueryOptions::default())?;
+    println!("/book/title              -> {:?}", r.doc_ids);
+
+    // Value predicate (the paper's unified content+structure index at work).
+    let r = index.query("/book/author[text='Dan Suciu']", &QueryOptions::default())?;
+    println!("author = 'Dan Suciu'     -> {:?}", r.doc_ids);
+
+    // Wildcards and descendant steps — answered as ONE sequence match,
+    // without decomposing into sub-queries and joining.
+    let r = index.query("//author", &QueryOptions::default())?;
+    println!("//author                 -> {:?}", r.doc_ids);
+    let r = index.query("/*/year[text='2003']", &QueryOptions::default())?;
+    println!("any root, year = 2003    -> {:?}", r.doc_ids);
+
+    // Branching query: both predicates must hold.
+    let r = index.query(
+        "/book[author='David Maier']/year[text='1983']",
+        &QueryOptions::default(),
+    )?;
+    println!("branching                -> {:?}", r.doc_ids);
+
+    // Dynamic maintenance: delete and re-query.
+    index.remove_document(r.doc_ids[0])?;
+    let r = index.query("/book/title", &QueryOptions::default())?;
+    println!("after delete             -> {:?}", r.doc_ids);
+
+    // Index statistics.
+    let stats = index.stats();
+    println!(
+        "\n{} docs, {} virtual-suffix-tree nodes, {} D-Ancestor keys, {} bytes on disk",
+        stats.documents, stats.nodes, stats.dkeys, stats.store_bytes
+    );
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! The `vist` command-line tool: create, populate, query, and maintain
+//! ViST index files. Run `vist help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match vist::cli::parse_args(&args).and_then(vist::cli::run) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Implementation of the `vist` command-line tool (see `src/bin/vist.rs`).
+//!
+//! Kept in the library so argument parsing and command execution are unit
+//! testable without spawning processes.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::{IndexOptions, QueryOptions, VistIndex};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `vist create <index> [--page-size N] [--lambda N] [--no-docs]`
+    Create {
+        /// Index file path.
+        index: PathBuf,
+        /// Page size in bytes.
+        page_size: usize,
+        /// Scope-allocation λ.
+        lambda: u64,
+        /// Whether to store original documents.
+        store_documents: bool,
+    },
+    /// `vist add <index> <xml-file>...`
+    Add {
+        /// Index file path.
+        index: PathBuf,
+        /// XML files, each holding one document.
+        files: Vec<PathBuf>,
+    },
+    /// `vist query <index> <expr> [--verify] [--show]`
+    Query {
+        /// Index file path.
+        index: PathBuf,
+        /// Path expression.
+        expr: String,
+        /// Post-filter through the exact matcher.
+        verify: bool,
+        /// Print matching documents' XML, not just ids.
+        show: bool,
+    },
+    /// `vist remove <index> <doc-id>`
+    Remove {
+        /// Index file path.
+        index: PathBuf,
+        /// Document to remove.
+        doc_id: u64,
+    },
+    /// `vist explain <index> <expr>`
+    Explain {
+        /// Index file path.
+        index: PathBuf,
+        /// Path expression.
+        expr: String,
+    },
+    /// `vist list <index>`
+    List {
+        /// Index file path.
+        index: PathBuf,
+    },
+    /// `vist stats <index>`
+    Stats {
+        /// Index file path.
+        index: PathBuf,
+    },
+    /// `vist rebuild <index> <dst>`
+    Rebuild {
+        /// Source index file.
+        index: PathBuf,
+        /// Destination index file.
+        dst: PathBuf,
+    },
+    /// `vist help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+vist — index and query XML documents by tree structure (SIGMOD'03 ViST)
+
+USAGE:
+  vist create  <index> [--page-size N] [--lambda N] [--no-docs]
+  vist add     <index> <file.xml>...
+  vist query   <index> '<expr>' [--verify] [--show]
+  vist remove  <index> <doc-id>
+  vist explain <index> '<expr>'
+  vist list    <index>
+  vist stats   <index>
+  vist rebuild <index> <dst>
+
+QUERY EXPRESSIONS (the paper's Table 3 subset):
+  /book/author                       child paths
+  //item[location='US']              descendant steps + value predicates
+  /site//person/*/city[text='X']     wildcards
+  /a[b/c='1'][text='t']/d            branches
+";
+
+/// Parse `args` (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    let mut rest: Vec<&String> = it.collect();
+
+    let take_flag = |rest: &mut Vec<&String>, flag: &str| -> bool {
+        if let Some(pos) = rest.iter().position(|a| *a == flag) {
+            rest.remove(pos);
+            true
+        } else {
+            false
+        }
+    };
+    let take_opt = |rest: &mut Vec<&String>, flag: &str| -> Result<Option<String>, String> {
+        if let Some(pos) = rest.iter().position(|a| *a == flag) {
+            if pos + 1 >= rest.len() {
+                return Err(format!("{flag} needs a value"));
+            }
+            let v = rest[pos + 1].clone();
+            rest.drain(pos..=pos + 1);
+            Ok(Some(v))
+        } else {
+            Ok(None)
+        }
+    };
+
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "create" => {
+            let page_size = take_opt(&mut rest, "--page-size")?
+                .map(|v| v.parse().map_err(|_| "bad --page-size".to_string()))
+                .transpose()?
+                .unwrap_or(4096);
+            let lambda = take_opt(&mut rest, "--lambda")?
+                .map(|v| v.parse().map_err(|_| "bad --lambda".to_string()))
+                .transpose()?
+                .unwrap_or(16);
+            let store_documents = !take_flag(&mut rest, "--no-docs");
+            let [index] = rest.as_slice() else {
+                return Err("create: expected exactly one index path".into());
+            };
+            Ok(Command::Create {
+                index: PathBuf::from(index),
+                page_size,
+                lambda,
+                store_documents,
+            })
+        }
+        "add" => {
+            if rest.len() < 2 {
+                return Err("add: expected an index path and at least one XML file".into());
+            }
+            let index = PathBuf::from(rest[0]);
+            let files = rest[1..].iter().map(PathBuf::from).collect();
+            Ok(Command::Add { index, files })
+        }
+        "query" => {
+            let verify = take_flag(&mut rest, "--verify");
+            let show = take_flag(&mut rest, "--show");
+            let [index, expr] = rest.as_slice() else {
+                return Err("query: expected an index path and one expression".into());
+            };
+            Ok(Command::Query {
+                index: PathBuf::from(index),
+                expr: (*expr).clone(),
+                verify,
+                show,
+            })
+        }
+        "remove" => {
+            let [index, id] = rest.as_slice() else {
+                return Err("remove: expected an index path and a doc id".into());
+            };
+            Ok(Command::Remove {
+                index: PathBuf::from(index),
+                doc_id: id.parse().map_err(|_| "bad doc id".to_string())?,
+            })
+        }
+        "explain" => {
+            let [index, expr] = rest.as_slice() else {
+                return Err("explain: expected an index path and one expression".into());
+            };
+            Ok(Command::Explain {
+                index: PathBuf::from(index),
+                expr: (*expr).clone(),
+            })
+        }
+        "list" => {
+            let [index] = rest.as_slice() else {
+                return Err("list: expected exactly one index path".into());
+            };
+            Ok(Command::List {
+                index: PathBuf::from(index),
+            })
+        }
+        "stats" => {
+            let [index] = rest.as_slice() else {
+                return Err("stats: expected exactly one index path".into());
+            };
+            Ok(Command::Stats {
+                index: PathBuf::from(index),
+            })
+        }
+        "rebuild" => {
+            let [index, dst] = rest.as_slice() else {
+                return Err("rebuild: expected source and destination paths".into());
+            };
+            Ok(Command::Rebuild {
+                index: PathBuf::from(index),
+                dst: PathBuf::from(dst),
+            })
+        }
+        other => Err(format!("unknown subcommand '{other}' (try 'vist help')")),
+    }
+}
+
+/// Execute a command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, String> {
+    let open = |p: &PathBuf| VistIndex::open_file(p, 4096).map_err(|e| e.to_string());
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Create {
+            index,
+            page_size,
+            lambda,
+            store_documents,
+        } => {
+            let mut idx = VistIndex::create_file(
+                &index,
+                IndexOptions {
+                    page_size,
+                    lambda,
+                    store_documents,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            idx.flush().map_err(|e| e.to_string())?;
+            Ok(format!("created {}\n", index.display()))
+        }
+        Command::Add { index, files } => {
+            let mut idx = open(&index)?;
+            let mut out = String::new();
+            for f in files {
+                let xml = std::fs::read_to_string(&f)
+                    .map_err(|e| format!("{}: {e}", f.display()))?;
+                let id = idx
+                    .insert_xml(&xml)
+                    .map_err(|e| format!("{}: {e}", f.display()))?;
+                writeln!(out, "{} -> doc {id}", f.display()).unwrap();
+            }
+            idx.flush().map_err(|e| e.to_string())?;
+            Ok(out)
+        }
+        Command::Query {
+            index,
+            expr,
+            verify,
+            show,
+        } => {
+            let mut idx = open(&index)?;
+            let r = idx
+                .query(
+                    &expr,
+                    &QueryOptions {
+                        verify,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{} document(s){}",
+                r.doc_ids.len(),
+                if verify {
+                    format!(" ({} candidates before verification)", r.candidates)
+                } else {
+                    String::new()
+                }
+            )
+            .unwrap();
+            for id in &r.doc_ids {
+                if show {
+                    let xml = idx.get_document_xml(*id).map_err(|e| e.to_string())?;
+                    writeln!(out, "--- doc {id} ---\n{xml}").unwrap();
+                } else {
+                    writeln!(out, "{id}").unwrap();
+                }
+            }
+            Ok(out)
+        }
+        Command::Remove { index, doc_id } => {
+            let mut idx = open(&index)?;
+            idx.remove_document(doc_id).map_err(|e| e.to_string())?;
+            idx.flush().map_err(|e| e.to_string())?;
+            Ok(format!("removed doc {doc_id}\n"))
+        }
+        Command::Explain { index, expr } => {
+            let mut idx = open(&index)?;
+            idx.explain(&expr, &QueryOptions::default())
+                .map_err(|e| e.to_string())
+        }
+        Command::List { index } => {
+            let idx = open(&index)?;
+            let ids = idx.document_ids().map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            writeln!(out, "{} document(s)", ids.len()).unwrap();
+            for id in ids {
+                writeln!(out, "{id}").unwrap();
+            }
+            Ok(out)
+        }
+        Command::Stats { index } => {
+            let idx = open(&index)?;
+            let s = idx.stats();
+            let b = idx.store().tree_breakdown().map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            writeln!(out, "documents:            {}", s.documents).unwrap();
+            writeln!(out, "suffix-tree nodes:    {}", s.nodes).unwrap();
+            writeln!(out, "D-Ancestor keys:      {}", s.dkeys).unwrap();
+            writeln!(out, "tight underflows:     {}", s.underflows).unwrap();
+            writeln!(out, "node incarnations:    {}", s.deep_borrows).unwrap();
+            writeln!(out, "store bytes:          {}", s.store_bytes).unwrap();
+            writeln!(
+                out,
+                "  D-Ancestor tree:    {} entries, {} bytes",
+                b.dancestor.entries, b.dancestor.total_bytes
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "  S-Ancestor tree:    {} entries, {} bytes",
+                b.sancestor.entries, b.sancestor.total_bytes
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "  DocId tree:         {} entries, {} bytes",
+                b.docid.entries, b.docid.total_bytes
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "  edges tree:         {} entries, {} bytes",
+                b.edges.entries, b.edges.total_bytes
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "  aux tree:           {} entries, {} bytes",
+                b.aux.entries, b.aux.total_bytes
+            )
+            .unwrap();
+            Ok(out)
+        }
+        Command::Rebuild { index, dst } => {
+            let idx = open(&index)?;
+            let fresh = idx
+                .rebuild_to_file(&dst, IndexOptions::default())
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "rebuilt {} -> {} ({} documents, {} nodes)\n",
+                index.display(),
+                dst.display(),
+                fresh.doc_count(),
+                fresh.stats().nodes
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_create_with_options() {
+        let c = parse_args(&argv("create /tmp/i.vist --page-size 2048 --lambda 4 --no-docs"))
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Create {
+                index: PathBuf::from("/tmp/i.vist"),
+                page_size: 2048,
+                lambda: 4,
+                store_documents: false,
+            }
+        );
+        let c = parse_args(&argv("create idx")).unwrap();
+        assert!(matches!(c, Command::Create { page_size: 4096, lambda: 16, store_documents: true, .. }));
+    }
+
+    #[test]
+    fn parse_query_flags() {
+        let c = parse_args(&argv("query idx //author --verify --show")).unwrap();
+        assert_eq!(
+            c,
+            Command::Query {
+                index: PathBuf::from("idx"),
+                expr: "//author".into(),
+                verify: true,
+                show: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&argv("create")).is_err());
+        assert!(parse_args(&argv("create a b")).is_err());
+        assert!(parse_args(&argv("add idx")).is_err());
+        assert!(parse_args(&argv("query idx")).is_err());
+        assert!(parse_args(&argv("remove idx notanumber")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("create idx --page-size")).is_err());
+    }
+
+    #[test]
+    fn help_default() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert!(run(Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn parse_list() {
+        assert_eq!(
+            parse_args(&argv("list idx")).unwrap(),
+            Command::List { index: PathBuf::from("idx") }
+        );
+        assert!(parse_args(&argv("list")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_lifecycle() {
+        let dir = std::env::temp_dir();
+        let index = dir.join(format!("vist-cli-{}.idx", std::process::id()));
+        let dst = dir.join(format!("vist-cli-{}-rebuilt.idx", std::process::id()));
+        let xml1 = dir.join(format!("vist-cli-{}-1.xml", std::process::id()));
+        let xml2 = dir.join(format!("vist-cli-{}-2.xml", std::process::id()));
+        std::fs::write(&xml1, "<book><author>David</author></book>").unwrap();
+        std::fs::write(&xml2, "<book><author>Mary</author></book>").unwrap();
+
+        run(parse_args(&argv(&format!("create {}", index.display()))).unwrap()).unwrap();
+        let out = run(Command::Add {
+            index: index.clone(),
+            files: vec![xml1.clone(), xml2.clone()],
+        })
+        .unwrap();
+        assert!(out.contains("doc 0") && out.contains("doc 1"));
+
+        let out = run(Command::Query {
+            index: index.clone(),
+            expr: "/book/author[text='David']".into(),
+            verify: true,
+            show: true,
+        })
+        .unwrap();
+        assert!(out.starts_with("1 document(s)"), "{out}");
+        assert!(out.contains("David"));
+
+        let out = run(Command::Stats { index: index.clone() }).unwrap();
+        assert!(out.contains("documents:            2"), "{out}");
+
+        run(Command::Remove { index: index.clone(), doc_id: 0 }).unwrap();
+        let out = run(Command::Query {
+            index: index.clone(),
+            expr: "//author".into(),
+            verify: false,
+            show: false,
+        })
+        .unwrap();
+        assert!(out.starts_with("1 document(s)"), "{out}");
+
+        let out = run(Command::Rebuild { index: index.clone(), dst: dst.clone() }).unwrap();
+        assert!(out.contains("1 documents"), "{out}");
+
+        for f in [&index, &dst, &xml1, &xml2] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The paper's own worked examples, end to end.
+
+use vist::query::{parse_query, sequence_matches, translate, TranslateOptions};
+use vist::seq::{document_to_sequence, SiblingOrder, Sym, SymbolTable};
+use vist::xml::parse;
+use vist::{IndexOptions, QueryOptions, VistIndex};
+
+/// The Figure 3 purchase record (element names as in the paper).
+const PURCHASE: &str = concat!(
+    "<Purchase>",
+    "<Seller>",
+    "<Name>dell</Name>",
+    "<Item><Manufacturer>ibm</Manufacturer><Name>part1</Name>",
+    "<Item><Manufacturer>panasia</Manufacturer></Item></Item>",
+    "<Item><Name>part2</Name></Item>",
+    "<Location>boston</Location>",
+    "</Seller>",
+    "<Buyer><Location>newyork</Location><Name>intel</Name></Buyer>",
+    "</Purchase>"
+);
+
+#[test]
+fn figure4_sequence_has_22_pairs() {
+    let doc = parse(PURCHASE).unwrap();
+    let mut table = SymbolTable::new();
+    let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+    // The paper's Figure 4 sequence has 22 (symbol, prefix) pairs.
+    assert_eq!(seq.len(), 22);
+    // First pair is (Purchase, ε).
+    assert_eq!(seq.0[0].sym, Sym::Tag(table.lookup("Purchase").unwrap()));
+    assert!(seq.0[0].prefix.is_empty());
+    // Value symbols appear for every leaf text.
+    let values = seq.iter().filter(|e| matches!(e.sym, Sym::Value(_))).count();
+    assert_eq!(values, 8, "v1..v8 in the paper");
+}
+
+#[test]
+fn table2_queries_against_figure3_record() {
+    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let id = idx.insert_xml(PURCHASE).unwrap();
+    let opts = QueryOptions::default();
+
+    // Q1: /Purchase/Seller/Item/Manufacturer.
+    let r = idx.query("/Purchase/Seller/Item/Manufacturer", &opts).unwrap();
+    assert_eq!(r.doc_ids, vec![id]);
+
+    // Q2: Boston seller and NY buyer.
+    let r = idx
+        .query(
+            "/Purchase[Seller[Location='boston']]/Buyer[Location='newyork']",
+            &opts,
+        )
+        .unwrap();
+    assert_eq!(r.doc_ids, vec![id]);
+
+    // Q3: a Boston seller OR buyer, via the wildcard form.
+    let r = idx.query("/Purchase/*[Location='boston']", &opts).unwrap();
+    assert_eq!(r.doc_ids, vec![id]);
+    let r = idx.query("/Purchase/*[Location='tokyo']", &opts).unwrap();
+    assert!(r.doc_ids.is_empty());
+
+    // Q4: Intel products (items or sub-items). 'panasia' is on a sub-item:
+    // the descendant query must reach it.
+    let r = idx
+        .query("/Purchase//Item[Manufacturer='panasia']", &opts)
+        .unwrap();
+    assert_eq!(r.doc_ids, vec![id], "nested sub-item reachable via //");
+    let r = idx
+        .query("/Purchase//Item[Manufacturer='ibm']", &opts)
+        .unwrap();
+    assert_eq!(r.doc_ids, vec![id]);
+    let r = idx
+        .query("/Purchase//Item[Manufacturer='sony']", &opts)
+        .unwrap();
+    assert!(r.doc_ids.is_empty());
+}
+
+#[test]
+fn q5_unioned_permutations_match_both_sibling_orders() {
+    // Q5 = /A[B/C]/B/D (the paper's same-name-branch special case).
+    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let d1 = idx.insert_xml("<A><B><C/></B><B><D/></B></A>").unwrap();
+    let d2 = idx.insert_xml("<A><B><D/></B><B><C/></B></A>").unwrap();
+    let d3 = idx.insert_xml("<A><B><C/></B><B><E/></B></A>").unwrap();
+    let r = idx.query("/A[B/C]/B/D", &QueryOptions::default()).unwrap();
+    assert!(r.doc_ids.contains(&d1));
+    assert!(r.doc_ids.contains(&d2), "the permuted sequence finds the flipped order");
+    assert!(!r.doc_ids.contains(&d3));
+}
+
+#[test]
+fn figure5_docs_and_queries() {
+    // Doc1 and Doc2 of Figure 5, and the two queries shown with them.
+    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let d1 = idx
+        .insert_xml("<P><S><N>v1</N><L>v2</L></S></P>")
+        .unwrap();
+    let d2 = idx.insert_xml("<P><B><L>v2</L></B></P>").unwrap();
+    let opts = QueryOptions::default();
+    // Q1 = (P,)(B,P)(L,PB)(v2,PBL): only Doc2.
+    let r = idx.query("/P/B/L[text='v2']", &opts).unwrap();
+    assert_eq!(r.doc_ids, vec![d2]);
+    // Q2 = (P,)(L,P*)(v2,P*L): both documents.
+    let r = idx.query("/P/*[L='v2']", &opts).unwrap();
+    assert_eq!(r.doc_ids, vec![d1, d2]);
+}
+
+#[test]
+fn brute_force_reference_agrees_on_paper_queries() {
+    let doc = parse(PURCHASE).unwrap();
+    let mut table = SymbolTable::new();
+    let data = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+    for (q, expect) in [
+        ("/Purchase/Seller/Item/Manufacturer", true),
+        (
+            "/Purchase[Seller[Location='boston']]/Buyer[Location='newyork']",
+            true,
+        ),
+        ("/Purchase/*[Location='boston']", true),
+        ("/Purchase//Item[Manufacturer='panasia']", true),
+        ("/Purchase/Buyer/Item", false),
+        ("/Purchase/*[Location='paris']", false),
+    ] {
+        let pattern = parse_query(q).unwrap().to_pattern();
+        let t = translate(&pattern, &mut table, &TranslateOptions::default());
+        let matched = t.sequences.iter().any(|s| sequence_matches(s, &data));
+        assert_eq!(matched, expect, "{q}");
+    }
+}
+
+#[test]
+fn figure9_insertion_shares_trie_prefix() {
+    // The paper's §3.4.2 worked example: the index already contains
+    //   Doc1 = (P,)(S,P)(N,PS)(v1,PSN)(L,PS)(v2,PSL)
+    // and we insert
+    //   Doc2 = (P,)(S,P)(L,PS)(v2,PSL).
+    // "The insertion process is much like that of inserting a sequence into
+    // a suffix tree – we follow the branches, and when there is no branch to
+    // follow, we create one": Doc2 shares (P,) and (S,P), then creates a
+    // NEW (L,PS) child of (S,P) (the existing (L,PS) node is a descendant,
+    // not an immediate child) and a new (v2,PSL) below it.
+    // The paper's sequence order puts N before L (its DTD order); with the
+    // lexicographic default, Doc2 would be a strict prefix of Doc1 and share
+    // every node — set the DTD order to match the paper's figure.
+    let mut idx = VistIndex::in_memory(IndexOptions {
+        order: SiblingOrder::Dtd(vec!["P".into(), "S".into(), "N".into(), "L".into()]),
+        ..Default::default()
+    })
+    .unwrap();
+    let d1 = idx.insert_xml("<P><S><N>v1</N><L>v2</L></S></P>").unwrap();
+    let s1 = idx.stats();
+    assert_eq!(s1.nodes, 6, "Doc1 contributes six suffix-tree nodes");
+    assert_eq!(s1.dkeys, 6, "six distinct (symbol, prefix) pairs");
+
+    let d2 = idx.insert_xml("<P><S><L>v2</L></S></P>").unwrap();
+    let s2 = idx.stats();
+    assert_eq!(s2.nodes, 8, "Doc2 adds exactly two nodes (L,PS) and (v2,PSL)");
+    assert_eq!(s2.dkeys, 6, "no new D-Ancestor entries: both dkeys existed");
+
+    // The D-Ancestor entry for (L,PS) now owns TWO S-Ancestor entries —
+    // exactly the paper's Figure 9(b).
+    let b = idx.store().tree_breakdown().unwrap();
+    assert_eq!(b.sancestor.entries, 8);
+    assert_eq!(b.dancestor.entries, 6);
+
+    // And both documents answer their queries.
+    let opts = QueryOptions::default();
+    assert_eq!(idx.query("/P/S/L[text='v2']", &opts).unwrap().doc_ids, vec![d1, d2]);
+    assert_eq!(idx.query("/P/S/N[text='v1']", &opts).unwrap().doc_ids, vec![d1]);
+}

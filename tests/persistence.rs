@@ -1,0 +1,112 @@
+//! Durable index lifecycle: create file → flush → reopen → query →
+//! mutate → reopen again, across multiple sessions.
+
+use vist::datagen::dblp;
+use vist::{IndexOptions, QueryOptions, VistIndex};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("vist-it-{name}-{}", std::process::id()))
+}
+
+#[test]
+fn multi_session_lifecycle() {
+    let path = tmp("lifecycle");
+    let docs = dblp::documents(500, 7);
+    let q = "/book/author[text='David Smith']";
+    let baseline;
+
+    // Session 1: build.
+    {
+        let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+        for d in &docs {
+            idx.insert_document(d).unwrap();
+        }
+        baseline = idx.query(q, &QueryOptions::default()).unwrap().doc_ids;
+        idx.flush().unwrap();
+    }
+
+    // Session 2: reopen, same answers, then mutate.
+    let inserted;
+    {
+        let mut idx = VistIndex::open_file(&path, 512).unwrap();
+        assert_eq!(idx.doc_count(), 500);
+        assert_eq!(idx.query(q, &QueryOptions::default()).unwrap().doc_ids, baseline);
+        // Verified mode works across sessions (documents persisted).
+        let verified = idx
+            .query(q, &QueryOptions { verify: true, ..Default::default() })
+            .unwrap();
+        assert_eq!(verified.doc_ids, baseline);
+        inserted = idx
+            .insert_xml("<book><author>David Smith</author><title>new</title></book>")
+            .unwrap();
+        if let Some(first) = baseline.first() {
+            idx.remove_document(*first).unwrap();
+        }
+        idx.flush().unwrap();
+    }
+
+    // Session 3: the mutations survived.
+    {
+        let mut idx = VistIndex::open_file(&path, 512).unwrap();
+        let now = idx.query(q, &QueryOptions::default()).unwrap().doc_ids;
+        assert!(now.contains(&inserted), "new doc visible after reopen");
+        if let Some(first) = baseline.first() {
+            assert!(!now.contains(first), "deleted doc stays deleted");
+        }
+        assert_eq!(now.len(), baseline.len()); // -1 +1
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn unflushed_data_is_lost_but_index_stays_valid() {
+    let path = tmp("unflushed");
+    {
+        let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+        idx.insert_xml("<a><b>1</b></a>").unwrap();
+        idx.flush().unwrap();
+        // Insert without flushing.
+        idx.insert_xml("<a><b>2</b></a>").unwrap();
+    }
+    {
+        let mut idx = VistIndex::open_file(&path, 64).unwrap();
+        let r = idx.query("/a/b", &QueryOptions::default()).unwrap();
+        // At least the flushed document answers; the index is not corrupt.
+        assert!(r.doc_ids.contains(&0));
+        // And remains writable.
+        let id = idx.insert_xml("<a><b>3</b></a>").unwrap();
+        let r = idx
+            .query("/a/b[text='3']", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(r.doc_ids, vec![id]);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn page_size_is_honoured_per_index() {
+    for page_size in [2048usize, 8192] {
+        let path = tmp(&format!("page{page_size}"));
+        {
+            let mut idx = VistIndex::create_file(
+                &path,
+                IndexOptions {
+                    page_size,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for d in dblp::documents(50, 3) {
+                idx.insert_document(&d).unwrap();
+            }
+            idx.flush().unwrap();
+        }
+        let mut idx = VistIndex::open_file(&path, 64).unwrap();
+        assert_eq!(idx.doc_count(), 50);
+        let r = idx
+            .query("/inproceedings/title", &QueryOptions::default())
+            .unwrap();
+        assert!(!r.doc_ids.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

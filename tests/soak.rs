@@ -1,0 +1,98 @@
+//! Long-running randomized soak test: a file-backed index driven through
+//! thousands of mixed operations (insert, delete, query, flush, reopen),
+//! cross-checked after every phase against an in-memory shadow using the
+//! exact tree-pattern matcher.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vist::query::{matches_document, parse_query};
+use vist::seq::SiblingOrder;
+use vist::xml::Document;
+use vist::{IndexOptions, QueryOptions, VistIndex};
+
+struct Shadow {
+    docs: std::collections::BTreeMap<u64, Document>,
+}
+
+impl Shadow {
+    fn answer(&self, q: &str) -> Vec<u64> {
+        let p = parse_query(q).unwrap().to_pattern();
+        self.docs
+            .iter()
+            .filter(|(_, d)| matches_document(&p, d, &SiblingOrder::Lexicographic))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+fn random_doc(rng: &mut StdRng) -> String {
+    let kinds = ["order", "invoice", "shipment"];
+    let kind = kinds[rng.random_range(0..kinds.len())];
+    let mut xml = format!("<{kind}>");
+    for _ in 0..rng.random_range(1..5) {
+        let tag = ["line", "fee", "note"][rng.random_range(0..3)];
+        let val = rng.random_range(0..20);
+        if rng.random_bool(0.5) {
+            xml.push_str(&format!("<{tag} code='{val}'><qty>{}</qty></{tag}>", val % 5));
+        } else {
+            xml.push_str(&format!("<{tag}>{val}</{tag}>"));
+        }
+    }
+    xml.push_str(&format!("</{kind}>"));
+    xml
+}
+
+#[test]
+fn randomized_soak_with_reopens() {
+    let path = std::env::temp_dir().join(format!("vist-soak-{}", std::process::id()));
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+    let mut shadow = Shadow {
+        docs: Default::default(),
+    };
+    let queries = [
+        "/order/line[code='3']",
+        "/invoice//qty",
+        "//note[text='7']",
+        "/shipment/*[text='2']",
+        "/order[line/qty='1']/fee",
+        "//line",
+    ];
+    for phase in 0..8 {
+        // Mutation burst.
+        for _ in 0..150 {
+            if !shadow.docs.is_empty() && rng.random_bool(0.25) {
+                let ids: Vec<u64> = shadow.docs.keys().copied().collect();
+                let victim = ids[rng.random_range(0..ids.len())];
+                idx.remove_document(victim).unwrap();
+                shadow.docs.remove(&victim);
+            } else {
+                let xml = random_doc(&mut rng);
+                let id = idx.insert_xml(&xml).unwrap();
+                shadow.docs.insert(id, vist::xml::parse(&xml).unwrap());
+            }
+        }
+        // Consistency sweep: verified answers equal the exact shadow.
+        for q in queries {
+            let got = idx
+                .query(q, &QueryOptions { verify: true, ..Default::default() })
+                .unwrap()
+                .doc_ids;
+            let want = shadow.answer(q);
+            assert_eq!(got, want, "phase {phase}, query {q}");
+            // Raw answers are a superset.
+            let raw = idx.query(q, &QueryOptions::default()).unwrap().doc_ids;
+            for id in &want {
+                assert!(raw.contains(id), "phase {phase}: raw lost {id} for {q}");
+            }
+        }
+        assert_eq!(idx.doc_count() as usize, shadow.docs.len(), "phase {phase}");
+        // Durability churn: flush and reopen every other phase.
+        if phase % 2 == 1 {
+            idx.flush().unwrap();
+            drop(idx);
+            idx = VistIndex::open_file(&path, 512).unwrap();
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
