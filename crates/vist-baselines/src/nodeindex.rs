@@ -219,7 +219,10 @@ mod tests {
         let mut idx = filled();
         assert_eq!(idx.query("/p/s/l[text='boston']").unwrap(), vec![0, 2]);
         assert_eq!(idx.query("//l").unwrap(), vec![0, 1, 2]);
-        assert!(idx.query("/p/l").unwrap().is_empty(), "l is not a child of p");
+        assert!(
+            idx.query("/p/l").unwrap().is_empty(),
+            "l is not a child of p"
+        );
         assert_eq!(idx.query("/p//l").unwrap(), vec![0, 1, 2]);
     }
 

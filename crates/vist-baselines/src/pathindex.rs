@@ -269,7 +269,10 @@ mod tests {
             idx.query("/p[s/l='tokyo']/b[l='newyork']").unwrap(),
             vec![1]
         );
-        assert!(idx.query("/p[s/l='tokyo']/b[l='paris']").unwrap().is_empty());
+        assert!(idx
+            .query("/p[s/l='tokyo']/b[l='paris']")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -117,7 +117,9 @@ impl RefinedPathIndex {
             return Ok(r.posting.iter().copied().collect());
         }
         self.fallback_hits += 1;
-        self.base.query_pattern(&pattern).map_err(QueryError::Storage)
+        self.base
+            .query_pattern(&pattern)
+            .map_err(QueryError::Storage)
     }
 }
 
@@ -140,7 +142,8 @@ mod tests {
     #[test]
     fn registered_query_uses_posting() {
         let mut idx = RefinedPathIndex::in_memory(4096, 128).unwrap();
-        idx.register_refined("/p[s/l='boston']/b[l='newyork']").unwrap();
+        idx.register_refined("/p[s/l='boston']/b[l='newyork']")
+            .unwrap();
         for d in docs() {
             idx.insert_document(&d).unwrap();
         }
@@ -170,7 +173,8 @@ mod tests {
     #[test]
     fn unregistered_queries_fall_back() {
         let mut idx = RefinedPathIndex::in_memory(4096, 128).unwrap();
-        idx.register_refined("/p[s/l='boston']/b[l='newyork']").unwrap();
+        idx.register_refined("/p[s/l='boston']/b[l='newyork']")
+            .unwrap();
         for d in docs() {
             idx.insert_document(&d).unwrap();
         }

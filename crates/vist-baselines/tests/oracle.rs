@@ -1,8 +1,8 @@
-//! Property tests: the node index (structural joins) must agree *exactly*
+//! Randomized tests: the node index (structural joins) must agree *exactly*
 //! with the tree-embedding oracle; the raw-path index must be complete
-//! (no false negatives) at the document level.
+//! (no false negatives) at the document level. Driven by a seeded
+//! splitmix64 generator so runs are deterministic.
 
-use proptest::prelude::*;
 use vist_baselines::{NodeIndex, PathIndex};
 use vist_query::{matches_document, parse_query};
 use vist_seq::SiblingOrder;
@@ -11,59 +11,70 @@ use vist_xml::{Document, ElementBuilder};
 const NAMES: [&str; 4] = ["a", "b", "c", "d"];
 const VALUES: [&str; 3] = ["1", "2", "3"];
 
-fn doc_strategy() -> impl Strategy<Value = Document> {
-    let leaf = (0usize..NAMES.len(), proptest::option::of(0usize..VALUES.len())).prop_map(
-        |(n, v)| {
-            let mut e = ElementBuilder::new(NAMES[n]);
-            if let Some(v) = v {
-                e = e.text(VALUES[v]);
-            }
-            e
-        },
-    );
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        (
-            0usize..NAMES.len(),
-            proptest::collection::vec(inner, 0..3),
-            proptest::option::of(0usize..VALUES.len()),
-        )
-            .prop_map(|(n, children, v)| {
-                let mut e = ElementBuilder::new(NAMES[n]).children(children);
-                if let Some(v) = v {
-                    e = e.text(VALUES[v]);
-                }
-                e
-            })
-    })
-    .prop_map(ElementBuilder::into_document)
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
 }
 
-fn query_strategy() -> impl Strategy<Value = String> {
-    let step = (0usize..=NAMES.len(), prop::bool::ANY).prop_map(|(n, dslash)| {
+fn random_element(rng: &mut Rng, depth: usize) -> ElementBuilder {
+    let mut e = ElementBuilder::new(NAMES[rng.below(NAMES.len())]);
+    if rng.below(2) == 0 {
+        e = e.text(VALUES[rng.below(VALUES.len())]);
+    }
+    if depth > 0 {
+        let kids: Vec<ElementBuilder> = (0..rng.below(3))
+            .map(|_| random_element(rng, depth - 1))
+            .collect();
+        e = e.children(kids);
+    }
+    e
+}
+
+fn random_doc(rng: &mut Rng) -> Document {
+    let depth = rng.below(4);
+    random_element(rng, depth).into_document()
+}
+
+fn random_query(rng: &mut Rng) -> String {
+    let steps = 1 + rng.below(3);
+    let mut q = String::new();
+    for _ in 0..steps {
+        let n = rng.below(NAMES.len() + 1);
         let name = if n == NAMES.len() { "*" } else { NAMES[n] };
-        format!("{}{}", if dslash { "//" } else { "/" }, name)
-    });
-    (
-        proptest::collection::vec(step, 1..4),
-        proptest::option::of((0usize..NAMES.len(), 0usize..VALUES.len())),
-    )
-        .prop_map(|(steps, branch)| {
-            let mut q = steps.concat();
-            if let Some((bn, bv)) = branch {
-                q.push_str(&format!("[{}='{}']", NAMES[bn], VALUES[bv]));
-            }
-            q
-        })
+        q.push_str(if rng.below(2) == 0 { "//" } else { "/" });
+        q.push_str(name);
+    }
+    if rng.below(2) == 0 {
+        q.push_str(&format!(
+            "[{}='{}']",
+            NAMES[rng.below(NAMES.len())],
+            VALUES[rng.below(VALUES.len())]
+        ));
+    }
+    q
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn node_index_equals_exact_oracle(
-        docs in proptest::collection::vec(doc_strategy(), 1..10),
-        queries in proptest::collection::vec(query_strategy(), 1..5),
-    ) {
+#[test]
+fn node_index_equals_exact_oracle() {
+    for case in 0..48u64 {
+        let mut rng = Rng(0x0DE1 ^ (case << 9));
+        let docs: Vec<Document> = (0..1 + rng.below(9))
+            .map(|_| random_doc(&mut rng))
+            .collect();
+        let queries: Vec<String> = (0..1 + rng.below(4))
+            .map(|_| random_query(&mut rng))
+            .collect();
         let mut idx = NodeIndex::in_memory(4096, 256).unwrap();
         for d in &docs {
             idx.insert_document(d).unwrap();
@@ -77,15 +88,21 @@ proptest! {
                 .map(|(i, _)| i as u64)
                 .collect();
             let got = idx.query(q).unwrap();
-            prop_assert_eq!(&got, &exact, "query {}", q);
+            assert_eq!(&got, &exact, "query {q}");
         }
     }
+}
 
-    #[test]
-    fn path_index_is_complete(
-        docs in proptest::collection::vec(doc_strategy(), 1..10),
-        queries in proptest::collection::vec(query_strategy(), 1..5),
-    ) {
+#[test]
+fn path_index_is_complete() {
+    for case in 0..48u64 {
+        let mut rng = Rng(0x9A7B ^ (case << 9));
+        let docs: Vec<Document> = (0..1 + rng.below(9))
+            .map(|_| random_doc(&mut rng))
+            .collect();
+        let queries: Vec<String> = (0..1 + rng.below(4))
+            .map(|_| random_query(&mut rng))
+            .collect();
         let mut idx = PathIndex::in_memory(4096, 256).unwrap();
         for d in &docs {
             idx.insert_document(d).unwrap();
@@ -95,12 +112,7 @@ proptest! {
             let got = idx.query(q).unwrap();
             for (i, d) in docs.iter().enumerate() {
                 if matches_document(&pattern, d, &SiblingOrder::Lexicographic) {
-                    prop_assert!(
-                        got.contains(&(i as u64)),
-                        "false negative doc {} for {}",
-                        i,
-                        q
-                    );
+                    assert!(got.contains(&(i as u64)), "false negative doc {i} for {q}");
                 }
             }
         }

@@ -1,31 +1,27 @@
-//! Criterion micro-benchmarks for the individual components: B+Tree
-//! operations, sequence conversion, scope allocation, and end-to-end
-//! insert/query on small indexes.
+//! Micro-benchmarks for the individual components: B+Tree operations,
+//! sequence conversion, scope allocation, end-to-end insert/query on small
+//! indexes, and concurrent read scaling over the sharded buffer pool.
 //!
 //! ```sh
-//! cargo bench -p vist-bench
+//! cargo bench -p vist-bench            # all benchmarks
+//! cargo bench -p vist-bench -- btree   # substring filter
+//! VIST_MICRO_MS=1000 cargo bench -p vist-bench   # longer timed regions
 //! ```
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use vist_bench::micro::{black_box, Runner};
 use vist_btree::BTree;
 use vist_core::{AllocatorKind, IndexOptions, NodeState, QueryOptions, ScopeAllocator, VistIndex};
 use vist_datagen::{dblp, synthetic::SyntheticConfig, synthetic::SyntheticGen};
-use vist_seq::{document_to_sequence, SiblingOrder, SymbolTable, Sym, Symbol, MAX_SCOPE};
+use vist_seq::{document_to_sequence, SiblingOrder, Sym, Symbol, SymbolTable, MAX_SCOPE};
 use vist_storage::{BufferPool, MemPager};
 
-fn bench_btree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btree");
-    g.throughput(Throughput::Elements(1));
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(3));
-    g.sample_size(20);
-
-    g.bench_function("insert_sequential", |b| {
+fn bench_btree(r: &Runner) {
+    r.bench("btree/insert_sequential", |b| {
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 4096));
-        let mut t = BTree::create(pool).unwrap();
+        let t = BTree::create(pool).unwrap();
         let mut i = 0u64;
         b.iter(|| {
             t.insert(&i.to_be_bytes(), b"value").unwrap();
@@ -33,9 +29,9 @@ fn bench_btree(c: &mut Criterion) {
         });
     });
 
-    g.bench_function("insert_random", |b| {
+    r.bench("btree/insert_random", |b| {
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 4096));
-        let mut t = BTree::create(pool).unwrap();
+        let t = BTree::create(pool).unwrap();
         let mut x = 0x9E3779B97F4A7C15u64;
         b.iter(|| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -43,9 +39,9 @@ fn bench_btree(c: &mut Criterion) {
         });
     });
 
-    g.bench_function("get_hit", |b| {
+    r.bench("btree/get_hit", |b| {
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 4096));
-        let mut t = BTree::create(pool).unwrap();
+        let t = BTree::create(pool).unwrap();
         for i in 0..100_000u64 {
             t.insert(&i.to_be_bytes(), b"value").unwrap();
         }
@@ -57,24 +53,20 @@ fn bench_btree(c: &mut Criterion) {
         });
     });
 
-    g.bench_function("bulk_load_100k", |b| {
+    r.bench("btree/bulk_load_100k", |b| {
         let items: Vec<(Vec<u8>, Vec<u8>)> = (0..100_000u64)
             .map(|i| (i.to_be_bytes().to_vec(), b"value".to_vec()))
             .collect();
-        b.iter_batched(
-            || items.clone(),
-            |items| {
-                let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 1 << 15));
-                let t = BTree::bulk_load(pool, items).unwrap();
-                criterion::black_box(t.root_page());
-            },
-            BatchSize::LargeInput,
-        );
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 1 << 15));
+            let t = BTree::bulk_load(pool, items.clone()).unwrap();
+            black_box(t.root_page());
+        });
     });
 
-    g.bench_function("scan_100", |b| {
+    r.bench("btree/scan_100", |b| {
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 4096));
-        let mut t = BTree::create(pool).unwrap();
+        let t = BTree::create(pool).unwrap();
         for i in 0..100_000u64 {
             t.insert(&i.to_be_bytes(), b"value").unwrap();
         }
@@ -87,38 +79,23 @@ fn bench_btree(c: &mut Criterion) {
             start += 7919;
         });
     });
-    g.finish();
 }
 
-fn bench_sequence(c: &mut Criterion) {
+fn bench_sequence(r: &Runner) {
     let docs = dblp::documents(200, 1);
-    let mut g = c.benchmark_group("sequence");
-    g.throughput(Throughput::Elements(docs.len() as u64));
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(3));
-    g.sample_size(20);
-    g.bench_function("dblp_convert_200", |b| {
-        b.iter_batched(
-            SymbolTable::new,
-            |mut table| {
-                for d in &docs {
-                    let s = document_to_sequence(d, &mut table, &SiblingOrder::Lexicographic);
-                    criterion::black_box(s);
-                }
-            },
-            BatchSize::SmallInput,
-        );
+    r.bench("sequence/dblp_convert_200", |b| {
+        b.iter(|| {
+            let mut table = SymbolTable::new();
+            for d in &docs {
+                let s = document_to_sequence(d, &mut table, &SiblingOrder::Lexicographic);
+                black_box(s);
+            }
+        });
     });
-    g.finish();
 }
 
-fn bench_alloc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scope_alloc");
-    g.throughput(Throughput::Elements(1));
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(3));
-    g.sample_size(20);
-    g.bench_function("geometric_adaptive", |b| {
+fn bench_alloc(r: &Runner) {
+    r.bench("scope_alloc/geometric_adaptive", |b| {
         let alloc = ScopeAllocator::new(16, true, AllocatorKind::NoClues);
         let mut parent = NodeState {
             n: 0,
@@ -129,7 +106,7 @@ fn bench_alloc(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             let a = alloc.allocate(&mut parent, None, Sym::Tag(Symbol(i % 64)), 8);
-            criterion::black_box(&a);
+            black_box(&a);
             i += 1;
             if parent.available() < 1 << 20 {
                 parent = NodeState {
@@ -141,18 +118,12 @@ fn bench_alloc(c: &mut Criterion) {
             }
         });
     });
-    g.finish();
 }
 
-fn bench_index(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vist");
-    g.sample_size(20);
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(3));
-
-    g.bench_function("insert_dblp_record", |b| {
+fn bench_index(r: &Runner) {
+    r.bench("vist/insert_dblp_record", |b| {
         let docs = dblp::documents(10_000, 5);
-        let mut idx = VistIndex::in_memory(IndexOptions {
+        let idx = VistIndex::in_memory(IndexOptions {
             store_documents: false,
             ..Default::default()
         })
@@ -164,7 +135,7 @@ fn bench_index(c: &mut Criterion) {
         });
     });
 
-    let mut idx = VistIndex::in_memory(IndexOptions {
+    let idx = VistIndex::in_memory(IndexOptions {
         store_documents: false,
         ..Default::default()
     })
@@ -173,31 +144,31 @@ fn bench_index(c: &mut Criterion) {
         idx.insert_document(&d).unwrap();
     }
     let opts = QueryOptions::default();
-    g.bench_function("query_value_path", |b| {
+    r.bench("vist/query_value_path", |b| {
         b.iter(|| {
-            let r = idx
+            let res = idx
                 .query("/book/author[text='David Smith']", &opts)
                 .unwrap();
-            criterion::black_box(r);
+            black_box(res);
         });
     });
-    g.bench_function("query_branching", |b| {
+    r.bench("vist/query_branching", |b| {
         b.iter(|| {
-            let r = idx
+            let res = idx
                 .query("/article[journal='TODS']/author[text='David Smith']", &opts)
                 .unwrap();
-            criterion::black_box(r);
+            black_box(res);
         });
     });
-    g.bench_function("query_descendant_wildcard", |b| {
+    r.bench("vist/query_descendant_wildcard", |b| {
         b.iter(|| {
-            let r = idx.query("//author[text='David Smith']", &opts).unwrap();
-            criterion::black_box(r);
+            let res = idx.query("//author[text='David Smith']", &opts).unwrap();
+            black_box(res);
         });
     });
 
     let mut gen = SyntheticGen::new(SyntheticConfig::default());
-    let mut synth = VistIndex::in_memory(IndexOptions {
+    let synth = VistIndex::in_memory(IndexOptions {
         store_documents: false,
         ..Default::default()
     })
@@ -207,18 +178,111 @@ fn bench_index(c: &mut Criterion) {
         synth.insert_document(&d).unwrap();
     }
     let queries: Vec<_> = (0..64).map(|_| gen.query(6, 0.0)).collect();
-    g.bench_function("query_synthetic_len6", |b| {
+    r.bench("vist/query_synthetic_len6", |b| {
         let mut i = 0usize;
         b.iter(|| {
-            let r = synth
+            let res = synth
                 .query_pattern(&queries[i % queries.len()], &opts)
                 .unwrap();
-            criterion::black_box(r);
+            black_box(res);
             i += 1;
         });
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_btree, bench_sequence, bench_alloc, bench_index);
-criterion_main!(benches);
+/// Read scaling over a shared `Arc<VistIndex>`: the same per-thread query
+/// workload at 1/2/4/8 threads against one file-backed index with a cache
+/// smaller than the data, so threads exercise the sharded buffer pool.
+/// Reported as queries/second plus the speedup over one thread — interpret
+/// the ratio against the printed core count (a single-core box caps at 1x
+/// regardless of how contention-free the read path is).
+fn bench_concurrent_queries(r: &Runner, per_thread: usize) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("concurrent_queries: {cores} core(s) available");
+    let path = std::env::temp_dir().join(format!("vist-micro-conc-{}", std::process::id()));
+    let idx = VistIndex::create_file(
+        &path,
+        IndexOptions {
+            cache_pages: 1024, // ~11% of the store: hot paths stay resident, tail still evicts
+            store_documents: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for d in dblp::documents(8_000, 7) {
+        idx.insert_document(&d).unwrap();
+    }
+    let idx = Arc::new(idx);
+    let queries: Vec<String> = vec![
+        "/book/author[text='David Smith']".into(),
+        "/article[journal='TODS']/author[text='David Smith']".into(),
+        "//author[text='David Smith']".into(),
+        "/book/title".into(),
+    ];
+    let opts = QueryOptions::default();
+
+    let run = |threads: usize| -> f64 {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let idx = Arc::clone(&idx);
+                let queries = &queries;
+                let opts = &opts;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let q = &queries[(t + i) % queries.len()];
+                        black_box(idx.query(q, opts).unwrap());
+                    }
+                });
+            }
+        });
+        (threads * per_thread) as f64 / t0.elapsed().as_secs_f64()
+    };
+
+    let mut baseline = None;
+    for threads in [1usize, 2, 4, 8] {
+        let name = format!("concurrent_queries/{threads}_threads");
+        // Warm-up pass at each width, then one measured pass (thread spawn
+        // cost is amortized over `per_thread` queries).
+        r.bench(&name, |b| {
+            run(threads);
+            let mut qps = 0.0;
+            b.iter(|| qps = run(threads));
+            let speedup = match baseline {
+                None => {
+                    baseline = Some(qps);
+                    1.0
+                }
+                Some(base) => qps / base,
+            };
+            println!("    -> {qps:>10.0} queries/s  ({speedup:.2}x vs 1 thread)");
+        });
+    }
+
+    // Shard-level evidence of the striped hot path: the fraction of hits
+    // whose shard lock was acquired without blocking.
+    let t = idx.stats().pool.totals();
+    if t.hits > 0 {
+        println!(
+            "concurrent_queries: {} hits, {:.1}% uncontended, {} misses",
+            t.hits,
+            100.0 * t.uncontended_hits as f64 / t.hits as f64,
+            t.misses
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+fn main() {
+    let r = Runner::from_env();
+    bench_btree(&r);
+    bench_sequence(&r);
+    bench_alloc(&r);
+    bench_index(&r);
+    let per_thread = std::env::var("VIST_MICRO_CONC_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    bench_concurrent_queries(&r, per_thread);
+}

@@ -42,7 +42,7 @@ fn main() {
         ("no clues (Eq 5-6)", AllocatorKind::NoClues),
         ("with clues (Eq 2-4)", AllocatorKind::WithClues(stats)),
     ] {
-        let mut index = VistIndex::in_memory(IndexOptions {
+        let index = VistIndex::in_memory(IndexOptions {
             lambda: 8,
             adaptive: true,
             allocator: kind,

@@ -18,17 +18,20 @@ fn main() {
     let n = scaled(4_000, 400);
     let mut rows = Vec::new();
     for max_depth in [4usize, 8, 12, 16] {
-        let docs = documents(n, &TreebankConfig {
-            max_depth,
-            seed: 23,
-        });
+        let docs = documents(
+            n,
+            &TreebankConfig {
+                max_depth,
+                seed: 23,
+            },
+        );
         let elem_depth = docs
             .iter()
             .flat_map(|d| d.preorder().map(|x| d.depth(x)).max())
             .max()
             .unwrap();
 
-        let mut vist = VistIndex::in_memory(IndexOptions {
+        let vist = VistIndex::in_memory(IndexOptions {
             store_documents: false,
             cache_pages: 1 << 14,
             ..Default::default()

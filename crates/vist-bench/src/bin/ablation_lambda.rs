@@ -32,7 +32,7 @@ fn main() {
             l: 30,
             seed: 17,
         });
-        let mut index = VistIndex::in_memory(IndexOptions {
+        let index = VistIndex::in_memory(IndexOptions {
             lambda,
             adaptive,
             store_documents: false,
@@ -48,7 +48,9 @@ fn main() {
         let build = t0.elapsed();
 
         let opts = QueryOptions::default();
-        let queries: Vec<_> = (0..25).map(|_| gen.query(6, vist_bench::wildcard_prob())).collect();
+        let queries: Vec<_> = (0..25)
+            .map(|_| gen.query(6, vist_bench::wildcard_prob()))
+            .collect();
         let mut total = Duration::ZERO;
         for q in &queries {
             let t = Instant::now();

@@ -21,7 +21,7 @@ fn main() {
     let mut rows = Vec::new();
     for page_size in [2048usize, 4096, 8192, 16384] {
         let cache_pages = (64usize << 20) / page_size; // fixed 64 MiB cache
-        let mut index = VistIndex::in_memory(IndexOptions {
+        let index = VistIndex::in_memory(IndexOptions {
             page_size,
             cache_pages,
             store_documents: false,
@@ -52,7 +52,12 @@ fn main() {
     }
     println!("\nAblation A4 — page size (DBLP-like, N={n}; paper used 2048)\n");
     print_table(
-        &["page size", "index (MiB)", "build (s)", "avg Q1-Q5 time (ms)"],
+        &[
+            "page size",
+            "index (MiB)",
+            "build (s)",
+            "avg Q1-Q5 time (ms)",
+        ],
         &rows,
     );
 }

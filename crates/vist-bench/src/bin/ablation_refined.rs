@@ -27,8 +27,12 @@ fn main() {
     // --- effect on query time (registered vs not) -------------------------
     let mut refined = RefinedPathIndex::in_memory(4096, 1 << 14).expect("index");
     // Register Q6 and Q8 (the branching queries), leave Q7 unregistered.
-    refined.register_refined(&queries[0].1).expect("register Q6");
-    refined.register_refined(&queries[2].1).expect("register Q8");
+    refined
+        .register_refined(&queries[0].1)
+        .expect("register Q6");
+    refined
+        .register_refined(&queries[2].1)
+        .expect("register Q8");
     let t0 = Instant::now();
     for d in &docs {
         refined.insert_document(d).expect("insert");
@@ -42,7 +46,7 @@ fn main() {
     }
     let build_without = t0.elapsed();
 
-    let mut vist = VistIndex::in_memory(IndexOptions {
+    let vist = VistIndex::in_memory(IndexOptions {
         store_documents: false,
         cache_pages: 1 << 14,
         ..Default::default()
@@ -94,8 +98,10 @@ fn main() {
     for n_refined in [0usize, 4, 16, 64] {
         let mut idx = RefinedPathIndex::in_memory(4096, 1 << 14).expect("index");
         for i in 0..n_refined {
-            idx.register_refined(&format!("/site//item[location='US']/mail/date[text='x{i}']"))
-                .expect("register");
+            idx.register_refined(&format!(
+                "/site//item[location='US']/mail/date[text='x{i}']"
+            ))
+            .expect("register");
         }
         let t0 = Instant::now();
         for d in docs.iter().take(n / 2) {

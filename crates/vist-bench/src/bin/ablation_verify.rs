@@ -22,7 +22,7 @@ fn main() {
     // split across two sibling `b` elements, so raw ViST accepts it but the
     // exact semantics rejects it. The rest: half genuine matches, half
     // non-matches.
-    let mut index = VistIndex::in_memory(IndexOptions {
+    let index = VistIndex::in_memory(IndexOptions {
         cache_pages: 1 << 16,
         ..Default::default()
     })

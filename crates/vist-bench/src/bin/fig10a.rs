@@ -27,7 +27,7 @@ fn main() {
     eprintln!("generating {n} synthetic sequences (k=10, j=8, L=30) ...");
     let mut gen = SyntheticGen::new(cfg);
 
-    let mut index = VistIndex::in_memory(IndexOptions {
+    let index = VistIndex::in_memory(IndexOptions {
         store_documents: false,
         cache_pages: 1 << 16,
         ..Default::default()
@@ -38,7 +38,11 @@ fn main() {
         let d = gen.document();
         index.insert_document(&d).expect("insert");
     }
-    eprintln!("built in {:.2?} ({} nodes)", t0.elapsed(), index.stats().nodes);
+    eprintln!(
+        "built in {:.2?} ({} nodes)",
+        t0.elapsed(),
+        index.stats().nodes
+    );
 
     // As in the paper, reported time excludes result output; each point
     // averages many random queries of that length.
@@ -74,7 +78,12 @@ fn main() {
     println!("\nFigure 10(a) — query time vs query length (synthetic, N={n}, L=30)");
     println!("(the paper plots match time, excluding DocId output)\n");
     print_table(
-        &["query length", "match time (ms)", "incl. DocId output (ms)", "avg hits"],
+        &[
+            "query length",
+            "match time (ms)",
+            "incl. DocId output (ms)",
+            "avg hits",
+        ],
         &rows,
     );
 }

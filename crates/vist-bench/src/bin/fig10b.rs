@@ -41,7 +41,7 @@ fn main() {
         l: 60,
         seed: 11,
     });
-    let mut index = VistIndex::in_memory(IndexOptions {
+    let index = VistIndex::in_memory(IndexOptions {
         store_documents: false,
         cache_pages: 1 << 16,
         ..Default::default()
@@ -79,9 +79,7 @@ fn main() {
         ]);
         eprintln!("N={inserted}: done");
     }
-    println!(
-        "\nFigure 10(b) — query time vs data size (synthetic, L=60, query length {qlen})\n"
-    );
+    println!("\nFigure 10(b) — query time vs data size (synthetic, L=60, query length {qlen})\n");
     print_table(
         &[
             "sequences",

@@ -25,7 +25,7 @@ fn measure(name: &str, docs: &[Document]) -> Vec<String> {
         .map(|d| document_to_sequence(d, &mut table, &SiblingOrder::Lexicographic).len())
         .sum();
 
-    let mut index = VistIndex::in_memory(IndexOptions {
+    let index = VistIndex::in_memory(IndexOptions {
         store_documents: false, // size the *index*, not a document store
         cache_pages: 1 << 16,
         ..Default::default()

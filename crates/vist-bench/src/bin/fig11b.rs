@@ -33,7 +33,7 @@ fn main() {
         let docs = gen.documents(n);
 
         let t0 = Instant::now();
-        let mut vist = VistIndex::in_memory(opts()).expect("vist");
+        let vist = VistIndex::in_memory(opts()).expect("vist");
         for d in &docs {
             vist.insert_document(d).expect("insert");
         }

@@ -41,7 +41,7 @@ fn main() {
     let mut nodes = Vec::new();
     for docs in datasets {
         let t0 = Instant::now();
-        let mut v = VistIndex::in_memory(IndexOptions {
+        let v = VistIndex::in_memory(IndexOptions {
             store_documents: false,
             cache_pages: 1 << 16,
             ..Default::default()
@@ -95,9 +95,7 @@ fn main() {
         ]);
     }
     println!("\nTable 4 — query response times (milliseconds)");
-    println!(
-        "datasets: DBLP-like n={n_dblp}, XMARK-like n={n_xmark} (paper: 289,627 / SF 1.0)\n"
-    );
+    println!("datasets: DBLP-like n={n_dblp}, XMARK-like n={n_xmark} (paper: 289,627 / SF 1.0)\n");
     print_table(
         &[
             "query",

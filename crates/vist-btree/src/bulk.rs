@@ -9,7 +9,9 @@ use std::sync::Arc;
 
 use vist_storage::{BufferPool, Error, PageId, Result, SlotId, SlottedPageMut, INVALID_PAGE};
 
-use crate::node::{init_internal, init_leaf, internal_cell, leaf_cell, set_link1, set_link2, NODE_HDR};
+use crate::node::{
+    init_internal, init_leaf, internal_cell, leaf_cell, set_link1, set_link2, NODE_HDR,
+};
 use crate::tree::BTree;
 
 impl BTree {
@@ -153,12 +155,7 @@ mod tests {
 
     fn pairs(n: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
         (0..n)
-            .map(|i| {
-                (
-                    format!("key{i:06}").into_bytes(),
-                    i.to_le_bytes().to_vec(),
-                )
-            })
+            .map(|i| (format!("key{i:06}").into_bytes(), i.to_le_bytes().to_vec()))
             .collect()
     }
 
@@ -174,7 +171,7 @@ mod tests {
         let items = pairs(3000);
         let bulk = BTree::bulk_load(pool(), items.clone()).unwrap();
         verify::check(&bulk).unwrap();
-        let mut incr = BTree::create(pool()).unwrap();
+        let incr = BTree::create(pool()).unwrap();
         for (k, v) in &items {
             incr.insert(k, v).unwrap();
         }
@@ -196,7 +193,7 @@ mod tests {
 
     #[test]
     fn remains_fully_dynamic_after_bulk_load() {
-        let mut t = BTree::bulk_load(pool(), pairs(1000)).unwrap();
+        let t = BTree::bulk_load(pool(), pairs(1000)).unwrap();
         // Point reads.
         assert!(t.get(b"key000500").unwrap().is_some());
         assert!(t.get(b"nope").unwrap().is_none());
@@ -214,10 +211,7 @@ mod tests {
 
     #[test]
     fn rejects_disorder_and_duplicates() {
-        let items = vec![
-            (b"b".to_vec(), vec![]),
-            (b"a".to_vec(), vec![]),
-        ];
+        let items = vec![(b"b".to_vec(), vec![]), (b"a".to_vec(), vec![])];
         assert!(matches!(
             BTree::bulk_load(pool(), items),
             Err(Error::Corrupt(_))

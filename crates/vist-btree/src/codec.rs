@@ -160,7 +160,11 @@ mod tests {
     #[test]
     fn integers_roundtrip() {
         let mut w = KeyWriter::new();
-        w.u8(3).u16(777).u32(1 << 30).u64(u64::MAX - 5).u128(1 << 100);
+        w.u8(3)
+            .u16(777)
+            .u32(1 << 30)
+            .u64(u64::MAX - 5)
+            .u128(1 << 100);
         let key = w.finish();
         let mut r = KeyReader::new(&key);
         assert_eq!(r.u8(), 3);

@@ -160,7 +160,7 @@ mod tests {
 
     fn filled(n: u32) -> BTree {
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 256));
-        let mut t = BTree::create(pool).unwrap();
+        let t = BTree::create(pool).unwrap();
         for i in 0..n {
             t.insert(format!("k{i:06}").as_bytes(), &i.to_le_bytes())
                 .unwrap();
@@ -212,13 +212,16 @@ mod tests {
         let t = filled(50);
         // Bounds fall between existing keys.
         let ks = keys(t.scan(&b"k0000055"[..]..&b"k0000105"[..]).unwrap());
-        assert_eq!(ks, vec!["k000006", "k000007", "k000008", "k000009", "k000010"]);
+        assert_eq!(
+            ks,
+            vec!["k000006", "k000007", "k000008", "k000009", "k000010"]
+        );
     }
 
     #[test]
     fn prefix_scan() {
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 64));
-        let mut t = BTree::create(pool).unwrap();
+        let t = BTree::create(pool).unwrap();
         for k in ["ab", "abc", "abd", "ac", "b"] {
             t.insert(k.as_bytes(), b"").unwrap();
         }
@@ -240,7 +243,7 @@ mod tests {
 
     #[test]
     fn scan_after_deletions() {
-        let mut t = filled(300);
+        let t = filled(300);
         for i in (0..300u32).step_by(2) {
             t.delete(format!("k{i:06}").as_bytes()).unwrap();
         }

@@ -79,7 +79,7 @@ mod tests {
 
     fn tree_with(n: u32) -> BTree {
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 256));
-        let mut t = BTree::create(pool).unwrap();
+        let t = BTree::create(pool).unwrap();
         for i in 0..n {
             t.insert(format!("key{i:06}").as_bytes(), b"value").unwrap();
         }
@@ -105,20 +105,20 @@ mod tests {
         assert!(s.internal_pages >= 1);
         assert!(s.height >= 2);
         assert!(s.utilization() > 0.3 && s.utilization() <= 1.0);
-        assert_eq!(
-            s.total_bytes,
-            (s.leaf_pages + s.internal_pages) * 512
-        );
+        assert_eq!(s.total_bytes, (s.leaf_pages + s.internal_pages) * 512);
     }
 
     #[test]
     fn stats_shrink_after_full_deletion() {
-        let mut t = tree_with(1000);
+        let t = tree_with(1000);
         for i in 0..1000 {
             t.delete(format!("key{i:06}").as_bytes()).unwrap();
         }
         let s = t.tree_stats().unwrap();
         assert_eq!(s.entries, 0);
-        assert!(s.leaf_pages + s.internal_pages < 5, "lazy deletion reclaims empties");
+        assert!(
+            s.leaf_pages + s.internal_pages < 5,
+            "lazy deletion reclaims empties"
+        );
     }
 }

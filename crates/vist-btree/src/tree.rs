@@ -1,8 +1,30 @@
 //! B+Tree insert / lookup / delete.
+//!
+//! # Concurrency
+//!
+//! Reads (`get`, `contains`, `len`, cursors) take `&self` and are safe to
+//! run from many threads at once: each page access goes through the buffer
+//! pool's per-frame `RwLock`, and the root page id is an atomic. Mutations
+//! also take `&self` but serialize on an internal per-tree writer mutex, so
+//! there is at most one writer at any time (single-writer / multi-reader).
+//!
+//! `insert` is additionally safe to run *concurrently with readers*: it
+//! only allocates and splits pages, new pages are fully initialized before
+//! they become reachable, and the root pointer is published with `Release`
+//! ordering only after the new root page is complete. A reader racing an
+//! insert may transiently miss the in-flight key but never observes a torn
+//! or uninitialized page. `delete` frees pages and is **not** safe against
+//! concurrent readers of the same tree — callers must exclude readers for
+//! the duration (see `docs/CONCURRENCY.md`; `vist-core` does this with a
+//! maintenance lock).
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use vist_storage::{BufferPool, Error, PageId, Result, SlotId, SlottedPage, SlottedPageMut, INVALID_PAGE};
+use vist_storage::sync::Mutex;
+use vist_storage::{
+    BufferPool, Error, PageId, Result, SlotId, SlottedPage, SlottedPageMut, INVALID_PAGE,
+};
 
 use crate::node::{
     child_for, decode_internal_cell, decode_leaf_cell, init_internal, init_leaf, internal_cell,
@@ -17,7 +39,11 @@ use crate::node::{
 /// [`BTree::open`].
 pub struct BTree {
     pool: Arc<BufferPool>,
-    root: PageId,
+    /// Current root page id; readers load it with `Acquire`, the writer
+    /// publishes a fully-built new root with `Release`.
+    root: AtomicU32,
+    /// Serializes `insert`/`delete`; never held by readers.
+    writer: Mutex<()>,
     max_cell: usize,
 }
 
@@ -37,7 +63,8 @@ impl BTree {
         let max_cell = Self::max_cell_for(&pool);
         Ok(BTree {
             pool,
-            root,
+            root: AtomicU32::new(root),
+            writer: Mutex::new(()),
             max_cell,
         })
     }
@@ -47,7 +74,8 @@ impl BTree {
         let max_cell = Self::max_cell_for(&pool);
         Ok(BTree {
             pool,
-            root,
+            root: AtomicU32::new(root),
+            writer: Mutex::new(()),
             max_cell,
         })
     }
@@ -55,7 +83,7 @@ impl BTree {
     /// Current root page id (persist this to reopen the tree).
     #[must_use]
     pub fn root_page(&self) -> PageId {
-        self.root
+        self.root.load(Ordering::Acquire)
     }
 
     /// The buffer pool this tree lives in.
@@ -72,7 +100,7 @@ impl BTree {
 
     /// Exact lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let mut pid = self.root;
+        let mut pid = self.root_page();
         loop {
             let page = self.pool.fetch(pid)?;
             let buf = page.data();
@@ -101,7 +129,11 @@ impl BTree {
     }
 
     /// Insert or replace. Returns the previous value, if any.
-    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+    ///
+    /// Takes the tree's internal writer lock; safe to call concurrently
+    /// with readers and with other writers (which serialize).
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _w = self.writer.lock();
         let cell_len = 4 + key.len() + value.len();
         if cell_len > self.max_cell {
             return Err(Error::PageOverflow {
@@ -109,20 +141,23 @@ impl BTree {
                 available: self.max_cell,
             });
         }
-        let (old, split) = self.insert_rec(self.root, key, value)?;
+        let root = self.root_page();
+        let (old, split) = self.insert_rec(root, key, value)?;
         if let Some((sep, right)) = split {
             let new_root = self.pool.allocate()?;
             let mut page = self.pool.fetch_mut(new_root)?;
-            init_internal(page.data_mut(), self.root);
+            init_internal(page.data_mut(), root);
             let cell = internal_cell(&sep, right);
             SlottedPageMut::new(page.data_mut(), NODE_HDR).insert(0, &cell)?;
             drop(page);
-            self.root = new_root;
+            // Publish only after the page is fully written: a reader that
+            // loads the new root must find a complete node.
+            self.root.store(new_root, Ordering::Release);
         }
         Ok(old)
     }
 
-    fn insert_rec(&mut self, pid: PageId, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
+    fn insert_rec(&self, pid: PageId, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
         let node_kind = {
             let page = self.pool.fetch(pid)?;
             kind(page.data())
@@ -144,7 +179,7 @@ impl BTree {
         }
     }
 
-    fn insert_leaf(&mut self, pid: PageId, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
+    fn insert_leaf(&self, pid: PageId, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
         let mut page = self.pool.fetch_mut(pid)?;
         let buf = page.data_mut();
         let (slot, old) = match search(buf, key) {
@@ -170,8 +205,12 @@ impl BTree {
     }
 
     /// Split a full leaf, inserting `(key, value)` at positional `slot`.
+    ///
+    /// Ordering matters for concurrent readers: the right sibling is fully
+    /// built *before* the left node's forward link is pointed at it, so a
+    /// leaf-chain scan can never reach an uninitialized page.
     fn split_leaf(
-        &mut self,
+        &self,
         mut page: vist_storage::PageRefMut,
         slot: SlotId,
         key: &[u8],
@@ -212,19 +251,8 @@ impl BTree {
         let right_pid = self.pool.allocate()?;
         let old_next = link1(page.data());
         let old_prev = link2(page.data());
-        // Rewrite the left node.
-        {
-            let buf = page.data_mut();
-            init_leaf(buf);
-            set_link1(buf, right_pid);
-            set_link2(buf, old_prev);
-            let mut p = SlottedPageMut::new(buf, NODE_HDR);
-            for (i, (k, v)) in records.iter().enumerate() {
-                p.insert(i as SlotId, &leaf_cell(k, v))?;
-            }
-        }
-        drop(page);
-        // Build the right node.
+        // Build the right node first, while the left node (still holding its
+        // write guard) continues to show the pre-split record set.
         {
             let mut rp = self.pool.fetch_mut(right_pid)?;
             let buf = rp.data_mut();
@@ -236,6 +264,18 @@ impl BTree {
                 p.insert(i as SlotId, &leaf_cell(k, v))?;
             }
         }
+        // Now rewrite the left node to its half and link it forward.
+        {
+            let buf = page.data_mut();
+            init_leaf(buf);
+            set_link1(buf, right_pid);
+            set_link2(buf, old_prev);
+            let mut p = SlottedPageMut::new(buf, NODE_HDR);
+            for (i, (k, v)) in records.iter().enumerate() {
+                p.insert(i as SlotId, &leaf_cell(k, v))?;
+            }
+        }
+        drop(page);
         // Fix the back link of the following leaf.
         if old_next != INVALID_PAGE {
             let mut np = self.pool.fetch_mut(old_next)?;
@@ -248,7 +288,7 @@ impl BTree {
     /// Separators are inserted *after* any equal key so that routing by
     /// "last cell with key <= target" always reaches the newer (right) child.
     fn insert_internal_cell(
-        &mut self,
+        &self,
         pid: PageId,
         sep: &[u8],
         child: PageId,
@@ -267,7 +307,7 @@ impl BTree {
     }
 
     fn split_internal(
-        &mut self,
+        &self,
         mut page: vist_storage::PageRefMut,
         slot: SlotId,
         sep: &[u8],
@@ -302,15 +342,7 @@ impl BTree {
 
         let leftmost = link1(page.data());
         let right_pid = self.pool.allocate()?;
-        {
-            let buf = page.data_mut();
-            init_internal(buf, leftmost);
-            let mut p = SlottedPageMut::new(buf, NODE_HDR);
-            for (i, (k, c)) in cells.iter().enumerate() {
-                p.insert(i as SlotId, &internal_cell(k, *c))?;
-            }
-        }
-        drop(page);
+        // Right node first (see `split_leaf` for the reader-safety argument).
         {
             let mut rp = self.pool.fetch_mut(right_pid)?;
             let buf = rp.data_mut();
@@ -320,6 +352,15 @@ impl BTree {
                 p.insert(i as SlotId, &internal_cell(k, *c))?;
             }
         }
+        {
+            let buf = page.data_mut();
+            init_internal(buf, leftmost);
+            let mut p = SlottedPageMut::new(buf, NODE_HDR);
+            for (i, (k, c)) in cells.iter().enumerate() {
+                p.insert(i as SlotId, &internal_cell(k, *c))?;
+            }
+        }
+        drop(page);
         Ok((up_key, right_pid))
     }
 
@@ -329,21 +370,28 @@ impl BTree {
     /// when they become completely empty, in which case they are unlinked
     /// from the leaf chain, their parent reference is removed, and the root
     /// collapses when it has a single child.
-    pub fn delete(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let (old, emptied) = self.delete_rec(self.root, key)?;
+    ///
+    /// Takes the tree's internal writer lock. Unlike `insert`, delete frees
+    /// pages and is therefore **not** safe to run concurrently with readers
+    /// of the same tree; callers must exclude readers for its duration.
+    pub fn delete(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _w = self.writer.lock();
+        let root = self.root_page();
+        let (old, emptied) = self.delete_rec(root, key)?;
         if emptied {
             // The root lost everything. An empty leaf root is fine as-is; an
             // internal root whose leftmost child was freed must be reset to
             // an empty leaf (its child pointer dangles).
-            let mut page = self.pool.fetch_mut(self.root)?;
+            let mut page = self.pool.fetch_mut(root)?;
             if kind(page.data()) == NodeKind::Internal {
                 init_leaf(page.data_mut());
             }
             return Ok(old);
         }
         // Collapse a chain of single-child internal roots.
+        let mut root = root;
         loop {
-            let page = self.pool.fetch(self.root)?;
+            let page = self.pool.fetch(root)?;
             let buf = page.data();
             if kind(buf) != NodeKind::Internal {
                 break;
@@ -354,15 +402,16 @@ impl BTree {
             }
             let new_root = link1(buf);
             drop(page);
-            self.pool.free(self.root)?;
-            self.root = new_root;
+            self.root.store(new_root, Ordering::Release);
+            self.pool.free(root)?;
+            root = new_root;
         }
         Ok(old)
     }
 
     /// Returns `(removed value, node became empty)`.
     #[allow(clippy::type_complexity)]
-    fn delete_rec(&mut self, pid: PageId, key: &[u8]) -> Result<(Option<Vec<u8>>, bool)> {
+    fn delete_rec(&self, pid: PageId, key: &[u8]) -> Result<(Option<Vec<u8>>, bool)> {
         let node_kind = {
             let page = self.pool.fetch(pid)?;
             kind(page.data())
@@ -422,7 +471,7 @@ impl BTree {
     }
 
     /// Unlink `pid` from the leaf chain (if it is a leaf) and free it.
-    fn unlink_and_free(&mut self, pid: PageId) -> Result<()> {
+    fn unlink_and_free(&self, pid: PageId) -> Result<()> {
         let (is_leaf, next, prev) = {
             let page = self.pool.fetch(pid)?;
             let buf = page.data();
@@ -443,7 +492,7 @@ impl BTree {
 
     /// Leftmost leaf page of the tree.
     pub(crate) fn leftmost_leaf(&self) -> Result<PageId> {
-        let mut pid = self.root;
+        let mut pid = self.root_page();
         loop {
             let page = self.pool.fetch(pid)?;
             let buf = page.data();
@@ -456,7 +505,7 @@ impl BTree {
 
     /// Leaf page whose key range covers `key`.
     pub(crate) fn leaf_for(&self, key: &[u8]) -> Result<PageId> {
-        let mut pid = self.root;
+        let mut pid = self.root_page();
         loop {
             let page = self.pool.fetch(pid)?;
             let buf = page.data();
@@ -504,7 +553,7 @@ mod tests {
 
     #[test]
     fn insert_get_small() {
-        let mut t = tree();
+        let t = tree();
         assert_eq!(t.insert(b"b", b"2").unwrap(), None);
         assert_eq!(t.insert(b"a", b"1").unwrap(), None);
         assert_eq!(t.insert(b"c", b"3").unwrap(), None);
@@ -516,7 +565,7 @@ mod tests {
 
     #[test]
     fn replace_returns_old() {
-        let mut t = tree();
+        let t = tree();
         assert_eq!(t.insert(b"k", b"v1").unwrap(), None);
         assert_eq!(t.insert(b"k", b"v2").unwrap().as_deref(), Some(&b"v1"[..]));
         assert_eq!(t.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
@@ -525,7 +574,7 @@ mod tests {
 
     #[test]
     fn many_inserts_split_and_stay_sorted() {
-        let mut t = tree();
+        let t = tree();
         let n = 2000u32;
         for i in 0..n {
             // Insert in a scrambled order.
@@ -553,7 +602,7 @@ mod tests {
 
     #[test]
     fn delete_simple_and_missing() {
-        let mut t = tree();
+        let t = tree();
         t.insert(b"x", b"1").unwrap();
         assert_eq!(t.delete(b"x").unwrap().as_deref(), Some(&b"1"[..]));
         assert_eq!(t.delete(b"x").unwrap(), None);
@@ -563,7 +612,7 @@ mod tests {
 
     #[test]
     fn delete_everything_collapses_tree() {
-        let mut t = tree();
+        let t = tree();
         let n = 1200u32;
         for i in 0..n {
             t.insert(format!("k{i:06}").as_bytes(), b"v").unwrap();
@@ -576,17 +625,23 @@ mod tests {
         assert_eq!(t.len().unwrap(), 0);
         crate::verify::check(&t).unwrap();
         // Lazy deletion must still reclaim: only a handful of pages remain.
-        assert!(t.pool().live_pages() < 10, "pages: {}", t.pool().live_pages());
+        assert!(
+            t.pool().live_pages() < 10,
+            "pages: {}",
+            t.pool().live_pages()
+        );
     }
 
     #[test]
     fn interleaved_insert_delete_matches_btreemap() {
         use std::collections::BTreeMap;
-        let mut t = tree();
+        let t = tree();
         let mut model = BTreeMap::new();
         let mut x = 0x243F6A88u64;
         for step in 0..6000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = format!("{:04}", (x >> 33) % 500);
             if (x >> 7).is_multiple_of(3) {
                 let tv = t.delete(k.as_bytes()).unwrap();
@@ -608,7 +663,7 @@ mod tests {
 
     #[test]
     fn oversized_record_rejected() {
-        let mut t = tree();
+        let t = tree();
         let big = vec![0u8; 600];
         assert!(matches!(
             t.insert(b"k", &big),
@@ -621,7 +676,7 @@ mod tests {
 
     #[test]
     fn variable_length_keys() {
-        let mut t = tree();
+        let t = tree();
         let keys: Vec<Vec<u8>> = (0..300)
             .map(|i| {
                 let mut k = vec![b'p'; i % 40];
@@ -640,7 +695,7 @@ mod tests {
 
     #[test]
     fn empty_key_and_value_supported() {
-        let mut t = tree();
+        let t = tree();
         t.insert(b"", b"").unwrap();
         assert_eq!(t.get(b"").unwrap().as_deref(), Some(&b""[..]));
         assert_eq!(t.delete(b"").unwrap().as_deref(), Some(&b""[..]));
@@ -649,9 +704,10 @@ mod tests {
     #[test]
     fn reopen_by_root_page() {
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 64));
-        let mut t = BTree::create(Arc::clone(&pool)).unwrap();
+        let t = BTree::create(Arc::clone(&pool)).unwrap();
         for i in 0..500u32 {
-            t.insert(format!("k{i:05}").as_bytes(), &i.to_le_bytes()).unwrap();
+            t.insert(format!("k{i:05}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         let root = t.root_page();
         drop(t);

@@ -2,9 +2,7 @@
 
 use vist_storage::{PageId, Result, SlottedPage, INVALID_PAGE};
 
-use crate::node::{
-    decode_internal_cell, decode_leaf_cell, kind, link1, link2, NodeKind, NODE_HDR,
-};
+use crate::node::{decode_internal_cell, decode_leaf_cell, kind, link1, link2, NodeKind, NODE_HDR};
 use crate::tree::BTree;
 
 /// Check every B+Tree invariant, returning a description of the first
@@ -119,9 +117,7 @@ fn check_node(
             match leaf_depth {
                 None => *leaf_depth = Some(depth),
                 Some(d) if *d != depth => {
-                    return corrupt(format!(
-                        "leaf {pid} at depth {depth}, expected {d}"
-                    ));
+                    return corrupt(format!("leaf {pid} at depth {depth}, expected {d}"));
                 }
                 _ => {}
             }
@@ -166,7 +162,7 @@ mod tests {
     #[test]
     fn verify_catches_planted_corruption() {
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 64));
-        let mut t = BTree::create(Arc::clone(&pool)).unwrap();
+        let t = BTree::create(Arc::clone(&pool)).unwrap();
         for i in 0..50u32 {
             t.insert(format!("k{i:03}").as_bytes(), b"v").unwrap();
         }

@@ -1,0 +1,88 @@
+//! Concurrency tests for the single-writer / multi-reader B+Tree contract:
+//! readers run `get`/`scan`/`len` while one writer inserts, with no panics
+//! and a post-quiesce state identical to a serial build.
+
+use std::sync::Arc;
+
+use vist_btree::{verify, BTree};
+use vist_storage::{BufferPool, MemPager};
+
+fn key(i: u32) -> Vec<u8> {
+    format!("key{i:06}").into_bytes()
+}
+
+#[test]
+fn readers_survive_concurrent_inserts() {
+    let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 128));
+    let tree = Arc::new(BTree::create(pool).unwrap());
+
+    // Pre-populate so readers always have something to find.
+    const PREFILL: u32 = 500;
+    const EXTRA: u32 = 1500;
+    for i in 0..PREFILL {
+        tree.insert(&key(i), &i.to_le_bytes()).unwrap();
+    }
+
+    std::thread::scope(|s| {
+        let writer = {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                for i in PREFILL..PREFILL + EXTRA {
+                    tree.insert(&key(i), &i.to_le_bytes()).unwrap();
+                }
+            })
+        };
+        for t in 0..6usize {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                for round in 0..400usize {
+                    // Pre-filled keys must always be visible, with the value
+                    // they were created with.
+                    let i = ((t * 131 + round * 17) as u32) % PREFILL;
+                    let got = tree.get(&key(i)).unwrap();
+                    assert_eq!(got.as_deref(), Some(&i.to_le_bytes()[..]), "key {i}");
+                    // Scans over the prefix may or may not see in-flight
+                    // keys but must never error or return garbage.
+                    if round % 32 == 0 {
+                        let mut n = 0u32;
+                        for r in tree.scan(&key(0)[..]..&key(PREFILL + EXTRA)[..]).unwrap() {
+                            r.unwrap();
+                            n += 1;
+                        }
+                        assert!(n >= PREFILL, "scan lost pre-filled keys: {n}");
+                    }
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+
+    // Post-quiesce: exactly the serial result.
+    assert_eq!(tree.len().unwrap(), u64::from(PREFILL + EXTRA));
+    for i in 0..PREFILL + EXTRA {
+        assert_eq!(
+            tree.get(&key(i)).unwrap().as_deref(),
+            Some(&i.to_le_bytes()[..])
+        );
+    }
+    verify::check(&tree).unwrap();
+}
+
+#[test]
+fn concurrent_writers_serialize() {
+    let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 128));
+    let tree = Arc::new(BTree::create(pool).unwrap());
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                for i in 0..300u32 {
+                    let k = format!("w{t}-{i:05}");
+                    tree.insert(k.as_bytes(), &[t as u8]).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(tree.len().unwrap(), 4 * 300);
+    verify::check(&tree).unwrap();
+}

@@ -1,14 +1,32 @@
-//! Property-based tests: the B+Tree must behave exactly like
+//! Randomized differential tests: the B+Tree must behave exactly like
 //! `std::collections::BTreeMap` under arbitrary operation sequences, and its
 //! structural invariants must hold after every batch.
+//!
+//! A seeded splitmix64 generator drives the op sequences, so every run is
+//! deterministic and failures reproduce from the case number.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use vist_btree::{verify, BTree};
 use vist_storage::{BufferPool, FilePager, MemPager};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -18,23 +36,34 @@ enum Op {
     Scan(Vec<u8>, Vec<u8>),
 }
 
-fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
-    // Small alphabet and lengths force heavy key collisions and deep
-    // structure sharing.
-    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..6)
+/// Small alphabet and lengths force heavy key collisions and deep
+/// structure sharing.
+fn random_key(rng: &mut Rng) -> Vec<u8> {
+    let len = rng.below(6);
+    (0..len).map(|_| b"abc"[rng.below(3)]).collect()
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (key_strategy(), proptest::collection::vec(any::<u8>(), 0..20))
-            .prop_map(|(k, v)| Op::Insert(k, v)),
-        2 => key_strategy().prop_map(Op::Delete),
-        1 => key_strategy().prop_map(Op::Get),
-        1 => (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Scan(a, b)),
-    ]
+fn random_value(rng: &mut Rng, max: usize) -> Vec<u8> {
+    let len = rng.below(max);
+    (0..len).map(|_| rng.next() as u8).collect()
 }
 
-fn run_ops(tree: &mut BTree, ops: &[Op]) {
+fn random_ops(rng: &mut Rng, n: usize) -> Vec<Op> {
+    (0..n)
+        .map(|_| match rng.below(7) {
+            0..=2 => {
+                let k = random_key(rng);
+                let v = random_value(rng, 20);
+                Op::Insert(k, v)
+            }
+            3..=4 => Op::Delete(random_key(rng)),
+            5 => Op::Get(random_key(rng)),
+            _ => Op::Scan(random_key(rng), random_key(rng)),
+        })
+        .collect()
+}
+
+fn run_ops(tree: &BTree, ops: &[Op]) {
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
     for (i, op) in ops.iter().enumerate() {
         match op {
@@ -74,46 +103,54 @@ fn run_ops(tree: &mut BTree, ops: &[Op]) {
     assert_eq!(tree.len().unwrap(), model.len() as u64);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn btree_matches_btreemap_mem(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+#[test]
+fn btree_matches_btreemap_mem() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0xB7EE ^ (case << 8));
+        let len = 1 + rng.below(399);
+        let ops = random_ops(&mut rng, len);
         // Tiny pages force frequent splits and multi-level trees.
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(256), 32));
-        let mut tree = BTree::create(pool).unwrap();
-        run_ops(&mut tree, &ops);
+        let tree = BTree::create(pool).unwrap();
+        run_ops(&tree, &ops);
     }
+}
 
-    #[test]
-    fn btree_matches_btreemap_file(ops in proptest::collection::vec(op_strategy(), 1..150)) {
-        let path = std::env::temp_dir().join(format!(
-            "vist-btree-prop-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
+#[test]
+fn btree_matches_btreemap_file() {
+    for case in 0..24u64 {
+        let mut rng = Rng(0xF11E ^ (case << 8));
+        let len = 1 + rng.below(149);
+        let ops = random_ops(&mut rng, len);
+        let path =
+            std::env::temp_dir().join(format!("vist-btree-prop-{}-{case}", std::process::id()));
         {
             let pager = FilePager::create(&path, 256).unwrap();
             let pool = Arc::new(BufferPool::with_capacity(pager, 16));
-            let mut tree = BTree::create(pool).unwrap();
-            run_ops(&mut tree, &ops);
+            let tree = BTree::create(pool).unwrap();
+            run_ops(&tree, &ops);
         }
         let _ = std::fs::remove_file(&path);
     }
+}
 
-    #[test]
-    fn reopen_preserves_contents(kvs in proptest::collection::btree_map(
-        key_strategy(), proptest::collection::vec(any::<u8>(), 0..16), 0..120)) {
-        let path = std::env::temp_dir().join(format!(
-            "vist-btree-reopen-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
+#[test]
+fn reopen_preserves_contents() {
+    for case in 0..16u64 {
+        let mut rng = Rng(0x5EED ^ (case << 8));
+        let mut kvs: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for _ in 0..rng.below(120) {
+            let k = random_key(&mut rng);
+            let v = random_value(&mut rng, 16);
+            kvs.insert(k, v);
+        }
+        let path =
+            std::env::temp_dir().join(format!("vist-btree-reopen-{}-{case}", std::process::id()));
         let root;
         {
             let pager = FilePager::create(&path, 256).unwrap();
             let pool = Arc::new(BufferPool::with_capacity(pager, 16));
-            let mut tree = BTree::create(pool.clone()).unwrap();
+            let tree = BTree::create(pool.clone()).unwrap();
             for (k, v) in &kvs {
                 tree.insert(k, v).unwrap();
             }
@@ -127,7 +164,7 @@ proptest! {
             verify::check(&tree).unwrap();
             let got: Vec<_> = tree.scan(..).unwrap().map(|r| r.unwrap()).collect();
             let want: Vec<_> = kvs.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
         let _ = std::fs::remove_file(&path);
     }

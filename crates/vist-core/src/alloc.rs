@@ -263,7 +263,12 @@ mod tests {
         // With λ=2 and no adaptivity, child k gets 1/2 of the remainder:
         // sizes available/2, available/4, ... (paper Figure 8).
         let alloc = ScopeAllocator::new(2, false, AllocatorKind::NoClues);
-        let mut parent = NodeState { n: 0, size: 1025, next: 1, k: 0 };
+        let mut parent = NodeState {
+            n: 0,
+            size: 1025,
+            next: 1,
+            k: 0,
+        };
         let sizes: Vec<u128> = (0..5)
             .map(|i| match alloc.allocate(&mut parent, None, tag(i), 1) {
                 Allocation::Child { state, .. } => state.size,
@@ -284,7 +289,10 @@ mod tests {
                 _ => break,
             }
         }
-        assert!(fixed_children < 300, "λ=2 must exhaust quickly: {fixed_children}");
+        assert!(
+            fixed_children < 300,
+            "λ=2 must exhaust quickly: {fixed_children}"
+        );
 
         let adaptive = ScopeAllocator::new(2, true, AllocatorKind::NoClues);
         let mut p = root();
@@ -299,9 +307,17 @@ mod tests {
     #[test]
     fn underflow_when_parent_tiny() {
         let alloc = ScopeAllocator::new(2, true, AllocatorKind::NoClues);
-        let mut tiny = NodeState { n: 10, size: 3, next: 11, k: 0 };
+        let mut tiny = NodeState {
+            n: 10,
+            size: 3,
+            next: 11,
+            k: 0,
+        };
         // available = 2: a min_size 5 allocation must underflow.
-        assert_eq!(alloc.allocate(&mut tiny, None, tag(0), 5), Allocation::Underflow);
+        assert_eq!(
+            alloc.allocate(&mut tiny, None, tag(0), 5),
+            Allocation::Underflow
+        );
         // min_size 2 fits exactly (a tight, within-parent underflow).
         match alloc.allocate(&mut tiny, None, tag(0), 2) {
             Allocation::Child { state, tight } => {
@@ -312,7 +328,10 @@ mod tests {
             Allocation::Underflow => panic!(),
         }
         // Nothing left now.
-        assert_eq!(alloc.allocate(&mut tiny, None, tag(1), 1), Allocation::Underflow);
+        assert_eq!(
+            alloc.allocate(&mut tiny, None, tag(1), 1),
+            Allocation::Underflow
+        );
     }
 
     #[test]
@@ -323,7 +342,10 @@ mod tests {
         let mk = |syms: &[u32]| {
             Sequence(
                 syms.iter()
-                    .map(|&s| SeqElem { sym: tag(s), prefix: Prefix::empty() })
+                    .map(|&s| SeqElem {
+                        sym: tag(s),
+                        prefix: Prefix::empty(),
+                    })
                     .collect(),
             )
         };
@@ -345,7 +367,10 @@ mod tests {
             Allocation::Child { state, .. } => state.size,
             Allocation::Underflow => panic!(),
         };
-        assert!(big > small * 2, "p=0.9 child ({big}) should dwarf p=0.1 child ({small})");
+        assert!(
+            big > small * 2,
+            "p=0.9 child ({big}) should dwarf p=0.1 child ({small})"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl fmt::Display for Error {
             Error::Query(e) => write!(f, "{e}"),
             Error::Corrupt(m) => write!(f, "corrupt index: {m}"),
             Error::DocumentsNotStored => {
-                write!(f, "operation requires store_documents=true at index creation")
+                write!(
+                    f,
+                    "operation requires store_documents=true at index creation"
+                )
             }
             Error::NoSuchDocument(id) => write!(f, "no document with id {id}"),
         }
@@ -63,7 +66,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(Error::DocumentsNotStored.to_string().contains("store_documents"));
+        assert!(Error::DocumentsNotStored
+            .to_string()
+            .contains("store_documents"));
         assert!(Error::NoSuchDocument(9).to_string().contains('9'));
         assert!(Error::Corrupt("bad".into()).to_string().contains("bad"));
     }

@@ -156,7 +156,10 @@ mod tests {
     fn naive_finds_paths_branches_wildcards() {
         let mut idx = filled();
         let opts = QueryOptions::default();
-        assert_eq!(idx.query("/p/s/l[text='boston']", &opts).unwrap(), vec![0, 2]);
+        assert_eq!(
+            idx.query("/p/s/l[text='boston']", &opts).unwrap(),
+            vec![0, 2]
+        );
         assert_eq!(
             idx.query("/p[s/l='boston']/b[l='newyork']", &opts).unwrap(),
             vec![0]
@@ -174,7 +177,7 @@ mod tests {
             "<site><reg><item location=\"EU\"><mail><date>d2</date></mail></item></reg></site>",
         ];
         let mut naive = NaiveIndex::default();
-        let mut vist = crate::VistIndex::in_memory(crate::IndexOptions::default()).unwrap();
+        let vist = crate::VistIndex::in_memory(crate::IndexOptions::default()).unwrap();
         for x in xmls {
             naive.insert_document(&parse(x).unwrap());
             vist.insert_xml(x).unwrap();

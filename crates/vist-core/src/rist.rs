@@ -56,9 +56,13 @@ impl RistIndex {
         let mut trie = Trie::new();
         for doc in docs {
             let seq = document_to_sequence(doc, &mut table, &opts.order);
-            let id = store.meta.next_doc;
-            store.meta.next_doc += 1;
-            store.meta.doc_count += 1;
+            let id = {
+                let mut meta = store.meta_mut();
+                let id = meta.next_doc;
+                meta.next_doc += 1;
+                meta.doc_count += 1;
+                id
+            };
             if opts.store_documents {
                 store.doc_put(id, doc.to_xml().as_bytes())?;
             }
@@ -107,20 +111,22 @@ impl RistIndex {
     /// Number of documents indexed.
     #[must_use]
     pub fn doc_count(&self) -> u64 {
-        self.store.meta.doc_count
+        self.store.meta().doc_count
     }
 
     /// Index statistics.
     #[must_use]
     pub fn stats(&self) -> IndexStats {
+        let meta = self.store.meta();
         IndexStats {
-            documents: self.store.meta.doc_count,
-            nodes: self.store.meta.node_count,
-            dkeys: self.store.meta.next_dkey,
+            documents: meta.doc_count,
+            nodes: meta.node_count,
+            dkeys: meta.next_dkey,
             underflows: 0,
             deep_borrows: 0,
             store_bytes: self.store.store_bytes(),
             io: self.store.pool().stats(),
+            pool: self.store.pool().pool_stats(),
         }
     }
 
@@ -202,7 +208,7 @@ mod tests {
         ];
         let parsed = docs(&xmls);
         let mut rist = RistIndex::build_in_memory(&parsed, IndexOptions::default()).unwrap();
-        let mut vist = crate::VistIndex::in_memory(IndexOptions::default()).unwrap();
+        let vist = crate::VistIndex::in_memory(IndexOptions::default()).unwrap();
         for x in &xmls {
             vist.insert_xml(x).unwrap();
         }

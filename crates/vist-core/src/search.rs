@@ -151,7 +151,16 @@ fn step(
             return Ok(());
         };
         return descend(
-            store, qseq, qi, prev_n, prev_end, prefix_syms, dkid, ctx, out, stats,
+            store,
+            qseq,
+            qi,
+            prev_n,
+            prev_end,
+            prefix_syms,
+            dkid,
+            ctx,
+            out,
+            stats,
         );
     }
 
@@ -183,7 +192,16 @@ fn step(
     };
     for (prefix_syms, dkid) in candidates {
         descend(
-            store, qseq, qi, prev_n, prev_end, prefix_syms, dkid, ctx, out, stats,
+            store,
+            qseq,
+            qi,
+            prev_n,
+            prev_end,
+            prefix_syms,
+            dkid,
+            ctx,
+            out,
+            stats,
         )?;
     }
     Ok(())

@@ -1,9 +1,9 @@
 //! Index-level statistics, reported by the Figure 11 experiments.
 
-use vist_storage::IoStats;
+use vist_storage::{IoStats, PoolStats};
 
 /// A snapshot of an index's size and health counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexStats {
     /// Live documents.
     pub documents: u64,
@@ -20,6 +20,9 @@ pub struct IndexStats {
     pub store_bytes: u64,
     /// Cumulative I/O counters of the shared buffer pool.
     pub io: IoStats,
+    /// Per-shard buffer-pool counters (hits, uncontended hits, misses,
+    /// write-backs for each lock stripe).
+    pub pool: PoolStats,
 }
 
 #[cfg(test)]
@@ -36,8 +39,9 @@ mod tests {
             deep_borrows: 0,
             store_bytes: 4096,
             io: IoStats::default(),
+            pool: PoolStats::default(),
         };
-        let s2 = s;
+        let s2 = s.clone();
         assert_eq!(s, s2);
     }
 }

@@ -12,10 +12,12 @@
 //! The *meta page* (the first page allocated) persists tree roots and
 //! counters so the index can be reopened.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use vist_btree::{codec::KeyWriter, BTree};
 use vist_seq::{SiblingOrder, SymbolTable};
+use vist_storage::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use vist_storage::{BufferPool, PageId};
 
 use crate::error::{Error, Result};
@@ -116,10 +118,11 @@ pub struct Store {
     pub edges: BTree,
     /// Symbol table / order / documents.
     pub aux: BTree,
-    /// Counters.
-    pub meta: Meta,
+    /// Counters, behind a lock so mutators can take `&self` (see
+    /// [`Store::meta`] / [`Store::meta_mut`]).
+    meta: RwLock<Meta>,
     meta_page: PageId,
-    persisted_symbols: usize,
+    persisted_symbols: AtomicUsize,
 }
 
 // aux key tags
@@ -142,16 +145,16 @@ impl Store {
         let docid = BTree::create(Arc::clone(&pool))?;
         let edges = BTree::create(Arc::clone(&pool))?;
         let aux = BTree::create(Arc::clone(&pool))?;
-        let mut store = Store {
+        let store = Store {
             pool,
             dancestor,
             sancestor,
             docid,
             edges,
             aux,
-            meta: Meta::fresh(lambda, adaptive, store_documents),
+            meta: RwLock::new(Meta::fresh(lambda, adaptive, store_documents)),
             meta_page,
-            persisted_symbols: 0,
+            persisted_symbols: AtomicUsize::new(0),
         };
         store.write_meta()?;
         Ok(store)
@@ -159,7 +162,10 @@ impl Store {
 
     /// Reopen a store previously flushed to `pool`'s backing file. Returns
     /// the store plus the persisted symbol table and sibling order.
-    pub fn open(pool: Arc<BufferPool>, meta_page: PageId) -> Result<(Self, SymbolTable, SiblingOrder)> {
+    pub fn open(
+        pool: Arc<BufferPool>,
+        meta_page: PageId,
+    ) -> Result<(Self, SymbolTable, SiblingOrder)> {
         let page = pool.fetch(meta_page)?;
         let buf = page.data();
         if &buf[0..8] != MAGIC {
@@ -193,23 +199,38 @@ impl Store {
         let docid = BTree::open(Arc::clone(&pool), roots[2])?;
         let edges = BTree::open(Arc::clone(&pool), roots[3])?;
         let aux = BTree::open(Arc::clone(&pool), roots[4])?;
-        let mut store = Store {
+        let store = Store {
             pool,
             dancestor,
             sancestor,
             docid,
             edges,
             aux,
-            meta,
+            meta: RwLock::new(meta),
             meta_page,
-            persisted_symbols: 0,
+            persisted_symbols: AtomicUsize::new(0),
         };
         let (table, order) = store.load_table_and_order()?;
-        store.persisted_symbols = table.len();
+        store
+            .persisted_symbols
+            .store(table.len(), Ordering::Relaxed);
         Ok((store, table, order))
     }
 
-    fn write_meta(&mut self) -> Result<()> {
+    /// Shared view of the persisted counters.
+    pub fn meta(&self) -> RwLockReadGuard<'_, Meta> {
+        self.meta.read()
+    }
+
+    /// Exclusive view of the persisted counters. Callers must be serialized
+    /// by the index writer lock; do not hold the guard across B+Tree calls
+    /// that themselves take `meta_mut`.
+    pub fn meta_mut(&self) -> RwLockWriteGuard<'_, Meta> {
+        self.meta.write()
+    }
+
+    fn write_meta(&self) -> Result<()> {
+        let meta = self.meta.read();
         let mut page = self.pool.fetch_mut(self.meta_page)?;
         let buf = page.data_mut();
         buf[0..8].copy_from_slice(MAGIC);
@@ -223,31 +244,31 @@ impl Store {
         for (i, r) in roots.iter().enumerate() {
             buf[8 + 4 * i..12 + 4 * i].copy_from_slice(&r.to_le_bytes());
         }
-        buf[28..36].copy_from_slice(&self.meta.next_dkey.to_le_bytes());
-        buf[36..44].copy_from_slice(&self.meta.next_doc.to_le_bytes());
-        buf[44..60].copy_from_slice(&self.meta.root.next.to_le_bytes());
-        buf[60..68].copy_from_slice(&self.meta.root.k.to_le_bytes());
-        buf[68..76].copy_from_slice(&self.meta.lambda.to_le_bytes());
-        buf[76] = u8::from(self.meta.adaptive);
-        buf[77] = u8::from(self.meta.store_documents);
-        buf[78..86].copy_from_slice(&self.meta.underflows.to_le_bytes());
-        buf[86..94].copy_from_slice(&self.meta.deep_borrows.to_le_bytes());
-        buf[94..102].copy_from_slice(&self.meta.doc_count.to_le_bytes());
-        buf[102..110].copy_from_slice(&self.meta.node_count.to_le_bytes());
+        buf[28..36].copy_from_slice(&meta.next_dkey.to_le_bytes());
+        buf[36..44].copy_from_slice(&meta.next_doc.to_le_bytes());
+        buf[44..60].copy_from_slice(&meta.root.next.to_le_bytes());
+        buf[60..68].copy_from_slice(&meta.root.k.to_le_bytes());
+        buf[68..76].copy_from_slice(&meta.lambda.to_le_bytes());
+        buf[76] = u8::from(meta.adaptive);
+        buf[77] = u8::from(meta.store_documents);
+        buf[78..86].copy_from_slice(&meta.underflows.to_le_bytes());
+        buf[86..94].copy_from_slice(&meta.deep_borrows.to_le_bytes());
+        buf[94..102].copy_from_slice(&meta.doc_count.to_le_bytes());
+        buf[102..110].copy_from_slice(&meta.node_count.to_le_bytes());
         Ok(())
     }
 
     /// Persist counters, tree roots, new symbols, and the sibling order, then
     /// flush the pool to the backing store.
-    pub fn flush(&mut self, table: &SymbolTable, order: &SiblingOrder) -> Result<()> {
+    pub fn flush(&self, table: &SymbolTable, order: &SiblingOrder) -> Result<()> {
         // Append newly interned symbols.
-        for id in self.persisted_symbols..table.len() {
+        for id in self.persisted_symbols.load(Ordering::Relaxed)..table.len() {
             let sym = vist_seq::Symbol(id as u32);
             let mut k = KeyWriter::new();
             k.u8(AUX_SYMBOL).u32(id as u32);
             self.aux.insert(k.as_slice(), table.name(sym).as_bytes())?;
         }
-        self.persisted_symbols = table.len();
+        self.persisted_symbols.store(table.len(), Ordering::Relaxed);
         // Order (rewritten each flush; small).
         if let SiblingOrder::Dtd(names) = order {
             for (i, n) in names.iter().enumerate() {
@@ -265,8 +286,8 @@ impl Store {
         let mut table = SymbolTable::new();
         for item in self.aux.scan_prefix(&[AUX_SYMBOL])? {
             let (_, v) = item?;
-            let name = String::from_utf8(v)
-                .map_err(|_| Error::Corrupt("non-UTF8 symbol name".into()))?;
+            let name =
+                String::from_utf8(v).map_err(|_| Error::Corrupt("non-UTF8 symbol name".into()))?;
             table.intern(&name);
         }
         let mut dtd = Vec::new();
@@ -300,13 +321,18 @@ impl Store {
             .map(|v| u64::from_le_bytes(v.try_into().expect("dkey id width"))))
     }
 
-    /// Look up or allocate the id of a D-Ancestor key.
-    pub fn dkey_get_or_create(&mut self, dkey: &[u8]) -> Result<u64> {
+    /// Look up or allocate the id of a D-Ancestor key. Callers must be
+    /// serialized by the index writer lock (ids would race otherwise).
+    pub fn dkey_get_or_create(&self, dkey: &[u8]) -> Result<u64> {
         if let Some(id) = self.dkey_get(dkey)? {
             return Ok(id);
         }
-        let id = self.meta.next_dkey;
-        self.meta.next_dkey += 1;
+        let id = {
+            let mut meta = self.meta.write();
+            let id = meta.next_dkey;
+            meta.next_dkey += 1;
+            id
+        };
         self.dancestor.insert(dkey, &id.to_le_bytes())?;
         Ok(id)
     }
@@ -355,7 +381,7 @@ impl Store {
     }
 
     /// Write a node's allocation state.
-    pub fn node_put(&mut self, dkey_id: u64, state: &NodeState) -> Result<()> {
+    pub fn node_put(&self, dkey_id: u64, state: &NodeState) -> Result<()> {
         self.sancestor
             .insert(&Self::sanc_key(dkey_id, state.n), &Self::encode_node(state))?;
         Ok(())
@@ -395,7 +421,7 @@ impl Store {
     }
 
     /// Record the immediate child of `parent_n` for `dkey_id`.
-    pub fn edge_put(&mut self, parent_n: u128, dkey_id: u64, child_n: u128) -> Result<()> {
+    pub fn edge_put(&self, parent_n: u128, dkey_id: u64, child_n: u128) -> Result<()> {
         self.edges
             .insert(&Self::edge_key(parent_n, dkey_id), &child_n.to_le_bytes())?;
         Ok(())
@@ -410,13 +436,13 @@ impl Store {
     }
 
     /// Attach a document id to node `n`.
-    pub fn docid_put(&mut self, n: u128, doc: DocId) -> Result<()> {
+    pub fn docid_put(&self, n: u128, doc: DocId) -> Result<()> {
         self.docid.insert(&Self::docid_key(n, doc), &[])?;
         Ok(())
     }
 
     /// Detach a document id from node `n`; returns whether it was present.
-    pub fn docid_delete(&mut self, n: u128, doc: DocId) -> Result<bool> {
+    pub fn docid_delete(&self, n: u128, doc: DocId) -> Result<bool> {
         Ok(self.docid.delete(&Self::docid_key(n, doc))?.is_some())
     }
 
@@ -442,10 +468,11 @@ impl Store {
     }
 
     /// Store a document's XML text (chunked to fit pages).
-    pub fn doc_put(&mut self, doc: DocId, xml: &[u8]) -> Result<()> {
+    pub fn doc_put(&self, doc: DocId, xml: &[u8]) -> Result<()> {
         let chunk_size = self.aux.max_record() - 16;
         for (i, chunk) in xml.chunks(chunk_size.max(1)).enumerate() {
-            self.aux.insert(&Self::doc_chunk_key(doc, i as u32), chunk)?;
+            self.aux
+                .insert(&Self::doc_chunk_key(doc, i as u32), chunk)?;
         }
         // Empty documents still need a presence marker.
         if xml.is_empty() {
@@ -469,7 +496,7 @@ impl Store {
     }
 
     /// Remove a stored document's XML text; returns whether it existed.
-    pub fn doc_remove(&mut self, doc: DocId) -> Result<bool> {
+    pub fn doc_remove(&self, doc: DocId) -> Result<bool> {
         let mut prefix = KeyWriter::with_capacity(9);
         prefix.u8(AUX_DOC).u64(doc);
         let keys: Vec<Vec<u8>> = self
@@ -508,7 +535,10 @@ impl Store {
     /// Entries are sorted internally; ids must be unique per key.
     pub fn bulk_load_dkeys(&mut self, mut entries: Vec<(Vec<u8>, u64)>) -> Result<()> {
         entries.sort_by(|a, b| a.0.cmp(&b.0));
-        self.meta.next_dkey = self.meta.next_dkey.max(entries.len() as u64);
+        {
+            let mut meta = self.meta.write();
+            meta.next_dkey = meta.next_dkey.max(entries.len() as u64);
+        }
         let items = entries
             .into_iter()
             .map(|(k, id)| (k, id.to_le_bytes().to_vec()));
@@ -521,14 +551,9 @@ impl Store {
         nodes.sort_by_key(|(dkid, st)| (*dkid, st.n));
         let items: Vec<(Vec<u8>, Vec<u8>)> = nodes
             .into_iter()
-            .map(|(dkid, st)| {
-                (
-                    Self::sanc_key(dkid, st.n),
-                    Self::encode_node(&st).to_vec(),
-                )
-            })
+            .map(|(dkid, st)| (Self::sanc_key(dkid, st.n), Self::encode_node(&st).to_vec()))
             .collect();
-        self.meta.node_count = items.len() as u64;
+        self.meta.write().node_count = items.len() as u64;
         self.sancestor = BTree::bulk_load(Arc::clone(&self.pool), items)?;
         Ok(())
     }
@@ -545,7 +570,7 @@ impl Store {
     }
 
     /// Persist a statistics model (allocation clues) so it survives reopen.
-    pub fn save_stats_model(&mut self, model: &crate::alloc::StatsModel) -> Result<()> {
+    pub fn save_stats_model(&self, model: &crate::alloc::StatsModel) -> Result<()> {
         for (cur, next, p) in model.to_triples() {
             let mut k = vec![AUX_STATS];
             k.extend_from_slice(&cur.encode());
@@ -622,7 +647,7 @@ mod tests {
 
     #[test]
     fn dkey_ids_are_stable_and_dense() {
-        let mut s = mem_store();
+        let s = mem_store();
         let a = s.dkey_get_or_create(b"alpha").unwrap();
         let b = s.dkey_get_or_create(b"beta").unwrap();
         assert_eq!((a, b), (0, 1));
@@ -632,14 +657,28 @@ mod tests {
 
     #[test]
     fn node_state_roundtrip_and_scope_scan() {
-        let mut s = mem_store();
+        let s = mem_store();
         let id = s.dkey_get_or_create(b"k").unwrap();
         for n in [10u128, 20, 30] {
-            s.node_put(id, &NodeState { n, size: 5, next: n + 1, k: 0 }).unwrap();
+            s.node_put(
+                id,
+                &NodeState {
+                    n,
+                    size: 5,
+                    next: n + 1,
+                    k: 0,
+                },
+            )
+            .unwrap();
         }
         assert_eq!(
             s.node_get(id, 20).unwrap(),
-            Some(NodeState { n: 20, size: 5, next: 21, k: 0 })
+            Some(NodeState {
+                n: 20,
+                size: 5,
+                next: 21,
+                k: 0
+            })
         );
         assert_eq!(s.node_get(id, 21).unwrap(), None);
         // (10, 30) exclusive: only n=20.
@@ -653,7 +692,7 @@ mod tests {
 
     #[test]
     fn docid_range_queries() {
-        let mut s = mem_store();
+        let s = mem_store();
         s.docid_put(100, 1).unwrap();
         s.docid_put(100, 2).unwrap();
         s.docid_put(150, 3).unwrap();
@@ -668,7 +707,7 @@ mod tests {
 
     #[test]
     fn edges_navigation() {
-        let mut s = mem_store();
+        let s = mem_store();
         s.edge_put(0, 7, 42).unwrap();
         assert_eq!(s.edge_get(0, 7).unwrap(), Some(42));
         assert_eq!(s.edge_get(0, 8).unwrap(), None);
@@ -677,7 +716,7 @@ mod tests {
 
     #[test]
     fn documents_chunked_roundtrip() {
-        let mut s = mem_store();
+        let s = mem_store();
         let small = b"<a/>".to_vec();
         let big = vec![b'x'; 20_000]; // spans many chunks
         s.doc_put(1, &small).unwrap();
@@ -698,33 +737,48 @@ mod tests {
         {
             let pager = FilePager::create(&path, 4096).unwrap();
             let pool = Arc::new(BufferPool::with_capacity(pager, 64));
-            let mut s = Store::create(pool, 3, true, true).unwrap();
+            let s = Store::create(pool, 3, true, true).unwrap();
             meta_page = 1; // first allocation in a FilePager
             let id = s.dkey_get_or_create(b"key1").unwrap();
-            s.node_put(id, &NodeState { n: 5, size: 100, next: 6, k: 2 }).unwrap();
+            s.node_put(
+                id,
+                &NodeState {
+                    n: 5,
+                    size: 100,
+                    next: 6,
+                    k: 2,
+                },
+            )
+            .unwrap();
             s.docid_put(5, 77).unwrap();
             s.doc_put(77, b"<x/>").unwrap();
-            s.meta.next_doc = 78;
-            s.meta.doc_count = 1;
+            s.meta_mut().next_doc = 78;
+            s.meta_mut().doc_count = 1;
             let mut table = SymbolTable::new();
             table.intern("purchase");
             table.intern("seller");
-            s.flush(&table, &SiblingOrder::Dtd(vec!["purchase".into()])).unwrap();
+            s.flush(&table, &SiblingOrder::Dtd(vec!["purchase".into()]))
+                .unwrap();
         }
         {
             let pager = FilePager::open(&path).unwrap();
             let pool = Arc::new(BufferPool::with_capacity(pager, 64));
             let (s, table, order) = Store::open(pool, meta_page).unwrap();
-            assert_eq!(s.meta.lambda, 3);
-            assert_eq!(s.meta.next_doc, 78);
-            assert_eq!(s.meta.doc_count, 1);
+            assert_eq!(s.meta().lambda, 3);
+            assert_eq!(s.meta().next_doc, 78);
+            assert_eq!(s.meta().doc_count, 1);
             assert_eq!(table.len(), 2);
             assert!(table.lookup("seller").is_some());
             assert!(matches!(order, SiblingOrder::Dtd(v) if v == vec!["purchase".to_string()]));
             let id = s.dkey_get(b"key1").unwrap().unwrap();
             assert_eq!(
                 s.node_get(id, 5).unwrap(),
-                Some(NodeState { n: 5, size: 100, next: 6, k: 2 })
+                Some(NodeState {
+                    n: 5,
+                    size: 100,
+                    next: 6,
+                    k: 2
+                })
             );
             assert_eq!(s.docids_in_range(5, 6).unwrap(), vec![77]);
             assert_eq!(s.doc_get(77).unwrap(), Some(b"<x/>".to_vec()));
@@ -735,13 +789,22 @@ mod tests {
     #[test]
     fn bulk_loaders_match_incremental_writes() {
         // Incrementally-built store.
-        let mut a = mem_store();
+        let a = mem_store();
         let keys = [b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()];
         for k in &keys {
             a.dkey_get_or_create(k).unwrap();
         }
         for (i, n) in [(0u64, 10u128), (0, 20), (1, 15)] {
-            a.node_put(i, &NodeState { n, size: 5, next: n + 1, k: 0 }).unwrap();
+            a.node_put(
+                i,
+                &NodeState {
+                    n,
+                    size: 5,
+                    next: n + 1,
+                    k: 0,
+                },
+            )
+            .unwrap();
         }
         a.docid_put(10, 1).unwrap();
         a.docid_put(15, 2).unwrap();
@@ -755,9 +818,33 @@ mod tests {
         ])
         .unwrap();
         b.bulk_load_nodes(vec![
-            (1, NodeState { n: 15, size: 5, next: 16, k: 0 }),
-            (0, NodeState { n: 20, size: 5, next: 21, k: 0 }),
-            (0, NodeState { n: 10, size: 5, next: 11, k: 0 }),
+            (
+                1,
+                NodeState {
+                    n: 15,
+                    size: 5,
+                    next: 16,
+                    k: 0,
+                },
+            ),
+            (
+                0,
+                NodeState {
+                    n: 20,
+                    size: 5,
+                    next: 21,
+                    k: 0,
+                },
+            ),
+            (
+                0,
+                NodeState {
+                    n: 10,
+                    size: 5,
+                    next: 11,
+                    k: 0,
+                },
+            ),
         ])
         .unwrap();
         b.bulk_load_docids(vec![(15, 2), (10, 1)]).unwrap();
@@ -772,17 +859,17 @@ mod tests {
             a.docids_in_range(0, 100).unwrap(),
             b.docids_in_range(0, 100).unwrap()
         );
-        assert_eq!(a.nodes_in_scope(0, 0, 100).unwrap(), b.nodes_in_scope(0, 0, 100).unwrap());
-        assert_eq!(b.meta.node_count, 3);
+        assert_eq!(
+            a.nodes_in_scope(0, 0, 100).unwrap(),
+            b.nodes_in_scope(0, 0, 100).unwrap()
+        );
+        assert_eq!(b.meta().node_count, 3);
     }
 
     #[test]
     fn open_rejects_garbage_meta() {
         let pool = Arc::new(BufferPool::with_capacity(MemPager::new(4096), 16));
         let pid = pool.allocate().unwrap();
-        assert!(matches!(
-            Store::open(pool, pid),
-            Err(Error::Corrupt(_))
-        ));
+        assert!(matches!(Store::open(pool, pid), Err(Error::Corrupt(_))));
     }
 }

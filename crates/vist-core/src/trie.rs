@@ -139,11 +139,7 @@ mod tests {
     use vist_xml::parse;
 
     fn seq(xml: &str, table: &mut SymbolTable) -> Sequence {
-        document_to_sequence(
-            &parse(xml).unwrap(),
-            table,
-            &SiblingOrder::Lexicographic,
-        )
+        document_to_sequence(&parse(xml).unwrap(), table, &SiblingOrder::Lexicographic)
     }
 
     #[test]

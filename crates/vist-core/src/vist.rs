@@ -1,12 +1,25 @@
 //! [`VistIndex`]: the paper's main contribution — the dynamically labeled,
 //! fully B+Tree-resident index (Algorithms 2–4).
+//!
+//! # Concurrency
+//!
+//! The index is single-writer / multi-reader behind a uniform `&self` API:
+//! share it as `Arc<VistIndex>` and call [`VistIndex::query`] from any
+//! number of threads while one thread runs [`VistIndex::insert_xml`] (and
+//! friends). Writers serialize on an internal lock; queries never block
+//! other queries. [`VistIndex::remove_document`] is *maintenance*: it frees
+//! B+Tree pages and therefore briefly excludes queries via an internal
+//! read-write latch. See `docs/CONCURRENCY.md` for the full lock hierarchy.
 
 use std::collections::BTreeSet;
 use std::path::Path;
 use std::sync::Arc;
 
-use vist_query::{matches_document, parse_query, translate, try_translate, Pattern, TranslateOptions};
+use vist_query::{
+    matches_document, parse_query, translate, try_translate, Pattern, TranslateOptions,
+};
 use vist_seq::{dkey, document_to_sequence, Sequence, SiblingOrder, Sym, SymbolTable};
+use vist_storage::sync::{Mutex, RwLock};
 use vist_storage::{BufferPool, FilePager, MemPager, PageId};
 use vist_xml::Document;
 
@@ -90,12 +103,21 @@ pub struct QueryResult {
 
 /// The ViST index.
 ///
-/// See the crate docs for an end-to-end example.
+/// See the crate docs for an end-to-end example, and the module docs for
+/// the concurrency contract (`Arc<VistIndex>` + `&self` everywhere).
 pub struct VistIndex {
     store: Store,
-    table: SymbolTable,
+    /// Symbol table shared by data and queries. Writers intern new names
+    /// under the write lock; queries translate under the read lock.
+    table: RwLock<SymbolTable>,
     order: SiblingOrder,
-    alloc: ScopeAllocator,
+    alloc: Mutex<ScopeAllocator>,
+    /// Serializes all mutations (inserts, removes, flushes). Top of the
+    /// lock hierarchy: writer → maintenance → table → (btree/pool locks).
+    writer: Mutex<()>,
+    /// Readers hold this shared; `remove_document` holds it exclusively
+    /// because B+Tree deletion frees pages and is not reader-safe.
+    maintenance: RwLock<()>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -141,9 +163,15 @@ impl VistIndex {
         let store = Store::create(pool, opts.lambda, opts.adaptive, opts.store_documents)?;
         Ok(VistIndex {
             store,
-            table: SymbolTable::new(),
+            table: RwLock::new(SymbolTable::new()),
             order: opts.order,
-            alloc: ScopeAllocator::new(opts.lambda, opts.adaptive, opts.allocator),
+            alloc: Mutex::new(ScopeAllocator::new(
+                opts.lambda,
+                opts.adaptive,
+                opts.allocator,
+            )),
+            writer: Mutex::new(()),
+            maintenance: RwLock::new(()),
         })
     }
 
@@ -160,25 +188,35 @@ impl VistIndex {
             Some(model) => AllocatorKind::WithClues(model),
             None => AllocatorKind::NoClues,
         };
-        let alloc = ScopeAllocator::new(store.meta.lambda, store.meta.adaptive, kind);
+        let (lambda, adaptive) = {
+            let meta = store.meta();
+            (meta.lambda, meta.adaptive)
+        };
+        let alloc = ScopeAllocator::new(lambda, adaptive, kind);
         Ok(VistIndex {
             store,
-            table,
+            table: RwLock::new(table),
             order,
-            alloc,
+            alloc: Mutex::new(alloc),
+            writer: Mutex::new(()),
+            maintenance: RwLock::new(()),
         })
     }
 
     /// Replace the scope-allocation policy (e.g. re-supply clues after
     /// reopening).
-    pub fn set_allocator(&mut self, kind: AllocatorKind) {
-        self.alloc = ScopeAllocator::new(self.store.meta.lambda, self.store.meta.adaptive, kind);
+    pub fn set_allocator(&self, kind: AllocatorKind) {
+        let (lambda, adaptive) = {
+            let meta = self.store.meta();
+            (meta.lambda, meta.adaptive)
+        };
+        *self.alloc.lock() = ScopeAllocator::new(lambda, adaptive, kind);
     }
 
-    /// The symbol table shared by data and queries.
+    /// A snapshot of the symbol table shared by data and queries.
     #[must_use]
-    pub fn table(&self) -> &SymbolTable {
-        &self.table
+    pub fn table(&self) -> SymbolTable {
+        self.table.read().clone()
     }
 
     /// The sibling order used for sequence conversion.
@@ -196,45 +234,51 @@ impl VistIndex {
     /// Number of live documents.
     #[must_use]
     pub fn doc_count(&self) -> u64 {
-        self.store.meta.doc_count
+        self.store.meta().doc_count
     }
 
-    /// Index statistics (sizes, underflow counters, I/O).
+    /// Index statistics (sizes, underflow counters, I/O, per-shard pool
+    /// counters).
     #[must_use]
     pub fn stats(&self) -> IndexStats {
+        let meta = self.store.meta();
         IndexStats {
-            documents: self.store.meta.doc_count,
-            nodes: self.store.meta.node_count,
-            dkeys: self.store.meta.next_dkey,
-            underflows: self.store.meta.underflows,
-            deep_borrows: self.store.meta.deep_borrows,
+            documents: meta.doc_count,
+            nodes: meta.node_count,
+            dkeys: meta.next_dkey,
+            underflows: meta.underflows,
+            deep_borrows: meta.deep_borrows,
             store_bytes: self.store.store_bytes(),
             io: self.store.pool().stats(),
+            pool: self.store.pool().pool_stats(),
         }
     }
 
     /// Persist meta state and flush dirty pages to the backing store. A
     /// `WithClues` allocator's statistics model is persisted too, so it is
     /// restored by [`VistIndex::open_file`].
-    pub fn flush(&mut self) -> Result<()> {
-        if let AllocatorKind::WithClues(model) = &self.alloc.kind {
-            let model = model.clone();
+    pub fn flush(&self) -> Result<()> {
+        let _w = self.writer.lock();
+        let model = match &self.alloc.lock().kind {
+            AllocatorKind::WithClues(model) => Some(model.clone()),
+            AllocatorKind::NoClues => None,
+        };
+        if let Some(model) = model {
             self.store.save_stats_model(&model)?;
         }
-        let table = self.table.clone();
-        let order = self.order.clone();
-        self.store.flush(&table, &order)?;
+        let table = self.table.read().clone();
+        self.store.flush(&table, &self.order)?;
         Ok(())
     }
 
     /// Parse and insert an XML document, returning its id.
-    pub fn insert_xml(&mut self, xml: &str) -> Result<DocId> {
+    pub fn insert_xml(&self, xml: &str) -> Result<DocId> {
         let doc = vist_xml::parse(xml).map_err(|e| Error::Corrupt(format!("bad XML: {e}")))?;
         self.insert_document_impl(&doc, Some(xml))
     }
 
     /// Insert a parsed document (Algorithm 4), returning its id.
-    pub fn insert_document(&mut self, doc: &Document) -> Result<DocId> {
+    pub fn insert_document(&self, doc: &Document) -> Result<DocId> {
         self.insert_document_impl(doc, None)
     }
 
@@ -244,7 +288,7 @@ impl VistIndex {
     /// tree structure into a set of sub structures ... and convert each
     /// instance of these sub structures into a structure-encoded
     /// sequence"). The container is never materialized.
-    pub fn insert_records(&mut self, xml: &str, record_names: &[&str]) -> Result<Vec<DocId>> {
+    pub fn insert_records(&self, xml: &str, record_names: &[&str]) -> Result<Vec<DocId>> {
         let mut ids = Vec::new();
         for rec in vist_xml::RecordSplitter::new(xml, record_names) {
             let doc = rec.map_err(|e| Error::Corrupt(format!("bad XML: {e}")))?;
@@ -253,10 +297,14 @@ impl VistIndex {
         Ok(ids)
     }
 
-    fn insert_document_impl(&mut self, doc: &Document, raw: Option<&str>) -> Result<DocId> {
-        let seq = document_to_sequence(doc, &mut self.table, &self.order);
+    fn insert_document_impl(&self, doc: &Document, raw: Option<&str>) -> Result<DocId> {
+        let _w = self.writer.lock();
+        let seq = {
+            let mut table = self.table.write();
+            document_to_sequence(doc, &mut table, &self.order)
+        };
         let xml_owned;
-        let xml: Option<&str> = if self.store.meta.store_documents {
+        let xml: Option<&str> = if self.store.meta().store_documents {
             Some(match raw {
                 Some(r) => r,
                 None => {
@@ -267,16 +315,26 @@ impl VistIndex {
         } else {
             None
         };
-        self.insert_sequence(&seq, xml)
+        self.insert_sequence_locked(&seq, xml)
     }
 
     /// Insert a pre-converted structure-encoded sequence. `xml` is stored
     /// for verification/deletion when document storage is enabled.
-    pub fn insert_sequence(&mut self, seq: &Sequence, xml: Option<&str>) -> Result<DocId> {
-        let doc_id = self.store.meta.next_doc;
-        self.store.meta.next_doc += 1;
-        self.store.meta.doc_count += 1;
-        if self.store.meta.store_documents {
+    pub fn insert_sequence(&self, seq: &Sequence, xml: Option<&str>) -> Result<DocId> {
+        let _w = self.writer.lock();
+        self.insert_sequence_locked(seq, xml)
+    }
+
+    /// Core of Algorithm 4. Caller must hold `self.writer`.
+    fn insert_sequence_locked(&self, seq: &Sequence, xml: Option<&str>) -> Result<DocId> {
+        let (doc_id, store_documents, root_state) = {
+            let mut meta = self.store.meta_mut();
+            let id = meta.next_doc;
+            meta.next_doc += 1;
+            meta.doc_count += 1;
+            (id, meta.store_documents, meta.root)
+        };
+        if store_documents {
             self.store.doc_put(doc_id, xml.unwrap_or("").as_bytes())?;
         }
 
@@ -284,7 +342,7 @@ impl VistIndex {
         let mut chain: Vec<ChainEntry> = vec![ChainEntry {
             loc: Loc::Root,
             head_n: 0,
-            state: self.store.meta.root,
+            state: root_state,
             sym: None,
         }];
         for (i, elem) in seq.iter().enumerate() {
@@ -319,10 +377,14 @@ impl VistIndex {
             let rem = (n - i) as u128;
             let parent_sym = chain.last().expect("non-empty").sym;
             let mut pstate = chain.last().expect("non-empty").state;
-            match self.alloc.allocate(&mut pstate, parent_sym, elem.sym, rem) {
+            let allocation = self
+                .alloc
+                .lock()
+                .allocate(&mut pstate, parent_sym, elem.sym, rem);
+            match allocation {
                 Allocation::Child { state, tight } => {
                     if tight {
-                        self.store.meta.underflows += 1;
+                        self.store.meta_mut().underflows += 1;
                     }
                     let parent_inc_n = chain.last().expect("non-empty").state.n;
                     let ploc = chain.last().expect("non-empty").loc;
@@ -330,7 +392,7 @@ impl VistIndex {
                     chain.last_mut().expect("non-empty").state = pstate;
                     self.store.node_put(dkid, &state)?;
                     self.store.edge_put(parent_inc_n, dkid, state.n)?;
-                    self.store.meta.node_count += 1;
+                    self.store.meta_mut().node_count += 1;
                     chain.push(ChainEntry {
                         loc: Loc::Node(dkid),
                         head_n: state.n,
@@ -380,7 +442,7 @@ impl VistIndex {
     /// all S-Ancestor entries of a D-Ancestor key, queries find incarnations
     /// with no changes. The `deep_borrows` counter tallies these events.
     fn grow_and_insert_tail(
-        &mut self,
+        &self,
         chain: &mut [ChainEntry],
         tail: &[vist_seq::SeqElem],
     ) -> Result<u128> {
@@ -393,7 +455,7 @@ impl VistIndex {
                 chain[j].state.available() >= levels + rem
             })
             .ok_or_else(|| Error::Corrupt("virtual suffix tree label space exhausted".into()))?;
-        self.store.meta.deep_borrows += 1;
+        self.store.meta_mut().deep_borrows += 1;
         let levels = (chain.len() - 1 - donor) as u128;
         let needed = levels + rem;
         let block = chain[donor].state.next;
@@ -443,7 +505,7 @@ impl VistIndex {
             };
             self.store.node_put(dkid, &state)?;
             self.store.edge_put(prev_n, dkid, state.n)?;
-            self.store.meta.node_count += 1;
+            self.store.meta_mut().node_count += 1;
             prev_n = state.n;
             last_n = state.n;
             off += 1;
@@ -451,10 +513,10 @@ impl VistIndex {
         Ok(last_n)
     }
 
-    fn write_state(&mut self, loc: Loc, state: &NodeState) -> Result<()> {
+    fn write_state(&self, loc: Loc, state: &NodeState) -> Result<()> {
         match loc {
             Loc::Root => {
-                self.store.meta.root = *state;
+                self.store.meta_mut().root = *state;
                 Ok(())
             }
             Loc::Node(dkid) => self.store.node_put(dkid, state),
@@ -464,8 +526,14 @@ impl VistIndex {
     /// Remove a document (requires stored documents). The document's id
     /// disappears from all query results; shared trie nodes remain, as in
     /// the paper's design (rebuild to reclaim space).
-    pub fn remove_document(&mut self, doc_id: DocId) -> Result<()> {
-        if !self.store.meta.store_documents {
+    ///
+    /// This is a *maintenance* operation: B+Tree deletion frees pages, so
+    /// it holds the maintenance latch exclusively, briefly blocking
+    /// concurrent queries.
+    pub fn remove_document(&self, doc_id: DocId) -> Result<()> {
+        let _w = self.writer.lock();
+        let _m = self.maintenance.write();
+        if !self.store.meta().store_documents {
             return Err(Error::DocumentsNotStored);
         }
         let xml = self
@@ -476,7 +544,10 @@ impl VistIndex {
             .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
         let doc = vist_xml::parse(&text)
             .map_err(|e| Error::Corrupt(format!("stored document unparseable: {e}")))?;
-        let seq = document_to_sequence(&doc, &mut self.table, &self.order);
+        let seq = {
+            let mut table = self.table.write();
+            document_to_sequence(&doc, &mut table, &self.order)
+        };
         // Walk the trie edges to the final node.
         let mut cur = 0u128; // virtual root label
         for elem in seq.iter() {
@@ -497,13 +568,17 @@ impl VistIndex {
             return Err(Error::NoSuchDocument(doc_id));
         }
         self.store.doc_remove(doc_id)?;
-        self.store.meta.doc_count = self.store.meta.doc_count.saturating_sub(1);
+        {
+            let mut meta = self.store.meta_mut();
+            meta.doc_count = meta.doc_count.saturating_sub(1);
+        }
         Ok(())
     }
 
     /// Ids of all stored documents, ascending (requires stored documents).
     pub fn document_ids(&self) -> Result<Vec<DocId>> {
-        if !self.store.meta.store_documents {
+        let _m = self.maintenance.read();
+        if !self.store.meta().store_documents {
             return Err(Error::DocumentsNotStored);
         }
         self.store.doc_ids()
@@ -511,7 +586,8 @@ impl VistIndex {
 
     /// Fetch a stored document's XML text.
     pub fn get_document_xml(&self, doc_id: DocId) -> Result<String> {
-        if !self.store.meta.store_documents {
+        let _m = self.maintenance.read();
+        if !self.store.meta().store_documents {
             return Err(Error::DocumentsNotStored);
         }
         let xml = self
@@ -525,18 +601,24 @@ impl VistIndex {
     /// them to document ids — the quantity the paper times in Figure 10
     /// (match cost excluding DocId output).
     pub fn match_scopes(
-        &mut self,
+        &self,
         pattern: &Pattern,
         opts: &QueryOptions,
     ) -> Result<(Vec<(u128, u128)>, QueryStats)> {
+        // Translation interns query-only names into a throwaway copy of
+        // the table; fresh symbols cannot occur in the data, so the match
+        // result is unchanged and the shared table stays read-locked only
+        // briefly.
+        let mut table = self.table.read().clone();
         let translation = translate(
             pattern,
-            &mut self.table,
+            &mut table,
             &TranslateOptions {
                 order: self.order.clone(),
                 max_sequences: opts.max_sequences,
             },
         );
+        let _m = self.maintenance.read();
         let mut scopes = Vec::new();
         let mut stats = QueryStats::default();
         for qs in &translation.sequences {
@@ -558,12 +640,15 @@ impl VistIndex {
     /// sequence(s) (the paper's Table 2 form), then run it and report the
     /// per-tree probe counts. Intended for debugging and teaching; the
     /// output format is human-oriented and not stable.
-    pub fn explain(&mut self, expr: &str, opts: &QueryOptions) -> Result<String> {
+    pub fn explain(&self, expr: &str, opts: &QueryOptions) -> Result<String> {
         use std::fmt::Write as _;
         let pattern = parse_query(expr)?.to_pattern();
+        // As in `match_scopes`: translate against a throwaway copy so
+        // query-only names still display by name.
+        let mut table = self.table.read().clone();
         let translation = translate(
             &pattern,
-            &mut self.table,
+            &mut table,
             &TranslateOptions {
                 order: self.order.clone(),
                 max_sequences: opts.max_sequences,
@@ -576,17 +661,21 @@ impl VistIndex {
             out,
             "{} alternative sequence(s){}:",
             translation.sequences.len(),
-            if translation.truncated { " (truncated)" } else { "" }
+            if translation.truncated {
+                " (truncated)"
+            } else {
+                ""
+            }
         )
         .unwrap();
         for (i, qs) in translation.sequences.iter().enumerate() {
             let mut line = String::new();
             for e in &qs.elems {
                 let sym = match e.sym {
-                    vist_seq::Sym::Tag(t) => self.table.name(t).to_string(),
+                    vist_seq::Sym::Tag(t) => table.name(t).to_string(),
                     vist_seq::Sym::Value(v) => format!("v{:04x}", v & 0xFFFF),
                 };
-                line.push_str(&format!("({},{})", sym, e.prefix.display(&self.table)));
+                line.push_str(&format!("({},{})", sym, e.prefix.display(&table)));
             }
             writeln!(out, "  #{i}: {line}").unwrap();
         }
@@ -605,78 +694,41 @@ impl VistIndex {
             st.sancestor_scans, st.nodes_visited, st.docid_scans
         )
         .unwrap();
+        let pool = self.store.pool().pool_stats();
+        let t = pool.totals();
+        writeln!(
+            out,
+            "pool:    {} shard(s), {} hits ({} uncontended), {} misses, {} write-backs",
+            pool.shard_count(),
+            t.hits,
+            t.uncontended_hits,
+            t.misses,
+            t.write_backs
+        )
+        .unwrap();
+        for (i, s) in pool.shards.iter().enumerate() {
+            writeln!(
+                out,
+                "         shard {i}: {} hits ({} uncontended), {} misses, {:.1}% hit",
+                s.hits,
+                s.uncontended_hits,
+                s.misses,
+                s.hit_ratio().unwrap_or(0.0) * 100.0
+            )
+            .unwrap();
+        }
         Ok(out)
     }
 
     /// Parse and run a path-expression query.
-    pub fn query(&mut self, expr: &str, opts: &QueryOptions) -> Result<QueryResult> {
+    ///
+    /// Safe to call concurrently from many threads (`&self`); see the
+    /// module docs. Translation does not intern unseen names: a query
+    /// naming an element absent from the data returns an empty result
+    /// directly.
+    pub fn query(&self, expr: &str, opts: &QueryOptions) -> Result<QueryResult> {
         let pattern = parse_query(expr)?.to_pattern();
         self.query_pattern(&pattern, opts)
-    }
-
-    /// Parse and run a query **without mutating the index** (`&self`).
-    ///
-    /// Unlike [`VistIndex::query`], translation does not intern unseen
-    /// names; a query naming an element absent from the data returns an
-    /// empty result directly. Suitable for read-only / shared access.
-    pub fn query_shared(&self, expr: &str, opts: &QueryOptions) -> Result<QueryResult> {
-        let pattern = parse_query(expr)?.to_pattern();
-        self.query_pattern_shared(&pattern, opts)
-    }
-
-    /// Run a pre-parsed pattern without mutating the index.
-    pub fn query_pattern_shared(
-        &self,
-        pattern: &Pattern,
-        opts: &QueryOptions,
-    ) -> Result<QueryResult> {
-        let topts = TranslateOptions {
-            order: self.order.clone(),
-            max_sequences: opts.max_sequences,
-        };
-        let Some(translation) = try_translate(pattern, &self.table, &topts) else {
-            return Ok(QueryResult {
-                doc_ids: Vec::new(),
-                candidates: 0,
-                truncated: false,
-                stats: QueryStats::default(),
-            });
-        };
-        let mut out: BTreeSet<DocId> = BTreeSet::new();
-        let mut stats = QueryStats::default();
-        for qs in &translation.sequences {
-            if qs.elems.is_empty() {
-                out.extend(self.store.docids_in_range(0, vist_seq::MAX_SCOPE)?);
-            } else {
-                search_store(&self.store, qs, &mut out, &mut stats)?;
-            }
-        }
-        let candidates = out.len();
-        let doc_ids: Vec<DocId> = if opts.verify {
-            if !self.store.meta.store_documents {
-                return Err(Error::DocumentsNotStored);
-            }
-            let mut verified = Vec::new();
-            for id in out {
-                let xml = self.store.doc_get(id)?.ok_or(Error::NoSuchDocument(id))?;
-                let text = String::from_utf8(xml)
-                    .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
-                let doc = vist_xml::parse(&text)
-                    .map_err(|e| Error::Corrupt(format!("stored document unparseable: {e}")))?;
-                if matches_document(pattern, &doc, &self.order) {
-                    verified.push(id);
-                }
-            }
-            verified
-        } else {
-            out.into_iter().collect()
-        };
-        Ok(QueryResult {
-            doc_ids,
-            candidates,
-            truncated: translation.truncated,
-            stats,
-        })
     }
 
     /// Rebuild the index from its stored documents into a fresh one,
@@ -684,50 +736,65 @@ impl VistIndex {
     /// never removed incrementally, matching the paper's design). Document
     /// ids are preserved. Requires [`IndexOptions::store_documents`].
     pub fn rebuild(&self, opts: IndexOptions) -> Result<VistIndex> {
-        if !self.store.meta.store_documents {
+        if !self.store.meta().store_documents {
             return Err(Error::DocumentsNotStored);
         }
-        let mut fresh = VistIndex::in_memory(opts)?;
-        self.rebuild_into(&mut fresh)?;
+        let fresh = VistIndex::in_memory(opts)?;
+        self.rebuild_into(&fresh)?;
         Ok(fresh)
     }
 
     /// Rebuild into a fresh file-backed index at `path` (same semantics as
     /// [`VistIndex::rebuild`]).
-    pub fn rebuild_to_file<P: AsRef<Path>>(&self, path: P, opts: IndexOptions) -> Result<VistIndex> {
-        if !self.store.meta.store_documents {
+    pub fn rebuild_to_file<P: AsRef<Path>>(
+        &self,
+        path: P,
+        opts: IndexOptions,
+    ) -> Result<VistIndex> {
+        if !self.store.meta().store_documents {
             return Err(Error::DocumentsNotStored);
         }
-        let mut fresh = VistIndex::create_file(path, opts)?;
-        self.rebuild_into(&mut fresh)?;
+        let fresh = VistIndex::create_file(path, opts)?;
+        self.rebuild_into(&fresh)?;
         fresh.flush()?;
         Ok(fresh)
     }
 
-    fn rebuild_into(&self, fresh: &mut VistIndex) -> Result<()> {
+    fn rebuild_into(&self, fresh: &VistIndex) -> Result<()> {
+        let _m = self.maintenance.read();
         for id in self.store.doc_ids()? {
             let xml = self.store.doc_get(id)?.ok_or(Error::NoSuchDocument(id))?;
             let text = String::from_utf8(xml)
                 .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
             // Preserve the original ids: ids are ascending, so pinning
             // next_doc before each insert keeps them stable.
-            fresh.store.meta.next_doc = id;
+            fresh.store.meta_mut().next_doc = id;
             fresh.insert_xml(&text)?;
         }
-        fresh.store.meta.next_doc = self.store.meta.next_doc;
+        fresh.store.meta_mut().next_doc = self.store.meta().next_doc;
         Ok(())
     }
 
-    /// Run a pre-parsed query pattern.
-    pub fn query_pattern(&mut self, pattern: &Pattern, opts: &QueryOptions) -> Result<QueryResult> {
-        let translation = translate(
-            pattern,
-            &mut self.table,
-            &TranslateOptions {
-                order: self.order.clone(),
-                max_sequences: opts.max_sequences,
-            },
-        );
+    /// Run a pre-parsed query pattern (`&self`; see [`VistIndex::query`]).
+    pub fn query_pattern(&self, pattern: &Pattern, opts: &QueryOptions) -> Result<QueryResult> {
+        let topts = TranslateOptions {
+            order: self.order.clone(),
+            max_sequences: opts.max_sequences,
+        };
+        let translation = {
+            let table = self.table.read();
+            try_translate(pattern, &table, &topts)
+        };
+        let Some(translation) = translation else {
+            // A query name absent from every document cannot match.
+            return Ok(QueryResult {
+                doc_ids: Vec::new(),
+                candidates: 0,
+                truncated: false,
+                stats: QueryStats::default(),
+            });
+        };
+        let _m = self.maintenance.read();
         let mut out: BTreeSet<DocId> = BTreeSet::new();
         let mut stats = QueryStats::default();
         for qs in &translation.sequences {
@@ -740,15 +807,12 @@ impl VistIndex {
         }
         let candidates = out.len();
         let doc_ids: Vec<DocId> = if opts.verify {
-            if !self.store.meta.store_documents {
+            if !self.store.meta().store_documents {
                 return Err(Error::DocumentsNotStored);
             }
             let mut verified = Vec::new();
             for id in out {
-                let xml = self
-                    .store
-                    .doc_get(id)?
-                    .ok_or(Error::NoSuchDocument(id))?;
+                let xml = self.store.doc_get(id)?.ok_or(Error::NoSuchDocument(id))?;
                 let text = String::from_utf8(xml)
                     .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
                 let doc = vist_xml::parse(&text)
@@ -780,8 +844,10 @@ mod tests {
 
     #[test]
     fn insert_and_query_single_document() {
-        let mut idx = index();
-        let id = idx.insert_xml("<book><author>David</author></book>").unwrap();
+        let idx = index();
+        let id = idx
+            .insert_xml("<book><author>David</author></book>")
+            .unwrap();
         let r = idx
             .query("/book/author[text='David']", &QueryOptions::default())
             .unwrap();
@@ -794,11 +860,14 @@ mod tests {
 
     #[test]
     fn selective_across_documents() {
-        let mut idx = index();
+        let idx = index();
         let mut ids = Vec::new();
         for i in 0..50 {
             let author = if i % 5 == 0 { "David" } else { "Other" };
-            let xml = format!("<book><author>{author}</author><year>{}</year></book>", 1990 + i);
+            let xml = format!(
+                "<book><author>{author}</author><year>{}</year></book>",
+                1990 + i
+            );
             ids.push(idx.insert_xml(&xml).unwrap());
         }
         let r = idx
@@ -815,16 +884,20 @@ mod tests {
 
     #[test]
     fn wildcard_and_descendant_queries() {
-        let mut idx = index();
+        let idx = index();
         let a = idx
             .insert_xml("<p><s><l>boston</l></s><b><l>newyork</l></b></p>")
             .unwrap();
         let b = idx
             .insert_xml("<p><s><l>tokyo</l></s><b><l>paris</l></b></p>")
             .unwrap();
-        let r = idx.query("/p/*[l='boston']", &QueryOptions::default()).unwrap();
+        let r = idx
+            .query("/p/*[l='boston']", &QueryOptions::default())
+            .unwrap();
         assert_eq!(r.doc_ids, vec![a]);
-        let r = idx.query("//l[text='paris']", &QueryOptions::default()).unwrap();
+        let r = idx
+            .query("//l[text='paris']", &QueryOptions::default())
+            .unwrap();
         assert_eq!(r.doc_ids, vec![b]);
         let r = idx.query("/p//l", &QueryOptions::default()).unwrap();
         assert_eq!(r.doc_ids, vec![a, b]);
@@ -832,7 +905,7 @@ mod tests {
 
     #[test]
     fn verification_removes_false_positives() {
-        let mut idx = index();
+        let idx = index();
         let fp = idx
             .insert_xml("<a><b><c>1</c></b><b><d>2</d></b></a>")
             .unwrap();
@@ -840,11 +913,18 @@ mod tests {
         let raw = idx
             .query("/a/b[c='1'][d='2']", &QueryOptions::default())
             .unwrap();
-        assert_eq!(raw.doc_ids, vec![fp, real], "raw ViST semantics includes the false positive");
+        assert_eq!(
+            raw.doc_ids,
+            vec![fp, real],
+            "raw ViST semantics includes the false positive"
+        );
         let verified = idx
             .query(
                 "/a/b[c='1'][d='2']",
-                &QueryOptions { verify: true, ..Default::default() },
+                &QueryOptions {
+                    verify: true,
+                    ..Default::default()
+                },
             )
             .unwrap();
         assert_eq!(verified.doc_ids, vec![real]);
@@ -853,13 +933,15 @@ mod tests {
 
     #[test]
     fn remove_document_hides_it() {
-        let mut idx = index();
+        let idx = index();
         let a = idx.insert_xml("<r><x>1</x></r>").unwrap();
         let b = idx.insert_xml("<r><x>1</x></r>").unwrap();
         assert_eq!(idx.doc_count(), 2);
         idx.remove_document(a).unwrap();
         assert_eq!(idx.doc_count(), 1);
-        let r = idx.query("/r/x[text='1']", &QueryOptions::default()).unwrap();
+        let r = idx
+            .query("/r/x[text='1']", &QueryOptions::default())
+            .unwrap();
         assert_eq!(r.doc_ids, vec![b]);
         assert!(matches!(
             idx.remove_document(a),
@@ -872,20 +954,25 @@ mod tests {
         let path = std::env::temp_dir().join(format!("vist-index-{}", std::process::id()));
         let id;
         {
-            let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
-            id = idx.insert_xml("<book><author>David</author></book>").unwrap();
-            idx.insert_xml("<book><author>Mary</author></book>").unwrap();
+            let idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+            id = idx
+                .insert_xml("<book><author>David</author></book>")
+                .unwrap();
+            idx.insert_xml("<book><author>Mary</author></book>")
+                .unwrap();
             idx.flush().unwrap();
         }
         {
-            let mut idx = VistIndex::open_file(&path, 256).unwrap();
+            let idx = VistIndex::open_file(&path, 256).unwrap();
             assert_eq!(idx.doc_count(), 2);
             let r = idx
                 .query("/book/author[text='David']", &QueryOptions::default())
                 .unwrap();
             assert_eq!(r.doc_ids, vec![id]);
             // And it stays dynamic after reopen.
-            let id3 = idx.insert_xml("<book><author>David</author><extra/></book>").unwrap();
+            let id3 = idx
+                .insert_xml("<book><author>David</author><extra/></book>")
+                .unwrap();
             let r = idx
                 .query("/book/author[text='David']", &QueryOptions::default())
                 .unwrap();
@@ -898,7 +985,7 @@ mod tests {
     fn underflow_path_exercised_with_tiny_lambda() {
         // Force deep borrows by a pathological allocator: fixed λ=2 exhausts
         // a hot node's scope after ~126 children.
-        let mut idx = VistIndex::in_memory(IndexOptions {
+        let idx = VistIndex::in_memory(IndexOptions {
             lambda: 2,
             adaptive: false,
             ..Default::default()
@@ -926,7 +1013,7 @@ mod tests {
 
     #[test]
     fn table4_style_queries_end_to_end() {
-        let mut idx = index();
+        let idx = index();
         let d1 = idx
             .insert_xml(
                 "<site><reg><item location=\"US\"><mail><date>12/15/1999</date></mail></item></reg></site>",
@@ -948,7 +1035,7 @@ mod tests {
 
     #[test]
     fn query_parse_errors_propagate() {
-        let mut idx = index();
+        let idx = index();
         assert!(matches!(
             idx.query("not a query", &QueryOptions::default()),
             Err(Error::Query(_))
@@ -957,7 +1044,7 @@ mod tests {
 
     #[test]
     fn without_stored_documents_verify_errors() {
-        let mut idx = VistIndex::in_memory(IndexOptions {
+        let idx = VistIndex::in_memory(IndexOptions {
             store_documents: false,
             ..Default::default()
         })
@@ -966,9 +1053,18 @@ mod tests {
         let r = idx.query("/a/b", &QueryOptions::default()).unwrap();
         assert_eq!(r.doc_ids.len(), 1);
         assert!(matches!(
-            idx.query("/a/b", &QueryOptions { verify: true, ..Default::default() }),
+            idx.query(
+                "/a/b",
+                &QueryOptions {
+                    verify: true,
+                    ..Default::default()
+                }
+            ),
             Err(Error::DocumentsNotStored)
         ));
-        assert!(matches!(idx.remove_document(0), Err(Error::DocumentsNotStored)));
+        assert!(matches!(
+            idx.remove_document(0),
+            Err(Error::DocumentsNotStored)
+        ));
     }
 }

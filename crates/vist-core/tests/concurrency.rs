@@ -1,22 +1,21 @@
-//! Shared-read concurrency: `query_shared(&self)` from many threads over
-//! one index, exercising the buffer pool's synchronization.
+//! Shared-read concurrency: `query(&self)` from many threads over one
+//! `Arc<VistIndex>`, with and without a concurrent writer, exercising the
+//! sharded buffer pool and the single-writer/multi-reader index contract.
+
+use std::sync::Arc;
 
 use vist_core::{IndexOptions, QueryOptions, VistIndex};
 
 #[test]
-fn parallel_shared_queries_agree_with_serial() {
-    let mut idx = VistIndex::in_memory(IndexOptions {
+fn parallel_queries_agree_with_serial() {
+    let idx = VistIndex::in_memory(IndexOptions {
         cache_pages: 64, // tiny cache: force eviction churn under contention
         ..Default::default()
     })
     .unwrap();
     for i in 0..400 {
-        idx.insert_xml(&format!(
-            "<r><a>{}</a><b><c>{}</c></b></r>",
-            i % 13,
-            i % 7
-        ))
-        .unwrap();
+        idx.insert_xml(&format!("<r><a>{}</a><b><c>{}</c></b></r>", i % 13, i % 7))
+            .unwrap();
     }
     let queries: Vec<String> = (0..13)
         .map(|v| format!("/r/a[text='{v}']"))
@@ -25,7 +24,7 @@ fn parallel_shared_queries_agree_with_serial() {
         .collect();
     let expected: Vec<Vec<u64>> = queries
         .iter()
-        .map(|q| idx.query_shared(q, &QueryOptions::default()).unwrap().doc_ids)
+        .map(|q| idx.query(q, &QueryOptions::default()).unwrap().doc_ids)
         .collect();
 
     let idx = &idx;
@@ -37,7 +36,7 @@ fn parallel_shared_queries_agree_with_serial() {
                 for round in 0..20 {
                     let qi = (t * 7 + round) % queries.len();
                     let got = idx
-                        .query_shared(&queries[qi], &QueryOptions::default())
+                        .query(&queries[qi], &QueryOptions::default())
                         .unwrap()
                         .doc_ids;
                     assert_eq!(got, expected[qi], "thread {t} round {round}");
@@ -47,8 +46,97 @@ fn parallel_shared_queries_agree_with_serial() {
     });
 }
 
+/// One inserter + seven query threads on a shared `Arc<VistIndex>`: queries
+/// must never error or return wrong answers for already-committed
+/// documents, and after the writer quiesces the index must answer exactly
+/// like a serially built one.
+#[test]
+fn readers_with_concurrent_writer_match_serial_oracle() {
+    const PREFILL: u64 = 150;
+    const EXTRA: u64 = 350;
+    let opts = IndexOptions {
+        cache_pages: 64, // eviction churn across shards while racing
+        ..Default::default()
+    };
+    let doc = |i: u64| format!("<r><a>{}</a><b><c>{}</c></b></r>", i % 13, i % 7);
+
+    // Serial oracle: the same documents inserted with no concurrency.
+    let oracle = VistIndex::in_memory(opts.clone()).unwrap();
+    for i in 0..PREFILL + EXTRA {
+        oracle.insert_xml(&doc(i)).unwrap();
+    }
+
+    let idx = Arc::new(VistIndex::in_memory(opts).unwrap());
+    for i in 0..PREFILL {
+        idx.insert_xml(&doc(i)).unwrap();
+    }
+    // Answers over the prefilled documents never change: every later
+    // insert appends a fresh doc id, so these exact ids stay visible.
+    let prefill_queries: Vec<String> = (0..13).map(|v| format!("/r/a[text='{v}']")).collect();
+    let prefill_expected: Vec<Vec<u64>> = prefill_queries
+        .iter()
+        .map(|q| {
+            let mut ids = idx.query(q, &QueryOptions::default()).unwrap().doc_ids;
+            ids.retain(|&id| id < PREFILL);
+            ids
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        let writer = {
+            let idx = Arc::clone(&idx);
+            s.spawn(move || {
+                for i in PREFILL..PREFILL + EXTRA {
+                    idx.insert_xml(&doc(i)).unwrap();
+                }
+            })
+        };
+        for t in 0..7usize {
+            let idx = Arc::clone(&idx);
+            let queries = &prefill_queries;
+            let expected = &prefill_expected;
+            s.spawn(move || {
+                for round in 0..60usize {
+                    let qi = (t * 5 + round) % queries.len();
+                    let got = idx
+                        .query(&queries[qi], &QueryOptions::default())
+                        .unwrap()
+                        .doc_ids;
+                    // Concurrent inserts may append new matches, but every
+                    // prefilled answer must still be present, in order.
+                    let prefill_part: Vec<u64> =
+                        got.iter().copied().filter(|&id| id < PREFILL).collect();
+                    assert_eq!(
+                        prefill_part, expected[qi],
+                        "thread {t} round {round}: lost committed answers"
+                    );
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+
+    // Post-quiesce: identical to the serial oracle on every query shape.
+    assert_eq!(idx.doc_count(), PREFILL + EXTRA);
+    let all_queries: Vec<String> = (0..13)
+        .map(|v| format!("/r/a[text='{v}']"))
+        .chain((0..7).map(|v| format!("/r[b/c='{v}']")))
+        .chain(["//c".to_string(), "/r/*[c='3']".to_string()])
+        .collect();
+    for q in &all_queries {
+        let got = idx.query(q, &QueryOptions::default()).unwrap().doc_ids;
+        let want = oracle.query(q, &QueryOptions::default()).unwrap().doc_ids;
+        assert_eq!(got, want, "{q}");
+    }
+    // The sharded pool saw traffic on multiple shards.
+    let stats = idx.stats();
+    assert!(stats.pool.shard_count() >= 1);
+    assert!(stats.pool.totals().hits > 0);
+}
+
 #[test]
 fn index_is_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<VistIndex>();
+    assert_send_sync::<Arc<VistIndex>>();
 }

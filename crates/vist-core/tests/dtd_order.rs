@@ -28,7 +28,7 @@ fn purchase(seller_loc: &str, buyer_loc: &str) -> String {
 #[test]
 fn dtd_order_used_end_to_end() {
     let order = SiblingOrder::from_dtd(FIGURE1_DTD).unwrap();
-    let mut idx = VistIndex::in_memory(IndexOptions {
+    let idx = VistIndex::in_memory(IndexOptions {
         order,
         ..Default::default()
     })
@@ -47,9 +47,7 @@ fn dtd_order_used_end_to_end() {
     assert_eq!(r.doc_ids, vec![a]);
     let r = idx.query("/purchase/*[location='newyork']", &opts).unwrap();
     assert_eq!(r.doc_ids, vec![a, b]);
-    let r = idx
-        .query("//item[manufacturer='intel']", &opts)
-        .unwrap();
+    let r = idx.query("//item[manufacturer='intel']", &opts).unwrap();
     assert_eq!(r.doc_ids, vec![a, b]);
 }
 
@@ -58,17 +56,23 @@ fn dtd_order_persists_across_reopen() {
     let path = std::env::temp_dir().join(format!("vist-dtd-{}", std::process::id()));
     {
         let order = SiblingOrder::from_dtd(FIGURE1_DTD).unwrap();
-        let mut idx = VistIndex::create_file(&path, IndexOptions {
-            order,
-            ..Default::default()
-        })
+        let idx = VistIndex::create_file(
+            &path,
+            IndexOptions {
+                order,
+                ..Default::default()
+            },
+        )
         .unwrap();
         idx.insert_xml(&purchase("boston", "newyork")).unwrap();
         idx.flush().unwrap();
     }
     {
-        let mut idx = VistIndex::open_file(&path, 128).unwrap();
-        assert!(matches!(idx.order(), SiblingOrder::Dtd(_)), "order restored");
+        let idx = VistIndex::open_file(&path, 128).unwrap();
+        assert!(
+            matches!(idx.order(), SiblingOrder::Dtd(_)),
+            "order restored"
+        );
         // Inserting with the restored order keeps the index consistent.
         let b = idx.insert_xml(&purchase("boston", "paris")).unwrap();
         let r = idx
@@ -93,8 +97,8 @@ fn different_orders_give_identical_answers() {
         "/purchase/*[location='newyork']",
         "//item",
     ];
-    let mut lex = VistIndex::in_memory(IndexOptions::default()).unwrap();
-    let mut dtd = VistIndex::in_memory(IndexOptions {
+    let lex = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let dtd = VistIndex::in_memory(IndexOptions {
         order: SiblingOrder::from_dtd(FIGURE1_DTD).unwrap(),
         ..Default::default()
     })

@@ -1,13 +1,13 @@
-//! Cross-engine equivalence property tests.
+//! Cross-engine equivalence tests over randomized inputs.
 //!
 //! The three engines of the paper — Naive (Algorithm 1 over the trie), RIST
 //! (static labels + Algorithm 2), and ViST (dynamic labels + Algorithm 2) —
 //! must return *identical* results on arbitrary document sets and queries,
 //! and all must agree with the brute-force subsequence-matching reference
 //! (`vist_query::sequence_matches`). With verification on, ViST must agree
-//! with the exact tree-embedding oracle.
+//! with the exact tree-embedding oracle. Driven by a seeded splitmix64
+//! generator so runs are deterministic.
 
-use proptest::prelude::*;
 use vist_core::{IndexOptions, NaiveIndex, QueryOptions, RistIndex, VistIndex};
 use vist_query::{matches_document, sequence_matches, translate, Pattern, TranslateOptions};
 use vist_seq::{document_to_sequence, SiblingOrder, SymbolTable};
@@ -17,55 +17,64 @@ use vist_xml::{Document, ElementBuilder};
 const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
 const VALUES: [&str; 4] = ["1", "2", "3", "4"];
 
-fn doc_strategy() -> impl Strategy<Value = Document> {
-    let leaf = (0usize..NAMES.len(), proptest::option::of(0usize..VALUES.len())).prop_map(
-        |(n, v)| {
-            let mut e = ElementBuilder::new(NAMES[n]);
-            if let Some(v) = v {
-                e = e.text(VALUES[v]);
-            }
-            e
-        },
-    );
-    let tree = leaf.prop_recursive(3, 20, 4, |inner| {
-        (
-            0usize..NAMES.len(),
-            proptest::collection::vec(inner, 0..4),
-            proptest::option::of(0usize..VALUES.len()),
-        )
-            .prop_map(|(n, children, v)| {
-                let mut e = ElementBuilder::new(NAMES[n]).children(children);
-                if let Some(v) = v {
-                    e = e.text(VALUES[v]);
-                }
-                e
-            })
-    });
-    tree.prop_map(ElementBuilder::into_document)
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn random_element(rng: &mut Rng, depth: usize) -> ElementBuilder {
+    let mut e = ElementBuilder::new(NAMES[rng.below(NAMES.len())]);
+    if rng.below(2) == 0 {
+        e = e.text(VALUES[rng.below(VALUES.len())]);
+    }
+    if depth > 0 {
+        let n_children = rng.below(4);
+        let kids: Vec<ElementBuilder> = (0..n_children)
+            .map(|_| random_element(rng, depth - 1))
+            .collect();
+        e = e.children(kids);
+    }
+    e
+}
+
+fn random_doc(rng: &mut Rng) -> Document {
+    let depth = rng.below(4);
+    random_element(rng, depth).into_document()
 }
 
 /// Random queries over the same vocabulary: paths with optional wildcards,
 /// descendant steps, one optional branch predicate and one optional value.
-fn query_strategy() -> impl Strategy<Value = String> {
-    let step = (0usize..=NAMES.len(), prop::bool::ANY).prop_map(|(n, dslash)| {
+fn random_query(rng: &mut Rng) -> String {
+    let steps = 1 + rng.below(3);
+    let mut q = String::new();
+    for _ in 0..steps {
+        let n = rng.below(NAMES.len() + 1);
         let name = if n == NAMES.len() { "*" } else { NAMES[n] };
-        format!("{}{}", if dslash { "//" } else { "/" }, name)
-    });
-    (
-        proptest::collection::vec(step, 1..4),
-        proptest::option::of((0usize..NAMES.len(), 0usize..VALUES.len())),
-        proptest::option::of(0usize..VALUES.len()),
-    )
-        .prop_map(|(steps, branch, text)| {
-            let mut q = steps.concat();
-            if let Some((bn, bv)) = branch {
-                q.push_str(&format!("[{}='{}']", NAMES[bn], VALUES[bv]));
-            }
-            if let Some(t) = text {
-                q.push_str(&format!("[text='{}']", VALUES[t]));
-            }
-            q
-        })
+        q.push_str(if rng.below(2) == 0 { "//" } else { "/" });
+        q.push_str(name);
+    }
+    if rng.below(2) == 0 {
+        q.push_str(&format!(
+            "[{}='{}']",
+            NAMES[rng.below(NAMES.len())],
+            VALUES[rng.below(VALUES.len())]
+        ));
+    }
+    if rng.below(2) == 0 {
+        q.push_str(&format!("[text='{}']", VALUES[rng.below(VALUES.len())]));
+    }
+    q
 }
 
 /// Reference answer: brute-force subsequence matching per document.
@@ -75,11 +84,7 @@ fn reference_answer(pattern: &Pattern, docs: &[Document]) -> Vec<u64> {
         .iter()
         .map(|d| document_to_sequence(d, &mut table, &SiblingOrder::Lexicographic))
         .collect();
-    let translation = translate(
-        pattern,
-        &mut table,
-        &TranslateOptions::default(),
-    );
+    let translation = translate(pattern, &mut table, &TranslateOptions::default());
     let mut out = Vec::new();
     for (i, seq) in seqs.iter().enumerate() {
         if translation
@@ -93,18 +98,21 @@ fn reference_answer(pattern: &Pattern, docs: &[Document]) -> Vec<u64> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+#[test]
+fn all_engines_agree() {
+    for case in 0..48u64 {
+        let mut rng = Rng(0xE9_A6E ^ (case << 9));
+        let docs: Vec<Document> = (0..1 + rng.below(11))
+            .map(|_| random_doc(&mut rng))
+            .collect();
+        let queries: Vec<String> = (0..1 + rng.below(5))
+            .map(|_| random_query(&mut rng))
+            .collect();
 
-    #[test]
-    fn all_engines_agree(
-        docs in proptest::collection::vec(doc_strategy(), 1..12),
-        queries in proptest::collection::vec(query_strategy(), 1..6),
-    ) {
         let mut naive = NaiveIndex::default();
-        let mut vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
+        let vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
         // Stress dynamic labeling too: tiny λ without adaptivity.
-        let mut vist_tiny = VistIndex::in_memory(IndexOptions {
+        let vist_tiny = VistIndex::in_memory(IndexOptions {
             lambda: 2,
             adaptive: false,
             ..Default::default()
@@ -125,19 +133,26 @@ proptest! {
             let r = rist.query(q, &opts).unwrap().doc_ids;
             let v = vist.query(q, &opts).unwrap().doc_ids;
             let vt = vist_tiny.query(q, &opts).unwrap().doc_ids;
-            prop_assert_eq!(&n, &expect, "naive vs reference: {}", q);
-            prop_assert_eq!(&r, &expect, "rist vs reference: {}", q);
-            prop_assert_eq!(&v, &expect, "vist vs reference: {}", q);
-            prop_assert_eq!(&vt, &expect, "vist(λ=2 fixed) vs reference: {}", q);
+            assert_eq!(&n, &expect, "naive vs reference: {q}");
+            assert_eq!(&r, &expect, "rist vs reference: {q}");
+            assert_eq!(&v, &expect, "vist vs reference: {q}");
+            assert_eq!(&vt, &expect, "vist(λ=2 fixed) vs reference: {q}");
         }
     }
+}
 
-    #[test]
-    fn verified_queries_match_exact_oracle(
-        docs in proptest::collection::vec(doc_strategy(), 1..10),
-        queries in proptest::collection::vec(query_strategy(), 1..5),
-    ) {
-        let mut vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
+#[test]
+fn verified_queries_match_exact_oracle() {
+    for case in 0..48u64 {
+        let mut rng = Rng(0x0_4AC1E ^ (case << 9));
+        let docs: Vec<Document> = (0..1 + rng.below(9))
+            .map(|_| random_doc(&mut rng))
+            .collect();
+        let queries: Vec<String> = (0..1 + rng.below(4))
+            .map(|_| random_query(&mut rng))
+            .collect();
+
+        let vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
         for d in &docs {
             vist.insert_document(d).unwrap();
         }
@@ -150,29 +165,43 @@ proptest! {
                 .map(|(i, _)| i as u64)
                 .collect();
             let verified = vist
-                .query(q, &QueryOptions { verify: true, ..Default::default() })
+                .query(
+                    q,
+                    &QueryOptions {
+                        verify: true,
+                        ..Default::default()
+                    },
+                )
                 .unwrap();
-            prop_assert_eq!(&verified.doc_ids, &exact, "query {}", q);
+            assert_eq!(&verified.doc_ids, &exact, "query {q}");
             // Raw candidates are always a superset of the exact answer
             // (completeness: no false negatives).
             let raw = vist.query(q, &QueryOptions::default()).unwrap();
             for id in &exact {
-                prop_assert!(raw.doc_ids.contains(id), "false negative {} for {}", id, q);
+                assert!(raw.doc_ids.contains(id), "false negative {id} for {q}");
             }
         }
     }
+}
 
-    #[test]
-    fn dynamic_deletion_equals_fresh_build(
-        docs in proptest::collection::vec(doc_strategy(), 2..10),
-        remove_mask in proptest::collection::vec(prop::bool::ANY, 2..10),
-        query in query_strategy(),
-    ) {
-        let mut vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
-        let ids: Vec<u64> = docs.iter().map(|d| vist.insert_document(d).unwrap()).collect();
+#[test]
+fn dynamic_deletion_equals_fresh_build() {
+    for case in 0..48u64 {
+        let mut rng = Rng(0xDE1E7E ^ (case << 9));
+        let docs: Vec<Document> = (0..2 + rng.below(8))
+            .map(|_| random_doc(&mut rng))
+            .collect();
+        let remove_mask: Vec<bool> = (0..docs.len()).map(|_| rng.below(2) == 0).collect();
+        let query = random_query(&mut rng);
+
+        let vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
+        let ids: Vec<u64> = docs
+            .iter()
+            .map(|d| vist.insert_document(d).unwrap())
+            .collect();
         let mut kept = Vec::new();
         for (i, d) in docs.iter().enumerate() {
-            if remove_mask.get(i).copied().unwrap_or(false) {
+            if remove_mask[i] {
                 vist.remove_document(ids[i]).unwrap();
             } else {
                 kept.push((ids[i], d.clone()));
@@ -183,7 +212,10 @@ proptest! {
         let expect_local = reference_answer(&pattern, &kept_docs);
         // Map local indices back to original ids.
         let expect: Vec<u64> = expect_local.iter().map(|&i| kept[i as usize].0).collect();
-        let got = vist.query(&query, &QueryOptions::default()).unwrap().doc_ids;
-        prop_assert_eq!(got, expect, "after deletion: {}", query);
+        let got = vist
+            .query(&query, &QueryOptions::default())
+            .unwrap()
+            .doc_ids;
+        assert_eq!(got, expect, "after deletion: {query}");
     }
 }

@@ -14,16 +14,20 @@ fn insert_records_splits_a_container_document() {
           <item id='i2' location='EU'><mail><date>01/01/2000</date></mail></item>\
         </europe></regions>\
     </site>";
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     let ids = idx.insert_records(site, &["person", "item"]).unwrap();
     assert_eq!(ids.len(), 4);
     assert_eq!(idx.doc_count(), 4);
 
     let opts = QueryOptions::default();
     // Queries now address the records directly.
-    let r = idx.query("/person/address/city[text='Pocatello']", &opts).unwrap();
+    let r = idx
+        .query("/person/address/city[text='Pocatello']", &opts)
+        .unwrap();
     assert_eq!(r.doc_ids.len(), 1);
-    let r = idx.query("/item[location='US']/mail/date[text='12/15/1999']", &opts).unwrap();
+    let r = idx
+        .query("/item[location='US']/mail/date[text='12/15/1999']", &opts)
+        .unwrap();
     assert_eq!(r.doc_ids.len(), 1);
     let r = idx.query("//date", &opts).unwrap();
     assert_eq!(r.doc_ids.len(), 2);
@@ -35,6 +39,8 @@ fn insert_records_splits_a_container_document() {
 
 #[test]
 fn insert_records_rejects_malformed_container() {
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
-    assert!(idx.insert_records("<site><person></site>", &["person"]).is_err());
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    assert!(idx
+        .insert_records("<site><person></site>", &["person"])
+        .is_err());
 }

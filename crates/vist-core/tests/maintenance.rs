@@ -1,43 +1,53 @@
-//! Maintenance-path integration tests: shared queries, rebuild/vacuum,
-//! and the space story after heavy deletion.
+//! Maintenance-path integration tests: unknown-name short-circuits,
+//! rebuild/vacuum, and the space story after heavy deletion.
 
 use vist_core::{IndexOptions, QueryOptions, VistIndex};
 
 #[test]
-fn query_shared_matches_query() {
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+fn query_short_circuits_unknown_names() {
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     for i in 0..200 {
         idx.insert_xml(&format!("<r><a>{}</a><b>{}</b></r>", i % 7, i % 3))
             .unwrap();
     }
     let opts = QueryOptions::default();
-    for q in [
-        "/r/a[text='3']",
-        "/r[a='3']/b[text='1']",
-        "//b",
-        "/r/*[text='2']",
-        "/r/zzz",          // unknown name: shared path short-circuits
-        "/nothing//here",  // fully unknown
-    ] {
-        let a = idx.query(q, &opts).unwrap().doc_ids;
-        let b = idx.query_shared(q, &opts).unwrap().doc_ids;
-        assert_eq!(a, b, "{q}");
+    // Known names answer normally.
+    assert_eq!(
+        idx.query("/r/a[text='3']", &opts).unwrap().doc_ids.len(),
+        29
+    );
+    assert_eq!(idx.query("//b", &opts).unwrap().doc_ids.len(), 200);
+    // Unknown names cannot match any document: the unified `query` returns
+    // empty without interning them into the shared symbol table.
+    for q in ["/r/zzz", "/nothing//here", "/r[zzz='1']"] {
+        let r = idx.query(q, &opts).unwrap();
+        assert!(r.doc_ids.is_empty(), "{q}");
+        assert_eq!(r.candidates, 0, "{q}");
     }
-    // Shared verify mode too.
-    let a = idx
-        .query("/r[a='3'][b='1']", &QueryOptions { verify: true, ..Default::default() })
+    // ...and repeatedly querying unknown names leaves the table unchanged.
+    let before = idx.table().len();
+    for _ in 0..5 {
+        idx.query("/never/seen/name", &opts).unwrap();
+    }
+    assert_eq!(idx.table().len(), before);
+    // Verify mode agrees with raw mode on a query with no false positives.
+    let raw = idx.query("/r[a='3'][b='1']", &opts).unwrap().doc_ids;
+    let verified = idx
+        .query(
+            "/r[a='3'][b='1']",
+            &QueryOptions {
+                verify: true,
+                ..Default::default()
+            },
+        )
         .unwrap()
         .doc_ids;
-    let b = idx
-        .query_shared("/r[a='3'][b='1']", &QueryOptions { verify: true, ..Default::default() })
-        .unwrap()
-        .doc_ids;
-    assert_eq!(a, b);
+    assert_eq!(verified, raw);
 }
 
 #[test]
 fn rebuild_preserves_ids_and_reclaims_space() {
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     let mut ids = Vec::new();
     for i in 0..400 {
         ids.push(
@@ -55,7 +65,7 @@ fn rebuild_preserves_ids_and_reclaims_space() {
     assert_eq!(before.documents, 80);
     assert!(before.nodes > 400, "shared + value nodes linger");
 
-    let mut rebuilt = idx.rebuild(IndexOptions::default()).unwrap();
+    let rebuilt = idx.rebuild(IndexOptions::default()).unwrap();
     let after = rebuilt.stats();
     assert_eq!(after.documents, 80);
     assert!(
@@ -67,7 +77,10 @@ fn rebuild_preserves_ids_and_reclaims_space() {
     // Ids preserved; answers identical.
     for id in ids.iter().filter(|id| *id % 5 == 0) {
         let q = format!("/doc/k[text='{id}']");
-        assert_eq!(idx.query(&q, &QueryOptions::default()).unwrap().doc_ids, vec![*id]);
+        assert_eq!(
+            idx.query(&q, &QueryOptions::default()).unwrap().doc_ids,
+            vec![*id]
+        );
         assert_eq!(
             rebuilt.query(&q, &QueryOptions::default()).unwrap().doc_ids,
             vec![*id],
@@ -82,25 +95,29 @@ fn rebuild_preserves_ids_and_reclaims_space() {
 #[test]
 fn rebuild_to_file_roundtrip() {
     let path = std::env::temp_dir().join(format!("vist-rebuild-{}", std::process::id()));
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     for i in 0..50 {
         idx.insert_xml(&format!("<x><y>{i}</y></x>")).unwrap();
     }
     idx.remove_document(0).unwrap();
     let rebuilt = idx.rebuild_to_file(&path, IndexOptions::default()).unwrap();
     drop(rebuilt);
-    let mut reopened = VistIndex::open_file(&path, 128).unwrap();
+    let reopened = VistIndex::open_file(&path, 128).unwrap();
     assert_eq!(reopened.doc_count(), 49);
-    let r = reopened.query("/x/y[text='7']", &QueryOptions::default()).unwrap();
+    let r = reopened
+        .query("/x/y[text='7']", &QueryOptions::default())
+        .unwrap();
     assert_eq!(r.doc_ids, vec![7]);
-    let r = reopened.query("/x/y[text='0']", &QueryOptions::default()).unwrap();
+    let r = reopened
+        .query("/x/y[text='0']", &QueryOptions::default())
+        .unwrap();
     assert!(r.doc_ids.is_empty());
     std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn tree_breakdown_accounts_all_trees() {
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     for i in 0..300 {
         idx.insert_xml(&format!("<r><v>{i}</v></r>")).unwrap();
     }
@@ -134,7 +151,7 @@ fn stats_model_persists_across_reopen() {
     assert!(!model.is_empty());
     let contexts = model.contexts();
     {
-        let mut idx = VistIndex::create_file(
+        let idx = VistIndex::create_file(
             &path,
             IndexOptions {
                 allocator: AllocatorKind::WithClues(model),
@@ -146,14 +163,16 @@ fn stats_model_persists_across_reopen() {
         idx.flush().unwrap();
     }
     {
-        let mut idx = VistIndex::open_file(&path, 128).unwrap();
+        let idx = VistIndex::open_file(&path, 128).unwrap();
         // The model came back (observable via continued correct operation
         // and the roundtrip of triples; we check by rebuilding it).
         let reopened = idx.store().load_stats_model().unwrap().unwrap();
         assert_eq!(reopened.contexts(), contexts);
         // And the index remains fully usable.
         let id = idx.insert_xml("<r><a>2</a><b/></r>").unwrap();
-        let r = idx.query("/r/a[text='2']", &QueryOptions::default()).unwrap();
+        let r = idx
+            .query("/r/a[text='2']", &QueryOptions::default())
+            .unwrap();
         assert_eq!(r.doc_ids, vec![id]);
     }
     std::fs::remove_file(&path).unwrap();
@@ -161,14 +180,11 @@ fn stats_model_persists_across_reopen() {
 
 #[test]
 fn explain_shows_translation_and_probes() {
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     idx.insert_xml("<p><s><l>boston</l></s><b><l>newyork</l></b></p>")
         .unwrap();
     let out = idx
-        .explain(
-            "/p[s[l='boston']]/b[l='newyork']",
-            &QueryOptions::default(),
-        )
+        .explain("/p[s[l='boston']]/b[l='newyork']", &QueryOptions::default())
         .unwrap();
     assert!(out.contains("alternative sequence(s)"), "{out}");
     assert!(out.contains("(p,)"), "Table-2-style rendering: {out}");
@@ -176,6 +192,8 @@ fn explain_shows_translation_and_probes() {
     assert!(out.contains("D-Ancestor gets"), "{out}");
     // The Q5 case shows multiple alternatives.
     idx.insert_xml("<A><B><C/></B><B><D/></B></A>").unwrap();
-    let out = idx.explain("/A[B/C]/B/D", &QueryOptions::default()).unwrap();
+    let out = idx
+        .explain("/A[B/C]/B/D", &QueryOptions::default())
+        .unwrap();
     assert!(out.contains("2 alternative sequence(s)"), "{out}");
 }

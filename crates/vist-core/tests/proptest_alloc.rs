@@ -1,11 +1,27 @@
-//! Property tests for dynamic scope allocation: under arbitrary allocation
-//! sequences (any λ, adaptivity, clue model, min sizes), child scopes are
-//! always disjoint, nested in their parent, and never overlap the parent's
-//! own label.
+//! Randomized tests for dynamic scope allocation: under arbitrary
+//! allocation sequences (any λ, adaptivity, clue model, min sizes), child
+//! scopes are always disjoint, nested in their parent, and never overlap
+//! the parent's own label. Driven by a seeded splitmix64 generator so runs
+//! are deterministic.
 
-use proptest::prelude::*;
 use vist_core::{Allocation, AllocatorKind, NodeState, ScopeAllocator, StatsModel};
 use vist_seq::{Sym, Symbol, MAX_SCOPE};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 #[derive(Debug, Clone)]
 struct AllocOp {
@@ -13,11 +29,14 @@ struct AllocOp {
     min_size: u128,
 }
 
-fn ops_strategy() -> impl Strategy<Value = Vec<AllocOp>> {
-    proptest::collection::vec(
-        (0u32..8, 1u128..64).prop_map(|(sym, min_size)| AllocOp { sym, min_size }),
-        1..200,
-    )
+fn random_ops(rng: &mut Rng) -> Vec<AllocOp> {
+    let len = 1 + rng.below(199) as usize;
+    (0..len)
+        .map(|_| AllocOp {
+            sym: rng.below(8) as u32,
+            min_size: u128::from(1 + rng.below(63)),
+        })
+        .collect()
 }
 
 fn model() -> StatsModel {
@@ -77,36 +96,44 @@ fn check(alloc: &ScopeAllocator, parent_size: u128, ops: &[AllocOp]) {
                 );
             }
         }
-        assert_eq!(parent.k as usize, children.len(), "op {i}: k tracks children");
+        assert_eq!(
+            parent.k as usize,
+            children.len(),
+            "op {i}: k tracks children"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn geometric_invariants(
-        ops in ops_strategy(),
-        lambda in 2u64..64,
-        adaptive in any::<bool>(),
-        size_exp in 8u32..120,
-    ) {
+#[test]
+fn geometric_invariants() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0x00A1_10C8 ^ (case << 8));
+        let ops = random_ops(&mut rng);
+        let lambda = 2 + rng.below(62);
+        let adaptive = rng.below(2) == 0;
+        let size_exp = 8 + rng.below(112) as u32;
         let alloc = ScopeAllocator::new(lambda, adaptive, AllocatorKind::NoClues);
         check(&alloc, 1u128 << size_exp, &ops);
     }
+}
 
-    #[test]
-    fn with_clues_invariants(
-        ops in ops_strategy(),
-        lambda in 2u64..64,
-        size_exp in 8u32..120,
-    ) {
+#[test]
+fn with_clues_invariants() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0xC1DE5 ^ (case << 8));
+        let ops = random_ops(&mut rng);
+        let lambda = 2 + rng.below(62);
+        let size_exp = 8 + rng.below(112) as u32;
         let alloc = ScopeAllocator::new(lambda, true, AllocatorKind::WithClues(model()));
         check(&alloc, 1u128 << size_exp, &ops);
     }
+}
 
-    #[test]
-    fn full_scope_never_overflows(ops in ops_strategy()) {
+#[test]
+fn full_scope_never_overflows() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0xF0_5C0 ^ (case << 8));
+        let ops = random_ops(&mut rng);
         let alloc = ScopeAllocator::new(2, true, AllocatorKind::NoClues);
         check(&alloc, MAX_SCOPE, &ops);
     }

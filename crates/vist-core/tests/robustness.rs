@@ -32,7 +32,7 @@ fn opening_garbage_errors_cleanly() {
 fn truncated_index_file_errors_not_panics() {
     let path = tmp("truncated");
     {
-        let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+        let idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
         for i in 0..200 {
             idx.insert_xml(&format!("<a><b>{i}</b></a>")).unwrap();
         }
@@ -45,7 +45,7 @@ fn truncated_index_file_errors_not_panics() {
     // panic.
     match VistIndex::open_file(&path, 64) {
         Err(_) => {}
-        Ok(mut idx) => {
+        Ok(idx) => {
             let _ = idx.query("/a/b", &QueryOptions::default());
             let _ = idx.insert_xml("<a><b>new</b></a>");
         }
@@ -55,20 +55,22 @@ fn truncated_index_file_errors_not_panics() {
 
 #[test]
 fn bad_xml_rejected_without_state_damage() {
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     let good = idx.insert_xml("<a><b>1</b></a>").unwrap();
     assert!(idx.insert_xml("<a><b>").is_err());
     assert!(idx.insert_xml("").is_err());
     assert!(idx.insert_xml("not xml at all").is_err());
     // The index still answers correctly; the doc counter only advanced for
     // committed inserts... (failed parses never reached insert_sequence).
-    let r = idx.query("/a/b[text='1']", &QueryOptions::default()).unwrap();
+    let r = idx
+        .query("/a/b[text='1']", &QueryOptions::default())
+        .unwrap();
     assert_eq!(r.doc_ids, vec![good]);
 }
 
 #[test]
 fn bad_queries_rejected() {
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     idx.insert_xml("<a/>").unwrap();
     for q in ["", "a", "/a[", "/a]']", "//", "/a[text=]"] {
         assert!(
@@ -80,14 +82,17 @@ fn bad_queries_rejected() {
 
 #[test]
 fn huge_values_and_names_handled() {
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     // A very long text value: hashed, so it indexes fine.
     let long_text = "x".repeat(100_000);
     let id = idx
         .insert_xml(&format!("<a><b>{long_text}</b></a>"))
         .unwrap();
     let r = idx
-        .query(&format!("/a/b[text='{long_text}']"), &QueryOptions::default())
+        .query(
+            &format!("/a/b[text='{long_text}']"),
+            &QueryOptions::default(),
+        )
         .unwrap();
     assert_eq!(r.doc_ids, vec![id]);
     // A deep document: prefix keys grow with depth; must either index or
@@ -109,7 +114,7 @@ fn huge_values_and_names_handled() {
 
 #[test]
 fn remove_twice_and_remove_unknown() {
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     let id = idx.insert_xml("<a/>").unwrap();
     idx.remove_document(id).unwrap();
     assert!(matches!(

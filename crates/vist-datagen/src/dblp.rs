@@ -13,8 +13,7 @@
 //!   `key='books/bc/MaierW88'` (Q5);
 //! * every record has a `title` (Q1).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use vist_xml::{Document, ElementBuilder};
 
 use crate::words::{author, date, phrase, pick, CONFERENCES, JOURNALS, PUBLISHERS};
@@ -61,7 +60,7 @@ fn record(rng: &mut StdRng, i: usize) -> Document {
     }
     let title_len = 3 + rng.random_range(0..6);
     e = e.child(ElementBuilder::new("title").text(phrase(rng, title_len)));
-    e = e.child(ElementBuilder::new("year").text(rng.random_range(1980..=2003).to_string()));
+    e = e.child(ElementBuilder::new("year").text(rng.random_range(1980..=2003i32).to_string()));
     match kind {
         "article" => {
             e = e
@@ -82,15 +81,17 @@ fn record(rng: &mut StdRng, i: usize) -> Document {
                     rng.random_range(501..=999)
                 )));
             if rng.random_bool(0.6) {
-                e = e.child(
-                    ElementBuilder::new("ee").text(format!("db/conf/paper{}.html", i)),
-                );
+                e = e.child(ElementBuilder::new("ee").text(format!("db/conf/paper{}.html", i)));
             }
         }
         "book" => {
             e = e
                 .child(ElementBuilder::new("publisher").text(pick(rng, PUBLISHERS)))
-                .child(ElementBuilder::new("isbn").text(format!("0-201-{:05}-{}", i % 100_000, i % 10)));
+                .child(ElementBuilder::new("isbn").text(format!(
+                    "0-201-{:05}-{}",
+                    i % 100_000,
+                    i % 10
+                )));
         }
         "phdthesis" => {
             e = e.child(ElementBuilder::new("school").text(format!("University {}", i % 50)));

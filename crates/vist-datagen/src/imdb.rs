@@ -8,8 +8,7 @@
 //! director, cast with roles, rating), plus planted sentinels so the sample
 //! queries are selective but non-empty.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use vist_xml::{Document, ElementBuilder};
 
 use crate::words::{author, phrase, pick, skewed};
@@ -20,7 +19,14 @@ pub const PLANTED_DIRECTOR: &str = "Stanley Kubrick";
 pub const PLANTED_ACTOR: &str = "Grace Kelly";
 
 const GENRES: &[&str] = &[
-    "drama", "comedy", "thriller", "scifi", "noir", "western", "documentary", "animation",
+    "drama",
+    "comedy",
+    "thriller",
+    "scifi",
+    "noir",
+    "western",
+    "documentary",
+    "animation",
 ];
 
 /// Generate `n` movie records, deterministically from `seed`.
@@ -43,7 +49,7 @@ fn movie(rng: &mut StdRng, i: usize) -> Document {
             let title_len = 2 + rng.random_range(0..3);
             ElementBuilder::new("title").text(phrase(rng, title_len))
         })
-        .child(ElementBuilder::new("year").text(rng.random_range(1920..=2003).to_string()))
+        .child(ElementBuilder::new("year").text(rng.random_range(1920..=2003i32).to_string()))
         .child(ElementBuilder::new("genre").text(pick(rng, GENRES)))
         .child(ElementBuilder::new("director").text(director))
         .child(

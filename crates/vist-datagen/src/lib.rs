@@ -28,7 +28,8 @@
 
 pub mod dblp;
 pub mod imdb;
+pub mod rng;
 pub mod synthetic;
 pub mod treebank;
-pub mod xmark;
 mod words;
+pub mod xmark;

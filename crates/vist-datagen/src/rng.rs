@@ -1,0 +1,212 @@
+//! A small deterministic pseudo-random generator.
+//!
+//! Stand-in for the `rand` crate's `StdRng`, exposing only the surface the
+//! generators use: [`StdRng::seed_from_u64`], [`StdRng::random_range`],
+//! [`StdRng::random_bool`], and [`StdRng::random`]. The core is
+//! xoshiro256++ seeded via splitmix64 — statistically strong enough for
+//! generating test datasets, not for cryptography.
+//!
+//! Determinism matters more than distribution quality here: every dataset
+//! in the paper reproduction is identified by its seed, and the same seed
+//! must produce the same documents on every platform and in every build.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    /// Deterministically seed the generator.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly random value of `T` (see [`Random`] for the supported
+    /// types; `f64` is uniform in `[0, 1)`).
+    pub fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// A uniformly random value in `range`. Panics on an empty range,
+    /// matching the `rand` crate's behavior.
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Types [`StdRng::random`] can produce.
+pub trait Random {
+    fn random(rng: &mut StdRng) -> Self;
+}
+
+impl Random for u64 {
+    fn random(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for f64 {
+    fn random(rng: &mut StdRng) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for bool {
+    fn random(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types [`StdRng::random_range`] can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges [`StdRng::random_range`] can sample from. Blanket impls over
+/// [`UniformInt`] (rather than per-type impls) so integer-literal ranges
+/// infer like the `rand` crate's.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        let span = (hi - lo) as u128;
+        let v = (u128::from(rng.next_u64()) % span) as i128;
+        T::from_i128(lo + v)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in random_range");
+        let (lo, hi) = (lo.to_i128(), hi.to_i128());
+        let span = (hi - lo) as u128 + 1;
+        let v = (u128::from(rng.next_u64()) % span) as i128;
+        T::from_i128(lo + v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: i32 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+        // Both endpoints of an inclusive range occur.
+        let mut saw = [false; 2];
+        for _ in 0..200 {
+            match rng.random_range(0..=1u32) {
+                0 => saw[0] = true,
+                _ => saw[1] = true,
+            }
+        }
+        assert!(saw[0] && saw[1]);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 1000.0;
+        assert!((0.4..0.6).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn random_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&heads), "heads {heads}");
+    }
+}

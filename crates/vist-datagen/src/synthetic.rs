@@ -13,8 +13,7 @@
 //! positions share names and structure matters — the regime sequence
 //! matching is designed for.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use vist_query::{Axis, Pattern, PatternNode, PatternTest};
 use vist_xml::Document;
 

@@ -8,16 +8,32 @@
 //! evaluate on Treebank; this generator powers the depth ablation
 //! (`ablation_depth`) that extends the evaluation to that regime.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use vist_xml::{Document, ElementBuilder};
 
 /// The word planted for the sample queries.
 pub const PLANTED_WORD: &str = "colorless";
 
 const WORDS: &[&str] = &[
-    "time", "flies", "like", "an", "arrow", "fruit", "banana", "green", "ideas", "sleep",
-    "furiously", "the", "old", "man", "boats", "ship", "sees", "with", "telescope",
+    "time",
+    "flies",
+    "like",
+    "an",
+    "arrow",
+    "fruit",
+    "banana",
+    "green",
+    "ideas",
+    "sleep",
+    "furiously",
+    "the",
+    "old",
+    "man",
+    "boats",
+    "ship",
+    "sees",
+    "with",
+    "telescope",
 ];
 
 /// Configuration for the treebank generator.
@@ -42,7 +58,9 @@ impl Default for TreebankConfig {
 #[must_use]
 pub fn documents(n: usize, cfg: &TreebankConfig) -> Vec<Document> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    (0..n).map(|i| sentence(&mut rng, cfg.max_depth, i)).collect()
+    (0..n)
+        .map(|i| sentence(&mut rng, cfg.max_depth, i))
+        .collect()
 }
 
 fn sentence(rng: &mut StdRng, max_depth: usize, i: usize) -> Document {
@@ -122,10 +140,13 @@ mod tests {
 
     #[test]
     fn deep_and_recursive() {
-        let docs = documents(200, &TreebankConfig {
-            max_depth: 10,
-            seed: 5,
-        });
+        let docs = documents(
+            200,
+            &TreebankConfig {
+                max_depth: 10,
+                seed: 5,
+            },
+        );
         let max_depth = docs
             .iter()
             .flat_map(|d| d.preorder().map(|n| d.depth(n)).max())

@@ -1,28 +1,93 @@
 //! Shared word pools and small random-text helpers.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::StdRng;
 
 pub(crate) const TITLE_WORDS: &[&str] = &[
-    "efficient", "scalable", "dynamic", "adaptive", "indexing", "querying", "semistructured",
-    "data", "structures", "trees", "sequences", "matching", "databases", "systems", "processing",
-    "optimization", "algorithms", "storage", "distributed", "parallel", "streams", "graphs",
-    "patterns", "mining", "views", "caching", "joins", "selectivity", "estimation", "labeling",
+    "efficient",
+    "scalable",
+    "dynamic",
+    "adaptive",
+    "indexing",
+    "querying",
+    "semistructured",
+    "data",
+    "structures",
+    "trees",
+    "sequences",
+    "matching",
+    "databases",
+    "systems",
+    "processing",
+    "optimization",
+    "algorithms",
+    "storage",
+    "distributed",
+    "parallel",
+    "streams",
+    "graphs",
+    "patterns",
+    "mining",
+    "views",
+    "caching",
+    "joins",
+    "selectivity",
+    "estimation",
+    "labeling",
 ];
 
 pub(crate) const FIRST_NAMES: &[&str] = &[
-    "David", "Mary", "John", "Wei", "Haixun", "Sanghyun", "Philip", "Jennifer", "Michael",
-    "Rajeev", "Hector", "Divesh", "Jeffrey", "Dan", "Serge", "Laura", "Alon", "Jun", "Quanzhong",
+    "David",
+    "Mary",
+    "John",
+    "Wei",
+    "Haixun",
+    "Sanghyun",
+    "Philip",
+    "Jennifer",
+    "Michael",
+    "Rajeev",
+    "Hector",
+    "Divesh",
+    "Jeffrey",
+    "Dan",
+    "Serge",
+    "Laura",
+    "Alon",
+    "Jun",
+    "Quanzhong",
     "Brian",
 ];
 
 pub(crate) const LAST_NAMES: &[&str] = &[
-    "Smith", "Wang", "Park", "Yu", "Fan", "Widom", "Ullman", "Suciu", "Abiteboul", "Moon",
-    "Naughton", "Korth", "Cooper", "Sample", "Franklin", "Garcia", "Li", "Chen", "Kim", "Milo",
+    "Smith",
+    "Wang",
+    "Park",
+    "Yu",
+    "Fan",
+    "Widom",
+    "Ullman",
+    "Suciu",
+    "Abiteboul",
+    "Moon",
+    "Naughton",
+    "Korth",
+    "Cooper",
+    "Sample",
+    "Franklin",
+    "Garcia",
+    "Li",
+    "Chen",
+    "Kim",
+    "Milo",
 ];
 
 pub(crate) const JOURNALS: &[&str] = &[
-    "TODS", "VLDB Journal", "SIGMOD Record", "TKDE", "Information Systems", "Acta Informatica",
+    "TODS",
+    "VLDB Journal",
+    "SIGMOD Record",
+    "TKDE",
+    "Information Systems",
+    "Acta Informatica",
 ];
 
 pub(crate) const CONFERENCES: &[&str] = &[
@@ -30,22 +95,54 @@ pub(crate) const CONFERENCES: &[&str] = &[
 ];
 
 pub(crate) const PUBLISHERS: &[&str] = &[
-    "Morgan Kaufmann", "Addison-Wesley", "Springer", "Prentice Hall", "ACM Press",
+    "Morgan Kaufmann",
+    "Addison-Wesley",
+    "Springer",
+    "Prentice Hall",
+    "ACM Press",
 ];
 
 pub(crate) const CITIES: &[&str] = &[
-    "Pocatello", "Boston", "NewYork", "SanDiego", "Tokyo", "Paris", "London", "Seoul",
-    "Hawthorne", "Pohang", "Chicago", "Seattle", "Austin", "Denver", "Miami", "Portland",
+    "Pocatello",
+    "Boston",
+    "NewYork",
+    "SanDiego",
+    "Tokyo",
+    "Paris",
+    "London",
+    "Seoul",
+    "Hawthorne",
+    "Pohang",
+    "Chicago",
+    "Seattle",
+    "Austin",
+    "Denver",
+    "Miami",
+    "Portland",
 ];
 
 pub(crate) const COUNTRIES: &[&str] = &[
-    "UnitedStates", "Korea", "Japan", "France", "Germany", "Canada", "Brazil", "India",
+    "UnitedStates",
+    "Korea",
+    "Japan",
+    "France",
+    "Germany",
+    "Canada",
+    "Brazil",
+    "India",
 ];
 
 pub(crate) const LOCATIONS: &[&str] = &["US", "EU", "ASIA", "US", "US", "EU"]; // US-heavy, as in XMARK
 
 pub(crate) const CATEGORIES: &[&str] = &[
-    "electronics", "books", "music", "garden", "sports", "toys", "art", "tools",
+    "electronics",
+    "books",
+    "music",
+    "garden",
+    "sports",
+    "toys",
+    "art",
+    "tools",
 ];
 
 /// A space-joined random phrase of `n` words.
@@ -89,7 +186,6 @@ pub(crate) fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn deterministic_given_seed() {

@@ -9,8 +9,7 @@
 //! rooted under `site` (so `/site//item/...` paths resolve), mirroring the
 //! break-down where every sub-structure keeps its rooted context.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use vist_xml::{Document, ElementBuilder};
 
 use crate::words::{date, phrase, pick, CATEGORIES, CITIES, COUNTRIES, LOCATIONS};
@@ -52,7 +51,7 @@ fn item(rng: &mut StdRng, i: usize) -> Document {
         .attr("location", pick(rng, LOCATIONS))
         .child(ElementBuilder::new("name").text(phrase(rng, 2)))
         .child(ElementBuilder::new("category").text(pick(rng, CATEGORIES)))
-        .child(ElementBuilder::new("quantity").text(rng.random_range(1..=5).to_string()))
+        .child(ElementBuilder::new("quantity").text(rng.random_range(1..=5i32).to_string()))
         .child(
             ElementBuilder::new("description").child(
                 ElementBuilder::new("parlist")
@@ -70,10 +69,15 @@ fn item(rng: &mut StdRng, i: usize) -> Document {
         );
     }
     ElementBuilder::new("site")
-        .child(ElementBuilder::new("regions").child(
-            ElementBuilder::new(pick(rng, &["africa", "asia", "europe", "namerica", "samerica"]))
+        .child(
+            ElementBuilder::new("regions").child(
+                ElementBuilder::new(pick(
+                    rng,
+                    &["africa", "asia", "europe", "namerica", "samerica"],
+                ))
                 .child(e),
-        ))
+            ),
+        )
         .into_document()
 }
 
@@ -121,7 +125,9 @@ fn open_auction(rng: &mut StdRng, i: usize) -> Document {
         e = e.child(
             ElementBuilder::new("bidder")
                 .child(ElementBuilder::new("date").text(sentinel_date(rng)))
-                .child(ElementBuilder::new("increase").text(format!("{}.00", rng.random_range(1..50))))
+                .child(
+                    ElementBuilder::new("increase").text(format!("{}.00", rng.random_range(1..50))),
+                )
                 .child(
                     ElementBuilder::new("personref")
                         .attr("person", format!("person{}", rng.random_range(0..500))),
@@ -150,18 +156,21 @@ fn closed_auction(rng: &mut StdRng, i: usize) -> Document {
         sentinel_date(rng)
     };
     let e = ElementBuilder::new("closed_auction")
-        .child(ElementBuilder::new("seller").child(ElementBuilder::new("person").text(person.clone())))
         .child(
-            ElementBuilder::new("buyer")
-                .child(ElementBuilder::new("person").text(format!("person{}", rng.random_range(0..500)))),
+            ElementBuilder::new("seller").child(ElementBuilder::new("person").text(person.clone())),
         )
+        .child(ElementBuilder::new("buyer").child(
+            ElementBuilder::new("person").text(format!("person{}", rng.random_range(0..500))),
+        ))
         .child(ElementBuilder::new("itemref").attr("item", format!("item{}", i % 1000)))
         .child(ElementBuilder::new("price").text(format!("{}.00", rng.random_range(10..900))))
         .child(ElementBuilder::new("date").text(the_date))
         .child(ElementBuilder::new("quantity").text("1"))
         .child(
             ElementBuilder::new("annotation")
-                .child(ElementBuilder::new("author").child(ElementBuilder::new("person").text(person)))
+                .child(
+                    ElementBuilder::new("author").child(ElementBuilder::new("person").text(person)),
+                )
                 .child(ElementBuilder::new("description").text(phrase(rng, 5))),
         );
     ElementBuilder::new("site")
@@ -177,10 +186,7 @@ pub fn table3_queries() -> Vec<(&'static str, String)> {
             "Q6",
             format!("/site//item[location='US']/mail/date[text='{PLANTED_DATE}']"),
         ),
-        (
-            "Q7",
-            format!("/site//person/*/city[text='{PLANTED_CITY}']"),
-        ),
+        ("Q7", format!("/site//person/*/city[text='{PLANTED_CITY}']")),
         (
             "Q8",
             format!("//closed_auction[*[person='{PLANTED_PERSON}']]/date[text='{PLANTED_DATE}']"),
@@ -208,7 +214,10 @@ mod tests {
                 d.name(section).to_string()
             })
             .collect();
-        assert!(kinds.len() >= 3, "expected a mix of sub-structures: {kinds:?}");
+        assert!(
+            kinds.len() >= 3,
+            "expected a mix of sub-structures: {kinds:?}"
+        );
     }
 
     #[test]

@@ -195,10 +195,7 @@ mod tests {
         let q = Query { steps: vec![s] };
         let p = q.to_pattern();
         assert_eq!(p.root.children.len(), 1);
-        assert_eq!(
-            p.root.children[0].test,
-            PatternTest::Value("David".into())
-        );
+        assert_eq!(p.root.children[0].test, PatternTest::Value("David".into()));
     }
 
     #[test]

@@ -177,15 +177,18 @@ mod tests {
             (*rng >> 33) as usize
         }
         fn gen(rng: &mut u64, depth: usize) -> PatternNode {
-            let axis = if next(rng).is_multiple_of(4) { Axis::Descendant } else { Axis::Child };
+            let axis = if next(rng).is_multiple_of(4) {
+                Axis::Descendant
+            } else {
+                Axis::Child
+            };
             let test = match next(rng) % 6 {
                 0 => PatternTest::Star,
                 n => PatternTest::Tag(format!("n{}", n % 4)),
             };
             let n_children = if depth == 0 { 0 } else { next(rng) % 3 };
-            let mut children: Vec<PatternNode> = (0..n_children)
-                .map(|_| gen(rng, depth - 1))
-                .collect();
+            let mut children: Vec<PatternNode> =
+                (0..n_children).map(|_| gen(rng, depth - 1)).collect();
             if next(rng).is_multiple_of(3) {
                 let v = format!("v{}", next(rng) % 5);
                 children.push(PatternNode {
@@ -194,7 +197,11 @@ mod tests {
                     children: Vec::new(),
                 });
             }
-            PatternNode { axis, test, children }
+            PatternNode {
+                axis,
+                test,
+                children,
+            }
         }
         // Branch children are unordered conjuncts; rendering may reorder
         // them (values render as predicates before the continuation path),

@@ -112,11 +112,23 @@ mod tests {
 
     #[test]
     fn text_and_attribute_values() {
-        assert!(check("/book/author[text='David']", "<book><author>David</author></book>"));
-        assert!(!check("/book/author[text='David']", "<book><author>Mary</author></book>"));
+        assert!(check(
+            "/book/author[text='David']",
+            "<book><author>David</author></book>"
+        ));
+        assert!(!check(
+            "/book/author[text='David']",
+            "<book><author>Mary</author></book>"
+        ));
         // Attributes are child nodes in the record-tree model.
-        assert!(check("/book[key='k1']/author", r#"<book key="k1"><author>x</author></book>"#));
-        assert!(!check("/book[key='k1']/author", r#"<book key="k2"><author>x</author></book>"#));
+        assert!(check(
+            "/book[key='k1']/author",
+            r#"<book key="k1"><author>x</author></book>"#
+        ));
+        assert!(!check(
+            "/book[key='k1']/author",
+            r#"<book key="k2"><author>x</author></book>"#
+        ));
         // Value comparison trims, like hash_value.
         assert!(check("/a[text='v']", "<a>  v  </a>"));
     }
@@ -166,7 +178,13 @@ mod tests {
 
     #[test]
     fn descendant_value_search() {
-        assert!(check("//item[location='US']", r#"<site><r><item location="US"/></r></site>"#));
-        assert!(!check("//item[location='US']", r#"<site><r><item location="EU"/></r></site>"#));
+        assert!(check(
+            "//item[location='US']",
+            r#"<site><r><item location="US"/></r></site>"#
+        ));
+        assert!(!check(
+            "//item[location='US']",
+            r#"<site><r><item location="EU"/></r></site>"#
+        ));
     }
 }

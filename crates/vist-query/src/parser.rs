@@ -29,7 +29,11 @@ pub struct QueryParseError {
 
 impl fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -175,9 +179,8 @@ impl<'a> P<'a> {
     fn parse_name(&mut self) -> Result<String, QueryParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }

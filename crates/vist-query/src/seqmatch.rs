@@ -54,10 +54,7 @@ fn match_from(
         if de.sym != qe.sym {
             continue;
         }
-        let concrete = de
-            .prefix
-            .as_concrete()
-            .expect("data prefixes are concrete");
+        let concrete = de.prefix.as_concrete().expect("data prefixes are concrete");
         if !pattern.matches(&concrete) {
             continue;
         }
@@ -151,7 +148,10 @@ mod tests {
         // Subsequence semantics accepts; exact semantics rejects.
         let xml = "<a><b><c>1</c></b><b><d>2</d></b></a>";
         let q = "/a/b[c='1'][d='2']";
-        assert!(paper_match(q, xml), "paper semantics yields a false positive");
+        assert!(
+            paper_match(q, xml),
+            "paper semantics yields a false positive"
+        );
         assert!(!exact_match(q, xml), "exact semantics rejects");
         // The non-anomalous document matches under both.
         let xml_ok = "<a><b><c>1</c><d>2</d></b></a>";

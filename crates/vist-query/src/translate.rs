@@ -199,15 +199,7 @@ fn emit_node<'a>(
             // Discarded: children inherit the placeholders.
             let mut child_pending = eff;
             child_pending.push(PathSym::Star);
-            emit_children(
-                state,
-                node,
-                seq,
-                parent,
-                child_pending,
-                parent_path,
-                done,
-            );
+            emit_children(state, node, seq, parent, child_pending, parent_path, done);
         }
         PatternTest::Tag(name) => {
             let Some(symbol) = state.table.sym(name) else {
@@ -346,8 +338,7 @@ fn child_orders(
     let mut fixed: Vec<usize> = Vec::new();
     let mut floating: Vec<usize> = Vec::new();
     for (i, c) in children.iter().enumerate() {
-        let is_floating =
-            matches!(c.test, PatternTest::Star) || c.axis == Axis::Descendant;
+        let is_floating = matches!(c.test, PatternTest::Star) || c.axis == Axis::Descendant;
         if is_floating {
             floating.push(i);
         } else {
@@ -368,9 +359,7 @@ fn child_orders(
             j += 1;
         }
         let run = &fixed[i..j];
-        let all_identical = run
-            .windows(2)
-            .all(|w| children[w[0]] == children[w[1]]);
+        let all_identical = run.windows(2).all(|w| children[w[0]] == children[w[1]]);
         let run_perms: Vec<Vec<usize>> = if run.len() == 1 || all_identical {
             vec![run.to_vec()]
         } else {
@@ -485,7 +474,11 @@ mod tests {
         // /P[S[L=v5]]/B[L=v7] →
         // (P,)(S,P)(L,PS)(v5,PSL)(B,P)(L,PB)(v7,PBL)
         let (t, table) = xlate("/P[S[L='v5']]/B[L='v7']");
-        assert_eq!(t.sequences.len(), 1, "B and S are distinct names: no ambiguity");
+        assert_eq!(
+            t.sequences.len(),
+            1,
+            "B and S are distinct names: no ambiguity"
+        );
         assert_eq!(
             render(&t.sequences[0], &table),
             "(P,)(B,P)(L,P/B)(v,P/B/L)(S,P)(L,P/S)(v,P/S/L)"
@@ -527,8 +520,7 @@ mod tests {
         // /A[B/C]/B/D — two B branches with different subtrees → 2 sequences.
         let (t, table) = xlate("/A[B/C]/B/D");
         assert_eq!(t.sequences.len(), 2);
-        let rendered: Vec<String> =
-            t.sequences.iter().map(|s| render(s, &table)).collect();
+        let rendered: Vec<String> = t.sequences.iter().map(|s| render(s, &table)).collect();
         assert!(rendered.contains(&"(A,)(B,A)(C,A/B)(B,A)(D,A/B)".to_string()));
         assert!(rendered.contains(&"(A,)(B,A)(D,A/B)(B,A)(C,A/B)".to_string()));
     }

@@ -80,8 +80,8 @@ pub fn query_for(sym: Sym, prefix: &Prefix) -> DKeyQuery {
             .count() as u16;
         let mut lo = sym_bytes.clone();
         lo.extend_from_slice(&min_len.to_be_bytes());
-        let hi = codec::prefix_upper_bound(&sym_bytes)
-            .expect("symbol encoding never ends in all-0xFF");
+        let hi =
+            codec::prefix_upper_bound(&sym_bytes).expect("symbol encoding never ends in all-0xFF");
         DKeyQuery::Range {
             lo,
             hi,

@@ -70,9 +70,7 @@ impl Prefix {
         fn rec(pat: &[PathSym], data: &[Symbol]) -> bool {
             match pat.first() {
                 None => data.is_empty(),
-                Some(PathSym::Tag(t)) => {
-                    data.first() == Some(t) && rec(&pat[1..], &data[1..])
-                }
+                Some(PathSym::Tag(t)) => data.first() == Some(t) && rec(&pat[1..], &data[1..]),
                 Some(PathSym::Star) => !data.is_empty() && rec(&pat[1..], &data[1..]),
                 Some(PathSym::DoubleSlash) => {
                     (0..=data.len()).any(|skip| rec(&pat[1..], &data[skip..]))

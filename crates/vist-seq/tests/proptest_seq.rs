@@ -1,85 +1,156 @@
-//! Property tests for the sequence layer: key-order laws, prefix-matching
-//! laws, and conversion invariants.
+//! Randomized tests for the sequence layer: key-order laws, prefix-matching
+//! laws, and conversion invariants. Driven by a seeded splitmix64 generator
+//! so runs are deterministic.
 
-use proptest::prelude::*;
 use vist_seq::{
     dkey, document_to_sequence, PathSym, Prefix, SiblingOrder, Sym, Symbol, SymbolTable,
 };
 use vist_xml::{Document, ElementBuilder};
 
-fn sym_strategy() -> impl Strategy<Value = Sym> {
-    prop_oneof![
-        (0u32..50).prop_map(|i| Sym::Tag(Symbol(i))),
-        any::<u64>().prop_map(Sym::Value),
-    ]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
 }
 
-fn prefix_strategy() -> impl Strategy<Value = Vec<Symbol>> {
-    proptest::collection::vec((0u32..20).prop_map(Symbol), 0..6)
+fn random_sym(rng: &mut Rng) -> Sym {
+    if rng.below(2) == 0 {
+        Sym::Tag(Symbol(rng.below(50) as u32))
+    } else {
+        Sym::Value(rng.next())
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+fn random_prefix(rng: &mut Rng) -> Vec<Symbol> {
+    let len = rng.below(6);
+    (0..len).map(|_| Symbol(rng.below(20) as u32)).collect()
+}
 
-    /// The D-Ancestor key encoding must order by (symbol, prefix length,
-    /// prefix content) — the exact ordering the paper requires for wildcard
-    /// range queries.
-    #[test]
-    fn dkey_order_law(
-        a_sym in sym_strategy(), a_pre in prefix_strategy(),
-        b_sym in sym_strategy(), b_pre in prefix_strategy(),
-    ) {
+/// The D-Ancestor key encoding must order by (symbol, prefix length,
+/// prefix content) — the exact ordering the paper requires for wildcard
+/// range queries.
+#[test]
+fn dkey_order_law() {
+    for case in 0..512u64 {
+        let mut rng = Rng(0xD0E1 ^ (case << 6));
+        let a_sym = random_sym(&mut rng);
+        let a_pre = random_prefix(&mut rng);
+        let b_sym = random_sym(&mut rng);
+        let b_pre = random_prefix(&mut rng);
         let ka = dkey::encode(a_sym, &a_pre);
         let kb = dkey::encode(b_sym, &b_pre);
-        let logical = (a_sym.encode(), a_pre.len(), a_pre.clone())
-            .cmp(&(b_sym.encode(), b_pre.len(), b_pre.clone()));
-        prop_assert_eq!(ka.cmp(&kb), logical);
+        let logical = (a_sym.encode(), a_pre.len(), a_pre.clone()).cmp(&(
+            b_sym.encode(),
+            b_pre.len(),
+            b_pre.clone(),
+        ));
+        assert_eq!(ka.cmp(&kb), logical);
         // And decoding inverts encoding.
-        prop_assert_eq!(dkey::decode(&ka), (a_sym, a_pre));
+        assert_eq!(dkey::decode(&ka), (a_sym, a_pre));
     }
+}
 
-    /// `*` consumes exactly one symbol: a pattern with k stars and t tags
-    /// (no `//`) matches only prefixes of length k + t.
-    #[test]
-    fn star_pattern_length_law(
-        steps in proptest::collection::vec(
-            prop_oneof![(0u32..5).prop_map(|i| PathSym::Tag(Symbol(i))), Just(PathSym::Star)],
-            0..6,
-        ),
-        data in prefix_strategy(),
-    ) {
+/// `*` consumes exactly one symbol: a pattern with k stars and t tags
+/// (no `//`) matches only prefixes of length k + t.
+#[test]
+fn star_pattern_length_law() {
+    for case in 0..512u64 {
+        let mut rng = Rng(0x57A2 ^ (case << 6));
+        let steps: Vec<PathSym> = (0..rng.below(6))
+            .map(|_| {
+                if rng.below(2) == 0 {
+                    PathSym::Tag(Symbol(rng.below(5) as u32))
+                } else {
+                    PathSym::Star
+                }
+            })
+            .collect();
+        let data = random_prefix(&mut rng);
         let pat = Prefix(steps.clone());
         if pat.matches(&data) {
-            prop_assert_eq!(steps.len(), data.len());
+            assert_eq!(steps.len(), data.len());
         }
     }
+}
 
-    /// `//` is monotone: if a pattern with a `//` matches some data prefix,
-    /// inserting extra symbols at the `//` position still matches.
-    #[test]
-    fn dslash_monotonicity(
-        head in proptest::collection::vec((0u32..5).prop_map(Symbol), 0..3),
-        tail in proptest::collection::vec((0u32..5).prop_map(Symbol), 0..3),
-        insert in (0u32..5).prop_map(Symbol),
-    ) {
+/// `//` is monotone: if a pattern with a `//` matches some data prefix,
+/// inserting extra symbols at the `//` position still matches.
+#[test]
+fn dslash_monotonicity() {
+    for case in 0..512u64 {
+        let mut rng = Rng(0xD51A ^ (case << 6));
+        let head: Vec<Symbol> = (0..rng.below(3))
+            .map(|_| Symbol(rng.below(5) as u32))
+            .collect();
+        let tail: Vec<Symbol> = (0..rng.below(3))
+            .map(|_| Symbol(rng.below(5) as u32))
+            .collect();
+        let insert = Symbol(rng.below(5) as u32);
+
         let mut steps: Vec<PathSym> = head.iter().map(|&s| PathSym::Tag(s)).collect();
         steps.push(PathSym::DoubleSlash);
         steps.extend(tail.iter().map(|&s| PathSym::Tag(s)));
         let pat = Prefix(steps);
 
         let data: Vec<Symbol> = head.iter().chain(tail.iter()).copied().collect();
-        prop_assert!(pat.matches(&data), "zero-width // must match");
+        assert!(pat.matches(&data), "zero-width // must match");
         let mut widened = head.clone();
         widened.push(insert);
         widened.extend(tail.iter().copied());
-        prop_assert!(pat.matches(&widened), "one inserted symbol must match");
+        assert!(pat.matches(&widened), "one inserted symbol must match");
     }
+}
 
-    /// Document → sequence: element count preserved, prefixes nest (each
-    /// element's prefix extends some earlier element's prefix by exactly its
-    /// symbol), and the symbol kinds match the node kinds.
-    #[test]
-    fn conversion_invariants(doc in doc_strategy()) {
+fn random_word(rng: &mut Rng, min: usize, max: usize) -> String {
+    let len = min + rng.below(max - min + 1);
+    (0..len)
+        .map(|_| (b'a' + rng.below(26) as u8) as char)
+        .collect()
+}
+
+fn random_doc(rng: &mut Rng, depth: usize) -> ElementBuilder {
+    const NAMES: [&str; 3] = ["a", "b", "c"];
+    let mut e = ElementBuilder::new(NAMES[rng.below(3)]);
+    if depth == 0 {
+        if rng.below(2) == 0 {
+            e = e.text(random_word(rng, 0, 4));
+        }
+        return e;
+    }
+    let kids: Vec<ElementBuilder> = (0..rng.below(4))
+        .map(|_| random_doc(rng, depth - 1))
+        .collect();
+    e = e.children(kids);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..rng.below(2) {
+        let an = random_word(rng, 1, 3);
+        if seen.insert(an.clone()) {
+            let av = random_word(rng, 0, 3);
+            e = e.attr(an, av);
+        }
+    }
+    e
+}
+
+/// Document → sequence: element count preserved, prefixes nest (each
+/// element's prefix extends some earlier element's prefix by exactly its
+/// symbol), and the symbol kinds match the node kinds.
+#[test]
+fn conversion_invariants() {
+    for case in 0..256u64 {
+        let mut rng = Rng(0xC0F1 ^ (case << 6));
+        let depth = rng.below(4);
+        let doc: Document = random_doc(&mut rng, depth).into_document();
         let mut table = SymbolTable::new();
         let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
         // Count: every element + attribute (+ its value) + non-ws text.
@@ -91,14 +162,14 @@ proptest! {
                 expected += 1;
             }
         }
-        prop_assert_eq!(seq.len(), expected);
+        assert_eq!(seq.len(), expected);
         // Structural law: preorder prefixes form a valid tree walk — each
         // prefix is either empty (the root) or equal to some previous
         // element's prefix plus that element's own tag.
         let mut seen_paths: Vec<Vec<Symbol>> = vec![Vec::new()];
         for e in seq.iter() {
             let p = e.prefix.as_concrete().expect("data prefixes concrete");
-            prop_assert!(seen_paths.contains(&p), "prefix {:?} has no origin", p);
+            assert!(seen_paths.contains(&p), "prefix {p:?} has no origin");
             if let Sym::Tag(t) = e.sym {
                 let mut mine = p.clone();
                 mine.push(t);
@@ -106,33 +177,4 @@ proptest! {
             }
         }
     }
-}
-
-fn doc_strategy() -> impl Strategy<Value = Document> {
-    let names = ["a", "b", "c"];
-    let leaf = (0usize..3, proptest::option::of("[a-z]{0,4}")).prop_map(move |(n, t)| {
-        let mut e = ElementBuilder::new(names[n]);
-        if let Some(t) = t {
-            e = e.text(t);
-        }
-        e
-    });
-    leaf.prop_recursive(3, 24, 4, move |inner| {
-        (
-            0usize..3,
-            proptest::collection::vec(inner, 0..4),
-            proptest::collection::vec(("[a-z]{1,3}", "[a-z]{0,3}"), 0..2),
-        )
-            .prop_map(move |(n, children, attrs)| {
-                let mut e = ElementBuilder::new(names[n]).children(children);
-                let mut seen = std::collections::HashSet::new();
-                for (an, av) in attrs {
-                    if seen.insert(an.clone()) {
-                        e = e.attr(an, av);
-                    }
-                }
-                e
-            })
-    })
-    .prop_map(ElementBuilder::into_document)
 }

@@ -1,20 +1,35 @@
-//! A fixed-capacity page cache with CLOCK eviction.
+//! A fixed-capacity page cache with lock striping and CLOCK eviction.
 //!
-//! The pool owns its backing [`Pager`]. Pages are fetched through RAII guards
-//! ([`PageRef`], [`PageRefMut`]) that pin the frame for their lifetime;
-//! eviction only considers unpinned frames and writes dirty victims back.
+//! The pool owns its backing [`Pager`]. Frames are partitioned into
+//! power-of-two *shards* keyed by a hash of the page id; a cache **hit**
+//! touches only its shard's mutex, so readers on disjoint pages scale with
+//! core count instead of serializing behind one pool-wide lock. The pager
+//! itself sits behind a separate mutex and is only locked on a miss,
+//! eviction write-back, allocation, or flush.
+//!
+//! Pages are fetched through RAII guards ([`PageRef`], [`PageRefMut`]) that
+//! pin the frame for their lifetime; eviction only considers unpinned frames
+//! and writes dirty victims back.
+//!
+//! Lock hierarchy (see `docs/CONCURRENCY.md` at the repo root): a shard
+//! mutex may be held while taking the pager mutex, never the reverse; frame
+//! `RwLock`s are leaves and are never held while acquiring a shard lock.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
-use parking_lot::{Mutex, RawRwLock, RwLock};
-
+use crate::sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, MutexGuard, RwLock};
 use crate::{Error, IoStats, PageId, Pager, Result};
 
-type ReadGuard = ArcRwLockReadGuard<RawRwLock, Box<[u8]>>;
-type WriteGuard = ArcRwLockWriteGuard<RawRwLock, Box<[u8]>>;
+type ReadGuard = ArcRwLockReadGuard<Box<[u8]>>;
+type WriteGuard = ArcRwLockWriteGuard<Box<[u8]>>;
+
+/// Hard ceiling on the number of shards.
+const MAX_SHARDS: usize = 16;
+/// Minimum frames per shard; pools smaller than `2 * MIN_SHARD_FRAMES` stay
+/// single-sharded so tiny-cache eviction semantics match the unsharded pool.
+const MIN_SHARD_FRAMES: usize = 4;
 
 struct Frame {
     pid: PageId,
@@ -24,23 +39,84 @@ struct Frame {
     referenced: AtomicBool,
 }
 
-struct Inner {
-    pager: Box<dyn Pager>,
+/// One lock stripe: a slice of the frame map plus its own CLOCK hand.
+struct ShardInner {
     map: HashMap<PageId, Arc<Frame>>,
     ring: Vec<Arc<Frame>>,
     hand: usize,
     capacity: usize,
-    hits: u64,
-    misses: u64,
-    write_backs: u64,
 }
 
-/// A page cache over a [`Pager`].
+struct Shard {
+    inner: Mutex<ShardInner>,
+    hits: AtomicU64,
+    /// Hits whose shard lock was acquired without blocking (`try_lock`
+    /// succeeded) — a direct measure of how contention-free the striped
+    /// hot path is.
+    uncontended_hits: AtomicU64,
+    misses: AtomicU64,
+    write_backs: AtomicU64,
+}
+
+/// Cache counters of a single buffer-pool shard.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups that found the page cached in this shard.
+    pub hits: u64,
+    /// Subset of `hits` whose shard lock was acquired without contention.
+    pub uncontended_hits: u64,
+    /// Lookups that had to read the page from the pager.
+    pub misses: u64,
+    /// Dirty pages this shard wrote back (eviction or flush).
+    pub write_backs: u64,
+}
+
+impl ShardStats {
+    /// Hit ratio in `[0, 1]`; `None` when the shard saw no lookups.
+    #[must_use]
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// Per-shard statistics snapshot of a [`BufferPool`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl PoolStats {
+    /// Number of shards in the pool.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Sum of per-shard counters.
+    #[must_use]
+    pub fn totals(&self) -> ShardStats {
+        let mut t = ShardStats::default();
+        for s in &self.shards {
+            t.hits += s.hits;
+            t.uncontended_hits += s.uncontended_hits;
+            t.misses += s.misses;
+            t.write_backs += s.write_backs;
+        }
+        t
+    }
+}
+
+/// A sharded page cache over a [`Pager`].
 ///
 /// All methods take `&self`; the pool is internally synchronized and is
-/// `Send + Sync` when its pager is.
+/// `Send + Sync` when its pager is. A cache hit takes only the owning
+/// shard's mutex.
 pub struct BufferPool {
-    inner: Mutex<Inner>,
+    shards: Box<[Shard]>,
+    shard_mask: u32,
+    pager: Mutex<Box<dyn Pager>>,
     page_size: usize,
 }
 
@@ -102,23 +178,52 @@ impl Drop for PageRefMut {
     }
 }
 
+/// Largest power-of-two shard count that keeps every shard at least
+/// [`MIN_SHARD_FRAMES`] frames, capped at [`MAX_SHARDS`].
+fn shard_count_for(capacity: usize) -> usize {
+    let mut n = 1usize;
+    while n * 2 <= MAX_SHARDS && capacity / (n * 2) >= MIN_SHARD_FRAMES {
+        n *= 2;
+    }
+    n
+}
+
 impl BufferPool {
-    /// Wrap `pager` with a cache of `capacity` frames (at least 4).
+    /// Wrap `pager` with a cache of `capacity` frames (at least 4), striped
+    /// over up to 16 shards.
     pub fn with_capacity<P: Pager + 'static>(pager: P, capacity: usize) -> Self {
         let page_size = pager.page_size();
+        let capacity = capacity.max(MIN_SHARD_FRAMES);
+        let n = shard_count_for(capacity);
+        let shards: Box<[Shard]> = (0..n)
+            .map(|i| Shard {
+                inner: Mutex::new(ShardInner {
+                    map: HashMap::new(),
+                    ring: Vec::new(),
+                    hand: 0,
+                    // Distribute the capacity; the first `capacity % n`
+                    // shards take one extra frame.
+                    capacity: capacity / n + usize::from(i < capacity % n),
+                }),
+                hits: AtomicU64::new(0),
+                uncontended_hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                write_backs: AtomicU64::new(0),
+            })
+            .collect();
         BufferPool {
-            inner: Mutex::new(Inner {
-                pager: Box::new(pager),
-                map: HashMap::new(),
-                ring: Vec::new(),
-                hand: 0,
-                capacity: capacity.max(4),
-                hits: 0,
-                misses: 0,
-                write_backs: 0,
-            }),
+            shards,
+            shard_mask: (n - 1) as u32,
+            pager: Mutex::new(Box::new(pager)),
             page_size,
         }
+    }
+
+    /// The shard owning `pid` (Fibonacci hash over the page id, so dense
+    /// sequential ids still spread across shards).
+    fn shard(&self, pid: PageId) -> &Shard {
+        let h = pid.wrapping_mul(0x9E37_79B9).rotate_right(12);
+        &self.shards[(h & self.shard_mask) as usize]
     }
 
     /// Page size of the underlying pager.
@@ -127,14 +232,21 @@ impl BufferPool {
         self.page_size
     }
 
+    /// Number of shards the frame map is striped over.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Allocate a fresh page (zeroed) in the backing store.
     pub fn allocate(&self) -> Result<PageId> {
-        self.inner.lock().pager.allocate()
+        self.pager.lock().allocate()
     }
 
     /// Free a page. Fails with [`Error::PoolExhausted`] if it is pinned.
     pub fn free(&self, pid: PageId) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let shard = self.shard(pid);
+        let mut inner = shard.inner.lock();
         if let Some(frame) = inner.map.get(&pid) {
             if frame.pins.load(Ordering::Acquire) > 0 {
                 return Err(Error::PoolExhausted);
@@ -145,22 +257,37 @@ impl BufferPool {
                 inner.hand = 0;
             }
         }
-        inner.pager.free(pid)
+        // Shard lock held across the pager call: keeps free vs. re-fetch of
+        // the same pid serialized (same shard by construction).
+        self.pager.lock().free(pid)
     }
 
-    fn get_frame(inner: &mut Inner, pid: PageId, page_size: usize) -> Result<Arc<Frame>> {
+    /// Lock a shard, reporting whether the lock was contended.
+    fn lock_shard<'a>(shard: &'a Shard) -> (MutexGuard<'a, ShardInner>, bool) {
+        match shard.inner.try_lock() {
+            Some(g) => (g, false),
+            None => (shard.inner.lock(), true),
+        }
+    }
+
+    fn get_frame(&self, pid: PageId) -> Result<Arc<Frame>> {
+        let shard = self.shard(pid);
+        let (mut inner, contended) = Self::lock_shard(shard);
         if let Some(frame) = inner.map.get(&pid) {
-            inner.hits += 1;
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            if !contended {
+                shard.uncontended_hits.fetch_add(1, Ordering::Relaxed);
+            }
             frame.referenced.store(true, Ordering::Relaxed);
             frame.pins.fetch_add(1, Ordering::Acquire);
             return Ok(Arc::clone(frame));
         }
-        inner.misses += 1;
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         if inner.ring.len() >= inner.capacity {
-            Self::evict_one(inner)?;
+            self.evict_one(shard, &mut inner)?;
         }
-        let mut buf = vec![0u8; page_size].into_boxed_slice();
-        inner.pager.read(pid, &mut buf)?;
+        let mut buf = vec![0u8; self.page_size].into_boxed_slice();
+        self.pager.lock().read(pid, &mut buf)?;
         let frame = Arc::new(Frame {
             pid,
             data: Arc::new(RwLock::new(buf)),
@@ -173,7 +300,7 @@ impl BufferPool {
         Ok(frame)
     }
 
-    fn evict_one(inner: &mut Inner) -> Result<()> {
+    fn evict_one(&self, shard: &Shard, inner: &mut ShardInner) -> Result<()> {
         // Two full sweeps: the first clears reference bits, the second takes
         // any unpinned frame. If everything stays pinned, fail.
         let n = inner.ring.len();
@@ -189,8 +316,8 @@ impl BufferPool {
             }
             if frame.dirty.swap(false, Ordering::AcqRel) {
                 let data = frame.data.read();
-                inner.pager.write(frame.pid, &data)?;
-                inner.write_backs += 1;
+                self.pager.lock().write(frame.pid, &data)?;
+                shard.write_backs.fetch_add(1, Ordering::Relaxed);
             }
             inner.map.remove(&frame.pid);
             inner.ring.swap_remove(idx);
@@ -204,10 +331,7 @@ impl BufferPool {
 
     /// Fetch a page for reading.
     pub fn fetch(&self, pid: PageId) -> Result<PageRef> {
-        let frame = {
-            let mut inner = self.inner.lock();
-            Self::get_frame(&mut inner, pid, self.page_size)?
-        };
+        let frame = self.get_frame(pid)?;
         let guard = RwLock::read_arc(&frame.data);
         Ok(PageRef { frame, guard })
     }
@@ -215,49 +339,66 @@ impl BufferPool {
     /// Fetch a page for writing. The page is marked dirty when the guard
     /// drops.
     pub fn fetch_mut(&self, pid: PageId) -> Result<PageRefMut> {
-        let frame = {
-            let mut inner = self.inner.lock();
-            Self::get_frame(&mut inner, pid, self.page_size)?
-        };
+        let frame = self.get_frame(pid)?;
         let guard = RwLock::write_arc(&frame.data);
         Ok(PageRefMut { frame, guard })
     }
 
     /// Write all dirty cached pages back and sync the backing store.
     pub fn flush(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let frames: Vec<Arc<Frame>> = inner.ring.to_vec();
-        for frame in frames {
-            if frame.dirty.swap(false, Ordering::AcqRel) {
-                let data = frame.data.read();
-                inner.pager.write(frame.pid, &data)?;
-                inner.write_backs += 1;
+        for shard in self.shards.iter() {
+            // Snapshot the shard's frames, then write back outside its lock
+            // so concurrent fetches on the shard are not stalled by I/O.
+            let frames: Vec<Arc<Frame>> = shard.inner.lock().ring.to_vec();
+            for frame in frames {
+                if frame.dirty.swap(false, Ordering::AcqRel) {
+                    let data = frame.data.read();
+                    self.pager.lock().write(frame.pid, &data)?;
+                    shard.write_backs.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
-        inner.pager.sync()
+        self.pager.lock().sync()
     }
 
     /// Number of live pages in the backing store.
     #[must_use]
     pub fn live_pages(&self) -> u64 {
-        self.inner.lock().pager.live_pages()
+        self.pager.lock().live_pages()
     }
 
     /// Total bytes of the backing store (the on-disk index size).
     #[must_use]
     pub fn store_bytes(&self) -> u64 {
-        self.inner.lock().pager.store_bytes()
+        self.pager.lock().store_bytes()
     }
 
-    /// Combined pager + cache statistics.
+    /// Combined pager + cache statistics, aggregated over all shards.
     #[must_use]
     pub fn stats(&self) -> IoStats {
-        let inner = self.inner.lock();
-        let mut s = inner.pager.stats();
-        s.cache_hits = inner.hits;
-        s.cache_misses = inner.misses;
-        s.write_backs = inner.write_backs;
+        let mut s = self.pager.lock().stats();
+        let t = self.pool_stats().totals();
+        s.cache_hits = t.hits;
+        s.cache_misses = t.misses;
+        s.write_backs = t.write_backs;
         s
+    }
+
+    /// Per-shard cache statistics.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardStats {
+                    hits: s.hits.load(Ordering::Relaxed),
+                    uncontended_hits: s.uncontended_hits.load(Ordering::Relaxed),
+                    misses: s.misses.load(Ordering::Relaxed),
+                    write_backs: s.write_backs.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
     }
 }
 
@@ -268,6 +409,26 @@ mod tests {
 
     fn pool(cap: usize) -> BufferPool {
         BufferPool::with_capacity(MemPager::new(256), cap)
+    }
+
+    #[test]
+    fn shard_count_scales_with_capacity() {
+        assert_eq!(shard_count_for(4), 1);
+        assert_eq!(shard_count_for(7), 1);
+        assert_eq!(shard_count_for(8), 2);
+        assert_eq!(shard_count_for(64), 16);
+        assert_eq!(shard_count_for(1024), 16);
+        assert_eq!(pool(4).shard_count(), 1);
+        assert_eq!(pool(1024).shard_count(), 16);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_total() {
+        for cap in [4usize, 9, 17, 63, 64, 100, 1024] {
+            let p = pool(cap);
+            let total: usize = p.shards.iter().map(|s| s.inner.lock().capacity).sum();
+            assert_eq!(total, cap, "capacity {cap}");
+        }
     }
 
     #[test]
@@ -344,6 +505,23 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.cache_hits, 1);
+        let ps = pool.pool_stats();
+        assert_eq!(ps.totals().hits, 1);
+        assert_eq!(ps.totals().misses, 1);
+        assert_eq!(ps.totals().hit_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn uncontended_hits_counted_single_threaded() {
+        let pool = pool(8);
+        let pid = pool.allocate().unwrap();
+        for _ in 0..10 {
+            let _ = pool.fetch(pid).unwrap();
+        }
+        let t = pool.pool_stats().totals();
+        // First fetch misses; with no other threads, every hit is uncontended.
+        assert_eq!(t.hits, 9);
+        assert_eq!(t.uncontended_hits, 9);
     }
 
     #[test]
@@ -360,5 +538,39 @@ mod tests {
             let _ = pool.fetch(p).unwrap();
         }
         assert_eq!(pool.fetch(pid).unwrap().data()[7], 0x77);
+    }
+
+    #[test]
+    fn concurrent_hits_spread_across_shards() {
+        let pool = std::sync::Arc::new(pool(64));
+        let mut pids = Vec::new();
+        for i in 0..32u8 {
+            let pid = pool.allocate().unwrap();
+            pool.fetch_mut(pid).unwrap().data_mut()[0] = i;
+            pids.push(pid);
+        }
+        let pids = std::sync::Arc::new(pids);
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let pool = std::sync::Arc::clone(&pool);
+            let pids = std::sync::Arc::clone(&pids);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..500usize {
+                    let i = (t * 13 + round) % pids.len();
+                    let p = pool.fetch(pids[i]).unwrap();
+                    assert_eq!(p.data()[0], i as u8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let ps = pool.pool_stats();
+        assert!(ps.shard_count() > 1);
+        // Hits landed on more than one shard.
+        let active = ps.shards.iter().filter(|s| s.hits > 0).count();
+        assert!(active > 1, "stats: {ps:?}");
+        // The 32 setup fetches are all misses; the 8×500 reads all hit.
+        assert_eq!(ps.totals().hits, 8 * 500);
     }
 }

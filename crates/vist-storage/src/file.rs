@@ -67,8 +67,8 @@ impl FilePager {
         if &hdr[HDR_MAGIC..HDR_MAGIC + 8] != MAGIC {
             return Err(Error::Corrupt("bad magic".into()));
         }
-        let page_size = u32::from_le_bytes(hdr[HDR_PAGE_SIZE..HDR_PAGE_SIZE + 4].try_into().unwrap())
-            as usize;
+        let page_size =
+            u32::from_le_bytes(hdr[HDR_PAGE_SIZE..HDR_PAGE_SIZE + 4].try_into().unwrap()) as usize;
         check_page_size(page_size).map_err(|_| Error::Corrupt("bad page size in header".into()))?;
         let free_head =
             PageId::from_le_bytes(hdr[HDR_FREE_HEAD..HDR_FREE_HEAD + 4].try_into().unwrap());

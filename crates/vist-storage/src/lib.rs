@@ -38,8 +38,9 @@ mod mem;
 mod pager;
 mod slotted;
 mod stats;
+pub mod sync;
 
-pub use buffer::{BufferPool, PageRef, PageRefMut};
+pub use buffer::{BufferPool, PageRef, PageRefMut, PoolStats, ShardStats};
 pub use error::{Error, Result};
 pub use file::FilePager;
 pub use mem::MemPager;

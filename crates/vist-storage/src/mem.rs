@@ -132,7 +132,10 @@ mod tests {
         let buf = vec![0xFFu8; 256];
         p.write(a, &buf).unwrap();
         p.free(a).unwrap();
-        assert!(p.read(a, &mut vec![0u8; 256]).is_err(), "freed page invalid");
+        assert!(
+            p.read(a, &mut vec![0u8; 256]).is_err(),
+            "freed page invalid"
+        );
         let a2 = p.allocate().unwrap();
         assert_eq!(a, a2, "LIFO recycling");
         let mut out = vec![0xEEu8; 256];

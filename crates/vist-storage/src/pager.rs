@@ -1,6 +1,6 @@
 //! The [`Pager`] trait: fixed-size page allocation and I/O.
 
-use crate::{Result, IoStats};
+use crate::{IoStats, Result};
 
 /// Identifier of a page within a pager. Page ids are dense `u32`s; page 0 is
 /// reserved by [`crate::FilePager`] for its header and is never handed out.

@@ -1,0 +1,274 @@
+//! Minimal synchronization primitives over `std::sync`.
+//!
+//! The crate needs three things the standard library does not expose
+//! directly with an ergonomic API:
+//!
+//! 1. **Poison-free guards.** A panic while holding a lock in one reader
+//!    must not wedge every later reader with `PoisonError`; these wrappers
+//!    simply take the inner value and continue.
+//! 2. **Owned (`Arc`-backed) `RwLock` guards.** A [`crate::PageRef`] must
+//!    keep the page's frame lock held while being moved around and stored,
+//!    which a borrowed `RwLockReadGuard<'a>` cannot do.
+//! 3. **`try_lock` contention probing** for the buffer pool's
+//!    uncontended-hit counter.
+//!
+//! The API is a small subset of the `parking_lot` crate's, so swapping a
+//! real dependency in later is a one-line change per import. Everything is
+//! a thin wrapper; there is no hand-rolled lock algorithm here.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, Arc, TryLockError};
+
+/// A mutual-exclusion lock whose guards never surface poisoning.
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized>(sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Create a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is acquired.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquire the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// A readers-writer lock whose guards never surface poisoning.
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// Borrowed shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+
+/// Borrowed exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Create a new unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Block until shared access is acquired.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Block until exclusive access is acquired.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T: 'static> RwLock<T> {
+    /// Shared lock that owns a clone of the `Arc`, so the guard may outlive
+    /// the borrow of `lock`.
+    pub fn read_arc(lock: &Arc<RwLock<T>>) -> ArcRwLockReadGuard<T> {
+        let arc = Arc::clone(lock);
+        let guard = arc.0.read().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: the guard borrows `arc`'s inner lock; the transmute only
+        // erases that lifetime. The guard is stored *before* the Arc in the
+        // owned-guard struct, so it is dropped first, and the Arc keeps the
+        // lock alive for the guard's whole life. The inner sync guard is
+        // never moved out or leaked past the Arc.
+        let guard: sync::RwLockReadGuard<'static, T> = unsafe { std::mem::transmute(guard) };
+        ArcRwLockReadGuard { guard, _arc: arc }
+    }
+
+    /// Exclusive lock that owns a clone of the `Arc`.
+    pub fn write_arc(lock: &Arc<RwLock<T>>) -> ArcRwLockWriteGuard<T> {
+        let arc = Arc::clone(lock);
+        let guard = arc.0.write().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: as in `read_arc`.
+        let guard: sync::RwLockWriteGuard<'static, T> = unsafe { std::mem::transmute(guard) };
+        ArcRwLockWriteGuard { guard, _arc: arc }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Owned shared guard: holds the lock and an `Arc` to it.
+///
+/// Field order is load-bearing: `guard` is declared before `_arc` so it is
+/// dropped first, releasing the lock before the backing allocation can go
+/// away.
+pub struct ArcRwLockReadGuard<T: 'static> {
+    guard: sync::RwLockReadGuard<'static, T>,
+    _arc: Arc<RwLock<T>>,
+}
+
+/// Owned exclusive guard: holds the lock and an `Arc` to it.
+pub struct ArcRwLockWriteGuard<T: 'static> {
+    guard: sync::RwLockWriteGuard<'static, T>,
+    _arc: Arc<RwLock<T>>,
+}
+
+impl<T> Deref for ArcRwLockReadGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> Deref for ArcRwLockWriteGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for ArcRwLockWriteGuard<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RwLock(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_survives_panic_while_held() {
+        let m = Arc::new(Mutex::new(5));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 5, "lock usable after a holder panicked");
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(1);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn arc_guard_outlives_borrow() {
+        let lock = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let guard = {
+            let borrowed = &lock;
+            RwLock::read_arc(borrowed)
+        };
+        drop(lock);
+        assert_eq!(*guard, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn write_arc_then_read() {
+        let lock = Arc::new(RwLock::new(0u32));
+        {
+            let mut g = RwLock::write_arc(&lock);
+            *g = 7;
+        }
+        assert_eq!(*lock.read(), 7);
+    }
+
+    #[test]
+    fn many_concurrent_readers() {
+        let lock = Arc::new(RwLock::new(42u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(*RwLock::read_arc(&lock), 42);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,9 +1,27 @@
-//! Property tests: the file pager must behave exactly like the in-memory
-//! pager under arbitrary allocate/free/write/read sequences, and survive
-//! reopen at any flush point.
+//! Randomized differential tests: the file pager must behave exactly like
+//! the in-memory pager under arbitrary allocate/free/write/read sequences,
+//! and survive reopen at any flush point.
+//!
+//! Uses a seeded splitmix64 generator so every run explores the same op
+//! sequences (failures are reproducible from the printed seed).
 
-use proptest::prelude::*;
 use vist_storage::{FilePager, MemPager, Pager};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,13 +34,15 @@ enum Op {
     Read(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Allocate),
-        1 => any::<usize>().prop_map(Op::Free),
-        3 => (any::<usize>(), any::<u8>()).prop_map(|(i, b)| Op::Write(i, b)),
-        2 => any::<usize>().prop_map(Op::Read),
-    ]
+fn random_ops(rng: &mut Rng, n: usize) -> Vec<Op> {
+    (0..n)
+        .map(|_| match rng.below(9) {
+            0..=2 => Op::Allocate,
+            3 => Op::Free(rng.below(1 << 16)),
+            4..=6 => Op::Write(rng.below(1 << 16), rng.next() as u8),
+            _ => Op::Read(rng.below(1 << 16)),
+        })
+        .collect()
 }
 
 fn run_ops(file: &mut FilePager, mem: &mut MemPager, ops: &[Op]) {
@@ -77,16 +97,14 @@ fn run_ops(file: &mut FilePager, mem: &mut MemPager, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn file_pager_matches_mem_pager(ops in proptest::collection::vec(op_strategy(), 1..200)) {
-        let path = std::env::temp_dir().join(format!(
-            "vist-pager-prop-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
+#[test]
+fn file_pager_matches_mem_pager() {
+    for case in 0..32u64 {
+        let mut rng = Rng(0xD1FF ^ case);
+        let len = 1 + rng.below(199);
+        let ops = random_ops(&mut rng, len);
+        let path =
+            std::env::temp_dir().join(format!("vist-pager-prop-{}-{case}", std::process::id()));
         {
             let mut file = FilePager::create(&path, 256).unwrap();
             let mut mem = MemPager::new(256);
@@ -94,16 +112,15 @@ proptest! {
         }
         let _ = std::fs::remove_file(&path);
     }
+}
 
-    #[test]
-    fn reopen_preserves_pages(
-        writes in proptest::collection::vec(any::<u8>(), 1..40),
-    ) {
-        let path = std::env::temp_dir().join(format!(
-            "vist-pager-reopen-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
+#[test]
+fn reopen_preserves_pages() {
+    for case in 0..16u64 {
+        let mut rng = Rng(0xBEEF ^ case);
+        let writes: Vec<u8> = (0..1 + rng.below(39)).map(|_| rng.next() as u8).collect();
+        let path =
+            std::env::temp_dir().join(format!("vist-pager-reopen-{}-{case}", std::process::id()));
         let mut pids = Vec::new();
         {
             let mut p = FilePager::create(&path, 256).unwrap();
@@ -116,11 +133,11 @@ proptest! {
         }
         {
             let mut p = FilePager::open(&path).unwrap();
-            prop_assert_eq!(p.live_pages(), writes.len() as u64);
+            assert_eq!(p.live_pages(), writes.len() as u64);
             for (pid, b) in &pids {
                 let mut buf = vec![0u8; 256];
                 p.read(*pid, &mut buf).unwrap();
-                prop_assert!(buf.iter().all(|x| x == b));
+                assert!(buf.iter().all(|x| x == b));
             }
         }
         let _ = std::fs::remove_file(&path);

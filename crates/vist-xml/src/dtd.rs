@@ -138,7 +138,8 @@ impl<'a> DtdParser<'a> {
         self.skip_ws();
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -314,7 +315,10 @@ mod tests {
         let order = dtd.sibling_order();
         let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
         assert!(pos("purchases") < pos("purchase"));
-        assert!(pos("seller") < pos("location"), "seller ATTLIST comes first");
+        assert!(
+            pos("seller") < pos("location"),
+            "seller ATTLIST comes first"
+        );
         assert!(pos("location") < pos("item"));
     }
 
@@ -330,10 +334,9 @@ mod tests {
 
     #[test]
     fn comments_entities_pis_skipped() {
-        let dtd = parse_dtd(
-            "<!-- header --> <!ENTITY amp '&#38;'> <?pi data?> <!ELEMENT a (#PCDATA)>",
-        )
-        .unwrap();
+        let dtd =
+            parse_dtd("<!-- header --> <!ENTITY amp '&#38;'> <?pi data?> <!ELEMENT a (#PCDATA)>")
+                .unwrap();
         assert_eq!(dtd.elements.len(), 1);
         assert_eq!(dtd.elements[0].content_model, "(#PCDATA)");
     }
@@ -351,7 +354,10 @@ mod tests {
     fn errors() {
         assert!(parse_dtd("<!ELEMENT unterminated").is_err());
         assert!(parse_dtd("garbage").is_err());
-        assert!(parse_dtd("<!DOCTYPE x <!ELEMENT a EMPTY>").is_err(), "missing [");
+        assert!(
+            parse_dtd("<!DOCTYPE x <!ELEMENT a EMPTY>").is_err(),
+            "missing ["
+        );
         assert!(parse_dtd("<!DOCTYPE x [ <!ELEMENT a EMPTY> ]> trailing").is_err());
     }
 

@@ -49,7 +49,13 @@ mod tests {
 
     #[test]
     fn display_includes_position() {
-        let e = ParseError::new(Position { line: 3, column: 14 }, "unexpected '<'");
+        let e = ParseError::new(
+            Position {
+                line: 3,
+                column: 14,
+            },
+            "unexpected '<'",
+        );
         let s = e.to_string();
         assert!(s.contains("3:14"));
         assert!(s.contains("unexpected '<'"));

@@ -23,13 +23,11 @@ pub fn parse(input: &str) -> Result<Document, ParseError> {
             Event::Start { name, attributes } => {
                 let id = match stack.last() {
                     None => {
-                        let id = NodeId::try_from(doc.nodes.len())
-                            .map_err(|_| ParseError::new(reader.position(), "document too large"))?;
+                        let id = NodeId::try_from(doc.nodes.len()).map_err(|_| {
+                            ParseError::new(reader.position(), "document too large")
+                        })?;
                         doc.nodes.push(crate::dom::Node {
-                            data: NodeData::Element {
-                                name,
-                                attributes,
-                            },
+                            data: NodeData::Element { name, attributes },
                             parent: None,
                             children: Vec::new(),
                         });

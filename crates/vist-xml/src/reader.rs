@@ -154,7 +154,8 @@ impl<'a> XmlReader<'a> {
     fn parse_name(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }

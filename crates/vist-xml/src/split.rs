@@ -140,12 +140,17 @@ mod tests {
             .collect::<Result<_, _>>()
             .unwrap();
         assert_eq!(recs.len(), 3);
-        let names: Vec<&str> = recs
-            .iter()
-            .map(|d| d.name(d.root().unwrap()))
-            .collect();
+        let names: Vec<&str> = recs.iter().map(|d| d.name(d.root().unwrap())).collect();
         assert_eq!(names, vec!["person", "item", "person"]);
-        assert_eq!(recs[0].direct_text(recs[0].child_elements(recs[0].root().unwrap()).next().unwrap()), "A");
+        assert_eq!(
+            recs[0].direct_text(
+                recs[0]
+                    .child_elements(recs[0].root().unwrap())
+                    .next()
+                    .unwrap()
+            ),
+            "A"
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ mod tests {
         let doc = parse(r#"<a x="1"><b><c>inline text<d/></c></b><e/></a>"#).unwrap();
         let pretty = doc.to_xml_pretty(2);
         assert!(pretty.contains("\n  <b>"), "{pretty}");
-        assert!(pretty.contains("<c>inline text<d/></c>"), "mixed stays inline: {pretty}");
+        assert!(
+            pretty.contains("<c>inline text<d/></c>"),
+            "mixed stays inline: {pretty}"
+        );
         // Reparsing the pretty form yields the same canonical document.
         let reparsed = parse(&pretty).unwrap();
         assert_eq!(reparsed.to_xml(), doc.to_xml());

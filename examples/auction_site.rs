@@ -22,7 +22,7 @@ fn main() -> vist::Result<()> {
     let docs = xmark::documents(n, 7);
 
     // Build all five systems over the same documents.
-    let mut vist_idx = VistIndex::in_memory(IndexOptions::default())?;
+    let vist_idx = VistIndex::in_memory(IndexOptions::default())?;
     let mut naive = NaiveIndex::default();
     let mut path_idx = PathIndex::in_memory(4096, 1024).expect("path index");
     let mut node_idx = NodeIndex::in_memory(4096, 1024).expect("node index");
@@ -77,7 +77,13 @@ fn main() -> vist::Result<()> {
     // verified demonstrates the candidate/answer distinction.
     let q = &xmark::table3_queries()[2].1; // Q8, the branching one
     let raw = vist_idx.query(q, &opts)?;
-    let verified = vist_idx.query(q, &QueryOptions { verify: true, ..Default::default() })?;
+    let verified = vist_idx.query(
+        q,
+        &QueryOptions {
+            verify: true,
+            ..Default::default()
+        },
+    )?;
     let exact = node_idx.query(q).expect("node query");
     println!(
         "\nQ8 semantics: {} raw ViST candidates, {} verified, {} from exact structural joins",
@@ -85,7 +91,10 @@ fn main() -> vist::Result<()> {
         verified.doc_ids.len(),
         exact.len()
     );
-    assert_eq!(verified.doc_ids, exact, "verified ViST equals the exact node index");
+    assert_eq!(
+        verified.doc_ids, exact,
+        "verified ViST equals the exact node index"
+    );
 
     let s = vist_idx.stats();
     println!(

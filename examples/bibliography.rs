@@ -22,7 +22,7 @@ fn main() -> vist::Result<()> {
     let docs = dblp::documents(n_records, 42);
 
     let t0 = Instant::now();
-    let mut index = VistIndex::create_file(&path, IndexOptions::default())?;
+    let index = VistIndex::create_file(&path, IndexOptions::default())?;
     for d in &docs {
         index.insert_document(d)?;
     }
@@ -54,7 +54,13 @@ fn main() -> vist::Result<()> {
     // post-filters candidates through exact tree-pattern matching.
     let q = "/book/author[text='David Smith']";
     let raw = index.query(q, &QueryOptions::default())?;
-    let verified = index.query(q, &QueryOptions { verify: true, ..Default::default() })?;
+    let verified = index.query(
+        q,
+        &QueryOptions {
+            verify: true,
+            ..Default::default()
+        },
+    )?;
     println!(
         "\nverification: {} raw candidates -> {} verified answers",
         raw.doc_ids.len(),
@@ -63,7 +69,7 @@ fn main() -> vist::Result<()> {
 
     // ---- durable reopen ----------------------------------------------------
     drop(index);
-    let mut reopened = VistIndex::open_file(&path, 1024)?;
+    let reopened = VistIndex::open_file(&path, 1024)?;
     let r = reopened.query("/inproceedings/title", &QueryOptions::default())?;
     println!(
         "reopened from {}: {} documents, Q1 still returns {} hits",

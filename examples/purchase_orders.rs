@@ -47,7 +47,13 @@ fn purchase(
 
 fn main() -> vist::Result<()> {
     let records = vec![
-        purchase("dell", "boston", "panasia", "newyork", &[("part1", "ibm"), ("part2", "intel")]),
+        purchase(
+            "dell",
+            "boston",
+            "panasia",
+            "newyork",
+            &[("part1", "ibm"), ("part2", "intel")],
+        ),
         purchase("hp", "boston", "acme", "chicago", &[("disk", "seagate")]),
         purchase("lenovo", "tokyo", "globex", "newyork", &[("cpu", "intel")]),
         purchase("dell", "austin", "initech", "boston", &[("ram", "samsung")]),
@@ -56,21 +62,30 @@ fn main() -> vist::Result<()> {
     // Show the structure-encoded sequence of the first record (Figure 4).
     let mut table = SymbolTable::new();
     let seq = document_to_sequence(&records[0], &mut table, &SiblingOrder::Lexicographic);
-    println!("structure-encoded sequence of record 0 ({} elements):", seq.len());
+    println!(
+        "structure-encoded sequence of record 0 ({} elements):",
+        seq.len()
+    );
     println!("  {}\n", seq.display(&table));
 
-    let mut index = VistIndex::in_memory(IndexOptions::default())?;
+    let index = VistIndex::in_memory(IndexOptions::default())?;
     for r in &records {
         index.insert_document(r)?;
     }
 
     let queries = [
-        ("Q1: manufacturers that supply items", "/purchase/seller/item/manufacturer"),
+        (
+            "Q1: manufacturers that supply items",
+            "/purchase/seller/item/manufacturer",
+        ),
         (
             "Q2: Boston sellers AND NY buyers",
             "/purchase[seller[location='boston']]/buyer[location='newyork']",
         ),
-        ("Q3a: Boston seller or buyer (seller side)", "/purchase/*[location='boston']"),
+        (
+            "Q3a: Boston seller or buyer (seller side)",
+            "/purchase/*[location='boston']",
+        ),
         (
             "Q4: Intel products anywhere below purchase",
             "//item[manufacturer='intel']",
@@ -86,7 +101,10 @@ fn main() -> vist::Result<()> {
     // Q3 proper is a disjunction ("seller OR buyer"): run the `*` form,
     // which covers both branches in one sequence match.
     let hits = index.query("/purchase/*[location='boston']", &QueryOptions::default())?;
-    println!("Q3 via wildcard: documents with a boston seller or buyer: {:?}", hits.doc_ids);
+    println!(
+        "Q3 via wildcard: documents with a boston seller or buyer: {:?}",
+        hits.doc_ids
+    );
 
     Ok(())
 }

@@ -9,7 +9,7 @@ use vist::{IndexOptions, QueryOptions, VistIndex};
 fn main() -> vist::Result<()> {
     // An in-memory index with default settings. Swap `in_memory` for
     // `create_file("/tmp/books.vist", ...)` for a durable one.
-    let mut index = VistIndex::in_memory(IndexOptions::default())?;
+    let index = VistIndex::in_memory(IndexOptions::default())?;
 
     // Insert a few XML documents; each gets a document id.
     let books = [

@@ -8,6 +8,7 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use vist::xml::{Event, XmlReader};
 use vist::{IndexOptions, QueryOptions, VistIndex};
@@ -44,9 +45,10 @@ fn main() -> vist::Result<()> {
     let mut reader = XmlReader::new(&site);
     let mut elements = 0u64;
     let mut max_depth = 0usize;
-    while let Some(e) = reader.next_event().map_err(|e| {
-        vist::Error::Corrupt(format!("scan failed: {e}"))
-    })? {
+    while let Some(e) = reader
+        .next_event()
+        .map_err(|e| vist::Error::Corrupt(format!("scan failed: {e}")))?
+    {
         if matches!(e, Event::Start { .. }) {
             elements += 1;
             max_depth = max_depth.max(reader.depth());
@@ -54,13 +56,14 @@ fn main() -> vist::Result<()> {
     }
     println!("streamed scan: {elements} elements, depth {max_depth}");
 
-    // 2) Split + index each `item` as its own record.
+    // 2) Split + index each `item` as its own record. All index methods
+    // take `&self`, so the index can be shared behind a plain `Arc`.
     let t0 = std::time::Instant::now();
-    let mut index = VistIndex::in_memory(IndexOptions {
+    let index = Arc::new(VistIndex::in_memory(IndexOptions {
         store_documents: false,
         cache_pages: 1 << 15,
         ..Default::default()
-    })?;
+    })?);
     let ids = index.insert_records(&site, &["item"])?;
     println!(
         "indexed {} records in {:.2?} ({} suffix-tree nodes)",
@@ -69,15 +72,28 @@ fn main() -> vist::Result<()> {
         index.stats().nodes
     );
 
-    // 3) Query the records.
+    // 3) Query the records from concurrent readers sharing the `Arc`.
     let r = index.query(
         "/item[location='US']/mail/date[text='12/15/1999']",
         &QueryOptions::default(),
     )?;
     println!("US items mailed 12/15/1999: {} records", r.doc_ids.len());
     assert!(!r.doc_ids.is_empty());
-    let r = index.query("//name", &QueryOptions::default())?;
-    assert_eq!(r.doc_ids.len(), ids.len());
-    println!("every record has a name: {} records", r.doc_ids.len());
+    let counts: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let index = Arc::clone(&index);
+                s.spawn(move || {
+                    let r = index.query("//name", &QueryOptions::default()).unwrap();
+                    r.doc_ids.len()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for c in counts {
+        assert_eq!(c, ids.len());
+    }
+    println!("every record has a name: agreed by 4 parallel readers");
     Ok(())
 }

@@ -224,7 +224,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             lambda,
             store_documents,
         } => {
-            let mut idx = VistIndex::create_file(
+            let idx = VistIndex::create_file(
                 &index,
                 IndexOptions {
                     page_size,
@@ -238,11 +238,11 @@ pub fn run(cmd: Command) -> Result<String, String> {
             Ok(format!("created {}\n", index.display()))
         }
         Command::Add { index, files } => {
-            let mut idx = open(&index)?;
+            let idx = open(&index)?;
             let mut out = String::new();
             for f in files {
-                let xml = std::fs::read_to_string(&f)
-                    .map_err(|e| format!("{}: {e}", f.display()))?;
+                let xml =
+                    std::fs::read_to_string(&f).map_err(|e| format!("{}: {e}", f.display()))?;
                 let id = idx
                     .insert_xml(&xml)
                     .map_err(|e| format!("{}: {e}", f.display()))?;
@@ -257,7 +257,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             verify,
             show,
         } => {
-            let mut idx = open(&index)?;
+            let idx = open(&index)?;
             let r = idx
                 .query(
                     &expr,
@@ -290,13 +290,13 @@ pub fn run(cmd: Command) -> Result<String, String> {
             Ok(out)
         }
         Command::Remove { index, doc_id } => {
-            let mut idx = open(&index)?;
+            let idx = open(&index)?;
             idx.remove_document(doc_id).map_err(|e| e.to_string())?;
             idx.flush().map_err(|e| e.to_string())?;
             Ok(format!("removed doc {doc_id}\n"))
         }
         Command::Explain { index, expr } => {
-            let mut idx = open(&index)?;
+            let idx = open(&index)?;
             idx.explain(&expr, &QueryOptions::default())
                 .map_err(|e| e.to_string())
         }
@@ -351,6 +351,24 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 b.aux.entries, b.aux.total_bytes
             )
             .unwrap();
+            let t = s.pool.totals();
+            writeln!(
+                out,
+                "buffer pool:          {} shard(s), {} hits ({} uncontended), {} misses",
+                s.pool.shard_count(),
+                t.hits,
+                t.uncontended_hits,
+                t.misses
+            )
+            .unwrap();
+            for (i, sh) in s.pool.shards.iter().enumerate() {
+                writeln!(
+                    out,
+                    "  shard {i:>2}:           {} hits, {} misses, {} write-backs",
+                    sh.hits, sh.misses, sh.write_backs
+                )
+                .unwrap();
+            }
             Ok(out)
         }
         Command::Rebuild { index, dst } => {
@@ -379,8 +397,10 @@ mod tests {
 
     #[test]
     fn parse_create_with_options() {
-        let c = parse_args(&argv("create /tmp/i.vist --page-size 2048 --lambda 4 --no-docs"))
-            .unwrap();
+        let c = parse_args(&argv(
+            "create /tmp/i.vist --page-size 2048 --lambda 4 --no-docs",
+        ))
+        .unwrap();
         assert_eq!(
             c,
             Command::Create {
@@ -391,7 +411,15 @@ mod tests {
             }
         );
         let c = parse_args(&argv("create idx")).unwrap();
-        assert!(matches!(c, Command::Create { page_size: 4096, lambda: 16, store_documents: true, .. }));
+        assert!(matches!(
+            c,
+            Command::Create {
+                page_size: 4096,
+                lambda: 16,
+                store_documents: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -429,7 +457,9 @@ mod tests {
     fn parse_list() {
         assert_eq!(
             parse_args(&argv("list idx")).unwrap(),
-            Command::List { index: PathBuf::from("idx") }
+            Command::List {
+                index: PathBuf::from("idx")
+            }
         );
         assert!(parse_args(&argv("list")).is_err());
     }
@@ -462,10 +492,18 @@ mod tests {
         assert!(out.starts_with("1 document(s)"), "{out}");
         assert!(out.contains("David"));
 
-        let out = run(Command::Stats { index: index.clone() }).unwrap();
+        let out = run(Command::Stats {
+            index: index.clone(),
+        })
+        .unwrap();
         assert!(out.contains("documents:            2"), "{out}");
+        assert!(out.contains("buffer pool:"), "{out}");
 
-        run(Command::Remove { index: index.clone(), doc_id: 0 }).unwrap();
+        run(Command::Remove {
+            index: index.clone(),
+            doc_id: 0,
+        })
+        .unwrap();
         let out = run(Command::Query {
             index: index.clone(),
             expr: "//author".into(),
@@ -475,7 +513,11 @@ mod tests {
         .unwrap();
         assert!(out.starts_with("1 document(s)"), "{out}");
 
-        let out = run(Command::Rebuild { index: index.clone(), dst: dst.clone() }).unwrap();
+        let out = run(Command::Rebuild {
+            index: index.clone(),
+            dst: dst.clone(),
+        })
+        .unwrap();
         assert!(out.contains("1 documents"), "{out}");
 
         for f in [&index, &dst, &xml1, &xml2] {

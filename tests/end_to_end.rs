@@ -17,7 +17,7 @@ fn exact_answer(docs: &[vist::xml::Document], q: &str) -> Vec<u64> {
 }
 
 fn check_dataset(docs: &[vist::xml::Document], queries: &[(&str, String)]) {
-    let mut vist_idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let vist_idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     let mut naive = NaiveIndex::default();
     let mut path_idx = PathIndex::in_memory(4096, 1024).unwrap();
     let mut node_idx = NodeIndex::in_memory(4096, 1024).unwrap();
@@ -46,7 +46,13 @@ fn check_dataset(docs: &[vist::xml::Document], queries: &[(&str, String)]) {
             assert!(v.contains(id), "{label}: false negative doc {id}");
         }
         let verified = vist_idx
-            .query(q, &QueryOptions { verify: true, ..Default::default() })
+            .query(
+                q,
+                &QueryOptions {
+                    verify: true,
+                    ..Default::default()
+                },
+            )
             .unwrap()
             .doc_ids;
         assert_eq!(verified, exact, "{label}: verified vs exact oracle");
@@ -85,7 +91,7 @@ fn synthetic_random_queries_all_engines() {
         seed: 99,
     });
     let docs = gen.documents(300);
-    let mut vist_idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let vist_idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     let mut naive = NaiveIndex::default();
     for d in &docs {
         vist_idx.insert_document(d).unwrap();
@@ -108,7 +114,7 @@ fn mixed_workload_with_maintenance() {
     // Insert DBLP + XMARK interleaved, delete some, keep querying.
     let dblp_docs = dblp::documents(400, 1);
     let xmark_docs = xmark::documents(400, 2);
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     let mut ids = Vec::new();
     for (a, b) in dblp_docs.iter().zip(&xmark_docs) {
         ids.push(idx.insert_document(a).unwrap());
@@ -134,7 +140,10 @@ fn mixed_workload_with_maintenance() {
     assert!(after.len() < before.len() || before.iter().all(|b| b % 3 != 0));
     // Cross-domain query still isolated per vocabulary.
     let sites = idx.query("/site//item", &QueryOptions::default()).unwrap();
-    assert!(sites.doc_ids.iter().all(|id| id % 2 == 1), "only XMARK docs are odd ids");
+    assert!(
+        sites.doc_ids.iter().all(|id| id % 2 == 1),
+        "only XMARK docs are odd ids"
+    );
 }
 
 #[test]
@@ -147,6 +156,12 @@ fn imdb_sample_queries_all_systems() {
 #[test]
 fn treebank_sample_queries_all_systems() {
     use vist::datagen::treebank::{documents, sample_queries, TreebankConfig};
-    let docs = documents(1200, &TreebankConfig { max_depth: 8, seed: 31 });
+    let docs = documents(
+        1200,
+        &TreebankConfig {
+            max_depth: 8,
+            seed: 31,
+        },
+    );
     check_dataset(&docs, &sample_queries());
 }

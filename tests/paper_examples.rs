@@ -30,18 +30,23 @@ fn figure4_sequence_has_22_pairs() {
     assert_eq!(seq.0[0].sym, Sym::Tag(table.lookup("Purchase").unwrap()));
     assert!(seq.0[0].prefix.is_empty());
     // Value symbols appear for every leaf text.
-    let values = seq.iter().filter(|e| matches!(e.sym, Sym::Value(_))).count();
+    let values = seq
+        .iter()
+        .filter(|e| matches!(e.sym, Sym::Value(_)))
+        .count();
     assert_eq!(values, 8, "v1..v8 in the paper");
 }
 
 #[test]
 fn table2_queries_against_figure3_record() {
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     let id = idx.insert_xml(PURCHASE).unwrap();
     let opts = QueryOptions::default();
 
     // Q1: /Purchase/Seller/Item/Manufacturer.
-    let r = idx.query("/Purchase/Seller/Item/Manufacturer", &opts).unwrap();
+    let r = idx
+        .query("/Purchase/Seller/Item/Manufacturer", &opts)
+        .unwrap();
     assert_eq!(r.doc_ids, vec![id]);
 
     // Q2: Boston seller and NY buyer.
@@ -78,23 +83,24 @@ fn table2_queries_against_figure3_record() {
 #[test]
 fn q5_unioned_permutations_match_both_sibling_orders() {
     // Q5 = /A[B/C]/B/D (the paper's same-name-branch special case).
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
     let d1 = idx.insert_xml("<A><B><C/></B><B><D/></B></A>").unwrap();
     let d2 = idx.insert_xml("<A><B><D/></B><B><C/></B></A>").unwrap();
     let d3 = idx.insert_xml("<A><B><C/></B><B><E/></B></A>").unwrap();
     let r = idx.query("/A[B/C]/B/D", &QueryOptions::default()).unwrap();
     assert!(r.doc_ids.contains(&d1));
-    assert!(r.doc_ids.contains(&d2), "the permuted sequence finds the flipped order");
+    assert!(
+        r.doc_ids.contains(&d2),
+        "the permuted sequence finds the flipped order"
+    );
     assert!(!r.doc_ids.contains(&d3));
 }
 
 #[test]
 fn figure5_docs_and_queries() {
     // Doc1 and Doc2 of Figure 5, and the two queries shown with them.
-    let mut idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
-    let d1 = idx
-        .insert_xml("<P><S><N>v1</N><L>v2</L></S></P>")
-        .unwrap();
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let d1 = idx.insert_xml("<P><S><N>v1</N><L>v2</L></S></P>").unwrap();
     let d2 = idx.insert_xml("<P><B><L>v2</L></B></P>").unwrap();
     let opts = QueryOptions::default();
     // Q1 = (P,)(B,P)(L,PB)(v2,PBL): only Doc2.
@@ -142,7 +148,7 @@ fn figure9_insertion_shares_trie_prefix() {
     // The paper's sequence order puts N before L (its DTD order); with the
     // lexicographic default, Doc2 would be a strict prefix of Doc1 and share
     // every node — set the DTD order to match the paper's figure.
-    let mut idx = VistIndex::in_memory(IndexOptions {
+    let idx = VistIndex::in_memory(IndexOptions {
         order: SiblingOrder::Dtd(vec!["P".into(), "S".into(), "N".into(), "L".into()]),
         ..Default::default()
     })
@@ -154,7 +160,10 @@ fn figure9_insertion_shares_trie_prefix() {
 
     let d2 = idx.insert_xml("<P><S><L>v2</L></S></P>").unwrap();
     let s2 = idx.stats();
-    assert_eq!(s2.nodes, 8, "Doc2 adds exactly two nodes (L,PS) and (v2,PSL)");
+    assert_eq!(
+        s2.nodes, 8,
+        "Doc2 adds exactly two nodes (L,PS) and (v2,PSL)"
+    );
     assert_eq!(s2.dkeys, 6, "no new D-Ancestor entries: both dkeys existed");
 
     // The D-Ancestor entry for (L,PS) now owns TWO S-Ancestor entries —
@@ -165,6 +174,12 @@ fn figure9_insertion_shares_trie_prefix() {
 
     // And both documents answer their queries.
     let opts = QueryOptions::default();
-    assert_eq!(idx.query("/P/S/L[text='v2']", &opts).unwrap().doc_ids, vec![d1, d2]);
-    assert_eq!(idx.query("/P/S/N[text='v1']", &opts).unwrap().doc_ids, vec![d1]);
+    assert_eq!(
+        idx.query("/P/S/L[text='v2']", &opts).unwrap().doc_ids,
+        vec![d1, d2]
+    );
+    assert_eq!(
+        idx.query("/P/S/N[text='v1']", &opts).unwrap().doc_ids,
+        vec![d1]
+    );
 }

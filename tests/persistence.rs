@@ -17,7 +17,7 @@ fn multi_session_lifecycle() {
 
     // Session 1: build.
     {
-        let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+        let idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
         for d in &docs {
             idx.insert_document(d).unwrap();
         }
@@ -28,12 +28,21 @@ fn multi_session_lifecycle() {
     // Session 2: reopen, same answers, then mutate.
     let inserted;
     {
-        let mut idx = VistIndex::open_file(&path, 512).unwrap();
+        let idx = VistIndex::open_file(&path, 512).unwrap();
         assert_eq!(idx.doc_count(), 500);
-        assert_eq!(idx.query(q, &QueryOptions::default()).unwrap().doc_ids, baseline);
+        assert_eq!(
+            idx.query(q, &QueryOptions::default()).unwrap().doc_ids,
+            baseline
+        );
         // Verified mode works across sessions (documents persisted).
         let verified = idx
-            .query(q, &QueryOptions { verify: true, ..Default::default() })
+            .query(
+                q,
+                &QueryOptions {
+                    verify: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         assert_eq!(verified.doc_ids, baseline);
         inserted = idx
@@ -47,7 +56,7 @@ fn multi_session_lifecycle() {
 
     // Session 3: the mutations survived.
     {
-        let mut idx = VistIndex::open_file(&path, 512).unwrap();
+        let idx = VistIndex::open_file(&path, 512).unwrap();
         let now = idx.query(q, &QueryOptions::default()).unwrap().doc_ids;
         assert!(now.contains(&inserted), "new doc visible after reopen");
         if let Some(first) = baseline.first() {
@@ -62,14 +71,14 @@ fn multi_session_lifecycle() {
 fn unflushed_data_is_lost_but_index_stays_valid() {
     let path = tmp("unflushed");
     {
-        let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+        let idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
         idx.insert_xml("<a><b>1</b></a>").unwrap();
         idx.flush().unwrap();
         // Insert without flushing.
         idx.insert_xml("<a><b>2</b></a>").unwrap();
     }
     {
-        let mut idx = VistIndex::open_file(&path, 64).unwrap();
+        let idx = VistIndex::open_file(&path, 64).unwrap();
         let r = idx.query("/a/b", &QueryOptions::default()).unwrap();
         // At least the flushed document answers; the index is not corrupt.
         assert!(r.doc_ids.contains(&0));
@@ -88,7 +97,7 @@ fn page_size_is_honoured_per_index() {
     for page_size in [2048usize, 8192] {
         let path = tmp(&format!("page{page_size}"));
         {
-            let mut idx = VistIndex::create_file(
+            let idx = VistIndex::create_file(
                 &path,
                 IndexOptions {
                     page_size,
@@ -101,7 +110,7 @@ fn page_size_is_honoured_per_index() {
             }
             idx.flush().unwrap();
         }
-        let mut idx = VistIndex::open_file(&path, 64).unwrap();
+        let idx = VistIndex::open_file(&path, 64).unwrap();
         assert_eq!(idx.doc_count(), 50);
         let r = idx
             .query("/inproceedings/title", &QueryOptions::default())

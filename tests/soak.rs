@@ -3,8 +3,6 @@
 //! cross-checked after every phase against an in-memory shadow using the
 //! exact tree-pattern matcher.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vist::query::{matches_document, parse_query};
 use vist::seq::SiblingOrder;
 use vist::xml::Document;
@@ -25,15 +23,39 @@ impl Shadow {
     }
 }
 
-fn random_doc(rng: &mut StdRng) -> String {
+/// Seeded splitmix64 generator: the soak must replay identically per seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+}
+
+fn random_doc(rng: &mut Rng) -> String {
     let kinds = ["order", "invoice", "shipment"];
-    let kind = kinds[rng.random_range(0..kinds.len())];
+    let kind = kinds[rng.below(kinds.len())];
     let mut xml = format!("<{kind}>");
-    for _ in 0..rng.random_range(1..5) {
-        let tag = ["line", "fee", "note"][rng.random_range(0..3)];
-        let val = rng.random_range(0..20);
-        if rng.random_bool(0.5) {
-            xml.push_str(&format!("<{tag} code='{val}'><qty>{}</qty></{tag}>", val % 5));
+    for _ in 0..1 + rng.below(4) {
+        let tag = ["line", "fee", "note"][rng.below(3)];
+        let val = rng.below(20);
+        if rng.chance(50) {
+            xml.push_str(&format!(
+                "<{tag} code='{val}'><qty>{}</qty></{tag}>",
+                val % 5
+            ));
         } else {
             xml.push_str(&format!("<{tag}>{val}</{tag}>"));
         }
@@ -45,7 +67,7 @@ fn random_doc(rng: &mut StdRng) -> String {
 #[test]
 fn randomized_soak_with_reopens() {
     let path = std::env::temp_dir().join(format!("vist-soak-{}", std::process::id()));
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut rng = Rng(0xC0FFEE);
     let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
     let mut shadow = Shadow {
         docs: Default::default(),
@@ -61,9 +83,9 @@ fn randomized_soak_with_reopens() {
     for phase in 0..8 {
         // Mutation burst.
         for _ in 0..150 {
-            if !shadow.docs.is_empty() && rng.random_bool(0.25) {
+            if !shadow.docs.is_empty() && rng.chance(25) {
                 let ids: Vec<u64> = shadow.docs.keys().copied().collect();
-                let victim = ids[rng.random_range(0..ids.len())];
+                let victim = ids[rng.below(ids.len())];
                 idx.remove_document(victim).unwrap();
                 shadow.docs.remove(&victim);
             } else {
@@ -75,7 +97,13 @@ fn randomized_soak_with_reopens() {
         // Consistency sweep: verified answers equal the exact shadow.
         for q in queries {
             let got = idx
-                .query(q, &QueryOptions { verify: true, ..Default::default() })
+                .query(
+                    q,
+                    &QueryOptions {
+                        verify: true,
+                        ..Default::default()
+                    },
+                )
                 .unwrap()
                 .doc_ids;
             let want = shadow.answer(q);
