@@ -11,12 +11,17 @@
 //! `insert` is additionally safe to run *concurrently with readers*: it
 //! only allocates and splits pages, new pages are fully initialized before
 //! they become reachable, and the root pointer is published with `Release`
-//! ordering only after the new root page is complete. A reader racing an
-//! insert may transiently miss the in-flight key but never observes a torn
-//! or uninitialized page. `delete` frees pages and is **not** safe against
-//! concurrent readers of the same tree — callers must exclude readers for
-//! the duration (see `docs/CONCURRENCY.md`; `vist-core` does this with a
-//! maintenance lock).
+//! ordering only after the new root page is complete. A split moves the
+//! upper half of a node to its right sibling before the parent learns the
+//! separator, so a reader descending through the stale ancestor can land
+//! left of a committed key; `get` recovers by chasing the leaf-level
+//! forward link (B-link style) whenever the key lies beyond the leaf it
+//! reached. A reader racing an insert may therefore miss only the one
+//! key whose insert has not yet returned — never an already-committed
+//! key, and never a torn or uninitialized page. `delete` frees pages and
+//! is **not** safe against concurrent readers of the same tree — callers
+//! must exclude readers for the duration (see `docs/CONCURRENCY.md`;
+//! `vist-core` does this with a maintenance lock).
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -109,16 +114,37 @@ impl BTree {
                     let (_, child) = child_for(buf, key);
                     pid = child;
                 }
-                NodeKind::Leaf => {
-                    return Ok(match search(buf, key) {
-                        Ok(slot) => {
+                NodeKind::Leaf => match search(buf, key) {
+                    Ok(slot) => {
+                        let p = SlottedPage::new(buf, NODE_HDR);
+                        let (_, v) = decode_leaf_cell(p.cell(slot)?);
+                        return Ok(Some(v.to_vec()));
+                    }
+                    Err(_) => {
+                        // B-link chase: a concurrent split moves the upper
+                        // half of a node to its new right sibling *before*
+                        // the parent (or, for a root split, the root
+                        // pointer) learns the separator, so a descent
+                        // through the stale ancestor can land one or more
+                        // leaves too far left. If the key is beyond every
+                        // record here and a right sibling exists, the key —
+                        // if committed — can only live to the right.
+                        let next = link1(buf);
+                        if next != INVALID_PAGE {
                             let p = SlottedPage::new(buf, NODE_HDR);
-                            let (_, v) = decode_leaf_cell(p.cell(slot)?);
-                            Some(v.to_vec())
+                            let n = p.slot_count();
+                            let beyond = n == 0 || {
+                                let (last, _) = decode_leaf_cell(p.cell(n - 1)?);
+                                key > last
+                            };
+                            if beyond {
+                                pid = next;
+                                continue;
+                            }
                         }
-                        Err(_) => None,
-                    });
-                }
+                        return Ok(None);
+                    }
+                },
             }
         }
     }
@@ -699,6 +725,107 @@ mod tests {
         t.insert(b"", b"").unwrap();
         assert_eq!(t.get(b"").unwrap().as_deref(), Some(&b""[..]));
         assert_eq!(t.delete(b"").unwrap().as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn get_chases_right_siblings_past_stale_parent() {
+        // Hand-build the split window a concurrent reader can observe: the
+        // leaf chain is A("a","b") -> B("c","d") -> C("e","f"), but the
+        // parent knows only A — as if two leaf splits had completed without
+        // their separators reaching the parent yet. get() must recover by
+        // chasing link1 at the leaf level.
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 64));
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        let c = pool.allocate().unwrap();
+        let root = pool.allocate().unwrap();
+        let fill = |pid, keys: &[&[u8]], next| {
+            let mut p = pool.fetch_mut(pid).unwrap();
+            let buf = p.data_mut();
+            init_leaf(buf);
+            set_link1(buf, next);
+            for (i, k) in keys.iter().enumerate() {
+                SlottedPageMut::new(buf, NODE_HDR)
+                    .insert(i as SlotId, &leaf_cell(k, b"v"))
+                    .unwrap();
+            }
+        };
+        fill(a, &[b"a", b"b"], b);
+        fill(b, &[b"c", b"d"], c);
+        fill(c, &[b"e", b"f"], INVALID_PAGE);
+        {
+            let mut p = pool.fetch_mut(root).unwrap();
+            init_internal(p.data_mut(), a);
+        }
+        let t = BTree::open(pool, root).unwrap();
+        // Keys in the stale parent's only known child.
+        assert!(t.get(b"a").unwrap().is_some());
+        assert!(t.get(b"b").unwrap().is_some());
+        // Keys one and two hops to the right.
+        assert!(t.get(b"c").unwrap().is_some(), "one-hop chase");
+        assert!(t.get(b"d").unwrap().is_some());
+        assert!(t.get(b"e").unwrap().is_some(), "two-hop chase");
+        assert!(t.get(b"f").unwrap().is_some());
+        // Absent keys: the chase must stop at the covering leaf (bb < c)
+        // and at the end of the chain (zz beyond everything).
+        assert_eq!(t.get(b"bb").unwrap(), None);
+        assert_eq!(t.get(b"zz").unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_readers_never_miss_committed_keys() {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 4096));
+        let t = Arc::new(BTree::create(pool).unwrap());
+        let committed = Arc::new(AtomicU32::new(0));
+        let n = 4000u32;
+        let writer = {
+            let t = Arc::clone(&t);
+            let committed = Arc::clone(&committed);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    t.insert(format!("key{i:08}").as_bytes(), &i.to_le_bytes())
+                        .unwrap();
+                    committed.store(i + 1, Ordering::Release);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4u64)
+            .map(|r| {
+                let t = Arc::clone(&t);
+                let committed = Arc::clone(&committed);
+                std::thread::spawn(move || {
+                    let mut x = 0x9E3779B97F4A7C15u64 ^ r;
+                    loop {
+                        let hi = committed.load(Ordering::Acquire);
+                        if hi == 0 {
+                            continue;
+                        }
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        // Bias half the lookups to the freshest committed
+                        // key — that is the one a racing split moves right.
+                        let k = if x & 1 == 0 {
+                            hi - 1
+                        } else {
+                            (x >> 33) as u32 % hi
+                        };
+                        let key = format!("key{k:08}");
+                        assert!(
+                            t.get(key.as_bytes()).unwrap().is_some(),
+                            "committed key {k} missing (watermark {hi})"
+                        );
+                        if hi == n {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
     }
 
     #[test]

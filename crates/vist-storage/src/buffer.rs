@@ -7,6 +7,13 @@
 //! itself sits behind a separate mutex and is only locked on a miss,
 //! eviction write-back, allocation, or flush.
 //!
+//! On a **miss** the owning shard's mutex stays held across the pager read
+//! (plus any eviction write-back), so cache hits on that same shard stall
+//! for the duration of the cold I/O; hits on the other shards are
+//! unaffected. This is a deliberate simplicity trade-off — it keeps
+//! double-fetch and fetch-vs-free races impossible without placeholder
+//! frames or per-frame fill states.
+//!
 //! Pages are fetched through RAII guards ([`PageRef`], [`PageRefMut`]) that
 //! pin the frame for their lifetime; eviction only considers unpinned frames
 //! and writes dirty victims back.
@@ -243,13 +250,13 @@ impl BufferPool {
         self.pager.lock().allocate()
     }
 
-    /// Free a page. Fails with [`Error::PoolExhausted`] if it is pinned.
+    /// Free a page. Fails with [`Error::PagePinned`] if a guard still pins it.
     pub fn free(&self, pid: PageId) -> Result<()> {
         let shard = self.shard(pid);
         let mut inner = shard.inner.lock();
         if let Some(frame) = inner.map.get(&pid) {
             if frame.pins.load(Ordering::Acquire) > 0 {
-                return Err(Error::PoolExhausted);
+                return Err(Error::PagePinned(u64::from(pid)));
             }
             let frame = inner.map.remove(&pid).expect("present");
             inner.ring.retain(|f| !Arc::ptr_eq(f, &frame));
@@ -316,7 +323,13 @@ impl BufferPool {
             }
             if frame.dirty.swap(false, Ordering::AcqRel) {
                 let data = frame.data.read();
-                self.pager.lock().write(frame.pid, &data)?;
+                if let Err(e) = self.pager.lock().write(frame.pid, &data) {
+                    // Re-mark dirty so the modifications survive in cache
+                    // and a later eviction/flush retries the write instead
+                    // of silently dropping them.
+                    frame.dirty.store(true, Ordering::Release);
+                    return Err(e);
+                }
                 shard.write_backs.fetch_add(1, Ordering::Relaxed);
             }
             inner.map.remove(&frame.pid);
@@ -353,7 +366,10 @@ impl BufferPool {
             for frame in frames {
                 if frame.dirty.swap(false, Ordering::AcqRel) {
                     let data = frame.data.read();
-                    self.pager.lock().write(frame.pid, &data)?;
+                    if let Err(e) = self.pager.lock().write(frame.pid, &data) {
+                        frame.dirty.store(true, Ordering::Release);
+                        return Err(e);
+                    }
                     shard.write_backs.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -491,9 +507,90 @@ mod tests {
         let pool = pool(8);
         let pid = pool.allocate().unwrap();
         let g = pool.fetch(pid).unwrap();
-        assert!(pool.free(pid).is_err());
+        assert!(matches!(
+            pool.free(pid),
+            Err(Error::PagePinned(p)) if p == u64::from(pid)
+        ));
         drop(g);
         assert!(pool.free(pid).is_ok());
+    }
+
+    /// A pager whose writes fail while `fail_writes` is set — for testing
+    /// write-back error handling.
+    struct FlakyPager {
+        inner: MemPager,
+        fail_writes: std::sync::Arc<AtomicBool>,
+    }
+
+    impl Pager for FlakyPager {
+        fn page_size(&self) -> usize {
+            self.inner.page_size()
+        }
+        fn allocate(&mut self) -> Result<PageId> {
+            self.inner.allocate()
+        }
+        fn free(&mut self, id: PageId) -> Result<()> {
+            self.inner.free(id)
+        }
+        fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+            self.inner.read(id, buf)
+        }
+        fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+            if self.fail_writes.load(Ordering::Relaxed) {
+                return Err(Error::Io(std::io::Error::other("injected write failure")));
+            }
+            self.inner.write(id, buf)
+        }
+        fn live_pages(&self) -> u64 {
+            self.inner.live_pages()
+        }
+        fn store_bytes(&self) -> u64 {
+            self.inner.store_bytes()
+        }
+        fn sync(&mut self) -> Result<()> {
+            self.inner.sync()
+        }
+        fn stats(&self) -> IoStats {
+            self.inner.stats()
+        }
+    }
+
+    #[test]
+    fn failed_write_back_keeps_page_dirty() {
+        let fail = std::sync::Arc::new(AtomicBool::new(false));
+        let pool = BufferPool::with_capacity(
+            FlakyPager {
+                inner: MemPager::new(256),
+                fail_writes: std::sync::Arc::clone(&fail),
+            },
+            4,
+        );
+        let pid = pool.allocate().unwrap();
+        pool.fetch_mut(pid).unwrap().data_mut()[0] = 0xAB;
+
+        // flush() must propagate the error and leave the page dirty...
+        fail.store(true, Ordering::Relaxed);
+        assert!(matches!(pool.flush(), Err(Error::Io(_))));
+        // ...and eviction write-back must do the same: churn until the
+        // dirty page becomes the victim and the injected error surfaces.
+        let mut evict_failed = false;
+        for _ in 0..8 {
+            let p = pool.allocate().unwrap();
+            if matches!(pool.fetch(p), Err(Error::Io(_))) {
+                evict_failed = true;
+                break;
+            }
+        }
+        assert!(evict_failed, "eviction never tried the dirty page");
+
+        // Once writes succeed again the retained dirty bit must get the
+        // modification to the pager — evict the page and re-read it.
+        fail.store(false, Ordering::Relaxed);
+        for _ in 0..8 {
+            let p = pool.allocate().unwrap();
+            let _ = pool.fetch(p).unwrap();
+        }
+        assert_eq!(pool.fetch(pid).unwrap().data()[0], 0xAB);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub enum Error {
     },
     /// All buffer-pool frames are pinned; nothing can be evicted.
     PoolExhausted,
+    /// A page could not be freed because a guard still pins it.
+    PagePinned(u64),
     /// The requested page size is outside `[MIN_PAGE_SIZE, MAX_PAGE_SIZE]`
     /// or not a power of two.
     BadPageSize(usize),
@@ -42,6 +44,7 @@ impl fmt::Display for Error {
                 "record of {requested} bytes does not fit in page ({available} bytes free)"
             ),
             Error::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            Error::PagePinned(p) => write!(f, "cannot free page {p}: still pinned"),
             Error::BadPageSize(s) => write!(f, "unsupported page size {s}"),
         }
     }
@@ -76,6 +79,8 @@ mod tests {
         assert!(s.contains("5000") && s.contains("100"));
         assert!(Error::InvalidPage(7).to_string().contains('7'));
         assert!(Error::BadPageSize(3).to_string().contains('3'));
+        let s = Error::PagePinned(11).to_string();
+        assert!(s.contains("11") && s.contains("pinned"));
     }
 
     #[test]
