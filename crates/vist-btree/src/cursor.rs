@@ -1,7 +1,7 @@
 //! Ordered range scans over the leaf chain.
 
 use std::collections::VecDeque;
-use std::ops::{Bound, RangeBounds};
+use std::ops::{Bound, ControlFlow, RangeBounds};
 
 use vist_storage::{PageId, Result, SlottedPage, INVALID_PAGE};
 
@@ -150,6 +150,65 @@ impl BTree {
             None => self.scan((Bound::Included(prefix), Bound::Unbounded)),
         }
     }
+
+    /// Visit every `(key, value)` pair with keys in `range`, in key order,
+    /// without copying: `f` receives slices borrowed directly from the leaf
+    /// page. Return [`ControlFlow::Break`] from `f` to stop early.
+    ///
+    /// This is the zero-allocation counterpart of [`BTree::scan`] for hot
+    /// paths: where `scan` copies each leaf's qualifying records into an
+    /// owned buffer, `for_each_in` holds the leaf's shared page latch across
+    /// the callbacks for that leaf and hands out borrowed slices. The latch
+    /// is dropped before the next leaf in the chain is fetched, so writers
+    /// are only excluded from one page at a time (B-link right-chaining
+    /// keeps the traversal safe across concurrent splits, as in `scan`).
+    ///
+    /// **Constraint:** because a page latch is held while `f` runs, `f`
+    /// must not re-enter this tree's buffer pool (no `get`/`scan`/... on
+    /// any tree sharing the pool) — the pinned page can never be evicted,
+    /// so a nested fetch could exhaust the pool. Decode and accumulate into
+    /// caller-owned memory instead.
+    pub fn for_each_in<'k, R, F>(&self, range: R, mut f: F) -> Result<()>
+    where
+        R: RangeBounds<&'k [u8]>,
+        F: FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+    {
+        let start = match range.start_bound() {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(s) => Bound::Included(s.to_vec()),
+            Bound::Excluded(s) => Bound::Excluded(s.to_vec()),
+        };
+        let end = match range.end_bound() {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(e) => Bound::Included(e.to_vec()),
+            Bound::Excluded(e) => Bound::Excluded(e.to_vec()),
+        };
+        let mut leaf = match &start {
+            Bound::Unbounded => self.leftmost_leaf()?,
+            Bound::Included(s) | Bound::Excluded(s) => self.leaf_for(s)?,
+        };
+        while leaf != INVALID_PAGE {
+            let page = self.pool().fetch(leaf)?;
+            let buf = page.data();
+            let next = link1(buf);
+            let p = SlottedPage::new(buf, NODE_HDR);
+            for i in 0..p.slot_count() {
+                let (k, v) = decode_leaf_cell(p.cell(i)?);
+                if !within_start(k, &start) {
+                    continue;
+                }
+                if !within_end(k, &end) {
+                    return Ok(());
+                }
+                if f(k, v).is_break() {
+                    return Ok(());
+                }
+            }
+            drop(page);
+            leaf = next;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +298,76 @@ mod tests {
         let t = BTree::create(pool).unwrap();
         assert!(keys(t.scan(..).unwrap()).is_empty());
         assert!(keys(t.scan(&b"a"[..]..&b"z"[..]).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn for_each_in_matches_scan() {
+        let t = filled(1500);
+        for range in [
+            (Bound::Unbounded, Bound::Unbounded),
+            (
+                Bound::Included(b"k000010".to_vec()),
+                Bound::Excluded(b"k000499".to_vec()),
+            ),
+            (
+                Bound::Excluded(b"k000000".to_vec()),
+                Bound::Included(b"k000003".to_vec()),
+            ),
+            (Bound::Included(b"z".to_vec()), Bound::Unbounded),
+        ] {
+            let as_bounds = (
+                match &range.0 {
+                    Bound::Unbounded => Bound::Unbounded,
+                    Bound::Included(s) => Bound::Included(s.as_slice()),
+                    Bound::Excluded(s) => Bound::Excluded(s.as_slice()),
+                },
+                match &range.1 {
+                    Bound::Unbounded => Bound::Unbounded,
+                    Bound::Included(e) => Bound::Included(e.as_slice()),
+                    Bound::Excluded(e) => Bound::Excluded(e.as_slice()),
+                },
+            );
+            let copied: Vec<(Vec<u8>, Vec<u8>)> =
+                t.scan(as_bounds).unwrap().collect::<Result<_>>().unwrap();
+            let mut streamed = Vec::new();
+            t.for_each_in(as_bounds, |k, v| {
+                streamed.push((k.to_vec(), v.to_vec()));
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+            assert_eq!(copied, streamed, "range {range:?}");
+        }
+    }
+
+    #[test]
+    fn for_each_in_breaks_early() {
+        let t = filled(1000);
+        let mut seen = Vec::new();
+        t.for_each_in(.., |k, _| {
+            seen.push(k.to_vec());
+            if seen.len() == 7 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 7);
+        assert_eq!(seen[0], b"k000000".to_vec());
+        assert_eq!(seen[6], b"k000006".to_vec());
+    }
+
+    #[test]
+    fn for_each_in_empty_tree() {
+        let pool = Arc::new(BufferPool::with_capacity(MemPager::new(512), 16));
+        let t = BTree::create(pool).unwrap();
+        let mut n = 0;
+        t.for_each_in(.., |_, _| {
+            n += 1;
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+        assert_eq!(n, 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 mod alloc;
 mod error;
 mod naive;
+mod pool;
 mod rist;
 mod search;
 mod stats;
@@ -45,8 +46,8 @@ pub use alloc::{Allocation, AllocatorKind, ScopeAllocator, StatsModel};
 pub use error::{Error, Result};
 pub use naive::NaiveIndex;
 pub use rist::RistIndex;
-pub use search::{MatchOutput, QueryStats};
-pub use stats::IndexStats;
+pub use search::{search_sequences, QueryStats, SearchMode, SearchOutcome};
+pub use stats::{IndexStats, MatchCounters};
 pub use store::{DocId, NodeState, Store, StoreBreakdown};
 pub use trie::{Trie, TrieNode};
 pub use vist::{IndexOptions, QueryOptions, QueryResult, VistIndex};

@@ -8,7 +8,6 @@
 //! which means neither n nor size can be fixed" — so RIST must be rebuilt
 //! to add documents.
 
-use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use vist_query::{parse_query, translate, Pattern, TranslateOptions};
@@ -17,8 +16,8 @@ use vist_storage::{BufferPool, MemPager};
 use vist_xml::Document;
 
 use crate::error::Result;
-use crate::search::{search_store, QueryStats};
-use crate::stats::IndexStats;
+use crate::search::{search_sequences, QueryStats, SearchMode};
+use crate::stats::{IndexStats, MatchCounters};
 use crate::store::{DocId, NodeState, Store};
 use crate::trie::Trie;
 use crate::vist::{IndexOptions, QueryOptions, QueryResult};
@@ -28,6 +27,7 @@ pub struct RistIndex {
     store: Store,
     table: SymbolTable,
     order: SiblingOrder,
+    match_counters: MatchCounters,
 }
 
 impl RistIndex {
@@ -105,6 +105,7 @@ impl RistIndex {
             store,
             table,
             order: opts.order,
+            match_counters: MatchCounters::default(),
         })
     }
 
@@ -118,12 +119,17 @@ impl RistIndex {
     #[must_use]
     pub fn stats(&self) -> IndexStats {
         let meta = self.store.meta();
+        let (work_items, steals, scopes_merged, dedup_skips) = self.match_counters.snapshot();
         IndexStats {
             documents: meta.doc_count,
             nodes: meta.node_count,
             dkeys: meta.next_dkey,
             underflows: 0,
             deep_borrows: 0,
+            match_work_items: work_items,
+            match_steals: steals,
+            match_scopes_merged: scopes_merged,
+            match_dedup_skips: dedup_skips,
             store_bytes: self.store.store_bytes(),
             io: self.store.pool().stats(),
             pool: self.store.pool().pool_stats(),
@@ -153,40 +159,31 @@ impl RistIndex {
                 max_sequences: opts.max_sequences,
             },
         );
-        let mut out: BTreeSet<DocId> = BTreeSet::new();
-        let mut stats = QueryStats::default();
-        for qs in &translation.sequences {
-            if qs.elems.is_empty() {
-                // An all-wildcard query (e.g. `/*`) matches every document.
-                out.extend(self.store.docids_in_range(0, vist_seq::MAX_SCOPE)?);
-            } else {
-                search_store(&self.store, qs, &mut out, &mut stats)?;
-            }
-        }
-        let candidates = out.len();
+        let outcome = search_sequences(
+            &self.store,
+            &translation.sequences,
+            opts.workers,
+            SearchMode::Docs,
+        )?;
+        self.match_counters.record(&outcome.stats);
+        let candidates = outcome.docs.len();
         Ok(QueryResult {
-            doc_ids: out.into_iter().collect(),
+            doc_ids: outcome.docs.into_iter().collect(),
             candidates,
             truncated: translation.truncated,
-            stats,
+            stats: outcome.stats,
         })
     }
 
-    /// Query with a pre-converted sequence (benchmark hook).
+    /// Query with pre-converted sequences (benchmark hook).
     pub fn query_sequences(
         &self,
         sequences: &[vist_query::QuerySequence],
+        workers: usize,
     ) -> Result<(Vec<DocId>, QueryStats)> {
-        let mut out = BTreeSet::new();
-        let mut stats = QueryStats::default();
-        for qs in sequences {
-            if qs.elems.is_empty() {
-                out.extend(self.store.docids_in_range(0, vist_seq::MAX_SCOPE)?);
-            } else {
-                search_store(&self.store, qs, &mut out, &mut stats)?;
-            }
-        }
-        Ok((out.into_iter().collect(), stats))
+        let outcome = search_sequences(&self.store, sequences, workers, SearchMode::Docs)?;
+        self.match_counters.record(&outcome.stats);
+        Ok((outcome.docs.into_iter().collect(), outcome.stats))
     }
 }
 

@@ -1,4 +1,5 @@
-//! Algorithm 2: non-contiguous subsequence matching using B+Trees.
+//! Algorithm 2: non-contiguous subsequence matching using B+Trees,
+//! formulated as an explicit **work-list of match frames**.
 //!
 //! Shared by [`crate::VistIndex`] and [`crate::RistIndex`] — "ViST uses the
 //! same sequence matching algorithm as RIST".
@@ -9,13 +10,40 @@
 //! strictly inside the previous match's scope — the "jump" that eliminates
 //! suffix-tree traversal. When the last element matches, the DocId tree is
 //! range-queried over the final node's scope.
+//!
+//! # Work-list formulation
+//!
+//! Where the paper (and our previous implementation) phrases the search as
+//! recursion — `step` over query elements, `descend` over S-Ancestor hits —
+//! this module reifies every partial match as a [`Frame`]: *"element `qi`
+//! of sequence `seq` must next match inside scope `(lo, hi)`, given these
+//! wildcard bindings"*. Expanding a frame performs the D-Ancestor lookup
+//! and one S-Ancestor range query per candidate, pushing one child frame
+//! per hit. Frames are independent, which buys three things:
+//!
+//! 1. **Parallelism** — frames are unit of work for the scoped worker pool
+//!    in [`crate::pool`]: alternative sequences from `translate()` and
+//!    independent D-Ancestor candidate branches run on different workers.
+//! 2. **Dedup** — distinct wildcard expansions that converge on the same
+//!    `(dkey, scope)` sub-problem are detected by a visited set and
+//!    expanded once instead of re-scanning the same subtree.
+//! 3. **Batched DocId resolution** — final scopes accumulate and are
+//!    interval-merged before the DocId tree is consulted, so overlapping
+//!    `[n, n+size)` scopes from different branches cost one range query
+//!    instead of many.
+//!
+//! The inner loop is allocation-light: B+Tree probes stream through the
+//! `*_with` cursor APIs of [`Store`] (no per-probe `Vec`), and bindings are
+//! shared between frames through a persistent [`BindNode`] chain.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::{Arc, Mutex};
 
 use vist_query::{QueryElem, QuerySequence};
 use vist_seq::{dkey, PathSym, Prefix, Sym, Symbol};
 
 use crate::error::Result;
+use crate::pool;
 use crate::store::{DocId, Store};
 
 /// Instrumentation counters for one search.
@@ -33,6 +61,17 @@ pub struct QueryStats {
     pub nodes_visited: u64,
     /// DocId range queries performed.
     pub docid_scans: u64,
+    /// Match frames expanded by the work-list engine.
+    pub work_items: u64,
+    /// Frames executed after being donated through the shared queue —
+    /// work transferred between workers.
+    pub steals: u64,
+    /// Final scopes coalesced away by interval merging before DocId
+    /// resolution (raw matched scopes minus DocId range queries issued).
+    pub scopes_merged: u64,
+    /// Duplicate sub-problems skipped by the visited set (identical
+    /// `(dkey, scope)` reached via different wildcard expansions).
+    pub dedup_skips: u64,
 }
 
 impl QueryStats {
@@ -44,199 +83,452 @@ impl QueryStats {
         self.sancestor_scans += other.sancestor_scans;
         self.nodes_visited += other.nodes_visited;
         self.docid_scans += other.docid_scans;
+        self.work_items += other.work_items;
+        self.steals += other.steals;
+        self.scopes_merged += other.scopes_merged;
+        self.dedup_skips += other.dedup_skips;
     }
 }
 
-/// Where matched results go: either resolved to document ids (the normal
-/// mode) or kept as the final nodes' scopes (the paper's measured quantity
-/// for Figure 10, which excludes "the time spent in data output after each
-/// range query on the DocId B+Tree").
-pub enum MatchOutput<'a> {
-    /// Resolve matches to document ids via DocId range queries.
-    Docs(&'a mut BTreeSet<DocId>),
+/// What [`search_sequences`] produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Resolve matches to document ids via (merged) DocId range queries.
+    Docs,
     /// Collect the final matched scopes `[n, n+size)` without touching the
-    /// DocId tree.
-    Scopes(&'a mut Vec<(u128, u128)>),
+    /// DocId tree (the paper's measured quantity for Figure 10, which
+    /// excludes "the time spent in data output after each range query on
+    /// the DocId B+Tree").
+    Scopes,
 }
 
-/// Run Algorithm 2 for one query sequence, adding matching document ids to
-/// `out`.
-pub fn search_store(
-    store: &Store,
-    qseq: &QuerySequence,
-    out: &mut BTreeSet<DocId>,
-    stats: &mut QueryStats,
-) -> Result<()> {
-    search_store_into(store, qseq, &mut MatchOutput::Docs(out), stats)
+/// Result of one [`search_sequences`] run.
+#[derive(Debug, Default)]
+pub struct SearchOutcome {
+    /// Matching document ids ([`SearchMode::Docs`] only).
+    pub docs: BTreeSet<DocId>,
+    /// In [`SearchMode::Scopes`]: the distinct final matched scopes,
+    /// ascending. In [`SearchMode::Docs`]: the merged intervals the DocId
+    /// tree was queried with.
+    pub scopes: Vec<(u128, u128)>,
+    /// Search instrumentation, merged across workers.
+    pub stats: QueryStats,
 }
 
-/// Run Algorithm 2 with an explicit output mode (see [`MatchOutput`]).
-pub fn search_store_into(
+/// Run Algorithm 2 over every alternative sequence of one query, unioning
+/// results, on `workers` threads (`<= 1` runs inline on the caller).
+///
+/// A sequence with no elements (an all-wildcard query such as `/*`)
+/// contributes the whole label space — every document matches.
+///
+/// Callers must hold whatever latch protects the store from page frees for
+/// the duration of the call (queries hold the maintenance latch shared);
+/// the engine itself acquires no index locks.
+pub fn search_sequences(
     store: &Store,
-    qseq: &QuerySequence,
-    out: &mut MatchOutput<'_>,
-    stats: &mut QueryStats,
-) -> Result<()> {
-    if qseq.elems.is_empty() {
-        return Ok(());
+    seqs: &[QuerySequence],
+    workers: usize,
+    mode: SearchMode,
+) -> Result<SearchOutcome> {
+    let mut stats = QueryStats::default();
+    let mut scopes: Vec<(u128, u128)> = Vec::new();
+    let mut ctxs: Vec<SeqCtx<'_>> = Vec::with_capacity(seqs.len());
+    for qs in seqs {
+        if qs.elems.is_empty() {
+            scopes.push((0, vist_seq::MAX_SCOPE));
+        }
+        ctxs.push(SeqCtx::build(store, qs, &mut stats)?);
     }
-    let mut ctx = Ctx {
-        paths: vec![Vec::new(); qseq.elems.len()],
-        concrete_cache: vec![None; qseq.elems.len()],
-    };
-    // The virtual root covers the whole label space; its own label 0 is
-    // excluded from descendant ranges by the strict lower bound.
-    step(store, qseq, 0, 0, vist_seq::MAX_SCOPE, &mut ctx, out, stats)
+    let seeds: Vec<Frame> = seqs
+        .iter()
+        .enumerate()
+        .filter(|(_, qs)| !qs.elems.is_empty())
+        .map(|(i, _)| Frame {
+            // The virtual root covers the whole label space; its own label 0
+            // is excluded from descendant ranges by the strict lower bound.
+            seq: i as u32,
+            qi: 0,
+            lo: 0,
+            hi: vist_seq::MAX_SCOPE,
+            binds: None,
+        })
+        .collect();
+
+    let workers = workers.max(1);
+    if workers == 1 || seeds.len() + 1 < 2 {
+        // Inline serial path: a plain explicit stack, no threads.
+        let mut out = WorkerOut::default();
+        let mut stack = seeds;
+        while let Some(frame) = stack.pop() {
+            out.stats.work_items += 1;
+            expand(store, &ctxs, &frame, &mut stack, &mut out)?;
+        }
+        stats.merge(&out.stats);
+        scopes.append(&mut out.scopes);
+    } else {
+        let outs: Vec<Mutex<WorkerOut>> = (0..workers)
+            .map(|_| Mutex::new(WorkerOut::default()))
+            .collect();
+        let first_err: Mutex<Option<crate::error::Error>> = Mutex::new(None);
+        pool::run_workers(workers, seeds, |id, queue| {
+            let mut out = outs[id].lock().unwrap_or_else(|e| e.into_inner());
+            let mut local: Vec<Frame> = Vec::new();
+            while let Some((frame, donated)) = queue.take() {
+                if donated {
+                    out.stats.steals += 1;
+                }
+                local.push(frame);
+                while let Some(frame) = local.pop() {
+                    out.stats.work_items += 1;
+                    if let Err(e) = expand(store, &ctxs, &frame, &mut local, &mut out) {
+                        let mut slot = first_err.lock().unwrap_or_else(|e| e.into_inner());
+                        slot.get_or_insert(e);
+                        drop(slot);
+                        queue.stop();
+                        local.clear();
+                        break;
+                    }
+                    // Donate the shallow half of the stack (largest
+                    // subtrees) when another worker is starving.
+                    if local.len() > 1 && queue.is_hungry() {
+                        let half = local.len() / 2;
+                        queue.donate(local.drain(..half));
+                    }
+                }
+                queue.finish_one();
+            }
+        });
+        if let Some(e) = first_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(e);
+        }
+        for out in outs {
+            let mut out = out.into_inner().unwrap_or_else(|e| e.into_inner());
+            stats.merge(&out.stats);
+            scopes.append(&mut out.scopes);
+        }
+    }
+
+    match mode {
+        SearchMode::Scopes => {
+            // Canonical form: matched scopes are a *set* (different
+            // branches, sequences, or workers can reach the same final
+            // node).
+            scopes.sort_unstable();
+            scopes.dedup();
+            Ok(SearchOutcome {
+                docs: BTreeSet::new(),
+                scopes,
+                stats,
+            })
+        }
+        SearchMode::Docs => {
+            let raw = scopes.len() as u64;
+            let merged = coalesce(scopes);
+            stats.scopes_merged += raw - merged.len() as u64;
+            let mut docs = BTreeSet::new();
+            for &(lo, hi) in &merged {
+                // "Perform a range query [n, n+size) on the DocId B+Tree."
+                stats.docid_scans += 1;
+                store.docids_in_range_with(lo, hi, |doc| {
+                    docs.insert(doc);
+                })?;
+            }
+            Ok(SearchOutcome {
+                docs,
+                scopes: merged,
+                stats,
+            })
+        }
+    }
 }
 
-/// Cached D-Ancestor resolution: `None` = not yet looked up; `Some(None)` =
-/// looked up, key absent; `Some(Some((prefix, dkey-id)))` = present.
-type CachedLookup = Option<Option<(Vec<Symbol>, u64)>>;
-
-struct Ctx {
-    /// Concrete root-to-self path of each matched query element.
-    paths: Vec<Vec<Symbol>>,
-    /// For elements whose *pattern* prefix is fully concrete, the D-Ancestor
-    /// lookup is independent of the bindings; resolve it once per query.
-    concrete_cache: Vec<CachedLookup>,
+/// Sort and merge overlapping or adjacent half-open intervals. The union of
+/// covered labels is preserved exactly, so querying the DocId tree once per
+/// merged interval returns the same id set as once per raw scope.
+fn coalesce(mut scopes: Vec<(u128, u128)>) -> Vec<(u128, u128)> {
+    scopes.sort_unstable();
+    let mut merged: Vec<(u128, u128)> = Vec::with_capacity(scopes.len());
+    for (lo, hi) in scopes {
+        match merged.last_mut() {
+            Some((_, end)) if lo <= *end => *end = (*end).max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    merged
 }
 
-/// Rebuild the lookup prefix for element `qi` from its parent's instantiated
-/// concrete path plus the placeholder steps between them.
-fn lookup_prefix(qe: &QueryElem, paths: &[Vec<Symbol>]) -> Prefix {
-    // (only called for wildcarded prefixes; concrete ones take the cached
-    // fast path in `step`)
+/// One partial match: element `qi` of sequence `seq` must next match a node
+/// labeled strictly inside `(lo, hi)`, under the wildcard bindings `binds`.
+/// `qi == len` marks a completed match whose final scope is `[lo, hi)`.
+#[derive(Debug, Clone)]
+struct Frame {
+    seq: u32,
+    qi: u32,
+    lo: u128,
+    hi: u128,
+    binds: Option<Arc<BindNode>>,
+}
+
+/// Persistent (shared-tail) list of wildcard bindings: element `elem`
+/// matched D-Ancestor entry `dkid`, instantiating its concrete root-to-self
+/// `path`. Child frames extend the chain without copying it.
+#[derive(Debug)]
+struct BindNode {
+    elem: u32,
+    dkid: u64,
+    /// Instantiated concrete path *including* the element's own tag symbol
+    /// (what descendants splice in front of their placeholder steps).
+    path: Vec<Symbol>,
+    prev: Option<Arc<BindNode>>,
+}
+
+fn find_bind(binds: &Option<Arc<BindNode>>, elem: u32) -> Option<&BindNode> {
+    let mut cur = binds.as_ref();
+    while let Some(node) = cur {
+        if node.elem == elem {
+            return Some(node);
+        }
+        cur = node.prev.as_ref();
+    }
+    None
+}
+
+/// Cached D-Ancestor resolution for a concrete-prefix element: `None` =
+/// key absent; `Some((prefix, dkey-id))` = present.
+type ConcreteLookup = Option<(Vec<Symbol>, u64)>;
+
+/// Per-sequence immutable context, shared read-only by all workers.
+struct SeqCtx<'a> {
+    seq: &'a QuerySequence,
+    /// For elements whose *pattern* prefix is fully concrete, the
+    /// D-Ancestor lookup is independent of the bindings; resolved once per
+    /// query. `None` for wildcarded prefixes (resolved per frame).
+    concrete: Vec<Option<ConcreteLookup>>,
+    /// `bind[qi]`: some later wildcarded element rebuilds its lookup prefix
+    /// from `qi`'s instantiated path, so matches at `qi` must be recorded
+    /// in the binding chain. (Fully concrete sequences bind nothing.)
+    bind: Vec<bool>,
+    /// `sig[qi]`: the positions `< qi` whose bindings any element `> qi`
+    /// still consults — the part of the binding chain that can influence
+    /// the subtree below a match at `qi`. Used as the dedup signature.
+    sig: Vec<Vec<u32>>,
+    /// Dedup is only worthwhile (and the visited sets only populated) when
+    /// some prefix carries a wildcard: concrete-only sequences cannot reach
+    /// one sub-problem twice.
+    dedup: bool,
+}
+
+impl<'a> SeqCtx<'a> {
+    fn build(store: &Store, seq: &'a QuerySequence, stats: &mut QueryStats) -> Result<Self> {
+        let n = seq.elems.len();
+        let mut concrete: Vec<Option<ConcreteLookup>> = Vec::with_capacity(n);
+        for qe in &seq.elems {
+            if qe.prefix.has_wildcard() {
+                concrete.push(None);
+            } else {
+                stats.dancestor_gets += 1;
+                let syms = qe.prefix.as_concrete().expect("concrete prefix");
+                let key = dkey::encode(qe.sym, &syms);
+                concrete.push(Some(store.dkey_get(&key)?.map(|id| (syms, id))));
+            }
+        }
+        let mut bind = vec![false; n];
+        for qe in &seq.elems {
+            if qe.prefix.has_wildcard() {
+                if let Some(p) = qe.parent {
+                    bind[p] = true;
+                }
+            }
+        }
+        let mut sig: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for qi in 0..n {
+            let mut ps: Vec<u32> = seq
+                .elems
+                .iter()
+                .enumerate()
+                .skip(qi + 1)
+                .filter(|(_, e)| e.prefix.has_wildcard())
+                .filter_map(|(_, e)| e.parent)
+                .filter(|&p| p < qi)
+                .map(|p| p as u32)
+                .collect();
+            ps.sort_unstable();
+            ps.dedup();
+            sig.push(ps);
+        }
+        let dedup = seq.elems.iter().any(|e| e.prefix.has_wildcard());
+        Ok(SeqCtx {
+            seq,
+            concrete,
+            bind,
+            sig,
+            dedup,
+        })
+    }
+}
+
+/// Per-worker mutable state; merged after the run.
+#[derive(Default)]
+struct WorkerOut {
+    stats: QueryStats,
+    /// Final matched scopes.
+    scopes: Vec<(u128, u128)>,
+    /// Sub-problems already expanded: `(seq, qi, dkid, lo, hi, binding
+    /// signature)` — a repeat re-scans the same S-Ancestor window and
+    /// re-derives the same subtree, so it is skipped.
+    descended: HashSet<(u32, u32, u64, u128, u128, Vec<u64>)>,
+    /// Nodes already pushed as child frames: `(seq, next qi, dkid, n,
+    /// binding signature)` — catches *overlapping* scope windows that both
+    /// contain the same node.
+    visited: HashSet<(u32, u32, u64, u128, Vec<u64>)>,
+}
+
+/// Rebuild the lookup prefix for a wildcarded element from its parent's
+/// instantiated concrete path plus the placeholder steps between them.
+fn lookup_prefix(qe: &QueryElem, binds: &Option<Arc<BindNode>>) -> Prefix {
     let mut steps: Vec<PathSym> = match qe.parent {
-        Some(p) => paths[p].iter().map(|&s| PathSym::Tag(s)).collect(),
+        Some(p) => {
+            // Invariant: a wildcarded element's parent is a bind target
+            // (see `SeqCtx::bind`), so it is always on the chain.
+            let node = find_bind(binds, p as u32).expect("parent binding on chain");
+            node.path.iter().map(|&s| PathSym::Tag(s)).collect()
+        }
         None => Vec::new(),
     };
     steps.extend_from_slice(&qe.steps_after_parent);
     Prefix(steps)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn step(
+/// The binding signature at `qi`: the dkids bound at the still-relevant
+/// earlier positions. Two frames agreeing on `(seq, qi, dkid, scope)` and
+/// this signature derive identical subtrees — a dkid determines its
+/// `(symbol, prefix)` pair, hence the instantiated path later lookups use.
+fn bind_sig(positions: &[u32], binds: &Option<Arc<BindNode>>) -> Vec<u64> {
+    positions
+        .iter()
+        .map(|&p| find_bind(binds, p).expect("relevant binding on chain").dkid)
+        .collect()
+}
+
+/// Expand one frame: resolve the D-Ancestor candidates for its element and
+/// push one child frame per S-Ancestor hit onto `push`. Completed matches
+/// land in `out.scopes`.
+fn expand(
     store: &Store,
-    qseq: &QuerySequence,
-    qi: usize,
-    prev_n: u128,
-    prev_end: u128,
-    ctx: &mut Ctx,
-    out: &mut MatchOutput<'_>,
-    stats: &mut QueryStats,
+    ctxs: &[SeqCtx<'_>],
+    frame: &Frame,
+    push: &mut Vec<Frame>,
+    out: &mut WorkerOut,
 ) -> Result<()> {
-    if qi == qseq.elems.len() {
-        match out {
-            MatchOutput::Docs(set) => {
-                // "Perform a range query [n, n+size) on the DocId B+Tree."
-                stats.docid_scans += 1;
-                set.extend(store.docids_in_range(prev_n, prev_end)?);
-            }
-            MatchOutput::Scopes(v) => v.push((prev_n, prev_end)),
-        }
+    let sc = &ctxs[frame.seq as usize];
+    let qi = frame.qi as usize;
+    if qi == sc.seq.elems.len() {
+        out.scopes.push((frame.lo, frame.hi));
         return Ok(());
     }
-    let qe = &qseq.elems[qi];
-
-    // Fast path: a fully concrete pattern prefix means the D-Ancestor lookup
-    // does not depend on what earlier elements bound to — resolve it once.
-    if !qe.prefix.has_wildcard() {
-        if ctx.concrete_cache[qi].is_none() {
-            stats.dancestor_gets += 1;
-            let concrete = qe.prefix.as_concrete().expect("concrete prefix");
-            let key = dkey::encode(qe.sym, &concrete);
-            ctx.concrete_cache[qi] = Some(store.dkey_get(&key)?.map(|id| (concrete, id)));
+    match &sc.concrete[qi] {
+        // Concrete prefix, present in the data: one candidate, pre-resolved.
+        Some(Some((prefix_syms, dkid))) => {
+            descend(store, sc, frame, prefix_syms, *dkid, push, out)?;
         }
-        let Some(Some((prefix_syms, dkid))) = ctx.concrete_cache[qi].clone() else {
-            return Ok(());
-        };
-        return descend(
-            store,
-            qseq,
-            qi,
-            prev_n,
-            prev_end,
-            prefix_syms,
-            dkid,
-            ctx,
-            out,
-            stats,
-        );
-    }
-
-    // Wildcarded prefix: rebuild the lookup pattern from the parent's
-    // instantiated path, then exact-get or range-scan the D-Ancestor tree.
-    let pattern = lookup_prefix(qe, &ctx.paths);
-    let candidates: Vec<(Vec<Symbol>, u64)> = match dkey::query_for(qe.sym, &pattern) {
-        dkey::DKeyQuery::Exact(key) => {
-            stats.dancestor_gets += 1;
-            match store.dkey_get(&key)? {
-                Some(id) => {
-                    let (_, prefix_syms) = dkey::decode(&key);
-                    vec![(prefix_syms, id)]
+        // Concrete prefix, absent: dead branch.
+        Some(None) => {}
+        // Wildcarded prefix: rebuild the lookup pattern from the parent's
+        // instantiated path, then exact-get or range-scan the D-Ancestor
+        // tree.
+        None => {
+            let qe = &sc.seq.elems[qi];
+            let pattern = lookup_prefix(qe, &frame.binds);
+            match dkey::query_for(qe.sym, &pattern) {
+                dkey::DKeyQuery::Exact(key) => {
+                    out.stats.dancestor_gets += 1;
+                    if let Some(id) = store.dkey_get(&key)? {
+                        let (_, prefix_syms) = dkey::decode(&key);
+                        descend(store, sc, frame, &prefix_syms, id, push, out)?;
+                    }
                 }
-                None => Vec::new(),
+                dkey::DKeyQuery::Range { lo, hi, pattern } => {
+                    out.stats.dancestor_scans += 1;
+                    let mut candidates: Vec<(Vec<Symbol>, u64)> = Vec::new();
+                    store.dkey_scan_with(&lo, &hi, |key, id| {
+                        let (_, prefix_syms) = dkey::decode(key);
+                        if pattern.matches(&prefix_syms) {
+                            candidates.push((prefix_syms, id));
+                        }
+                    })?;
+                    for (prefix_syms, id) in &candidates {
+                        descend(store, sc, frame, prefix_syms, *id, push, out)?;
+                    }
+                }
             }
         }
-        dkey::DKeyQuery::Range { lo, hi, pattern } => {
-            stats.dancestor_scans += 1;
-            store
-                .dkey_scan(&lo, &hi)?
-                .into_iter()
-                .filter_map(|(key, id)| {
-                    let (_, prefix_syms) = dkey::decode(&key);
-                    pattern.matches(&prefix_syms).then_some((prefix_syms, id))
-                })
-                .collect()
-        }
-    };
-    for (prefix_syms, dkid) in candidates {
-        descend(
-            store,
-            qseq,
-            qi,
-            prev_n,
-            prev_end,
-            prefix_syms,
-            dkid,
-            ctx,
-            out,
-            stats,
-        )?;
     }
     Ok(())
 }
 
 /// Range-query the S-Ancestor entries of one matched D-Ancestor key inside
-/// the previous match's scope, binding and recursing on each hit.
-#[allow(clippy::too_many_arguments)]
+/// the frame's scope, binding and pushing a child frame per hit.
 fn descend(
     store: &Store,
-    qseq: &QuerySequence,
-    qi: usize,
-    prev_n: u128,
-    prev_end: u128,
-    prefix_syms: Vec<Symbol>,
+    sc: &SeqCtx<'_>,
+    frame: &Frame,
+    prefix_syms: &[Symbol],
     dkid: u64,
-    ctx: &mut Ctx,
-    out: &mut MatchOutput<'_>,
-    stats: &mut QueryStats,
+    push: &mut Vec<Frame>,
+    out: &mut WorkerOut,
 ) -> Result<()> {
-    stats.dkeys_matched += 1;
-    stats.sancestor_scans += 1;
-    let nodes = store.nodes_in_scope(dkid, prev_n, prev_end)?;
-    if nodes.is_empty() {
-        return Ok(());
+    out.stats.dkeys_matched += 1;
+    let qi = frame.qi;
+    let sig = sc
+        .dedup
+        .then(|| bind_sig(&sc.sig[qi as usize], &frame.binds));
+    if let Some(s) = &sig {
+        // Identical sub-problem (same dkey, same scope window, same
+        // relevant bindings) already expanded: same subtree, skip.
+        if !out
+            .descended
+            .insert((frame.seq, qi, dkid, frame.lo, frame.hi, s.clone()))
+        {
+            out.stats.dedup_skips += 1;
+            return Ok(());
+        }
     }
-    let qe = &qseq.elems[qi];
-    // Bind this element's concrete path for descendant instantiation.
-    ctx.paths[qi] = prefix_syms;
-    if let Sym::Tag(t) = qe.sym {
-        ctx.paths[qi].push(t);
-    }
-    for node in nodes {
+    out.stats.sancestor_scans += 1;
+    let qe = &sc.seq.elems[qi as usize];
+    // Bind this element's instantiated path for descendant lookups — only
+    // when some later wildcarded element will actually consult it.
+    let child_binds = if sc.bind[qi as usize] {
+        let mut path = prefix_syms.to_vec();
+        if let Sym::Tag(t) = qe.sym {
+            path.push(t);
+        }
+        Some(Arc::new(BindNode {
+            elem: qi,
+            dkid,
+            path,
+            prev: frame.binds.clone(),
+        }))
+    } else {
+        frame.binds.clone()
+    };
+    let stats = &mut out.stats;
+    let visited = &mut out.visited;
+    let seq = frame.seq;
+    store.nodes_in_scope_with(dkid, frame.lo, frame.hi, |node| {
         stats.nodes_visited += 1;
-        step(store, qseq, qi + 1, node.n, node.end(), ctx, out, stats)?;
-    }
+        if let Some(s) = &sig {
+            if !visited.insert((seq, qi + 1, dkid, node.n, s.clone())) {
+                stats.dedup_skips += 1;
+                return;
+            }
+        }
+        push.push(Frame {
+            seq,
+            qi: qi + 1,
+            lo: node.n,
+            hi: node.end(),
+            binds: child_binds.clone(),
+        });
+    })?;
     Ok(())
 }

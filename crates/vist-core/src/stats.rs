@@ -1,6 +1,10 @@
 //! Index-level statistics, reported by the Figure 11 experiments.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use vist_storage::{IoStats, PoolStats};
+
+use crate::search::QueryStats;
 
 /// A snapshot of an index's size and health counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,6 +20,17 @@ pub struct IndexStats {
     /// Underflows that borrowed from a non-parent ancestor (the paper's
     /// lossy case — affected chains may be missed by scope-range queries).
     pub deep_borrows: u64,
+    /// Match frames expanded by the work-list engine, across all queries.
+    pub match_work_items: u64,
+    /// Frames that changed workers through the shared queue (donations
+    /// picked up by a starving worker), across all queries.
+    pub match_steals: u64,
+    /// Final scopes coalesced away by interval merging before DocId
+    /// resolution, across all queries.
+    pub match_scopes_merged: u64,
+    /// Duplicate wildcard sub-problems skipped by the match engine's
+    /// visited sets, across all queries.
+    pub match_dedup_skips: u64,
     /// Total bytes of the backing store (the "index size" of Figure 11a).
     pub store_bytes: u64,
     /// Cumulative I/O counters of the shared buffer pool.
@@ -23,6 +38,39 @@ pub struct IndexStats {
     /// Per-shard buffer-pool counters (hits, uncontended hits, misses,
     /// write-backs for each lock stripe).
     pub pool: PoolStats,
+}
+
+/// Cumulative parallel-match counters, recorded by every query an index
+/// runs. Atomics because queries run under `&self` from many threads.
+#[derive(Debug, Default)]
+pub struct MatchCounters {
+    work_items: AtomicU64,
+    steals: AtomicU64,
+    scopes_merged: AtomicU64,
+    dedup_skips: AtomicU64,
+}
+
+impl MatchCounters {
+    /// Fold one query's engine counters into the running totals.
+    pub fn record(&self, stats: &QueryStats) {
+        self.work_items
+            .fetch_add(stats.work_items, Ordering::Relaxed);
+        self.steals.fetch_add(stats.steals, Ordering::Relaxed);
+        self.scopes_merged
+            .fetch_add(stats.scopes_merged, Ordering::Relaxed);
+        self.dedup_skips
+            .fetch_add(stats.dedup_skips, Ordering::Relaxed);
+    }
+
+    /// `(work_items, steals, scopes_merged, dedup_skips)` so far.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.work_items.load(Ordering::Relaxed),
+            self.steals.load(Ordering::Relaxed),
+            self.scopes_merged.load(Ordering::Relaxed),
+            self.dedup_skips.load(Ordering::Relaxed),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -37,11 +85,30 @@ mod tests {
             dkeys: 3,
             underflows: 0,
             deep_borrows: 0,
+            match_work_items: 0,
+            match_steals: 0,
+            match_scopes_merged: 0,
+            match_dedup_skips: 0,
             store_bytes: 4096,
             io: IoStats::default(),
             pool: PoolStats::default(),
         };
         let s2 = s.clone();
         assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn match_counters_accumulate() {
+        let c = MatchCounters::default();
+        let stats = QueryStats {
+            work_items: 5,
+            steals: 1,
+            scopes_merged: 3,
+            dedup_skips: 2,
+            ..Default::default()
+        };
+        c.record(&stats);
+        c.record(&stats);
+        assert_eq!(c.snapshot(), (10, 2, 6, 4));
     }
 }

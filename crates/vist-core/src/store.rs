@@ -340,11 +340,25 @@ impl Store {
     /// Scan D-Ancestor keys in `[lo, hi)`, returning `(dkey, id)` pairs.
     pub fn dkey_scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, u64)>> {
         let mut out = Vec::new();
-        for item in self.dancestor.scan(lo..hi)? {
-            let (k, v) = item?;
-            out.push((k, u64::from_le_bytes(v.try_into().expect("dkey id width"))));
-        }
+        self.dkey_scan_with(lo, hi, |k, id| out.push((k.to_vec(), id)))?;
         Ok(out)
+    }
+
+    /// Streaming variant of [`Store::dkey_scan`]: `f(dkey, id)` is invoked
+    /// per entry in key order, with the key borrowed from the leaf page —
+    /// no intermediate `Vec`. A page latch is held across calls, so `f`
+    /// must not touch the buffer pool (see [`BTree::for_each_in`]).
+    pub fn dkey_scan_with(
+        &self,
+        lo: &[u8],
+        hi: &[u8],
+        mut f: impl FnMut(&[u8], u64),
+    ) -> Result<()> {
+        self.dancestor.for_each_in(lo..hi, |k, v| {
+            f(k, u64::from_le_bytes(v.try_into().expect("dkey id width")));
+            std::ops::ControlFlow::Continue(())
+        })?;
+        Ok(())
     }
 
     // ----- S-Ancestor tree -----
@@ -390,18 +404,36 @@ impl Store {
     /// All nodes of D-Ancestor entry `dkey_id` with label strictly inside
     /// `(lo, hi)` — the paper's S-Ancestorship range query.
     pub fn nodes_in_scope(&self, dkey_id: u64, lo: u128, hi: u128) -> Result<Vec<NodeState>> {
+        let mut out = Vec::new();
+        self.nodes_in_scope_with(dkey_id, lo, hi, |node| out.push(node))?;
+        Ok(out)
+    }
+
+    /// Streaming variant of [`Store::nodes_in_scope`]: `f` is invoked per
+    /// node in label order without materializing a `Vec`. A page latch is
+    /// held across calls, so `f` must not touch the buffer pool (see
+    /// [`BTree::for_each_in`]).
+    pub fn nodes_in_scope_with(
+        &self,
+        dkey_id: u64,
+        lo: u128,
+        hi: u128,
+        mut f: impl FnMut(NodeState),
+    ) -> Result<()> {
         let lo_key = Self::sanc_key(dkey_id, lo);
         let hi_key = Self::sanc_key(dkey_id, hi);
-        let mut out = Vec::new();
-        for item in self.sancestor.scan((
-            std::ops::Bound::Excluded(lo_key.as_slice()),
-            std::ops::Bound::Excluded(hi_key.as_slice()),
-        ))? {
-            let (k, v) = item?;
-            let n = u128::from_be_bytes(k[8..24].try_into().expect("sanc key n"));
-            out.push(Self::decode_node(n, &v));
-        }
-        Ok(out)
+        self.sancestor.for_each_in(
+            (
+                std::ops::Bound::Excluded(lo_key.as_slice()),
+                std::ops::Bound::Excluded(hi_key.as_slice()),
+            ),
+            |k, v| {
+                let n = u128::from_be_bytes(k[8..24].try_into().expect("sanc key n"));
+                f(Self::decode_node(n, v));
+                std::ops::ControlFlow::Continue(())
+            },
+        )?;
+        Ok(())
     }
 
     // ----- edges tree -----
@@ -449,14 +481,24 @@ impl Store {
     /// All document ids attached to nodes with labels in `[lo, hi)` — the
     /// paper's final DocId range query.
     pub fn docids_in_range(&self, lo: u128, hi: u128) -> Result<Vec<DocId>> {
+        let mut out = Vec::new();
+        self.docids_in_range_with(lo, hi, |doc| out.push(doc))?;
+        Ok(out)
+    }
+
+    /// Streaming variant of [`Store::docids_in_range`]: `f(doc)` is invoked
+    /// per attached document id in label order. A page latch is held across
+    /// calls, so `f` must not touch the buffer pool (see
+    /// [`BTree::for_each_in`]).
+    pub fn docids_in_range_with(&self, lo: u128, hi: u128, mut f: impl FnMut(DocId)) -> Result<()> {
         let lo_key = Self::docid_key(lo, 0);
         let hi_key = Self::docid_key(hi, 0);
-        let mut out = Vec::new();
-        for item in self.docid.scan(lo_key.as_slice()..hi_key.as_slice())? {
-            let (k, _) = item?;
-            out.push(u64::from_be_bytes(k[16..24].try_into().expect("docid key")));
-        }
-        Ok(out)
+        self.docid
+            .for_each_in(lo_key.as_slice()..hi_key.as_slice(), |k, _| {
+                f(u64::from_be_bytes(k[16..24].try_into().expect("docid key")));
+                std::ops::ControlFlow::Continue(())
+            })?;
+        Ok(())
     }
 
     // ----- stored documents (aux, chunked) -----

@@ -11,22 +11,24 @@
 //! B+Tree pages and therefore briefly excludes queries via an internal
 //! read-write latch. See `docs/CONCURRENCY.md` for the full lock hierarchy.
 
-use std::collections::BTreeSet;
 use std::path::Path;
 use std::sync::Arc;
 
 use vist_query::{
-    matches_document, parse_query, translate, try_translate, Pattern, TranslateOptions,
+    matches_document, parse_query, translate_with, try_translate, Pattern, TranslateOptions,
+    Translation,
 };
-use vist_seq::{dkey, document_to_sequence, Sequence, SiblingOrder, Sym, SymbolTable};
+use vist_seq::{
+    dkey, document_to_sequence, PathSym, Sequence, SiblingOrder, Sym, SymbolTable, TableOverlay,
+};
 use vist_storage::sync::{Mutex, RwLock};
 use vist_storage::{BufferPool, FilePager, MemPager, PageId};
 use vist_xml::Document;
 
 use crate::alloc::{Allocation, AllocatorKind, ScopeAllocator};
 use crate::error::{Error, Result};
-use crate::search::{search_store, search_store_into, MatchOutput, QueryStats};
-use crate::stats::IndexStats;
+use crate::search::{search_sequences, QueryStats, SearchMode};
+use crate::stats::{IndexStats, MatchCounters};
 use crate::store::{DocId, NodeState, Store};
 
 /// Configuration for creating an index.
@@ -75,6 +77,10 @@ pub struct QueryOptions {
     /// Cap on alternative query sequences (see
     /// [`TranslateOptions::max_sequences`]).
     pub max_sequences: usize,
+    /// Worker threads for the match engine (`<= 1` runs the search inline
+    /// on the calling thread). Alternative sequences and independent
+    /// D-Ancestor branches are distributed across the workers.
+    pub workers: usize,
 }
 
 impl Default for QueryOptions {
@@ -82,6 +88,7 @@ impl Default for QueryOptions {
         QueryOptions {
             verify: false,
             max_sequences: 24,
+            workers: 1,
         }
     }
 }
@@ -118,6 +125,8 @@ pub struct VistIndex {
     /// Readers hold this shared; `remove_document` holds it exclusively
     /// because B+Tree deletion frees pages and is not reader-safe.
     maintenance: RwLock<()>,
+    /// Cumulative parallel-match counters across all queries.
+    match_counters: MatchCounters,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -172,6 +181,7 @@ impl VistIndex {
             )),
             writer: Mutex::new(()),
             maintenance: RwLock::new(()),
+            match_counters: MatchCounters::default(),
         })
     }
 
@@ -200,6 +210,7 @@ impl VistIndex {
             alloc: Mutex::new(alloc),
             writer: Mutex::new(()),
             maintenance: RwLock::new(()),
+            match_counters: MatchCounters::default(),
         })
     }
 
@@ -242,12 +253,17 @@ impl VistIndex {
     #[must_use]
     pub fn stats(&self) -> IndexStats {
         let meta = self.store.meta();
+        let (work_items, steals, scopes_merged, dedup_skips) = self.match_counters.snapshot();
         IndexStats {
             documents: meta.doc_count,
             nodes: meta.node_count,
             dkeys: meta.next_dkey,
             underflows: meta.underflows,
             deep_borrows: meta.deep_borrows,
+            match_work_items: work_items,
+            match_steals: steals,
+            match_scopes_merged: scopes_merged,
+            match_dedup_skips: dedup_skips,
             store_bytes: self.store.store_bytes(),
             io: self.store.pool().stats(),
             pool: self.store.pool().pool_stats(),
@@ -605,35 +621,36 @@ impl VistIndex {
         pattern: &Pattern,
         opts: &QueryOptions,
     ) -> Result<(Vec<(u128, u128)>, QueryStats)> {
-        // Translation interns query-only names into a throwaway copy of
-        // the table; fresh symbols cannot occur in the data, so the match
-        // result is unchanged and the shared table stays read-locked only
-        // briefly.
-        let mut table = self.table.read().clone();
-        let translation = translate(
+        let translation = self.translate_overlay(pattern, opts);
+        // Lock order: the table read guard (above, inside the helper) is
+        // released before the maintenance latch is taken.
+        let _m = self.maintenance.read();
+        let outcome = search_sequences(
+            &self.store,
+            &translation.sequences,
+            opts.workers,
+            SearchMode::Scopes,
+        )?;
+        self.match_counters.record(&outcome.stats);
+        Ok((outcome.scopes, outcome.stats))
+    }
+
+    /// Translate under a brief shared table lock, interning query-only
+    /// names into an ephemeral [`TableOverlay`] instead of cloning the
+    /// whole table per query. Overlay symbols cannot occur in the data, so
+    /// elements naming them simply never match.
+    fn translate_overlay(&self, pattern: &Pattern, opts: &QueryOptions) -> Translation {
+        let table = self.table.read();
+        let mut overlay = TableOverlay::new(&table);
+        translate_with(
             pattern,
-            &mut table,
+            &mut overlay,
             &TranslateOptions {
                 order: self.order.clone(),
                 max_sequences: opts.max_sequences,
             },
-        );
-        let _m = self.maintenance.read();
-        let mut scopes = Vec::new();
-        let mut stats = QueryStats::default();
-        for qs in &translation.sequences {
-            if qs.elems.is_empty() {
-                scopes.push((0, vist_seq::MAX_SCOPE));
-                continue;
-            }
-            search_store_into(
-                &self.store,
-                qs,
-                &mut MatchOutput::Scopes(&mut scopes),
-                &mut stats,
-            )?;
-        }
-        Ok((scopes, stats))
+        )
+        .expect("overlay resolver never fails")
     }
 
     /// Explain a query: show its translation into structure-encoded
@@ -643,41 +660,57 @@ impl VistIndex {
     pub fn explain(&self, expr: &str, opts: &QueryOptions) -> Result<String> {
         use std::fmt::Write as _;
         let pattern = parse_query(expr)?.to_pattern();
-        // As in `match_scopes`: translate against a throwaway copy so
-        // query-only names still display by name.
-        let mut table = self.table.read().clone();
-        let translation = translate(
-            &pattern,
-            &mut table,
-            &TranslateOptions {
-                order: self.order.clone(),
-                max_sequences: opts.max_sequences,
-            },
-        );
         let mut out = String::new();
         writeln!(out, "query:   {expr}").unwrap();
         writeln!(out, "pattern: {}", pattern.to_expr()).unwrap();
-        writeln!(
-            out,
-            "{} alternative sequence(s){}:",
-            translation.sequences.len(),
-            if translation.truncated {
-                " (truncated)"
-            } else {
-                ""
+        // Translate + render inside one brief table read guard: the overlay
+        // borrows the guard, and rendering needs the overlay for names of
+        // query-only symbols. Dropped before any search runs.
+        {
+            let table = self.table.read();
+            let mut overlay = TableOverlay::new(&table);
+            let translation = translate_with(
+                &pattern,
+                &mut overlay,
+                &TranslateOptions {
+                    order: self.order.clone(),
+                    max_sequences: opts.max_sequences,
+                },
+            )
+            .expect("overlay resolver never fails");
+            writeln!(
+                out,
+                "{} alternative sequence(s){}:",
+                translation.sequences.len(),
+                if translation.truncated {
+                    " (truncated)"
+                } else {
+                    ""
+                }
+            )
+            .unwrap();
+            for (i, qs) in translation.sequences.iter().enumerate() {
+                let mut line = String::new();
+                for e in &qs.elems {
+                    let sym = match e.sym {
+                        Sym::Tag(t) => overlay.name(t).to_string(),
+                        Sym::Value(v) => format!("v{:04x}", v & 0xFFFF),
+                    };
+                    let prefix = e
+                        .prefix
+                        .0
+                        .iter()
+                        .map(|s| match s {
+                            PathSym::Tag(t) => overlay.name(*t).to_string(),
+                            PathSym::Star => "*".to_string(),
+                            PathSym::DoubleSlash => "//".to_string(),
+                        })
+                        .collect::<Vec<_>>()
+                        .join("/");
+                    line.push_str(&format!("({sym},{prefix})"));
+                }
+                writeln!(out, "  #{i}: {line}").unwrap();
             }
-        )
-        .unwrap();
-        for (i, qs) in translation.sequences.iter().enumerate() {
-            let mut line = String::new();
-            for e in &qs.elems {
-                let sym = match e.sym {
-                    vist_seq::Sym::Tag(t) => table.name(t).to_string(),
-                    vist_seq::Sym::Value(v) => format!("v{:04x}", v & 0xFFFF),
-                };
-                line.push_str(&format!("({},{})", sym, e.prefix.display(&table)));
-            }
-            writeln!(out, "  #{i}: {line}").unwrap();
         }
         let result = self.query_pattern(&pattern, opts)?;
         let st = result.stats;
@@ -692,6 +725,16 @@ impl VistIndex {
             out,
             "         {} S-Ancestor scans, {} nodes visited, {} DocId scans",
             st.sancestor_scans, st.nodes_visited, st.docid_scans
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "engine:  {} worker(s), {} work items, {} steals, {} scopes merged, {} dedup skips",
+            opts.workers.max(1),
+            st.work_items,
+            st.steals,
+            st.scopes_merged,
+            st.dedup_skips
         )
         .unwrap();
         let pool = self.store.pool().pool_stats();
@@ -795,16 +838,15 @@ impl VistIndex {
             });
         };
         let _m = self.maintenance.read();
-        let mut out: BTreeSet<DocId> = BTreeSet::new();
-        let mut stats = QueryStats::default();
-        for qs in &translation.sequences {
-            if qs.elems.is_empty() {
-                // An all-wildcard query (e.g. `/*`) matches every document.
-                out.extend(self.store.docids_in_range(0, vist_seq::MAX_SCOPE)?);
-            } else {
-                search_store(&self.store, qs, &mut out, &mut stats)?;
-            }
-        }
+        let outcome = search_sequences(
+            &self.store,
+            &translation.sequences,
+            opts.workers,
+            SearchMode::Docs,
+        )?;
+        self.match_counters.record(&outcome.stats);
+        let stats = outcome.stats;
+        let out = outcome.docs;
         let candidates = out.len();
         let doc_ids: Vec<DocId> = if opts.verify {
             if !self.store.meta().store_documents {

@@ -89,6 +89,17 @@ impl NameResolver for SymbolTable {
     }
 }
 
+/// Interns unknown names into the overlay only, leaving the shared base
+/// table untouched — the query path's no-clone resolver. Overlay symbols
+/// cannot occur in any data sequence, so elements naming them simply never
+/// match (same outcome as [`try_translate`], but the sequence is still
+/// produced, e.g. for `explain`).
+impl NameResolver for vist_seq::TableOverlay<'_> {
+    fn sym(&mut self, name: &str) -> Option<vist_seq::Symbol> {
+        Some(self.intern(name))
+    }
+}
+
 /// Read-only resolution: unknown names mean the query cannot match.
 struct ReadOnly<'a>(&'a SymbolTable);
 
@@ -582,6 +593,26 @@ mod tests {
         // Wildcards don't need names.
         let pattern = parse_query("/a/*").unwrap().to_pattern();
         assert!(try_translate(&pattern, &table, &TranslateOptions::default()).is_some());
+    }
+
+    #[test]
+    fn overlay_resolver_keeps_base_table_clean() {
+        let mut base = SymbolTable::new();
+        let a = base.intern("a");
+        let before = base.len();
+        let pattern = parse_query("/a/zzz").unwrap().to_pattern();
+        let mut ov = vist_seq::TableOverlay::new(&base);
+        let t = translate_with(&pattern, &mut ov, &TranslateOptions::default()).unwrap();
+        assert_eq!(t.sequences.len(), 1);
+        assert_eq!(base.len(), before, "translation must not grow the base");
+        let elems = &t.sequences[0].elems;
+        assert_eq!(elems[0].sym, Sym::Tag(a));
+        // The query-only name resolved to an overlay symbol past the base.
+        let Sym::Tag(z) = elems[1].sym else {
+            panic!("tag expected");
+        };
+        assert!(ov.is_overlay(z));
+        assert_eq!(ov.name(z), "zzz");
     }
 
     #[test]

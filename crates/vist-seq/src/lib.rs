@@ -35,4 +35,4 @@ pub use sequence::{
     document_to_record_tree, document_to_sequence, record_tree_to_elems, sort_siblings, RecordNode,
     SeqElem, Sequence, SiblingOrder,
 };
-pub use symbols::{hash_value, Sym, Symbol, SymbolTable};
+pub use symbols::{hash_value, Sym, Symbol, SymbolTable, TableOverlay};

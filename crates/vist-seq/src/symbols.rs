@@ -159,6 +159,74 @@ impl SymbolTable {
     }
 }
 
+/// An ephemeral overlay on a borrowed [`SymbolTable`].
+///
+/// Query translation needs to *intern* names so it can render and compare
+/// them, but query-only names must never leak into the shared data table —
+/// and cloning the whole table per query is wasteful. The overlay resolves
+/// against the base table first and allocates any unknown name an id past
+/// the base's range, so overlay symbols can never collide with (or match)
+/// a data symbol. Dropped when the query is done.
+#[derive(Debug)]
+pub struct TableOverlay<'a> {
+    base: &'a SymbolTable,
+    names: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+impl<'a> TableOverlay<'a> {
+    /// An empty overlay over `base`.
+    #[must_use]
+    pub fn new(base: &'a SymbolTable) -> Self {
+        TableOverlay {
+            base,
+            names: Vec::new(),
+            map: HashMap::new(),
+        }
+    }
+
+    /// The symbol for `name`: the base table's if present, else an overlay
+    /// symbol (allocating one if new).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(s) = self.base.lookup(name) {
+            return s;
+        }
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let id = self.base.len() + self.names.len();
+        let s = Symbol(u32::try_from(id).expect("symbol space exhausted"));
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), s);
+        s
+    }
+
+    /// The name behind a symbol, whether it lives in the base table or the
+    /// overlay.
+    #[must_use]
+    pub fn name(&self, sym: Symbol) -> &str {
+        let i = sym.0 as usize;
+        if i < self.base.len() {
+            self.base.name(sym)
+        } else {
+            &self.names[i - self.base.len()]
+        }
+    }
+
+    /// `true` when `sym` was allocated by this overlay (i.e. the name is
+    /// unknown to the data).
+    #[must_use]
+    pub fn is_overlay(&self, sym: Symbol) -> bool {
+        (sym.0 as usize) >= self.base.len()
+    }
+
+    /// Number of overlay-only names.
+    #[must_use]
+    pub fn overlay_len(&self) -> usize {
+        self.names.len()
+    }
+}
+
 impl fmt::Display for Sym {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -213,6 +281,26 @@ mod tests {
         assert_ne!(hash_value("dell"), hash_value("ibm"));
         // Pinned value: the on-disk format depends on this function.
         assert_eq!(hash_value(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn overlay_resolves_base_first_and_never_mutates_it() {
+        let mut base = SymbolTable::new();
+        let a = base.intern("a");
+        let b = base.intern("b");
+        let before = base.len();
+        let mut ov = TableOverlay::new(&base);
+        assert_eq!(ov.intern("a"), a);
+        assert!(!ov.is_overlay(a));
+        let q = ov.intern("query_only");
+        assert!(ov.is_overlay(q));
+        assert_eq!(q.0 as usize, before, "overlay ids start past the base");
+        assert_eq!(ov.intern("query_only"), q, "overlay interning idempotent");
+        assert_eq!(ov.name(q), "query_only");
+        assert_eq!(ov.name(b), "b");
+        assert_eq!(ov.overlay_len(), 1);
+        assert_eq!(base.len(), before, "base untouched");
+        assert_eq!(base.lookup("query_only"), None);
     }
 
     #[test]

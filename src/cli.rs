@@ -29,7 +29,7 @@ pub enum Command {
         /// XML files, each holding one document.
         files: Vec<PathBuf>,
     },
-    /// `vist query <index> <expr> [--verify] [--show]`
+    /// `vist query <index> <expr> [--verify] [--show] [--workers N]`
     Query {
         /// Index file path.
         index: PathBuf,
@@ -39,6 +39,8 @@ pub enum Command {
         verify: bool,
         /// Print matching documents' XML, not just ids.
         show: bool,
+        /// Match-engine worker threads (1 = serial).
+        workers: usize,
     },
     /// `vist remove <index> <doc-id>`
     Remove {
@@ -47,12 +49,14 @@ pub enum Command {
         /// Document to remove.
         doc_id: u64,
     },
-    /// `vist explain <index> <expr>`
+    /// `vist explain <index> <expr> [--workers N]`
     Explain {
         /// Index file path.
         index: PathBuf,
         /// Path expression.
         expr: String,
+        /// Match-engine worker threads (1 = serial).
+        workers: usize,
     },
     /// `vist list <index>`
     List {
@@ -82,9 +86,9 @@ vist — index and query XML documents by tree structure (SIGMOD'03 ViST)
 USAGE:
   vist create  <index> [--page-size N] [--lambda N] [--no-docs]
   vist add     <index> <file.xml>...
-  vist query   <index> '<expr>' [--verify] [--show]
+  vist query   <index> '<expr>' [--verify] [--show] [--workers N]
   vist remove  <index> <doc-id>
-  vist explain <index> '<expr>'
+  vist explain <index> '<expr>' [--workers N]
   vist list    <index>
   vist stats   <index>
   vist rebuild <index> <dst>
@@ -156,6 +160,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "query" => {
             let verify = take_flag(&mut rest, "--verify");
             let show = take_flag(&mut rest, "--show");
+            let workers = take_opt(&mut rest, "--workers")?
+                .map(|v| v.parse().map_err(|_| "bad --workers".to_string()))
+                .transpose()?
+                .unwrap_or(1);
             let [index, expr] = rest.as_slice() else {
                 return Err("query: expected an index path and one expression".into());
             };
@@ -164,6 +172,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 expr: (*expr).clone(),
                 verify,
                 show,
+                workers,
             })
         }
         "remove" => {
@@ -176,12 +185,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "explain" => {
+            let workers = take_opt(&mut rest, "--workers")?
+                .map(|v| v.parse().map_err(|_| "bad --workers".to_string()))
+                .transpose()?
+                .unwrap_or(1);
             let [index, expr] = rest.as_slice() else {
                 return Err("explain: expected an index path and one expression".into());
             };
             Ok(Command::Explain {
                 index: PathBuf::from(index),
                 expr: (*expr).clone(),
+                workers,
             })
         }
         "list" => {
@@ -256,6 +270,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             expr,
             verify,
             show,
+            workers,
         } => {
             let idx = open(&index)?;
             let r = idx
@@ -263,6 +278,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     &expr,
                     &QueryOptions {
                         verify,
+                        workers,
                         ..Default::default()
                     },
                 )
@@ -295,10 +311,20 @@ pub fn run(cmd: Command) -> Result<String, String> {
             idx.flush().map_err(|e| e.to_string())?;
             Ok(format!("removed doc {doc_id}\n"))
         }
-        Command::Explain { index, expr } => {
+        Command::Explain {
+            index,
+            expr,
+            workers,
+        } => {
             let idx = open(&index)?;
-            idx.explain(&expr, &QueryOptions::default())
-                .map_err(|e| e.to_string())
+            idx.explain(
+                &expr,
+                &QueryOptions {
+                    workers,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())
         }
         Command::List { index } => {
             let idx = open(&index)?;
@@ -320,6 +346,10 @@ pub fn run(cmd: Command) -> Result<String, String> {
             writeln!(out, "D-Ancestor keys:      {}", s.dkeys).unwrap();
             writeln!(out, "tight underflows:     {}", s.underflows).unwrap();
             writeln!(out, "node incarnations:    {}", s.deep_borrows).unwrap();
+            writeln!(out, "match work items:     {}", s.match_work_items).unwrap();
+            writeln!(out, "match steals:         {}", s.match_steals).unwrap();
+            writeln!(out, "match scopes merged:  {}", s.match_scopes_merged).unwrap();
+            writeln!(out, "match dedup skips:    {}", s.match_dedup_skips).unwrap();
             writeln!(out, "store bytes:          {}", s.store_bytes).unwrap();
             writeln!(
                 out,
@@ -432,8 +462,22 @@ mod tests {
                 expr: "//author".into(),
                 verify: true,
                 show: true,
+                workers: 1,
             }
         );
+        let c = parse_args(&argv("query idx //author --workers 4")).unwrap();
+        assert_eq!(
+            c,
+            Command::Query {
+                index: PathBuf::from("idx"),
+                expr: "//author".into(),
+                verify: false,
+                show: false,
+                workers: 4,
+            }
+        );
+        assert!(parse_args(&argv("query idx //author --workers")).is_err());
+        assert!(parse_args(&argv("explain idx //author --workers nope")).is_err());
     }
 
     #[test]
@@ -487,6 +531,7 @@ mod tests {
             expr: "/book/author[text='David']".into(),
             verify: true,
             show: true,
+            workers: 2,
         })
         .unwrap();
         assert!(out.starts_with("1 document(s)"), "{out}");
@@ -498,6 +543,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("documents:            2"), "{out}");
         assert!(out.contains("buffer pool:"), "{out}");
+        assert!(out.contains("match work items:"), "{out}");
 
         run(Command::Remove {
             index: index.clone(),
@@ -509,6 +555,7 @@ mod tests {
             expr: "//author".into(),
             verify: false,
             show: false,
+            workers: 1,
         })
         .unwrap();
         assert!(out.starts_with("1 document(s)"), "{out}");

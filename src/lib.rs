@@ -36,8 +36,9 @@
 //! | [`btree`] | `vist-btree` | the disk B+Tree substrate |
 
 pub use vist_core::{
-    AllocatorKind, DocId, Error, IndexOptions, IndexStats, NaiveIndex, QueryOptions, QueryResult,
-    QueryStats, Result, RistIndex, StatsModel, VistIndex,
+    search_sequences, AllocatorKind, DocId, Error, IndexOptions, IndexStats, NaiveIndex,
+    QueryOptions, QueryResult, QueryStats, Result, RistIndex, SearchMode, SearchOutcome,
+    StatsModel, VistIndex,
 };
 
 /// The `vist` command-line tool's implementation (parse + execute).
