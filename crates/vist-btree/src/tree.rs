@@ -103,6 +103,13 @@ impl BTree {
         self.max_cell - 4
     }
 
+    /// Walk the whole tree checking structural invariants (key order, node
+    /// bounds, uniform depth, leaf chain). Used by `vist check` after a
+    /// crash recovery; see [`crate::verify::check`].
+    pub fn verify(&self) -> Result<()> {
+        crate::verify::check(self)
+    }
+
     /// Exact lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let mut pid = self.root_page();

@@ -311,6 +311,23 @@ impl Store {
         &self.pool
     }
 
+    /// Verify the structural invariants of every B+Tree in the store (used
+    /// by `vist check` after crash recovery). Returns one entry per tree:
+    /// `(name, None)` for a clean tree, `(name, Some(message))` otherwise.
+    pub fn verify(&self) -> Vec<(&'static str, Option<String>)> {
+        let trees: [(&'static str, &BTree); 5] = [
+            ("dancestor", &self.dancestor),
+            ("sancestor", &self.sancestor),
+            ("docid", &self.docid),
+            ("edges", &self.edges),
+            ("aux", &self.aux),
+        ];
+        trees
+            .into_iter()
+            .map(|(name, tree)| (name, tree.verify().err().map(|e| e.to_string())))
+            .collect()
+    }
+
     // ----- D-Ancestor tree -----
 
     /// Look up the id of a D-Ancestor key.

@@ -186,11 +186,22 @@ impl VistIndex {
     }
 
     /// Reopen an index file created by [`VistIndex::create_file`] (after a
-    /// [`VistIndex::flush`]). A persisted statistics model (from a
+    /// [`VistIndex::flush`]). Opening replays any committed write-ahead-log
+    /// records a crash left behind (see `docs/DURABILITY.md`); the
+    /// [`IndexStats::io`] counters `recovered_pages` / `wal_discarded_bytes`
+    /// report what recovery did. A persisted statistics model (from a
     /// `WithClues` allocator) is restored automatically.
     pub fn open_file<P: AsRef<Path>>(path: P, cache_pages: usize) -> Result<Self> {
         let pager = FilePager::open(path)?;
         let pool = Arc::new(BufferPool::with_capacity(pager, cache_pages));
+        Self::open_on(pool)
+    }
+
+    /// Reopen an index from an existing pool (advanced; pairs with
+    /// [`VistIndex::create_on`] the way [`VistIndex::open_file`] pairs with
+    /// [`VistIndex::create_file`], and lets tests open through a
+    /// fault-injecting pager).
+    pub fn open_on(pool: Arc<BufferPool>) -> Result<Self> {
         // The meta page is always the first page a FilePager hands out.
         let meta_page: PageId = 1;
         let (store, table, order) = Store::open(pool, meta_page)?;
@@ -268,6 +279,52 @@ impl VistIndex {
             io: self.store.pool().stats(),
             pool: self.store.pool().pool_stats(),
         }
+    }
+
+    /// Verify the structural invariants of every B+Tree in the index (key
+    /// order, node bounds, uniform depth, leaf chains) plus basic meta
+    /// consistency. Returns a human-readable report when everything is
+    /// clean, or [`Error::Corrupt`] carrying the report when it is not.
+    /// Backs the `vist check` CLI command; intended to run after a crash
+    /// recovery.
+    pub fn check(&self) -> Result<String> {
+        let _m = self.maintenance.read();
+        use std::fmt::Write as _;
+        let mut report = String::new();
+        let mut dirty = 0usize;
+        for (name, problem) in self.store.verify() {
+            match problem {
+                None => writeln!(report, "tree {name:<9} ok").unwrap(),
+                Some(msg) => {
+                    dirty += 1;
+                    writeln!(report, "tree {name:<9} CORRUPT: {msg}").unwrap();
+                }
+            }
+        }
+        if self.store.meta().store_documents {
+            match self.store.doc_ids() {
+                Ok(ids) => {
+                    let n = ids.len() as u64;
+                    let meta_n = self.store.meta().doc_count;
+                    if n == meta_n {
+                        writeln!(report, "documents {n} (matches meta)").unwrap();
+                    } else {
+                        dirty += 1;
+                        writeln!(report, "documents {n} but meta says {meta_n}").unwrap();
+                    }
+                }
+                Err(e) => {
+                    dirty += 1;
+                    writeln!(report, "documents UNREADABLE: {e}").unwrap();
+                }
+            }
+        }
+        if dirty > 0 {
+            return Err(Error::Corrupt(format!(
+                "{dirty} check(s) failed:\n{report}"
+            )));
+        }
+        Ok(report)
     }
 
     /// Persist meta state and flush dirty pages to the backing store. A

@@ -6,14 +6,45 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors produced by the storage layer.
+///
+/// Corruption is reported through *structured* variants ([`Error::BadMagic`],
+/// [`Error::ChecksumMismatch`], [`Error::TruncatedWal`]) so recovery code can
+/// branch on the exact failure; [`Error::Corrupt`] remains for invariant
+/// violations that carry no machine-usable payload (e.g. B+Tree structure
+/// checks).
 #[derive(Debug)]
 pub enum Error {
     /// An underlying I/O operation failed.
     Io(std::io::Error),
     /// A page id referred to a page that does not exist (or was freed).
     InvalidPage(u64),
-    /// The file is not a valid store (bad magic / version / page size).
+    /// The file is not a valid store (invariant violation with no
+    /// machine-usable payload; see the structured variants below).
     Corrupt(String),
+    /// A file's magic bytes did not match; `what` names the header
+    /// ("store header", "wal header", ...).
+    BadMagic {
+        /// Which header failed validation.
+        what: &'static str,
+    },
+    /// A page's trailer CRC32C (or a WAL record's CRC) did not match its
+    /// contents — a torn write or bit rot.
+    ChecksumMismatch {
+        /// The page id (or WAL offset, for WAL-interior records).
+        page: u64,
+        /// Checksum stored on disk.
+        expected: u32,
+        /// Checksum computed over the bytes read.
+        actual: u32,
+    },
+    /// The write-ahead log ends in a torn or incomplete record at `offset`.
+    /// Recovery treats a tail *after the last commit* as expected crash
+    /// debris; this error surfaces only when corruption makes the log
+    /// unreadable where intact records were required.
+    TruncatedWal {
+        /// Byte offset of the first unreadable record.
+        offset: u64,
+    },
     /// A record did not fit in a page, or a slot id was out of range.
     PageOverflow {
         /// Bytes that were requested.
@@ -36,6 +67,22 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::InvalidPage(p) => write!(f, "invalid page id {p}"),
             Error::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            Error::BadMagic { what } => write!(f, "corrupt store: bad magic in {what}"),
+            Error::ChecksumMismatch {
+                page,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "corrupt store: checksum mismatch on page {page} \
+                 (expected {expected:#010x}, got {actual:#010x})"
+            ),
+            Error::TruncatedWal { offset } => {
+                write!(
+                    f,
+                    "corrupt store: write-ahead log truncated at offset {offset}"
+                )
+            }
             Error::PageOverflow {
                 requested,
                 available,
@@ -81,6 +128,24 @@ mod tests {
         assert!(Error::BadPageSize(3).to_string().contains('3'));
         let s = Error::PagePinned(11).to_string();
         assert!(s.contains("11") && s.contains("pinned"));
+    }
+
+    #[test]
+    fn structured_corruption_display() {
+        let s = Error::BadMagic {
+            what: "store header",
+        }
+        .to_string();
+        assert!(s.contains("bad magic") && s.contains("store header"));
+        let s = Error::ChecksumMismatch {
+            page: 7,
+            expected: 0xDEAD_BEEF,
+            actual: 0x0BAD_F00D,
+        }
+        .to_string();
+        assert!(s.contains("page 7") && s.contains("0xdeadbeef") && s.contains("0x0badf00d"));
+        let s = Error::TruncatedWal { offset: 1234 }.to_string();
+        assert!(s.contains("1234") && s.contains("write-ahead log"));
     }
 
     #[test]

@@ -8,12 +8,19 @@
 //!   implementation ([`MemPager`]) and a durable file-backed implementation
 //!   ([`FilePager`]) that maintains a free list and a typed header page,
 //! * a [`BufferPool`] that caches pages with CLOCK eviction, pin counting and
-//!   dirty-page write-back, and
+//!   dirty-page write-back,
 //! * a [`SlottedPage`] layout for variable-length records, used by
-//!   `vist-btree` for its node format.
+//!   `vist-btree` for its node format, and
+//! * a crash-safety layer: [`FilePager`] routes every write through a
+//!   checksummed write-ahead log, [`Pager::sync`] is an atomic checkpoint,
+//!   [`FilePager::open`] replays committed log records left by a crash, and
+//!   every page carries a CRC32C trailer verified on read. A crash at *any*
+//!   instruction leaves the store equal to its last completed checkpoint —
+//!   a property exercised exhaustively by the [`FaultVfs`]/[`FaultPager`]
+//!   fault-injection harness (see `docs/DURABILITY.md`).
 //!
 //! The layer is deliberately small but complete: everything the B+Tree needs
-//! (allocation, free, ordered growth, crash-consistent-ish flush, I/O
+//! (allocation, free, ordered growth, durable checkpoints, recovery, I/O
 //! statistics) is here, and nothing else.
 //!
 //! # Example
@@ -32,21 +39,30 @@
 //! ```
 
 mod buffer;
+mod crc;
 mod error;
+mod fault;
 mod file;
 mod mem;
 mod pager;
 mod slotted;
 mod stats;
 pub mod sync;
+#[doc(hidden)]
+pub mod testutil;
+mod vfs;
+mod wal;
 
 pub use buffer::{BufferPool, PageRef, PageRefMut, PoolStats, ShardStats};
+pub use crc::{crc32c, Crc32c};
 pub use error::{Error, Result};
-pub use file::FilePager;
+pub use fault::{is_injected, FaultHandle, FaultMode, FaultPager, FaultVfs};
+pub use file::{FilePager, PAGE_TRAILER};
 pub use mem::MemPager;
 pub use pager::{PageId, Pager, INVALID_PAGE};
 pub use slotted::{SlotId, SlottedPage, SlottedPageMut};
 pub use stats::IoStats;
+pub use vfs::{OpenMode, RealVfs, VFile, Vfs};
 
 /// Default page size, in bytes. The paper uses 2 KiB Berkeley DB pages; we
 /// default to 4 KiB (a modern filesystem block) and expose the size as a

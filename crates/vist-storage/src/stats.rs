@@ -20,6 +20,14 @@ pub struct IoStats {
     pub cache_misses: u64,
     /// Dirty pages written back by eviction or flush.
     pub write_backs: u64,
+    /// Page images appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Checkpoint commits (WAL commit records fsynced).
+    pub wal_commits: u64,
+    /// Pages replayed from the WAL during recovery-on-open.
+    pub recovered_pages: u64,
+    /// Uncommitted WAL tail bytes discarded during recovery-on-open.
+    pub wal_discarded_bytes: u64,
 }
 
 impl IoStats {
@@ -34,6 +42,12 @@ impl IoStats {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             write_backs: self.write_backs.saturating_sub(earlier.write_backs),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_commits: self.wal_commits.saturating_sub(earlier.wal_commits),
+            recovered_pages: self.recovered_pages.saturating_sub(earlier.recovered_pages),
+            wal_discarded_bytes: self
+                .wal_discarded_bytes
+                .saturating_sub(earlier.wal_discarded_bytes),
         }
     }
 

@@ -1,0 +1,65 @@
+//! Test scaffolding shared by this crate's tests and downstream crates'
+//! integration tests. Not part of the stable API.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named temporary directory, removed (recursively) on drop.
+///
+/// Unlike ad-hoc `temp_dir().join(format!("...-{pid}"))` paths, two tests in
+/// the same process can never collide (a global counter disambiguates), and
+/// a failing test cannot leak files: cleanup runs on unwind too.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `"$TMPDIR/vist-<name>-<pid>-<n>"`.
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("vist-{name}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A file path inside the directory.
+    #[must_use]
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_cleaned_up() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        std::fs::write(a.file("x"), b"data").unwrap();
+        let pa = a.path().to_path_buf();
+        drop(a);
+        assert!(!pa.exists(), "dir removed with its contents");
+        assert!(b.path().exists());
+    }
+}

@@ -1,0 +1,371 @@
+//! Physical redo write-ahead log backing [`crate::FilePager`].
+//!
+//! # Format
+//!
+//! A WAL file is a 16-byte header followed by back-to-back records:
+//!
+//! ```text
+//! header:  magic "VISTWAL1" (8) | page_size u32 | reserved u32
+//! record:  kind u8 | page_id u32 | len u32 | crc32c u32 | payload[len]
+//! ```
+//!
+//! Two record kinds exist: `PAGE` (a full page image, `len == page_size`;
+//! `page_id` 0 is the store header) and `COMMIT` (an 8-byte checkpoint
+//! sequence number). The CRC covers `kind ‖ page_id ‖ payload`, so a torn
+//! record — truncated length field, partial payload, bit rot — fails
+//! verification instead of replaying garbage.
+//!
+//! # Protocol (see `docs/DURABILITY.md`)
+//!
+//! Between checkpoints the data file is **never written**: every page write
+//! is an append here. A checkpoint fsyncs the records, appends a `COMMIT`,
+//! fsyncs again, applies the committed images to the data file, fsyncs it,
+//! and truncates the log. Recovery scans for the last `COMMIT`: everything
+//! up to it is replayed (idempotently — replaying twice is harmless),
+//! everything after it is crash debris and is discarded.
+
+use crate::crc::Crc32c;
+use crate::vfs::VFile;
+use crate::{Error, PageId, Result};
+use std::collections::HashMap;
+
+const WAL_MAGIC: &[u8; 8] = b"VISTWAL1";
+/// Size of the WAL file header.
+pub(crate) const WAL_HDR: u64 = 16;
+/// Size of a record header (`kind u8 | page_id u32 | len u32 | crc u32`).
+const REC_HDR: usize = 13;
+
+const KIND_PAGE: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+
+/// Outcome of scanning a WAL on open.
+#[derive(Debug, Default)]
+pub(crate) struct WalScan {
+    /// Latest committed image per page: id → record offset.
+    pub committed: HashMap<PageId, u64>,
+    /// Number of commit records found.
+    pub commits: u64,
+    /// Bytes after the last commit (uncommitted tail, discarded).
+    pub discarded_bytes: u64,
+}
+
+pub(crate) struct Wal {
+    file: Box<dyn VFile>,
+    page_size: usize,
+    /// Append position (bytes).
+    end: u64,
+    /// Checkpoint sequence number of the next commit record.
+    seq: u64,
+}
+
+fn record_crc(kind: u8, pid: PageId, payload: &[u8]) -> u32 {
+    let mut c = Crc32c::new();
+    c.update(&[kind]).update(&pid.to_le_bytes()).update(payload);
+    c.finish()
+}
+
+impl Wal {
+    /// Initialize a fresh WAL (writes the header; caller syncs).
+    pub fn create(mut file: Box<dyn VFile>, page_size: usize) -> Result<Self> {
+        let mut hdr = [0u8; WAL_HDR as usize];
+        hdr[0..8].copy_from_slice(WAL_MAGIC);
+        hdr[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
+        file.set_len(0)?;
+        file.write_at(0, &hdr)?;
+        Ok(Wal {
+            file,
+            page_size,
+            end: WAL_HDR,
+            seq: 0,
+        })
+    }
+
+    /// Open an existing WAL file and scan it for committed records. A file
+    /// shorter than the header (e.g. created but never written before a
+    /// crash) is re-initialized as empty. `expect_page_size` of `None`
+    /// accepts whatever the header declares.
+    pub fn open(
+        mut file: Box<dyn VFile>,
+        expect_page_size: Option<usize>,
+    ) -> Result<(Self, WalScan)> {
+        let len = file.len()?;
+        if len < WAL_HDR {
+            let page_size = expect_page_size.ok_or(Error::BadMagic { what: "wal header" })?;
+            let wal = Wal::create(file, page_size)?;
+            return Ok((wal, WalScan::default()));
+        }
+        let mut hdr = [0u8; WAL_HDR as usize];
+        file.read_at(0, &mut hdr)?;
+        if &hdr[0..8] != WAL_MAGIC {
+            return Err(Error::BadMagic { what: "wal header" });
+        }
+        let page_size = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+        if let Some(expect) = expect_page_size {
+            if expect != page_size {
+                return Err(Error::Corrupt(format!(
+                    "wal page size {page_size} != store page size {expect}"
+                )));
+            }
+        }
+        crate::pager::check_page_size(page_size)
+            .map_err(|_| Error::Corrupt(format!("bad page size {page_size} in wal header")))?;
+
+        let mut scan = WalScan::default();
+        let mut staged: HashMap<PageId, u64> = HashMap::new();
+        let mut pos = WAL_HDR;
+        let mut committed_end = WAL_HDR;
+        let mut rec_hdr = [0u8; REC_HDR];
+        let mut payload = vec![0u8; page_size];
+        loop {
+            if pos + REC_HDR as u64 > len {
+                break; // torn record header (or clean end)
+            }
+            if file.read_at(pos, &mut rec_hdr).is_err() {
+                break;
+            }
+            let kind = rec_hdr[0];
+            let pid = PageId::from_le_bytes(rec_hdr[1..5].try_into().unwrap());
+            let rlen = u32::from_le_bytes(rec_hdr[5..9].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(rec_hdr[9..13].try_into().unwrap());
+            let valid_shape = match kind {
+                KIND_PAGE => rlen == page_size,
+                KIND_COMMIT => rlen == 8,
+                _ => false,
+            };
+            if !valid_shape || pos + (REC_HDR + rlen) as u64 > len {
+                break; // torn or garbage tail
+            }
+            let body = &mut payload[..rlen];
+            if file.read_at(pos + REC_HDR as u64, body).is_err() {
+                break;
+            }
+            if record_crc(kind, pid, body) != crc {
+                break; // torn payload
+            }
+            pos += (REC_HDR + rlen) as u64;
+            match kind {
+                KIND_PAGE => {
+                    staged.insert(pid, pos - (REC_HDR + rlen) as u64);
+                }
+                KIND_COMMIT => {
+                    scan.committed.extend(staged.drain());
+                    scan.commits += 1;
+                    committed_end = pos;
+                }
+                _ => unreachable!("shape-checked above"),
+            }
+        }
+        scan.discarded_bytes = len - committed_end;
+        Ok((
+            Wal {
+                file,
+                page_size,
+                end: len,
+                seq: scan.commits,
+            },
+            scan,
+        ))
+    }
+
+    /// Append a page image; returns the record's offset (for later
+    /// [`Wal::read_page`]). Not synced — [`Wal::commit`] makes it durable.
+    pub fn append_page(&mut self, pid: PageId, data: &[u8]) -> Result<u64> {
+        debug_assert_eq!(data.len(), self.page_size);
+        let mut rec = Vec::with_capacity(REC_HDR + data.len());
+        rec.push(KIND_PAGE);
+        rec.extend_from_slice(&pid.to_le_bytes());
+        rec.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&record_crc(KIND_PAGE, pid, data).to_le_bytes());
+        rec.extend_from_slice(data);
+        let off = self.end;
+        self.file.write_at(off, &rec)?;
+        self.end += rec.len() as u64;
+        Ok(off)
+    }
+
+    /// Read back the page image appended at `offset`, verifying its CRC.
+    pub fn read_page(&mut self, offset: u64, expect_pid: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        let mut rec_hdr = [0u8; REC_HDR];
+        self.file.read_at(offset, &mut rec_hdr)?;
+        let kind = rec_hdr[0];
+        let pid = PageId::from_le_bytes(rec_hdr[1..5].try_into().unwrap());
+        let rlen = u32::from_le_bytes(rec_hdr[5..9].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(rec_hdr[9..13].try_into().unwrap());
+        if kind != KIND_PAGE || pid != expect_pid || rlen != self.page_size {
+            return Err(Error::TruncatedWal { offset });
+        }
+        self.file.read_at(offset + REC_HDR as u64, buf)?;
+        let actual = record_crc(kind, pid, buf);
+        if actual != crc {
+            return Err(Error::ChecksumMismatch {
+                page: u64::from(pid),
+                expected: crc,
+                actual,
+            });
+        }
+        Ok(())
+    }
+
+    /// Make all appended records durable and seal them with a commit record
+    /// (fsync · commit · fsync).
+    pub fn commit(&mut self) -> Result<()> {
+        self.file.sync()?;
+        let payload = self.seq.to_le_bytes();
+        let mut rec = Vec::with_capacity(REC_HDR + payload.len());
+        rec.push(KIND_COMMIT);
+        rec.extend_from_slice(&0u32.to_le_bytes());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&record_crc(KIND_COMMIT, 0, &payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        self.file.write_at(self.end, &rec)?;
+        self.end += rec.len() as u64;
+        self.file.sync()?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Fsync the log file without committing (used once at store creation
+    /// to make the empty log's header durable).
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync()?;
+        Ok(())
+    }
+
+    /// Discard all records (the checkpoint has been applied).
+    pub fn truncate(&mut self) -> Result<()> {
+        self.file.set_len(WAL_HDR)?;
+        self.file.sync()?;
+        self.end = WAL_HDR;
+        Ok(())
+    }
+
+    /// Current log size in bytes (header included).
+    pub fn bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// Page size declared by the log header.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use crate::vfs::{OpenMode, RealVfs, Vfs};
+
+    const PS: usize = 128;
+
+    fn open_file(dir: &TempDir, mode: OpenMode) -> Box<dyn VFile> {
+        RealVfs.open(&dir.file("wal"), mode).unwrap()
+    }
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; PS]
+    }
+
+    #[test]
+    fn committed_records_replay_uncommitted_tail_discarded() {
+        let dir = TempDir::new("wal-replay");
+        {
+            let mut wal = Wal::create(open_file(&dir, OpenMode::CreateTruncate), PS).unwrap();
+            wal.append_page(3, &page(0xAA)).unwrap();
+            wal.append_page(5, &page(0xBB)).unwrap();
+            wal.append_page(3, &page(0xCC)).unwrap(); // newer image of 3
+            wal.commit().unwrap();
+            wal.append_page(9, &page(0xDD)).unwrap(); // never committed
+        }
+        let (mut wal, scan) = Wal::open(open_file(&dir, OpenMode::MustExist), Some(PS)).unwrap();
+        assert_eq!(scan.commits, 1);
+        assert_eq!(scan.committed.len(), 2);
+        assert!(scan.discarded_bytes > 0, "uncommitted tail measured");
+        let mut buf = page(0);
+        wal.read_page(scan.committed[&3], 3, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xCC), "latest image wins");
+        wal.read_page(scan.committed[&5], 5, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xBB));
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_not_fatal() {
+        let dir = TempDir::new("wal-torn");
+        let full_len;
+        {
+            let mut wal = Wal::create(open_file(&dir, OpenMode::CreateTruncate), PS).unwrap();
+            wal.append_page(1, &page(0x11)).unwrap();
+            wal.commit().unwrap();
+            wal.append_page(2, &page(0x22)).unwrap();
+            full_len = wal.bytes();
+        }
+        // Tear the last record at every possible byte boundary.
+        let committed_end = full_len - (REC_HDR + PS) as u64;
+        for cut in [
+            committed_end + 1,
+            committed_end + REC_HDR as u64 - 1,
+            committed_end + REC_HDR as u64 + 7,
+            full_len - 1,
+        ] {
+            let mut f = open_file(&dir, OpenMode::MustExist);
+            f.set_len(cut).unwrap();
+            drop(f);
+            let (_, scan) = Wal::open(open_file(&dir, OpenMode::MustExist), Some(PS)).unwrap();
+            assert_eq!(scan.commits, 1, "cut at {cut}");
+            assert_eq!(scan.committed.len(), 1, "cut at {cut}");
+            assert_eq!(scan.discarded_bytes, cut - committed_end, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_byte_invalidates_from_there_on() {
+        let dir = TempDir::new("wal-flip");
+        {
+            let mut wal = Wal::create(open_file(&dir, OpenMode::CreateTruncate), PS).unwrap();
+            wal.append_page(1, &page(0x11)).unwrap();
+            wal.commit().unwrap();
+            wal.append_page(2, &page(0x22)).unwrap();
+            wal.commit().unwrap();
+        }
+        // Flip a byte inside the FIRST page record's payload: the scan stops
+        // there, so only records before it replay — never garbage.
+        let mut f = open_file(&dir, OpenMode::MustExist);
+        let off = WAL_HDR + REC_HDR as u64 + 10;
+        let mut b = [0u8; 1];
+        f.read_at(off, &mut b).unwrap();
+        b[0] ^= 0x40;
+        f.write_at(off, &b).unwrap();
+        drop(f);
+        let (_, scan) = Wal::open(open_file(&dir, OpenMode::MustExist), Some(PS)).unwrap();
+        assert_eq!(scan.commits, 0, "commits behind the corruption are lost");
+        assert!(scan.committed.is_empty());
+        assert!(scan.discarded_bytes > 0);
+    }
+
+    #[test]
+    fn bad_magic_and_page_size_mismatch() {
+        let dir = TempDir::new("wal-magic");
+        std::fs::write(dir.file("wal"), b"garbage garbage garbage").unwrap();
+        assert!(matches!(
+            Wal::open(open_file(&dir, OpenMode::MustExist), Some(PS)),
+            Err(Error::BadMagic { what: "wal header" })
+        ));
+        {
+            let _ = Wal::create(open_file(&dir, OpenMode::CreateTruncate), PS).unwrap();
+        }
+        assert!(matches!(
+            Wal::open(open_file(&dir, OpenMode::MustExist), Some(PS * 2)),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn short_file_reinitialized_as_empty() {
+        let dir = TempDir::new("wal-short");
+        std::fs::write(dir.file("wal"), b"VIST").unwrap(); // crashed mid-create
+        let (wal, scan) = Wal::open(open_file(&dir, OpenMode::MustExist), Some(PS)).unwrap();
+        assert_eq!(scan.commits, 0);
+        assert_eq!(wal.bytes(), WAL_HDR);
+    }
+}

@@ -75,6 +75,16 @@ pub enum Command {
         /// Destination index file.
         dst: PathBuf,
     },
+    /// `vist check <index>`
+    Check {
+        /// Index file path.
+        index: PathBuf,
+    },
+    /// `vist recover <index>`
+    Recover {
+        /// Index file path.
+        index: PathBuf,
+    },
     /// `vist help`
     Help,
 }
@@ -92,6 +102,8 @@ USAGE:
   vist list    <index>
   vist stats   <index>
   vist rebuild <index> <dst>
+  vist check   <index>
+  vist recover <index>
 
 QUERY EXPRESSIONS (the paper's Table 3 subset):
   /book/author                       child paths
@@ -221,6 +233,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Rebuild {
                 index: PathBuf::from(index),
                 dst: PathBuf::from(dst),
+            })
+        }
+        "check" => {
+            let [index] = rest.as_slice() else {
+                return Err("check: expected exactly one index path".into());
+            };
+            Ok(Command::Check {
+                index: PathBuf::from(index),
+            })
+        }
+        "recover" => {
+            let [index] = rest.as_slice() else {
+                return Err("recover: expected exactly one index path".into());
+            };
+            Ok(Command::Recover {
+                index: PathBuf::from(index),
             })
         }
         other => Err(format!("unknown subcommand '{other}' (try 'vist help')")),
@@ -381,6 +409,12 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 b.aux.entries, b.aux.total_bytes
             )
             .unwrap();
+            writeln!(out, "page reads:           {}", s.io.reads).unwrap();
+            writeln!(out, "page writes:          {}", s.io.writes).unwrap();
+            writeln!(out, "wal appends:          {}", s.io.wal_appends).unwrap();
+            writeln!(out, "wal commits:          {}", s.io.wal_commits).unwrap();
+            writeln!(out, "recovered pages:      {}", s.io.recovered_pages).unwrap();
+            writeln!(out, "wal bytes discarded:  {}", s.io.wal_discarded_bytes).unwrap();
             let t = s.pool.totals();
             writeln!(
                 out,
@@ -412,6 +446,25 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 dst.display(),
                 fresh.doc_count(),
                 fresh.stats().nodes
+            ))
+        }
+        Command::Check { index } => {
+            let idx = open(&index)?;
+            let report = idx.check().map_err(|e| e.to_string())?;
+            Ok(format!("{report}ok\n"))
+        }
+        Command::Recover { index } => {
+            // Opening replays any committed write-ahead-log records; then
+            // verify the result and checkpoint it so the log is gone.
+            let idx = open(&index)?;
+            let io = idx.stats().io;
+            let report = idx.check().map_err(|e| e.to_string())?;
+            idx.flush().map_err(|e| e.to_string())?;
+            Ok(format!(
+                "recovered {}: {} page(s) replayed, {} uncommitted byte(s) discarded\n{report}ok\n",
+                index.display(),
+                io.recovered_pages,
+                io.wal_discarded_bytes,
             ))
         }
     }
@@ -509,12 +562,53 @@ mod tests {
     }
 
     #[test]
+    fn parse_check_and_recover() {
+        assert_eq!(
+            parse_args(&argv("check idx")).unwrap(),
+            Command::Check {
+                index: PathBuf::from("idx")
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("recover idx")).unwrap(),
+            Command::Recover {
+                index: PathBuf::from("idx")
+            }
+        );
+        assert!(parse_args(&argv("check")).is_err());
+        assert!(parse_args(&argv("recover a b")).is_err());
+    }
+
+    #[test]
+    fn check_and_recover_on_healthy_index() {
+        let dir = vist_storage::testutil::TempDir::new("cli-check");
+        let index = dir.file("i.idx");
+        run(parse_args(&argv(&format!("create {}", index.display()))).unwrap()).unwrap();
+        let xml = dir.file("d.xml");
+        std::fs::write(&xml, "<a><b>1</b></a>").unwrap();
+        run(Command::Add {
+            index: index.clone(),
+            files: vec![xml],
+        })
+        .unwrap();
+        let out = run(Command::Check {
+            index: index.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("tree dancestor ok"), "{out}");
+        assert!(out.trim_end().ends_with("ok"), "{out}");
+        let out = run(Command::Recover { index }).unwrap();
+        assert!(out.contains("recovered"), "{out}");
+        assert!(out.contains("0 page(s) replayed"), "{out}");
+    }
+
+    #[test]
     fn end_to_end_lifecycle() {
-        let dir = std::env::temp_dir();
-        let index = dir.join(format!("vist-cli-{}.idx", std::process::id()));
-        let dst = dir.join(format!("vist-cli-{}-rebuilt.idx", std::process::id()));
-        let xml1 = dir.join(format!("vist-cli-{}-1.xml", std::process::id()));
-        let xml2 = dir.join(format!("vist-cli-{}-2.xml", std::process::id()));
+        let tmp = vist_storage::testutil::TempDir::new("cli-e2e");
+        let index = tmp.file("i.idx");
+        let dst = tmp.file("rebuilt.idx");
+        let xml1 = tmp.file("1.xml");
+        let xml2 = tmp.file("2.xml");
         std::fs::write(&xml1, "<book><author>David</author></book>").unwrap();
         std::fs::write(&xml2, "<book><author>Mary</author></book>").unwrap();
 
@@ -544,6 +638,9 @@ mod tests {
         assert!(out.contains("documents:            2"), "{out}");
         assert!(out.contains("buffer pool:"), "{out}");
         assert!(out.contains("match work items:"), "{out}");
+        assert!(out.contains("wal appends:"), "{out}");
+        assert!(out.contains("wal commits:"), "{out}");
+        assert!(out.contains("recovered pages:"), "{out}");
 
         run(Command::Remove {
             index: index.clone(),
@@ -566,9 +663,5 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("1 documents"), "{out}");
-
-        for f in [&index, &dst, &xml1, &xml2] {
-            let _ = std::fs::remove_file(f);
-        }
     }
 }

@@ -3,14 +3,12 @@
 
 use vist::datagen::dblp;
 use vist::{IndexOptions, QueryOptions, VistIndex};
-
-fn tmp(name: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("vist-it-{name}-{}", std::process::id()))
-}
+use vist_storage::testutil::TempDir;
 
 #[test]
 fn multi_session_lifecycle() {
-    let path = tmp("lifecycle");
+    let dir = TempDir::new("persist-lifecycle");
+    let path = dir.file("index");
     let docs = dblp::documents(500, 7);
     let q = "/book/author[text='David Smith']";
     let baseline;
@@ -64,12 +62,12 @@ fn multi_session_lifecycle() {
         }
         assert_eq!(now.len(), baseline.len()); // -1 +1
     }
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn unflushed_data_is_lost_but_index_stays_valid() {
-    let path = tmp("unflushed");
+    let dir = TempDir::new("persist-unflushed");
+    let path = dir.file("index");
     {
         let idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
         idx.insert_xml("<a><b>1</b></a>").unwrap();
@@ -89,13 +87,13 @@ fn unflushed_data_is_lost_but_index_stays_valid() {
             .unwrap();
         assert_eq!(r.doc_ids, vec![id]);
     }
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn page_size_is_honoured_per_index() {
     for page_size in [2048usize, 8192] {
-        let path = tmp(&format!("page{page_size}"));
+        let dir = TempDir::new("persist-pagesize");
+        let path = dir.file(&format!("index-{page_size}"));
         {
             let idx = VistIndex::create_file(
                 &path,
@@ -116,6 +114,5 @@ fn page_size_is_honoured_per_index() {
             .query("/inproceedings/title", &QueryOptions::default())
             .unwrap();
         assert!(!r.doc_ids.is_empty());
-        std::fs::remove_file(&path).unwrap();
     }
 }
