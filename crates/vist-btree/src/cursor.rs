@@ -25,6 +25,15 @@ pub struct Scan<'a> {
     start: Bound<Vec<u8>>,
     end: Bound<Vec<u8>>,
     done: bool,
+    /// Records handed out so far; recorded into the `vist_btree_scan_len`
+    /// histogram when the scan drops.
+    yielded: u64,
+}
+
+impl Drop for Scan<'_> {
+    fn drop(&mut self) {
+        vist_obs::histogram!("vist_btree_scan_len").record(self.yielded);
+    }
 }
 
 fn within_start(key: &[u8], start: &Bound<Vec<u8>>) -> bool {
@@ -69,6 +78,7 @@ impl<'a> Scan<'a> {
             start,
             end,
             done: false,
+            yielded: 0,
         };
         scan.fill()?;
         Ok(scan)
@@ -112,7 +122,11 @@ impl Iterator for Scan<'_> {
                 return Some(Err(e));
             }
         }
-        self.buffered.pop_front().map(Ok)
+        let item = self.buffered.pop_front();
+        if item.is_some() {
+            self.yielded += 1;
+        }
+        item.map(Ok)
     }
 }
 
@@ -187,6 +201,8 @@ impl BTree {
             Bound::Unbounded => self.leftmost_leaf()?,
             Bound::Included(s) | Bound::Excluded(s) => self.leaf_for(s)?,
         };
+        let mut visited = 0u64;
+        let scan_len = vist_obs::histogram!("vist_btree_scan_len");
         while leaf != INVALID_PAGE {
             let page = self.pool().fetch(leaf)?;
             let buf = page.data();
@@ -198,15 +214,19 @@ impl BTree {
                     continue;
                 }
                 if !within_end(k, &end) {
+                    scan_len.record(visited);
                     return Ok(());
                 }
+                visited += 1;
                 if f(k, v).is_break() {
+                    scan_len.record(visited);
                     return Ok(());
                 }
             }
             drop(page);
             leaf = next;
         }
+        scan_len.record(visited);
         Ok(())
     }
 }

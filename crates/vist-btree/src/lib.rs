@@ -49,3 +49,17 @@ pub use cursor::Scan;
 pub use stats::TreeStats;
 pub use tree::BTree;
 pub use vist_storage::{Error, Result};
+
+/// Register this crate's observability metrics with the global
+/// `vist-obs` registry so they appear in expositions even before the
+/// code paths that record them have run. Idempotent; called by
+/// [`BTree::create`] and [`BTree::open`].
+pub fn register_metrics() {
+    let _ = vist_obs::counter!("vist_btree_get_total");
+    let _ = vist_obs::counter!("vist_btree_insert_total");
+    let _ = vist_obs::counter!("vist_btree_delete_total");
+    let _ = vist_obs::counter!("vist_btree_leaf_chase_total");
+    let _ = vist_obs::gauge!("vist_btree_depth");
+    let _ = vist_obs::histogram!("vist_btree_probe_depth");
+    let _ = vist_obs::histogram!("vist_btree_scan_len");
+}

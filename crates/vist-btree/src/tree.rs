@@ -60,6 +60,7 @@ impl BTree {
 
     /// Create a fresh empty tree in `pool`.
     pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        crate::register_metrics();
         let root = pool.allocate()?;
         {
             let mut page = pool.fetch_mut(root)?;
@@ -76,6 +77,7 @@ impl BTree {
 
     /// Reopen a tree whose root page id was persisted earlier.
     pub fn open(pool: Arc<BufferPool>, root: PageId) -> Result<Self> {
+        crate::register_metrics();
         let max_cell = Self::max_cell_for(&pool);
         Ok(BTree {
             pool,
@@ -112,10 +114,14 @@ impl BTree {
 
     /// Exact lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        vist_obs::counter!("vist_btree_get_total").inc();
+        let mut depth = 0u64;
+        let probe_depth = vist_obs::histogram!("vist_btree_probe_depth");
         let mut pid = self.root_page();
         loop {
             let page = self.pool.fetch(pid)?;
             let buf = page.data();
+            depth += 1;
             match kind(buf) {
                 NodeKind::Internal => {
                     let (_, child) = child_for(buf, key);
@@ -125,6 +131,8 @@ impl BTree {
                     Ok(slot) => {
                         let p = SlottedPage::new(buf, NODE_HDR);
                         let (_, v) = decode_leaf_cell(p.cell(slot)?);
+                        probe_depth.record(depth);
+                        vist_obs::gauge!("vist_btree_depth").set(depth as i64);
                         return Ok(Some(v.to_vec()));
                     }
                     Err(_) => {
@@ -145,10 +153,12 @@ impl BTree {
                                 key > last
                             };
                             if beyond {
+                                vist_obs::counter!("vist_btree_leaf_chase_total").inc();
                                 pid = next;
                                 continue;
                             }
                         }
+                        probe_depth.record(depth);
                         return Ok(None);
                     }
                 },
@@ -166,6 +176,7 @@ impl BTree {
     /// Takes the tree's internal writer lock; safe to call concurrently
     /// with readers and with other writers (which serialize).
     pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        vist_obs::counter!("vist_btree_insert_total").inc();
         let _w = self.writer.lock();
         let cell_len = 4 + key.len() + value.len();
         if cell_len > self.max_cell {
@@ -408,6 +419,7 @@ impl BTree {
     /// pages and is therefore **not** safe to run concurrently with readers
     /// of the same tree; callers must exclude readers for its duration.
     pub fn delete(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        vist_obs::counter!("vist_btree_delete_total").inc();
         let _w = self.writer.lock();
         let root = self.root_page();
         let (old, emptied) = self.delete_rec(root, key)?;

@@ -46,8 +46,30 @@ pub use alloc::{Allocation, AllocatorKind, ScopeAllocator, StatsModel};
 pub use error::{Error, Result};
 pub use naive::NaiveIndex;
 pub use rist::RistIndex;
-pub use search::{search_sequences, QueryStats, SearchMode, SearchOutcome};
-pub use stats::{IndexStats, MatchCounters};
+pub use search::{search_sequences, QueryStats, SearchMode, SearchOutcome, StageTimings};
+pub use stats::{IndexStats, MatchCounters, MatchCountersSnapshot};
 pub use store::{DocId, NodeState, Store, StoreBreakdown};
 pub use trie::{Trie, TrieNode};
 pub use vist::{IndexOptions, QueryOptions, QueryResult, VistIndex};
+
+/// Register this crate's observability metrics with the global
+/// `vist-obs` registry so they appear in expositions even before the
+/// code paths that record them have run. Idempotent; called by the
+/// [`VistIndex`] constructors.
+pub fn register_metrics() {
+    let _ = vist_obs::counter!("vist_core_query_total");
+    let _ = vist_obs::counter!("vist_core_insert_total");
+    let _ = vist_obs::counter!("vist_core_work_items_total");
+    let _ = vist_obs::counter!("vist_core_nodes_visited_total");
+    let _ = vist_obs::counter!("vist_core_steals_total");
+    let _ = vist_obs::counter!("vist_core_dedup_skips_total");
+    let _ = vist_obs::gauge!("vist_core_documents");
+    let _ = vist_obs::histogram!("vist_core_query_nanos");
+    let _ = vist_obs::histogram!("vist_core_insert_nanos");
+    let _ = vist_obs::histogram!("vist_core_stage_translate_nanos");
+    let _ = vist_obs::histogram!("vist_core_stage_match_nanos");
+    let _ = vist_obs::histogram!("vist_core_stage_merge_nanos");
+    let _ = vist_obs::histogram!("vist_core_stage_docid_nanos");
+    let _ = vist_obs::histogram!("vist_core_worker_busy_nanos");
+    let _ = vist_obs::histogram!("vist_core_worker_idle_nanos");
+}

@@ -119,17 +119,17 @@ impl RistIndex {
     #[must_use]
     pub fn stats(&self) -> IndexStats {
         let meta = self.store.meta();
-        let (work_items, steals, scopes_merged, dedup_skips) = self.match_counters.snapshot();
+        let mc = self.match_counters.snapshot();
         IndexStats {
             documents: meta.doc_count,
             nodes: meta.node_count,
             dkeys: meta.next_dkey,
             underflows: 0,
             deep_borrows: 0,
-            match_work_items: work_items,
-            match_steals: steals,
-            match_scopes_merged: scopes_merged,
-            match_dedup_skips: dedup_skips,
+            match_work_items: mc.work_items,
+            match_steals: mc.steals,
+            match_scopes_merged: mc.scopes_merged,
+            match_dedup_skips: mc.dedup_skips,
             store_bytes: self.store.store_bytes(),
             io: self.store.pool().stats(),
             pool: self.store.pool().pool_stats(),
@@ -172,6 +172,8 @@ impl RistIndex {
             candidates,
             truncated: translation.truncated,
             stats: outcome.stats,
+            timings: outcome.timings,
+            trace: None,
         })
     }
 

@@ -90,6 +90,55 @@ impl QueryStats {
     }
 }
 
+/// Per-stage wall-clock breakdown of one query, in nanoseconds. All
+/// zeros when `vist-obs` timing is disabled. Kept separate from
+/// [`QueryStats`] so the deterministic counters stay comparable with
+/// `==` in tests while timings vary run to run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StageTimings {
+    /// Query parse + translation to structure-encoded sequences
+    /// (recorded by the index, zero for direct `search_sequences` calls).
+    pub translate_nanos: u64,
+    /// Per-sequence context build: the up-front D-Ancestor probes for
+    /// concrete prefixes.
+    pub plan_nanos: u64,
+    /// The work-list match loop (D-Ancestor candidates + S-Ancestor
+    /// range scans), across all workers, in wall-clock time.
+    pub match_nanos: u64,
+    /// Final-scope sort/dedup/interval-merge.
+    pub merge_nanos: u64,
+    /// DocId range queries over the merged scopes.
+    pub docid_nanos: u64,
+    /// Match verification against stored documents (recorded by the
+    /// index when `QueryOptions::verify` is on).
+    pub verify_nanos: u64,
+    /// Whole-query wall time (recorded by the index; covers the stages
+    /// above plus residual bookkeeping).
+    pub total_nanos: u64,
+}
+
+impl StageTimings {
+    /// The stages as `(name, nanos)` pairs in execution order, for slow-query
+    /// log entries and profiling tables. Excludes `total_nanos`.
+    #[must_use]
+    pub fn stages(&self) -> [(&'static str, u64); 6] {
+        [
+            ("translate", self.translate_nanos),
+            ("plan", self.plan_nanos),
+            ("match", self.match_nanos),
+            ("merge", self.merge_nanos),
+            ("docid", self.docid_nanos),
+            ("verify", self.verify_nanos),
+        ]
+    }
+
+    /// Sum of the individual stages (excluding `total_nanos`).
+    #[must_use]
+    pub fn stage_sum(&self) -> u64 {
+        self.stages().iter().map(|(_, n)| n).sum()
+    }
+}
+
 /// What [`search_sequences`] produces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SearchMode {
@@ -113,6 +162,8 @@ pub struct SearchOutcome {
     pub scopes: Vec<(u128, u128)>,
     /// Search instrumentation, merged across workers.
     pub stats: QueryStats,
+    /// Wall-clock stage breakdown (zeros when timing is disabled).
+    pub timings: StageTimings,
 }
 
 /// Run Algorithm 2 over every alternative sequence of one query, unioning
@@ -131,13 +182,19 @@ pub fn search_sequences(
     mode: SearchMode,
 ) -> Result<SearchOutcome> {
     let mut stats = QueryStats::default();
+    let mut timings = StageTimings::default();
     let mut scopes: Vec<(u128, u128)> = Vec::new();
     let mut ctxs: Vec<SeqCtx<'_>> = Vec::with_capacity(seqs.len());
-    for qs in seqs {
-        if qs.elems.is_empty() {
-            scopes.push((0, vist_seq::MAX_SCOPE));
+    {
+        let _span = vist_obs::Span::enter("plan");
+        let t = vist_obs::now();
+        for qs in seqs {
+            if qs.elems.is_empty() {
+                scopes.push((0, vist_seq::MAX_SCOPE));
+            }
+            ctxs.push(SeqCtx::build(store, qs, &mut stats)?);
         }
-        ctxs.push(SeqCtx::build(store, qs, &mut stats)?);
+        timings.plan_nanos = vist_obs::elapsed_nanos(t).unwrap_or(0);
     }
     let seeds: Vec<Frame> = seqs
         .iter()
@@ -155,6 +212,8 @@ pub fn search_sequences(
         .collect();
 
     let workers = workers.max(1);
+    let match_span = vist_obs::Span::enter("match");
+    let match_start = vist_obs::now();
     if workers == 1 || seeds.len() + 1 < 2 {
         // Inline serial path: a plain explicit stack, no threads.
         let mut out = WorkerOut::default();
@@ -171,9 +230,12 @@ pub fn search_sequences(
             .collect();
         let first_err: Mutex<Option<crate::error::Error>> = Mutex::new(None);
         pool::run_workers(workers, seeds, |id, queue| {
+            let worker_start = vist_obs::now();
+            let mut busy_nanos = 0u64;
             let mut out = outs[id].lock().unwrap_or_else(|e| e.into_inner());
             let mut local: Vec<Frame> = Vec::new();
             while let Some((frame, donated)) = queue.take() {
+                let batch_start = vist_obs::now();
                 if donated {
                     out.stats.steals += 1;
                 }
@@ -195,7 +257,13 @@ pub fn search_sequences(
                         queue.donate(local.drain(..half));
                     }
                 }
+                busy_nanos += vist_obs::elapsed_nanos(batch_start).unwrap_or(0);
                 queue.finish_one();
+            }
+            if let Some(wall) = vist_obs::elapsed_nanos(worker_start) {
+                vist_obs::histogram!("vist_core_worker_busy_nanos").record(busy_nanos);
+                vist_obs::histogram!("vist_core_worker_idle_nanos")
+                    .record(wall.saturating_sub(busy_nanos));
             }
         });
         if let Some(e) = first_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
@@ -207,24 +275,36 @@ pub fn search_sequences(
             scopes.append(&mut out.scopes);
         }
     }
+    timings.match_nanos = vist_obs::elapsed_nanos(match_start).unwrap_or(0);
+    drop(match_span);
 
     match mode {
         SearchMode::Scopes => {
             // Canonical form: matched scopes are a *set* (different
             // branches, sequences, or workers can reach the same final
             // node).
+            let _span = vist_obs::Span::enter("merge");
+            let t = vist_obs::now();
             scopes.sort_unstable();
             scopes.dedup();
+            timings.merge_nanos = vist_obs::elapsed_nanos(t).unwrap_or(0);
             Ok(SearchOutcome {
                 docs: BTreeSet::new(),
                 scopes,
                 stats,
+                timings,
             })
         }
         SearchMode::Docs => {
+            let merge_span = vist_obs::Span::enter("merge");
+            let t = vist_obs::now();
             let raw = scopes.len() as u64;
             let merged = coalesce(scopes);
             stats.scopes_merged += raw - merged.len() as u64;
+            timings.merge_nanos = vist_obs::elapsed_nanos(t).unwrap_or(0);
+            drop(merge_span);
+            let _span = vist_obs::Span::enter("docid");
+            let t = vist_obs::now();
             let mut docs = BTreeSet::new();
             for &(lo, hi) in &merged {
                 // "Perform a range query [n, n+size) on the DocId B+Tree."
@@ -233,10 +313,12 @@ pub fn search_sequences(
                     docs.insert(doc);
                 })?;
             }
+            timings.docid_nanos = vist_obs::elapsed_nanos(t).unwrap_or(0);
             Ok(SearchOutcome {
                 docs,
                 scopes: merged,
                 stats,
+                timings,
             })
         }
     }
@@ -441,6 +523,7 @@ fn expand(
             let pattern = lookup_prefix(qe, &frame.binds);
             match dkey::query_for(qe.sym, &pattern) {
                 dkey::DKeyQuery::Exact(key) => {
+                    let _span = vist_obs::Span::enter("dancestor_get");
                     out.stats.dancestor_gets += 1;
                     if let Some(id) = store.dkey_get(&key)? {
                         let (_, prefix_syms) = dkey::decode(&key);
@@ -450,12 +533,15 @@ fn expand(
                 dkey::DKeyQuery::Range { lo, hi, pattern } => {
                     out.stats.dancestor_scans += 1;
                     let mut candidates: Vec<(Vec<Symbol>, u64)> = Vec::new();
-                    store.dkey_scan_with(&lo, &hi, |key, id| {
-                        let (_, prefix_syms) = dkey::decode(key);
-                        if pattern.matches(&prefix_syms) {
-                            candidates.push((prefix_syms, id));
-                        }
-                    })?;
+                    {
+                        let _span = vist_obs::Span::enter("dancestor_scan");
+                        store.dkey_scan_with(&lo, &hi, |key, id| {
+                            let (_, prefix_syms) = dkey::decode(key);
+                            if pattern.matches(&prefix_syms) {
+                                candidates.push((prefix_syms, id));
+                            }
+                        })?;
+                    }
                     for (prefix_syms, id) in &candidates {
                         descend(store, sc, frame, prefix_syms, *id, push, out)?;
                     }
@@ -514,6 +600,7 @@ fn descend(
     let stats = &mut out.stats;
     let visited = &mut out.visited;
     let seq = frame.seq;
+    let _span = vist_obs::Span::enter("sancestor_scan");
     store.nodes_in_scope_with(dkid, frame.lo, frame.hi, |node| {
         stats.nodes_visited += 1;
         if let Some(s) = &sig {

@@ -33,7 +33,11 @@ pub struct IndexStats {
     pub match_dedup_skips: u64,
     /// Total bytes of the backing store (the "index size" of Figure 11a).
     pub store_bytes: u64,
-    /// Cumulative I/O counters of the shared buffer pool.
+    /// Cumulative I/O counters of the shared buffer pool — **since the
+    /// index was opened**, not since it was created. Reopening resets
+    /// every field (including the WAL append/commit and recovery
+    /// counters) to zero; the `vist-obs` registry's `vist_storage_*`
+    /// metrics keep process-lifetime totals across reopens.
     pub io: IoStats,
     /// Per-shard buffer-pool counters (hits, uncontended hits, misses,
     /// write-backs for each lock stripe).
@@ -62,15 +66,30 @@ impl MatchCounters {
             .fetch_add(stats.dedup_skips, Ordering::Relaxed);
     }
 
-    /// `(work_items, steals, scopes_merged, dedup_skips)` so far.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
-        (
-            self.work_items.load(Ordering::Relaxed),
-            self.steals.load(Ordering::Relaxed),
-            self.scopes_merged.load(Ordering::Relaxed),
-            self.dedup_skips.load(Ordering::Relaxed),
-        )
+    /// The running totals so far.
+    pub fn snapshot(&self) -> MatchCountersSnapshot {
+        MatchCountersSnapshot {
+            work_items: self.work_items.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            scopes_merged: self.scopes_merged.load(Ordering::Relaxed),
+            dedup_skips: self.dedup_skips.load(Ordering::Relaxed),
+        }
     }
+}
+
+/// Point-in-time values of [`MatchCounters`]. A named struct (not a
+/// tuple) so call sites can't transpose counters when new ones are
+/// added.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MatchCountersSnapshot {
+    /// Match frames expanded by the work-list engine.
+    pub work_items: u64,
+    /// Frames that changed workers through the shared queue.
+    pub steals: u64,
+    /// Final scopes coalesced away by interval merging.
+    pub scopes_merged: u64,
+    /// Duplicate wildcard sub-problems skipped by the visited sets.
+    pub dedup_skips: u64,
 }
 
 #[cfg(test)]
@@ -109,6 +128,14 @@ mod tests {
         };
         c.record(&stats);
         c.record(&stats);
-        assert_eq!(c.snapshot(), (10, 2, 6, 4));
+        assert_eq!(
+            c.snapshot(),
+            MatchCountersSnapshot {
+                work_items: 10,
+                steals: 2,
+                scopes_merged: 6,
+                dedup_skips: 4,
+            }
+        );
     }
 }

@@ -27,7 +27,7 @@ use vist_xml::Document;
 
 use crate::alloc::{Allocation, AllocatorKind, ScopeAllocator};
 use crate::error::{Error, Result};
-use crate::search::{search_sequences, QueryStats, SearchMode};
+use crate::search::{search_sequences, QueryStats, SearchMode, StageTimings};
 use crate::stats::{IndexStats, MatchCounters};
 use crate::store::{DocId, NodeState, Store};
 
@@ -106,6 +106,13 @@ pub struct QueryResult {
     pub truncated: bool,
     /// Search instrumentation.
     pub stats: QueryStats,
+    /// Per-stage wall-clock breakdown (zeros when `vist-obs` timing is
+    /// disabled).
+    pub timings: StageTimings,
+    /// Hierarchical span tree of this query's execution, present when
+    /// `vist_obs::set_tracing(true)` was active and this query started
+    /// the trace (e.g. `vist query --trace`).
+    pub trace: Option<vist_obs::SpanNode>,
 }
 
 /// The ViST index.
@@ -169,6 +176,7 @@ impl VistIndex {
     /// Create an index on an existing pool (advanced; lets tests share
     /// pagers).
     pub fn create_on(pool: Arc<BufferPool>, opts: IndexOptions) -> Result<Self> {
+        crate::register_metrics();
         let store = Store::create(pool, opts.lambda, opts.adaptive, opts.store_documents)?;
         Ok(VistIndex {
             store,
@@ -202,6 +210,7 @@ impl VistIndex {
     /// [`VistIndex::create_file`], and lets tests open through a
     /// fault-injecting pager).
     pub fn open_on(pool: Arc<BufferPool>) -> Result<Self> {
+        crate::register_metrics();
         // The meta page is always the first page a FilePager hands out.
         let meta_page: PageId = 1;
         let (store, table, order) = Store::open(pool, meta_page)?;
@@ -264,17 +273,19 @@ impl VistIndex {
     #[must_use]
     pub fn stats(&self) -> IndexStats {
         let meta = self.store.meta();
-        let (work_items, steals, scopes_merged, dedup_skips) = self.match_counters.snapshot();
+        let mc = self.match_counters.snapshot();
+        vist_obs::gauge!("vist_core_documents")
+            .set(i64::try_from(meta.doc_count).unwrap_or(i64::MAX));
         IndexStats {
             documents: meta.doc_count,
             nodes: meta.node_count,
             dkeys: meta.next_dkey,
             underflows: meta.underflows,
             deep_borrows: meta.deep_borrows,
-            match_work_items: work_items,
-            match_steals: steals,
-            match_scopes_merged: scopes_merged,
-            match_dedup_skips: dedup_skips,
+            match_work_items: mc.work_items,
+            match_steals: mc.steals,
+            match_scopes_merged: mc.scopes_merged,
+            match_dedup_skips: mc.dedup_skips,
             store_bytes: self.store.store_bytes(),
             io: self.store.pool().stats(),
             pool: self.store.pool().pool_stats(),
@@ -371,6 +382,8 @@ impl VistIndex {
     }
 
     fn insert_document_impl(&self, doc: &Document, raw: Option<&str>) -> Result<DocId> {
+        vist_obs::counter!("vist_core_insert_total").inc();
+        let insert_start = vist_obs::now();
         let _w = self.writer.lock();
         let seq = {
             let mut table = self.table.write();
@@ -388,7 +401,9 @@ impl VistIndex {
         } else {
             None
         };
-        self.insert_sequence_locked(&seq, xml)
+        let id = self.insert_sequence_locked(&seq, xml)?;
+        vist_obs::observe_since(vist_obs::histogram!("vist_core_insert_nanos"), insert_start);
+        Ok(id)
     }
 
     /// Insert a pre-converted structure-encoded sequence. `xml` is stored
@@ -827,8 +842,43 @@ impl VistIndex {
     /// naming an element absent from the data returns an empty result
     /// directly.
     pub fn query(&self, expr: &str, opts: &QueryOptions) -> Result<QueryResult> {
+        let trace = vist_obs::Trace::begin("query");
+        let total_start = vist_obs::now();
+        let parse_span = vist_obs::Span::enter("parse");
         let pattern = parse_query(expr)?.to_pattern();
-        self.query_pattern(&pattern, opts)
+        drop(parse_span);
+        let mut result = self.query_pattern(&pattern, opts)?;
+        if let Some(total) = vist_obs::elapsed_nanos(total_start) {
+            result.timings.total_nanos = total;
+            vist_obs::histogram!("vist_core_query_nanos").record(total);
+            vist_obs::histogram!("vist_core_stage_translate_nanos")
+                .record(result.timings.translate_nanos);
+            vist_obs::histogram!("vist_core_stage_match_nanos").record(result.timings.match_nanos);
+            vist_obs::histogram!("vist_core_stage_merge_nanos").record(result.timings.merge_nanos);
+            vist_obs::histogram!("vist_core_stage_docid_nanos").record(result.timings.docid_nanos);
+            let s = &result.stats;
+            vist_obs::slowlog::record(vist_obs::SlowQuery {
+                query: expr.to_owned(),
+                workers: opts.workers.max(1),
+                total_nanos: total,
+                stages: result.timings.stages().to_vec(),
+                counters: vec![
+                    ("work_items", s.work_items),
+                    ("nodes_visited", s.nodes_visited),
+                    ("dancestor_gets", s.dancestor_gets),
+                    ("dancestor_scans", s.dancestor_scans),
+                    ("sancestor_scans", s.sancestor_scans),
+                    ("docid_scans", s.docid_scans),
+                    ("steals", s.steals),
+                    ("scopes_merged", s.scopes_merged),
+                    ("dedup_skips", s.dedup_skips),
+                ],
+            });
+        }
+        if let Some(trace) = trace {
+            result.trace = Some(trace.finish());
+        }
+        Ok(result)
     }
 
     /// Rebuild the index from its stored documents into a fresh one,
@@ -877,14 +927,19 @@ impl VistIndex {
 
     /// Run a pre-parsed query pattern (`&self`; see [`VistIndex::query`]).
     pub fn query_pattern(&self, pattern: &Pattern, opts: &QueryOptions) -> Result<QueryResult> {
+        vist_obs::counter!("vist_core_query_total").inc();
         let topts = TranslateOptions {
             order: self.order.clone(),
             max_sequences: opts.max_sequences,
         };
+        let translate_span = vist_obs::Span::enter("translate");
+        let translate_start = vist_obs::now();
         let translation = {
             let table = self.table.read();
             try_translate(pattern, &table, &topts)
         };
+        let translate_nanos = vist_obs::elapsed_nanos(translate_start).unwrap_or(0);
+        drop(translate_span);
         let Some(translation) = translation else {
             // A query name absent from every document cannot match.
             return Ok(QueryResult {
@@ -892,6 +947,11 @@ impl VistIndex {
                 candidates: 0,
                 truncated: false,
                 stats: QueryStats::default(),
+                timings: StageTimings {
+                    translate_nanos,
+                    ..StageTimings::default()
+                },
+                trace: None,
             });
         };
         let _m = self.maintenance.read();
@@ -903,12 +963,20 @@ impl VistIndex {
         )?;
         self.match_counters.record(&outcome.stats);
         let stats = outcome.stats;
+        vist_obs::counter!("vist_core_work_items_total").add(stats.work_items);
+        vist_obs::counter!("vist_core_nodes_visited_total").add(stats.nodes_visited);
+        vist_obs::counter!("vist_core_steals_total").add(stats.steals);
+        vist_obs::counter!("vist_core_dedup_skips_total").add(stats.dedup_skips);
+        let mut timings = outcome.timings;
+        timings.translate_nanos = translate_nanos;
         let out = outcome.docs;
         let candidates = out.len();
         let doc_ids: Vec<DocId> = if opts.verify {
             if !self.store.meta().store_documents {
                 return Err(Error::DocumentsNotStored);
             }
+            let _span = vist_obs::Span::enter("verify");
+            let verify_start = vist_obs::now();
             let mut verified = Vec::new();
             for id in out {
                 let xml = self.store.doc_get(id)?.ok_or(Error::NoSuchDocument(id))?;
@@ -920,6 +988,7 @@ impl VistIndex {
                     verified.push(id);
                 }
             }
+            timings.verify_nanos = vist_obs::elapsed_nanos(verify_start).unwrap_or(0);
             verified
         } else {
             out.into_iter().collect()
@@ -929,6 +998,8 @@ impl VistIndex {
             candidates,
             truncated: translation.truncated,
             stats,
+            timings,
+            trace: None,
         })
     }
 }

@@ -1,0 +1,195 @@
+//! Exposition renderers: Prometheus text format and JSON, both from a
+//! registry [`Snapshot`]. Hand-rolled (no serde) to honor the crate's
+//! zero-dependency rule.
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
+use crate::registry::{MetricValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Render a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` lines, cumulative `_bucket{le="..."}`
+/// series ending in `le="+Inf"`, plus `_sum` and `_count` for
+/// histograms. Metrics appear in name order.
+#[must_use]
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.metrics {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for i in 0..BUCKETS {
+                    cumulative += h.buckets[i];
+                    // Skip interior empty buckets to keep the output
+                    // readable; cumulative counts stay correct because
+                    // an empty bucket adds nothing.
+                    if h.buckets[i] == 0 {
+                        continue;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        bucket_upper_bound(i)
+                    );
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                let _ = writeln!(out, "{name}_sum {}", h.sum);
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut out = String::from("{\"type\":\"histogram\"");
+    let _ = write!(
+        out,
+        ",\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}",
+        h.count(),
+        h.sum,
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.max
+    );
+    out.push_str(",\"buckets\":[");
+    let mut first = true;
+    for i in 0..BUCKETS {
+        if h.buckets[i] == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"le\":{},\"count\":{}}}",
+            bucket_upper_bound(i),
+            h.buckets[i]
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render a snapshot as a single JSON object keyed by metric name.
+/// Counters and gauges render as `{"type":...,"value":N}`; histograms
+/// include count/sum/quantiles and their non-empty buckets.
+#[must_use]
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for (name, value) in &snap.metrics {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":", json_escape(name));
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{{\"type\":\"counter\",\"value\":{v}}}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{v}}}");
+            }
+            MetricValue::Histogram(h) => out.push_str(&histogram_json(h)),
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample_snapshot() -> Snapshot {
+        let h = Histogram::new();
+        #[cfg(not(feature = "noop"))]
+        {
+            h.record(3);
+            h.record(3);
+            h.record(900);
+        }
+        Snapshot {
+            metrics: vec![
+                ("expo_a_total", MetricValue::Counter(42)),
+                ("expo_b_level", MetricValue::Gauge(-7)),
+                (
+                    "expo_c_nanos",
+                    MetricValue::Histogram(Box::new(h.snapshot())),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn prometheus_text_shape() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE expo_a_total counter\nexpo_a_total 42\n"));
+        assert!(text.contains("# TYPE expo_b_level gauge\nexpo_b_level -7\n"));
+        assert!(text.contains("# TYPE expo_c_nanos histogram"));
+        // 3 lands in bucket [2,4) with upper bound 3; 900 in [512,1024).
+        assert!(text.contains("expo_c_nanos_bucket{le=\"3\"} 2"));
+        assert!(text.contains("expo_c_nanos_bucket{le=\"1023\"} 3"));
+        assert!(text.contains("expo_c_nanos_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("expo_c_nanos_sum 906"));
+        assert!(text.contains("expo_c_nanos_count 3"));
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn json_shape() {
+        let json = render_json(&sample_snapshot());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"expo_a_total\":{\"type\":\"counter\",\"value\":42}"));
+        assert!(json.contains("\"expo_b_level\":{\"type\":\"gauge\",\"value\":-7}"));
+        assert!(json.contains("\"count\":3,\"sum\":906"));
+        assert!(json.contains("{\"le\":3,\"count\":2}"));
+        // Balanced braces/brackets — a cheap structural validity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,215 @@
+//! Process-wide metrics registry.
+//!
+//! Metrics are registered by name once and live for the rest of the
+//! process (`&'static` handles via `Box::leak`), so hot-path code pays
+//! only the atomic mutation — name lookup happens once per call site
+//! (call sites cache the handle in a `OnceLock`, see the `counter!` /
+//! `gauge!` / `histogram!` macros in the crate root).
+//!
+//! Naming convention: `vist_<crate>_<subject>_<unit>` — e.g.
+//! `vist_storage_page_read_nanos`, `vist_btree_probe_depth`,
+//! `vist_core_query_total`. Names must match
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` (the Prometheus metric-name grammar);
+//! registration panics otherwise, which surfaces typos at first use in
+//! tests rather than as silently unscrapable metrics.
+//!
+//! Registry counters are **process-lifetime**: unlike `IndexStats`
+//! (which is rebuilt from a freshly opened index and therefore resets
+//! on every `open()`), registry values keep accumulating across
+//! close/reopen cycles within one process.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// The global registry: name → metric, ordered by name so every
+/// exposition and snapshot is deterministically sorted.
+struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        metrics: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn register_with<T, F>(name: &str, make: F, select: fn(&Metric) -> Option<&'static T>) -> &'static T
+where
+    F: FnOnce() -> Metric,
+{
+    assert!(
+        valid_name(name),
+        "metric name {name:?} is not a valid Prometheus metric name"
+    );
+    let mut metrics = global().metrics.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(existing) = metrics.get(name) {
+        return select(existing)
+            .unwrap_or_else(|| panic!("metric {name:?} already registered with a different type"));
+    }
+    let metric = make();
+    let out = select(&metric).expect("freshly made metric matches its own type");
+    metrics.insert(Box::leak(name.to_owned().into_boxed_str()), metric);
+    out
+}
+
+/// Get or create the named counter. Panics if `name` is already
+/// registered as a different metric type or is not a valid name.
+pub fn counter(name: &str) -> &'static Counter {
+    register_with(
+        name,
+        || Metric::Counter(Box::leak(Box::new(Counter::new()))),
+        |m| match m {
+            Metric::Counter(c) => Some(c),
+            _ => None,
+        },
+    )
+}
+
+/// Get or create the named gauge. Panics on name/type conflicts.
+pub fn gauge(name: &str) -> &'static Gauge {
+    register_with(
+        name,
+        || Metric::Gauge(Box::leak(Box::new(Gauge::new()))),
+        |m| match m {
+            Metric::Gauge(g) => Some(g),
+            _ => None,
+        },
+    )
+}
+
+/// Get or create the named histogram. Panics on name/type conflicts.
+pub fn histogram(name: &str) -> &'static Histogram {
+    register_with(
+        name,
+        || Metric::Histogram(Box::leak(Box::new(Histogram::new()))),
+        |m| match m {
+            Metric::Histogram(h) => Some(h),
+            _ => None,
+        },
+    )
+}
+
+/// A point-in-time value of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram bucket snapshot (boxed: the bucket array dwarfs the
+    /// scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// A sorted point-in-time copy of every registered metric.
+///
+/// Values are read one metric at a time with relaxed loads, so the
+/// snapshot is per-metric consistent only.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs sorted by name.
+    pub metrics: Vec<(&'static str, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Look up one metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|(n, _)| (*n).cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// Counter value by name (0 if absent or not a counter).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+}
+
+/// Snapshot every registered metric, sorted by name.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    let metrics = global().metrics.lock().unwrap_or_else(|e| e.into_inner());
+    Snapshot {
+        metrics: metrics
+            .iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                };
+                (*name, v)
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_and_snapshot_sorted() {
+        let a = counter("test_registry_alpha_total");
+        let b = counter("test_registry_alpha_total");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        gauge("test_registry_beta_level").set(3);
+        histogram("test_registry_gamma_nanos").record(100);
+        let snap = snapshot();
+        let names: Vec<_> = snap.metrics.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        #[cfg(not(feature = "noop"))]
+        {
+            assert!(snap.counter("test_registry_alpha_total") >= 1);
+            assert_eq!(
+                snap.get("test_registry_beta_level"),
+                Some(&MetricValue::Gauge(3))
+            );
+        }
+        assert!(matches!(
+            snap.get("test_registry_gamma_nanos"),
+            Some(MetricValue::Histogram(_))
+        ));
+        assert_eq!(snap.get("test_registry_missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflict_panics() {
+        counter("test_registry_conflict");
+        gauge("test_registry_conflict");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid Prometheus metric name")]
+    fn bad_name_panics() {
+        counter("has space");
+    }
+}

@@ -1,0 +1,140 @@
+//! Slow-query log: an in-process ring buffer of the most recent queries
+//! that exceeded a configurable latency threshold.
+//!
+//! The log is process-global and bounded ([`CAPACITY`] entries); a new
+//! slow query evicts the oldest. Recording takes one mutex acquisition
+//! on an already-slow path, so it never contends with fast queries.
+//! The threshold defaults to [`DEFAULT_THRESHOLD_NANOS`] and can be
+//! lowered to 0 to capture everything (used by `vist profile`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum retained entries; older entries are evicted.
+pub const CAPACITY: usize = 128;
+
+/// Default slow threshold: 50ms.
+pub const DEFAULT_THRESHOLD_NANOS: u64 = 50_000_000;
+
+/// One recorded slow query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// The query text as given to the engine.
+    pub query: String,
+    /// Worker threads the match engine ran with.
+    pub workers: usize,
+    /// Total wall time of the query.
+    pub total_nanos: u64,
+    /// `(stage name, nanos)` in execution order.
+    pub stages: Vec<(&'static str, u64)>,
+    /// `(counter name, delta)` — engine counter movement attributable to
+    /// this query (e.g. nodes visited, scans performed).
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+struct SlowLog {
+    threshold_nanos: AtomicU64,
+    entries: Mutex<VecDeque<SlowQuery>>,
+}
+
+fn global() -> &'static SlowLog {
+    static LOG: OnceLock<SlowLog> = OnceLock::new();
+    LOG.get_or_init(|| SlowLog {
+        threshold_nanos: AtomicU64::new(DEFAULT_THRESHOLD_NANOS),
+        entries: Mutex::new(VecDeque::with_capacity(CAPACITY)),
+    })
+}
+
+/// Set the slow threshold in nanoseconds (0 records every query).
+pub fn set_threshold_nanos(nanos: u64) {
+    global().threshold_nanos.store(nanos, Ordering::Relaxed);
+}
+
+/// Current slow threshold in nanoseconds.
+#[must_use]
+pub fn threshold_nanos() -> u64 {
+    global().threshold_nanos.load(Ordering::Relaxed)
+}
+
+/// Record `entry` if it is at or over the threshold. Returns whether it
+/// was recorded. A no-op under the `noop` feature.
+pub fn record(entry: SlowQuery) -> bool {
+    #[cfg(feature = "noop")]
+    {
+        let _ = entry;
+        false
+    }
+    #[cfg(not(feature = "noop"))]
+    {
+        if entry.total_nanos < threshold_nanos() {
+            return false;
+        }
+        let mut entries = global().entries.lock().unwrap();
+        if entries.len() == CAPACITY {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        true
+    }
+}
+
+/// Copy of the current entries, oldest first.
+#[must_use]
+pub fn entries() -> Vec<SlowQuery> {
+    global().entries.lock().unwrap().iter().cloned().collect()
+}
+
+/// Drop all entries (used between profiling runs and in tests).
+pub fn clear() {
+    global().entries.lock().unwrap().clear();
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // The log is process-global; serialize tests that use it.
+    static LOG_TESTS: StdMutex<()> = StdMutex::new(());
+
+    fn q(name: &str, nanos: u64) -> SlowQuery {
+        SlowQuery {
+            query: name.to_owned(),
+            workers: 1,
+            total_nanos: nanos,
+            stages: vec![("match", nanos)],
+            counters: vec![("nodes_visited", 7)],
+        }
+    }
+
+    #[test]
+    fn threshold_filters_and_ring_evicts() {
+        let _g = LOG_TESTS.lock().unwrap();
+        clear();
+        set_threshold_nanos(1_000);
+        assert!(!record(q("fast", 999)));
+        assert!(record(q("slow", 1_000)));
+        for i in 0..CAPACITY {
+            assert!(record(q(&format!("q{i}"), 2_000)));
+        }
+        let entries = entries();
+        assert_eq!(entries.len(), CAPACITY);
+        // "slow" was evicted by the flood; oldest survivor is q0.
+        assert_eq!(entries[0].query, "q0");
+        assert_eq!(entries.last().unwrap().query, format!("q{}", CAPACITY - 1));
+        clear();
+        set_threshold_nanos(DEFAULT_THRESHOLD_NANOS);
+    }
+
+    #[test]
+    fn zero_threshold_records_everything() {
+        let _g = LOG_TESTS.lock().unwrap();
+        clear();
+        set_threshold_nanos(0);
+        assert!(record(q("any", 0)));
+        assert_eq!(entries().len(), 1);
+        clear();
+        set_threshold_nanos(DEFAULT_THRESHOLD_NANOS);
+    }
+}

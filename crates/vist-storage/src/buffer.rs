@@ -199,6 +199,7 @@ impl BufferPool {
     /// Wrap `pager` with a cache of `capacity` frames (at least 4), striped
     /// over up to 16 shards.
     pub fn with_capacity<P: Pager + 'static>(pager: P, capacity: usize) -> Self {
+        crate::register_metrics();
         let page_size = pager.page_size();
         let capacity = capacity.max(MIN_SHARD_FRAMES);
         let n = shard_count_for(capacity);
@@ -285,16 +286,20 @@ impl BufferPool {
             if !contended {
                 shard.uncontended_hits.fetch_add(1, Ordering::Relaxed);
             }
+            vist_obs::counter!("vist_storage_pool_hit_total").inc();
             frame.referenced.store(true, Ordering::Relaxed);
             frame.pins.fetch_add(1, Ordering::Acquire);
             return Ok(Arc::clone(frame));
         }
         shard.misses.fetch_add(1, Ordering::Relaxed);
+        vist_obs::counter!("vist_storage_pool_miss_total").inc();
         if inner.ring.len() >= inner.capacity {
             self.evict_one(shard, &mut inner)?;
         }
         let mut buf = vec![0u8; self.page_size].into_boxed_slice();
+        let t = vist_obs::now();
         self.pager.lock().read(pid, &mut buf)?;
+        vist_obs::observe_since(vist_obs::histogram!("vist_storage_page_read_nanos"), t);
         let frame = Arc::new(Frame {
             pid,
             data: Arc::new(RwLock::new(buf)),
@@ -323,6 +328,7 @@ impl BufferPool {
             }
             if frame.dirty.swap(false, Ordering::AcqRel) {
                 let data = frame.data.read();
+                let t = vist_obs::now();
                 if let Err(e) = self.pager.lock().write(frame.pid, &data) {
                     // Re-mark dirty so the modifications survive in cache
                     // and a later eviction/flush retries the write instead
@@ -330,7 +336,9 @@ impl BufferPool {
                     frame.dirty.store(true, Ordering::Release);
                     return Err(e);
                 }
+                vist_obs::observe_since(vist_obs::histogram!("vist_storage_page_write_nanos"), t);
                 shard.write_backs.fetch_add(1, Ordering::Relaxed);
+                vist_obs::counter!("vist_storage_write_back_total").inc();
             }
             inner.map.remove(&frame.pid);
             inner.ring.swap_remove(idx);
@@ -366,11 +374,17 @@ impl BufferPool {
             for frame in frames {
                 if frame.dirty.swap(false, Ordering::AcqRel) {
                     let data = frame.data.read();
+                    let t = vist_obs::now();
                     if let Err(e) = self.pager.lock().write(frame.pid, &data) {
                         frame.dirty.store(true, Ordering::Release);
                         return Err(e);
                     }
+                    vist_obs::observe_since(
+                        vist_obs::histogram!("vist_storage_page_write_nanos"),
+                        t,
+                    );
                     shard.write_backs.fetch_add(1, Ordering::Relaxed);
+                    vist_obs::counter!("vist_storage_write_back_total").inc();
                 }
             }
         }
@@ -392,6 +406,9 @@ impl BufferPool {
     /// Combined pager + cache statistics, aggregated over all shards.
     #[must_use]
     pub fn stats(&self) -> IoStats {
+        let store_bytes = self.store_bytes();
+        vist_obs::gauge!("vist_storage_store_bytes")
+            .set(i64::try_from(store_bytes).unwrap_or(i64::MAX));
         let mut s = self.pager.lock().stats();
         let t = self.pool_stats().totals();
         s.cache_hits = t.hits;

@@ -107,6 +107,7 @@ impl FilePager {
         path: P,
         page_size: usize,
     ) -> Result<Self> {
+        crate::register_metrics();
         check_page_size(page_size)?;
         let path = path.as_ref();
         let data = vfs.open(path, OpenMode::CreateTruncate)?;
@@ -134,6 +135,7 @@ impl FilePager {
 
     /// [`FilePager::open`] through an explicit [`Vfs`] (fault injection).
     pub fn open_with_vfs<P: AsRef<Path>>(vfs: &dyn Vfs, path: P) -> Result<Self> {
+        crate::register_metrics();
         let path = path.as_ref();
         let mut data = vfs.open(path, OpenMode::MustExist)?;
 
@@ -168,6 +170,7 @@ impl FilePager {
         let mut stats = IoStats::default();
         let mut page = vec![0u8; page_size];
         if !scan.committed.is_empty() {
+            let recovery_start = vist_obs::now();
             let mut ids: Vec<PageId> = scan.committed.keys().copied().collect();
             ids.sort_unstable();
             for id in ids {
@@ -176,6 +179,11 @@ impl FilePager {
                 stats.recovered_pages += 1;
             }
             data.sync()?;
+            vist_obs::observe_since(
+                vist_obs::histogram!("vist_storage_recovery_nanos"),
+                recovery_start,
+            );
+            vist_obs::counter!("vist_storage_recovered_pages_total").add(stats.recovered_pages);
         }
         if wal.bytes() > WAL_HDR {
             wal.truncate()?;
@@ -244,8 +252,11 @@ impl FilePager {
 
     /// Route a page image through the WAL and remember its offset.
     fn wal_write(&mut self, id: PageId, payload: &[u8]) -> Result<()> {
+        let t = vist_obs::now();
         let off = self.wal.append_page(id, payload)?;
+        vist_obs::observe_since(vist_obs::histogram!("vist_storage_wal_append_nanos"), t);
         self.stats.wal_appends += 1;
+        vist_obs::counter!("vist_storage_wal_append_total").inc();
         self.pending.insert(id, off);
         Ok(())
     }
@@ -379,6 +390,7 @@ impl Pager for FilePager {
         if self.pending.is_empty() && !self.header_dirty {
             return Ok(());
         }
+        let checkpoint_start = vist_obs::now();
         // Stage the header and zero-images for allocated-but-never-written
         // frames, so the data file has a valid frame below high_water for
         // every id once this checkpoint applies.
@@ -393,6 +405,7 @@ impl Pager for FilePager {
         // The commit record is the atomic durability point.
         self.wal.commit()?;
         self.stats.wal_commits += 1;
+        vist_obs::counter!("vist_storage_wal_commit_total").inc();
         // Apply. A failure from here on is retryable: `pending` still maps
         // every page to its committed image, and reopening replays the log.
         let mut ids: Vec<PageId> = self.pending.keys().copied().collect();
@@ -408,6 +421,10 @@ impl Pager for FilePager {
         self.durable_frames = self.durable_frames.max(self.high_water);
         self.header_dirty = false;
         self.wal.truncate()?;
+        vist_obs::observe_since(
+            vist_obs::histogram!("vist_storage_checkpoint_nanos"),
+            checkpoint_start,
+        );
         Ok(())
     }
 

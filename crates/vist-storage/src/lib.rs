@@ -64,6 +64,25 @@ pub use slotted::{SlotId, SlottedPage, SlottedPageMut};
 pub use stats::IoStats;
 pub use vfs::{OpenMode, RealVfs, VFile, Vfs};
 
+/// Register this crate's observability metrics with the global
+/// `vist-obs` registry so they appear in expositions even before the
+/// code paths that record them have run. Idempotent; called by
+/// [`BufferPool::with_capacity`] and the [`FilePager`] constructors.
+pub fn register_metrics() {
+    let _ = vist_obs::counter!("vist_storage_pool_hit_total");
+    let _ = vist_obs::counter!("vist_storage_pool_miss_total");
+    let _ = vist_obs::counter!("vist_storage_write_back_total");
+    let _ = vist_obs::counter!("vist_storage_wal_append_total");
+    let _ = vist_obs::counter!("vist_storage_wal_commit_total");
+    let _ = vist_obs::counter!("vist_storage_recovered_pages_total");
+    let _ = vist_obs::gauge!("vist_storage_store_bytes");
+    let _ = vist_obs::histogram!("vist_storage_page_read_nanos");
+    let _ = vist_obs::histogram!("vist_storage_page_write_nanos");
+    let _ = vist_obs::histogram!("vist_storage_wal_append_nanos");
+    let _ = vist_obs::histogram!("vist_storage_checkpoint_nanos");
+    let _ = vist_obs::histogram!("vist_storage_recovery_nanos");
+}
+
 /// Default page size, in bytes. The paper uses 2 KiB Berkeley DB pages; we
 /// default to 4 KiB (a modern filesystem block) and expose the size as a
 /// constructor parameter everywhere so the paper's setting is reproducible

@@ -2,8 +2,15 @@
 
 /// Counters accumulated by pagers and buffer pools.
 ///
-/// All fields are cumulative since creation. `Clone + Copy` so callers can
-/// snapshot and diff around a measured region.
+/// All fields are cumulative **since the pager or pool was created** —
+/// i.e. since the most recent `open()`/`create()`. They are *not*
+/// persisted: reopening an index resets every field (including the
+/// WAL/recovery counters) to zero, deliberately — the struct answers
+/// "what did this handle do", not "what has this file seen". For
+/// process-lifetime accumulation across close/reopen cycles, use the
+/// `vist-obs` registry (`vist_storage_*` metrics), which survives as
+/// long as the process does. `Clone + Copy` so callers can snapshot and
+/// diff around a measured region.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct IoStats {
     /// Pages read from the backing store.

@@ -29,7 +29,7 @@ pub enum Command {
         /// XML files, each holding one document.
         files: Vec<PathBuf>,
     },
-    /// `vist query <index> <expr> [--verify] [--show] [--workers N]`
+    /// `vist query <index> <expr> [--verify] [--show] [--workers N] [--trace]`
     Query {
         /// Index file path.
         index: PathBuf,
@@ -41,6 +41,8 @@ pub enum Command {
         show: bool,
         /// Match-engine worker threads (1 = serial).
         workers: usize,
+        /// Print the hierarchical span tree of the query's execution.
+        trace: bool,
     },
     /// `vist remove <index> <doc-id>`
     Remove {
@@ -63,10 +65,23 @@ pub enum Command {
         /// Index file path.
         index: PathBuf,
     },
-    /// `vist stats <index>`
+    /// `vist stats <index> [--format human|json|prometheus]`
     Stats {
         /// Index file path.
         index: PathBuf,
+        /// Output format.
+        format: StatsFormat,
+    },
+    /// `vist profile <index> <queries-file> [--workers N] [--slow-ms N]`
+    Profile {
+        /// Index file path.
+        index: PathBuf,
+        /// File with one path expression per line (`#` comments allowed).
+        queries: PathBuf,
+        /// Match-engine worker threads (1 = serial).
+        workers: usize,
+        /// Slow-query log threshold in milliseconds (0 records every query).
+        slow_ms: u64,
     },
     /// `vist rebuild <index> <dst>`
     Rebuild {
@@ -89,6 +104,34 @@ pub enum Command {
     Help,
 }
 
+/// Output format for `vist stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsFormat {
+    /// The stable, human-readable key/value listing.
+    #[default]
+    Human,
+    /// The `vist-obs` metrics registry as a JSON document.
+    Json,
+    /// The `vist-obs` metrics registry in Prometheus text exposition
+    /// format.
+    Prometheus,
+}
+
+impl std::str::FromStr for StatsFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "human" => Ok(StatsFormat::Human),
+            "json" => Ok(StatsFormat::Json),
+            "prometheus" => Ok(StatsFormat::Prometheus),
+            other => Err(format!(
+                "bad --format '{other}' (expected human, json or prometheus)"
+            )),
+        }
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 vist — index and query XML documents by tree structure (SIGMOD'03 ViST)
@@ -96,14 +139,22 @@ vist — index and query XML documents by tree structure (SIGMOD'03 ViST)
 USAGE:
   vist create  <index> [--page-size N] [--lambda N] [--no-docs]
   vist add     <index> <file.xml>...
-  vist query   <index> '<expr>' [--verify] [--show] [--workers N]
+  vist query   <index> '<expr>' [--verify] [--show] [--workers N] [--trace]
   vist remove  <index> <doc-id>
   vist explain <index> '<expr>' [--workers N]
   vist list    <index>
-  vist stats   <index>
+  vist stats   <index> [--format human|json|prometheus]
+  vist profile <index> <queries-file> [--workers N] [--slow-ms N]
   vist rebuild <index> <dst>
   vist check   <index>
   vist recover <index>
+
+OBSERVABILITY:
+  query --trace        print the hierarchical span tree of one execution
+  stats --format       emit the process-wide metrics registry (counters,
+                       gauges, latency histograms) as JSON or Prometheus text
+  profile              replay a query workload and print a per-query latency
+                       table with stage timings, plus the slow-query log
 
 QUERY EXPRESSIONS (the paper's Table 3 subset):
   /book/author                       child paths
@@ -172,6 +223,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "query" => {
             let verify = take_flag(&mut rest, "--verify");
             let show = take_flag(&mut rest, "--show");
+            let trace = take_flag(&mut rest, "--trace");
             let workers = take_opt(&mut rest, "--workers")?
                 .map(|v| v.parse().map_err(|_| "bad --workers".to_string()))
                 .transpose()?
@@ -185,6 +237,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 verify,
                 show,
                 workers,
+                trace,
             })
         }
         "remove" => {
@@ -219,11 +272,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "stats" => {
+            let format = take_opt(&mut rest, "--format")?
+                .map(|v| v.parse())
+                .transpose()?
+                .unwrap_or_default();
             let [index] = rest.as_slice() else {
                 return Err("stats: expected exactly one index path".into());
             };
             Ok(Command::Stats {
                 index: PathBuf::from(index),
+                format,
+            })
+        }
+        "profile" => {
+            let workers = take_opt(&mut rest, "--workers")?
+                .map(|v| v.parse().map_err(|_| "bad --workers".to_string()))
+                .transpose()?
+                .unwrap_or(1);
+            let slow_ms = take_opt(&mut rest, "--slow-ms")?
+                .map(|v| v.parse().map_err(|_| "bad --slow-ms".to_string()))
+                .transpose()?
+                .unwrap_or(0);
+            let [index, queries] = rest.as_slice() else {
+                return Err("profile: expected an index path and a queries file".into());
+            };
+            Ok(Command::Profile {
+                index: PathBuf::from(index),
+                queries: PathBuf::from(queries),
+                workers,
+                slow_ms,
             })
         }
         "rebuild" => {
@@ -299,18 +376,25 @@ pub fn run(cmd: Command) -> Result<String, String> {
             verify,
             show,
             workers,
+            trace,
         } => {
             let idx = open(&index)?;
-            let r = idx
-                .query(
-                    &expr,
-                    &QueryOptions {
-                        verify,
-                        workers,
-                        ..Default::default()
-                    },
-                )
-                .map_err(|e| e.to_string())?;
+            let was_tracing = vist_obs::tracing_enabled();
+            if trace {
+                vist_obs::set_tracing(true);
+            }
+            let result = idx.query(
+                &expr,
+                &QueryOptions {
+                    verify,
+                    workers,
+                    ..Default::default()
+                },
+            );
+            if trace {
+                vist_obs::set_tracing(was_tracing);
+            }
+            let r = result.map_err(|e| e.to_string())?;
             let mut out = String::new();
             writeln!(
                 out,
@@ -329,6 +413,15 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     writeln!(out, "--- doc {id} ---\n{xml}").unwrap();
                 } else {
                     writeln!(out, "{id}").unwrap();
+                }
+            }
+            if trace {
+                match &r.trace {
+                    Some(tree) => {
+                        writeln!(out, "\ntrace:").unwrap();
+                        out.push_str(&tree.render());
+                    }
+                    None => writeln!(out, "\ntrace: (not recorded)").unwrap(),
                 }
             }
             Ok(out)
@@ -364,9 +457,18 @@ pub fn run(cmd: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Stats { index } => {
+        Command::Stats { index, format } => {
             let idx = open(&index)?;
+            // `stats()` refreshes the registry gauges (documents, store
+            // bytes, tree depth) so all three formats see current values.
             let s = idx.stats();
+            match format {
+                StatsFormat::Human => {}
+                StatsFormat::Json => return Ok(vist_obs::render_json(&vist_obs::snapshot())),
+                StatsFormat::Prometheus => {
+                    return Ok(vist_obs::render_prometheus(&vist_obs::snapshot()))
+                }
+            }
             let b = idx.store().tree_breakdown().map_err(|e| e.to_string())?;
             let mut out = String::new();
             writeln!(out, "documents:            {}", s.documents).unwrap();
@@ -432,6 +534,112 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     sh.hits, sh.misses, sh.write_backs
                 )
                 .unwrap();
+            }
+            Ok(out)
+        }
+        Command::Profile {
+            index,
+            queries,
+            workers,
+            slow_ms,
+        } => {
+            let idx = open(&index)?;
+            let text = std::fs::read_to_string(&queries)
+                .map_err(|e| format!("{}: {e}", queries.display()))?;
+            let exprs: Vec<&str> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .collect();
+            if exprs.is_empty() {
+                return Err(format!("{}: no queries to replay", queries.display()));
+            }
+            // Capture every replayed query in the slow-query log (threshold
+            // 0 records all); restore the previous threshold afterwards so
+            // a long-lived process keeps its configuration.
+            let prev_threshold = vist_obs::slowlog::threshold_nanos();
+            vist_obs::slowlog::set_threshold_nanos(slow_ms.saturating_mul(1_000_000));
+            vist_obs::slowlog::clear();
+            let mut rows: Vec<(String, usize, crate::StageTimings)> = Vec::new();
+            let mut failure = None;
+            for expr in &exprs {
+                match idx.query(
+                    expr,
+                    &QueryOptions {
+                        workers,
+                        ..Default::default()
+                    },
+                ) {
+                    Ok(r) => rows.push(((*expr).to_string(), r.doc_ids.len(), r.timings)),
+                    Err(e) => {
+                        failure = Some(format!("{expr}: {e}"));
+                        break;
+                    }
+                }
+            }
+            let slow = vist_obs::slowlog::entries();
+            vist_obs::slowlog::set_threshold_nanos(prev_threshold);
+            if let Some(e) = failure {
+                return Err(e);
+            }
+
+            let mut out = String::new();
+            writeln!(
+                out,
+                "replayed {} query(ies) with {workers} worker(s)\n",
+                rows.len()
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "{:>4}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  query",
+                "#", "docs", "total", "translate", "match", "merge", "docid", "verify"
+            )
+            .unwrap();
+            let mut total_nanos = 0u64;
+            for (i, (expr, docs, t)) in rows.iter().enumerate() {
+                total_nanos += t.total_nanos;
+                writeln!(
+                    out,
+                    "{i:>4}  {docs:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {expr}",
+                    vist_obs::format_nanos(t.total_nanos),
+                    vist_obs::format_nanos(t.translate_nanos),
+                    vist_obs::format_nanos(t.match_nanos),
+                    vist_obs::format_nanos(t.merge_nanos),
+                    vist_obs::format_nanos(t.docid_nanos),
+                    vist_obs::format_nanos(t.verify_nanos),
+                )
+                .unwrap();
+            }
+            writeln!(
+                out,
+                "\nworkload total: {}",
+                vist_obs::format_nanos(total_nanos)
+            )
+            .unwrap();
+
+            writeln!(
+                out,
+                "\nslow-query log (threshold {slow_ms}ms, {} entries):",
+                slow.len()
+            )
+            .unwrap();
+            for q in &slow {
+                write!(
+                    out,
+                    "  {:>9}  workers={}  {}  [",
+                    vist_obs::format_nanos(q.total_nanos),
+                    q.workers,
+                    q.query
+                )
+                .unwrap();
+                for (i, (name, nanos)) in q.stages.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    write!(out, "{name}={}", vist_obs::format_nanos(*nanos)).unwrap();
+                }
+                writeln!(out, "]").unwrap();
             }
             Ok(out)
         }
@@ -516,9 +724,10 @@ mod tests {
                 verify: true,
                 show: true,
                 workers: 1,
+                trace: false,
             }
         );
-        let c = parse_args(&argv("query idx //author --workers 4")).unwrap();
+        let c = parse_args(&argv("query idx //author --workers 4 --trace")).unwrap();
         assert_eq!(
             c,
             Command::Query {
@@ -527,10 +736,62 @@ mod tests {
                 verify: false,
                 show: false,
                 workers: 4,
+                trace: true,
             }
         );
         assert!(parse_args(&argv("query idx //author --workers")).is_err());
         assert!(parse_args(&argv("explain idx //author --workers nope")).is_err());
+    }
+
+    #[test]
+    fn parse_stats_formats() {
+        assert_eq!(
+            parse_args(&argv("stats idx")).unwrap(),
+            Command::Stats {
+                index: PathBuf::from("idx"),
+                format: StatsFormat::Human,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("stats idx --format json")).unwrap(),
+            Command::Stats {
+                index: PathBuf::from("idx"),
+                format: StatsFormat::Json,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("stats idx --format prometheus")).unwrap(),
+            Command::Stats {
+                index: PathBuf::from("idx"),
+                format: StatsFormat::Prometheus,
+            }
+        );
+        assert!(parse_args(&argv("stats idx --format yaml")).is_err());
+        assert!(parse_args(&argv("stats idx --format")).is_err());
+    }
+
+    #[test]
+    fn parse_profile() {
+        assert_eq!(
+            parse_args(&argv("profile idx q.txt --workers 2 --slow-ms 10")).unwrap(),
+            Command::Profile {
+                index: PathBuf::from("idx"),
+                queries: PathBuf::from("q.txt"),
+                workers: 2,
+                slow_ms: 10,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("profile idx q.txt")).unwrap(),
+            Command::Profile {
+                index: PathBuf::from("idx"),
+                queries: PathBuf::from("q.txt"),
+                workers: 1,
+                slow_ms: 0,
+            }
+        );
+        assert!(parse_args(&argv("profile idx")).is_err());
+        assert!(parse_args(&argv("profile idx q.txt --slow-ms nope")).is_err());
     }
 
     #[test]
@@ -626,6 +887,7 @@ mod tests {
             verify: true,
             show: true,
             workers: 2,
+            trace: false,
         })
         .unwrap();
         assert!(out.starts_with("1 document(s)"), "{out}");
@@ -633,6 +895,7 @@ mod tests {
 
         let out = run(Command::Stats {
             index: index.clone(),
+            format: StatsFormat::Human,
         })
         .unwrap();
         assert!(out.contains("documents:            2"), "{out}");
@@ -653,6 +916,7 @@ mod tests {
             verify: false,
             show: false,
             workers: 1,
+            trace: false,
         })
         .unwrap();
         assert!(out.starts_with("1 document(s)"), "{out}");
@@ -663,5 +927,117 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("1 documents"), "{out}");
+    }
+
+    /// Build a small index for the observability-command tests.
+    fn obs_fixture(tag: &str) -> (vist_storage::testutil::TempDir, PathBuf) {
+        let tmp = vist_storage::testutil::TempDir::new(tag);
+        let index = tmp.file("i.idx");
+        let xml = tmp.file("d.xml");
+        std::fs::write(
+            &xml,
+            "<site><people><person><name>ann</name></person>\
+             <person><name>bob</name></person></people></site>",
+        )
+        .unwrap();
+        run(parse_args(&argv(&format!("create {}", index.display()))).unwrap()).unwrap();
+        run(Command::Add {
+            index: index.clone(),
+            files: vec![xml],
+        })
+        .unwrap();
+        (tmp, index)
+    }
+
+    #[test]
+    fn query_trace_prints_span_tree() {
+        let (_tmp, index) = obs_fixture("cli-trace");
+        let out = run(Command::Query {
+            index,
+            expr: "/site/people/person/name".into(),
+            verify: false,
+            show: false,
+            workers: 1,
+            trace: true,
+        })
+        .unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("query"), "{out}");
+        assert!(out.contains("translate"), "{out}");
+        assert!(out.contains("match"), "{out}");
+        // The command restores the global toggle afterwards.
+        assert!(!vist_obs::tracing_enabled());
+    }
+
+    #[test]
+    fn stats_machine_formats_expose_all_layers() {
+        let (_tmp, index) = obs_fixture("cli-stats-fmt");
+        // Run one query so the query-path metrics have moved.
+        run(Command::Query {
+            index: index.clone(),
+            expr: "//name".into(),
+            verify: false,
+            show: false,
+            workers: 1,
+            trace: false,
+        })
+        .unwrap();
+        let prom = run(Command::Stats {
+            index: index.clone(),
+            format: StatsFormat::Prometheus,
+        })
+        .unwrap();
+        // One counter, gauge and histogram from each instrumented crate.
+        for name in [
+            "vist_storage_pool_miss_total",
+            "vist_storage_store_bytes",
+            "vist_storage_page_read_nanos",
+            "vist_btree_get_total",
+            "vist_btree_depth",
+            "vist_btree_probe_depth",
+            "vist_core_query_total",
+            "vist_core_documents",
+            "vist_core_query_nanos",
+        ] {
+            assert!(prom.contains(name), "missing {name} in:\n{prom}");
+        }
+        assert!(prom.contains("# TYPE"), "{prom}");
+        assert!(prom.contains("_bucket{le="), "{prom}");
+
+        let json = run(Command::Stats {
+            index,
+            format: StatsFormat::Json,
+        })
+        .unwrap();
+        assert!(json.contains("\"vist_core_query_total\""), "{json}");
+        assert!(json.contains("\"vist_storage_store_bytes\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+    }
+
+    #[test]
+    fn profile_replays_a_workload() {
+        let (tmp, index) = obs_fixture("cli-profile");
+        let qfile = tmp.file("q.txt");
+        std::fs::write(&qfile, "# workload\n/site/people/person/name\n\n//name\n").unwrap();
+        let out = run(Command::Profile {
+            index: index.clone(),
+            queries: qfile.clone(),
+            workers: 2,
+            slow_ms: 0,
+        })
+        .unwrap();
+        assert!(out.contains("replayed 2 query(ies)"), "{out}");
+        assert!(out.contains("/site/people/person/name"), "{out}");
+        assert!(out.contains("workload total:"), "{out}");
+        assert!(out.contains("slow-query log"), "{out}");
+
+        let missing = tmp.file("absent.txt");
+        assert!(run(Command::Profile {
+            index,
+            queries: missing,
+            workers: 1,
+            slow_ms: 0,
+        })
+        .is_err());
     }
 }

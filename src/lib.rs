@@ -34,11 +34,12 @@
 //! | [`datagen`] | `vist-datagen` | DBLP / XMARK / synthetic generators |
 //! | [`storage`] | `vist-storage` | pagers, buffer pool, slotted pages |
 //! | [`btree`] | `vist-btree` | the disk B+Tree substrate |
+//! | [`obs`] | `vist-obs` | metrics registry, span tracing, slow-query log |
 
 pub use vist_core::{
-    search_sequences, AllocatorKind, DocId, Error, IndexOptions, IndexStats, NaiveIndex,
-    QueryOptions, QueryResult, QueryStats, Result, RistIndex, SearchMode, SearchOutcome,
-    StatsModel, VistIndex,
+    search_sequences, AllocatorKind, DocId, Error, IndexOptions, IndexStats, MatchCountersSnapshot,
+    NaiveIndex, QueryOptions, QueryResult, QueryStats, Result, RistIndex, SearchMode,
+    SearchOutcome, StageTimings, StatsModel, VistIndex,
 };
 
 /// The `vist` command-line tool's implementation (parse + execute).
@@ -77,4 +78,10 @@ pub mod storage {
 /// B+Tree substrate (`vist-btree`).
 pub mod btree {
     pub use vist_btree::*;
+}
+
+/// Zero-dependency observability: metrics registry, span tracing,
+/// slow-query log (`vist-obs`). See `docs/OBSERVABILITY.md`.
+pub mod obs {
+    pub use vist_obs::*;
 }
