@@ -25,6 +25,7 @@
 //! the sequence sequentially.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use vist_seq::{Sequence, Sym};
 
@@ -116,6 +117,46 @@ impl StatsModel {
     }
 }
 
+/// A deliberately injected allocation bug, used by the `vist-sim`
+/// deterministic simulation harness to validate itself: a harness that
+/// cannot catch a known-planted scope bug cannot be trusted to catch an
+/// accidental one. Never enabled outside tests and `vist sim --mutate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMutation {
+    /// No injected fault (the only value production code ever sees).
+    #[default]
+    None,
+    /// Child scopes are handed out one label too large, so a node's scope
+    /// overhangs into its next sibling's range. S-Ancestor containment is
+    /// then wrong by construction: range queries inside the inflated scope
+    /// pick up the sibling's subtree, producing false matches that the
+    /// naive-oracle diff in `vist-sim` must flag.
+    ScopeOffByOne,
+}
+
+impl std::str::FromStr for SimMutation {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "none" => Ok(SimMutation::None),
+            "scope-off-by-one" => Ok(SimMutation::ScopeOffByOne),
+            other => Err(format!(
+                "unknown mutation '{other}' (expected none or scope-off-by-one)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for SimMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimMutation::None => write!(f, "none"),
+            SimMutation::ScopeOffByOne => write!(f, "scope-off-by-one"),
+        }
+    }
+}
+
 /// Stateless scope-allocation policy. The mutable allocation *state* (the
 /// cursor) lives in each node's [`NodeState`]; the policy only decides sizes.
 #[derive(Debug, Clone)]
@@ -127,6 +168,8 @@ pub struct ScopeAllocator {
     pub adaptive: bool,
     /// Allocation scheme.
     pub kind: AllocatorKind,
+    /// Test-only injected fault (see [`SimMutation`]).
+    pub mutation: SimMutation,
 }
 
 /// Result of a child-scope allocation attempt.
@@ -155,6 +198,7 @@ impl ScopeAllocator {
             lambda: lambda.max(2),
             adaptive,
             kind,
+            mutation: SimMutation::None,
         }
     }
 
@@ -202,9 +246,16 @@ impl ScopeAllocator {
         if size > available {
             return Allocation::Underflow;
         }
+        let claimed = match self.mutation {
+            SimMutation::None => size,
+            // The planted bug: the child *claims* one label more than the
+            // parent's cursor advances by, so the next sibling's label will
+            // fall inside this child's scope.
+            SimMutation::ScopeOffByOne => size + 1,
+        };
         let state = NodeState {
             n: parent.next,
-            size,
+            size: claimed,
             next: parent.next + 1,
             k: 0,
         };

@@ -42,11 +42,13 @@ mod store;
 mod trie;
 mod vist;
 
-pub use alloc::{Allocation, AllocatorKind, ScopeAllocator, StatsModel};
+pub use alloc::{Allocation, AllocatorKind, ScopeAllocator, SimMutation, StatsModel};
 pub use error::{Error, Result};
 pub use naive::NaiveIndex;
 pub use rist::RistIndex;
-pub use search::{search_sequences, QueryStats, SearchMode, SearchOutcome, StageTimings};
+pub use search::{
+    search_sequences, search_sequences_with, QueryStats, SearchMode, SearchOutcome, StageTimings,
+};
 pub use stats::{IndexStats, MatchCounters, MatchCountersSnapshot};
 pub use store::{DocId, NodeState, Store, StoreBreakdown};
 pub use trie::{Trie, TrieNode};

@@ -22,6 +22,35 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
+/// The shared splitmix64 step used wherever this crate needs cheap seeded
+/// pseudo-randomness (the simulation scheduler below, test loops).
+pub(crate) fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which queued item [`WorkQueue::take`] hands out next.
+///
+/// `Fifo` is the production policy (donated subtrees drain oldest-first).
+/// `Seeded` is the **simulation scheduler hook**: the `vist-sim` harness
+/// drives queries with a seeded pick so one seed explores one specific
+/// frame-expansion order, different seeds explore different orders, and any
+/// order must produce identical answers — an executable check that no code
+/// path depends on scheduling luck. Deterministic given a fixed take
+/// sequence (exactly reproducible at one worker; at several workers the OS
+/// still interleaves the *takers*, but answers are order-invariant sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum SchedPolicy {
+    /// Front-of-queue, the production default.
+    #[default]
+    Fifo,
+    /// Seeded pseudo-random pick among all queued items.
+    Seeded(u64),
+}
+
 /// Shared state of one parallel run.
 pub(crate) struct WorkQueue<T> {
     state: Mutex<QueueState<T>>,
@@ -37,6 +66,8 @@ struct QueueState<T> {
     /// Items seeded or donated whose local expansion has not finished.
     outstanding: usize,
     stopped: bool,
+    /// Scheduling state: `None` for FIFO, `Some(rng)` for seeded picks.
+    sched: Option<u64>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -44,14 +75,19 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl<T> WorkQueue<T> {
-    /// A queue seeded with the initial work items.
-    pub(crate) fn new(seeds: Vec<T>) -> Self {
+    /// A queue seeded with the initial work items and an explicit
+    /// scheduling policy (see [`SchedPolicy`]).
+    pub(crate) fn with_policy(seeds: Vec<T>, policy: SchedPolicy) -> Self {
         let outstanding = seeds.len();
         WorkQueue {
             state: Mutex::new(QueueState {
                 items: seeds.into_iter().map(|t| (t, false)).collect(),
                 outstanding,
                 stopped: false,
+                sched: match policy {
+                    SchedPolicy::Fifo => None,
+                    SchedPolicy::Seeded(s) => Some(s),
+                },
             }),
             cond: Condvar::new(),
             waiting: AtomicUsize::new(0),
@@ -67,8 +103,12 @@ impl<T> WorkQueue<T> {
             if st.stopped {
                 return None;
             }
-            if let Some(item) = st.items.pop_front() {
-                return Some(item);
+            if !st.items.is_empty() {
+                let i = match &mut st.sched {
+                    None => 0,
+                    Some(rng) => (splitmix64(rng) % st.items.len() as u64) as usize,
+                };
+                return st.items.remove(i);
             }
             if st.outstanding == 0 {
                 self.cond.notify_all();
@@ -117,15 +157,27 @@ impl<T> WorkQueue<T> {
     }
 }
 
-/// Run `body(worker_id, queue)` on `workers` threads — `workers - 1`
-/// scoped spawns plus the calling thread as worker 0 — over a queue seeded
-/// with `seeds`. Returns when every worker has exited.
+/// Convenience wrapper over [`run_workers_with`] fixing the production
+/// FIFO policy; only exercised by this module's tests.
+#[cfg(test)]
 pub(crate) fn run_workers<T, F>(workers: usize, seeds: Vec<T>, body: F)
 where
     T: Send,
     F: Fn(usize, &WorkQueue<T>) + Sync,
 {
-    let queue = WorkQueue::new(seeds);
+    run_workers_with(workers, seeds, SchedPolicy::Fifo, body);
+}
+
+/// Run `body(worker_id, queue)` on `workers` threads — `workers - 1`
+/// scoped spawns plus the calling thread as worker 0 — over a queue seeded
+/// with `seeds` under the given scheduling policy ([`SchedPolicy`]).
+/// Returns when every worker has exited.
+pub(crate) fn run_workers_with<T, F>(workers: usize, seeds: Vec<T>, policy: SchedPolicy, body: F)
+where
+    T: Send,
+    F: Fn(usize, &WorkQueue<T>) + Sync,
+{
+    let queue = WorkQueue::with_policy(seeds, policy);
     if workers <= 1 {
         body(0, &queue);
         return;
@@ -198,6 +250,51 @@ mod tests {
             }
         });
         assert!(executed.load(Ordering::Relaxed) < 1000);
+    }
+
+    #[test]
+    fn seeded_schedule_executes_all_work() {
+        // Same fan-out as `count_leaves`, but under the simulation
+        // scheduler: every explored order must still visit every leaf.
+        for seed in [1u64, 7, 42] {
+            let total = AtomicU64::new(0);
+            run_workers_with(2, vec![10u32], SchedPolicy::Seeded(seed), |_, queue| {
+                while let Some((seed, _)) = queue.take() {
+                    let mut local = vec![seed];
+                    while let Some(d) = local.pop() {
+                        if d == 0 {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            local.push(d - 1);
+                            local.push(d - 1);
+                        }
+                        if queue.is_hungry() && local.len() > 1 {
+                            let half = local.len() / 2;
+                            queue.donate(local.drain(..half));
+                        }
+                    }
+                    queue.finish_one();
+                }
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 1 << 10, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn seeded_take_order_is_reproducible_and_differs_from_fifo() {
+        let order = |policy: SchedPolicy| -> Vec<u32> {
+            let got = Mutex::new(Vec::new());
+            run_workers_with(1, (0..16u32).collect(), policy, |_, queue| {
+                while let Some((x, _)) = queue.take() {
+                    got.lock().unwrap().push(x);
+                    queue.finish_one();
+                }
+            });
+            got.into_inner().unwrap()
+        };
+        assert_eq!(order(SchedPolicy::Seeded(9)), order(SchedPolicy::Seeded(9)));
+        assert_ne!(order(SchedPolicy::Seeded(9)), order(SchedPolicy::Fifo));
+        assert_eq!(order(SchedPolicy::Fifo), (0..16).collect::<Vec<_>>());
     }
 
     #[test]

@@ -181,6 +181,24 @@ pub fn search_sequences(
     workers: usize,
     mode: SearchMode,
 ) -> Result<SearchOutcome> {
+    search_sequences_with(store, seqs, workers, mode, None)
+}
+
+/// [`search_sequences`] with an explicit frame-scheduling seed.
+///
+/// `schedule_seed: Some(s)` replaces the engine's default expansion order
+/// (depth-first serial, FIFO shared queue) with a seeded pseudo-random pick
+/// among the pending frames — the `vist-sim` harness's scheduler hook.
+/// Answers are sets, so **every** seed must return exactly the same result;
+/// the simulation uses differing seeds to hunt for order-dependent bugs in
+/// work distribution, dedup, and scope merging.
+pub fn search_sequences_with(
+    store: &Store,
+    seqs: &[QuerySequence],
+    workers: usize,
+    mode: SearchMode,
+    schedule_seed: Option<u64>,
+) -> Result<SearchOutcome> {
     let mut stats = QueryStats::default();
     let mut timings = StageTimings::default();
     let mut scopes: Vec<(u128, u128)> = Vec::new();
@@ -215,10 +233,22 @@ pub fn search_sequences(
     let match_span = vist_obs::Span::enter("match");
     let match_start = vist_obs::now();
     if workers == 1 || seeds.len() + 1 < 2 {
-        // Inline serial path: a plain explicit stack, no threads.
+        // Inline serial path: a plain explicit stack, no threads. With a
+        // schedule seed the next frame is a seeded pick instead of the
+        // depth-first top of stack (see `search_sequences_with`).
         let mut out = WorkerOut::default();
+        let mut sched = schedule_seed;
         let mut stack = seeds;
-        while let Some(frame) = stack.pop() {
+        loop {
+            let frame = match &mut sched {
+                _ if stack.is_empty() => None,
+                None => stack.pop(),
+                Some(rng) => {
+                    let i = (pool::splitmix64(rng) % stack.len() as u64) as usize;
+                    Some(stack.swap_remove(i))
+                }
+            };
+            let Some(frame) = frame else { break };
             out.stats.work_items += 1;
             expand(store, &ctxs, &frame, &mut stack, &mut out)?;
         }
@@ -229,7 +259,11 @@ pub fn search_sequences(
             .map(|_| Mutex::new(WorkerOut::default()))
             .collect();
         let first_err: Mutex<Option<crate::error::Error>> = Mutex::new(None);
-        pool::run_workers(workers, seeds, |id, queue| {
+        let policy = match schedule_seed {
+            None => pool::SchedPolicy::Fifo,
+            Some(s) => pool::SchedPolicy::Seeded(s),
+        };
+        pool::run_workers_with(workers, seeds, policy, |id, queue| {
             let worker_start = vist_obs::now();
             let mut busy_nanos = 0u64;
             let mut out = outs[id].lock().unwrap_or_else(|e| e.into_inner());

@@ -25,9 +25,9 @@ use vist_storage::sync::{Mutex, RwLock};
 use vist_storage::{BufferPool, FilePager, MemPager, PageId};
 use vist_xml::Document;
 
-use crate::alloc::{Allocation, AllocatorKind, ScopeAllocator};
+use crate::alloc::{Allocation, AllocatorKind, ScopeAllocator, SimMutation};
 use crate::error::{Error, Result};
-use crate::search::{search_sequences, QueryStats, SearchMode, StageTimings};
+use crate::search::{search_sequences_with, QueryStats, SearchMode, StageTimings};
 use crate::stats::{IndexStats, MatchCounters};
 use crate::store::{DocId, NodeState, Store};
 
@@ -51,6 +51,11 @@ pub struct IndexOptions {
     pub store_documents: bool,
     /// Sibling ordering used for sequence conversion.
     pub order: SiblingOrder,
+    /// Deliberately planted allocation bug for validating the `vist-sim`
+    /// harness ([`SimMutation::None`] everywhere else — see
+    /// [`crate::SimMutation`]). Not persisted: a reopened index is always
+    /// un-mutated unless [`VistIndex::set_sim_mutation`] re-arms it.
+    pub mutation: SimMutation,
 }
 
 impl Default for IndexOptions {
@@ -63,6 +68,7 @@ impl Default for IndexOptions {
             allocator: AllocatorKind::NoClues,
             store_documents: true,
             order: SiblingOrder::Lexicographic,
+            mutation: SimMutation::None,
         }
     }
 }
@@ -81,6 +87,11 @@ pub struct QueryOptions {
     /// on the calling thread). Alternative sequences and independent
     /// D-Ancestor branches are distributed across the workers.
     pub workers: usize,
+    /// Seeded scheduling of match-frame expansion (the `vist-sim`
+    /// scheduler hook; see [`crate::search_sequences_with`]). `None` (the
+    /// default) keeps the production depth-first/FIFO order. Any seed must
+    /// produce identical answers.
+    pub schedule_seed: Option<u64>,
 }
 
 impl Default for QueryOptions {
@@ -89,6 +100,7 @@ impl Default for QueryOptions {
             verify: false,
             max_sequences: 24,
             workers: 1,
+            schedule_seed: None,
         }
     }
 }
@@ -182,11 +194,11 @@ impl VistIndex {
             store,
             table: RwLock::new(SymbolTable::new()),
             order: opts.order,
-            alloc: Mutex::new(ScopeAllocator::new(
-                opts.lambda,
-                opts.adaptive,
-                opts.allocator,
-            )),
+            alloc: Mutex::new({
+                let mut alloc = ScopeAllocator::new(opts.lambda, opts.adaptive, opts.allocator);
+                alloc.mutation = opts.mutation;
+                alloc
+            }),
             writer: Mutex::new(()),
             maintenance: RwLock::new(()),
             match_counters: MatchCounters::default(),
@@ -242,6 +254,14 @@ impl VistIndex {
             (meta.lambda, meta.adaptive)
         };
         *self.alloc.lock() = ScopeAllocator::new(lambda, adaptive, kind);
+    }
+
+    /// Re-arm (or clear) the planted allocation bug used to validate the
+    /// `vist-sim` harness. Needed after reopen: [`VistIndex::open_on`]
+    /// rebuilds the allocator, which resets the mutation to
+    /// [`SimMutation::None`].
+    pub fn set_sim_mutation(&self, mutation: SimMutation) {
+        self.alloc.lock().mutation = mutation;
     }
 
     /// A snapshot of the symbol table shared by data and queries.
@@ -697,11 +717,12 @@ impl VistIndex {
         // Lock order: the table read guard (above, inside the helper) is
         // released before the maintenance latch is taken.
         let _m = self.maintenance.read();
-        let outcome = search_sequences(
+        let outcome = search_sequences_with(
             &self.store,
             &translation.sequences,
             opts.workers,
             SearchMode::Scopes,
+            opts.schedule_seed,
         )?;
         self.match_counters.record(&outcome.stats);
         Ok((outcome.scopes, outcome.stats))
@@ -955,11 +976,12 @@ impl VistIndex {
             });
         };
         let _m = self.maintenance.read();
-        let outcome = search_sequences(
+        let outcome = search_sequences_with(
             &self.store,
             &translation.sequences,
             opts.workers,
             SearchMode::Docs,
+            opts.schedule_seed,
         )?;
         self.match_counters.record(&outcome.stats);
         let stats = outcome.stats;
@@ -1121,7 +1143,8 @@ mod tests {
 
     #[test]
     fn persistence_roundtrip() {
-        let path = std::env::temp_dir().join(format!("vist-index-{}", std::process::id()));
+        let dir = vist_storage::testutil::TempDir::new("vist-core-roundtrip");
+        let path = dir.file("store");
         let id;
         {
             let idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
@@ -1148,7 +1171,6 @@ mod tests {
                 .unwrap();
             assert_eq!(r.doc_ids, vec![id, id3]);
         }
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -134,6 +134,110 @@ fn readers_with_concurrent_writer_match_serial_oracle() {
     assert!(stats.pool.totals().hits > 0);
 }
 
+/// One remover + six query threads: documents are split into a stable
+/// group (never removed) and a victim group the writer deletes one by one
+/// while readers query. Stable answers must survive every removal
+/// (deletion takes the maintenance latch exclusively, so readers see each
+/// remove atomically), victim ids must never resurface after the writer
+/// quiesces, and the end state must match a serially built oracle.
+#[test]
+fn readers_with_concurrent_remover_match_serial_oracle() {
+    const STABLE: u64 = 120;
+    const VICTIMS: u64 = 120;
+    let opts = IndexOptions {
+        cache_pages: 64, // B+Tree deletion frees pages: force pool churn
+        ..Default::default()
+    };
+    // Even ids = stable group, odd ids = victims (interleaved so removals
+    // punch holes all over the trees, not just at one end).
+    let doc = |i: u64| format!("<r><a>{}</a><b><c>{}</c></b></r>", i % 13, i % 7);
+
+    let idx = Arc::new(VistIndex::in_memory(opts.clone()).unwrap());
+    for i in 0..STABLE + VICTIMS {
+        idx.insert_xml(&doc(i)).unwrap();
+    }
+
+    let stable_queries: Vec<String> = (0..13)
+        .map(|v| format!("/r/a[text='{v}']"))
+        .chain(["//c".to_string()])
+        .collect();
+    let stable_expected: Vec<Vec<u64>> = stable_queries
+        .iter()
+        .map(|q| {
+            let mut ids = idx.query(q, &QueryOptions::default()).unwrap().doc_ids;
+            ids.retain(|id| id % 2 == 0);
+            ids
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        let remover = {
+            let idx = Arc::clone(&idx);
+            s.spawn(move || {
+                for id in (0..STABLE + VICTIMS).filter(|id| id % 2 == 1) {
+                    idx.remove_document(id).unwrap();
+                }
+            })
+        };
+        for t in 0..6usize {
+            let idx = Arc::clone(&idx);
+            let queries = &stable_queries;
+            let expected = &stable_expected;
+            s.spawn(move || {
+                for round in 0..50usize {
+                    let qi = (t * 5 + round) % queries.len();
+                    let got = idx
+                        .query(&queries[qi], &QueryOptions::default())
+                        .unwrap()
+                        .doc_ids;
+                    // Concurrent removes only ever delete odd ids; every
+                    // stable (even) answer must still be present, in order.
+                    let stable_part: Vec<u64> =
+                        got.iter().copied().filter(|id| id % 2 == 0).collect();
+                    assert_eq!(
+                        stable_part, expected[qi],
+                        "thread {t} round {round}: remove clobbered a stable answer"
+                    );
+                }
+            });
+        }
+        remover.join().unwrap();
+    });
+
+    // Post-quiesce: no victim id anywhere, and answers equal an index
+    // that only ever contained the stable group.
+    assert_eq!(idx.doc_count(), STABLE);
+    let oracle = VistIndex::in_memory(opts).unwrap();
+    for i in (0..STABLE + VICTIMS).filter(|i| i % 2 == 0) {
+        oracle
+            .insert_document(&vist_xml::parse(&doc(i)).unwrap())
+            .unwrap();
+    }
+    // The oracle assigns dense ids 0,1,2,...; the racing index kept the
+    // even originals. Map oracle ids back (oracle id k = original 2k).
+    let all_queries: Vec<String> = (0..13)
+        .map(|v| format!("/r/a[text='{v}']"))
+        .chain((0..7).map(|v| format!("/r[b/c='{v}']")))
+        .chain(["//c".to_string(), "/r/*[c='3']".to_string()])
+        .collect();
+    for q in &all_queries {
+        let got = idx.query(q, &QueryOptions::default()).unwrap().doc_ids;
+        assert!(
+            got.iter().all(|id| id % 2 == 0),
+            "{q}: removed doc resurfaced in {got:?}"
+        );
+        let want: Vec<u64> = oracle
+            .query(q, &QueryOptions::default())
+            .unwrap()
+            .doc_ids
+            .into_iter()
+            .map(|k| 2 * k)
+            .collect();
+        assert_eq!(got, want, "{q}");
+    }
+    idx.check().unwrap();
+}
+
 #[test]
 fn index_is_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}

@@ -1,0 +1,548 @@
+//! The executor: replays a [`Trace`] against a real file-backed
+//! [`VistIndex`] behind a [`FaultVfs`], mirroring every op into the
+//! [`ModelIndex`] oracle and diffing the two after each step.
+//!
+//! Per-query checks (all must hold, every time):
+//! * verified results == the model's brute-force exact matches;
+//! * raw (unverified) results == a naive suffix-tree baseline rebuilt
+//!   from the model's documents — ViST and Algorithm 1 share raw
+//!   semantics (§3.2–3.4), so any drift is a matching bug;
+//! * raw ⊇ exact (ViST may over-approximate, never under-approximate);
+//! * two different match-frame schedule seeds give identical answers
+//!   (no code path may depend on scheduling luck).
+//!
+//! Crash handling: a [`Op::Crash`] arms the [`FaultVfs`]; the first op
+//! that trips the injected fault triggers recovery — drop the index
+//! while the VFS is still "dead" (write-backs from a dead process must
+//! not reach disk), reopen for real, run `check()`, and require the
+//! recovered contents to equal a legal candidate snapshot: the last
+//! committed checkpoint, or — when the tripped op was itself a flush —
+//! either side of that ambiguous commit.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use vist_core::{IndexOptions, NaiveIndex, QueryOptions, VistIndex};
+use vist_query::parse_query;
+use vist_seq::SiblingOrder;
+use vist_storage::{is_injected, BufferPool, FaultHandle, FaultMode, FaultVfs, FilePager, RealVfs};
+
+use crate::model::{ModelIndex, Snapshot};
+use crate::ops::{doc_xml, query_expr, Op, Trace};
+
+/// Small on purpose: eviction write-backs are crash surface.
+const CACHE_PAGES: usize = 8;
+
+/// Deterministic counters from a completed (non-diverging) run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    pub ops: usize,
+    pub inserts: u64,
+    pub removes: u64,
+    pub queries: u64,
+    pub bursts: u64,
+    pub flushes: u64,
+    pub reopens: u64,
+    pub crashes_recovered: u64,
+    pub checks: u64,
+    /// Queries whose alternative-sequence generation was truncated
+    /// (oracle comparisons skipped — possible legitimate false negatives).
+    pub truncated_queries: u64,
+    pub final_docs: usize,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ops={} inserts={} removes={} queries={} bursts={} flushes={} reopens={} \
+             crashes_recovered={} checks={} truncated={} final_docs={}",
+            self.ops,
+            self.inserts,
+            self.removes,
+            self.queries,
+            self.bursts,
+            self.flushes,
+            self.reopens,
+            self.crashes_recovered,
+            self.checks,
+            self.truncated_queries,
+            self.final_docs
+        )
+    }
+}
+
+/// The real index disagreed with the model (or failed outright).
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index of the op being executed (`== trace.ops.len()` for the
+    /// final verification phase).
+    pub op_index: usize,
+    /// Stable machine-readable label, e.g. `verified-vs-model`.
+    pub kind: String,
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op {} [{}]: {}", self.op_index, self.kind, self.detail)
+    }
+}
+
+struct Exec<'t> {
+    trace: &'t Trace,
+    path: PathBuf,
+    handle: FaultHandle,
+    idx: Option<VistIndex>,
+    model: ModelIndex,
+    /// Naive baseline rebuilt lazily; `Vec` maps naive-local doc ids
+    /// (dense, insertion order) back to model ids.
+    naive: Option<(NaiveIndex, Vec<u64>)>,
+    report: Report,
+    op_index: usize,
+}
+
+/// Run a trace to completion. `dir` must be an existing directory private
+/// to this run; the store lives in `dir/store` and is recreated.
+pub fn run_trace(trace: &Trace, dir: &Path) -> Result<Report, Divergence> {
+    let path = dir.join("store");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(FilePager::wal_path(&path));
+
+    let vfs = FaultVfs::new(Arc::new(RealVfs));
+    let handle = vfs.handle();
+    let setup = |e: String| Divergence {
+        op_index: 0,
+        kind: "setup-error".into(),
+        detail: e,
+    };
+    let pager = FilePager::create_with_vfs(&vfs, &path, trace.page_size)
+        .map_err(|e| setup(e.to_string()))?;
+    let pool = Arc::new(BufferPool::with_capacity(pager, CACHE_PAGES));
+    let idx = VistIndex::create_on(pool, index_options(trace)).map_err(|e| setup(e.to_string()))?;
+    // Commit the empty state so recovery always has a checkpoint to land
+    // on — mirrors how a real deployment creates then checkpoints.
+    idx.flush().map_err(|e| setup(e.to_string()))?;
+
+    let mut exec = Exec {
+        trace,
+        path,
+        handle,
+        idx: Some(idx),
+        model: ModelIndex::new(SiblingOrder::Lexicographic),
+        naive: None,
+        report: Report::default(),
+        op_index: 0,
+    };
+    exec.model.commit();
+
+    for i in 0..trace.ops.len() {
+        exec.op_index = i;
+        exec.step(trace.ops[i])?;
+        exec.report.ops = i + 1;
+    }
+    exec.op_index = trace.ops.len();
+    exec.finish()?;
+    Ok(exec.report)
+}
+
+fn index_options(trace: &Trace) -> IndexOptions {
+    IndexOptions {
+        page_size: trace.page_size,
+        lambda: trace.lambda,
+        mutation: trace.mutation,
+        ..Default::default()
+    }
+}
+
+impl Exec<'_> {
+    fn idx(&self) -> &VistIndex {
+        self.idx.as_ref().expect("index is open")
+    }
+
+    fn diverge(&self, kind: &str, detail: String) -> Divergence {
+        Divergence {
+            op_index: self.op_index,
+            kind: kind.into(),
+            detail,
+        }
+    }
+
+    /// Classify an index error: injected faults route to crash recovery
+    /// (with `candidates` as the legal post-recovery states), anything
+    /// else is a divergence.
+    fn fail(&mut self, e: vist_core::Error, candidates: Vec<Snapshot>) -> Result<(), Divergence> {
+        // Once the scheduled crash has fired, every VFS op fails, so *any*
+        // error — including aggregates like `Error::Corrupt` from `check()`
+        // that bury the injected cause in a formatted report — is expected.
+        if self.handle.crashed()
+            || matches!(&e, vist_core::Error::Storage(inner) if is_injected(inner))
+        {
+            self.recover(candidates)
+        } else {
+            Err(self.diverge("unexpected-error", e.to_string()))
+        }
+    }
+
+    /// Drop the (possibly crashed) index while the VFS is still failing,
+    /// reopen for real, verify invariants, and reconcile with the model.
+    fn recover(&mut self, candidates: Vec<Snapshot>) -> Result<(), Divergence> {
+        // Drop first: a dead process cannot write back dirty pages, and
+        // with the fault still armed neither can the dropped pool.
+        self.idx = None;
+        self.naive = None;
+        self.handle.reset();
+
+        let vfs = FaultVfs::new(Arc::new(RealVfs));
+        self.handle = vfs.handle();
+        let pager = FilePager::open_with_vfs(&vfs, &self.path)
+            .map_err(|e| self.diverge("recovery-open-failed", e.to_string()))?;
+        let pool = Arc::new(BufferPool::with_capacity(pager, CACHE_PAGES));
+        let idx = VistIndex::open_on(pool)
+            .map_err(|e| self.diverge("recovery-open-failed", e.to_string()))?;
+        idx.set_sim_mutation(self.trace.mutation);
+        idx.check()
+            .map_err(|e| self.diverge("recovery-check-failed", e.to_string()))?;
+
+        let recovered =
+            read_contents(&idx).map_err(|e| self.diverge("recovery-read-failed", e.to_string()))?;
+        let adopted = candidates
+            .iter()
+            .find(|c| snapshot_eq(c, &recovered))
+            .cloned()
+            .ok_or_else(|| {
+                let cands: Vec<Vec<u64>> = candidates
+                    .iter()
+                    .map(|c| c.keys().copied().collect())
+                    .collect();
+                let got: Vec<u64> = recovered.iter().map(|(id, _)| *id).collect();
+                self.diverge(
+                    "recovery-mismatch",
+                    format!("recovered ids {got:?} match no candidate checkpoint {cands:?}"),
+                )
+            })?;
+        self.model.adopt(adopted);
+        self.idx = Some(idx);
+        self.report.crashes_recovered += 1;
+        Ok(())
+    }
+
+    fn step(&mut self, op: Op) -> Result<(), Divergence> {
+        match op {
+            Op::Insert { payload } => {
+                let xml = doc_xml(payload);
+                match self.idx().insert_xml(&xml) {
+                    Ok(id) => {
+                        self.naive = None;
+                        self.report.inserts += 1;
+                        let doc = vist_xml::parse(&xml)
+                            .map_err(|e| self.diverge("setup-error", e.to_string()))?;
+                        if !self.model.insert(id, xml, doc) {
+                            return Err(self.diverge(
+                                "duplicate-doc-id",
+                                format!("insert returned already-live id {id}"),
+                            ));
+                        }
+                        Ok(())
+                    }
+                    Err(e) => self.fail(e, vec![self.model.durable().clone()]),
+                }
+            }
+            Op::Remove { pick } => {
+                if self.model.is_empty() {
+                    return Ok(());
+                }
+                let ids = self.model.ids();
+                let victim = ids[(pick % ids.len() as u64) as usize];
+                match self.idx().remove_document(victim) {
+                    Ok(()) => {
+                        self.naive = None;
+                        self.report.removes += 1;
+                        self.model.remove(victim);
+                        Ok(())
+                    }
+                    Err(e) => self.fail(e, vec![self.model.durable().clone()]),
+                }
+            }
+            Op::Query {
+                template,
+                value,
+                workers,
+                sched,
+            } => self.run_query(template, value, workers, sched),
+            Op::Flush => match self.idx().flush() {
+                Ok(()) => {
+                    self.report.flushes += 1;
+                    self.model.commit();
+                    Ok(())
+                }
+                Err(e) => {
+                    // The commit record may or may not have reached disk.
+                    let ambiguous = vec![self.model.durable().clone(), self.model.live().clone()];
+                    self.fail(e, ambiguous)
+                }
+            },
+            Op::Reopen => match self.idx().flush() {
+                Ok(()) => {
+                    self.model.commit();
+                    self.idx = None;
+                    self.naive = None;
+                    // A clean restart must land exactly on the state just
+                    // committed; reuse the recovery machinery to verify.
+                    self.recover(vec![self.model.live().clone()])?;
+                    // recover() counts itself as a crash; reclassify.
+                    self.report.crashes_recovered -= 1;
+                    self.report.reopens += 1;
+                    Ok(())
+                }
+                Err(e) => {
+                    let ambiguous = vec![self.model.durable().clone(), self.model.live().clone()];
+                    self.fail(e, ambiguous)
+                }
+            },
+            Op::Crash { in_ops, tear_seed } => {
+                // Re-anchor the op counter, then arm. Nothing fails yet;
+                // the first op to trip the fault routes into recover().
+                self.handle.reset();
+                self.handle.schedule(in_ops, FaultMode::Crash, tear_seed);
+                Ok(())
+            }
+            Op::Check => match self.idx().check() {
+                Ok(_) => {
+                    self.report.checks += 1;
+                    Ok(())
+                }
+                Err(e) => {
+                    if self.handle.crashed()
+                        || matches!(&e, vist_core::Error::Storage(inner) if is_injected(inner))
+                    {
+                        self.recover(vec![self.model.durable().clone()])
+                    } else {
+                        Err(self.diverge("check-failed", e.to_string()))
+                    }
+                }
+            },
+            Op::Burst {
+                template,
+                value,
+                threads,
+            } => self.run_burst(template, value, threads),
+        }
+    }
+
+    /// One query, four ways: seeded raw twice (schedule independence),
+    /// verified (== model exact), and the naive baseline (== raw).
+    fn run_query(
+        &mut self,
+        template: u8,
+        value: u8,
+        workers: u8,
+        sched: u64,
+    ) -> Result<(), Divergence> {
+        let expr = query_expr(template, value);
+        let pattern = parse_query(&expr)
+            .expect("templates are valid")
+            .to_pattern();
+        let exact = self.model.exact_matches(&pattern);
+
+        let opts = |verify: bool, seed: u64| QueryOptions {
+            verify,
+            workers: workers.max(1) as usize,
+            schedule_seed: Some(seed),
+            ..Default::default()
+        };
+        let durable = vec![self.model.durable().clone()];
+        let raw_a = match self.idx().query(&expr, &opts(false, sched)) {
+            Ok(r) => r,
+            Err(e) => return self.fail(e, durable),
+        };
+        let raw_b = match self
+            .idx()
+            .query(&expr, &opts(false, sched ^ 0xD1B5_4A32_D192_ED03))
+        {
+            Ok(r) => r,
+            Err(e) => return self.fail(e, durable),
+        };
+        let verified = match self.idx().query(&expr, &opts(true, sched)) {
+            Ok(r) => r,
+            Err(e) => return self.fail(e, durable),
+        };
+        self.report.queries += 1;
+
+        if raw_a.doc_ids != raw_b.doc_ids {
+            return Err(self.diverge(
+                "schedule-dependent",
+                format!(
+                    "{expr}: schedule seeds disagree: {:?} vs {:?}",
+                    raw_a.doc_ids, raw_b.doc_ids
+                ),
+            ));
+        }
+        if raw_a.truncated {
+            // Legitimate false negatives possible; oracle comparisons
+            // would mis-fire. Counted so reports surface the blind spot.
+            self.report.truncated_queries += 1;
+            return Ok(());
+        }
+        if verified.doc_ids != exact {
+            return Err(self.diverge(
+                "verified-vs-model",
+                format!(
+                    "{expr}: verified {:?} != model exact {exact:?}",
+                    verified.doc_ids
+                ),
+            ));
+        }
+        let raw_set: BTreeSet<u64> = raw_a.doc_ids.iter().copied().collect();
+        if let Some(missing) = exact.iter().find(|id| !raw_set.contains(id)) {
+            return Err(self.diverge(
+                "raw-missing-exact",
+                format!(
+                    "{expr}: raw {:?} misses matching doc {missing}",
+                    raw_a.doc_ids
+                ),
+            ));
+        }
+        let naive = self.naive_raw(&expr)?;
+        if naive != raw_a.doc_ids {
+            return Err(self.diverge(
+                "raw-vs-naive",
+                format!(
+                    "{expr}: vist raw {:?} != naive raw {naive:?}",
+                    raw_a.doc_ids
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Raw answers from the naive §3.2 baseline, in model doc ids.
+    fn naive_raw(&mut self, expr: &str) -> Result<Vec<u64>, Divergence> {
+        if self.naive.is_none() {
+            let mut naive = NaiveIndex::new(SiblingOrder::Lexicographic);
+            let mut map = Vec::with_capacity(self.model.len());
+            for (id, doc) in self.model.live() {
+                naive.insert_document(&doc.doc);
+                map.push(*id);
+            }
+            self.naive = Some((naive, map));
+        }
+        let (naive, map) = self.naive.as_mut().expect("just built");
+        let local = naive
+            .query(expr, &QueryOptions::default())
+            .map_err(|e| Divergence {
+                op_index: self.op_index,
+                kind: "naive-error".into(),
+                detail: e.to_string(),
+            })?;
+        let mut ids: Vec<u64> = local.into_iter().map(|i| map[i as usize]).collect();
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Concurrent read-only burst: every thread's verified answer must
+    /// equal the model's. No writer runs, so the verdict is deterministic
+    /// even though real threads race.
+    fn run_burst(&mut self, template: u8, value: u8, threads: u8) -> Result<(), Divergence> {
+        let expr = query_expr(template, value);
+        let pattern = parse_query(&expr)
+            .expect("templates are valid")
+            .to_pattern();
+        let exact = self.model.exact_matches(&pattern);
+        let idx = self.idx();
+        let results: Vec<Result<Vec<u64>, vist_core::Error>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads.max(1) as u64)
+                .map(|t| {
+                    let expr = &expr;
+                    s.spawn(move || {
+                        let opts = QueryOptions {
+                            verify: true,
+                            schedule_seed: Some(t),
+                            ..Default::default()
+                        };
+                        idx.query(expr, &opts).map(|r| r.doc_ids)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("burst thread panicked"))
+                .collect()
+        });
+        for res in results {
+            match res {
+                Ok(ids) => {
+                    if ids != exact {
+                        return Err(self.diverge(
+                            "burst-mismatch",
+                            format!("{expr}: burst thread got {ids:?}, model exact {exact:?}"),
+                        ));
+                    }
+                }
+                Err(e) => return self.fail(e, vec![self.model.durable().clone()]),
+            }
+        }
+        self.report.bursts += 1;
+        Ok(())
+    }
+
+    /// Final phase: checkpoint, then require the on-index contents to
+    /// equal the model byte for byte and `check()` to pass.
+    fn finish(&mut self) -> Result<(), Divergence> {
+        match self.idx().flush() {
+            Ok(()) => self.model.commit(),
+            Err(e) => {
+                let ambiguous = vec![self.model.durable().clone(), self.model.live().clone()];
+                self.fail(e, ambiguous)?;
+            }
+        }
+        // A crash armed in the trace's tail can fire inside this check or
+        // read; route it through recovery (which re-checks) and read again.
+        if let Err(e) = self.idx().check() {
+            if self.handle.crashed() {
+                self.fail(e, vec![self.model.durable().clone()])?;
+            } else {
+                return Err(self.diverge("check-failed", e.to_string()));
+            }
+        }
+        let contents = match read_contents(self.idx()) {
+            Ok(c) => c,
+            Err(e) => {
+                self.fail(e, vec![self.model.durable().clone()])?;
+                read_contents(self.idx())
+                    .map_err(|e| self.diverge("unexpected-error", e.to_string()))?
+            }
+        };
+        if !snapshot_eq(self.model.live(), &contents) {
+            let want: Vec<u64> = self.model.ids();
+            let got: Vec<u64> = contents.iter().map(|(id, _)| *id).collect();
+            return Err(self.diverge(
+                "final-state-mismatch",
+                format!("index holds {got:?}, model holds {want:?}"),
+            ));
+        }
+        self.report.final_docs = self.model.len();
+        Ok(())
+    }
+}
+
+/// All `(id, xml)` pairs currently in the real index, ascending.
+fn read_contents(idx: &VistIndex) -> Result<Vec<(u64, String)>, vist_core::Error> {
+    let mut ids = idx.document_ids()?;
+    ids.sort_unstable();
+    ids.into_iter()
+        .map(|id| idx.get_document_xml(id).map(|xml| (id, xml)))
+        .collect()
+}
+
+/// Does the real contents listing equal a model snapshot exactly
+/// (ids and original bytes)?
+fn snapshot_eq(model: &Snapshot, real: &[(u64, String)]) -> bool {
+    model.len() == real.len()
+        && model
+            .iter()
+            .zip(real)
+            .all(|((mid, mdoc), (rid, rxml))| mid == rid && mdoc.xml == *rxml)
+}

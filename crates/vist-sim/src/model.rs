@@ -1,0 +1,150 @@
+//! The in-memory model the real index is checked against.
+//!
+//! The model is deliberately trivial: a map from document id to the
+//! original XML (plus its parsed form). Exact query answers come from
+//! [`vist_query::matches_document`] over every live document — the
+//! brute-force oracle ViST's §3.2 correctness contract reduces to. Raw
+//! (unverified) answers are cross-checked separately against a rebuilt
+//! [`vist_core::NaiveIndex`] by the executor.
+//!
+//! Two snapshots are kept: `live` (everything applied) and `durable`
+//! (state as of the last successful flush). Crash recovery must land on
+//! `durable` — or, when the crash fired *inside* a flush, on either side
+//! of that ambiguous commit.
+
+use std::collections::BTreeMap;
+
+use vist_query::{matches_document, Pattern};
+use vist_seq::SiblingOrder;
+use vist_xml::Document;
+
+/// One modelled document: original bytes + parsed tree.
+#[derive(Debug, Clone)]
+pub struct ModelDoc {
+    pub xml: String,
+    pub doc: Document,
+}
+
+/// Snapshot of the modelled index contents.
+pub type Snapshot = BTreeMap<u64, ModelDoc>;
+
+/// The model oracle.
+#[derive(Debug, Clone)]
+pub struct ModelIndex {
+    order: SiblingOrder,
+    live: Snapshot,
+    durable: Snapshot,
+}
+
+impl ModelIndex {
+    pub fn new(order: SiblingOrder) -> Self {
+        ModelIndex {
+            order,
+            live: BTreeMap::new(),
+            durable: BTreeMap::new(),
+        }
+    }
+
+    /// Record an insert the real index acknowledged with `id`.
+    /// Returns `false` when the id was already live (a divergence).
+    pub fn insert(&mut self, id: u64, xml: String, doc: Document) -> bool {
+        self.live.insert(id, ModelDoc { xml, doc }).is_none()
+    }
+
+    /// Record a remove. Returns `false` when the id was not live.
+    pub fn remove(&mut self, id: u64) -> bool {
+        self.live.remove(&id).is_some()
+    }
+
+    /// Live ids, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        self.live.keys().copied().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    pub fn live(&self) -> &Snapshot {
+        &self.live
+    }
+
+    pub fn durable(&self) -> &Snapshot {
+        &self.durable
+    }
+
+    /// A successful flush: live state becomes durable.
+    pub fn commit(&mut self) {
+        self.durable = self.live.clone();
+    }
+
+    /// Crash recovery landed on `snapshot` (one of the legal candidates);
+    /// both live and durable collapse onto it.
+    pub fn adopt(&mut self, snapshot: Snapshot) {
+        self.live = snapshot.clone();
+        self.durable = snapshot;
+    }
+
+    /// Exact answer set for a pattern: brute-force tree-pattern matching
+    /// over every live document. Ascending ids.
+    pub fn exact_matches(&self, pattern: &Pattern) -> Vec<u64> {
+        self.live
+            .iter()
+            .filter(|(_, d)| matches_document(pattern, &d.doc, &self.order))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vist_query::parse_query;
+
+    fn model_with(docs: &[(u64, &str)]) -> ModelIndex {
+        let mut m = ModelIndex::new(SiblingOrder::Lexicographic);
+        for &(id, xml) in docs {
+            let doc = vist_xml::parse(xml).unwrap();
+            assert!(m.insert(id, xml.to_string(), doc));
+        }
+        m
+    }
+
+    #[test]
+    fn exact_matches_are_brute_force() {
+        let m = model_with(&[
+            (0, "<a><b>v1</b></a>"),
+            (2, "<a><c>v1</c></a>"),
+            (5, "<a><b>v2</b><c>v1</c></a>"),
+        ]);
+        let q = parse_query("/a/b").unwrap().to_pattern();
+        assert_eq!(m.exact_matches(&q), vec![0, 5]);
+        let q = parse_query("/a/b[text='v1']").unwrap().to_pattern();
+        assert_eq!(m.exact_matches(&q), vec![0]);
+    }
+
+    #[test]
+    fn commit_and_adopt_track_snapshots() {
+        let mut m = model_with(&[(0, "<a><b>v1</b></a>")]);
+        m.commit();
+        let doc = vist_xml::parse("<a><c>v2</c></a>").unwrap();
+        m.insert(1, "<a><c>v2</c></a>".into(), doc);
+        assert_eq!(m.ids(), vec![0, 1]);
+        assert_eq!(m.durable().keys().copied().collect::<Vec<_>>(), vec![0]);
+        let durable = m.durable().clone();
+        m.adopt(durable);
+        assert_eq!(m.ids(), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_remove_are_flagged() {
+        let mut m = model_with(&[(0, "<a><b>v1</b></a>")]);
+        let doc = vist_xml::parse("<a/>").unwrap();
+        assert!(!m.insert(0, "<a/>".into(), doc));
+        assert!(!m.remove(9));
+    }
+}

@@ -1,0 +1,107 @@
+//! Op-level delta-debug shrinking (ddmin) of diverging traces.
+//!
+//! A reproducer is only useful when it is small. Given a trace that
+//! diverges, shrinking first drops everything after the diverging op
+//! (later ops cannot matter), then runs classic ddmin over the op list:
+//! remove chunks at progressively finer granularity, keeping any removal
+//! after which the trace *still diverges* (any divergence counts — the
+//! failure may legitimately shift kind as context ops disappear). Every
+//! candidate runs in a fresh scratch directory, so candidate runs cannot
+//! contaminate each other, and the whole search is budget-capped.
+
+use std::path::Path;
+
+use crate::exec::{run_trace, Divergence};
+use crate::ops::Trace;
+
+/// Result of a shrink search.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The smallest still-diverging trace found.
+    pub trace: Trace,
+    /// Divergence the minimized trace produces.
+    pub divergence: Divergence,
+    /// Candidate executions spent.
+    pub runs: usize,
+}
+
+/// Shrink a diverging trace. `scratch` must be an existing directory;
+/// candidate runs use (and clean up) numbered subdirectories. `budget`
+/// caps candidate executions (shrinking is best-effort: on budget
+/// exhaustion the smallest trace found so far is returned).
+///
+/// Panics if the input trace does not diverge.
+pub fn shrink(trace: &Trace, scratch: &Path, budget: usize) -> ShrinkOutcome {
+    let mut runs = 0usize;
+    let try_ops = |ops: &[crate::ops::Op], runs: &mut usize| -> Option<Divergence> {
+        let dir = scratch.join(format!("shrink-{runs}"));
+        std::fs::create_dir_all(&dir).ok()?;
+        let cand = Trace {
+            ops: ops.to_vec(),
+            ..trace.clone()
+        };
+        let verdict = run_trace(&cand, &dir).err();
+        let _ = std::fs::remove_dir_all(&dir);
+        *runs += 1;
+        verdict
+    };
+
+    let full = try_ops(&trace.ops, &mut runs).expect("shrink() requires a diverging trace");
+
+    // Later ops cannot have caused an earlier divergence: truncate.
+    let mut ops = trace.ops[..full.op_index.min(trace.ops.len() - 1) + 1].to_vec();
+    let mut divergence = if ops.len() < trace.ops.len() {
+        match try_ops(&ops, &mut runs) {
+            Some(d) => d,
+            None => {
+                // Truncation changed the verdict (e.g. the final
+                // verification phase was load-bearing); keep the full list.
+                ops = trace.ops.clone();
+                full
+            }
+        }
+    } else {
+        full
+    };
+
+    // ddmin: try removing chunks, refining granularity on failure.
+    let mut chunks = 2usize;
+    while ops.len() > 1 && runs < budget {
+        let chunk_len = ops.len().div_ceil(chunks);
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < ops.len() && runs < budget {
+            let end = (start + chunk_len).min(ops.len());
+            let candidate: Vec<_> = ops[..start].iter().chain(&ops[end..]).copied().collect();
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            if let Some(d) = try_ops(&candidate, &mut runs) {
+                ops = candidate;
+                divergence = d;
+                removed_any = true;
+                // Re-chunk against the smaller list.
+                chunks = chunks.saturating_sub(1).max(2);
+                start = 0;
+                continue;
+            }
+            start = end;
+        }
+        if !removed_any {
+            if chunks >= ops.len() {
+                break;
+            }
+            chunks = (chunks * 2).min(ops.len());
+        }
+    }
+
+    ShrinkOutcome {
+        trace: Trace {
+            ops,
+            ..trace.clone()
+        },
+        divergence,
+        runs,
+    }
+}

@@ -1,0 +1,39 @@
+//! Tier-1 replay of the checked-in simulation seed corpus.
+//!
+//! Every `tests/seeds/*.trace` file is a reproducer (or a hand-written
+//! scenario distilled from past regressions) that once exposed — or is
+//! designed to exercise — a specific failure mode: delete-path
+//! maintenance, crash-during-checkpoint ambiguity, parallel-match
+//! schedule independence, scope underflow. Replaying them on every PR
+//! keeps those exact op sequences green.
+//!
+//! To add one: `vist sim --seed S --out tests/seeds/<name>.trace` on a
+//! diverging seed (the written trace is already minimized), fix the bug,
+//! and check the file in. See `docs/TESTING.md`.
+
+use vist_sim::{run_trace, Trace};
+use vist_storage::testutil::TempDir;
+
+#[test]
+fn sim_corpus() {
+    let seeds_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/seeds");
+    let mut files: Vec<_> = std::fs::read_dir(&seeds_dir)
+        .expect("tests/seeds must exist")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "trace"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "seed corpus is empty");
+
+    let scratch = TempDir::new("sim-corpus");
+    for (i, file) in files.iter().enumerate() {
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(file).unwrap();
+        let trace = Trace::from_text(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let dir = scratch.file(&format!("case-{i}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = run_trace(&trace, &dir).unwrap_or_else(|d| panic!("{name}: diverged at {d}"));
+        assert_eq!(report.ops, trace.ops.len(), "{name}: not all ops ran");
+    }
+}

@@ -2,9 +2,18 @@
 //! thousands of mixed operations (insert, delete, query, flush, reopen),
 //! cross-checked after every phase against an in-memory shadow using the
 //! exact tree-pattern matcher.
+//!
+//! Deterministic and budgeted: the workload is a pure function of the
+//! seed and the iteration budget — no wall-clock dependence — so a tier-1
+//! run is reproducible and time-bounded, and nightly CI can crank the
+//! same test up via environment knobs:
+//! * `VIST_SOAK_SEED`   — workload seed (default `0xC0FFEE`)
+//! * `VIST_SOAK_PHASES` — mutation/verify phases (default `6`)
+//! * `VIST_SOAK_OPS`    — mutations per phase (default `120`)
 
 use vist::query::{matches_document, parse_query};
 use vist::seq::SiblingOrder;
+use vist::storage::testutil::TempDir;
 use vist::xml::Document;
 use vist::{IndexOptions, QueryOptions, VistIndex};
 
@@ -64,10 +73,27 @@ fn random_doc(rng: &mut Rng) -> String {
     xml
 }
 
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| {
+            let v = v.trim();
+            v.strip_prefix("0x")
+                .map_or_else(|| v.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+        })
+        .unwrap_or(default)
+}
+
 #[test]
 fn randomized_soak_with_reopens() {
-    let path = std::env::temp_dir().join(format!("vist-soak-{}", std::process::id()));
-    let mut rng = Rng(0xC0FFEE);
+    let seed = env_u64("VIST_SOAK_SEED", 0xC0FFEE);
+    let phases = env_u64("VIST_SOAK_PHASES", 6).max(1);
+    let ops = env_u64("VIST_SOAK_OPS", 120).max(1) as usize;
+
+    // Drop-guarded unique dir: no leaked store/WAL files, even on panic.
+    let dir = TempDir::new("vist-soak");
+    let path = dir.file("store");
+    let mut rng = Rng(seed);
     let mut idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
     let mut shadow = Shadow {
         docs: Default::default(),
@@ -80,9 +106,9 @@ fn randomized_soak_with_reopens() {
         "/order[line/qty='1']/fee",
         "//line",
     ];
-    for phase in 0..8 {
+    for phase in 0..phases {
         // Mutation burst.
-        for _ in 0..150 {
+        for _ in 0..ops {
             if !shadow.docs.is_empty() && rng.chance(25) {
                 let ids: Vec<u64> = shadow.docs.keys().copied().collect();
                 let victim = ids[rng.below(ids.len())];
@@ -122,5 +148,4 @@ fn randomized_soak_with_reopens() {
             idx = VistIndex::open_file(&path, 512).unwrap();
         }
     }
-    std::fs::remove_file(&path).unwrap();
 }
