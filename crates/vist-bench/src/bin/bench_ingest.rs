@@ -1,0 +1,190 @@
+//! Bulk load vs insert-at-a-time ingest on a file-backed tiered index.
+//!
+//! Two fresh indexes ingest the same generated DBLP-like corpus: one
+//! through the dynamic path (`insert_xml` per document + one final
+//! flush, every node allocated a scope through Algorithm 3), one through
+//! `bulk_build` (external-sort ingest into a single packed read-only
+//! segment — see `docs/SEGMENTS.md`). Both are probed with the paper's
+//! Table 3 queries afterwards and must answer identically; the point of
+//! the packed path is the ingest *rate* and the ~100% leaf fill.
+//!
+//! ```sh
+//! cargo run --release -p vist-bench --bin bench_ingest             # 50k docs, writes BENCH_ingest.json
+//! cargo run --release -p vist-bench --bin bench_ingest -- --smoke  # CI-sized
+//! cargo run --release -p vist-bench --bin bench_ingest -- --gate 5 # exit 1 if speedup < 5x
+//! ```
+
+use std::time::Instant;
+
+use vist_bench::{mib, print_table, scaled};
+use vist_core::{IndexOptions, QueryOptions, VistIndex};
+use vist_datagen::dblp;
+use vist_storage::testutil::TempDir;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let gate: Option<f64> = arg_value("--gate").map(|v| v.parse().expect("bad --gate"));
+    let n = if smoke {
+        scaled(1_500, 500)
+    } else {
+        scaled(50_000, 50_000)
+    };
+
+    eprintln!("generating {n} DBLP-like records ...");
+    let docs = dblp::documents(n, 42);
+    let xmls: Vec<String> = docs.iter().map(|d| d.to_xml()).collect();
+    let corpus_bytes: usize = xmls.iter().map(String::len).sum();
+    let opts = IndexOptions {
+        cache_pages: 1 << 14,
+        ..Default::default()
+    };
+    let tmp = TempDir::new("bench-ingest");
+
+    eprintln!("insert-at-a-time ingest ...");
+    let insert_path = tmp.file("insert.idx");
+    let t0 = Instant::now();
+    let insert_idx = VistIndex::create_file(&insert_path, opts.clone()).expect("create");
+    for xml in &xmls {
+        insert_idx.insert_xml(xml).expect("insert");
+    }
+    insert_idx.flush().expect("flush");
+    let insert_secs = t0.elapsed().as_secs_f64();
+    let insert_stats = insert_idx.stats();
+
+    eprintln!("bulk (external-sort segment) ingest ...");
+    let bulk_path = tmp.file("bulk.idx");
+    let t0 = Instant::now();
+    let bulk_idx = VistIndex::create_file(&bulk_path, opts).expect("create");
+    bulk_idx.bulk_build(&xmls).expect("bulk_build");
+    let bulk_secs = t0.elapsed().as_secs_f64();
+    let bulk_stats = bulk_idx.stats();
+
+    // Equivalence probe: both ingest paths must answer the paper's
+    // Table 3 queries identically (the segment is the same index, packed).
+    for (label, q) in dblp::table3_queries() {
+        let a = insert_idx
+            .query(&q, &QueryOptions::default())
+            .expect("query");
+        let b = bulk_idx.query(&q, &QueryOptions::default()).expect("query");
+        assert_eq!(
+            a.doc_ids, b.doc_ids,
+            "{label}: ingest paths disagree on {q}"
+        );
+    }
+    assert_eq!(insert_stats.documents, bulk_stats.documents);
+
+    let fill = |idx: &VistIndex| -> f64 {
+        let (delta, segs) = idx.tier_breakdown().expect("breakdown");
+        let trees = |b: &vist_core::StoreBreakdown| {
+            [&b.dancestor, &b.sancestor, &b.docid, &b.edges, &b.aux]
+                .iter()
+                .map(|t| (t.leaf_used_bytes, t.leaf_total_bytes))
+                .fold((0u64, 0u64), |(u, t), (du, dt)| (u + du, t + dt))
+        };
+        let (mut used, mut total) = (0u64, 0u64);
+        if segs.is_empty() {
+            let (u, t) = trees(&delta);
+            used += u;
+            total += t;
+        }
+        for (_, b) in &segs {
+            let (u, t) = trees(b);
+            used += u;
+            total += t;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            used as f64 / total as f64
+        }
+    };
+    let insert_fill = fill(&insert_idx);
+    let bulk_fill = fill(&bulk_idx);
+    let speedup = insert_secs / bulk_secs;
+
+    let row = |label: &str, secs: f64, bytes: u64, fill: f64| {
+        vec![
+            label.to_string(),
+            format!("{secs:.2}"),
+            format!("{:.0}", n as f64 / secs),
+            mib(bytes),
+            format!("{:.0}%", fill * 100.0),
+        ]
+    };
+    println!(
+        "\nbench_ingest — {n} DBLP-like documents ({} MiB of XML)",
+        mib(corpus_bytes as u64)
+    );
+    print_table(
+        &[
+            "ingest path",
+            "total (s)",
+            "docs/s",
+            "index MiB",
+            "leaf fill",
+        ],
+        &[
+            row(
+                "insert-at-a-time",
+                insert_secs,
+                insert_stats.store_bytes,
+                insert_fill,
+            ),
+            row(
+                "bulk (packed segment)",
+                bulk_secs,
+                bulk_stats.store_bytes + bulk_stats.segment_bytes,
+                bulk_fill,
+            ),
+        ],
+    );
+    println!("\nspeedup={speedup:.2}x");
+
+    if let Some(gate) = gate {
+        if speedup < gate {
+            eprintln!("FAIL: bulk-load speedup {speedup:.2}x below the {gate:.1}x gate");
+            std::process::exit(1);
+        }
+        println!("gate passed ({speedup:.2}x >= {gate:.1}x)");
+    }
+
+    if !smoke {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"ingest\",\n",
+                "  \"corpus\": {{ \"generator\": \"dblp\", \"docs\": {}, \"seed\": 42, \"xml_bytes\": {} }},\n",
+                "  \"insert_secs\": {:.3},\n",
+                "  \"insert_docs_per_sec\": {:.1},\n",
+                "  \"insert_index_bytes\": {},\n",
+                "  \"insert_leaf_fill\": {:.4},\n",
+                "  \"bulk_secs\": {:.3},\n",
+                "  \"bulk_docs_per_sec\": {:.1},\n",
+                "  \"bulk_index_bytes\": {},\n",
+                "  \"bulk_leaf_fill\": {:.4},\n",
+                "  \"speedup\": {:.3}\n",
+                "}}\n"
+            ),
+            n,
+            corpus_bytes,
+            insert_secs,
+            n as f64 / insert_secs,
+            insert_stats.store_bytes,
+            insert_fill,
+            bulk_secs,
+            n as f64 / bulk_secs,
+            bulk_stats.store_bytes + bulk_stats.segment_bytes,
+            bulk_fill,
+            speedup,
+        );
+        std::fs::write("BENCH_ingest.json", &json).expect("write json");
+        eprintln!("wrote BENCH_ingest.json");
+    }
+}

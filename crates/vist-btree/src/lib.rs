@@ -40,12 +40,14 @@ mod bulk;
 pub mod codec;
 mod cursor;
 mod node;
+mod segment;
 mod stats;
 mod tree;
 #[doc(hidden)]
 pub mod verify;
 
 pub use cursor::Scan;
+pub use segment::{SegmentReader, SegmentWriter};
 pub use stats::TreeStats;
 pub use tree::BTree;
 pub use vist_storage::{Error, Result};

@@ -20,6 +20,10 @@ pub struct TreeStats {
     pub used_bytes: u64,
     /// Total bytes of all pages of this tree.
     pub total_bytes: u64,
+    /// Bytes occupied by live cells on **leaf** pages only.
+    pub leaf_used_bytes: u64,
+    /// Total bytes of all leaf pages.
+    pub leaf_total_bytes: u64,
     /// Height of the tree (1 = a single leaf).
     pub height: u32,
 }
@@ -32,6 +36,17 @@ impl TreeStats {
             return 0.0;
         }
         self.used_bytes as f64 / self.total_bytes as f64
+    }
+
+    /// Average leaf fill factor in `[0, 1]` — the number that separates a
+    /// packed segment (~1.0) from an incrementally grown delta (~0.5-0.7
+    /// after splits).
+    #[must_use]
+    pub fn leaf_fill(&self) -> f64 {
+        if self.leaf_total_bytes == 0 {
+            return 0.0;
+        }
+        self.leaf_used_bytes as f64 / self.leaf_total_bytes as f64
     }
 }
 
@@ -54,6 +69,8 @@ impl BTree {
                 NodeKind::Leaf => {
                     stats.leaf_pages += 1;
                     stats.entries += u64::from(p.slot_count());
+                    stats.leaf_used_bytes += used as u64;
+                    stats.leaf_total_bytes += page_size;
                     depth_of_leaf = depth_of_leaf.max(depth);
                 }
                 NodeKind::Internal => {

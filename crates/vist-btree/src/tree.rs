@@ -105,6 +105,13 @@ impl BTree {
         self.max_cell - 4
     }
 
+    /// [`BTree::max_record`] for a tree that would live in `pool`, without
+    /// creating one — bulk loaders size their records with this.
+    #[must_use]
+    pub fn max_record_for(pool: &BufferPool) -> usize {
+        Self::max_cell_for(pool) - 4
+    }
+
     /// Walk the whole tree checking structural invariants (key order, node
     /// bounds, uniform depth, leaf chain). Used by `vist check` after a
     /// crash recovery; see [`crate::verify::check`].
@@ -452,6 +459,70 @@ impl BTree {
             root = new_root;
         }
         Ok(old)
+    }
+
+    /// Free **every** page of this tree back to the pool, consuming it.
+    ///
+    /// Used when a bulk-loaded tree replaces an existing one (the old
+    /// tree's pages must return to the free list, not leak) and when the
+    /// tiered index truncates its delta after folding it into a segment.
+    ///
+    /// Like [`BTree::delete`], freeing pages is **not** safe against
+    /// concurrent readers of the same tree; callers must exclude readers
+    /// for the duration.
+    pub fn destroy(self) -> Result<()> {
+        let _w = self.writer.lock();
+        let mut stack = vec![self.root.load(Ordering::Acquire)];
+        while let Some(pid) = stack.pop() {
+            {
+                let page = self.pool.fetch(pid)?;
+                let buf = page.data();
+                if kind(buf) == NodeKind::Internal {
+                    stack.push(link1(buf));
+                    let p = SlottedPage::new(buf, NODE_HDR);
+                    for i in 0..p.slot_count() {
+                        let (_, child) = decode_internal_cell(p.cell(i)?);
+                        stack.push(child);
+                    }
+                }
+            }
+            self.pool.free(pid)?;
+        }
+        Ok(())
+    }
+
+    /// Drop every entry, freeing all pages except a fresh empty root leaf —
+    /// [`BTree::destroy`] for a tree that stays open. The root page id
+    /// changes; persist it again afterwards.
+    ///
+    /// Like [`BTree::delete`], freeing pages is **not** safe against
+    /// concurrent readers of the same tree; callers must exclude readers
+    /// for the duration.
+    pub fn clear(&self) -> Result<()> {
+        let _w = self.writer.lock();
+        let fresh = self.pool.allocate()?;
+        {
+            let mut page = self.pool.fetch_mut(fresh)?;
+            init_leaf(page.data_mut());
+        }
+        let old = self.root.swap(fresh, Ordering::AcqRel);
+        let mut stack = vec![old];
+        while let Some(pid) = stack.pop() {
+            {
+                let page = self.pool.fetch(pid)?;
+                let buf = page.data();
+                if kind(buf) == NodeKind::Internal {
+                    stack.push(link1(buf));
+                    let p = SlottedPage::new(buf, NODE_HDR);
+                    for i in 0..p.slot_count() {
+                        let (_, child) = decode_internal_cell(p.cell(i)?);
+                        stack.push(child);
+                    }
+                }
+            }
+            self.pool.free(pid)?;
+        }
+        Ok(())
     }
 
     /// Returns `(removed value, node became empty)`.

@@ -19,6 +19,11 @@ pub enum Error {
     DocumentsNotStored,
     /// The document id is not present in the index.
     NoSuchDocument(u64),
+    /// The requested operation (bulk load, compaction) needs tiered
+    /// storage, which only file-backed indexes opened through
+    /// `VistIndex::create_at` / `open_at` (or the `create_file` /
+    /// `open_file` shorthands) have.
+    NotTiered,
 }
 
 impl fmt::Display for Error {
@@ -34,6 +39,9 @@ impl fmt::Display for Error {
                 )
             }
             Error::NoSuchDocument(id) => write!(f, "no document with id {id}"),
+            Error::NotTiered => {
+                write!(f, "operation requires a tiered (file-backed) index")
+            }
         }
     }
 }
@@ -71,5 +79,6 @@ mod tests {
             .contains("store_documents"));
         assert!(Error::NoSuchDocument(9).to_string().contains('9'));
         assert!(Error::Corrupt("bad".into()).to_string().contains("bad"));
+        assert!(Error::NotTiered.to_string().contains("tiered"));
     }
 }

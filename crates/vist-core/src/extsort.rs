@@ -1,0 +1,286 @@
+//! External sort for bulk ingest: buffer `(key, value)` records up to a
+//! memory budget, spill sorted runs to disk, and k-way merge them back in
+//! key order.
+//!
+//! The segment builder sorts three record streams this way (S-Ancestor
+//! entries, DocId entries, stored-document chunks) so each B+Tree of a
+//! packed segment can be bulk-loaded from one strictly ascending pass —
+//! the classic build-a-read-only-index pipeline. Spill files live in a
+//! scratch directory owned by the sorter and are deleted when it drops;
+//! they are pure scratch (never read after a crash), so they use plain
+//! `std::fs` rather than the fault-injectable `Vfs`.
+//!
+//! Record format in a run file: `[klen u32 LE][vlen u32 LE][key][value]`,
+//! records in ascending key order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use crate::error::Result;
+
+/// Default in-memory buffer budget before a run spills, in bytes.
+pub const DEFAULT_SORT_BUDGET: usize = 32 << 20;
+
+/// An external merge sorter over `(key, value)` byte-string records.
+/// Duplicate keys are kept (callers needing unique keys must make them
+/// unique, as the segment key codecs do).
+pub struct ExtSorter {
+    dir: PathBuf,
+    tag: String,
+    budget: usize,
+    buf: Vec<(Vec<u8>, Vec<u8>)>,
+    buf_bytes: usize,
+    runs: Vec<PathBuf>,
+}
+
+impl ExtSorter {
+    /// Create a sorter spilling into `dir` (created if absent). `tag`
+    /// names this sorter's run files so several sorters can share `dir`.
+    pub fn new(dir: PathBuf, tag: &str, budget: usize) -> Result<Self> {
+        std::fs::create_dir_all(&dir).map_err(vist_storage::Error::Io)?;
+        Ok(ExtSorter {
+            dir,
+            tag: tag.to_owned(),
+            budget: budget.max(1 << 16),
+            buf: Vec::new(),
+            buf_bytes: 0,
+            runs: Vec::new(),
+        })
+    }
+
+    /// Add one record.
+    pub fn push(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
+        self.buf_bytes += key.len() + value.len() + 48;
+        self.buf.push((key, value));
+        if self.buf_bytes >= self.budget {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Number of run files spilled so far (tests).
+    #[must_use]
+    pub fn spilled_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    fn spill(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.buf.sort();
+        let path = self
+            .dir
+            .join(format!("{}-{:04}.run", self.tag, self.runs.len()));
+        let mut w = BufWriter::new(File::create(&path).map_err(vist_storage::Error::Io)?);
+        for (k, v) in self.buf.drain(..) {
+            write_record(&mut w, &k, &v)?;
+        }
+        w.flush().map_err(vist_storage::Error::Io)?;
+        self.runs.push(path);
+        self.buf_bytes = 0;
+        Ok(())
+    }
+
+    /// Finish loading and return the merged, fully sorted stream.
+    pub fn finish(mut self) -> Result<SortedStream> {
+        if self.runs.is_empty() {
+            // Everything fit in memory: no merge, just sort.
+            self.buf.sort();
+            let mem: Vec<(Vec<u8>, Vec<u8>)> = std::mem::take(&mut self.buf);
+            return Ok(SortedStream {
+                mem: mem.into_iter(),
+                heap: BinaryHeap::new(),
+                _runs: Vec::new(),
+            });
+        }
+        self.spill()?;
+        let mut heap = BinaryHeap::with_capacity(self.runs.len());
+        for (i, path) in self.runs.iter().enumerate() {
+            let mut reader = BufReader::new(File::open(path).map_err(vist_storage::Error::Io)?);
+            if let Some((k, v)) = read_record(&mut reader)? {
+                heap.push(HeapEntry {
+                    key: k,
+                    value: v,
+                    run: i,
+                    reader,
+                });
+            }
+        }
+        Ok(SortedStream {
+            mem: Vec::new().into_iter(),
+            heap,
+            _runs: std::mem::take(&mut self.runs),
+        })
+    }
+}
+
+impl Drop for ExtSorter {
+    fn drop(&mut self) {
+        for path in &self.runs {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn write_record(w: &mut impl Write, k: &[u8], v: &[u8]) -> Result<()> {
+    let hdr = |n: usize| (n as u32).to_le_bytes();
+    w.write_all(&hdr(k.len()))
+        .and_then(|()| w.write_all(&hdr(v.len())))
+        .and_then(|()| w.write_all(k))
+        .and_then(|()| w.write_all(v))
+        .map_err(vist_storage::Error::Io)?;
+    Ok(())
+}
+
+fn read_record(r: &mut impl Read) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+    let mut hdr = [0u8; 8];
+    match r.read_exact(&mut hdr) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(vist_storage::Error::Io(e).into()),
+    }
+    let klen = u32::from_le_bytes(hdr[0..4].try_into().expect("klen")) as usize;
+    let vlen = u32::from_le_bytes(hdr[4..8].try_into().expect("vlen")) as usize;
+    let mut k = vec![0u8; klen];
+    let mut v = vec![0u8; vlen];
+    r.read_exact(&mut k).map_err(vist_storage::Error::Io)?;
+    r.read_exact(&mut v).map_err(vist_storage::Error::Io)?;
+    Ok(Some((k, v)))
+}
+
+/// One run's cursor inside the merge heap. Ordered as a **min**-heap on
+/// `(key, run)` (BinaryHeap is a max-heap, so comparisons are reversed);
+/// the run index tiebreak keeps equal keys in insertion (spill) order.
+struct HeapEntry {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    run: usize,
+    reader: BufReader<File>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.run == other.run
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&other.key, other.run).cmp(&(&self.key, self.run))
+    }
+}
+
+/// The merged output of an [`ExtSorter`], yielding records in ascending
+/// key order. IO errors surface through the `Result` items.
+pub struct SortedStream {
+    mem: std::vec::IntoIter<(Vec<u8>, Vec<u8>)>,
+    heap: BinaryHeap<HeapEntry>,
+    _runs: Vec<PathBuf>,
+}
+
+impl Iterator for SortedStream {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(kv) = self.mem.next() {
+            return Some(Ok(kv));
+        }
+        let mut top = self.heap.pop()?;
+        let out = (std::mem::take(&mut top.key), std::mem::take(&mut top.value));
+        match read_record(&mut top.reader) {
+            Ok(Some((k, v))) => {
+                top.key = k;
+                top.value = v;
+                self.heap.push(top);
+            }
+            Ok(None) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        Some(Ok(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vist-extsort-{}-{}", name, std::process::id()))
+    }
+
+    fn collect(s: SortedStream) -> Vec<(Vec<u8>, Vec<u8>)> {
+        s.collect::<Result<Vec<_>>>().unwrap()
+    }
+
+    #[test]
+    fn in_memory_sort() {
+        let mut sorter = ExtSorter::new(tmp("mem"), "t", 1 << 20).unwrap();
+        for i in [5u32, 1, 9, 3, 7] {
+            sorter
+                .push(i.to_be_bytes().to_vec(), format!("v{i}").into_bytes())
+                .unwrap();
+        }
+        assert_eq!(sorter.spilled_runs(), 0);
+        let out = collect(sorter.finish().unwrap());
+        let keys: Vec<u32> = out
+            .iter()
+            .map(|(k, _)| u32::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        assert_eq!(out[0].1, b"v1");
+    }
+
+    #[test]
+    fn spills_and_merges_many_runs() {
+        // A tiny budget forces many spills (the floor is 64 KiB, so use
+        // large values to cross it quickly).
+        let mut sorter = ExtSorter::new(tmp("spill"), "t", 1).unwrap();
+        let n = 500u32;
+        for i in (0..n).rev() {
+            sorter
+                .push(i.to_be_bytes().to_vec(), vec![i as u8; 512])
+                .unwrap();
+        }
+        assert!(sorter.spilled_runs() > 2, "expected multiple runs");
+        let out = collect(sorter.finish().unwrap());
+        assert_eq!(out.len(), n as usize);
+        for (i, (k, v)) in out.iter().enumerate() {
+            assert_eq!(k.as_slice(), (i as u32).to_be_bytes());
+            assert_eq!(v.len(), 512);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_survive_merge() {
+        let mut sorter = ExtSorter::new(tmp("dup"), "t", 1).unwrap();
+        for round in 0..3 {
+            for i in 0..200u32 {
+                sorter
+                    .push(i.to_be_bytes().to_vec(), vec![round; 700])
+                    .unwrap();
+            }
+        }
+        let out = collect(sorter.finish().unwrap());
+        assert_eq!(out.len(), 600);
+        // Every key appears exactly three times, grouped.
+        for chunk in out.chunks(3) {
+            assert_eq!(chunk[0].0, chunk[1].0);
+            assert_eq!(chunk[1].0, chunk[2].0);
+        }
+    }
+
+    #[test]
+    fn empty_sorter_yields_nothing() {
+        let sorter = ExtSorter::new(tmp("empty"), "t", 1 << 20).unwrap();
+        assert!(collect(sorter.finish().unwrap()).is_empty());
+    }
+}

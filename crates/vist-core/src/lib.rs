@@ -33,10 +33,12 @@
 
 mod alloc;
 mod error;
+mod extsort;
 mod naive;
 mod pool;
 mod rist;
 mod search;
+mod segment;
 mod stats;
 mod store;
 mod trie;
@@ -44,10 +46,12 @@ mod vist;
 
 pub use alloc::{Allocation, AllocatorKind, ScopeAllocator, SimMutation, StatsModel};
 pub use error::{Error, Result};
+pub use extsort::{ExtSorter, SortedStream, DEFAULT_SORT_BUDGET};
 pub use naive::NaiveIndex;
 pub use rist::RistIndex;
 pub use search::{
-    search_sequences, search_sequences_with, QueryStats, SearchMode, SearchOutcome, StageTimings,
+    search_sequences, search_sequences_with, QueryStats, SearchMode, SearchOutcome, SearchSource,
+    StageTimings,
 };
 pub use stats::{IndexStats, MatchCounters, MatchCountersSnapshot};
 pub use store::{DocId, NodeState, Store, StoreBreakdown};
@@ -66,6 +70,11 @@ pub fn register_metrics() {
     let _ = vist_obs::counter!("vist_core_steals_total");
     let _ = vist_obs::counter!("vist_core_dedup_skips_total");
     let _ = vist_obs::gauge!("vist_core_documents");
+    let _ = vist_obs::gauge!("vist_core_segments");
+    let _ = vist_obs::gauge!("vist_core_delta_leaf_fill_bp");
+    let _ = vist_obs::gauge!("vist_core_segment_leaf_fill_bp");
+    let _ = vist_obs::counter!("vist_core_bulk_docs_total");
+    let _ = vist_obs::counter!("vist_core_compactions_total");
     let _ = vist_obs::histogram!("vist_core_query_nanos");
     let _ = vist_obs::histogram!("vist_core_insert_nanos");
     let _ = vist_obs::histogram!("vist_core_stage_translate_nanos");

@@ -121,6 +121,10 @@ impl RistIndex {
         let meta = self.store.meta();
         let mc = self.match_counters.snapshot();
         IndexStats {
+            segments: 0,
+            segment_docs: 0,
+            segment_bytes: 0,
+            tombstones: 0,
             documents: meta.doc_count,
             nodes: meta.node_count,
             dkeys: meta.next_dkey,

@@ -44,7 +44,63 @@ use vist_seq::{dkey, PathSym, Prefix, Sym, Symbol};
 
 use crate::error::Result;
 use crate::pool;
-use crate::store::{DocId, Store};
+use crate::store::{DocId, NodeState, Store};
+
+/// The B+Tree probe surface Algorithm 2 needs, abstracted over where the
+/// trees live: the mutable delta ([`Store`]) or an immutable packed
+/// segment. Every source is a self-contained label space (each segment is
+/// bulk-labeled independently), so the tiered index runs the match once
+/// per source and unions document ids — scopes from different sources are
+/// never compared.
+///
+/// Callbacks are `&mut dyn FnMut` so the trait stays object-safe; the
+/// same page-latch rule as the [`Store`] `*_with` cursors applies (the
+/// callback must not touch the buffer pool).
+pub trait SearchSource: Sync {
+    /// Exact D-Ancestor lookup: the id of `dkey`, if present.
+    fn dkey_get(&self, dkey: &[u8]) -> Result<Option<u64>>;
+
+    /// Scan D-Ancestor keys in `[lo, hi)`, invoking `f(dkey, id)` in key
+    /// order.
+    fn dkey_scan_range(&self, lo: &[u8], hi: &[u8], f: &mut dyn FnMut(&[u8], u64)) -> Result<()>;
+
+    /// S-Ancestor nodes of `dkey_id` labeled strictly inside `(lo, hi)`,
+    /// in label order.
+    fn nodes_in_scope(
+        &self,
+        dkey_id: u64,
+        lo: u128,
+        hi: u128,
+        f: &mut dyn FnMut(NodeState),
+    ) -> Result<()>;
+
+    /// Document ids attached to labels in `[lo, hi)`, in label order.
+    fn docids_in_range(&self, lo: u128, hi: u128, f: &mut dyn FnMut(DocId)) -> Result<()>;
+}
+
+impl SearchSource for Store {
+    fn dkey_get(&self, dkey: &[u8]) -> Result<Option<u64>> {
+        Store::dkey_get(self, dkey)
+    }
+
+    fn dkey_scan_range(&self, lo: &[u8], hi: &[u8], f: &mut dyn FnMut(&[u8], u64)) -> Result<()> {
+        self.dkey_scan_with(lo, hi, f)
+    }
+
+    fn nodes_in_scope(
+        &self,
+        dkey_id: u64,
+        lo: u128,
+        hi: u128,
+        f: &mut dyn FnMut(NodeState),
+    ) -> Result<()> {
+        self.nodes_in_scope_with(dkey_id, lo, hi, f)
+    }
+
+    fn docids_in_range(&self, lo: u128, hi: u128, f: &mut dyn FnMut(DocId)) -> Result<()> {
+        self.docids_in_range_with(lo, hi, f)
+    }
+}
 
 /// Instrumentation counters for one search.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -176,12 +232,12 @@ pub struct SearchOutcome {
 /// the duration of the call (queries hold the maintenance latch shared);
 /// the engine itself acquires no index locks.
 pub fn search_sequences(
-    store: &Store,
+    source: &dyn SearchSource,
     seqs: &[QuerySequence],
     workers: usize,
     mode: SearchMode,
 ) -> Result<SearchOutcome> {
-    search_sequences_with(store, seqs, workers, mode, None)
+    search_sequences_with(source, seqs, workers, mode, None)
 }
 
 /// [`search_sequences`] with an explicit frame-scheduling seed.
@@ -193,7 +249,7 @@ pub fn search_sequences(
 /// the simulation uses differing seeds to hunt for order-dependent bugs in
 /// work distribution, dedup, and scope merging.
 pub fn search_sequences_with(
-    store: &Store,
+    source: &dyn SearchSource,
     seqs: &[QuerySequence],
     workers: usize,
     mode: SearchMode,
@@ -210,7 +266,7 @@ pub fn search_sequences_with(
             if qs.elems.is_empty() {
                 scopes.push((0, vist_seq::MAX_SCOPE));
             }
-            ctxs.push(SeqCtx::build(store, qs, &mut stats)?);
+            ctxs.push(SeqCtx::build(source, qs, &mut stats)?);
         }
         timings.plan_nanos = vist_obs::elapsed_nanos(t).unwrap_or(0);
     }
@@ -250,7 +306,7 @@ pub fn search_sequences_with(
             };
             let Some(frame) = frame else { break };
             out.stats.work_items += 1;
-            expand(store, &ctxs, &frame, &mut stack, &mut out)?;
+            expand(source, &ctxs, &frame, &mut stack, &mut out)?;
         }
         stats.merge(&out.stats);
         scopes.append(&mut out.scopes);
@@ -276,7 +332,7 @@ pub fn search_sequences_with(
                 local.push(frame);
                 while let Some(frame) = local.pop() {
                     out.stats.work_items += 1;
-                    if let Err(e) = expand(store, &ctxs, &frame, &mut local, &mut out) {
+                    if let Err(e) = expand(source, &ctxs, &frame, &mut local, &mut out) {
                         let mut slot = first_err.lock().unwrap_or_else(|e| e.into_inner());
                         slot.get_or_insert(e);
                         drop(slot);
@@ -343,7 +399,7 @@ pub fn search_sequences_with(
             for &(lo, hi) in &merged {
                 // "Perform a range query [n, n+size) on the DocId B+Tree."
                 stats.docid_scans += 1;
-                store.docids_in_range_with(lo, hi, |doc| {
+                source.docids_in_range(lo, hi, &mut |doc| {
                     docs.insert(doc);
                 })?;
             }
@@ -435,7 +491,11 @@ struct SeqCtx<'a> {
 }
 
 impl<'a> SeqCtx<'a> {
-    fn build(store: &Store, seq: &'a QuerySequence, stats: &mut QueryStats) -> Result<Self> {
+    fn build(
+        source: &dyn SearchSource,
+        seq: &'a QuerySequence,
+        stats: &mut QueryStats,
+    ) -> Result<Self> {
         let n = seq.elems.len();
         let mut concrete: Vec<Option<ConcreteLookup>> = Vec::with_capacity(n);
         for qe in &seq.elems {
@@ -445,7 +505,7 @@ impl<'a> SeqCtx<'a> {
                 stats.dancestor_gets += 1;
                 let syms = qe.prefix.as_concrete().expect("concrete prefix");
                 let key = dkey::encode(qe.sym, &syms);
-                concrete.push(Some(store.dkey_get(&key)?.map(|id| (syms, id))));
+                concrete.push(Some(source.dkey_get(&key)?.map(|id| (syms, id))));
             }
         }
         let mut bind = vec![false; n];
@@ -530,7 +590,7 @@ fn bind_sig(positions: &[u32], binds: &Option<Arc<BindNode>>) -> Vec<u64> {
 /// push one child frame per S-Ancestor hit onto `push`. Completed matches
 /// land in `out.scopes`.
 fn expand(
-    store: &Store,
+    source: &dyn SearchSource,
     ctxs: &[SeqCtx<'_>],
     frame: &Frame,
     push: &mut Vec<Frame>,
@@ -545,7 +605,7 @@ fn expand(
     match &sc.concrete[qi] {
         // Concrete prefix, present in the data: one candidate, pre-resolved.
         Some(Some((prefix_syms, dkid))) => {
-            descend(store, sc, frame, prefix_syms, *dkid, push, out)?;
+            descend(source, sc, frame, prefix_syms, *dkid, push, out)?;
         }
         // Concrete prefix, absent: dead branch.
         Some(None) => {}
@@ -559,9 +619,9 @@ fn expand(
                 dkey::DKeyQuery::Exact(key) => {
                     let _span = vist_obs::Span::enter("dancestor_get");
                     out.stats.dancestor_gets += 1;
-                    if let Some(id) = store.dkey_get(&key)? {
+                    if let Some(id) = source.dkey_get(&key)? {
                         let (_, prefix_syms) = dkey::decode(&key);
-                        descend(store, sc, frame, &prefix_syms, id, push, out)?;
+                        descend(source, sc, frame, &prefix_syms, id, push, out)?;
                     }
                 }
                 dkey::DKeyQuery::Range { lo, hi, pattern } => {
@@ -569,7 +629,7 @@ fn expand(
                     let mut candidates: Vec<(Vec<Symbol>, u64)> = Vec::new();
                     {
                         let _span = vist_obs::Span::enter("dancestor_scan");
-                        store.dkey_scan_with(&lo, &hi, |key, id| {
+                        source.dkey_scan_range(&lo, &hi, &mut |key, id| {
                             let (_, prefix_syms) = dkey::decode(key);
                             if pattern.matches(&prefix_syms) {
                                 candidates.push((prefix_syms, id));
@@ -577,7 +637,7 @@ fn expand(
                         })?;
                     }
                     for (prefix_syms, id) in &candidates {
-                        descend(store, sc, frame, prefix_syms, *id, push, out)?;
+                        descend(source, sc, frame, prefix_syms, *id, push, out)?;
                     }
                 }
             }
@@ -589,7 +649,7 @@ fn expand(
 /// Range-query the S-Ancestor entries of one matched D-Ancestor key inside
 /// the frame's scope, binding and pushing a child frame per hit.
 fn descend(
-    store: &Store,
+    source: &dyn SearchSource,
     sc: &SeqCtx<'_>,
     frame: &Frame,
     prefix_syms: &[Symbol],
@@ -635,7 +695,7 @@ fn descend(
     let visited = &mut out.visited;
     let seq = frame.seq;
     let _span = vist_obs::Span::enter("sancestor_scan");
-    store.nodes_in_scope_with(dkid, frame.lo, frame.hi, |node| {
+    source.nodes_in_scope(dkid, frame.lo, frame.hi, &mut |node| {
         stats.nodes_visited += 1;
         if let Some(s) = &sig {
             if !visited.insert((seq, qi + 1, dkid, node.n, s.clone())) {

@@ -1,0 +1,544 @@
+//! The read-only half of the tiered index: packed segments.
+//!
+//! A segment is one ingest batch (or one compaction's worth of the whole
+//! index) converted to structure-encoded sequences, labeled **statically**
+//! by preorder rank and subtree size — the RIST labeling, which is exact
+//! and never underflows — and bulk-loaded at ~100% leaf fill into four
+//! B+Trees packed in a single [`vist_btree::SegmentWriter`] file:
+//!
+//! | slot | tree | key | value |
+//! |---|---|---|---|
+//! | 0 | D-Ancestor | dkey bytes | dkey-id (u64 LE) |
+//! | 1 | S-Ancestor | dkey-id ‖ `n` | `(size, next, k)` |
+//! | 2 | DocId | `n` ‖ doc-id | — |
+//! | 3 | documents | doc-id ‖ chunk | XML bytes |
+//!
+//! The first three mirror the delta's [`Store`] trees exactly (same key
+//! codecs), so one [`SearchSource`] impl serves Algorithm 2 unchanged; the
+//! `edges` tree is *not* packed — it only supports inserts, and segments
+//! never take any. Each segment is its own label space: queries run the
+//! match per source and union document ids.
+//!
+//! [`SegmentBuilder`] is the external-sort ingest pipeline: documents
+//! stream in once (parse → sequence → shared in-memory trie, XML chunks
+//! spilling through [`ExtSorter`]), the trie is labeled in one preorder
+//! pass, and the sorted record streams bulk-load the packed trees.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use vist_btree::codec::KeyWriter;
+use vist_btree::{BTree, SegmentReader, SegmentWriter};
+use vist_seq::{dkey, Sequence};
+use vist_storage::{BufferPool, FilePager, Manifest, Vfs};
+
+use crate::error::{Error, Result};
+use crate::extsort::{ExtSorter, SortedStream};
+use crate::search::SearchSource;
+use crate::store::{DocId, NodeState, Store, StoreBreakdown};
+
+/// Fixed-width prefix of the segment meta blob: doc, node and dkey counts
+/// plus the highest document id packed (the reopen-reconciliation
+/// watermark — see `VistIndex::open_at`).
+const META_LEN: usize = 32;
+
+fn doc_key(doc: DocId, chunk: u32) -> Vec<u8> {
+    let mut k = KeyWriter::with_capacity(12);
+    k.u64(doc).u32(chunk);
+    k.finish()
+}
+
+/// An open packed segment: immutable, checksummed (by the pager's page
+/// trailers), queried through the same Algorithm 2 engine as the delta.
+pub(crate) struct Segment {
+    pub(crate) id: u64,
+    pub(crate) doc_count: u64,
+    pub(crate) node_count: u64,
+    pub(crate) dkey_count: u64,
+    pub(crate) max_doc: u64,
+    dancestor: BTree,
+    sancestor: BTree,
+    docid: BTree,
+    docs: BTree,
+    pool: Arc<BufferPool>,
+}
+
+impl Segment {
+    /// Open segment `id` of the index at `base`.
+    pub(crate) fn open(vfs: &dyn Vfs, base: &Path, id: u64, cache_pages: usize) -> Result<Segment> {
+        let path = Manifest::segment_path(base, id);
+        let pager = FilePager::open_with_vfs(vfs, &path)?;
+        let pool = Arc::new(BufferPool::with_capacity(pager, cache_pages));
+        // The header is the first page after the pager's own (page 1).
+        let reader = SegmentReader::open(Arc::clone(&pool), 1)?;
+        if reader.tree_count() != 4 {
+            return Err(Error::Corrupt(format!(
+                "segment {id} packs {} trees, expected 4",
+                reader.tree_count()
+            )));
+        }
+        let meta = reader.meta();
+        if meta.len() < META_LEN {
+            return Err(Error::Corrupt(format!("segment {id} meta too short")));
+        }
+        let rd64 = |at: usize| u64::from_le_bytes(meta[at..at + 8].try_into().expect("meta"));
+        Ok(Segment {
+            id,
+            doc_count: rd64(0),
+            node_count: rd64(8),
+            dkey_count: rd64(16),
+            max_doc: rd64(24),
+            dancestor: reader.tree(0)?,
+            sancestor: reader.tree(1)?,
+            docid: reader.tree(2)?,
+            docs: reader.tree(3)?,
+            pool,
+        })
+    }
+
+    /// Whether `doc` is stored in this segment.
+    pub(crate) fn contains_doc(&self, doc: DocId) -> Result<bool> {
+        Ok(self.docs.get(&doc_key(doc, 0))?.is_some())
+    }
+
+    /// Fetch a stored document's XML text.
+    pub(crate) fn doc_get(&self, doc: DocId) -> Result<Option<Vec<u8>>> {
+        let mut prefix = KeyWriter::with_capacity(8);
+        prefix.u64(doc);
+        let mut out = Vec::new();
+        let mut found = false;
+        for item in self.docs.scan_prefix(prefix.as_slice())? {
+            let (_, v) = item?;
+            out.extend_from_slice(&v);
+            found = true;
+        }
+        Ok(found.then_some(out))
+    }
+
+    /// All stored document ids, ascending.
+    pub(crate) fn doc_ids(&self) -> Result<Vec<DocId>> {
+        let mut out = Vec::new();
+        let mut last = None;
+        for item in self.docs.scan(..)? {
+            let (k, _) = item?;
+            let id = u64::from_be_bytes(k[0..8].try_into().expect("doc key"));
+            if last != Some(id) {
+                out.push(id);
+                last = Some(id);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total bytes of the segment file's pages.
+    #[must_use]
+    pub(crate) fn store_bytes(&self) -> u64 {
+        self.pool.store_bytes()
+    }
+
+    /// Per-tree space accounting (`documents` reported in the `aux` slot).
+    pub(crate) fn breakdown(&self) -> Result<StoreBreakdown> {
+        Ok(StoreBreakdown {
+            dancestor: self.dancestor.tree_stats()?,
+            sancestor: self.sancestor.tree_stats()?,
+            docid: self.docid.tree_stats()?,
+            edges: vist_btree::TreeStats::default(),
+            aux: self.docs.tree_stats()?,
+        })
+    }
+}
+
+impl SearchSource for Segment {
+    fn dkey_get(&self, dkey: &[u8]) -> Result<Option<u64>> {
+        Ok(self
+            .dancestor
+            .get(dkey)?
+            .map(|v| u64::from_le_bytes(v.try_into().expect("dkey id width"))))
+    }
+
+    fn dkey_scan_range(&self, lo: &[u8], hi: &[u8], f: &mut dyn FnMut(&[u8], u64)) -> Result<()> {
+        self.dancestor.for_each_in(lo..hi, |k, v| {
+            f(k, u64::from_le_bytes(v.try_into().expect("dkey id width")));
+            std::ops::ControlFlow::Continue(())
+        })?;
+        Ok(())
+    }
+
+    fn nodes_in_scope(
+        &self,
+        dkey_id: u64,
+        lo: u128,
+        hi: u128,
+        f: &mut dyn FnMut(NodeState),
+    ) -> Result<()> {
+        let lo_key = Store::sanc_key(dkey_id, lo);
+        let hi_key = Store::sanc_key(dkey_id, hi);
+        self.sancestor.for_each_in(
+            (
+                std::ops::Bound::Excluded(lo_key.as_slice()),
+                std::ops::Bound::Excluded(hi_key.as_slice()),
+            ),
+            |k, v| {
+                let n = u128::from_be_bytes(k[8..24].try_into().expect("sanc key n"));
+                f(Store::decode_node(n, v));
+                std::ops::ControlFlow::Continue(())
+            },
+        )?;
+        Ok(())
+    }
+
+    fn docids_in_range(&self, lo: u128, hi: u128, f: &mut dyn FnMut(DocId)) -> Result<()> {
+        let lo_key = Store::docid_key(lo, 0);
+        let hi_key = Store::docid_key(hi, 0);
+        self.docid
+            .for_each_in(lo_key.as_slice()..hi_key.as_slice(), |k, _| {
+                f(u64::from_be_bytes(k[16..24].try_into().expect("docid key")));
+                std::ops::ControlFlow::Continue(())
+            })?;
+        Ok(())
+    }
+}
+
+/// One node of the in-memory ingest trie (the structure-encoded sequences
+/// of a batch, merged). Children are keyed by dkey-id so labeling walks
+/// them in a deterministic order.
+struct TrieNode {
+    dkid: u64,
+    children: BTreeMap<u64, usize>,
+    /// Preorder label, assigned by [`SegmentBuilder::label`].
+    n: u128,
+    /// Subtree node count (= scope size), assigned by `label`.
+    size: u128,
+}
+
+/// Streaming segment build: feed documents one at a time, then
+/// [`SegmentBuilder::finish`] labels the trie and bulk-loads the packed
+/// trees through external sort.
+pub(crate) struct SegmentBuilder {
+    scratch: PathBuf,
+    /// dkey bytes → dense id, in first-seen order (ids need no key order;
+    /// the D-Ancestor tree itself is loaded from this sorted map).
+    dkeys: BTreeMap<Vec<u8>, u64>,
+    /// trie[0] is the virtual root.
+    trie: Vec<TrieNode>,
+    /// `(doc, trie node index of the sequence's last element)`.
+    doc_ends: Vec<(DocId, usize)>,
+    /// XML chunks, spilled as they arrive.
+    docs: Option<ExtSorter>,
+    chunk_size: usize,
+    doc_count: u64,
+    max_doc: u64,
+}
+
+impl SegmentBuilder {
+    /// `scratch` is the spill directory (removed by `finish`);
+    /// `page_size` sizes document chunks; `store_documents` mirrors the
+    /// index option; `budget` caps each sorter's in-memory buffer.
+    pub(crate) fn new(
+        scratch: PathBuf,
+        page_size: usize,
+        store_documents: bool,
+        budget: usize,
+    ) -> Result<SegmentBuilder> {
+        let docs = if store_documents {
+            Some(ExtSorter::new(scratch.clone(), "docs", budget)?)
+        } else {
+            None
+        };
+        // Leave the same slack Store::doc_put leaves for the chunk key.
+        let chunk_size = page_size / 4;
+        Ok(SegmentBuilder {
+            scratch,
+            dkeys: BTreeMap::new(),
+            trie: vec![TrieNode {
+                dkid: u64::MAX,
+                children: BTreeMap::new(),
+                n: 0,
+                size: 0,
+            }],
+            doc_ends: Vec::new(),
+            docs,
+            chunk_size,
+            doc_count: 0,
+            max_doc: 0,
+        })
+    }
+
+    /// Add one document's structure-encoded sequence (and raw XML when
+    /// documents are stored). Doc ids must be unique; order is free.
+    pub(crate) fn add_doc(&mut self, doc: DocId, seq: &Sequence, xml: &str) -> Result<()> {
+        let mut cur = 0usize;
+        for elem in seq.iter() {
+            let prefix = elem
+                .prefix
+                .as_concrete()
+                .ok_or_else(|| Error::Corrupt("wildcard in data sequence".into()))?;
+            let key = dkey::encode(elem.sym, &prefix);
+            let next_id = self.dkeys.len() as u64;
+            let dkid = *self.dkeys.entry(key).or_insert(next_id);
+            cur = match self.trie[cur].children.get(&dkid) {
+                Some(&c) => c,
+                None => {
+                    let c = self.trie.len();
+                    self.trie.push(TrieNode {
+                        dkid,
+                        children: BTreeMap::new(),
+                        n: 0,
+                        size: 0,
+                    });
+                    self.trie[cur].children.insert(dkid, c);
+                    c
+                }
+            };
+        }
+        self.doc_ends.push((doc, cur));
+        if let Some(sorter) = &mut self.docs {
+            let bytes = xml.as_bytes();
+            if bytes.is_empty() {
+                sorter.push(doc_key(doc, 0), Vec::new())?;
+            }
+            for (i, chunk) in bytes.chunks(self.chunk_size.max(1)).enumerate() {
+                sorter.push(doc_key(doc, i as u32), chunk.to_vec())?;
+            }
+        }
+        self.doc_count += 1;
+        self.max_doc = self.max_doc.max(doc);
+        Ok(())
+    }
+
+    /// Label the trie in preorder: `n` is the preorder rank (root's
+    /// children start at 1), `size` the subtree node count, so every
+    /// descendant label falls strictly inside `(n, n + size)` — the exact
+    /// static labeling of RIST, which Algorithm 2's Excluded/Excluded
+    /// range probes expect.
+    fn label(&mut self) {
+        let mut counter: u128 = 1;
+        // Explicit stack; `Leave` back-patches size once the subtree is done.
+        enum Walk {
+            Enter(usize),
+            Leave(usize),
+        }
+        let mut stack: Vec<Walk> = self.trie[0]
+            .children
+            .values()
+            .rev()
+            .map(|&c| Walk::Enter(c))
+            .collect();
+        while let Some(step) = stack.pop() {
+            match step {
+                Walk::Enter(i) => {
+                    self.trie[i].n = counter;
+                    counter += 1;
+                    stack.push(Walk::Leave(i));
+                    for &c in self.trie[i].children.values().rev() {
+                        stack.push(Walk::Enter(c));
+                    }
+                }
+                Walk::Leave(i) => {
+                    self.trie[i].size = counter - self.trie[i].n;
+                }
+            }
+        }
+        self.trie[0].size = counter; // virtual root: covers every label
+    }
+
+    /// Label, sort, and write segment `id` of the index at `base`.
+    /// Returns the opened segment. Durability: the segment file is fully
+    /// checkpointed (WAL committed + pages synced) before this returns;
+    /// publishing it in the manifest is the caller's step.
+    pub(crate) fn finish(
+        mut self,
+        vfs: &dyn Vfs,
+        base: &Path,
+        id: u64,
+        page_size: usize,
+        cache_pages: usize,
+        budget: usize,
+    ) -> Result<Segment> {
+        self.label();
+
+        let mut sanc = ExtSorter::new(self.scratch.clone(), "sanc", budget)?;
+        for node in &self.trie[1..] {
+            let state = NodeState {
+                n: node.n,
+                size: node.size,
+                next: node.n + node.size,
+                k: node.children.len() as u64,
+            };
+            sanc.push(
+                Store::sanc_key(node.dkid, node.n),
+                Store::encode_node(&state).to_vec(),
+            )?;
+        }
+        let mut docid = ExtSorter::new(self.scratch.clone(), "docid", budget)?;
+        for &(doc, end) in &self.doc_ends {
+            let n = if end == 0 { 0 } else { self.trie[end].n };
+            docid.push(Store::docid_key(n, doc), Vec::new())?;
+        }
+
+        let path = Manifest::segment_path(base, id);
+        let pager = FilePager::create_with_vfs(vfs, &path, page_size)?;
+        let pool = Arc::new(BufferPool::with_capacity(pager, cache_pages));
+        let mut writer = SegmentWriter::create(Arc::clone(&pool))?;
+
+        let dkey_count = self.dkeys.len() as u64;
+        let dancestor_items: Vec<(Vec<u8>, Vec<u8>)> = std::mem::take(&mut self.dkeys)
+            .into_iter()
+            .map(|(k, id)| (k, id.to_le_bytes().to_vec()))
+            .collect();
+        writer.add_tree(dancestor_items)?;
+        add_sorted_tree(&mut writer, sanc.finish()?)?;
+        add_sorted_tree(&mut writer, docid.finish()?)?;
+        match self.docs.take() {
+            Some(sorter) => add_sorted_tree(&mut writer, sorter.finish()?)?,
+            None => {
+                writer.add_tree(Vec::new())?;
+            }
+        }
+
+        let mut meta = [0u8; META_LEN];
+        meta[0..8].copy_from_slice(&self.doc_count.to_le_bytes());
+        meta[8..16].copy_from_slice(&((self.trie.len() - 1) as u64).to_le_bytes());
+        meta[16..24].copy_from_slice(&dkey_count.to_le_bytes());
+        meta[24..32].copy_from_slice(&self.max_doc.to_le_bytes());
+        writer.finish(&meta)?;
+        pool.flush()?;
+        drop(pool);
+        let _ = std::fs::remove_dir_all(&self.scratch);
+        Segment::open(vfs, base, id, cache_pages)
+    }
+}
+
+/// Stream a [`SortedStream`] into [`SegmentWriter::add_tree`], routing IO
+/// errors around the infallible-iterator API.
+fn add_sorted_tree(writer: &mut SegmentWriter, stream: SortedStream) -> Result<()> {
+    let mut err: Option<Error> = None;
+    let iter = stream.map_while(|item| match item {
+        Ok(kv) => Some(kv),
+        Err(e) => {
+            err = Some(e);
+            None
+        }
+    });
+    // The writer consumes the iterator fully (or fails on its own).
+    let res = writer.add_tree(iter);
+    if let Some(e) = err {
+        return Err(e);
+    }
+    res?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vist_seq::{document_to_sequence, SiblingOrder, SymbolTable};
+    use vist_storage::testutil::TempDir;
+    use vist_storage::RealVfs;
+
+    fn build(docs: &[(DocId, &str)]) -> (TempDir, Segment, SymbolTable) {
+        let dir = TempDir::new("vist-core-segment");
+        let base = dir.file("store");
+        let mut table = SymbolTable::new();
+        let mut b = SegmentBuilder::new(dir.file("scratch"), 4096, true, 1 << 20).unwrap();
+        for &(id, xml) in docs {
+            let doc = vist_xml::parse(xml).unwrap();
+            let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+            b.add_doc(id, &seq, xml).unwrap();
+        }
+        let seg = b.finish(&RealVfs, &base, 1, 4096, 64, 1 << 20).unwrap();
+        (dir, seg, table)
+    }
+
+    #[test]
+    fn builds_and_reopens_with_counts() {
+        let (_dir, seg, _) = build(&[
+            (0, "<book><author>David</author></book>"),
+            (1, "<book><author>Mary</author></book>"),
+            (2, "<book><author>David</author></book>"),
+        ]);
+        assert_eq!(seg.doc_count, 3);
+        assert!(seg.node_count > 0);
+        assert!(seg.dkey_count > 0);
+        assert_eq!(seg.doc_ids().unwrap(), vec![0, 1, 2]);
+        assert!(seg.contains_doc(1).unwrap());
+        assert!(!seg.contains_doc(9).unwrap());
+        assert_eq!(
+            seg.doc_get(0).unwrap().unwrap(),
+            b"<book><author>David</author></book>"
+        );
+    }
+
+    #[test]
+    fn segment_matches_delta_semantics() {
+        // The same documents through the dynamic insert path and the bulk
+        // path must answer queries identically.
+        let xmls = [
+            "<book><author>David</author><year>1999</year></book>",
+            "<book><author>Mary</author><year>2000</year></book>",
+            "<p><s><l>boston</l></s><b><l>newyork</l></b></p>",
+        ];
+        let (_dir, seg, _) = build(
+            &xmls
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as u64, x))
+                .collect::<Vec<_>>(),
+        );
+        let idx = crate::VistIndex::in_memory(crate::IndexOptions::default()).unwrap();
+        for x in &xmls {
+            idx.insert_xml(x).unwrap();
+        }
+        let table = idx.table();
+        for expr in [
+            "/book/author[text='David']",
+            "/book[year='2000']",
+            "//l[text='boston']",
+            "/p/*[l='newyork']",
+            "/book",
+        ] {
+            let pattern = vist_query::parse_query(expr).unwrap().to_pattern();
+            let translation = vist_query::try_translate(
+                &pattern,
+                &table,
+                &vist_query::TranslateOptions::default(),
+            )
+            .unwrap();
+            let from_delta = crate::search_sequences(
+                idx.store(),
+                &translation.sequences,
+                1,
+                crate::SearchMode::Docs,
+            )
+            .unwrap();
+            let from_seg =
+                crate::search_sequences(&seg, &translation.sequences, 1, crate::SearchMode::Docs)
+                    .unwrap();
+            assert_eq!(from_delta.docs, from_seg.docs, "query {expr}");
+        }
+    }
+
+    #[test]
+    fn packed_trees_are_dense() {
+        let docs: Vec<(DocId, String)> = (0..300)
+            .map(|i| (i, format!("<r><a>x{i}</a><b><c>y{}</c></b></r>", i % 17)))
+            .collect();
+        let dir = TempDir::new("vist-core-segment-fill");
+        let base = dir.file("store");
+        let mut table = SymbolTable::new();
+        let mut b = SegmentBuilder::new(dir.file("scratch"), 4096, true, 1 << 20).unwrap();
+        for (id, xml) in &docs {
+            let doc = vist_xml::parse(xml).unwrap();
+            let seq = document_to_sequence(&doc, &mut table, &SiblingOrder::Lexicographic);
+            b.add_doc(*id, &seq, xml).unwrap();
+        }
+        let seg = b.finish(&RealVfs, &base, 3, 4096, 64, 1 << 20).unwrap();
+        let breakdown = seg.breakdown().unwrap();
+        assert!(
+            breakdown.sancestor.leaf_fill() > 0.8,
+            "bulk-loaded S-Ancestor leaves should be packed, got {}",
+            breakdown.sancestor.leaf_fill()
+        );
+    }
+}

@@ -9,7 +9,16 @@ use crate::search::QueryStats;
 /// A snapshot of an index's size and health counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexStats {
-    /// Live documents.
+    /// Immutable packed segments in the tier (0 for untiered indexes).
+    pub segments: u64,
+    /// Documents resident in segments (including tombstoned ones — they
+    /// still occupy segment space until compaction).
+    pub segment_docs: u64,
+    /// Total bytes of the segment files.
+    pub segment_bytes: u64,
+    /// Segment documents masked by a delete tombstone in the delta.
+    pub tombstones: u64,
+    /// Live documents (delta + segments − tombstones).
     pub documents: u64,
     /// Virtual suffix tree nodes (entries in the S-Ancestor tree).
     pub nodes: u64,
@@ -99,6 +108,10 @@ mod tests {
     #[test]
     fn stats_are_plain_data() {
         let s = IndexStats {
+            segments: 0,
+            segment_docs: 0,
+            segment_bytes: 0,
+            tombstones: 0,
             documents: 1,
             nodes: 2,
             dkeys: 3,

@@ -80,6 +80,12 @@ pub struct Meta {
     pub doc_count: u64,
     /// Number of virtual suffix tree nodes.
     pub node_count: u64,
+    /// Generation of the delta's contents with respect to compaction.
+    /// The tier manifest records the epoch its segment set expects; a
+    /// reopened delta with a *smaller* epoch missed the post-compaction
+    /// truncation (crash between manifest swap and delta flush) and is
+    /// cleared again — see `VistIndex::open_at`.
+    pub delta_epoch: u64,
 }
 
 impl Meta {
@@ -100,6 +106,7 @@ impl Meta {
             deep_borrows: 0,
             doc_count: 0,
             node_count: 0,
+            delta_epoch: 0,
         }
     }
 }
@@ -130,6 +137,10 @@ const AUX_SYMBOL: u8 = 1;
 const AUX_ORDER: u8 = 2;
 const AUX_DOC: u8 = 3;
 const AUX_STATS: u8 = 4;
+/// Delete tombstone for a document that lives in a packed segment: the
+/// delta cannot unlink it physically, so queries mask the id instead.
+/// Compaction drops both the tombstone and the masked document.
+const AUX_TOMB: u8 = 5;
 
 impl Store {
     /// Create a fresh store in `pool`.
@@ -192,6 +203,7 @@ impl Store {
             deep_borrows: rd64(86),
             doc_count: rd64(94),
             node_count: rd64(102),
+            delta_epoch: rd64(110),
         };
         drop(page);
         let dancestor = BTree::open(Arc::clone(&pool), roots[0])?;
@@ -255,6 +267,7 @@ impl Store {
         buf[86..94].copy_from_slice(&meta.deep_borrows.to_le_bytes());
         buf[94..102].copy_from_slice(&meta.doc_count.to_le_bytes());
         buf[102..110].copy_from_slice(&meta.node_count.to_le_bytes());
+        buf[110..118].copy_from_slice(&meta.delta_epoch.to_le_bytes());
         Ok(())
     }
 
@@ -380,13 +393,13 @@ impl Store {
 
     // ----- S-Ancestor tree -----
 
-    fn sanc_key(dkey_id: u64, n: u128) -> Vec<u8> {
+    pub(crate) fn sanc_key(dkey_id: u64, n: u128) -> Vec<u8> {
         let mut k = KeyWriter::with_capacity(24);
         k.u64(dkey_id).u128(n);
         k.finish()
     }
 
-    fn encode_node(state: &NodeState) -> [u8; 40] {
+    pub(crate) fn encode_node(state: &NodeState) -> [u8; 40] {
         let mut v = [0u8; 40];
         v[0..16].copy_from_slice(&state.size.to_le_bytes());
         v[16..32].copy_from_slice(&state.next.to_le_bytes());
@@ -394,7 +407,7 @@ impl Store {
         v
     }
 
-    fn decode_node(n: u128, v: &[u8]) -> NodeState {
+    pub(crate) fn decode_node(n: u128, v: &[u8]) -> NodeState {
         NodeState {
             n,
             size: u128::from_le_bytes(v[0..16].try_into().expect("node size")),
@@ -478,7 +491,7 @@ impl Store {
 
     // ----- DocId tree -----
 
-    fn docid_key(n: u128, doc: DocId) -> Vec<u8> {
+    pub(crate) fn docid_key(n: u128, doc: DocId) -> Vec<u8> {
         let mut k = KeyWriter::with_capacity(24);
         k.u128(n).u64(doc);
         k.finish()
@@ -520,7 +533,7 @@ impl Store {
 
     // ----- stored documents (aux, chunked) -----
 
-    fn doc_chunk_key(doc: DocId, chunk: u32) -> Vec<u8> {
+    pub(crate) fn doc_chunk_key(doc: DocId, chunk: u32) -> Vec<u8> {
         let mut k = KeyWriter::with_capacity(13);
         k.u8(AUX_DOC).u64(doc).u32(chunk);
         k.finish()
@@ -584,6 +597,73 @@ impl Store {
         Ok(out)
     }
 
+    // ----- delete tombstones (aux) -----
+
+    fn tomb_key(doc: DocId) -> Vec<u8> {
+        let mut k = KeyWriter::with_capacity(9);
+        k.u8(AUX_TOMB).u64(doc);
+        k.finish()
+    }
+
+    /// Mark a segment-resident document as deleted.
+    pub(crate) fn tomb_put(&self, doc: DocId) -> Result<()> {
+        self.aux.insert(&Self::tomb_key(doc), &[])?;
+        Ok(())
+    }
+
+    /// Whether `doc` carries a delete tombstone.
+    pub(crate) fn tomb_contains(&self, doc: DocId) -> Result<bool> {
+        Ok(self.aux.get(&Self::tomb_key(doc))?.is_some())
+    }
+
+    /// All tombstoned document ids, ascending.
+    pub(crate) fn tomb_ids(&self) -> Result<Vec<DocId>> {
+        let mut out = Vec::new();
+        for item in self.aux.scan_prefix(&[AUX_TOMB])? {
+            let (k, _) = item?;
+            out.push(u64::from_be_bytes(
+                k[1..9].try_into().expect("tomb key width"),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Truncate the delta after a compaction folded its contents into a
+    /// packed segment: every index tree is emptied (pages freed), stored
+    /// documents and tombstones are dropped, and the per-delta counters
+    /// reset — while the global state (symbol table, sibling order, stats
+    /// model, `next_doc`, `doc_count`) survives. `new_epoch` stamps the
+    /// truncation so a reopen can tell whether it was persisted (see
+    /// [`Meta::delta_epoch`]). Callers must hold the writer lock *and*
+    /// exclude readers (page frees), and must flush afterwards.
+    pub(crate) fn clear_delta(&self, new_epoch: u64) -> Result<()> {
+        self.dancestor.clear()?;
+        self.sancestor.clear()?;
+        self.docid.clear()?;
+        self.edges.clear()?;
+        for tag in [AUX_DOC, AUX_TOMB] {
+            let keys: Vec<Vec<u8>> = self
+                .aux
+                .scan_prefix(&[tag])?
+                .map(|r| r.map(|(k, _)| k))
+                .collect::<vist_storage::Result<_>>()?;
+            for k in &keys {
+                self.aux.delete(k)?;
+            }
+        }
+        let mut meta = self.meta.write();
+        meta.next_dkey = 0;
+        meta.root = NodeState {
+            n: 0,
+            size: vist_seq::MAX_SCOPE,
+            next: 1,
+            k: 0,
+        };
+        meta.node_count = 0;
+        meta.delta_epoch = new_epoch;
+        Ok(())
+    }
+
     /// Total bytes of the backing store.
     #[must_use]
     pub fn store_bytes(&self) -> u64 {
@@ -601,7 +681,10 @@ impl Store {
         let items = entries
             .into_iter()
             .map(|(k, id)| (k, id.to_le_bytes().to_vec()));
-        self.dancestor = BTree::bulk_load(Arc::clone(&self.pool), items.collect::<Vec<_>>())?;
+        let fresh = BTree::bulk_load(Arc::clone(&self.pool), items.collect::<Vec<_>>())?;
+        // Free the replaced tree's pages — without this every rebuild
+        // leaked the old tree and the store grew monotonically.
+        std::mem::replace(&mut self.dancestor, fresh).destroy()?;
         Ok(())
     }
 
@@ -613,7 +696,8 @@ impl Store {
             .map(|(dkid, st)| (Self::sanc_key(dkid, st.n), Self::encode_node(&st).to_vec()))
             .collect();
         self.meta.write().node_count = items.len() as u64;
-        self.sancestor = BTree::bulk_load(Arc::clone(&self.pool), items)?;
+        let fresh = BTree::bulk_load(Arc::clone(&self.pool), items)?;
+        std::mem::replace(&mut self.sancestor, fresh).destroy()?;
         Ok(())
     }
 
@@ -624,7 +708,8 @@ impl Store {
             .into_iter()
             .map(|(n, doc)| (Self::docid_key(n, doc), Vec::new()))
             .collect();
-        self.docid = BTree::bulk_load(Arc::clone(&self.pool), items)?;
+        let fresh = BTree::bulk_load(Arc::clone(&self.pool), items)?;
+        std::mem::replace(&mut self.docid, fresh).destroy()?;
         Ok(())
     }
 
@@ -923,6 +1008,94 @@ mod tests {
             b.nodes_in_scope(0, 0, 100).unwrap()
         );
         assert_eq!(b.meta().node_count, 3);
+    }
+
+    #[test]
+    fn repeated_bulk_loads_do_not_leak_pages() {
+        let mut s = mem_store();
+        let dkeys: Vec<(Vec<u8>, u64)> = (0..500u64)
+            .map(|i| (format!("key{i:06}").into_bytes(), i))
+            .collect();
+        let nodes: Vec<(u64, NodeState)> = (0..500u64)
+            .map(|i| {
+                (
+                    i % 7,
+                    NodeState {
+                        n: u128::from(i) * 10,
+                        size: 5,
+                        next: u128::from(i) * 10 + 1,
+                        k: 0,
+                    },
+                )
+            })
+            .collect();
+        let docids: Vec<(u128, DocId)> = (0..500u64).map(|i| (u128::from(i) * 10, i)).collect();
+        // Two rounds reach the steady state: a rebuild allocates the new
+        // tree before destroying the old one, so the high-water mark is
+        // one extra tree set.
+        for _ in 0..2 {
+            s.bulk_load_dkeys(dkeys.clone()).unwrap();
+            s.bulk_load_nodes(nodes.clone()).unwrap();
+            s.bulk_load_docids(docids.clone()).unwrap();
+        }
+        let baseline = s.store_bytes();
+        for _ in 0..4 {
+            s.bulk_load_dkeys(dkeys.clone()).unwrap();
+            s.bulk_load_nodes(nodes.clone()).unwrap();
+            s.bulk_load_docids(docids.clone()).unwrap();
+        }
+        // Replaced trees return their pages to the free list, so repeated
+        // rebuilds reuse space instead of growing without bound.
+        assert_eq!(
+            s.store_bytes(),
+            baseline,
+            "store grew across identical rebuilds"
+        );
+        assert_eq!(s.dkey_get(b"key000123").unwrap(), Some(123));
+    }
+
+    #[test]
+    fn tombstones_roundtrip() {
+        let s = mem_store();
+        assert!(!s.tomb_contains(7).unwrap());
+        s.tomb_put(7).unwrap();
+        s.tomb_put(3).unwrap();
+        assert!(s.tomb_contains(7).unwrap());
+        assert_eq!(s.tomb_ids().unwrap(), vec![3, 7]);
+    }
+
+    #[test]
+    fn clear_delta_keeps_globals_drops_index() {
+        let s = mem_store();
+        let id = s.dkey_get_or_create(b"k").unwrap();
+        s.node_put(
+            id,
+            &NodeState {
+                n: 5,
+                size: 10,
+                next: 6,
+                k: 0,
+            },
+        )
+        .unwrap();
+        s.docid_put(5, 1).unwrap();
+        s.doc_put(1, b"<x/>").unwrap();
+        s.tomb_put(2).unwrap();
+        s.meta_mut().next_doc = 2;
+        s.meta_mut().doc_count = 1;
+        s.meta_mut().node_count = 1;
+        s.clear_delta(1).unwrap();
+        assert_eq!(s.dkey_get(b"k").unwrap(), None);
+        assert_eq!(s.node_get(id, 5).unwrap(), None);
+        assert!(s.docids_in_range(0, 1000).unwrap().is_empty());
+        assert_eq!(s.doc_get(1).unwrap(), None);
+        assert!(s.tomb_ids().unwrap().is_empty());
+        let meta = s.meta();
+        assert_eq!(meta.next_dkey, 0);
+        assert_eq!(meta.node_count, 0);
+        assert_eq!(meta.delta_epoch, 1);
+        assert_eq!(meta.next_doc, 2, "global doc counter survives");
+        assert_eq!(meta.doc_count, 1, "global doc count survives");
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! B+Tree pages and therefore briefly excludes queries via an internal
 //! read-write latch. See `docs/CONCURRENCY.md` for the full lock hierarchy.
 
-use std::path::Path;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use vist_query::{
@@ -22,14 +23,16 @@ use vist_seq::{
     dkey, document_to_sequence, PathSym, Sequence, SiblingOrder, Sym, SymbolTable, TableOverlay,
 };
 use vist_storage::sync::{Mutex, RwLock};
-use vist_storage::{BufferPool, FilePager, MemPager, PageId};
+use vist_storage::{BufferPool, FilePager, Manifest, MemPager, PageId, RealVfs, Vfs};
 use vist_xml::Document;
 
 use crate::alloc::{Allocation, AllocatorKind, ScopeAllocator, SimMutation};
 use crate::error::{Error, Result};
+use crate::extsort::DEFAULT_SORT_BUDGET;
 use crate::search::{search_sequences_with, QueryStats, SearchMode, StageTimings};
+use crate::segment::{Segment, SegmentBuilder};
 use crate::stats::{IndexStats, MatchCounters};
-use crate::store::{DocId, NodeState, Store};
+use crate::store::{DocId, NodeState, Store, StoreBreakdown};
 
 /// Configuration for creating an index.
 #[derive(Debug, Clone)]
@@ -146,6 +149,56 @@ pub struct VistIndex {
     maintenance: RwLock<()>,
     /// Cumulative parallel-match counters across all queries.
     match_counters: MatchCounters,
+    /// Tiered storage: immutable packed segments beneath the mutable
+    /// delta. `None` for in-memory and pool-provided indexes, which stay
+    /// single-tier.
+    tier: Option<Tier>,
+}
+
+/// How many segments accumulate before [`VistIndex::bulk_build`]
+/// auto-triggers a compaction.
+const COMPACT_SEGMENT_THRESHOLD: usize = 4;
+
+/// The segment tier of a file-backed index: the manifest naming the live
+/// segments, and the opened segments themselves (newest last, matching
+/// manifest order).
+struct TierState {
+    manifest: Manifest,
+    segments: Vec<Arc<Segment>>,
+}
+
+struct Tier {
+    vfs: Arc<dyn Vfs>,
+    /// Base path of the index file; the manifest and segments derive their
+    /// paths from it (`<base>.manifest`, `<base>.seg-<id>`).
+    path: PathBuf,
+    page_size: usize,
+    cache_pages: usize,
+    /// Acquired after `maintenance` in the lock hierarchy; held only to
+    /// clone or swap the segment list, never across IO.
+    state: RwLock<TierState>,
+}
+
+impl Tier {
+    /// Spill directory for external-sort runs during a bulk build or
+    /// compaction (scratch only — never read after a crash).
+    fn scratch_dir(&self) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(".ingest-tmp");
+        PathBuf::from(os)
+    }
+
+    fn next_segment_id(&self) -> u64 {
+        self.state
+            .read()
+            .manifest
+            .segments
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            + 1
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -179,10 +232,35 @@ impl VistIndex {
     }
 
     /// Create a new index file at `path` (truncates any existing file).
+    /// File-backed indexes are *tiered*: they support
+    /// [`VistIndex::bulk_build`] and [`VistIndex::compact`].
     pub fn create_file<P: AsRef<Path>>(path: P, opts: IndexOptions) -> Result<Self> {
-        let pager = FilePager::create(path, opts.page_size)?;
-        let pool = Arc::new(BufferPool::with_capacity(pager, opts.cache_pages));
-        Self::create_on(pool, opts)
+        Self::create_at(Arc::new(RealVfs), path.as_ref(), opts)
+    }
+
+    /// [`VistIndex::create_file`] through an explicit [`Vfs`] (tests inject
+    /// faults into every tier file — index, WAL, segments, manifest).
+    pub fn create_at(vfs: Arc<dyn Vfs>, path: &Path, opts: IndexOptions) -> Result<Self> {
+        let page_size = opts.page_size;
+        let cache_pages = opts.cache_pages;
+        let pager = FilePager::create_with_vfs(vfs.as_ref(), path, page_size)?;
+        let pool = Arc::new(BufferPool::with_capacity(pager, cache_pages));
+        let mut idx = Self::create_on(pool, opts)?;
+        idx.tier = Some(Tier {
+            vfs,
+            path: path.to_path_buf(),
+            page_size,
+            cache_pages,
+            state: RwLock::new(TierState {
+                manifest: Manifest {
+                    generation: 0,
+                    delta_epoch: 0,
+                    segments: Vec::new(),
+                },
+                segments: Vec::new(),
+            }),
+        });
+        Ok(idx)
     }
 
     /// Create an index on an existing pool (advanced; lets tests share
@@ -202,6 +280,7 @@ impl VistIndex {
             writer: Mutex::new(()),
             maintenance: RwLock::new(()),
             match_counters: MatchCounters::default(),
+            tier: None,
         })
     }
 
@@ -210,11 +289,69 @@ impl VistIndex {
     /// records a crash left behind (see `docs/DURABILITY.md`); the
     /// [`IndexStats::io`] counters `recovered_pages` / `wal_discarded_bytes`
     /// report what recovery did. A persisted statistics model (from a
-    /// `WithClues` allocator) is restored automatically.
+    /// `WithClues` allocator) is restored automatically. The segment tier
+    /// is reopened from the manifest, finishing any compaction or bulk
+    /// load a crash interrupted (see `docs/SEGMENTS.md`).
     pub fn open_file<P: AsRef<Path>>(path: P, cache_pages: usize) -> Result<Self> {
-        let pager = FilePager::open(path)?;
+        Self::open_at(Arc::new(RealVfs), path.as_ref(), cache_pages)
+    }
+
+    /// [`VistIndex::open_file`] through an explicit [`Vfs`].
+    pub fn open_at(vfs: Arc<dyn Vfs>, path: &Path, cache_pages: usize) -> Result<Self> {
+        let pager = FilePager::open_with_vfs(vfs.as_ref(), path)?;
         let pool = Arc::new(BufferPool::with_capacity(pager, cache_pages));
-        Self::open_on(pool)
+        let page_size = pool.page_size();
+        let mut idx = Self::open_on(pool)?;
+        let manifest = Manifest::load(vfs.as_ref(), path)?.unwrap_or(Manifest {
+            generation: 0,
+            delta_epoch: 0,
+            segments: Vec::new(),
+        });
+        // Compaction redo: the manifest swap is the commit point, so a
+        // manifest ahead of the delta's epoch means the post-swap delta
+        // clear never reached disk. Re-run it — the delta's content was
+        // absorbed into the compacted segment before the swap.
+        if manifest.delta_epoch > idx.store.meta().delta_epoch {
+            idx.store.clear_delta(manifest.delta_epoch)?;
+            let table = idx.table.read().clone();
+            idx.store.flush(&table, &idx.order)?;
+        }
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for &id in &manifest.segments {
+            segments.push(Arc::new(Segment::open(
+                vfs.as_ref(),
+                path,
+                id,
+                cache_pages,
+            )?));
+        }
+        // Bulk-load redo: a segment whose doc ids reach past `next_doc` was
+        // committed (manifest swapped) before the meta bump was flushed.
+        // Bulk ids are contiguous from the old `next_doc`, so the whole
+        // segment is unaccounted.
+        {
+            let mut fixed = false;
+            for seg in &segments {
+                let mut meta = idx.store.meta_mut();
+                if seg.doc_count > 0 && seg.max_doc >= meta.next_doc {
+                    meta.doc_count += seg.doc_count;
+                    meta.next_doc = seg.max_doc + 1;
+                    fixed = true;
+                }
+            }
+            if fixed {
+                let table = idx.table.read().clone();
+                idx.store.flush(&table, &idx.order)?;
+            }
+        }
+        idx.tier = Some(Tier {
+            vfs,
+            path: path.to_path_buf(),
+            page_size,
+            cache_pages,
+            state: RwLock::new(TierState { manifest, segments }),
+        });
+        Ok(idx)
     }
 
     /// Reopen an index from an existing pool (advanced; pairs with
@@ -243,7 +380,49 @@ impl VistIndex {
             writer: Mutex::new(()),
             maintenance: RwLock::new(()),
             match_counters: MatchCounters::default(),
+            tier: None,
         })
+    }
+
+    /// Snapshot the open segments (newest last). Cheap: clones a small
+    /// `Vec<Arc<_>>` under a brief tier-state read lock.
+    fn segments_snapshot(&self) -> Vec<Arc<Segment>> {
+        match &self.tier {
+            Some(t) => t.state.read().segments.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Fetch a stored document from whichever tier holds it: the delta
+    /// first, then the segments. Does NOT consult tombstones — callers
+    /// mask deleted segment docs themselves.
+    fn doc_get_any(&self, doc: DocId, segments: &[Arc<Segment>]) -> Result<Option<Vec<u8>>> {
+        if let Some(xml) = self.store.doc_get(doc)? {
+            return Ok(Some(xml));
+        }
+        for seg in segments.iter().rev() {
+            if let Some(xml) = seg.doc_get(doc)? {
+                return Ok(Some(xml));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Ids of all live documents (tombstone-masked), ascending. Caller
+    /// holds the maintenance latch.
+    fn live_doc_ids(&self, segments: &[Arc<Segment>]) -> Result<Vec<DocId>> {
+        let mut ids: BTreeSet<DocId> = self.store.doc_ids()?.into_iter().collect();
+        if !segments.is_empty() {
+            let tombs: BTreeSet<DocId> = self.store.tomb_ids()?.into_iter().collect();
+            for seg in segments {
+                for id in seg.doc_ids()? {
+                    if !tombs.contains(&id) {
+                        ids.insert(id);
+                    }
+                }
+            }
+        }
+        Ok(ids.into_iter().collect())
     }
 
     /// Replace the scope-allocation policy (e.g. re-supply clues after
@@ -296,7 +475,20 @@ impl VistIndex {
         let mc = self.match_counters.snapshot();
         vist_obs::gauge!("vist_core_documents")
             .set(i64::try_from(meta.doc_count).unwrap_or(i64::MAX));
+        let segments = self.segments_snapshot();
+        let segment_docs: u64 = segments.iter().map(|s| s.doc_count).sum();
+        let segment_bytes: u64 = segments.iter().map(|s| s.store_bytes()).sum();
+        let tombstones = if segments.is_empty() {
+            0
+        } else {
+            self.store.tomb_ids().map(|v| v.len() as u64).unwrap_or(0)
+        };
+        vist_obs::gauge!("vist_core_segments").set(segments.len() as i64);
         IndexStats {
+            segments: segments.len() as u64,
+            segment_docs,
+            segment_bytes,
+            tombstones,
             documents: meta.doc_count,
             nodes: meta.node_count,
             dkeys: meta.next_dkey,
@@ -332,8 +524,21 @@ impl VistIndex {
                 }
             }
         }
+        let segments = self.segments_snapshot();
+        if !segments.is_empty() {
+            let seg_docs: u64 = segments.iter().map(|s| s.doc_count).sum();
+            let seg_nodes: u64 = segments.iter().map(|s| s.node_count).sum();
+            let seg_dkeys: u64 = segments.iter().map(|s| s.dkey_count).sum();
+            let tombs = self.store.tomb_ids().map(|v| v.len()).unwrap_or(0);
+            writeln!(
+                report,
+                "segments {} ({seg_docs} docs, {seg_nodes} nodes, {seg_dkeys} dkeys, {tombs} tombstoned)",
+                segments.len()
+            )
+            .unwrap();
+        }
         if self.store.meta().store_documents {
-            match self.store.doc_ids() {
+            match self.live_doc_ids(&segments) {
                 Ok(ids) => {
                     let n = ids.len() as u64;
                     let meta_n = self.store.meta().doc_count;
@@ -373,6 +578,222 @@ impl VistIndex {
         let table = self.table.read().clone();
         self.store.flush(&table, &self.order)?;
         Ok(())
+    }
+
+    /// Flush the delta store under an already-held writer lock, persisting
+    /// the symbol table alongside meta and dirty pages.
+    fn flush_locked(&self) -> Result<()> {
+        let table = self.table.read().clone();
+        self.store.flush(&table, &self.order)?;
+        Ok(())
+    }
+
+    /// Bulk-load a batch of XML documents into one immutable packed
+    /// segment, bypassing the per-document dynamic insert path entirely:
+    /// sequences are merged into an in-memory trie, labeled exactly by
+    /// preorder rank + subtree size (no scope allocation, no underflows),
+    /// externally sorted, and written as B+Trees at ~100% leaf fill.
+    ///
+    /// Returns the assigned document ids (contiguous, ascending). The
+    /// segment is durable and published in the manifest when this returns;
+    /// accumulating [`COMPACT_SEGMENT_THRESHOLD`] segments auto-triggers
+    /// [`VistIndex::compact`]. Requires a tiered index
+    /// ([`VistIndex::create_file`] / [`VistIndex::open_file`] or the
+    /// `_at` variants), else [`Error::NotTiered`].
+    pub fn bulk_build<I, S>(&self, docs: I) -> Result<Vec<DocId>>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let _w = self.writer.lock();
+        let tier = self.tier.as_ref().ok_or(Error::NotTiered)?;
+        let (store_documents, first_doc) = {
+            let meta = self.store.meta();
+            (meta.store_documents, meta.next_doc)
+        };
+        let mut builder = SegmentBuilder::new(
+            tier.scratch_dir(),
+            tier.page_size,
+            store_documents,
+            DEFAULT_SORT_BUDGET,
+        )?;
+        let mut ids = Vec::new();
+        let mut next = first_doc;
+        for xml in docs {
+            let xml = xml.as_ref();
+            let doc = vist_xml::parse(xml).map_err(|e| Error::Corrupt(format!("bad XML: {e}")))?;
+            let seq = {
+                let mut table = self.table.write();
+                document_to_sequence(&doc, &mut table, &self.order)
+            };
+            builder.add_doc(next, &seq, xml)?;
+            ids.push(next);
+            next += 1;
+        }
+        if ids.is_empty() {
+            return Ok(ids);
+        }
+        let seg_id = tier.next_segment_id();
+        let seg = builder.finish(
+            tier.vfs.as_ref(),
+            &tier.path,
+            seg_id,
+            tier.page_size,
+            tier.cache_pages,
+            DEFAULT_SORT_BUDGET,
+        )?;
+        // The segment's dkeys encode symbols interned above: persist the
+        // table BEFORE the manifest can reference the segment.
+        self.flush_locked()?;
+        // Commit point. A crash before this leaves an orphan file (the id
+        // gets reused and truncated); a crash after is healed on reopen by
+        // the max_doc watermark (see open_at).
+        let manifest = {
+            let st = tier.state.read();
+            let mut segs = st.manifest.segments.clone();
+            segs.push(seg_id);
+            Manifest {
+                generation: st.manifest.generation + 1,
+                delta_epoch: st.manifest.delta_epoch,
+                segments: segs,
+            }
+        };
+        manifest.store(tier.vfs.as_ref(), &tier.path)?;
+        {
+            let mut st = tier.state.write();
+            st.manifest = manifest;
+            st.segments.push(Arc::new(seg));
+        }
+        {
+            let mut meta = self.store.meta_mut();
+            meta.next_doc = next;
+            meta.doc_count += ids.len() as u64;
+        }
+        self.flush_locked()?;
+        vist_obs::counter!("vist_core_bulk_docs_total").add(ids.len() as u64);
+        let should_compact =
+            store_documents && tier.state.read().segments.len() >= COMPACT_SEGMENT_THRESHOLD;
+        if should_compact {
+            self.compact_locked()?;
+        }
+        Ok(ids)
+    }
+
+    /// Merge the delta and every segment into one fresh packed segment,
+    /// dropping tombstoned documents for good, then reset the delta.
+    /// Document ids are preserved. The manifest swap is the commit point:
+    /// a crash at any earlier point leaves the old state, a crash after it
+    /// is finished on reopen by re-clearing the delta (`delta_epoch`
+    /// handshake — see `docs/SEGMENTS.md`). Requires a tiered index with
+    /// stored documents.
+    pub fn compact(&self) -> Result<()> {
+        let _w = self.writer.lock();
+        self.compact_locked()
+    }
+
+    fn compact_locked(&self) -> Result<()> {
+        let tier = self.tier.as_ref().ok_or(Error::NotTiered)?;
+        if !self.store.meta().store_documents {
+            return Err(Error::DocumentsNotStored);
+        }
+        let segments = self.segments_snapshot();
+        let old_ids: Vec<u64> = tier.state.read().manifest.segments.clone();
+        let live = self.live_doc_ids(&segments)?;
+        let new_segment = if live.is_empty() {
+            None
+        } else {
+            let seg_id = tier.next_segment_id();
+            let mut builder = SegmentBuilder::new(
+                tier.scratch_dir(),
+                tier.page_size,
+                true,
+                DEFAULT_SORT_BUDGET,
+            )?;
+            for &id in &live {
+                let xml = self
+                    .doc_get_any(id, &segments)?
+                    .ok_or(Error::NoSuchDocument(id))?;
+                let text = String::from_utf8(xml)
+                    .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
+                let doc = vist_xml::parse(&text)
+                    .map_err(|e| Error::Corrupt(format!("stored document unparseable: {e}")))?;
+                let seq = {
+                    let mut table = self.table.write();
+                    document_to_sequence(&doc, &mut table, &self.order)
+                };
+                builder.add_doc(id, &seq, &text)?;
+            }
+            Some((
+                seg_id,
+                builder.finish(
+                    tier.vfs.as_ref(),
+                    &tier.path,
+                    seg_id,
+                    tier.page_size,
+                    tier.cache_pages,
+                    DEFAULT_SORT_BUDGET,
+                )?,
+            ))
+        };
+        self.flush_locked()?;
+        // Commit point: the new manifest names only the compacted segment
+        // and advances the delta epoch, obligating a delta clear.
+        let manifest = {
+            let st = tier.state.read();
+            Manifest {
+                generation: st.manifest.generation + 1,
+                delta_epoch: st.manifest.delta_epoch + 1,
+                segments: new_segment.iter().map(|(id, _)| *id).collect(),
+            }
+        };
+        manifest.store(tier.vfs.as_ref(), &tier.path)?;
+        {
+            // Clearing frees B+Tree pages: exclude readers.
+            let _m = self.maintenance.write();
+            self.store.clear_delta(manifest.delta_epoch)?;
+            let mut st = tier.state.write();
+            st.manifest = manifest;
+            st.segments = match new_segment {
+                Some((_, seg)) => vec![Arc::new(seg)],
+                None => Vec::new(),
+            };
+        }
+        self.flush_locked()?;
+        // The replaced segment files are garbage; unlink best-effort.
+        // Concurrent readers that cloned the old Arcs keep their open
+        // handles and finish safely.
+        for id in old_ids {
+            let _ = std::fs::remove_file(Manifest::segment_path(&tier.path, id));
+        }
+        vist_obs::counter!("vist_core_compactions_total").inc();
+        Ok(())
+    }
+
+    /// Per-tree space breakdown of the delta and of every segment, also
+    /// publishing average leaf fill to the `vist_core_delta_leaf_fill_bp` /
+    /// `vist_core_segment_leaf_fill_bp` gauges (basis points). Scans every
+    /// tree; intended for `vist stats`, not hot paths.
+    pub fn tier_breakdown(&self) -> Result<(StoreBreakdown, Vec<(u64, StoreBreakdown)>)> {
+        let _m = self.maintenance.read();
+        let delta = self.store.tree_breakdown()?;
+        let mut segs = Vec::new();
+        for seg in self.segments_snapshot() {
+            segs.push((seg.id, seg.breakdown()?));
+        }
+        let fill_bp = |bs: &[&StoreBreakdown]| -> i64 {
+            let (mut used, mut total) = (0u64, 0u64);
+            for b in bs {
+                for t in [&b.dancestor, &b.sancestor, &b.docid, &b.edges, &b.aux] {
+                    used += t.leaf_used_bytes;
+                    total += t.leaf_total_bytes;
+                }
+            }
+            (used * 10_000).checked_div(total).unwrap_or(0) as i64
+        };
+        vist_obs::gauge!("vist_core_delta_leaf_fill_bp").set(fill_bp(&[&delta]));
+        let seg_refs: Vec<&StoreBreakdown> = segs.iter().map(|(_, b)| b).collect();
+        vist_obs::gauge!("vist_core_segment_leaf_fill_bp").set(fill_bp(&seg_refs));
+        Ok((delta, segs))
     }
 
     /// Parse and insert an XML document, returning its id.
@@ -644,10 +1065,23 @@ impl VistIndex {
         if !self.store.meta().store_documents {
             return Err(Error::DocumentsNotStored);
         }
-        let xml = self
-            .store
-            .doc_get(doc_id)?
-            .ok_or(Error::NoSuchDocument(doc_id))?;
+        let Some(xml) = self.store.doc_get(doc_id)? else {
+            // Not in the delta: a segment-resident document is deleted by
+            // writing a tombstone into the delta, which masks it from every
+            // query until compaction drops it for good.
+            let segments = self.segments_snapshot();
+            if !self.store.tomb_contains(doc_id)? {
+                for seg in &segments {
+                    if seg.contains_doc(doc_id)? {
+                        self.store.tomb_put(doc_id)?;
+                        let mut meta = self.store.meta_mut();
+                        meta.doc_count = meta.doc_count.saturating_sub(1);
+                        return Ok(());
+                    }
+                }
+            }
+            return Err(Error::NoSuchDocument(doc_id));
+        };
         let text = String::from_utf8(xml)
             .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
         let doc = vist_xml::parse(&text)
@@ -689,7 +1123,7 @@ impl VistIndex {
         if !self.store.meta().store_documents {
             return Err(Error::DocumentsNotStored);
         }
-        self.store.doc_ids()
+        self.live_doc_ids(&self.segments_snapshot())
     }
 
     /// Fetch a stored document's XML text.
@@ -698,10 +1132,13 @@ impl VistIndex {
         if !self.store.meta().store_documents {
             return Err(Error::DocumentsNotStored);
         }
-        let xml = self
-            .store
-            .doc_get(doc_id)?
-            .ok_or(Error::NoSuchDocument(doc_id))?;
+        let xml = match self.store.doc_get(doc_id)? {
+            Some(xml) => xml,
+            None if !self.store.tomb_contains(doc_id)? => self
+                .doc_get_any(doc_id, &self.segments_snapshot())?
+                .ok_or(Error::NoSuchDocument(doc_id))?,
+            None => return Err(Error::NoSuchDocument(doc_id)),
+        };
         String::from_utf8(xml).map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))
     }
 
@@ -717,13 +1154,27 @@ impl VistIndex {
         // Lock order: the table read guard (above, inside the helper) is
         // released before the maintenance latch is taken.
         let _m = self.maintenance.read();
-        let outcome = search_sequences_with(
+        let mut outcome = search_sequences_with(
             &self.store,
             &translation.sequences,
             opts.workers,
             SearchMode::Scopes,
             opts.schedule_seed,
         )?;
+        // Segment scopes live in per-segment label spaces; they are
+        // reported as-is after the delta's (scope values from different
+        // sources are not comparable).
+        for seg in self.segments_snapshot() {
+            let o = search_sequences_with(
+                seg.as_ref(),
+                &translation.sequences,
+                opts.workers,
+                SearchMode::Scopes,
+                opts.schedule_seed,
+            )?;
+            outcome.stats.merge(&o.stats);
+            outcome.scopes.extend(o.scopes);
+        }
         self.match_counters.record(&outcome.stats);
         Ok((outcome.scopes, outcome.stats))
     }
@@ -933,8 +1384,11 @@ impl VistIndex {
 
     fn rebuild_into(&self, fresh: &VistIndex) -> Result<()> {
         let _m = self.maintenance.read();
-        for id in self.store.doc_ids()? {
-            let xml = self.store.doc_get(id)?.ok_or(Error::NoSuchDocument(id))?;
+        let segments = self.segments_snapshot();
+        for id in self.live_doc_ids(&segments)? {
+            let xml = self
+                .doc_get_any(id, &segments)?
+                .ok_or(Error::NoSuchDocument(id))?;
             let text = String::from_utf8(xml)
                 .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
             // Preserve the original ids: ids are ascending, so pinning
@@ -976,13 +1430,36 @@ impl VistIndex {
             });
         };
         let _m = self.maintenance.read();
-        let outcome = search_sequences_with(
+        let segments = self.segments_snapshot();
+        let mut outcome = search_sequences_with(
             &self.store,
             &translation.sequences,
             opts.workers,
             SearchMode::Docs,
             opts.schedule_seed,
         )?;
+        if !segments.is_empty() {
+            // Each segment is its own label space: run the match per
+            // source and union document ids, masking tombstoned segment
+            // docs. Delta docs are never tombstoned.
+            let tombs: BTreeSet<DocId> = self.store.tomb_ids()?.into_iter().collect();
+            for seg in &segments {
+                let o = search_sequences_with(
+                    seg.as_ref(),
+                    &translation.sequences,
+                    opts.workers,
+                    SearchMode::Docs,
+                    opts.schedule_seed,
+                )?;
+                outcome.stats.merge(&o.stats);
+                outcome.timings.match_nanos += o.timings.match_nanos;
+                outcome.timings.merge_nanos += o.timings.merge_nanos;
+                outcome.timings.docid_nanos += o.timings.docid_nanos;
+                outcome
+                    .docs
+                    .extend(o.docs.into_iter().filter(|d| !tombs.contains(d)));
+            }
+        }
         self.match_counters.record(&outcome.stats);
         let stats = outcome.stats;
         vist_obs::counter!("vist_core_work_items_total").add(stats.work_items);
@@ -1001,7 +1478,9 @@ impl VistIndex {
             let verify_start = vist_obs::now();
             let mut verified = Vec::new();
             for id in out {
-                let xml = self.store.doc_get(id)?.ok_or(Error::NoSuchDocument(id))?;
+                let xml = self
+                    .doc_get_any(id, &segments)?
+                    .ok_or(Error::NoSuchDocument(id))?;
                 let text = String::from_utf8(xml)
                     .map_err(|_| Error::Corrupt("stored document is not UTF-8".into()))?;
                 let doc = vist_xml::parse(&text)
@@ -1223,6 +1702,140 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.doc_ids, vec![d1]);
+    }
+
+    #[test]
+    fn bulk_build_and_query_across_tiers() {
+        let dir = vist_storage::testutil::TempDir::new("vist-core-tiered");
+        let path = dir.file("store");
+        let idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+        // Delta insert + two bulk batches → three sources.
+        let d0 = idx
+            .insert_xml("<book><author>Delta</author></book>")
+            .unwrap();
+        let b1 = idx
+            .bulk_build((0..40).map(|i| format!("<book><author>A{}</author></book>", i % 4)))
+            .unwrap();
+        let b2 = idx
+            .bulk_build(["<book><author>Delta</author></book>".to_string()])
+            .unwrap();
+        assert_eq!(b1.len(), 40);
+        assert_eq!(idx.doc_count(), 42);
+        assert_eq!(idx.stats().segments, 2);
+        let r = idx
+            .query("/book/author[text='Delta']", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(r.doc_ids, vec![d0, b2[0]]);
+        let r = idx
+            .query("/book/author[text='A0']", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(r.doc_ids.len(), 10);
+        // Verification reaches segment-resident documents too.
+        let r = idx
+            .query(
+                "/book/author[text='A1']",
+                &QueryOptions {
+                    verify: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(r.doc_ids.len(), 10);
+        idx.check().unwrap();
+
+        // Reopen: manifest, segments and counts survive.
+        idx.flush().unwrap();
+        drop(idx);
+        let idx = VistIndex::open_file(&path, 256).unwrap();
+        assert_eq!(idx.doc_count(), 42);
+        assert_eq!(idx.stats().segments, 2);
+        let r = idx
+            .query("/book/author[text='Delta']", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(r.doc_ids, vec![d0, b2[0]]);
+        idx.check().unwrap();
+    }
+
+    #[test]
+    fn segment_docs_removable_via_tombstones_and_compaction() {
+        let dir = vist_storage::testutil::TempDir::new("vist-core-tomb");
+        let path = dir.file("store");
+        let idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+        let ids = idx
+            .bulk_build((0..10).map(|i| format!("<r><v>x{i}</v></r>")))
+            .unwrap();
+        idx.remove_document(ids[3]).unwrap();
+        assert_eq!(idx.doc_count(), 9);
+        assert_eq!(idx.stats().tombstones, 1);
+        assert!(matches!(
+            idx.remove_document(ids[3]),
+            Err(Error::NoSuchDocument(_))
+        ));
+        let r = idx
+            .query("/r/v[text='x3']", &QueryOptions::default())
+            .unwrap();
+        assert!(r.doc_ids.is_empty());
+        assert!(matches!(
+            idx.get_document_xml(ids[3]),
+            Err(Error::NoSuchDocument(_))
+        ));
+        // Compaction drops the tombstoned doc for good and preserves ids.
+        idx.insert_xml("<r><v>delta</v></r>").unwrap();
+        idx.compact().unwrap();
+        let s = idx.stats();
+        assert_eq!(s.segments, 1);
+        assert_eq!(s.tombstones, 0);
+        assert_eq!(idx.doc_count(), 10);
+        let r = idx
+            .query("/r/v[text='x3']", &QueryOptions::default())
+            .unwrap();
+        assert!(r.doc_ids.is_empty());
+        let r = idx
+            .query("/r/v[text='x7']", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(r.doc_ids, vec![ids[7]]);
+        let r = idx
+            .query("/r/v[text='delta']", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(r.doc_ids.len(), 1);
+        idx.check().unwrap();
+        // And survives reopen.
+        idx.flush().unwrap();
+        drop(idx);
+        let idx = VistIndex::open_file(&path, 256).unwrap();
+        assert_eq!(idx.doc_count(), 10);
+        let r = idx
+            .query("/r/v[text='x7']", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(r.doc_ids, vec![ids[7]]);
+        idx.check().unwrap();
+    }
+
+    #[test]
+    fn bulk_build_auto_compacts_at_threshold() {
+        let dir = vist_storage::testutil::TempDir::new("vist-core-autocompact");
+        let path = dir.file("store");
+        let idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+        for b in 0..COMPACT_SEGMENT_THRESHOLD {
+            idx.bulk_build((0..5).map(|i| format!("<r><v>b{b}i{i}</v></r>")))
+                .unwrap();
+        }
+        let s = idx.stats();
+        assert_eq!(s.segments, 1, "threshold batch must trigger compaction");
+        assert_eq!(idx.doc_count(), 5 * COMPACT_SEGMENT_THRESHOLD as u64);
+        let r = idx.query("/r/v", &QueryOptions::default()).unwrap();
+        assert_eq!(r.doc_ids.len(), 5 * COMPACT_SEGMENT_THRESHOLD);
+        idx.check().unwrap();
+    }
+
+    #[test]
+    fn untiered_index_rejects_bulk_ops() {
+        let idx = index();
+        assert!(matches!(
+            idx.bulk_build(["<a/>".to_string()]),
+            Err(Error::NotTiered)
+        ));
+        assert!(matches!(idx.compact(), Err(Error::NotTiered)));
     }
 
     #[test]

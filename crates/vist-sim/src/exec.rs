@@ -27,7 +27,7 @@ use std::sync::Arc;
 use vist_core::{IndexOptions, NaiveIndex, QueryOptions, VistIndex};
 use vist_query::parse_query;
 use vist_seq::SiblingOrder;
-use vist_storage::{is_injected, BufferPool, FaultHandle, FaultMode, FaultVfs, FilePager, RealVfs};
+use vist_storage::{is_injected, FaultHandle, FaultMode, FaultVfs, RealVfs};
 
 use crate::model::{ModelIndex, Snapshot};
 use crate::ops::{doc_xml, query_expr, Op, Trace};
@@ -44,6 +44,7 @@ pub struct Report {
     pub queries: u64,
     pub bursts: u64,
     pub flushes: u64,
+    pub compacts: u64,
     pub reopens: u64,
     pub crashes_recovered: u64,
     pub checks: u64,
@@ -57,7 +58,7 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ops={} inserts={} removes={} queries={} bursts={} flushes={} reopens={} \
+            "ops={} inserts={} removes={} queries={} bursts={} flushes={} compacts={} reopens={} \
              crashes_recovered={} checks={} truncated={} final_docs={}",
             self.ops,
             self.inserts,
@@ -65,6 +66,7 @@ impl fmt::Display for Report {
             self.queries,
             self.bursts,
             self.flushes,
+            self.compacts,
             self.reopens,
             self.crashes_recovered,
             self.checks,
@@ -108,8 +110,20 @@ struct Exec<'t> {
 /// to this run; the store lives in `dir/store` and is recreated.
 pub fn run_trace(trace: &Trace, dir: &Path) -> Result<Report, Divergence> {
     let path = dir.join("store");
-    let _ = std::fs::remove_file(&path);
-    let _ = std::fs::remove_file(FilePager::wal_path(&path));
+    // The tier spreads across sibling files (WAL, manifest, segments)
+    // and a scratch directory; sweep them all so reruns start clean.
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().starts_with("store") {
+                let p = entry.path();
+                if p.is_dir() {
+                    let _ = std::fs::remove_dir_all(&p);
+                } else {
+                    let _ = std::fs::remove_file(&p);
+                }
+            }
+        }
+    }
 
     let vfs = FaultVfs::new(Arc::new(RealVfs));
     let handle = vfs.handle();
@@ -118,10 +132,10 @@ pub fn run_trace(trace: &Trace, dir: &Path) -> Result<Report, Divergence> {
         kind: "setup-error".into(),
         detail: e,
     };
-    let pager = FilePager::create_with_vfs(&vfs, &path, trace.page_size)
+    // create_at (not create_on): the index must own a Vfs-backed tier so
+    // Op::Compact and segment reads route through the fault injector.
+    let idx = VistIndex::create_at(Arc::new(vfs), &path, index_options(trace))
         .map_err(|e| setup(e.to_string()))?;
-    let pool = Arc::new(BufferPool::with_capacity(pager, CACHE_PAGES));
-    let idx = VistIndex::create_on(pool, index_options(trace)).map_err(|e| setup(e.to_string()))?;
     // Commit the empty state so recovery always has a checkpoint to land
     // on — mirrors how a real deployment creates then checkpoints.
     idx.flush().map_err(|e| setup(e.to_string()))?;
@@ -151,6 +165,7 @@ pub fn run_trace(trace: &Trace, dir: &Path) -> Result<Report, Divergence> {
 fn index_options(trace: &Trace) -> IndexOptions {
     IndexOptions {
         page_size: trace.page_size,
+        cache_pages: CACHE_PAGES,
         lambda: trace.lambda,
         mutation: trace.mutation,
         ..Default::default()
@@ -197,10 +212,7 @@ impl Exec<'_> {
 
         let vfs = FaultVfs::new(Arc::new(RealVfs));
         self.handle = vfs.handle();
-        let pager = FilePager::open_with_vfs(&vfs, &self.path)
-            .map_err(|e| self.diverge("recovery-open-failed", e.to_string()))?;
-        let pool = Arc::new(BufferPool::with_capacity(pager, CACHE_PAGES));
-        let idx = VistIndex::open_on(pool)
+        let idx = VistIndex::open_at(Arc::new(vfs), &self.path, CACHE_PAGES)
             .map_err(|e| self.diverge("recovery-open-failed", e.to_string()))?;
         idx.set_sim_mutation(self.trace.mutation);
         idx.check()
@@ -280,6 +292,23 @@ impl Exec<'_> {
                 }
                 Err(e) => {
                     // The commit record may or may not have reached disk.
+                    let ambiguous = vec![self.model.durable().clone(), self.model.live().clone()];
+                    self.fail(e, ambiguous)
+                }
+            },
+            Op::Compact => match self.idx().compact() {
+                Ok(()) => {
+                    self.report.compacts += 1;
+                    // Compaction is a checkpoint: the pre-swap flush
+                    // commits the delta and the manifest swap publishes
+                    // the segment holding every live document.
+                    self.model.commit();
+                    Ok(())
+                }
+                Err(e) => {
+                    // The pre-swap flush may have committed the delta
+                    // even if the swap never happened; the document set
+                    // is the same on both sides of the swap.
                     let ambiguous = vec![self.model.durable().clone(), self.model.live().clone()];
                     self.fail(e, ambiguous)
                 }

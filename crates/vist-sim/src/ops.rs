@@ -37,6 +37,10 @@ pub enum Op {
     },
     /// Checkpoint: everything inserted so far becomes durable.
     Flush,
+    /// Compact delta + segments into one fresh segment (tombstones
+    /// dropped, delta cleared). Answer-preserving, and a checkpoint:
+    /// the pre-swap flush makes everything live durable.
+    Compact,
     /// Clean restart: flush, drop the index, reopen from disk.
     Reopen,
     /// Arm a crash `in_ops` file-system operations from now (torn final
@@ -169,7 +173,8 @@ pub fn generate(cfg: &SimConfig) -> Trace {
                 9..=12 => Op::Remove {
                     pick: rng.next_u64(),
                 },
-                13..=15 => Op::Flush,
+                13..=14 => Op::Flush,
+                15 => Op::Compact,
                 16 => Op::Reopen,
                 17 => Op::Check,
                 _ if ops_since_crash > 10 => {
@@ -239,6 +244,9 @@ impl Trace {
                 }
                 Op::Flush => {
                     let _ = writeln!(out, "op flush");
+                }
+                Op::Compact => {
+                    let _ = writeln!(out, "op compact");
                 }
                 Op::Reopen => {
                     let _ = writeln!(out, "op reopen");
@@ -322,6 +330,7 @@ impl Trace {
                             sched: num("sched")?,
                         },
                         "flush" => Op::Flush,
+                        "compact" => Op::Compact,
                         "reopen" => Op::Reopen,
                         "crash" => Op::Crash {
                             in_ops: num("in_ops")?,

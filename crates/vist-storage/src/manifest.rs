@@ -1,0 +1,281 @@
+//! Versioned segment manifest: which immutable segment files are live.
+//!
+//! The tiered index keeps its mutable delta in the main store file and an
+//! ordered list of immutable segment files next to it. The manifest names
+//! the live segments, so publishing or retiring a segment is a single
+//! atomic manifest update — the segment files themselves are written
+//! completely (and fsync'd) *before* the manifest ever points at them.
+//!
+//! # On-disk format
+//!
+//! `<store>.manifest` holds **two fixed-size slots** (A/B). Each slot is:
+//!
+//! ```text
+//! magic "VISTMAN1" | generation u64 | delta_epoch u64 |
+//! seg_count u32 | segment ids (u64 × seg_count) | crc32c u32
+//! ```
+//!
+//! all little-endian, CRC32C over every preceding byte of the slot. A
+//! write targets the slot `generation % 2` and fsyncs; the other slot
+//! still holds the previous generation. On load both slots are decoded
+//! and the valid slot with the highest generation wins. A torn write can
+//! only corrupt the slot being written, so the previous manifest always
+//! survives — the update is atomic without needing `rename`, which the
+//! [`Vfs`] seam deliberately does not expose.
+//!
+//! A missing manifest file (or one where no slot decodes, which is what a
+//! crash during the very first write leaves behind) means "no segments":
+//! stores created before tiering existed open unchanged.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32c;
+use crate::error::{Error, Result};
+use crate::vfs::{OpenMode, Vfs};
+
+const MAGIC: &[u8; 8] = b"VISTMAN1";
+
+/// Fixed byte size of one manifest slot; the file is exactly two slots.
+pub const MANIFEST_SLOT_SIZE: usize = 4096;
+
+/// Fixed header bytes before the segment-id list: magic + generation +
+/// delta_epoch + seg_count.
+const SLOT_HDR: usize = 8 + 8 + 8 + 4;
+
+/// Most segment ids one slot can carry (the trailing 4 bytes are CRC).
+pub const MAX_MANIFEST_SEGMENTS: usize = (MANIFEST_SLOT_SIZE - SLOT_HDR - 4) / 8;
+
+/// The live-segment list of a tiered store, plus the two counters that
+/// make segment publication and delta truncation crash-safe.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotone version of the manifest itself; also selects the slot
+    /// (`generation % 2`) so consecutive writes alternate slots.
+    pub generation: u64,
+    /// Monotone epoch of the mutable delta. Compaction bumps this *in the
+    /// manifest first*, then truncates the delta and records the same
+    /// epoch in the delta's metadata; recovery re-runs the truncation
+    /// when the manifest's epoch is ahead of the delta's.
+    pub delta_epoch: u64,
+    /// Live segment ids, oldest first. Queries read newest-to-oldest on
+    /// top of the delta.
+    pub segments: Vec<u64>,
+}
+
+impl Manifest {
+    /// Sidecar path of the manifest for store file `base`:
+    /// `<base>.manifest`.
+    pub fn path_for<P: AsRef<Path>>(base: P) -> PathBuf {
+        let mut os = base.as_ref().as_os_str().to_os_string();
+        os.push(".manifest");
+        PathBuf::from(os)
+    }
+
+    /// Sidecar path of segment `id` for store file `base`:
+    /// `<base>.seg-<id>`.
+    pub fn segment_path<P: AsRef<Path>>(base: P, id: u64) -> PathBuf {
+        let mut os = base.as_ref().as_os_str().to_os_string();
+        os.push(format!(".seg-{id}"));
+        PathBuf::from(os)
+    }
+
+    fn encode_slot(&self) -> Result<Vec<u8>> {
+        if self.segments.len() > MAX_MANIFEST_SEGMENTS {
+            return Err(Error::Corrupt(format!(
+                "manifest lists {} segments (max {MAX_MANIFEST_SEGMENTS})",
+                self.segments.len()
+            )));
+        }
+        let mut buf = vec![0u8; MANIFEST_SLOT_SIZE];
+        buf[0..8].copy_from_slice(MAGIC);
+        buf[8..16].copy_from_slice(&self.generation.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.delta_epoch.to_le_bytes());
+        buf[24..28].copy_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        let mut at = SLOT_HDR;
+        for id in &self.segments {
+            buf[at..at + 8].copy_from_slice(&id.to_le_bytes());
+            at += 8;
+        }
+        let crc = crc32c(&buf[..at]);
+        buf[at..at + 4].copy_from_slice(&crc.to_le_bytes());
+        Ok(buf)
+    }
+
+    fn decode_slot(buf: &[u8]) -> Option<Manifest> {
+        if buf.len() < SLOT_HDR + 4 || &buf[0..8] != MAGIC {
+            return None;
+        }
+        let generation = u64::from_le_bytes(buf[8..16].try_into().ok()?);
+        let delta_epoch = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+        let count = u32::from_le_bytes(buf[24..28].try_into().ok()?) as usize;
+        if count > MAX_MANIFEST_SEGMENTS {
+            return None;
+        }
+        let end = SLOT_HDR + count * 8;
+        let stored = u32::from_le_bytes(buf[end..end + 4].try_into().ok()?);
+        if crc32c(&buf[..end]) != stored {
+            return None;
+        }
+        let segments = (0..count)
+            .map(|i| {
+                let at = SLOT_HDR + i * 8;
+                u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+            })
+            .collect();
+        Some(Manifest {
+            generation,
+            delta_epoch,
+            segments,
+        })
+    }
+
+    /// Load the manifest next to store file `base`. `Ok(None)` when the
+    /// manifest file does not exist **or** exists but no slot decodes
+    /// (a crash during the very first write) — both mean "no segments".
+    pub fn load(vfs: &dyn Vfs, base: &Path) -> Result<Option<Manifest>> {
+        let path = Self::path_for(base);
+        let mut file = match vfs.open(&path, OpenMode::MustExist) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(Error::Io(e)),
+        };
+        let len = file.len().map_err(Error::Io)?;
+        let mut best: Option<Manifest> = None;
+        for slot in 0..2u64 {
+            let off = slot * MANIFEST_SLOT_SIZE as u64;
+            if off + MANIFEST_SLOT_SIZE as u64 > len {
+                continue; // slot never written (short file)
+            }
+            let mut buf = vec![0u8; MANIFEST_SLOT_SIZE];
+            if file.read_at(off, &mut buf).is_err() {
+                continue;
+            }
+            if let Some(m) = Self::decode_slot(&buf) {
+                if best.as_ref().is_none_or(|b| m.generation > b.generation) {
+                    best = Some(m);
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Durably publish this manifest next to store file `base`: write the
+    /// slot `generation % 2`, fsync the file, and fsync the parent
+    /// directory (a freshly created manifest is not durable until its
+    /// directory entry is). The other slot — the previous generation — is
+    /// untouched, so a crash anywhere in here leaves the old manifest
+    /// loadable.
+    pub fn store(&self, vfs: &dyn Vfs, base: &Path) -> Result<()> {
+        let path = Self::path_for(base);
+        let slot = self.encode_slot()?;
+        let mut file = vfs.open(&path, OpenMode::OpenOrCreate).map_err(Error::Io)?;
+        let off = (self.generation % 2) * MANIFEST_SLOT_SIZE as u64;
+        file.write_at(off, &slot).map_err(Error::Io)?;
+        file.sync().map_err(Error::Io)?;
+        vfs.sync_parent_dir(&path).map_err(Error::Io)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use crate::vfs::RealVfs;
+
+    fn mk(gen: u64, epoch: u64, segs: &[u64]) -> Manifest {
+        Manifest {
+            generation: gen,
+            delta_epoch: epoch,
+            segments: segs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn absent_manifest_loads_as_none() {
+        let dir = TempDir::new("manifest-absent");
+        assert_eq!(Manifest::load(&RealVfs, &dir.file("store")).unwrap(), None);
+    }
+
+    #[test]
+    fn store_load_round_trip_and_generations_alternate() {
+        let dir = TempDir::new("manifest-roundtrip");
+        let base = dir.file("store");
+        let m1 = mk(1, 1, &[7]);
+        m1.store(&RealVfs, &base).unwrap();
+        assert_eq!(Manifest::load(&RealVfs, &base).unwrap(), Some(m1.clone()));
+
+        let m2 = mk(2, 1, &[7, 9]);
+        m2.store(&RealVfs, &base).unwrap();
+        assert_eq!(Manifest::load(&RealVfs, &base).unwrap(), Some(m2.clone()));
+
+        // Both slots are now populated; the higher generation wins even
+        // though it lives in the "first" slot byte-wise.
+        let m3 = mk(3, 2, &[9]);
+        m3.store(&RealVfs, &base).unwrap();
+        assert_eq!(Manifest::load(&RealVfs, &base).unwrap(), Some(m3));
+    }
+
+    #[test]
+    fn torn_write_falls_back_to_previous_generation() {
+        let dir = TempDir::new("manifest-torn");
+        let base = dir.file("store");
+        let m1 = mk(1, 1, &[4]);
+        m1.store(&RealVfs, &base).unwrap();
+
+        // Corrupt the slot generation 2 would target (slot 0) mid-write:
+        // a plausible torn prefix of a new slot image.
+        let path = Manifest::path_for(&base);
+        let mut bytes = std::fs::read(&path).unwrap();
+        if bytes.len() < 2 * MANIFEST_SLOT_SIZE {
+            bytes.resize(2 * MANIFEST_SLOT_SIZE, 0);
+        }
+        bytes[0..8].copy_from_slice(b"VISTMAN1");
+        bytes[8..16].copy_from_slice(&2u64.to_le_bytes());
+        // ... and nothing else of the slot: CRC check must reject it.
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(Manifest::load(&RealVfs, &base).unwrap(), Some(m1));
+    }
+
+    #[test]
+    fn fully_torn_first_write_means_no_segments() {
+        let dir = TempDir::new("manifest-first-torn");
+        let base = dir.file("store");
+        // A crash during the first-ever store can leave a short garbage
+        // file; that must read as "no manifest", not an error.
+        std::fs::write(Manifest::path_for(&base), b"VISTMAN1\x01\x02").unwrap();
+        assert_eq!(Manifest::load(&RealVfs, &base).unwrap(), None);
+    }
+
+    #[test]
+    fn segment_list_capacity_is_enforced() {
+        let dir = TempDir::new("manifest-cap");
+        let base = dir.file("store");
+        let too_many = mk(1, 0, &vec![0u64; MAX_MANIFEST_SEGMENTS + 1]);
+        assert!(too_many.store(&RealVfs, &base).is_err());
+        let max = mk(1, 0, &vec![3u64; MAX_MANIFEST_SEGMENTS]);
+        max.store(&RealVfs, &base).unwrap();
+        assert_eq!(
+            Manifest::load(&RealVfs, &base)
+                .unwrap()
+                .unwrap()
+                .segments
+                .len(),
+            MAX_MANIFEST_SEGMENTS
+        );
+    }
+
+    #[test]
+    fn paths_are_sidecars_of_the_store_file() {
+        assert_eq!(
+            Manifest::path_for("/x/store"),
+            PathBuf::from("/x/store.manifest")
+        );
+        assert_eq!(
+            Manifest::segment_path("/x/store", 12),
+            PathBuf::from("/x/store.seg-12")
+        );
+    }
+}

@@ -44,6 +44,19 @@ pub enum Command {
         /// Print the hierarchical span tree of the query's execution.
         trace: bool,
     },
+    /// `vist load <index> <dir|file.xml>`
+    Load {
+        /// Index file path.
+        index: PathBuf,
+        /// A directory of `*.xml` files (loaded in sorted name order) or a
+        /// single XML file.
+        input: PathBuf,
+    },
+    /// `vist compact <index>`
+    Compact {
+        /// Index file path.
+        index: PathBuf,
+    },
     /// `vist remove <index> <doc-id>`
     Remove {
         /// Index file path.
@@ -162,6 +175,8 @@ vist — index and query XML documents by tree structure (SIGMOD'03 ViST)
 USAGE:
   vist create  <index> [--page-size N] [--lambda N] [--no-docs]
   vist add     <index> <file.xml>...
+  vist load    <index> <dir|file.xml>
+  vist compact <index>
   vist query   <index> '<expr>' [--verify] [--show] [--workers N] [--trace]
   vist remove  <index> <doc-id>
   vist explain <index> '<expr>' [--workers N]
@@ -189,6 +204,13 @@ OBSERVABILITY:
                        gauges, latency histograms) as JSON or Prometheus text
   profile              replay a query workload and print a per-query latency
                        table with stage timings, plus the slow-query log
+
+TIERED STORAGE (see docs/SEGMENTS.md):
+  load                 bulk-load a batch through external sort into one
+                       immutable packed segment (~100% leaf fill) instead of
+                       the per-document dynamic insert path
+  compact              merge the delta and all segments into one fresh
+                       segment, dropping deleted documents for good
 
 QUERY EXPRESSIONS (the paper's Table 3 subset):
   /book/author                       child paths
@@ -272,6 +294,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 show,
                 workers,
                 trace,
+            })
+        }
+        "load" => {
+            let [index, input] = rest.as_slice() else {
+                return Err("load: expected an index path and a directory or XML file".into());
+            };
+            Ok(Command::Load {
+                index: PathBuf::from(index),
+                input: PathBuf::from(input),
+            })
+        }
+        "compact" => {
+            let [index] = rest.as_slice() else {
+                return Err("compact: expected exactly one index path".into());
+            };
+            Ok(Command::Compact {
+                index: PathBuf::from(index),
             })
         }
         "remove" => {
@@ -500,6 +539,50 @@ pub fn run(cmd: Command) -> Result<String, String> {
             }
             Ok(out)
         }
+        Command::Load { index, input } => {
+            let idx = open(&index)?;
+            let meta =
+                std::fs::metadata(&input).map_err(|e| format!("{}: {e}", input.display()))?;
+            let files: Vec<PathBuf> = if meta.is_dir() {
+                let mut v: Vec<PathBuf> = std::fs::read_dir(&input)
+                    .map_err(|e| format!("{}: {e}", input.display()))?
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|x| x == "xml"))
+                    .collect();
+                v.sort();
+                if v.is_empty() {
+                    return Err(format!("{}: no *.xml files", input.display()));
+                }
+                v
+            } else {
+                vec![input]
+            };
+            let mut docs = Vec::with_capacity(files.len());
+            for f in &files {
+                docs.push(std::fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?);
+            }
+            let ids = idx.bulk_build(docs).map_err(|e| e.to_string())?;
+            let s = idx.stats();
+            Ok(format!(
+                "bulk loaded {} document(s) (ids {}..={}); {} segment(s), {} segment doc(s)\n",
+                ids.len(),
+                ids.first().copied().unwrap_or(0),
+                ids.last().copied().unwrap_or(0),
+                s.segments,
+                s.segment_docs,
+            ))
+        }
+        Command::Compact { index } => {
+            let idx = open(&index)?;
+            let before = idx.stats();
+            idx.compact().map_err(|e| e.to_string())?;
+            let after = idx.stats();
+            Ok(format!(
+                "compacted {} segment(s) + delta -> {} segment(s); \
+                 {} tombstoned doc(s) dropped; {} live document(s)\n",
+                before.segments, after.segments, before.tombstones, after.documents,
+            ))
+        }
         Command::Remove { index, doc_id } => {
             let idx = open(&index)?;
             idx.remove_document(doc_id).map_err(|e| e.to_string())?;
@@ -543,11 +626,16 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     return Ok(vist_obs::render_prometheus(&vist_obs::snapshot()))
                 }
             }
-            let b = idx.store().tree_breakdown().map_err(|e| e.to_string())?;
+            // Also refreshes the leaf-fill gauges.
+            let (b, segs) = idx.tier_breakdown().map_err(|e| e.to_string())?;
             let mut out = String::new();
             writeln!(out, "documents:            {}", s.documents).unwrap();
             writeln!(out, "suffix-tree nodes:    {}", s.nodes).unwrap();
             writeln!(out, "D-Ancestor keys:      {}", s.dkeys).unwrap();
+            writeln!(out, "segments:             {}", s.segments).unwrap();
+            writeln!(out, "segment documents:    {}", s.segment_docs).unwrap();
+            writeln!(out, "segment bytes:        {}", s.segment_bytes).unwrap();
+            writeln!(out, "tombstones:           {}", s.tombstones).unwrap();
             writeln!(out, "tight underflows:     {}", s.underflows).unwrap();
             writeln!(out, "node incarnations:    {}", s.deep_borrows).unwrap();
             writeln!(out, "match work items:     {}", s.match_work_items).unwrap();
@@ -555,36 +643,29 @@ pub fn run(cmd: Command) -> Result<String, String> {
             writeln!(out, "match scopes merged:  {}", s.match_scopes_merged).unwrap();
             writeln!(out, "match dedup skips:    {}", s.match_dedup_skips).unwrap();
             writeln!(out, "store bytes:          {}", s.store_bytes).unwrap();
-            writeln!(
-                out,
-                "  D-Ancestor tree:    {} entries, {} bytes",
-                b.dancestor.entries, b.dancestor.total_bytes
-            )
-            .unwrap();
-            writeln!(
-                out,
-                "  S-Ancestor tree:    {} entries, {} bytes",
-                b.sancestor.entries, b.sancestor.total_bytes
-            )
-            .unwrap();
-            writeln!(
-                out,
-                "  DocId tree:         {} entries, {} bytes",
-                b.docid.entries, b.docid.total_bytes
-            )
-            .unwrap();
-            writeln!(
-                out,
-                "  edges tree:         {} entries, {} bytes",
-                b.edges.entries, b.edges.total_bytes
-            )
-            .unwrap();
-            writeln!(
-                out,
-                "  aux tree:           {} entries, {} bytes",
-                b.aux.entries, b.aux.total_bytes
-            )
-            .unwrap();
+            let tree_line = |out: &mut String, label: &str, t: &vist_btree::TreeStats| {
+                writeln!(
+                    out,
+                    "  {label:<19} {} entries, {} bytes, {} page(s), {:.0}% leaf fill",
+                    t.entries,
+                    t.total_bytes,
+                    t.leaf_pages + t.internal_pages,
+                    t.leaf_fill() * 100.0
+                )
+                .unwrap();
+            };
+            tree_line(&mut out, "D-Ancestor tree:", &b.dancestor);
+            tree_line(&mut out, "S-Ancestor tree:", &b.sancestor);
+            tree_line(&mut out, "DocId tree:", &b.docid);
+            tree_line(&mut out, "edges tree:", &b.edges);
+            tree_line(&mut out, "aux tree:", &b.aux);
+            for (id, sb) in &segs {
+                writeln!(out, "segment {id}:").unwrap();
+                tree_line(&mut out, "D-Ancestor tree:", &sb.dancestor);
+                tree_line(&mut out, "S-Ancestor tree:", &sb.sancestor);
+                tree_line(&mut out, "DocId tree:", &sb.docid);
+                tree_line(&mut out, "documents tree:", &sb.aux);
+            }
             writeln!(out, "page reads:           {}", s.io.reads).unwrap();
             writeln!(out, "page writes:          {}", s.io.writes).unwrap();
             writeln!(out, "wal appends:          {}", s.io.wal_appends).unwrap();
@@ -1240,6 +1321,109 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("1 documents"), "{out}");
+    }
+
+    #[test]
+    fn parse_load_and_compact() {
+        assert_eq!(
+            parse_args(&argv("load idx corpus/")).unwrap(),
+            Command::Load {
+                index: PathBuf::from("idx"),
+                input: PathBuf::from("corpus/"),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("compact idx")).unwrap(),
+            Command::Compact {
+                index: PathBuf::from("idx"),
+            }
+        );
+        assert!(parse_args(&argv("load idx")).is_err());
+        assert!(parse_args(&argv("load")).is_err());
+        assert!(parse_args(&argv("compact")).is_err());
+        assert!(parse_args(&argv("compact idx extra")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_tiered_load_and_compact() {
+        let tmp = vist_storage::testutil::TempDir::new("cli-tiered");
+        let index = tmp.file("i.idx");
+        let corpus = tmp.file("corpus");
+        std::fs::create_dir(&corpus).unwrap();
+        for (i, name) in ["ann", "bob", "eve"].iter().enumerate() {
+            std::fs::write(
+                corpus.join(format!("{i}.xml")),
+                format!("<book><author>{name}</author></book>"),
+            )
+            .unwrap();
+        }
+
+        run(parse_args(&argv(&format!("create {}", index.display()))).unwrap()).unwrap();
+        let out = run(Command::Load {
+            index: index.clone(),
+            input: corpus.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("bulk loaded 3 document(s)"), "{out}");
+        assert!(out.contains("1 segment(s)"), "{out}");
+
+        // Loading a single file appends a second segment.
+        let single = tmp.file("extra.xml");
+        std::fs::write(&single, "<book><author>dan</author></book>").unwrap();
+        let out = run(Command::Load {
+            index: index.clone(),
+            input: single,
+        })
+        .unwrap();
+        assert!(out.contains("bulk loaded 1 document(s)"), "{out}");
+        assert!(out.contains("2 segment(s)"), "{out}");
+
+        // Queries see segment-resident documents; removal tombstones them.
+        let out = run(Command::Query {
+            index: index.clone(),
+            expr: "//author".into(),
+            verify: true,
+            show: false,
+            workers: 1,
+            trace: false,
+        })
+        .unwrap();
+        assert!(out.starts_with("4 document(s)"), "{out}");
+        run(Command::Remove {
+            index: index.clone(),
+            doc_id: 1,
+        })
+        .unwrap();
+
+        let out = run(Command::Stats {
+            index: index.clone(),
+            format: StatsFormat::Human,
+        })
+        .unwrap();
+        assert!(out.contains("segments:             2"), "{out}");
+        assert!(out.contains("tombstones:           1"), "{out}");
+        assert!(out.contains("segment 1:"), "{out}");
+        assert!(out.contains("leaf fill"), "{out}");
+
+        let out = run(Command::Compact {
+            index: index.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("compacted 2 segment(s)"), "{out}");
+        assert!(out.contains("1 tombstoned doc(s) dropped"), "{out}");
+        assert!(out.contains("3 live document(s)"), "{out}");
+
+        let out = run(Command::Query {
+            index: index.clone(),
+            expr: "//author".into(),
+            verify: true,
+            show: true,
+            workers: 1,
+            trace: false,
+        })
+        .unwrap();
+        assert!(out.starts_with("3 document(s)"), "{out}");
+        assert!(!out.contains("bob"), "{out}");
     }
 
     /// Build a small index for the observability-command tests.
