@@ -50,8 +50,9 @@ pub use extsort::{ExtSorter, SortedStream, DEFAULT_SORT_BUDGET};
 pub use naive::NaiveIndex;
 pub use rist::RistIndex;
 pub use search::{
-    search_sequences, search_sequences_with, QueryStats, SearchMode, SearchOutcome, SearchSource,
-    StageTimings,
+    search_sequences, search_sequences_opts, search_sequences_with, DkStats, DocIdStrategy,
+    PlanReport, PruneReason, QueryStats, SearchMode, SearchOptions, SearchOutcome, SearchSource,
+    SeqPlan, SourceTotals, StageTimings, StepPlan,
 };
 pub use stats::{IndexStats, MatchCounters, MatchCountersSnapshot};
 pub use store::{DocId, NodeState, Store, StoreBreakdown};
@@ -69,6 +70,10 @@ pub fn register_metrics() {
     let _ = vist_obs::counter!("vist_core_nodes_visited_total");
     let _ = vist_obs::counter!("vist_core_steals_total");
     let _ = vist_obs::counter!("vist_core_dedup_skips_total");
+    let _ = vist_obs::counter!("vist_core_planner_seqs_pruned_total");
+    let _ = vist_obs::counter!("vist_core_planner_probes_total");
+    let _ = vist_obs::counter!("vist_core_planner_probe_prunes_total");
+    let _ = vist_obs::counter!("vist_core_planner_docid_sweeps_total");
     let _ = vist_obs::gauge!("vist_core_documents");
     let _ = vist_obs::gauge!("vist_core_segments");
     let _ = vist_obs::gauge!("vist_core_delta_leaf_fill_bp");

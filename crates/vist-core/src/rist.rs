@@ -134,6 +134,10 @@ impl RistIndex {
             match_steals: mc.steals,
             match_scopes_merged: mc.scopes_merged,
             match_dedup_skips: mc.dedup_skips,
+            match_planner_seqs_pruned: mc.planner_seqs_pruned,
+            match_planner_probes: mc.planner_probes,
+            match_planner_probe_prunes: mc.planner_probe_prunes,
+            match_planner_docid_sweeps: mc.planner_docid_sweeps,
             store_bytes: self.store.store_bytes(),
             io: self.store.pool().stats(),
             pool: self.store.pool().pool_stats(),

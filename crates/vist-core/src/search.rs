@@ -35,8 +35,37 @@
 //! The inner loop is allocation-light: B+Tree probes stream through the
 //! `*_with` cursor APIs of [`Store`] (no per-probe `Vec`), and bindings are
 //! shared between frames through a persistent [`BindNode`] chain.
+//!
+//! # Cost-based planning (ViST §3.4 "statistical clues")
+//!
+//! The plan stage between translation and matching uses cheap per-D-Ancestor
+//! statistics ([`DkStats`], maintained incrementally by the delta and
+//! computed exactly at segment build time) to transform the work-list
+//! **without changing its answer**:
+//!
+//! - **Empty-prefix short-circuits** — a sequence whose concrete-prefix
+//!   element is absent from the D-Ancestor tree, or whose `*`/`//` element's
+//!   pattern probe matches nothing, can never complete and is never seeded.
+//!   (The static pattern covers every runtime instantiation, so an empty
+//!   probe is a proof, not a heuristic.)
+//! - **Selectivity ordering** — live sequences are seeded cheapest-first
+//!   (by estimated node visits), and within a wildcard expansion the
+//!   D-Ancestor candidates are descended smallest-first.
+//! - **Child-probe pruning** — before range-scanning the S-Ancestor entries
+//!   of a matched key, the planner probes the (fully determined) D-Ancestor
+//!   keys of wildcarded child elements reachable from that binding by
+//!   concrete steps; any absent key proves the whole subtree dead.
+//! - **DocId strategy choice** — the final merged scopes are resolved
+//!   either by one range jump per scope or by a single keyed sweep of the
+//!   covering range, picked from the source's posting total.
+//! - **`limit` early termination** — bounded runs resolve completed scopes
+//!   eagerly and stop as soon as enough distinct documents are in hand.
+//!
+//! Every transform only reorders work or prunes provably-empty work, so
+//! (unlimited) results are bit-identical with planning on or off —
+//! [`SearchOptions::plan`] exists purely for bisection and benchmarks.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 use vist_query::{QueryElem, QuerySequence};
@@ -45,6 +74,32 @@ use vist_seq::{dkey, PathSym, Prefix, Sym, Symbol};
 use crate::error::Result;
 use crate::pool;
 use crate::store::{DocId, NodeState, Store};
+
+/// Cheap per-D-Ancestor-entry statistics driving the planner. The delta
+/// maintains them incrementally on insert/remove (persisted through
+/// `Store::flush`); segments compute them exactly at build time and pack
+/// them as an extra tree. Missing statistics degrade ordering, never
+/// correctness.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DkStats {
+    /// S-Ancestor entries under this key (virtual suffix-tree nodes,
+    /// including incarnations).
+    pub nodes: u64,
+    /// DocId postings attached to this key's nodes (an upper bound on the
+    /// distinct document ids below it).
+    pub docs: u64,
+    /// Child nodes allocated under this key's nodes (scope fan-out).
+    pub fanout: u64,
+}
+
+/// Source-wide statistic totals, for the planner's DocId strategy choice.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SourceTotals {
+    /// Total S-Ancestor entries in the source.
+    pub nodes: u64,
+    /// Total DocId postings in the source.
+    pub postings: u64,
+}
 
 /// The B+Tree probe surface Algorithm 2 needs, abstracted over where the
 /// trees live: the mutable delta ([`Store`]) or an immutable packed
@@ -76,6 +131,29 @@ pub trait SearchSource: Sync {
 
     /// Document ids attached to labels in `[lo, hi)`, in label order.
     fn docids_in_range(&self, lo: u128, hi: u128, f: &mut dyn FnMut(DocId)) -> Result<()>;
+
+    /// Like [`SearchSource::docids_in_range`] but also hands `f` each
+    /// posting's label, so the planner's sweep strategy can test membership
+    /// against the merged scope list while scanning the covering range
+    /// once.
+    fn docids_in_range_keyed(
+        &self,
+        lo: u128,
+        hi: u128,
+        f: &mut dyn FnMut(u128, DocId),
+    ) -> Result<()>;
+
+    /// Planner statistics for one D-Ancestor entry, when the source
+    /// maintains them. `None` falls back to candidate counting.
+    fn dkid_stats(&self, _dkid: u64) -> Option<DkStats> {
+        None
+    }
+
+    /// Source-wide totals, when known. `None` disables the planner's
+    /// DocId sweep strategy for this source.
+    fn totals(&self) -> Option<SourceTotals> {
+        None
+    }
 }
 
 impl SearchSource for Store {
@@ -99,6 +177,23 @@ impl SearchSource for Store {
 
     fn docids_in_range(&self, lo: u128, hi: u128, f: &mut dyn FnMut(DocId)) -> Result<()> {
         self.docids_in_range_with(lo, hi, f)
+    }
+
+    fn docids_in_range_keyed(
+        &self,
+        lo: u128,
+        hi: u128,
+        f: &mut dyn FnMut(u128, DocId),
+    ) -> Result<()> {
+        self.docids_in_range_keyed_with(lo, hi, f)
+    }
+
+    fn dkid_stats(&self, dkid: u64) -> Option<DkStats> {
+        Store::dkid_stats(self, dkid)
+    }
+
+    fn totals(&self) -> Option<SourceTotals> {
+        Some(self.stats_totals())
     }
 }
 
@@ -128,6 +223,18 @@ pub struct QueryStats {
     /// Duplicate sub-problems skipped by the visited set (identical
     /// `(dkey, scope)` reached via different wildcard expansions).
     pub dedup_skips: u64,
+    /// Sequences the planner proved empty and never seeded (absent
+    /// concrete prefix or empty wildcard pattern probe).
+    pub planner_seqs_pruned: u64,
+    /// D-Ancestor probes issued by the planner (plan-time pattern probes
+    /// plus memoized child-probe lookups in the match loop).
+    pub planner_probes: u64,
+    /// S-Ancestor descents skipped because a child probe proved the
+    /// subtree dead.
+    pub planner_probe_prunes: u64,
+    /// DocId resolutions where the planner chose the keyed sweep over
+    /// per-scope range jumps.
+    pub planner_docid_sweeps: u64,
 }
 
 impl QueryStats {
@@ -143,6 +250,10 @@ impl QueryStats {
         self.steals += other.steals;
         self.scopes_merged += other.scopes_merged;
         self.dedup_skips += other.dedup_skips;
+        self.planner_seqs_pruned += other.planner_seqs_pruned;
+        self.planner_probes += other.planner_probes;
+        self.planner_probe_prunes += other.planner_probe_prunes;
+        self.planner_docid_sweeps += other.planner_docid_sweeps;
     }
 }
 
@@ -155,8 +266,8 @@ pub struct StageTimings {
     /// Query parse + translation to structure-encoded sequences
     /// (recorded by the index, zero for direct `search_sequences` calls).
     pub translate_nanos: u64,
-    /// Per-sequence context build: the up-front D-Ancestor probes for
-    /// concrete prefixes.
+    /// The planner: per-sequence context build, up-front D-Ancestor
+    /// probes, selectivity ordering.
     pub plan_nanos: u64,
     /// The work-list match loop (D-Ancestor candidates + S-Ancestor
     /// range scans), across all workers, in wall-clock time.
@@ -207,6 +318,125 @@ pub enum SearchMode {
     Scopes,
 }
 
+/// Knobs for one [`search_sequences_opts`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Match-engine worker threads (`<= 1` runs inline on the caller).
+    pub workers: usize,
+    /// Resolve documents or collect scopes.
+    pub mode: SearchMode,
+    /// Seeded frame scheduling (the `vist-sim` hook); `None` is the
+    /// default depth-first/FIFO order.
+    pub schedule_seed: Option<u64>,
+    /// Cost-based planning (see the module docs). On by default; turning
+    /// it off restores the naive fixed-preorder engine for bisection.
+    pub plan: bool,
+    /// Stop after this many distinct documents ([`SearchMode::Docs`]
+    /// only). Forces serial execution with eager DocId resolution; the
+    /// result is a subset of the unlimited answer of size
+    /// `min(limit, total)`.
+    pub limit: Option<usize>,
+    /// Attach a per-step [`PlanReport`] (estimated vs actual
+    /// cardinalities) to the outcome — `vist explain --plan`.
+    pub collect_plan: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            workers: 1,
+            mode: SearchMode::Docs,
+            schedule_seed: None,
+            plan: true,
+            limit: None,
+            collect_plan: false,
+        }
+    }
+}
+
+/// Why the planner refused to seed a sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneReason {
+    /// Element `qi`'s concrete-prefix D-Ancestor key is absent.
+    EmptyConcrete {
+        /// The element whose key is absent.
+        qi: usize,
+    },
+    /// Element `qi`'s `*`/`//` D-Ancestor pattern probe matched nothing;
+    /// the static pattern covers every runtime instantiation.
+    EmptyWildcard {
+        /// The element whose pattern probe came up empty.
+        qi: usize,
+    },
+}
+
+/// How the final merged scopes were resolved against the DocId tree.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum DocIdStrategy {
+    /// One range query per merged scope (the paper's jump). For `limit`
+    /// runs this counts the eagerly resolved scopes.
+    Jump {
+        /// Ranges queried.
+        ranges: u64,
+    },
+    /// One keyed scan over the covering range, filtering labels against
+    /// the merged scope list — chosen when the source's posting total is
+    /// small relative to the number of ranges.
+    Sweep {
+        /// Merged ranges the sweep replaced.
+        ranges: u64,
+        /// The source's posting total that justified the sweep.
+        postings: u64,
+    },
+    /// DocId resolution did not run ([`SearchMode::Scopes`]).
+    #[default]
+    NotRun,
+}
+
+/// Per-element plan row: estimates from the statistics layer next to the
+/// counters the match loop actually produced.
+#[derive(Debug, Clone, Default)]
+pub struct StepPlan {
+    /// Element position in the sequence.
+    pub qi: usize,
+    /// Whether the element's prefix carries `*`/`//` (estimates come from
+    /// a plan-time pattern probe instead of an exact lookup).
+    pub wildcard: bool,
+    /// D-Ancestor entries estimated to match the element.
+    pub est_candidates: u64,
+    /// S-Ancestor entries estimated under the matching keys.
+    pub est_nodes: u64,
+    /// Frames actually expanded at this element (collect_plan only).
+    pub actual_frames: u64,
+    /// S-Ancestor nodes actually visited at this element.
+    pub actual_nodes: u64,
+}
+
+/// One sequence's plan.
+#[derive(Debug, Clone)]
+pub struct SeqPlan {
+    /// Index in the caller's sequence list.
+    pub index: usize,
+    /// Execution rank after selectivity ordering (0 = seeded first).
+    pub rank: usize,
+    /// Set when the sequence was short-circuited and never seeded.
+    pub pruned: Option<PruneReason>,
+    /// Estimated node visits (sum of per-step `est_nodes`).
+    pub est_cost: u64,
+    /// Per-element rows, in sequence order.
+    pub steps: Vec<StepPlan>,
+}
+
+/// What the planner decided for one source, collected when
+/// [`SearchOptions::collect_plan`] is set.
+#[derive(Debug, Clone, Default)]
+pub struct PlanReport {
+    /// One entry per input sequence, in input order.
+    pub seqs: Vec<SeqPlan>,
+    /// The DocId resolution strategy the run used.
+    pub docid_strategy: DocIdStrategy,
+}
+
 /// Result of one [`search_sequences`] run.
 #[derive(Debug, Default)]
 pub struct SearchOutcome {
@@ -220,6 +450,8 @@ pub struct SearchOutcome {
     pub stats: QueryStats,
     /// Wall-clock stage breakdown (zeros when timing is disabled).
     pub timings: StageTimings,
+    /// The plan, when [`SearchOptions::collect_plan`] asked for it.
+    pub plan: Option<PlanReport>,
 }
 
 /// Run Algorithm 2 over every alternative sequence of one query, unioning
@@ -237,7 +469,15 @@ pub fn search_sequences(
     workers: usize,
     mode: SearchMode,
 ) -> Result<SearchOutcome> {
-    search_sequences_with(source, seqs, workers, mode, None)
+    search_sequences_opts(
+        source,
+        seqs,
+        &SearchOptions {
+            workers,
+            mode,
+            ..SearchOptions::default()
+        },
+    )
 }
 
 /// [`search_sequences`] with an explicit frame-scheduling seed.
@@ -255,26 +495,85 @@ pub fn search_sequences_with(
     mode: SearchMode,
     schedule_seed: Option<u64>,
 ) -> Result<SearchOutcome> {
+    search_sequences_opts(
+        source,
+        seqs,
+        &SearchOptions {
+            workers,
+            mode,
+            schedule_seed,
+            ..SearchOptions::default()
+        },
+    )
+}
+
+/// Estimated S-Ancestor entries under one D-Ancestor key; at least 1 so
+/// candidate counting still orders sources without statistics.
+fn est_nodes(source: &dyn SearchSource, dkid: u64) -> u64 {
+    source.dkid_stats(dkid).map_or(1, |s| s.nodes.max(1))
+}
+
+/// Entries a plan-time pattern probe will scan before it stops trusting
+/// (and stops refining) its estimate. A capped probe never prunes.
+const PLAN_PROBE_CAP: u64 = 4096;
+
+/// Merged scopes below this count always use per-scope jumps; at or above
+/// it the sweep competes on the posting total.
+const SWEEP_MIN_RANGES: usize = 4;
+
+/// The sweep is chosen when `postings <= ranges * SWEEP_FACTOR`: `ranges`
+/// tree descents cost about `SWEEP_FACTOR` sequential posting reads each.
+const SWEEP_FACTOR: u64 = 16;
+
+/// [`search_sequences`] with the full option set: planning, limits, plan
+/// report collection (see [`SearchOptions`]).
+pub fn search_sequences_opts(
+    source: &dyn SearchSource,
+    seqs: &[QuerySequence],
+    opts: &SearchOptions,
+) -> Result<SearchOutcome> {
     let mut stats = QueryStats::default();
     let mut timings = StageTimings::default();
-    let mut scopes: Vec<(u128, u128)> = Vec::new();
+    // Scopes contributed before the match loop runs: an empty sequence
+    // (all-wildcard query) matches the whole label space.
+    let mut pre_scopes: Vec<(u128, u128)> = Vec::new();
     let mut ctxs: Vec<SeqCtx<'_>> = Vec::with_capacity(seqs.len());
+    let mut plans: Vec<SeqPlan> = Vec::with_capacity(seqs.len());
+    let order: Vec<usize>;
     {
         let _span = vist_obs::Span::enter("plan");
         let t = vist_obs::now();
-        for qs in seqs {
+        for (i, qs) in seqs.iter().enumerate() {
             if qs.elems.is_empty() {
-                scopes.push((0, vist_seq::MAX_SCOPE));
+                pre_scopes.push((0, vist_seq::MAX_SCOPE));
             }
-            ctxs.push(SeqCtx::build(source, qs, &mut stats)?);
+            let ctx = SeqCtx::build(source, qs, &mut stats)?;
+            let plan = if opts.plan {
+                plan_sequence(source, &ctx, i, &mut stats)?
+            } else {
+                skeleton_plan(&ctx, i, opts.collect_plan)
+            };
+            ctxs.push(ctx);
+            plans.push(plan);
         }
+        // Seed live sequences cheapest-first. With planning off this is
+        // the input order and nothing is pruned (dead concrete branches
+        // still die inside `expand`, as before).
+        let mut live: Vec<usize> = (0..seqs.len())
+            .filter(|&i| !seqs[i].elems.is_empty() && plans[i].pruned.is_none())
+            .collect();
+        if opts.plan {
+            live.sort_by_key(|&i| (plans[i].est_cost, i));
+        }
+        for (rank, &i) in live.iter().enumerate() {
+            plans[i].rank = rank;
+        }
+        order = live;
         timings.plan_nanos = vist_obs::elapsed_nanos(t).unwrap_or(0);
     }
-    let seeds: Vec<Frame> = seqs
+    let seeds: Vec<Frame> = order
         .iter()
-        .enumerate()
-        .filter(|(_, qs)| !qs.elems.is_empty())
-        .map(|(i, _)| Frame {
+        .map(|&i| Frame {
             // The virtual root covers the whole label space; its own label 0
             // is excluded from descendant ranges by the strict lower bound.
             seq: i as u32,
@@ -284,17 +583,27 @@ pub fn search_sequences_with(
             binds: None,
         })
         .collect();
+    let track = opts.collect_plan;
 
-    let workers = workers.max(1);
+    if let (Some(limit), SearchMode::Docs) = (opts.limit, opts.mode) {
+        return run_limited(
+            source, &ctxs, plans, seeds, pre_scopes, stats, timings, opts, limit,
+        );
+    }
+
+    let mut scopes = pre_scopes;
+    let workers = opts.workers.max(1);
     let match_span = vist_obs::Span::enter("match");
     let match_start = vist_obs::now();
     if workers == 1 || seeds.len() + 1 < 2 {
         // Inline serial path: a plain explicit stack, no threads. With a
         // schedule seed the next frame is a seeded pick instead of the
         // depth-first top of stack (see `search_sequences_with`).
-        let mut out = WorkerOut::default();
-        let mut sched = schedule_seed;
+        let mut out = WorkerOut::new(opts.plan, track);
+        let mut sched = opts.schedule_seed;
         let mut stack = seeds;
+        // `pop` takes the back, so reverse to expand rank 0 first.
+        stack.reverse();
         loop {
             let frame = match &mut sched {
                 _ if stack.is_empty() => None,
@@ -310,12 +619,13 @@ pub fn search_sequences_with(
         }
         stats.merge(&out.stats);
         scopes.append(&mut out.scopes);
+        absorb_steps(&mut plans, &out);
     } else {
         let outs: Vec<Mutex<WorkerOut>> = (0..workers)
-            .map(|_| Mutex::new(WorkerOut::default()))
+            .map(|_| Mutex::new(WorkerOut::new(opts.plan, track)))
             .collect();
         let first_err: Mutex<Option<crate::error::Error>> = Mutex::new(None);
-        let policy = match schedule_seed {
+        let policy = match opts.schedule_seed {
             None => pool::SchedPolicy::Fifo,
             Some(s) => pool::SchedPolicy::Seeded(s),
         };
@@ -363,12 +673,13 @@ pub fn search_sequences_with(
             let mut out = out.into_inner().unwrap_or_else(|e| e.into_inner());
             stats.merge(&out.stats);
             scopes.append(&mut out.scopes);
+            absorb_steps(&mut plans, &out);
         }
     }
     timings.match_nanos = vist_obs::elapsed_nanos(match_start).unwrap_or(0);
     drop(match_span);
 
-    match mode {
+    match opts.mode {
         SearchMode::Scopes => {
             // Canonical form: matched scopes are a *set* (different
             // branches, sequences, or workers can reach the same final
@@ -383,6 +694,10 @@ pub fn search_sequences_with(
                 scopes,
                 stats,
                 timings,
+                plan: track.then_some(PlanReport {
+                    seqs: plans,
+                    docid_strategy: DocIdStrategy::NotRun,
+                }),
             })
         }
         SearchMode::Docs => {
@@ -396,20 +711,256 @@ pub fn search_sequences_with(
             let _span = vist_obs::Span::enter("docid");
             let t = vist_obs::now();
             let mut docs = BTreeSet::new();
-            for &(lo, hi) in &merged {
-                // "Perform a range query [n, n+size) on the DocId B+Tree."
+            // Strategy choice: many scopes over a small posting set are
+            // cheaper as one keyed sweep of the covering range than as one
+            // tree descent per scope. The sweep visits exactly the same
+            // postings the jumps would, so the id set is identical.
+            let totals = if opts.plan { source.totals() } else { None };
+            let sweep = merged.len() >= SWEEP_MIN_RANGES
+                && totals.is_some_and(|t| {
+                    t.postings <= (merged.len() as u64).saturating_mul(SWEEP_FACTOR)
+                });
+            let strategy = if sweep {
+                stats.planner_docid_sweeps += 1;
                 stats.docid_scans += 1;
-                source.docids_in_range(lo, hi, &mut |doc| {
-                    docs.insert(doc);
+                let lo = merged.first().map_or(0, |m| m.0);
+                let hi = merged.last().map_or(0, |m| m.1);
+                let mut at = 0usize;
+                source.docids_in_range_keyed(lo, hi, &mut |n, doc| {
+                    // `merged` is sorted and disjoint and `n` arrives
+                    // ascending, so a single cursor suffices.
+                    while at < merged.len() && n >= merged[at].1 {
+                        at += 1;
+                    }
+                    if at < merged.len() && n >= merged[at].0 {
+                        docs.insert(doc);
+                    }
                 })?;
-            }
+                DocIdStrategy::Sweep {
+                    ranges: merged.len() as u64,
+                    postings: totals.map_or(0, |t| t.postings),
+                }
+            } else {
+                for &(lo, hi) in &merged {
+                    // "Perform a range query [n, n+size) on the DocId
+                    // B+Tree."
+                    stats.docid_scans += 1;
+                    source.docids_in_range(lo, hi, &mut |doc| {
+                        docs.insert(doc);
+                    })?;
+                }
+                DocIdStrategy::Jump {
+                    ranges: merged.len() as u64,
+                }
+            };
             timings.docid_nanos = vist_obs::elapsed_nanos(t).unwrap_or(0);
             Ok(SearchOutcome {
                 docs,
                 scopes: merged,
                 stats,
                 timings,
+                plan: track.then_some(PlanReport {
+                    seqs: plans,
+                    docid_strategy: strategy,
+                }),
             })
+        }
+    }
+}
+
+/// The `limit` path: serial, resolving completed scopes eagerly so the
+/// run stops as soon as `limit` distinct documents are in hand. The result
+/// is a subset of the unlimited answer of size `min(limit, total)`.
+#[allow(clippy::too_many_arguments)]
+fn run_limited(
+    source: &dyn SearchSource,
+    ctxs: &[SeqCtx<'_>],
+    mut plans: Vec<SeqPlan>,
+    seeds: Vec<Frame>,
+    pre_scopes: Vec<(u128, u128)>,
+    mut stats: QueryStats,
+    mut timings: StageTimings,
+    opts: &SearchOptions,
+    limit: usize,
+) -> Result<SearchOutcome> {
+    let match_span = vist_obs::Span::enter("match");
+    let match_start = vist_obs::now();
+    let mut out = WorkerOut::new(opts.plan, opts.collect_plan);
+    let mut docs: BTreeSet<DocId> = BTreeSet::new();
+    let mut queried: Vec<(u128, u128)> = Vec::new();
+    let mut sched = opts.schedule_seed;
+    let mut stack = seeds;
+    stack.reverse();
+    let mut pending = pre_scopes;
+    loop {
+        for (lo, hi) in pending.drain(..) {
+            if docs.len() >= limit {
+                break;
+            }
+            stats.docid_scans += 1;
+            queried.push((lo, hi));
+            source.docids_in_range(lo, hi, &mut |doc| {
+                docs.insert(doc);
+            })?;
+        }
+        if docs.len() >= limit || stack.is_empty() {
+            break;
+        }
+        let frame = match &mut sched {
+            None => stack.pop().expect("non-empty stack"),
+            Some(rng) => {
+                let i = (pool::splitmix64(rng) % stack.len() as u64) as usize;
+                stack.swap_remove(i)
+            }
+        };
+        out.stats.work_items += 1;
+        expand(source, ctxs, &frame, &mut stack, &mut out)?;
+        pending.append(&mut out.scopes);
+    }
+    // The last resolved scope can overshoot; keep the smallest ids so the
+    // truncation is deterministic for a fixed expansion order.
+    while docs.len() > limit {
+        let last = *docs.iter().next_back().expect("non-empty set");
+        docs.remove(&last);
+    }
+    stats.merge(&out.stats);
+    absorb_steps(&mut plans, &out);
+    timings.match_nanos = vist_obs::elapsed_nanos(match_start).unwrap_or(0);
+    drop(match_span);
+    let ranges = queried.len() as u64;
+    Ok(SearchOutcome {
+        docs,
+        scopes: queried,
+        stats,
+        timings,
+        plan: opts.collect_plan.then_some(PlanReport {
+            seqs: plans,
+            docid_strategy: DocIdStrategy::Jump { ranges },
+        }),
+    })
+}
+
+/// Build one sequence's plan: resolve estimates for every element and
+/// decide whether the sequence can be short-circuited. Wildcard elements
+/// are probed against their **static** pattern prefix, which covers every
+/// runtime instantiation (any concrete prefix a frame can build from its
+/// parent bindings matches the pattern), so an empty probe proves the
+/// sequence dead.
+fn plan_sequence(
+    source: &dyn SearchSource,
+    ctx: &SeqCtx<'_>,
+    index: usize,
+    stats: &mut QueryStats,
+) -> Result<SeqPlan> {
+    let mut steps: Vec<StepPlan> = Vec::with_capacity(ctx.seq.elems.len());
+    let mut pruned: Option<PruneReason> = None;
+    let mut est_cost = 0u64;
+    for (qi, qe) in ctx.seq.elems.iter().enumerate() {
+        let mut sp = StepPlan {
+            qi,
+            ..StepPlan::default()
+        };
+        match &ctx.concrete[qi] {
+            Some(Some((_, dkid))) => {
+                sp.est_candidates = 1;
+                sp.est_nodes = est_nodes(source, *dkid);
+            }
+            Some(None) => {
+                if pruned.is_none() {
+                    pruned = Some(PruneReason::EmptyConcrete { qi });
+                }
+            }
+            None => {
+                sp.wildcard = true;
+                stats.planner_probes += 1;
+                match dkey::query_for(qe.sym, &qe.prefix) {
+                    dkey::DKeyQuery::Exact(key) => {
+                        if let Some(id) = source.dkey_get(&key)? {
+                            sp.est_candidates = 1;
+                            sp.est_nodes = est_nodes(source, id);
+                        }
+                    }
+                    dkey::DKeyQuery::Range { lo, hi, pattern } => {
+                        let mut cands = 0u64;
+                        let mut nodes = 0u64;
+                        let mut scanned = 0u64;
+                        source.dkey_scan_range(&lo, &hi, &mut |key, id| {
+                            scanned += 1;
+                            if scanned > PLAN_PROBE_CAP {
+                                return;
+                            }
+                            let (_, prefix_syms) = dkey::decode(key);
+                            if pattern.matches(&prefix_syms) {
+                                cands += 1;
+                                nodes = nodes.saturating_add(est_nodes(source, id));
+                            }
+                        })?;
+                        if scanned > PLAN_PROBE_CAP {
+                            // Capped probe: treat the estimate as a floor
+                            // and never prune on it.
+                            cands = cands.max(1);
+                            nodes = nodes.max(scanned);
+                        }
+                        sp.est_candidates = cands;
+                        sp.est_nodes = nodes;
+                    }
+                }
+                if sp.est_candidates == 0 && pruned.is_none() {
+                    pruned = Some(PruneReason::EmptyWildcard { qi });
+                }
+            }
+        }
+        est_cost = est_cost.saturating_add(sp.est_nodes);
+        steps.push(sp);
+    }
+    if pruned.is_some() {
+        stats.planner_seqs_pruned += 1;
+    }
+    Ok(SeqPlan {
+        index,
+        rank: usize::MAX,
+        pruned,
+        est_cost,
+        steps,
+    })
+}
+
+/// The no-planning stand-in for [`plan_sequence`]: no probes, no pruning,
+/// input order. Step rows exist only when a plan report was requested, so
+/// actual counters still have somewhere to land.
+fn skeleton_plan(ctx: &SeqCtx<'_>, index: usize, with_steps: bool) -> SeqPlan {
+    let steps = if with_steps {
+        ctx.seq
+            .elems
+            .iter()
+            .enumerate()
+            .map(|(qi, qe)| StepPlan {
+                qi,
+                wildcard: qe.prefix.has_wildcard(),
+                ..StepPlan::default()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    SeqPlan {
+        index,
+        rank: index,
+        pruned: None,
+        est_cost: 0,
+        steps,
+    }
+}
+
+/// Fold one worker's per-step actual counters into the plan rows.
+fn absorb_steps(plans: &mut [SeqPlan], out: &WorkerOut) {
+    for (&(seq, qi), &(frames, nodes)) in &out.steps {
+        if let Some(sp) = plans
+            .get_mut(seq as usize)
+            .and_then(|p| p.steps.get_mut(qi as usize))
+        {
+            sp.actual_frames += frames;
+            sp.actual_nodes += nodes;
         }
     }
 }
@@ -469,6 +1020,16 @@ fn find_bind(binds: &Option<Arc<BindNode>>, elem: u32) -> Option<&BindNode> {
 /// key absent; `Some((prefix, dkey-id))` = present.
 type ConcreteLookup = Option<(Vec<Symbol>, u64)>;
 
+/// A wildcarded child element whose D-Ancestor key becomes fully concrete
+/// once its parent's binding is known: all steps between parent and child
+/// are tags. Probing that single key refutes whole subtrees.
+struct ChildProbe {
+    /// The child element's symbol.
+    sym: Sym,
+    /// Concrete tag steps between the parent element and the child.
+    steps: Vec<Symbol>,
+}
+
 /// Per-sequence immutable context, shared read-only by all workers.
 struct SeqCtx<'a> {
     seq: &'a QuerySequence,
@@ -484,6 +1045,9 @@ struct SeqCtx<'a> {
     /// still consults — the part of the binding chain that can influence
     /// the subtree below a match at `qi`. Used as the dedup signature.
     sig: Vec<Vec<u32>>,
+    /// `probe_children[qi]`: wildcarded children of `qi` reachable by
+    /// concrete steps — the planner's look-ahead prune targets.
+    probe_children: Vec<Vec<ChildProbe>>,
     /// Dedup is only worthwhile (and the visited sets only populated) when
     /// some prefix carries a wildcard: concrete-only sequences cannot reach
     /// one sub-problem twice.
@@ -509,10 +1073,22 @@ impl<'a> SeqCtx<'a> {
             }
         }
         let mut bind = vec![false; n];
+        let mut probe_children: Vec<Vec<ChildProbe>> = (0..n).map(|_| Vec::new()).collect();
         for qe in &seq.elems {
             if qe.prefix.has_wildcard() {
                 if let Some(p) = qe.parent {
                     bind[p] = true;
+                    let tags: Option<Vec<Symbol>> = qe
+                        .steps_after_parent
+                        .iter()
+                        .map(|s| match s {
+                            PathSym::Tag(t) => Some(*t),
+                            _ => None,
+                        })
+                        .collect();
+                    if let Some(steps) = tags {
+                        probe_children[p].push(ChildProbe { sym: qe.sym, steps });
+                    }
                 }
             }
         }
@@ -538,6 +1114,7 @@ impl<'a> SeqCtx<'a> {
             concrete,
             bind,
             sig,
+            probe_children,
             dedup,
         })
     }
@@ -546,6 +1123,10 @@ impl<'a> SeqCtx<'a> {
 /// Per-worker mutable state; merged after the run.
 #[derive(Default)]
 struct WorkerOut {
+    /// Planner transforms enabled (candidate ordering, child probes).
+    plan: bool,
+    /// Collect per-step actual counters into `steps`.
+    track: bool,
     stats: QueryStats,
     /// Final matched scopes.
     scopes: Vec<(u128, u128)>,
@@ -557,6 +1138,20 @@ struct WorkerOut {
     /// binding signature)` — catches *overlapping* scope windows that both
     /// contain the same node.
     visited: HashSet<(u32, u32, u64, u128, Vec<u64>)>,
+    /// Memoized child-probe D-Ancestor lookups (key present?).
+    probed: HashMap<Vec<u8>, bool>,
+    /// Per-`(seq, qi)` actual `(frames, nodes)` counts (`track` only).
+    steps: HashMap<(u32, u32), (u64, u64)>,
+}
+
+impl WorkerOut {
+    fn new(plan: bool, track: bool) -> Self {
+        WorkerOut {
+            plan,
+            track,
+            ..WorkerOut::default()
+        }
+    }
 }
 
 /// Rebuild the lookup prefix for a wildcarded element from its parent's
@@ -602,6 +1197,9 @@ fn expand(
         out.scopes.push((frame.lo, frame.hi));
         return Ok(());
     }
+    if out.track {
+        out.steps.entry((frame.seq, frame.qi)).or_insert((0, 0)).0 += 1;
+    }
     match &sc.concrete[qi] {
         // Concrete prefix, present in the data: one candidate, pre-resolved.
         Some(Some((prefix_syms, dkid))) => {
@@ -636,6 +1234,13 @@ fn expand(
                             }
                         })?;
                     }
+                    if out.plan && candidates.len() > 1 {
+                        // Most-selective-first: cheap candidates emit their
+                        // subtrees (and their prunes) before expensive
+                        // ones. Stable, so ties keep key order.
+                        candidates
+                            .sort_by_cached_key(|c: &(Vec<Symbol>, u64)| est_nodes(source, c.1));
+                    }
                     for (prefix_syms, id) in &candidates {
                         descend(source, sc, frame, prefix_syms, *id, push, out)?;
                     }
@@ -659,6 +1264,7 @@ fn descend(
 ) -> Result<()> {
     out.stats.dkeys_matched += 1;
     let qi = frame.qi;
+    let qe = &sc.seq.elems[qi as usize];
     let sig = sc
         .dedup
         .then(|| bind_sig(&sc.sig[qi as usize], &frame.binds));
@@ -673,8 +1279,36 @@ fn descend(
             return Ok(());
         }
     }
+    if out.plan && !sc.probe_children[qi as usize].is_empty() {
+        // Look-ahead prune: under this binding each wildcarded child
+        // reachable by concrete steps has exactly one possible D-Ancestor
+        // key; every element of the sequence must eventually match, so one
+        // absent key proves the whole subtree dead before we pay for the
+        // S-Ancestor scan.
+        let mut path = prefix_syms.to_vec();
+        if let Sym::Tag(t) = qe.sym {
+            path.push(t);
+        }
+        for probe in &sc.probe_children[qi as usize] {
+            let mut p = path.clone();
+            p.extend_from_slice(&probe.steps);
+            let key = dkey::encode(probe.sym, &p);
+            let present = match out.probed.get(&key) {
+                Some(&b) => b,
+                None => {
+                    out.stats.planner_probes += 1;
+                    let b = source.dkey_get(&key)?.is_some();
+                    out.probed.insert(key, b);
+                    b
+                }
+            };
+            if !present {
+                out.stats.planner_probe_prunes += 1;
+                return Ok(());
+            }
+        }
+    }
     out.stats.sancestor_scans += 1;
-    let qe = &sc.seq.elems[qi as usize];
     // Bind this element's instantiated path for descendant lookups — only
     // when some later wildcarded element will actually consult it.
     let child_binds = if sc.bind[qi as usize] {
@@ -691,12 +1325,17 @@ fn descend(
     } else {
         frame.binds.clone()
     };
+    let track = out.track;
     let stats = &mut out.stats;
     let visited = &mut out.visited;
+    let steps = &mut out.steps;
     let seq = frame.seq;
     let _span = vist_obs::Span::enter("sancestor_scan");
     source.nodes_in_scope(dkid, frame.lo, frame.hi, &mut |node| {
         stats.nodes_visited += 1;
+        if track {
+            steps.entry((seq, qi)).or_insert((0, 0)).1 += 1;
+        }
         if let Some(s) = &sig {
             if !visited.insert((seq, qi + 1, dkid, node.n, s.clone())) {
                 stats.dedup_skips += 1;

@@ -12,19 +12,24 @@
 //! | 1 | S-Ancestor | dkey-id ‖ `n` | `(size, next, k)` |
 //! | 2 | DocId | `n` ‖ doc-id | — |
 //! | 3 | documents | doc-id ‖ chunk | XML bytes |
+//! | 4 | statistics | dkey-id | `(nodes, docs, fanout)` (u64 LE × 3) |
 //!
 //! The first three mirror the delta's [`Store`] trees exactly (same key
 //! codecs), so one [`SearchSource`] impl serves Algorithm 2 unchanged; the
 //! `edges` tree is *not* packed — it only supports inserts, and segments
 //! never take any. Each segment is its own label space: queries run the
-//! match per source and union document ids.
+//! match per source and union document ids. The statistics tree is exact
+//! (computed from the labeled trie at build time) and loaded whole at
+//! open — it feeds the query planner's selectivity estimates; segments
+//! packed before it existed open with an empty map and plan from
+//! candidate counts instead.
 //!
 //! [`SegmentBuilder`] is the external-sort ingest pipeline: documents
 //! stream in once (parse → sequence → shared in-memory trie, XML chunks
 //! spilling through [`ExtSorter`]), the trie is labeled in one preorder
 //! pass, and the sorted record streams bulk-load the packed trees.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -35,7 +40,7 @@ use vist_storage::{BufferPool, FilePager, Manifest, Vfs};
 
 use crate::error::{Error, Result};
 use crate::extsort::{ExtSorter, SortedStream};
-use crate::search::SearchSource;
+use crate::search::{DkStats, SearchSource, SourceTotals};
 use crate::store::{DocId, NodeState, Store, StoreBreakdown};
 
 /// Fixed-width prefix of the segment meta blob: doc, node and dkey counts
@@ -61,6 +66,14 @@ pub(crate) struct Segment {
     sancestor: BTree,
     docid: BTree,
     docs: BTree,
+    /// Per-dkid planner statistics, loaded whole from the packed
+    /// statistics tree (slot 4). Empty for pre-statistics segments.
+    stats: HashMap<u64, DkStats>,
+    /// Handle on the packed statistics tree (space accounting only);
+    /// `None` for pre-statistics segments.
+    stats_tree: Option<BTree>,
+    /// Exact totals (S-Ancestor / DocId entry counts from the header).
+    totals: SourceTotals,
     pool: Arc<BufferPool>,
 }
 
@@ -72,9 +85,9 @@ impl Segment {
         let pool = Arc::new(BufferPool::with_capacity(pager, cache_pages));
         // The header is the first page after the pager's own (page 1).
         let reader = SegmentReader::open(Arc::clone(&pool), 1)?;
-        if reader.tree_count() != 4 {
+        if !(4..=5).contains(&reader.tree_count()) {
             return Err(Error::Corrupt(format!(
-                "segment {id} packs {} trees, expected 4",
+                "segment {id} packs {} trees, expected 4 or 5",
                 reader.tree_count()
             )));
         }
@@ -83,6 +96,30 @@ impl Segment {
             return Err(Error::Corrupt(format!("segment {id} meta too short")));
         }
         let rd64 = |at: usize| u64::from_le_bytes(meta[at..at + 8].try_into().expect("meta"));
+        let totals = SourceTotals {
+            nodes: reader.entries(1),
+            postings: reader.entries(2),
+        };
+        let mut stats = HashMap::new();
+        let mut stats_tree = None;
+        if reader.tree_count() == 5 {
+            let tree = reader.tree(4)?;
+            for item in tree.scan(..)? {
+                let (k, v) = item?;
+                if k.len() != 8 || v.len() != 24 {
+                    return Err(Error::Corrupt(format!("segment {id} stats record")));
+                }
+                stats.insert(
+                    u64::from_be_bytes(k[0..8].try_into().unwrap()),
+                    DkStats {
+                        nodes: u64::from_le_bytes(v[0..8].try_into().unwrap()),
+                        docs: u64::from_le_bytes(v[8..16].try_into().unwrap()),
+                        fanout: u64::from_le_bytes(v[16..24].try_into().unwrap()),
+                    },
+                );
+            }
+            stats_tree = Some(tree);
+        }
         Ok(Segment {
             id,
             doc_count: rd64(0),
@@ -93,6 +130,9 @@ impl Segment {
             sancestor: reader.tree(1)?,
             docid: reader.tree(2)?,
             docs: reader.tree(3)?,
+            stats,
+            stats_tree,
+            totals,
             pool,
         })
     }
@@ -145,6 +185,10 @@ impl Segment {
             docid: self.docid.tree_stats()?,
             edges: vist_btree::TreeStats::default(),
             aux: self.docs.tree_stats()?,
+            stats: match &self.stats_tree {
+                Some(t) => t.tree_stats()?,
+                None => vist_btree::TreeStats::default(),
+            },
         })
     }
 }
@@ -197,6 +241,32 @@ impl SearchSource for Segment {
                 std::ops::ControlFlow::Continue(())
             })?;
         Ok(())
+    }
+
+    fn docids_in_range_keyed(
+        &self,
+        lo: u128,
+        hi: u128,
+        f: &mut dyn FnMut(u128, DocId),
+    ) -> Result<()> {
+        let lo_key = Store::docid_key(lo, 0);
+        let hi_key = Store::docid_key(hi, 0);
+        self.docid
+            .for_each_in(lo_key.as_slice()..hi_key.as_slice(), |k, _| {
+                let n = u128::from_be_bytes(k[0..16].try_into().expect("docid key n"));
+                let doc = u64::from_be_bytes(k[16..24].try_into().expect("docid key doc"));
+                f(n, doc);
+                std::ops::ControlFlow::Continue(())
+            })?;
+        Ok(())
+    }
+
+    fn dkid_stats(&self, dkid: u64) -> Option<DkStats> {
+        self.stats.get(&dkid).copied()
+    }
+
+    fn totals(&self) -> Option<SourceTotals> {
+        Some(self.totals)
     }
 }
 
@@ -377,6 +447,22 @@ impl SegmentBuilder {
             docid.push(Store::docid_key(n, doc), Vec::new())?;
         }
 
+        // Exact per-dkid planner statistics from the labeled trie: node
+        // and fanout counts from the nodes themselves, doc postings from
+        // the sequence end points. (An `end == 0` document is empty — its
+        // posting hangs off the virtual root, which has no dkey.)
+        let mut stats: BTreeMap<u64, DkStats> = BTreeMap::new();
+        for node in &self.trie[1..] {
+            let e = stats.entry(node.dkid).or_default();
+            e.nodes += 1;
+            e.fanout += node.children.len() as u64;
+        }
+        for &(_, end) in &self.doc_ends {
+            if end != 0 {
+                stats.entry(self.trie[end].dkid).or_default().docs += 1;
+            }
+        }
+
         let path = Manifest::segment_path(base, id);
         let pager = FilePager::create_with_vfs(vfs, &path, page_size)?;
         let pool = Arc::new(BufferPool::with_capacity(pager, cache_pages));
@@ -396,6 +482,17 @@ impl SegmentBuilder {
                 writer.add_tree(Vec::new())?;
             }
         }
+        let stats_items: Vec<(Vec<u8>, Vec<u8>)> = stats
+            .into_iter()
+            .map(|(dkid, s)| {
+                let mut v = [0u8; 24];
+                v[0..8].copy_from_slice(&s.nodes.to_le_bytes());
+                v[8..16].copy_from_slice(&s.docs.to_le_bytes());
+                v[16..24].copy_from_slice(&s.fanout.to_le_bytes());
+                (dkid.to_be_bytes().to_vec(), v.to_vec())
+            })
+            .collect();
+        writer.add_tree(stats_items)?;
 
         let mut meta = [0u8; META_LEN];
         meta[0..8].copy_from_slice(&self.doc_count.to_le_bytes());

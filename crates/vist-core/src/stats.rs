@@ -40,6 +40,18 @@ pub struct IndexStats {
     /// Duplicate wildcard sub-problems skipped by the match engine's
     /// visited sets, across all queries.
     pub match_dedup_skips: u64,
+    /// Sequences the planner proved empty and never seeded, across all
+    /// queries.
+    pub match_planner_seqs_pruned: u64,
+    /// D-Ancestor probes issued by the planner (plan-time pattern probes
+    /// plus memoized child probes), across all queries.
+    pub match_planner_probes: u64,
+    /// S-Ancestor descents skipped because a child probe proved the
+    /// subtree dead, across all queries.
+    pub match_planner_probe_prunes: u64,
+    /// DocId resolutions where the planner chose the keyed sweep over
+    /// per-scope range jumps, across all queries.
+    pub match_planner_docid_sweeps: u64,
     /// Total bytes of the backing store (the "index size" of Figure 11a).
     pub store_bytes: u64,
     /// Cumulative I/O counters of the shared buffer pool — **since the
@@ -61,6 +73,10 @@ pub struct MatchCounters {
     steals: AtomicU64,
     scopes_merged: AtomicU64,
     dedup_skips: AtomicU64,
+    planner_seqs_pruned: AtomicU64,
+    planner_probes: AtomicU64,
+    planner_probe_prunes: AtomicU64,
+    planner_docid_sweeps: AtomicU64,
 }
 
 impl MatchCounters {
@@ -73,6 +89,14 @@ impl MatchCounters {
             .fetch_add(stats.scopes_merged, Ordering::Relaxed);
         self.dedup_skips
             .fetch_add(stats.dedup_skips, Ordering::Relaxed);
+        self.planner_seqs_pruned
+            .fetch_add(stats.planner_seqs_pruned, Ordering::Relaxed);
+        self.planner_probes
+            .fetch_add(stats.planner_probes, Ordering::Relaxed);
+        self.planner_probe_prunes
+            .fetch_add(stats.planner_probe_prunes, Ordering::Relaxed);
+        self.planner_docid_sweeps
+            .fetch_add(stats.planner_docid_sweeps, Ordering::Relaxed);
     }
 
     /// The running totals so far.
@@ -82,6 +106,10 @@ impl MatchCounters {
             steals: self.steals.load(Ordering::Relaxed),
             scopes_merged: self.scopes_merged.load(Ordering::Relaxed),
             dedup_skips: self.dedup_skips.load(Ordering::Relaxed),
+            planner_seqs_pruned: self.planner_seqs_pruned.load(Ordering::Relaxed),
+            planner_probes: self.planner_probes.load(Ordering::Relaxed),
+            planner_probe_prunes: self.planner_probe_prunes.load(Ordering::Relaxed),
+            planner_docid_sweeps: self.planner_docid_sweeps.load(Ordering::Relaxed),
         }
     }
 }
@@ -99,6 +127,14 @@ pub struct MatchCountersSnapshot {
     pub scopes_merged: u64,
     /// Duplicate wildcard sub-problems skipped by the visited sets.
     pub dedup_skips: u64,
+    /// Sequences the planner proved empty and never seeded.
+    pub planner_seqs_pruned: u64,
+    /// D-Ancestor probes issued by the planner.
+    pub planner_probes: u64,
+    /// S-Ancestor descents skipped by child probes.
+    pub planner_probe_prunes: u64,
+    /// DocId resolutions done as a keyed sweep.
+    pub planner_docid_sweeps: u64,
 }
 
 #[cfg(test)]
@@ -121,6 +157,10 @@ mod tests {
             match_steals: 0,
             match_scopes_merged: 0,
             match_dedup_skips: 0,
+            match_planner_seqs_pruned: 0,
+            match_planner_probes: 0,
+            match_planner_probe_prunes: 0,
+            match_planner_docid_sweeps: 0,
             store_bytes: 4096,
             io: IoStats::default(),
             pool: PoolStats::default(),
@@ -137,6 +177,10 @@ mod tests {
             steals: 1,
             scopes_merged: 3,
             dedup_skips: 2,
+            planner_seqs_pruned: 1,
+            planner_probes: 4,
+            planner_probe_prunes: 2,
+            planner_docid_sweeps: 1,
             ..Default::default()
         };
         c.record(&stats);
@@ -148,6 +192,10 @@ mod tests {
                 steals: 2,
                 scopes_merged: 6,
                 dedup_skips: 4,
+                planner_seqs_pruned: 2,
+                planner_probes: 8,
+                planner_probe_prunes: 4,
+                planner_docid_sweeps: 2,
             }
         );
     }

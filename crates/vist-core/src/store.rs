@@ -12,6 +12,7 @@
 //! The *meta page* (the first page allocated) persists tree roots and
 //! counters so the index can be reopened.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -21,6 +22,7 @@ use vist_storage::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use vist_storage::{BufferPool, PageId};
 
 use crate::error::{Error, Result};
+use crate::search::{DkStats, SourceTotals};
 
 /// Identifier of an indexed document.
 pub type DocId = u64;
@@ -128,6 +130,8 @@ pub struct Store {
     /// Counters, behind a lock so mutators can take `&self` (see
     /// [`Store::meta`] / [`Store::meta_mut`]).
     meta: RwLock<Meta>,
+    /// Planner statistics (per-dkid entry counts / doc postings / fanout).
+    dkstats: RwLock<DeltaStats>,
     meta_page: PageId,
     persisted_symbols: AtomicUsize,
 }
@@ -141,6 +145,23 @@ const AUX_STATS: u8 = 4;
 /// delta cannot unlink it physically, so queries mask the id instead.
 /// Compaction drops both the tombstone and the masked document.
 const AUX_TOMB: u8 = 5;
+/// Per-D-Ancestor-entry planner statistics ([`DkStats`]): key is the tag
+/// alone (totals record) or tag ‖ dkid (per-entry record). Maintained
+/// incrementally by the insert/remove hooks, persisted at flush.
+const AUX_DKSTATS: u8 = 6;
+
+/// In-memory planner statistics for the delta, mirrored to `aux` at flush.
+/// Totals are exact for incrementally-built deltas; bulk loads reset the
+/// per-dkid map with what can be derived from their input (node counts)
+/// and document/fanout columns start over at zero — estimates degrade
+/// planner ordering, never correctness.
+#[derive(Debug, Default)]
+struct DeltaStats {
+    map: HashMap<u64, DkStats>,
+    /// Entries touched since the last flush.
+    dirty: HashSet<u64>,
+    totals: SourceTotals,
+}
 
 impl Store {
     /// Create a fresh store in `pool`.
@@ -164,6 +185,7 @@ impl Store {
             edges,
             aux,
             meta: RwLock::new(Meta::fresh(lambda, adaptive, store_documents)),
+            dkstats: RwLock::new(DeltaStats::default()),
             meta_page,
             persisted_symbols: AtomicUsize::new(0),
         };
@@ -219,9 +241,11 @@ impl Store {
             edges,
             aux,
             meta: RwLock::new(meta),
+            dkstats: RwLock::new(DeltaStats::default()),
             meta_page,
             persisted_symbols: AtomicUsize::new(0),
         };
+        store.load_dkid_stats()?;
         let (table, order) = store.load_table_and_order()?;
         store
             .persisted_symbols
@@ -290,8 +314,136 @@ impl Store {
                 self.aux.insert(k.as_slice(), n.as_bytes())?;
             }
         }
+        self.persist_dkid_stats()?;
         self.write_meta()?;
         self.pool.flush()?;
+        Ok(())
+    }
+
+    /// Write dirty planner-statistics entries (and the totals record) to
+    /// `aux` so they survive reopen.
+    fn persist_dkid_stats(&self) -> Result<()> {
+        // Snapshot under the lock, write outside it: aux inserts must not
+        // run while the stats lock is held (insert hooks take it too).
+        // Sorted so the write pattern (and hence the page-level I/O trace)
+        // is deterministic for a given workload — the crash sweep relies
+        // on identical runs producing identical op sequences.
+        let (dirty, totals) = {
+            let mut st = self.dkstats.write();
+            let mut dirty: Vec<(u64, DkStats)> = st
+                .dirty
+                .iter()
+                .map(|&id| (id, st.map.get(&id).copied().unwrap_or_default()))
+                .collect();
+            dirty.sort_unstable_by_key(|&(id, _)| id);
+            st.dirty.clear();
+            (dirty, st.totals)
+        };
+        for (id, s) in dirty {
+            let mut k = KeyWriter::with_capacity(9);
+            k.u8(AUX_DKSTATS).u64(id);
+            let mut v = [0u8; 24];
+            v[0..8].copy_from_slice(&s.nodes.to_le_bytes());
+            v[8..16].copy_from_slice(&s.docs.to_le_bytes());
+            v[16..24].copy_from_slice(&s.fanout.to_le_bytes());
+            self.aux.insert(k.as_slice(), &v)?;
+        }
+        let mut v = [0u8; 16];
+        v[0..8].copy_from_slice(&totals.nodes.to_le_bytes());
+        v[8..16].copy_from_slice(&totals.postings.to_le_bytes());
+        self.aux.insert(&[AUX_DKSTATS], &v)?;
+        Ok(())
+    }
+
+    /// Load persisted planner statistics (the tag-only key is the totals
+    /// record, tag ‖ dkid keys are per-entry records).
+    fn load_dkid_stats(&self) -> Result<()> {
+        let mut st = self.dkstats.write();
+        for item in self.aux.scan_prefix(&[AUX_DKSTATS])? {
+            let (k, v) = item?;
+            if k.len() == 1 {
+                if v.len() != 16 {
+                    return Err(Error::Corrupt("bad stats totals record".into()));
+                }
+                st.totals = SourceTotals {
+                    nodes: u64::from_le_bytes(v[0..8].try_into().unwrap()),
+                    postings: u64::from_le_bytes(v[8..16].try_into().unwrap()),
+                };
+                continue;
+            }
+            if k.len() != 9 || v.len() != 24 {
+                return Err(Error::Corrupt("bad dkid stats record".into()));
+            }
+            let id = u64::from_be_bytes(k[1..9].try_into().unwrap());
+            st.map.insert(
+                id,
+                DkStats {
+                    nodes: u64::from_le_bytes(v[0..8].try_into().unwrap()),
+                    docs: u64::from_le_bytes(v[8..16].try_into().unwrap()),
+                    fanout: u64::from_le_bytes(v[16..24].try_into().unwrap()),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    // ----- planner statistics -----
+
+    /// Planner statistics for one D-Ancestor entry of the delta.
+    #[must_use]
+    pub fn dkid_stats(&self, dkid: u64) -> Option<DkStats> {
+        self.dkstats.read().map.get(&dkid).copied()
+    }
+
+    /// Delta-wide statistic totals (S-Ancestor entries, DocId postings).
+    #[must_use]
+    pub fn stats_totals(&self) -> SourceTotals {
+        self.dkstats.read().totals
+    }
+
+    /// Record an S-Ancestor node added under `dkid`.
+    pub(crate) fn stats_node_added(&self, dkid: u64) {
+        let mut st = self.dkstats.write();
+        st.map.entry(dkid).or_default().nodes += 1;
+        st.totals.nodes += 1;
+        st.dirty.insert(dkid);
+    }
+
+    /// Record a child node allocated under one of `parent_dkid`'s nodes.
+    pub(crate) fn stats_child_added(&self, parent_dkid: u64) {
+        let mut st = self.dkstats.write();
+        st.map.entry(parent_dkid).or_default().fanout += 1;
+        st.dirty.insert(parent_dkid);
+    }
+
+    /// Record a DocId posting attached to one of `dkid`'s nodes.
+    pub(crate) fn stats_doc_added(&self, dkid: u64) {
+        let mut st = self.dkstats.write();
+        st.map.entry(dkid).or_default().docs += 1;
+        st.totals.postings += 1;
+        st.dirty.insert(dkid);
+    }
+
+    /// Record a DocId posting detached from one of `dkid`'s nodes.
+    pub(crate) fn stats_doc_removed(&self, dkid: u64) {
+        let mut st = self.dkstats.write();
+        let e = st.map.entry(dkid).or_default();
+        e.docs = e.docs.saturating_sub(1);
+        st.totals.postings = st.totals.postings.saturating_sub(1);
+        st.dirty.insert(dkid);
+    }
+
+    /// Drop every persisted and in-memory planner-statistics record.
+    fn reset_dkid_stats(&self) -> Result<()> {
+        let keys: Vec<Vec<u8>> = self
+            .aux
+            .scan_prefix(&[AUX_DKSTATS])?
+            .map(|r| r.map(|(k, _)| k))
+            .collect::<vist_storage::Result<_>>()?;
+        for k in &keys {
+            self.aux.delete(k)?;
+        }
+        *self.dkstats.write() = DeltaStats::default();
         Ok(())
     }
 
@@ -531,6 +683,27 @@ impl Store {
         Ok(())
     }
 
+    /// Like [`Store::docids_in_range_with`] but hands `f` each posting's
+    /// label as well — the planner's sweep strategy filters labels against
+    /// its merged scope list while scanning the covering range once.
+    pub fn docids_in_range_keyed_with(
+        &self,
+        lo: u128,
+        hi: u128,
+        mut f: impl FnMut(u128, DocId),
+    ) -> Result<()> {
+        let lo_key = Self::docid_key(lo, 0);
+        let hi_key = Self::docid_key(hi, 0);
+        self.docid
+            .for_each_in(lo_key.as_slice()..hi_key.as_slice(), |k, _| {
+                let n = u128::from_be_bytes(k[0..16].try_into().expect("docid key n"));
+                let doc = u64::from_be_bytes(k[16..24].try_into().expect("docid key doc"));
+                f(n, doc);
+                std::ops::ControlFlow::Continue(())
+            })?;
+        Ok(())
+    }
+
     // ----- stored documents (aux, chunked) -----
 
     pub(crate) fn doc_chunk_key(doc: DocId, chunk: u32) -> Vec<u8> {
@@ -651,6 +824,7 @@ impl Store {
                 self.aux.delete(k)?;
             }
         }
+        self.reset_dkid_stats()?;
         let mut meta = self.meta.write();
         meta.next_dkey = 0;
         meta.root = NodeState {
@@ -689,8 +863,20 @@ impl Store {
     }
 
     /// Replace the S-Ancestor tree with a bulk-loaded one (static builds).
+    /// Planner statistics are rebuilt from the input: per-dkid node counts
+    /// are exact, document and fanout columns restart at zero (a documented
+    /// estimate — ordering quality degrades, correctness is unaffected).
     pub fn bulk_load_nodes(&mut self, mut nodes: Vec<(u64, NodeState)>) -> Result<()> {
         nodes.sort_by_key(|(dkid, st)| (*dkid, st.n));
+        self.reset_dkid_stats()?;
+        {
+            let mut st = self.dkstats.write();
+            for (dkid, _) in &nodes {
+                st.map.entry(*dkid).or_default().nodes += 1;
+                st.dirty.insert(*dkid);
+            }
+            st.totals.nodes = nodes.len() as u64;
+        }
         let items: Vec<(Vec<u8>, Vec<u8>)> = nodes
             .into_iter()
             .map(|(dkid, st)| (Self::sanc_key(dkid, st.n), Self::encode_node(&st).to_vec()))
@@ -701,9 +887,12 @@ impl Store {
         Ok(())
     }
 
-    /// Replace the DocId tree with a bulk-loaded one (static builds).
+    /// Replace the DocId tree with a bulk-loaded one (static builds). The
+    /// planner's posting total is reset to the entry count (per-dkid doc
+    /// counts stay wherever [`Store::bulk_load_nodes`] left them).
     pub fn bulk_load_docids(&mut self, mut entries: Vec<(u128, DocId)>) -> Result<()> {
         entries.sort_unstable();
+        self.dkstats.write().totals.postings = entries.len() as u64;
         let items: Vec<(Vec<u8>, Vec<u8>)> = entries
             .into_iter()
             .map(|(n, doc)| (Self::docid_key(n, doc), Vec::new()))
@@ -752,6 +941,7 @@ impl Store {
             docid: self.docid.tree_stats()?,
             edges: self.edges.tree_stats()?,
             aux: self.aux.tree_stats()?,
+            stats: vist_btree::TreeStats::default(),
         })
     }
 }
@@ -769,6 +959,9 @@ pub struct StoreBreakdown {
     pub edges: vist_btree::TreeStats,
     /// Symbol table / order / stored documents.
     pub aux: vist_btree::TreeStats,
+    /// The packed statistics tree (segments only — the delta keeps its
+    /// planner statistics inside `aux`).
+    pub stats: vist_btree::TreeStats,
 }
 
 impl StoreBreakdown {

@@ -29,7 +29,10 @@ use vist_xml::Document;
 use crate::alloc::{Allocation, AllocatorKind, ScopeAllocator, SimMutation};
 use crate::error::{Error, Result};
 use crate::extsort::DEFAULT_SORT_BUDGET;
-use crate::search::{search_sequences_with, QueryStats, SearchMode, StageTimings};
+use crate::search::{
+    search_sequences_opts, DocIdStrategy, PruneReason, QueryStats, SearchMode, SearchOptions,
+    StageTimings,
+};
 use crate::segment::{Segment, SegmentBuilder};
 use crate::stats::{IndexStats, MatchCounters};
 use crate::store::{DocId, NodeState, Store, StoreBreakdown};
@@ -95,6 +98,18 @@ pub struct QueryOptions {
     /// default) keeps the production depth-first/FIFO order. Any seed must
     /// produce identical answers.
     pub schedule_seed: Option<u64>,
+    /// Disable the cost-based planner (ViST §3.4 statistical clues) and
+    /// run sequences in naive translation order with no plan-time
+    /// probing. Results are identical either way — the planner only
+    /// reorders work and prunes provably-empty branches — so this exists
+    /// to bisect regressions and to measure the planner's effect
+    /// (`vist query --no-plan`, `bench_planner`).
+    pub no_plan: bool,
+    /// Stop after this many distinct matching documents (early
+    /// termination). The returned ids are a size-`limit` subset of the
+    /// full answer; *which* subset may depend on planning and tier
+    /// order. With `verify` the limit applies to verified answers.
+    pub limit: Option<usize>,
 }
 
 impl Default for QueryOptions {
@@ -104,6 +119,8 @@ impl Default for QueryOptions {
             max_sequences: 24,
             workers: 1,
             schedule_seed: None,
+            no_plan: false,
+            limit: None,
         }
     }
 }
@@ -498,6 +515,10 @@ impl VistIndex {
             match_steals: mc.steals,
             match_scopes_merged: mc.scopes_merged,
             match_dedup_skips: mc.dedup_skips,
+            match_planner_seqs_pruned: mc.planner_seqs_pruned,
+            match_planner_probes: mc.planner_probes,
+            match_planner_probe_prunes: mc.planner_probe_prunes,
+            match_planner_docid_sweeps: mc.planner_docid_sweeps,
             store_bytes: self.store.store_bytes(),
             io: self.store.pool().stats(),
             pool: self.store.pool().pool_stats(),
@@ -783,7 +804,14 @@ impl VistIndex {
         let fill_bp = |bs: &[&StoreBreakdown]| -> i64 {
             let (mut used, mut total) = (0u64, 0u64);
             for b in bs {
-                for t in [&b.dancestor, &b.sancestor, &b.docid, &b.edges, &b.aux] {
+                for t in [
+                    &b.dancestor,
+                    &b.sancestor,
+                    &b.docid,
+                    &b.edges,
+                    &b.aux,
+                    &b.stats,
+                ] {
                     used += t.leaf_used_bytes;
                     total += t.leaf_total_bytes;
                 }
@@ -922,6 +950,10 @@ impl VistIndex {
                     self.store.node_put(dkid, &state)?;
                     self.store.edge_put(parent_inc_n, dkid, state.n)?;
                     self.store.meta_mut().node_count += 1;
+                    self.store.stats_node_added(dkid);
+                    if let Loc::Node(pd) = ploc {
+                        self.store.stats_child_added(pd);
+                    }
                     chain.push(ChainEntry {
                         loc: Loc::Node(dkid),
                         head_n: state.n,
@@ -932,14 +964,23 @@ impl VistIndex {
                 Allocation::Underflow => {
                     // Scope underflow (paper §3.4.1), resolved *soundly* by
                     // node incarnations — see `grow_and_insert_tail`.
-                    let last_n = self.grow_and_insert_tail(&mut chain, &seq.0[i..])?;
+                    let (last_n, last_dkid) = self.grow_and_insert_tail(&mut chain, &seq.0[i..])?;
                     self.store.docid_put(last_n, doc_id)?;
+                    if let Some(dk) = last_dkid {
+                        self.store.stats_doc_added(dk);
+                    }
                     return Ok(doc_id);
                 }
             }
         }
-        let last_n = chain.last().expect("non-empty").state.n;
+        let last = chain.last().expect("non-empty");
+        let (last_n, last_loc) = (last.state.n, last.loc);
         self.store.docid_put(last_n, doc_id)?;
+        // Empty sequences attach to the virtual root, which has no dkey;
+        // mirror the segment builder, which skips them too.
+        if let Loc::Node(dk) = last_loc {
+            self.store.stats_doc_added(dk);
+        }
         Ok(doc_id)
     }
 
@@ -970,11 +1011,14 @@ impl VistIndex {
     /// construction at every level, and since Algorithm 2 already iterates
     /// all S-Ancestor entries of a D-Ancestor key, queries find incarnations
     /// with no changes. The `deep_borrows` counter tallies these events.
+    /// Returns the label of the last inserted node plus its dkey-id (for
+    /// the caller's DocId statistics hook; `None` only when the document
+    /// would attach to the virtual root, which has no dkey).
     fn grow_and_insert_tail(
         &self,
         chain: &mut [ChainEntry],
         tail: &[vist_seq::SeqElem],
-    ) -> Result<u128> {
+    ) -> Result<(u128, Option<u64>)> {
         let rem = tail.len() as u128;
         // Donor j must cover incarnations for chain[j+1..] plus the tail.
         let donor = (0..chain.len() - 1)
@@ -1011,6 +1055,10 @@ impl VistIndex {
             self.store.node_put(dkid, &inc)?;
             self.store
                 .edge_put(chain[lvl].state.n, OVERFLOW_EDGE, inc.n)?;
+            // Incarnations are extra S-Ancestor entries under the same
+            // dkey (not counted by meta.node_count, which tracks virtual
+            // trie nodes).
+            self.store.stats_node_added(dkid);
             chain[lvl].state = inc;
             off += 1;
         }
@@ -1018,6 +1066,10 @@ impl VistIndex {
         // Sequentially label the remaining elements, nested below the
         // parent's fresh incarnation.
         let mut prev_n = chain.last().expect("non-empty").state.n;
+        let mut prev_dkid = match chain.last().expect("non-empty").loc {
+            Loc::Node(dk) => Some(dk),
+            Loc::Root => None,
+        };
         let mut last_n = prev_n;
         for elem in tail {
             let prefix = elem
@@ -1035,11 +1087,16 @@ impl VistIndex {
             self.store.node_put(dkid, &state)?;
             self.store.edge_put(prev_n, dkid, state.n)?;
             self.store.meta_mut().node_count += 1;
+            self.store.stats_node_added(dkid);
+            if let Some(pd) = prev_dkid {
+                self.store.stats_child_added(pd);
+            }
             prev_n = state.n;
+            prev_dkid = Some(dkid);
             last_n = state.n;
             off += 1;
         }
-        Ok(last_n)
+        Ok((last_n, prev_dkid))
     }
 
     fn write_state(&self, loc: Loc, state: &NodeState) -> Result<()> {
@@ -1092,6 +1149,7 @@ impl VistIndex {
         };
         // Walk the trie edges to the final node.
         let mut cur = 0u128; // virtual root label
+        let mut last_dkid = None;
         for elem in seq.iter() {
             let prefix = elem
                 .prefix
@@ -1105,9 +1163,13 @@ impl VistIndex {
             cur = self
                 .find_child(cur, dkid)?
                 .ok_or_else(|| Error::Corrupt("document path missing from index".into()))?;
+            last_dkid = Some(dkid);
         }
         if !self.store.docid_delete(cur, doc_id)? {
             return Err(Error::NoSuchDocument(doc_id));
+        }
+        if let Some(dk) = last_dkid {
+            self.store.stats_doc_removed(dk);
         }
         self.store.doc_remove(doc_id)?;
         {
@@ -1151,27 +1213,22 @@ impl VistIndex {
         opts: &QueryOptions,
     ) -> Result<(Vec<(u128, u128)>, QueryStats)> {
         let translation = self.translate_overlay(pattern, opts);
+        let sopts = SearchOptions {
+            workers: opts.workers,
+            mode: SearchMode::Scopes,
+            schedule_seed: opts.schedule_seed,
+            plan: !opts.no_plan,
+            ..SearchOptions::default()
+        };
         // Lock order: the table read guard (above, inside the helper) is
         // released before the maintenance latch is taken.
         let _m = self.maintenance.read();
-        let mut outcome = search_sequences_with(
-            &self.store,
-            &translation.sequences,
-            opts.workers,
-            SearchMode::Scopes,
-            opts.schedule_seed,
-        )?;
+        let mut outcome = search_sequences_opts(&self.store, &translation.sequences, &sopts)?;
         // Segment scopes live in per-segment label spaces; they are
         // reported as-is after the delta's (scope values from different
         // sources are not comparable).
         for seg in self.segments_snapshot() {
-            let o = search_sequences_with(
-                seg.as_ref(),
-                &translation.sequences,
-                opts.workers,
-                SearchMode::Scopes,
-                opts.schedule_seed,
-            )?;
+            let o = search_sequences_opts(seg.as_ref(), &translation.sequences, &sopts)?;
             outcome.stats.merge(&o.stats);
             outcome.scopes.extend(o.scopes);
         }
@@ -1202,6 +1259,14 @@ impl VistIndex {
     /// per-tree probe counts. Intended for debugging and teaching; the
     /// output format is human-oriented and not stable.
     pub fn explain(&self, expr: &str, opts: &QueryOptions) -> Result<String> {
+        self.explain_with(expr, opts, false)
+    }
+
+    /// [`VistIndex::explain`] plus, when `show_plan` is set, the
+    /// cost-based planner's report per tier: estimated vs actual
+    /// cardinalities per step, sequence ranks and prunes, and the DocId
+    /// resolution strategy (`vist explain --plan`).
+    pub fn explain_with(&self, expr: &str, opts: &QueryOptions, show_plan: bool) -> Result<String> {
         use std::fmt::Write as _;
         let pattern = parse_query(expr)?.to_pattern();
         let mut out = String::new();
@@ -1210,7 +1275,7 @@ impl VistIndex {
         // Translate + render inside one brief table read guard: the overlay
         // borrows the guard, and rendering needs the overlay for names of
         // query-only symbols. Dropped before any search runs.
-        {
+        let elem_labels: Vec<Vec<String>> = {
             let table = self.table.read();
             let mut overlay = TableOverlay::new(&table);
             let translation = translate_with(
@@ -1233,8 +1298,10 @@ impl VistIndex {
                 }
             )
             .unwrap();
+            let mut labels = Vec::with_capacity(translation.sequences.len());
             for (i, qs) in translation.sequences.iter().enumerate() {
                 let mut line = String::new();
+                let mut seq_labels = Vec::with_capacity(qs.elems.len());
                 for e in &qs.elems {
                     let sym = match e.sym {
                         Sym::Tag(t) => overlay.name(t).to_string(),
@@ -1251,10 +1318,17 @@ impl VistIndex {
                         })
                         .collect::<Vec<_>>()
                         .join("/");
-                    line.push_str(&format!("({sym},{prefix})"));
+                    let label = format!("({sym},{prefix})");
+                    line.push_str(&label);
+                    seq_labels.push(label);
                 }
                 writeln!(out, "  #{i}: {line}").unwrap();
+                labels.push(seq_labels);
             }
+            labels
+        };
+        if show_plan {
+            self.render_plan(&pattern, opts, &elem_labels, &mut out)?;
         }
         let result = self.query_pattern(&pattern, opts)?;
         let st = result.stats;
@@ -1281,6 +1355,15 @@ impl VistIndex {
             st.dedup_skips
         )
         .unwrap();
+        writeln!(
+            out,
+            "planner: {} sequence(s) pruned, {} probes, {} probe prunes, {} docid sweeps",
+            st.planner_seqs_pruned,
+            st.planner_probes,
+            st.planner_probe_prunes,
+            st.planner_docid_sweeps
+        )
+        .unwrap();
         let pool = self.store.pool().pool_stats();
         let t = pool.totals();
         writeln!(
@@ -1305,6 +1388,106 @@ impl VistIndex {
             .unwrap();
         }
         Ok(out)
+    }
+
+    /// Append the planner's per-tier report to an `explain` rendering:
+    /// one search per source with plan collection on, showing sequence
+    /// ranks/prunes, per-step estimated vs actual cardinalities, and the
+    /// chosen DocId strategy.
+    fn render_plan(
+        &self,
+        pattern: &Pattern,
+        opts: &QueryOptions,
+        elem_labels: &[Vec<String>],
+        out: &mut String,
+    ) -> Result<()> {
+        use std::fmt::Write as _;
+        let translation = self.translate_overlay(pattern, opts);
+        let popts = SearchOptions {
+            workers: opts.workers,
+            mode: SearchMode::Docs,
+            schedule_seed: opts.schedule_seed,
+            plan: !opts.no_plan,
+            limit: opts.limit,
+            collect_plan: true,
+        };
+        let _m = self.maintenance.read();
+        let mut sources = Vec::new();
+        let delta = search_sequences_opts(&self.store, &translation.sequences, &popts)?;
+        sources.push(("delta".to_string(), delta.plan));
+        for seg in self.segments_snapshot() {
+            let o = search_sequences_opts(seg.as_ref(), &translation.sequences, &popts)?;
+            sources.push((format!("segment {}", seg.id), o.plan));
+        }
+        for (name, plan) in sources {
+            let Some(plan) = plan else { continue };
+            writeln!(
+                out,
+                "plan ({name}){}:",
+                if opts.no_plan {
+                    " [planner off: naive order]"
+                } else {
+                    ""
+                }
+            )
+            .unwrap();
+            for sp in &plan.seqs {
+                match sp.pruned {
+                    Some(PruneReason::EmptyConcrete { qi }) => writeln!(
+                        out,
+                        "  seq #{}: pruned (empty concrete prefix at step {qi})",
+                        sp.index
+                    )
+                    .unwrap(),
+                    Some(PruneReason::EmptyWildcard { qi }) => writeln!(
+                        out,
+                        "  seq #{}: pruned (empty wildcard prefix at step {qi})",
+                        sp.index
+                    )
+                    .unwrap(),
+                    None => {
+                        writeln!(
+                            out,
+                            "  seq #{}: rank {}, est cost {} node visit(s)",
+                            sp.index, sp.rank, sp.est_cost
+                        )
+                        .unwrap();
+                        for st in &sp.steps {
+                            let label = elem_labels
+                                .get(sp.index)
+                                .and_then(|l| l.get(st.qi))
+                                .map(String::as_str)
+                                .unwrap_or("?");
+                            writeln!(
+                                out,
+                                "    step {:<2} {:<24} est {} cand / {} nodes, \
+                                 actual {} frame(s) / {} node(s){}",
+                                st.qi,
+                                label,
+                                st.est_candidates,
+                                st.est_nodes,
+                                st.actual_frames,
+                                st.actual_nodes,
+                                if st.wildcard { "  [wildcard]" } else { "" }
+                            )
+                            .unwrap();
+                        }
+                    }
+                }
+            }
+            match plan.docid_strategy {
+                DocIdStrategy::Jump { ranges } => {
+                    writeln!(out, "  docid: range jumps ({ranges} scope(s))").unwrap();
+                }
+                DocIdStrategy::Sweep { ranges, postings } => writeln!(
+                    out,
+                    "  docid: keyed sweep ({ranges} scope(s), ~{postings} posting(s))"
+                )
+                .unwrap(),
+                DocIdStrategy::NotRun => writeln!(out, "  docid: not resolved").unwrap(),
+            }
+        }
+        Ok(())
     }
 
     /// Parse and run a path-expression query.
@@ -1344,6 +1527,10 @@ impl VistIndex {
                     ("steals", s.steals),
                     ("scopes_merged", s.scopes_merged),
                     ("dedup_skips", s.dedup_skips),
+                    ("planner_seqs_pruned", s.planner_seqs_pruned),
+                    ("planner_probes", s.planner_probes),
+                    ("planner_probe_prunes", s.planner_probe_prunes),
+                    ("planner_docid_sweeps", s.planner_docid_sweeps),
                 ],
             });
         }
@@ -1431,26 +1618,35 @@ impl VistIndex {
         };
         let _m = self.maintenance.read();
         let segments = self.segments_snapshot();
-        let mut outcome = search_sequences_with(
-            &self.store,
-            &translation.sequences,
-            opts.workers,
-            SearchMode::Docs,
-            opts.schedule_seed,
-        )?;
+        // Under verification the raw search must stay unlimited: the
+        // limit applies to *verified* answers, and any raw candidate may
+        // be a false positive.
+        let raw_limit = if opts.verify { None } else { opts.limit };
+        let base = SearchOptions {
+            workers: opts.workers,
+            mode: SearchMode::Docs,
+            schedule_seed: opts.schedule_seed,
+            plan: !opts.no_plan,
+            limit: raw_limit,
+            collect_plan: false,
+        };
+        let mut outcome = search_sequences_opts(&self.store, &translation.sequences, &base)?;
         if !segments.is_empty() {
             // Each segment is its own label space: run the match per
             // source and union document ids, masking tombstoned segment
             // docs. Delta docs are never tombstoned.
             let tombs: BTreeSet<DocId> = self.store.tomb_ids()?.into_iter().collect();
             for seg in &segments {
-                let o = search_sequences_with(
-                    seg.as_ref(),
-                    &translation.sequences,
-                    opts.workers,
-                    SearchMode::Docs,
-                    opts.schedule_seed,
-                )?;
+                if raw_limit.is_some_and(|k| outcome.docs.len() >= k) {
+                    break;
+                }
+                // Over-provision a limited segment search by the tombstone
+                // count: up to that many of its hits may be masked below.
+                let seg_opts = SearchOptions {
+                    limit: raw_limit.map(|k| k - outcome.docs.len() + tombs.len()),
+                    ..base
+                };
+                let o = search_sequences_opts(seg.as_ref(), &translation.sequences, &seg_opts)?;
                 outcome.stats.merge(&o.stats);
                 outcome.timings.match_nanos += o.timings.match_nanos;
                 outcome.timings.merge_nanos += o.timings.merge_nanos;
@@ -1459,6 +1655,13 @@ impl VistIndex {
                     .docs
                     .extend(o.docs.into_iter().filter(|d| !tombs.contains(d)));
             }
+            // The union can overshoot the limit; keep the smallest k.
+            if let Some(k) = raw_limit {
+                while outcome.docs.len() > k {
+                    let last = *outcome.docs.iter().next_back().expect("non-empty");
+                    outcome.docs.remove(&last);
+                }
+            }
         }
         self.match_counters.record(&outcome.stats);
         let stats = outcome.stats;
@@ -1466,6 +1669,10 @@ impl VistIndex {
         vist_obs::counter!("vist_core_nodes_visited_total").add(stats.nodes_visited);
         vist_obs::counter!("vist_core_steals_total").add(stats.steals);
         vist_obs::counter!("vist_core_dedup_skips_total").add(stats.dedup_skips);
+        vist_obs::counter!("vist_core_planner_seqs_pruned_total").add(stats.planner_seqs_pruned);
+        vist_obs::counter!("vist_core_planner_probes_total").add(stats.planner_probes);
+        vist_obs::counter!("vist_core_planner_probe_prunes_total").add(stats.planner_probe_prunes);
+        vist_obs::counter!("vist_core_planner_docid_sweeps_total").add(stats.planner_docid_sweeps);
         let mut timings = outcome.timings;
         timings.translate_nanos = translate_nanos;
         let out = outcome.docs;
@@ -1478,6 +1685,9 @@ impl VistIndex {
             let verify_start = vist_obs::now();
             let mut verified = Vec::new();
             for id in out {
+                if opts.limit.is_some_and(|k| verified.len() >= k) {
+                    break;
+                }
                 let xml = self
                     .doc_get_any(id, &segments)?
                     .ok_or(Error::NoSuchDocument(id))?;

@@ -1,0 +1,347 @@
+//! Differential test for the cost-based query planner.
+//!
+//! The planner only reorders work and prunes provably-empty sequences, so
+//! for every corpus and query the planned engine must return *identical*
+//! document-id sets and final-scope sets to the unplanned (`no_plan`)
+//! engine — and both must agree with the Naive oracle (Algorithm 1 over
+//! the trie). `limit` is the one sanctioned deviation: a limited query
+//! must return a subset of the full answer of size `min(limit, |full|)`.
+//! Driven by a seeded splitmix64 generator so runs are deterministic.
+
+use std::collections::BTreeSet;
+
+use vist_core::{IndexOptions, NaiveIndex, QueryOptions, VistIndex};
+use vist_xml::{Document, ElementBuilder};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Small vocabularies force structural sharing and overlapping scopes.
+const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+const VALUES: [&str; 4] = ["1", "2", "3", "4"];
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn random_element(rng: &mut Rng, depth: usize) -> ElementBuilder {
+    let mut e = ElementBuilder::new(NAMES[rng.below(NAMES.len())]);
+    if rng.below(2) == 0 {
+        e = e.text(VALUES[rng.below(VALUES.len())]);
+    }
+    if depth > 0 {
+        let n_children = rng.below(4);
+        let kids: Vec<ElementBuilder> = (0..n_children)
+            .map(|_| random_element(rng, depth - 1))
+            .collect();
+        e = e.children(kids);
+    }
+    e
+}
+
+fn random_doc(rng: &mut Rng) -> Document {
+    let depth = 1 + rng.below(4);
+    random_element(rng, depth).into_document()
+}
+
+/// Wildcard-heavy queries: most steps are `*` or `//`-prefixed, so the
+/// planner has many alternative sequences to rank and many expansions to
+/// probe-prune.
+fn random_wildcard_query(rng: &mut Rng) -> String {
+    let steps = 1 + rng.below(4);
+    let mut q = String::new();
+    for _ in 0..steps {
+        let n = rng.below(NAMES.len() + 4);
+        let name = if n >= NAMES.len() { "*" } else { NAMES[n] };
+        q.push_str(if rng.below(2) == 0 { "//" } else { "/" });
+        q.push_str(name);
+    }
+    if rng.below(2) == 0 {
+        q.push_str(&format!(
+            "[{}='{}']",
+            NAMES[rng.below(NAMES.len())],
+            VALUES[rng.below(VALUES.len())]
+        ));
+    }
+    q
+}
+
+/// Branch-heavy queries: one or two trunk steps carrying several
+/// predicates each — the translation shapes whose alternative-sequence
+/// order the planner rewrites most aggressively.
+fn random_branch_query(rng: &mut Rng) -> String {
+    let mut q = String::new();
+    for _ in 0..1 + rng.below(2) {
+        q.push('/');
+        q.push_str(NAMES[rng.below(NAMES.len())]);
+        for _ in 0..1 + rng.below(2) {
+            if rng.below(2) == 0 {
+                q.push_str(&format!("[{}]", NAMES[rng.below(NAMES.len())]));
+            } else {
+                q.push_str(&format!(
+                    "[{}='{}']",
+                    NAMES[rng.below(NAMES.len())],
+                    VALUES[rng.below(VALUES.len())]
+                ));
+            }
+        }
+    }
+    q
+}
+
+/// Queries whose D-Ancestor prefixes cannot exist in the data (names
+/// outside the vocabulary, at several positions): the planner's
+/// empty-prefix short-circuit must not change the (empty) answer.
+fn empty_prefix_queries() -> Vec<String> {
+    vec![
+        "/zzz".into(),
+        "//zzz".into(),
+        "/zzz/yyy[text='none']".into(),
+        "/a/zzz//b".into(),
+        "//zzz/*".into(),
+        "/a[zzz]/b".into(),
+        "/*/zzz".into(),
+    ]
+}
+
+/// Build the same corpus three ways: the naive oracle, a delta-only index,
+/// and a tiered index (bulk-built segment + delta residue). The TempDir
+/// backs the tiered index and must outlive it.
+fn build_indexes(
+    case: u64,
+    docs: &[Document],
+) -> (
+    NaiveIndex,
+    VistIndex,
+    VistIndex,
+    vist_storage::testutil::TempDir,
+) {
+    let mut naive = NaiveIndex::default();
+    let delta_only = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    for d in docs {
+        naive.insert_document(d);
+        delta_only.insert_document(d).unwrap();
+    }
+    let dir = vist_storage::testutil::TempDir::new(&format!("planner-diff-{case}"));
+    let tiered = VistIndex::create_file(dir.file("store"), IndexOptions::default()).unwrap();
+    let split = docs.len() / 2;
+    if split > 0 {
+        let xml: Vec<String> = docs[..split].iter().map(|d| d.to_xml()).collect();
+        tiered.bulk_build(xml).unwrap();
+    }
+    for d in &docs[split..] {
+        tiered.insert_document(d).unwrap();
+    }
+    (naive, delta_only, tiered, dir)
+}
+
+fn check_query(naive: &mut NaiveIndex, vist: &VistIndex, label: &str, q: &str) {
+    let Ok(parsed) = vist_query::parse_query(q) else {
+        return; // a random branch query can be syntactically degenerate
+    };
+    let pattern = parsed.to_pattern();
+    let oracle = naive.query(q, &QueryOptions::default()).unwrap();
+
+    let unplanned_opts = QueryOptions {
+        no_plan: true,
+        ..Default::default()
+    };
+    let unplanned = vist.query(q, &unplanned_opts).unwrap();
+    assert_eq!(
+        unplanned.doc_ids, oracle,
+        "{label}: unplanned vs oracle: {q}"
+    );
+    let (unplanned_scopes, _) = vist.match_scopes(&pattern, &unplanned_opts).unwrap();
+
+    for &workers in &WORKER_COUNTS {
+        let opts = QueryOptions {
+            workers,
+            ..Default::default()
+        };
+        let planned = vist.query(q, &opts).unwrap();
+        assert_eq!(
+            planned.doc_ids, oracle,
+            "{label}: planned@{workers} vs oracle: {q}"
+        );
+        assert_eq!(
+            planned.candidates, unplanned.candidates,
+            "{label}: candidate count diverges at {workers} workers: {q}"
+        );
+        let (scopes, _) = vist.match_scopes(&pattern, &opts).unwrap();
+        assert_eq!(
+            scopes, unplanned_scopes,
+            "{label}: scope set diverges at {workers} workers: {q}"
+        );
+
+        // Limited queries: subset of the full answer, exact size. The
+        // reference set depends on `verify` — raw (naive/ViST §3.2)
+        // semantics without it, exact subtree matching with it.
+        let full_verified: BTreeSet<u64> = vist
+            .query(
+                q,
+                &QueryOptions {
+                    workers,
+                    verify: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .doc_ids
+            .into_iter()
+            .collect();
+        let full_raw: BTreeSet<u64> = oracle.iter().copied().collect();
+        for limit in [
+            0usize,
+            1,
+            2,
+            oracle.len().saturating_sub(1),
+            oracle.len() + 3,
+        ] {
+            for verify in [false, true] {
+                let full = if verify { &full_verified } else { &full_raw };
+                let r = vist
+                    .query(
+                        q,
+                        &QueryOptions {
+                            workers,
+                            verify,
+                            limit: Some(limit),
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(
+                    r.doc_ids.len(),
+                    limit.min(full.len()),
+                    "{label}: limit {limit} (verify={verify}) wrong size at {workers} workers: {q}"
+                );
+                assert!(
+                    r.doc_ids.iter().all(|id| full.contains(id)),
+                    "{label}: limit {limit} (verify={verify}) returned non-answer at \
+                     {workers} workers: {q}: {:?} not in {full:?}",
+                    r.doc_ids
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_never_changes_answers() {
+    for case in 0..24u64 {
+        let mut rng = Rng(0x71A_0001 ^ (case << 11));
+        let docs: Vec<Document> = (0..2 + rng.below(10))
+            .map(|_| random_doc(&mut rng))
+            .collect();
+        let mut queries: Vec<String> = (0..3).map(|_| random_wildcard_query(&mut rng)).collect();
+        queries.extend((0..3).map(|_| random_branch_query(&mut rng)));
+        if case % 4 == 0 {
+            queries.extend(empty_prefix_queries());
+        }
+
+        let (mut naive, delta_only, tiered, _dir) = build_indexes(case, &docs);
+        for q in &queries {
+            check_query(&mut naive, &delta_only, "delta", q);
+            check_query(&mut naive, &tiered, "tiered", q);
+        }
+    }
+}
+
+#[test]
+fn planner_prunes_absent_prefixes_without_changing_answers() {
+    // A corpus where the planner's empty-prefix short-circuit fires on
+    // every alternative involving the absent name.
+    let vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let mut naive = NaiveIndex::default();
+    for i in 0..8 {
+        let xml = format!("<a><b><c>{}</c></b><d>x</d></a>", i % 4 + 1);
+        vist.insert_xml(&xml).unwrap();
+        let doc = vist_xml::parse(&xml).unwrap();
+        naive.insert_document(&doc);
+    }
+    for q in empty_prefix_queries() {
+        check_query(&mut naive, &vist, "absent", &q);
+    }
+    // A dead-prefix query over *interned* symbols must record a prune
+    // (`b` exists, but never at the root, so the (b, ε) prefix is empty;
+    // a never-seen name like `zzz` is killed earlier, at translation).
+    check_query(&mut naive, &vist, "absent", "/b/c");
+    let r = vist.query("/b/c", &QueryOptions::default()).unwrap();
+    assert!(r.doc_ids.is_empty());
+    assert!(
+        r.stats.planner_seqs_pruned > 0,
+        "expected an empty-prefix prune: {:?}",
+        r.stats
+    );
+    // And the planner-off path must not prune (naive order runs it all).
+    let r = vist
+        .query(
+            "/b/c",
+            &QueryOptions {
+                no_plan: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(r.doc_ids.is_empty());
+    assert_eq!(r.stats.planner_seqs_pruned, 0, "{:?}", r.stats);
+}
+
+#[test]
+fn planner_prunes_wildcard_expansions() {
+    // Forty sibling subtrees under the root, only one of which carries the
+    // `/r/*/c/d` tail: the planner's child-probe prune must kill the dead
+    // expansions before they spawn work items, and cut match work by a
+    // wide margin, without changing the answer.
+    let vist = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let mut naive = NaiveIndex::default();
+    for i in 0..6 {
+        let mut xml = String::from("<r>");
+        for m in 0..40 {
+            if m == 7 {
+                xml.push_str(&format!("<m{m}><c><d>hit{i}</d></c></m{m}>"));
+            } else {
+                xml.push_str(&format!("<m{m}><c>miss</c></m{m}>"));
+            }
+        }
+        xml.push_str("</r>");
+        vist.insert_xml(&xml).unwrap();
+        naive.insert_document(&vist_xml::parse(&xml).unwrap());
+    }
+    let q = "/r/*/c/d";
+    check_query(&mut naive, &vist, "fanout", q);
+
+    let planned = vist.query(q, &QueryOptions::default()).unwrap();
+    let unplanned = vist
+        .query(
+            q,
+            &QueryOptions {
+                no_plan: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(planned.doc_ids, unplanned.doc_ids);
+    assert!(
+        planned.stats.planner_probe_prunes > 0,
+        "expected child-probe prunes on the dead middles: {:?}",
+        planned.stats
+    );
+    assert!(
+        planned.stats.work_items * 2 <= unplanned.stats.work_items,
+        "planner must cut work items at least 2x: planned {} vs naive {}",
+        planned.stats.work_items,
+        unplanned.stats.work_items
+    );
+}

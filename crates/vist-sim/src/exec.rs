@@ -9,7 +9,9 @@
 //!   semantics (§3.2–3.4), so any drift is a matching bug;
 //! * raw ⊇ exact (ViST may over-approximate, never under-approximate);
 //! * two different match-frame schedule seeds give identical answers
-//!   (no code path may depend on scheduling luck).
+//!   (no code path may depend on scheduling luck);
+//! * the cost-based planner is answer-preserving: raw results with the
+//!   planner disabled (`no_plan`) equal the planned raw results.
 //!
 //! Crash handling: a [`Op::Crash`] arms the [`FaultVfs`]; the first op
 //! that trips the injected fault triggers recovery — drop the index
@@ -361,8 +363,9 @@ impl Exec<'_> {
         }
     }
 
-    /// One query, four ways: seeded raw twice (schedule independence),
-    /// verified (== model exact), and the naive baseline (== raw).
+    /// One query, five ways: seeded raw twice (schedule independence),
+    /// raw with the planner off (plan independence), verified (== model
+    /// exact), and the naive baseline (== raw).
     fn run_query(
         &mut self,
         template: u8,
@@ -394,6 +397,16 @@ impl Exec<'_> {
             Ok(r) => r,
             Err(e) => return self.fail(e, durable),
         };
+        let raw_unplanned = match self.idx().query(
+            &expr,
+            &QueryOptions {
+                no_plan: true,
+                ..opts(false, sched)
+            },
+        ) {
+            Ok(r) => r,
+            Err(e) => return self.fail(e, durable),
+        };
         let verified = match self.idx().query(&expr, &opts(true, sched)) {
             Ok(r) => r,
             Err(e) => return self.fail(e, durable),
@@ -406,6 +419,15 @@ impl Exec<'_> {
                 format!(
                     "{expr}: schedule seeds disagree: {:?} vs {:?}",
                     raw_a.doc_ids, raw_b.doc_ids
+                ),
+            ));
+        }
+        if raw_a.doc_ids != raw_unplanned.doc_ids {
+            return Err(self.diverge(
+                "plan-dependent",
+                format!(
+                    "{expr}: planned raw {:?} != unplanned raw {:?}",
+                    raw_a.doc_ids, raw_unplanned.doc_ids
                 ),
             ));
         }

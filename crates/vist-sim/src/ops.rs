@@ -60,11 +60,13 @@ pub enum Op {
 }
 
 /// Number of query templates in [`query_expr`].
-pub const TEMPLATES: u8 = 12;
+pub const TEMPLATES: u8 = 13;
 
 /// The fixed query-template table. `value` selects the text literal
 /// (`v1..v4`); templates cover child/descendant axes, wildcards, value
-/// predicates, relpath predicates, and branching.
+/// predicates, relpath predicates, and branching. Template 12 combines a
+/// wildcard step with two branch predicates — the shape where the
+/// cost-based planner reorders and prunes hardest.
 pub fn query_expr(template: u8, value: u8) -> String {
     let v = (value % 4) + 1;
     match template % TEMPLATES {
@@ -79,7 +81,8 @@ pub fn query_expr(template: u8, value: u8) -> String {
         8 => format!("/a/b[c='v{v}']"),
         9 => "/a[b][c]".into(),
         10 => "/a/*/e".into(),
-        _ => format!("//d[text='v{v}']"),
+        11 => format!("//d[text='v{v}']"),
+        _ => format!("/a[b]/*[e='v{v}']"),
     }
 }
 

@@ -29,7 +29,8 @@ pub enum Command {
         /// XML files, each holding one document.
         files: Vec<PathBuf>,
     },
-    /// `vist query <index> <expr> [--verify] [--show] [--workers N] [--trace]`
+    /// `vist query <index> <expr> [--verify] [--show] [--workers N] [--trace]
+    /// [--no-plan] [--limit N]`
     Query {
         /// Index file path.
         index: PathBuf,
@@ -43,6 +44,10 @@ pub enum Command {
         workers: usize,
         /// Print the hierarchical span tree of the query's execution.
         trace: bool,
+        /// Disable the cost-based planner (naive order, for bisection).
+        no_plan: bool,
+        /// Stop after this many matching documents.
+        limit: Option<usize>,
     },
     /// `vist load <index> <dir|file.xml>`
     Load {
@@ -64,7 +69,7 @@ pub enum Command {
         /// Document to remove.
         doc_id: u64,
     },
-    /// `vist explain <index> <expr> [--workers N]`
+    /// `vist explain <index> <expr> [--workers N] [--plan] [--no-plan]`
     Explain {
         /// Index file path.
         index: PathBuf,
@@ -72,6 +77,11 @@ pub enum Command {
         expr: String,
         /// Match-engine worker threads (1 = serial).
         workers: usize,
+        /// Show the planner report (estimated vs actual cardinalities per
+        /// step, chosen DocId strategy).
+        plan: bool,
+        /// Disable the cost-based planner (naive order).
+        no_plan: bool,
     },
     /// `vist list <index>`
     List {
@@ -178,8 +188,9 @@ USAGE:
   vist load    <index> <dir|file.xml>
   vist compact <index>
   vist query   <index> '<expr>' [--verify] [--show] [--workers N] [--trace]
+               [--no-plan] [--limit N]
   vist remove  <index> <doc-id>
-  vist explain <index> '<expr>' [--workers N]
+  vist explain <index> '<expr>' [--workers N] [--plan] [--no-plan]
   vist list    <index>
   vist stats   <index> [--format human|json|prometheus]
   vist profile <index> <queries-file> [--workers N] [--slow-ms N]
@@ -197,6 +208,14 @@ SIMULATION (deterministic model-checked workloads):
                        minimal reproducer is written to --out (exit 1).
   sim --seconds N      smoke mode: consecutive seeds until the budget is spent
   sim --replay FILE    re-run a reproducer produced by --out / tests/seeds/
+
+QUERY PLANNING (ViST §3.4 statistical clues):
+  query --no-plan      bypass the cost-based planner: sequences run in naive
+                       translation order with no empty-prefix short-circuits
+  query --limit N      stop after N matching documents (early termination)
+  explain --plan       per-tier planner report: sequence ranks and prunes,
+                       estimated vs actual cardinalities per step, and the
+                       chosen DocId resolution strategy
 
 OBSERVABILITY:
   query --trace        print the hierarchical span tree of one execution
@@ -280,10 +299,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let verify = take_flag(&mut rest, "--verify");
             let show = take_flag(&mut rest, "--show");
             let trace = take_flag(&mut rest, "--trace");
+            let no_plan = take_flag(&mut rest, "--no-plan");
             let workers = take_opt(&mut rest, "--workers")?
                 .map(|v| v.parse().map_err(|_| "bad --workers".to_string()))
                 .transpose()?
                 .unwrap_or(1);
+            let limit = take_opt(&mut rest, "--limit")?
+                .map(|v| v.parse().map_err(|_| "bad --limit".to_string()))
+                .transpose()?;
             let [index, expr] = rest.as_slice() else {
                 return Err("query: expected an index path and one expression".into());
             };
@@ -294,6 +317,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 show,
                 workers,
                 trace,
+                no_plan,
+                limit,
             })
         }
         "load" => {
@@ -323,6 +348,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "explain" => {
+            let plan = take_flag(&mut rest, "--plan");
+            let no_plan = take_flag(&mut rest, "--no-plan");
             let workers = take_opt(&mut rest, "--workers")?
                 .map(|v| v.parse().map_err(|_| "bad --workers".to_string()))
                 .transpose()?
@@ -334,6 +361,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 index: PathBuf::from(index),
                 expr: (*expr).clone(),
                 workers,
+                plan,
+                no_plan,
             })
         }
         "list" => {
@@ -490,6 +519,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
             show,
             workers,
             trace,
+            no_plan,
+            limit,
         } => {
             let idx = open(&index)?;
             let was_tracing = vist_obs::tracing_enabled();
@@ -501,6 +532,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 &QueryOptions {
                     verify,
                     workers,
+                    no_plan,
+                    limit,
                     ..Default::default()
                 },
             );
@@ -593,14 +626,18 @@ pub fn run(cmd: Command) -> Result<String, String> {
             index,
             expr,
             workers,
+            plan,
+            no_plan,
         } => {
             let idx = open(&index)?;
-            idx.explain(
+            idx.explain_with(
                 &expr,
                 &QueryOptions {
                     workers,
+                    no_plan,
                     ..Default::default()
                 },
+                plan,
             )
             .map_err(|e| e.to_string())
         }
@@ -642,6 +679,20 @@ pub fn run(cmd: Command) -> Result<String, String> {
             writeln!(out, "match steals:         {}", s.match_steals).unwrap();
             writeln!(out, "match scopes merged:  {}", s.match_scopes_merged).unwrap();
             writeln!(out, "match dedup skips:    {}", s.match_dedup_skips).unwrap();
+            writeln!(out, "planner seqs pruned:  {}", s.match_planner_seqs_pruned).unwrap();
+            writeln!(out, "planner probes:       {}", s.match_planner_probes).unwrap();
+            writeln!(
+                out,
+                "planner probe prunes: {}",
+                s.match_planner_probe_prunes
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "planner docid sweeps: {}",
+                s.match_planner_docid_sweeps
+            )
+            .unwrap();
             writeln!(out, "store bytes:          {}", s.store_bytes).unwrap();
             let tree_line = |out: &mut String, label: &str, t: &vist_btree::TreeStats| {
                 writeln!(
@@ -654,6 +705,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 )
                 .unwrap();
             };
+            writeln!(out, "delta:").unwrap();
             tree_line(&mut out, "D-Ancestor tree:", &b.dancestor);
             tree_line(&mut out, "S-Ancestor tree:", &b.sancestor);
             tree_line(&mut out, "DocId tree:", &b.docid);
@@ -665,6 +717,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 tree_line(&mut out, "S-Ancestor tree:", &sb.sancestor);
                 tree_line(&mut out, "DocId tree:", &sb.docid);
                 tree_line(&mut out, "documents tree:", &sb.aux);
+                tree_line(&mut out, "statistics tree:", &sb.stats);
             }
             writeln!(out, "page reads:           {}", s.io.reads).unwrap();
             writeln!(out, "page writes:          {}", s.io.writes).unwrap();
@@ -1028,6 +1081,8 @@ mod tests {
                 show: true,
                 workers: 1,
                 trace: false,
+                no_plan: false,
+                limit: None,
             }
         );
         let c = parse_args(&argv("query idx //author --workers 4 --trace")).unwrap();
@@ -1040,10 +1095,53 @@ mod tests {
                 show: false,
                 workers: 4,
                 trace: true,
+                no_plan: false,
+                limit: None,
             }
         );
         assert!(parse_args(&argv("query idx //author --workers")).is_err());
         assert!(parse_args(&argv("explain idx //author --workers nope")).is_err());
+    }
+
+    #[test]
+    fn parse_planner_flags() {
+        let c = parse_args(&argv("query idx //author --no-plan --limit 7")).unwrap();
+        assert_eq!(
+            c,
+            Command::Query {
+                index: PathBuf::from("idx"),
+                expr: "//author".into(),
+                verify: false,
+                show: false,
+                workers: 1,
+                trace: false,
+                no_plan: true,
+                limit: Some(7),
+            }
+        );
+        assert!(parse_args(&argv("query idx //author --limit many")).is_err());
+        assert!(parse_args(&argv("query idx //author --limit")).is_err());
+        let c = parse_args(&argv("explain idx '/a/b' --plan")).unwrap();
+        assert_eq!(
+            c,
+            Command::Explain {
+                index: PathBuf::from("idx"),
+                expr: "'/a/b'".into(),
+                workers: 1,
+                plan: true,
+                no_plan: false,
+            }
+        );
+        let c = parse_args(&argv("explain idx //author --plan --no-plan --workers 2")).unwrap();
+        assert!(matches!(
+            c,
+            Command::Explain {
+                plan: true,
+                no_plan: true,
+                workers: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1282,6 +1380,8 @@ mod tests {
             show: true,
             workers: 2,
             trace: false,
+            no_plan: false,
+            limit: None,
         })
         .unwrap();
         assert!(out.starts_with("1 document(s)"), "{out}");
@@ -1311,6 +1411,8 @@ mod tests {
             show: false,
             workers: 1,
             trace: false,
+            no_plan: false,
+            limit: None,
         })
         .unwrap();
         assert!(out.starts_with("1 document(s)"), "{out}");
@@ -1386,6 +1488,8 @@ mod tests {
             show: false,
             workers: 1,
             trace: false,
+            no_plan: false,
+            limit: None,
         })
         .unwrap();
         assert!(out.starts_with("4 document(s)"), "{out}");
@@ -1402,7 +1506,9 @@ mod tests {
         .unwrap();
         assert!(out.contains("segments:             2"), "{out}");
         assert!(out.contains("tombstones:           1"), "{out}");
+        assert!(out.contains("delta:"), "{out}");
         assert!(out.contains("segment 1:"), "{out}");
+        assert!(out.contains("statistics tree:"), "{out}");
         assert!(out.contains("leaf fill"), "{out}");
 
         let out = run(Command::Compact {
@@ -1420,6 +1526,8 @@ mod tests {
             show: true,
             workers: 1,
             trace: false,
+            no_plan: false,
+            limit: None,
         })
         .unwrap();
         assert!(out.starts_with("3 document(s)"), "{out}");
@@ -1456,6 +1564,8 @@ mod tests {
             show: false,
             workers: 1,
             trace: true,
+            no_plan: false,
+            limit: None,
         })
         .unwrap();
         assert!(out.contains("trace:"), "{out}");
@@ -1477,6 +1587,8 @@ mod tests {
             show: false,
             workers: 1,
             trace: false,
+            no_plan: false,
+            limit: None,
         })
         .unwrap();
         let prom = run(Command::Stats {
