@@ -24,6 +24,12 @@ pub enum Error {
     /// `VistIndex::create_at` / `open_at` (or the `create_file` /
     /// `open_file` shorthands) have.
     NotTiered,
+    /// The query's deadline (`QueryOptions::deadline`) passed before the
+    /// search completed. The cancellation is cooperative — checked at
+    /// match work-item granularity — and leaves the index fully readable:
+    /// no locks are poisoned and no state is mutated, so the next query
+    /// on the same index returns exactly what an undisturbed run would.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for Error {
@@ -42,6 +48,7 @@ impl fmt::Display for Error {
             Error::NotTiered => {
                 write!(f, "operation requires a tiered (file-backed) index")
             }
+            Error::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -80,5 +87,6 @@ mod tests {
         assert!(Error::NoSuchDocument(9).to_string().contains('9'));
         assert!(Error::Corrupt("bad".into()).to_string().contains("bad"));
         assert!(Error::NotTiered.to_string().contains("tiered"));
+        assert!(Error::DeadlineExceeded.to_string().contains("deadline"));
     }
 }

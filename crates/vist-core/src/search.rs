@@ -67,6 +67,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use vist_query::{QueryElem, QuerySequence};
 use vist_seq::{dkey, PathSym, Prefix, Sym, Symbol};
@@ -339,6 +340,14 @@ pub struct SearchOptions {
     /// Attach a per-step [`PlanReport`] (estimated vs actual
     /// cardinalities) to the outcome — `vist explain --plan`.
     pub collect_plan: bool,
+    /// Cooperative cancellation point: once this instant passes, the
+    /// engine stops at the next work-item boundary (every execution path
+    /// checks before expanding a frame, and the DocId stage checks
+    /// between range queries) and returns
+    /// [`crate::Error::DeadlineExceeded`]. The check costs one clock
+    /// read per frame and only when a deadline is set; expiry never
+    /// poisons locks or mutates the index.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for SearchOptions {
@@ -350,8 +359,16 @@ impl Default for SearchOptions {
             plan: true,
             limit: None,
             collect_plan: false,
+            deadline: None,
         }
     }
+}
+
+/// Whether `deadline` has passed. One clock read; `None` is never
+/// expired, so unlimited queries pay nothing.
+#[inline]
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// Why the planner refused to seed a sequence.
@@ -544,6 +561,9 @@ pub fn search_sequences_opts(
         let _span = vist_obs::Span::enter("plan");
         let t = vist_obs::now();
         for (i, qs) in seqs.iter().enumerate() {
+            if expired(opts.deadline) {
+                return Err(crate::error::Error::DeadlineExceeded);
+            }
             if qs.elems.is_empty() {
                 pre_scopes.push((0, vist_seq::MAX_SCOPE));
             }
@@ -614,6 +634,9 @@ pub fn search_sequences_opts(
                 }
             };
             let Some(frame) = frame else { break };
+            if expired(opts.deadline) {
+                return Err(crate::error::Error::DeadlineExceeded);
+            }
             out.stats.work_items += 1;
             expand(source, &ctxs, &frame, &mut stack, &mut out)?;
         }
@@ -641,8 +664,17 @@ pub fn search_sequences_opts(
                 }
                 local.push(frame);
                 while let Some(frame) = local.pop() {
+                    // Cooperative cancellation: every worker checks the
+                    // deadline at each work item; the first to notice
+                    // stops the shared queue so the others drain out.
+                    let late = expired(opts.deadline);
                     out.stats.work_items += 1;
-                    if let Err(e) = expand(source, &ctxs, &frame, &mut local, &mut out) {
+                    let step = if late {
+                        Err(crate::error::Error::DeadlineExceeded)
+                    } else {
+                        expand(source, &ctxs, &frame, &mut local, &mut out)
+                    };
+                    if let Err(e) = step {
                         let mut slot = first_err.lock().unwrap_or_else(|e| e.into_inner());
                         slot.get_or_insert(e);
                         drop(slot);
@@ -742,6 +774,9 @@ pub fn search_sequences_opts(
                 }
             } else {
                 for &(lo, hi) in &merged {
+                    if expired(opts.deadline) {
+                        return Err(crate::error::Error::DeadlineExceeded);
+                    }
                     // "Perform a range query [n, n+size) on the DocId
                     // B+Tree."
                     stats.docid_scans += 1;
@@ -797,6 +832,9 @@ fn run_limited(
             if docs.len() >= limit {
                 break;
             }
+            if expired(opts.deadline) {
+                return Err(crate::error::Error::DeadlineExceeded);
+            }
             stats.docid_scans += 1;
             queried.push((lo, hi));
             source.docids_in_range(lo, hi, &mut |doc| {
@@ -813,6 +851,9 @@ fn run_limited(
                 stack.swap_remove(i)
             }
         };
+        if expired(opts.deadline) {
+            return Err(crate::error::Error::DeadlineExceeded);
+        }
         out.stats.work_items += 1;
         expand(source, ctxs, &frame, &mut stack, &mut out)?;
         pending.append(&mut out.scopes);

@@ -110,6 +110,12 @@ pub struct QueryOptions {
     /// full answer; *which* subset may depend on planning and tier
     /// order. With `verify` the limit applies to verified answers.
     pub limit: Option<usize>,
+    /// Cooperative deadline: once this instant passes, the query stops at
+    /// the next match work-item (or per-document verification) boundary
+    /// and returns [`Error::DeadlineExceeded`]. Cancellation never
+    /// poisons locks or mutates the index — the next query on the same
+    /// index is undisturbed. `None` (the default) runs to completion.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for QueryOptions {
@@ -121,6 +127,7 @@ impl Default for QueryOptions {
             schedule_seed: None,
             no_plan: false,
             limit: None,
+            deadline: None,
         }
     }
 }
@@ -1218,6 +1225,7 @@ impl VistIndex {
             mode: SearchMode::Scopes,
             schedule_seed: opts.schedule_seed,
             plan: !opts.no_plan,
+            deadline: opts.deadline,
             ..SearchOptions::default()
         };
         // Lock order: the table read guard (above, inside the helper) is
@@ -1410,6 +1418,7 @@ impl VistIndex {
             plan: !opts.no_plan,
             limit: opts.limit,
             collect_plan: true,
+            deadline: opts.deadline,
         };
         let _m = self.maintenance.read();
         let mut sources = Vec::new();
@@ -1629,6 +1638,7 @@ impl VistIndex {
             plan: !opts.no_plan,
             limit: raw_limit,
             collect_plan: false,
+            deadline: opts.deadline,
         };
         let mut outcome = search_sequences_opts(&self.store, &translation.sequences, &base)?;
         if !segments.is_empty() {
@@ -1687,6 +1697,12 @@ impl VistIndex {
             for id in out {
                 if opts.limit.is_some_and(|k| verified.len() >= k) {
                     break;
+                }
+                if opts
+                    .deadline
+                    .is_some_and(|d| std::time::Instant::now() >= d)
+                {
+                    return Err(Error::DeadlineExceeded);
                 }
                 let xml = self
                     .doc_get_any(id, &segments)?

@@ -1,0 +1,296 @@
+//! Admission control: a bounded queue in front of a fixed pool of
+//! query slots, with load-shedding and drain coordination.
+//!
+//! The server runs one OS thread per connection, but queries do not get
+//! to run just because a connection exists: each query must first take
+//! one of `max_inflight` *slots*. When every slot is busy the query
+//! waits in a bounded queue (`queue_depth` waiters); when the queue is
+//! full too, the query is shed immediately with a retry-after hint
+//! derived from observed service time. This turns overload into fast,
+//! structured `OVERLOADED` responses instead of unbounded queueing.
+//!
+//! Drain: [`Gate::begin_drain`] flips the gate into draining mode —
+//! every queued waiter and every later arrival is refused with
+//! [`Admission::Draining`] — and [`Gate::await_idle`] blocks until the
+//! in-flight count reaches zero (or a drain deadline passes). Because
+//! each admitted query carries an effective deadline capped at
+//! `max_deadline`, choosing a drain deadline ≥ the cap guarantees the
+//! drain terminates.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Outcome of [`Gate::admit`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// A slot was granted; run the query, then call [`Gate::release`].
+    Admitted {
+        /// How long the query sat in the admission queue.
+        queued: Duration,
+    },
+    /// Queue full — shed. Retry after the hinted duration.
+    Shed {
+        /// Client-facing backoff hint.
+        retry_after: Duration,
+    },
+    /// Server is draining; no new work is admitted.
+    Draining,
+}
+
+#[derive(Debug)]
+struct State {
+    inflight: usize,
+    waiters: usize,
+    draining: bool,
+    /// EWMA of service nanos, updated on release; seeds retry-after.
+    ewma_service_nanos: u64,
+}
+
+/// The admission gate. Cheap to share behind an `Arc`.
+#[derive(Debug)]
+pub struct Gate {
+    state: Mutex<State>,
+    slot_freed: Condvar,
+    idle: Condvar,
+    max_inflight: usize,
+    queue_depth: usize,
+}
+
+impl Gate {
+    /// A gate with `max_inflight` concurrent query slots and a waiting
+    /// queue of at most `queue_depth`. Both are clamped to ≥ 1 slot /
+    /// ≥ 0 waiters.
+    pub fn new(max_inflight: usize, queue_depth: usize) -> Gate {
+        Gate {
+            state: Mutex::new(State {
+                inflight: 0,
+                waiters: 0,
+                draining: false,
+                ewma_service_nanos: 2_000_000, // 2 ms prior
+            }),
+            slot_freed: Condvar::new(),
+            idle: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            queue_depth,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Try to take a query slot, waiting in the bounded queue if all
+    /// slots are busy. `wait_cap` bounds the queue wait (normally the
+    /// query's own deadline budget): when it elapses the query is shed
+    /// rather than admitted too late to succeed.
+    pub fn admit(&self, wait_cap: Duration) -> Admission {
+        let start = Instant::now();
+        let mut st = self.lock();
+        if st.draining {
+            return Admission::Draining;
+        }
+        if st.inflight < self.max_inflight {
+            st.inflight += 1;
+            return Admission::Admitted {
+                queued: Duration::ZERO,
+            };
+        }
+        if st.waiters >= self.queue_depth {
+            let retry_after = self.retry_hint(&st);
+            return Admission::Shed { retry_after };
+        }
+        st.waiters += 1;
+        loop {
+            let elapsed = start.elapsed();
+            if st.draining {
+                st.waiters -= 1;
+                return Admission::Draining;
+            }
+            if st.inflight < self.max_inflight {
+                st.waiters -= 1;
+                st.inflight += 1;
+                return Admission::Admitted { queued: elapsed };
+            }
+            if elapsed >= wait_cap {
+                st.waiters -= 1;
+                let retry_after = self.retry_hint(&st);
+                return Admission::Shed { retry_after };
+            }
+            let (g, _timeout) = self
+                .slot_freed
+                .wait_timeout(st, wait_cap - elapsed)
+                .unwrap_or_else(|e| e.into_inner());
+            st = g;
+        }
+    }
+
+    /// Return a slot taken by [`Gate::admit`], recording the query's
+    /// service time for future retry-after hints.
+    pub fn release(&self, service: Duration) {
+        let mut st = self.lock();
+        debug_assert!(st.inflight > 0);
+        st.inflight = st.inflight.saturating_sub(1);
+        let nanos = (service.as_nanos() as u64).max(1);
+        // EWMA with alpha = 1/8: new = old + (sample - old)/8.
+        let old = st.ewma_service_nanos;
+        st.ewma_service_nanos = old + (nanos / 8).saturating_sub(old / 8);
+        if st.inflight == 0 {
+            self.idle.notify_all();
+        }
+        drop(st);
+        self.slot_freed.notify_one();
+    }
+
+    /// Retry hint: the time for the backlog ahead of a new arrival to
+    /// clear through the pool, clamped to [10 ms, 5 s].
+    fn retry_hint(&self, st: &State) -> Duration {
+        let backlog = (st.waiters as u64 + 1).div_ceil(self.max_inflight as u64);
+        let nanos = st.ewma_service_nanos.saturating_mul(backlog.max(1));
+        Duration::from_nanos(nanos.clamp(10_000_000, 5_000_000_000))
+    }
+
+    /// Flip into draining mode: queued waiters are refused, future
+    /// arrivals get [`Admission::Draining`]. Idempotent.
+    pub fn begin_drain(&self) {
+        let mut st = self.lock();
+        st.draining = true;
+        drop(st);
+        self.slot_freed.notify_all();
+    }
+
+    /// True once [`Gate::begin_drain`] has run.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Block until no query is in flight, or `deadline` passes.
+    /// Returns `true` when fully idle.
+    pub fn await_idle(&self, deadline: Instant) -> bool {
+        let mut st = self.lock();
+        while st.inflight > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _t) = self
+                .idle
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = g;
+        }
+        true
+    }
+
+    /// Current in-flight count (for metrics/tests).
+    pub fn inflight(&self) -> usize {
+        self.lock().inflight
+    }
+
+    /// Current queue depth (for metrics/tests).
+    pub fn queued(&self) -> usize {
+        self.lock().waiters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let g = Gate::new(2, 0);
+        assert!(matches!(
+            g.admit(Duration::ZERO),
+            Admission::Admitted { .. }
+        ));
+        assert!(matches!(
+            g.admit(Duration::ZERO),
+            Admission::Admitted { .. }
+        ));
+        // Pool full, queue depth 0 → immediate shed with a hint.
+        match g.admit(Duration::from_secs(1)) {
+            Admission::Shed { retry_after } => {
+                assert!(retry_after >= Duration::from_millis(10));
+                assert!(retry_after <= Duration::from_secs(5));
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+        g.release(Duration::from_millis(1));
+        assert!(matches!(
+            g.admit(Duration::ZERO),
+            Admission::Admitted { .. }
+        ));
+    }
+
+    #[test]
+    fn queued_waiter_gets_freed_slot() {
+        let g = Arc::new(Gate::new(1, 4));
+        assert!(matches!(
+            g.admit(Duration::ZERO),
+            Admission::Admitted { .. }
+        ));
+        let g2 = Arc::clone(&g);
+        let waiter = std::thread::spawn(move || g2.admit(Duration::from_secs(10)));
+        // Let the waiter park, then free the slot.
+        while g.queued() == 0 {
+            std::thread::yield_now();
+        }
+        g.release(Duration::from_micros(500));
+        match waiter.join().unwrap() {
+            Admission::Admitted { queued } => assert!(queued > Duration::ZERO),
+            other => panic!("expected admit, got {other:?}"),
+        }
+        assert_eq!(g.inflight(), 1);
+    }
+
+    #[test]
+    fn wait_cap_expiry_sheds() {
+        let g = Gate::new(1, 4);
+        assert!(matches!(
+            g.admit(Duration::ZERO),
+            Admission::Admitted { .. }
+        ));
+        let start = Instant::now();
+        match g.admit(Duration::from_millis(30)) {
+            Admission::Shed { .. } => {}
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn drain_refuses_new_and_wakes_queued() {
+        let g = Arc::new(Gate::new(1, 4));
+        assert!(matches!(
+            g.admit(Duration::ZERO),
+            Admission::Admitted { .. }
+        ));
+        let g2 = Arc::clone(&g);
+        let waiter = std::thread::spawn(move || g2.admit(Duration::from_secs(10)));
+        while g.queued() == 0 {
+            std::thread::yield_now();
+        }
+        g.begin_drain();
+        assert_eq!(waiter.join().unwrap(), Admission::Draining);
+        assert_eq!(g.admit(Duration::from_secs(1)), Admission::Draining);
+        // Drain completes once the in-flight query releases.
+        let g3 = Arc::clone(&g);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            g3.release(Duration::from_millis(5));
+        });
+        assert!(g.await_idle(Instant::now() + Duration::from_secs(5)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn await_idle_times_out_while_busy() {
+        let g = Gate::new(1, 0);
+        assert!(matches!(
+            g.admit(Duration::ZERO),
+            Admission::Admitted { .. }
+        ));
+        assert!(!g.await_idle(Instant::now() + Duration::from_millis(20)));
+    }
+}

@@ -1,0 +1,379 @@
+//! `vist bench-serve`: a closed-loop load generator for the serve
+//! front-end, reporting exact client-side latency percentiles and the
+//! server's shed behaviour under deliberate overload.
+//!
+//! Four phases, each a fleet of closed-loop clients over the binary
+//! protocol:
+//!
+//! 1. **warmup** — discarded.
+//! 2. **baseline** — one client: the uncontended latency floor.
+//! 3. **loaded** — `clients` clients: capacity-level contention.
+//! 4. **burst** — `burst_clients` clients (sized ≥ 4× the server's
+//!    slot count by the caller): overload, where the admission gate
+//!    must shed rather than queue unboundedly.
+//!
+//! Percentiles (p50/p99/p999) are exact — computed from the sorted
+//! vector of every successful request's wall-clock latency, not from
+//! log-bucketed histograms — because the acceptance bar (`loaded p99 ≤
+//! 2× baseline p99`) is too tight for bucket resolution.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::proto::{roundtrip, ProtoError, Request, Response};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Server address, e.g. `127.0.0.1:4170`.
+    pub addr: String,
+    /// Query expression every client sends.
+    pub expr: String,
+    /// Per-request client deadline (0 = server cap).
+    pub deadline_ms: u32,
+    /// Clients in the loaded phase.
+    pub clients: usize,
+    /// Clients in the burst phase; size ≥ 4× server capacity.
+    pub burst_clients: usize,
+    /// Per-phase duration.
+    pub duration: Duration,
+    /// Warmup duration (discarded).
+    pub warmup: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            addr: "127.0.0.1:4170".to_string(),
+            expr: "/doc".to_string(),
+            deadline_ms: 0,
+            clients: 4,
+            burst_clients: 32,
+            duration: Duration::from_secs(3),
+            warmup: Duration::from_millis(500),
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Shrink durations for CI smoke runs.
+    pub fn smoke(mut self) -> Self {
+        self.duration = Duration::from_millis(700);
+        self.warmup = Duration::from_millis(150);
+        self
+    }
+}
+
+/// Per-phase terminal-state tallies plus exact latency percentiles
+/// over successful requests.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseReport {
+    pub name: String,
+    pub clients: usize,
+    pub duration_ms: u64,
+    pub requests: u64,
+    pub ok: u64,
+    pub shed: u64,
+    pub deadline_expired: u64,
+    pub draining: u64,
+    pub bad_request: u64,
+    pub errors: u64,
+    pub transport_errors: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    pub max_ns: u64,
+    pub throughput_rps: f64,
+}
+
+impl PhaseReport {
+    /// Shed responses as a fraction of all requests.
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.requests as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"clients\":{},\"duration_ms\":{},\"requests\":{},\"ok\":{},\
+             \"shed\":{},\"deadline_expired\":{},\"draining\":{},\"bad_request\":{},\
+             \"errors\":{},\"transport_errors\":{},\"shed_rate\":{:.4},\"p50_ns\":{},\
+             \"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"throughput_rps\":{:.1}}}",
+            self.name,
+            self.clients,
+            self.duration_ms,
+            self.requests,
+            self.ok,
+            self.shed,
+            self.deadline_expired,
+            self.draining,
+            self.bad_request,
+            self.errors,
+            self.transport_errors,
+            self.shed_rate(),
+            self.p50_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.max_ns,
+            self.throughput_rps,
+        )
+    }
+}
+
+/// Full bench output.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    pub baseline: PhaseReport,
+    pub loaded: PhaseReport,
+    pub burst: PhaseReport,
+    /// `loaded.p99 / baseline.p99` — the acceptance bar is ≤ 2.0.
+    pub p99_ratio_loaded_vs_baseline: f64,
+}
+
+impl BenchReport {
+    /// Serialize as the `BENCH_serve.json` artifact.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve\",\n  \"baseline\": {},\n  \"loaded\": {},\n  \
+             \"burst\": {},\n  \"p99_ratio_loaded_vs_baseline\": {:.3}\n}}\n",
+            self.baseline.to_json(),
+            self.loaded.to_json(),
+            self.burst.to_json(),
+            self.p99_ratio_loaded_vs_baseline,
+        )
+    }
+}
+
+#[derive(Default)]
+struct ClientTally {
+    latencies_ns: Vec<u64>,
+    requests: u64,
+    ok: u64,
+    shed: u64,
+    deadline_expired: u64,
+    draining: u64,
+    bad_request: u64,
+    errors: u64,
+    transport_errors: u64,
+}
+
+/// One closed-loop client: send, await, repeat until `until`.
+/// Reconnects on transport errors; honors shed retry hints briefly so
+/// the burst phase keeps offering load without busy-spinning.
+fn client_loop(addr: &str, expr: &str, deadline_ms: u32, until: Instant) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let req = Request::Query {
+        deadline_ms,
+        verify: false,
+        no_plan: false,
+        limit: 0,
+        expr: expr.to_string(),
+    };
+    let mut conn: Option<TcpStream> = None;
+    while Instant::now() < until {
+        let stream = match conn.as_mut() {
+            Some(s) => s,
+            None => match TcpStream::connect(addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+                    conn.insert(s)
+                }
+                Err(_) => {
+                    tally.transport_errors += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            },
+        };
+        let start = Instant::now();
+        match roundtrip(stream, &req) {
+            Ok(resp) => {
+                tally.requests += 1;
+                match resp {
+                    Response::Ok(_) => {
+                        tally.ok += 1;
+                        tally
+                            .latencies_ns
+                            .push(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    }
+                    Response::Overloaded { retry_after_ms } => {
+                        tally.shed += 1;
+                        // Back off a bounded sliver of the hint: enough
+                        // to avoid a pure spin, short enough to keep
+                        // overload pressure ≥ 4× capacity.
+                        let nap = Duration::from_millis(u64::from(retry_after_ms).min(20) / 4);
+                        std::thread::sleep(nap);
+                    }
+                    Response::DeadlineExceeded => tally.deadline_expired += 1,
+                    Response::Draining => {
+                        tally.draining += 1;
+                        break;
+                    }
+                    Response::BadRequest(_) => tally.bad_request += 1,
+                    Response::Error(_) => tally.errors += 1,
+                    Response::Pong => {}
+                }
+            }
+            Err(ProtoError::Io(_)) | Err(ProtoError::Truncated) => {
+                tally.transport_errors += 1;
+                conn = None;
+            }
+            Err(_) => {
+                tally.transport_errors += 1;
+                conn = None;
+            }
+        }
+    }
+    tally
+}
+
+/// Exact quantile of a sorted sample (nearest-rank).
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run_phase(
+    name: &str,
+    addr: &str,
+    expr: &str,
+    deadline_ms: u32,
+    clients: usize,
+    duration: Duration,
+) -> PhaseReport {
+    let until = Instant::now() + duration;
+    let handles: Vec<_> = (0..clients.max(1))
+        .map(|_| {
+            let addr = addr.to_string();
+            let expr = expr.to_string();
+            std::thread::spawn(move || client_loop(&addr, &expr, deadline_ms, until))
+        })
+        .collect();
+    let mut merged = ClientTally::default();
+    for h in handles {
+        if let Ok(t) = h.join() {
+            merged.latencies_ns.extend(t.latencies_ns);
+            merged.requests += t.requests;
+            merged.ok += t.ok;
+            merged.shed += t.shed;
+            merged.deadline_expired += t.deadline_expired;
+            merged.draining += t.draining;
+            merged.bad_request += t.bad_request;
+            merged.errors += t.errors;
+            merged.transport_errors += t.transport_errors;
+        }
+    }
+    merged.latencies_ns.sort_unstable();
+    let lat = &merged.latencies_ns;
+    PhaseReport {
+        name: name.to_string(),
+        clients: clients.max(1),
+        duration_ms: duration.as_millis() as u64,
+        requests: merged.requests,
+        ok: merged.ok,
+        shed: merged.shed,
+        deadline_expired: merged.deadline_expired,
+        draining: merged.draining,
+        bad_request: merged.bad_request,
+        errors: merged.errors,
+        transport_errors: merged.transport_errors,
+        p50_ns: quantile(lat, 0.50),
+        p99_ns: quantile(lat, 0.99),
+        p999_ns: quantile(lat, 0.999),
+        max_ns: lat.last().copied().unwrap_or(0),
+        throughput_rps: merged.requests as f64 / duration.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Run all phases against a live server.
+pub fn run(cfg: &BenchConfig) -> BenchReport {
+    // Warmup: discard.
+    let _ = run_phase(
+        "warmup",
+        &cfg.addr,
+        &cfg.expr,
+        cfg.deadline_ms,
+        1,
+        cfg.warmup,
+    );
+    let baseline = run_phase(
+        "baseline",
+        &cfg.addr,
+        &cfg.expr,
+        cfg.deadline_ms,
+        1,
+        cfg.duration,
+    );
+    let loaded = run_phase(
+        "loaded",
+        &cfg.addr,
+        &cfg.expr,
+        cfg.deadline_ms,
+        cfg.clients,
+        cfg.duration,
+    );
+    let burst = run_phase(
+        "burst",
+        &cfg.addr,
+        &cfg.expr,
+        cfg.deadline_ms,
+        cfg.burst_clients,
+        cfg.duration,
+    );
+    let ratio = if baseline.p99_ns == 0 {
+        0.0
+    } else {
+        loaded.p99_ns as f64 / baseline.p99_ns as f64
+    };
+    BenchReport {
+        baseline,
+        loaded,
+        burst,
+        p99_ratio_loaded_vs_baseline: ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&v, 0.50), 50);
+        assert_eq!(quantile(&v, 0.99), 99);
+        assert_eq!(quantile(&v, 0.999), 100);
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.999), 7);
+    }
+
+    #[test]
+    fn report_json_is_wellformed_enough() {
+        let p = PhaseReport {
+            name: "baseline".into(),
+            clients: 1,
+            requests: 10,
+            ok: 9,
+            shed: 1,
+            ..PhaseReport::default()
+        };
+        let r = BenchReport {
+            baseline: p.clone(),
+            loaded: p.clone(),
+            burst: p,
+            p99_ratio_loaded_vs_baseline: 1.25,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"bench\": \"serve\""));
+        assert!(j.contains("\"shed_rate\":0.1000"));
+        assert!(j.contains("\"p99_ratio_loaded_vs_baseline\": 1.250"));
+        assert_eq!(j.matches("\"name\"").count(), 3);
+    }
+}

@@ -1,0 +1,465 @@
+//! The serve loop: accept, sniff, admit, execute, drain.
+//!
+//! One acceptor thread polls a nonblocking listener and the shutdown
+//! flag; each accepted connection gets its own thread. A connection's
+//! first bytes are sniffed: a length-prefixed binary frame always
+//! starts with 0x00 (the cap [`crate::proto::MAX_FRAME_BYTES`] fits in
+//! three bytes), anything else is treated as an HTTP request line.
+//!
+//! Robustness invariants:
+//! - a query only runs while holding a slot from [`Gate`] — overload
+//!   becomes structured `OVERLOADED` / 429 responses, never an
+//!   unbounded queue;
+//! - every admitted query carries an effective deadline
+//!   `min(client deadline, max_deadline)`, so a drain deadline ≥
+//!   `max_deadline` always terminates;
+//! - on SIGTERM the listener stops accepting, queued waiters are
+//!   refused with `DRAINING`, in-flight queries finish (or deadline
+//!   out), the index is flushed under the writer mutex, and the
+//!   process exits 0.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use vist_core::{Error as CoreError, QueryOptions, VistIndex};
+
+use crate::admission::{Admission, Gate};
+use crate::http;
+use crate::proto::{self, Request, Response};
+use crate::signal;
+
+/// How often idle loops (acceptor, parked connections) re-check the
+/// shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Knobs for `vist serve`. All have serviceable defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:4170`. Port 0 picks a free port
+    /// (the bound address is on the returned handle).
+    pub addr: String,
+    /// Concurrent query slots (the shared worker pool size).
+    pub max_inflight: usize,
+    /// Bounded admission queue: waiters beyond this are shed.
+    pub queue_depth: usize,
+    /// Match-engine workers *per query* (`QueryOptions::workers`).
+    pub query_workers: usize,
+    /// Hard cap on any query's deadline; the effective deadline is
+    /// `min(client, max)`. Also the floor for a safe drain deadline.
+    pub max_deadline_ms: u64,
+    /// How long SIGTERM waits for in-flight queries before giving up.
+    /// Clamped up to `max_deadline_ms` so a drain always terminates.
+    pub drain_deadline_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:4170".to_string(),
+            max_inflight: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            queue_depth: 64,
+            query_workers: 1,
+            max_deadline_ms: 2_000,
+            drain_deadline_ms: 5_000,
+        }
+    }
+}
+
+/// Terminal request states, kept as plain atomics (mirrored into
+/// vist-obs) so the drain report works even with metrics disabled.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests received (binary + HTTP), including malformed ones.
+    pub requests: AtomicU64,
+    /// Queries that took a slot and ran.
+    pub admitted: AtomicU64,
+    /// Queries refused because pool + queue were saturated.
+    pub shed: AtomicU64,
+    /// Admitted queries that hit their effective deadline mid-match.
+    pub deadline_expired: AtomicU64,
+    /// Requests refused because the server was draining.
+    pub draining_rejected: AtomicU64,
+    /// Malformed frames / unparsable queries.
+    pub bad_requests: AtomicU64,
+    /// Admitted queries that failed server-side.
+    pub errors: AtomicU64,
+    /// Admitted queries answered successfully.
+    pub ok: AtomicU64,
+}
+
+impl ServeStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            draining_rejected: self.draining_rejected.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of [`ServeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub admitted: u64,
+    pub shed: u64,
+    pub deadline_expired: u64,
+    pub draining_rejected: u64,
+    pub bad_requests: u64,
+    pub errors: u64,
+    pub ok: u64,
+}
+
+/// What the drain accomplished; returned by [`ServerHandle::join`].
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// Every in-flight query finished before the drain deadline.
+    pub drained_clean: bool,
+    /// Queries still running when the drain deadline passed.
+    pub inflight_at_deadline: usize,
+    /// The final flush (under the writer mutex) succeeded.
+    pub flush_ok: bool,
+    /// Terminal-state counters at shutdown.
+    pub stats: StatsSnapshot,
+}
+
+/// State shared by the acceptor and every connection thread.
+pub(crate) struct Shared {
+    pub(crate) index: Arc<VistIndex>,
+    pub(crate) gate: Gate,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) stats: ServeStats,
+    /// Set when shutdown begins; connection threads exit at their next
+    /// poll tick.
+    pub(crate) stop: AtomicBool,
+}
+
+/// Register the serve metric families so they appear in exposition
+/// even before first use. Idempotent.
+pub fn register_metrics() {
+    let _ = vist_obs::counter!("vist_serve_requests_total");
+    let _ = vist_obs::counter!("vist_serve_admitted_total");
+    let _ = vist_obs::counter!("vist_serve_shed_total");
+    let _ = vist_obs::counter!("vist_serve_deadline_expired_total");
+    let _ = vist_obs::counter!("vist_serve_draining_rejected_total");
+    let _ = vist_obs::counter!("vist_serve_bad_request_total");
+    let _ = vist_obs::counter!("vist_serve_errors_total");
+    let _ = vist_obs::counter!("vist_serve_ok_total");
+    let _ = vist_obs::gauge!("vist_serve_inflight");
+    let _ = vist_obs::gauge!("vist_serve_queue_depth");
+    let _ = vist_obs::gauge!("vist_serve_draining");
+    let _ = vist_obs::histogram!("vist_serve_request_nanos");
+    let _ = vist_obs::histogram!("vist_serve_queue_wait_nanos");
+}
+
+/// A running server. Dropping the handle does not stop it; call
+/// [`ServerHandle::request_shutdown`] (or send SIGTERM) and then
+/// [`ServerHandle::join`].
+pub struct Server {
+    _private: (),
+}
+
+/// Handle to a running [`Server`].
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: thread::JoinHandle<DrainReport>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Programmatic SIGTERM: begin the drain.
+    pub fn request_shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Current terminal-state counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Wait for the drain to finish and return its report.
+    pub fn join(self) -> DrainReport {
+        self.acceptor.join().unwrap_or(DrainReport {
+            drained_clean: false,
+            inflight_at_deadline: 0,
+            flush_ok: false,
+            stats: StatsSnapshot::default(),
+        })
+    }
+}
+
+impl Server {
+    /// Bind and start serving `index` per `cfg`. Installs SIGTERM /
+    /// SIGINT handlers; returns once the listener is bound.
+    pub fn start(index: Arc<VistIndex>, cfg: ServeConfig) -> io::Result<ServerHandle> {
+        register_metrics();
+        signal::install_handlers();
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let gate = Gate::new(cfg.max_inflight, cfg.queue_depth);
+        let shared = Arc::new(Shared {
+            index,
+            gate,
+            cfg,
+            stats: ServeStats::default(),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = thread::Builder::new()
+            .name("vist-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor,
+        })
+    }
+}
+
+fn should_stop(shared: &Shared) -> bool {
+    shared.stop.load(Ordering::SeqCst) || signal::shutdown_requested()
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> DrainReport {
+    loop {
+        if should_stop(&shared) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                let _ = thread::Builder::new()
+                    .name("vist-serve-conn".into())
+                    .spawn(move || handle_connection(stream, conn_shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_TICK),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(POLL_TICK),
+        }
+    }
+    drain(&shared)
+}
+
+/// The drain: stop admitting, wait for in-flight work (bounded), flush.
+fn drain(shared: &Shared) -> DrainReport {
+    // Make sure every connection thread sees the stop flag even when
+    // shutdown came from a signal.
+    shared.stop.store(true, Ordering::SeqCst);
+    vist_obs::gauge!("vist_serve_draining").set(1);
+    shared.gate.begin_drain();
+    // A drain deadline below the per-query cap could abandon queries
+    // that are guaranteed to terminate anyway; clamp up.
+    let drain_ms = shared.cfg.drain_deadline_ms.max(shared.cfg.max_deadline_ms);
+    let deadline = Instant::now() + Duration::from_millis(drain_ms);
+    let drained_clean = shared.gate.await_idle(deadline);
+    let inflight_at_deadline = shared.gate.inflight();
+    // Flush coordinates with writers through the index's own writer
+    // mutex; queries are done (or abandoned past the deadline).
+    let flush_ok = shared.index.flush().is_ok();
+    DrainReport {
+        drained_clean,
+        inflight_at_deadline,
+        flush_ok,
+        stats: shared.stats.snapshot(),
+    }
+}
+
+/// Sniff the first byte without consuming: binary frames start with
+/// 0x00 (frame cap < 2^24), HTTP request lines start with an ASCII
+/// method letter.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let mut first = [0u8; 1];
+    loop {
+        if should_stop(&shared) && shared.gate.is_draining() {
+            return;
+        }
+        match stream.peek(&mut first) {
+            Ok(0) => return,
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if should_stop(&shared) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    if first[0] == 0 {
+        serve_binary(stream, &shared);
+    } else {
+        http::serve_http(stream, &shared);
+    }
+}
+
+/// Binary protocol: a sequence of request frames, one response frame
+/// each, until clean EOF or a protocol error.
+fn serve_binary(mut stream: TcpStream, shared: &Shared) {
+    loop {
+        // Idle-wait on the first byte so read timeouts can never land
+        // mid-frame on a healthy client.
+        let mut first = [0u8; 1];
+        loop {
+            match stream.peek(&mut first) {
+                Ok(0) => return,
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if should_stop(shared) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        // A frame is arriving: allow a generous window for its bytes.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let frame = proto::read_frame(&mut stream);
+        let _ = stream.set_read_timeout(Some(POLL_TICK));
+        let payload = match frame {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e) => {
+                // Malformed framing: answer structurally, then close —
+                // the stream position is no longer trustworthy.
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                vist_obs::counter!("vist_serve_requests_total").inc();
+                vist_obs::counter!("vist_serve_bad_request_total").inc();
+                let resp = Response::BadRequest(e.to_string());
+                let _ = proto::write_frame(&mut stream, &resp.encode());
+                return;
+            }
+        };
+        let resp = match Request::decode(&payload) {
+            Ok(req) => handle_request(shared, req),
+            Err(e) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                vist_obs::counter!("vist_serve_requests_total").inc();
+                vist_obs::counter!("vist_serve_bad_request_total").inc();
+                Response::BadRequest(e.to_string())
+            }
+        };
+        if proto::write_frame(&mut stream, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Shared request path for both transports: admission, deadline,
+/// execution, terminal-state accounting.
+pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    vist_obs::counter!("vist_serve_requests_total").inc();
+    let (deadline_ms, verify, no_plan, limit, expr) = match req {
+        Request::Ping => return Response::Pong,
+        Request::Query {
+            deadline_ms,
+            verify,
+            no_plan,
+            limit,
+            expr,
+        } => (deadline_ms, verify, no_plan, limit, expr),
+    };
+    // Effective budget: the client's ask capped by the server; 0 means
+    // "whatever the server allows".
+    let cap = shared.cfg.max_deadline_ms;
+    let budget_ms = if deadline_ms == 0 {
+        cap
+    } else {
+        u64::from(deadline_ms).min(cap)
+    };
+    let budget = Duration::from_millis(budget_ms);
+    let arrival = Instant::now();
+    let deadline = arrival + budget;
+    match shared.gate.admit(budget) {
+        Admission::Draining => {
+            shared
+                .stats
+                .draining_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            vist_obs::counter!("vist_serve_draining_rejected_total").inc();
+            Response::Draining
+        }
+        Admission::Shed { retry_after } => {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            vist_obs::counter!("vist_serve_shed_total").inc();
+            Response::Overloaded {
+                retry_after_ms: retry_after.as_millis().min(u128::from(u32::MAX)) as u32,
+            }
+        }
+        Admission::Admitted { queued } => {
+            shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            vist_obs::counter!("vist_serve_admitted_total").inc();
+            vist_obs::histogram!("vist_serve_queue_wait_nanos")
+                .record(queued.as_nanos().min(u128::from(u64::MAX)) as u64);
+            vist_obs::gauge!("vist_serve_inflight").set(shared.gate.inflight() as i64);
+            vist_obs::gauge!("vist_serve_queue_depth").set(shared.gate.queued() as i64);
+            let started = Instant::now();
+            let opts = QueryOptions {
+                verify,
+                workers: shared.cfg.query_workers,
+                no_plan,
+                limit: if limit == 0 {
+                    None
+                } else {
+                    Some(limit as usize)
+                },
+                deadline: Some(deadline),
+                ..QueryOptions::default()
+            };
+            let result = shared.index.query(&expr, &opts);
+            let service = started.elapsed();
+            shared.gate.release(service);
+            vist_obs::gauge!("vist_serve_inflight").set(shared.gate.inflight() as i64);
+            vist_obs::histogram!("vist_serve_request_nanos")
+                .record(service.as_nanos().min(u128::from(u64::MAX)) as u64);
+            match result {
+                Ok(r) => {
+                    shared.stats.ok.fetch_add(1, Ordering::Relaxed);
+                    vist_obs::counter!("vist_serve_ok_total").inc();
+                    Response::Ok(r.doc_ids)
+                }
+                Err(CoreError::DeadlineExceeded) => {
+                    shared
+                        .stats
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    vist_obs::counter!("vist_serve_deadline_expired_total").inc();
+                    Response::DeadlineExceeded
+                }
+                Err(CoreError::Query(e)) => {
+                    shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    vist_obs::counter!("vist_serve_bad_request_total").inc();
+                    Response::BadRequest(e.to_string())
+                }
+                Err(e) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    vist_obs::counter!("vist_serve_errors_total").inc();
+                    Response::Error(e.to_string())
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! SIGTERM/SIGINT → shutdown flag, with no dependency beyond std.
+//!
+//! std already links the platform C library on unix, so declaring
+//! `signal(2)` directly is enough — no `libc` crate needed. The
+//! handler only stores into a process-global `AtomicBool` (async-
+//! signal-safe); the serve loop polls the flag between accepts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once a termination signal (SIGTERM/SIGINT) arrives, or by
+/// [`request_shutdown`].
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once shutdown has been requested (signal or programmatic).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Programmatic shutdown: same effect as receiving SIGTERM. Used by
+/// tests and by `ServerHandle::request_shutdown`.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Reset the flag (test isolation only — signals race with this).
+pub fn reset_for_test() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX signal(2); std links libc on every unix target.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: a single atomic store.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Route SIGTERM and SIGINT to the shutdown flag.
+    pub fn install() {
+        unsafe {
+            signal(
+                SIGTERM,
+                on_signal as extern "C" fn(i32) as *const () as usize,
+            );
+            signal(
+                SIGINT,
+                on_signal as extern "C" fn(i32) as *const () as usize,
+            );
+        }
+    }
+}
+
+/// Install the termination handlers. On non-unix targets this is a
+/// no-op: only programmatic [`request_shutdown`] triggers drain there.
+pub fn install_handlers() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_shutdown_sets_flag() {
+        reset_for_test();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_test();
+    }
+}

@@ -4,7 +4,9 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match vist::cli::parse_args(&args).and_then(vist::cli::run) {
-        Ok(out) => print!("{out}"),
+        // print_stdout exits 0 quietly when the reader hung up
+        // (`vist query ... | head` must not panic on BrokenPipe).
+        Ok(out) => vist::cli::print_stdout(&out),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

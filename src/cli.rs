@@ -30,7 +30,7 @@ pub enum Command {
         files: Vec<PathBuf>,
     },
     /// `vist query <index> <expr> [--verify] [--show] [--workers N] [--trace]
-    /// [--no-plan] [--limit N]`
+    /// [--no-plan] [--limit N] [--deadline-ms N]`
     Query {
         /// Index file path.
         index: PathBuf,
@@ -48,6 +48,8 @@ pub enum Command {
         no_plan: bool,
         /// Stop after this many matching documents.
         limit: Option<usize>,
+        /// Cooperative cancellation budget in milliseconds.
+        deadline_ms: Option<u64>,
     },
     /// `vist load <index> <dir|file.xml>`
     Load {
@@ -146,6 +148,45 @@ pub enum Command {
         /// Print the full generated trace, not just its digest.
         dump: bool,
     },
+    /// `vist serve <index> [--addr H:P] [--max-inflight N] [--queue-depth N]
+    /// [--query-workers N] [--max-deadline-ms N] [--drain-deadline-ms N]`
+    Serve {
+        /// Index file path.
+        index: PathBuf,
+        /// Bind address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Concurrent query slots.
+        max_inflight: usize,
+        /// Bounded admission queue depth (waiters beyond it are shed).
+        queue_depth: usize,
+        /// Match-engine workers per query.
+        query_workers: usize,
+        /// Hard cap on any query's deadline budget.
+        max_deadline_ms: u64,
+        /// How long SIGTERM waits for in-flight queries.
+        drain_deadline_ms: u64,
+    },
+    /// `vist bench-serve [--addr H:P] [--expr E] [--deadline-ms N]
+    /// [--clients N] [--burst-clients N] [--duration-ms N] [--smoke]
+    /// [--out FILE]`
+    BenchServe {
+        /// Server address to load.
+        addr: String,
+        /// Query expression every client sends.
+        expr: String,
+        /// Per-request client deadline (0 = server cap).
+        deadline_ms: u32,
+        /// Clients in the loaded phase.
+        clients: Option<usize>,
+        /// Clients in the overload burst (size ≥ 4× server capacity).
+        burst_clients: Option<usize>,
+        /// Per-phase duration override.
+        duration_ms: Option<u64>,
+        /// CI smoke mode: short phases, assert shed responses appear.
+        smoke: bool,
+        /// Write the JSON report (`BENCH_serve.json`) here.
+        out: Option<PathBuf>,
+    },
     /// `vist help`
     Help,
 }
@@ -188,7 +229,7 @@ USAGE:
   vist load    <index> <dir|file.xml>
   vist compact <index>
   vist query   <index> '<expr>' [--verify] [--show] [--workers N] [--trace]
-               [--no-plan] [--limit N]
+               [--no-plan] [--limit N] [--deadline-ms N]
   vist remove  <index> <doc-id>
   vist explain <index> '<expr>' [--workers N] [--plan] [--no-plan]
   vist list    <index>
@@ -199,6 +240,22 @@ USAGE:
   vist recover <index>
   vist sim     [--seed N] [--ops N] [--seconds N] [--replay FILE] [--out FILE]
                [--page-size N] [--lambda N] [--mutate scope-off-by-one] [--dump]
+  vist serve   <index> [--addr H:P] [--max-inflight N] [--queue-depth N]
+               [--query-workers N] [--max-deadline-ms N] [--drain-deadline-ms N]
+  vist bench-serve [--addr H:P] [--expr E] [--deadline-ms N] [--clients N]
+               [--burst-clients N] [--duration-ms N] [--smoke] [--out FILE]
+
+SERVING (see docs/SERVING.md):
+  serve                length-prefixed binary protocol + HTTP shim (/query,
+                       /metrics, /healthz) over one shared index; overload is
+                       shed with OVERLOADED/429 + retry-after, every query's
+                       deadline is capped by --max-deadline-ms, and SIGTERM
+                       drains in-flight queries then flushes and exits 0
+  bench-serve          closed-loop load generator: uncontended baseline,
+                       capacity load, then an overload burst; reports exact
+                       p50/p99/p999 latencies and shed rate as JSON
+  query --deadline-ms  cooperative per-query budget: past it the engine stops
+                       at the next work-item and reports 'deadline exceeded'
 
 SIMULATION (deterministic model-checked workloads):
   sim --seed N         one seeded run: generated op trace, fault schedule and
@@ -307,6 +364,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let limit = take_opt(&mut rest, "--limit")?
                 .map(|v| v.parse().map_err(|_| "bad --limit".to_string()))
                 .transpose()?;
+            let deadline_ms = take_opt(&mut rest, "--deadline-ms")?
+                .map(|v| v.parse().map_err(|_| "bad --deadline-ms".to_string()))
+                .transpose()?;
             let [index, expr] = rest.as_slice() else {
                 return Err("query: expected an index path and one expression".into());
             };
@@ -319,6 +379,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 trace,
                 no_plan,
                 limit,
+                deadline_ms,
             })
         }
         "load" => {
@@ -470,6 +531,75 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 dump,
             })
         }
+        "serve" => {
+            let defaults = vist_serve::ServeConfig::default();
+            let addr = take_opt(&mut rest, "--addr")?.unwrap_or(defaults.addr);
+            let max_inflight = take_opt(&mut rest, "--max-inflight")?
+                .map(|v| v.parse().map_err(|_| "bad --max-inflight".to_string()))
+                .transpose()?
+                .unwrap_or(defaults.max_inflight);
+            let queue_depth = take_opt(&mut rest, "--queue-depth")?
+                .map(|v| v.parse().map_err(|_| "bad --queue-depth".to_string()))
+                .transpose()?
+                .unwrap_or(defaults.queue_depth);
+            let query_workers = take_opt(&mut rest, "--query-workers")?
+                .map(|v| v.parse().map_err(|_| "bad --query-workers".to_string()))
+                .transpose()?
+                .unwrap_or(defaults.query_workers);
+            let max_deadline_ms = take_opt(&mut rest, "--max-deadline-ms")?
+                .map(|v| v.parse().map_err(|_| "bad --max-deadline-ms".to_string()))
+                .transpose()?
+                .unwrap_or(defaults.max_deadline_ms);
+            let drain_deadline_ms = take_opt(&mut rest, "--drain-deadline-ms")?
+                .map(|v| v.parse().map_err(|_| "bad --drain-deadline-ms".to_string()))
+                .transpose()?
+                .unwrap_or(defaults.drain_deadline_ms);
+            let [index] = rest.as_slice() else {
+                return Err("serve: expected exactly one index path".into());
+            };
+            Ok(Command::Serve {
+                index: PathBuf::from(index),
+                addr,
+                max_inflight,
+                queue_depth,
+                query_workers,
+                max_deadline_ms,
+                drain_deadline_ms,
+            })
+        }
+        "bench-serve" => {
+            let addr = take_opt(&mut rest, "--addr")?
+                .unwrap_or_else(|| vist_serve::BenchConfig::default().addr);
+            let expr = take_opt(&mut rest, "--expr")?.unwrap_or_else(|| "/doc".to_string());
+            let deadline_ms = take_opt(&mut rest, "--deadline-ms")?
+                .map(|v| v.parse().map_err(|_| "bad --deadline-ms".to_string()))
+                .transpose()?
+                .unwrap_or(0);
+            let clients = take_opt(&mut rest, "--clients")?
+                .map(|v| v.parse().map_err(|_| "bad --clients".to_string()))
+                .transpose()?;
+            let burst_clients = take_opt(&mut rest, "--burst-clients")?
+                .map(|v| v.parse().map_err(|_| "bad --burst-clients".to_string()))
+                .transpose()?;
+            let duration_ms = take_opt(&mut rest, "--duration-ms")?
+                .map(|v| v.parse().map_err(|_| "bad --duration-ms".to_string()))
+                .transpose()?;
+            let smoke = take_flag(&mut rest, "--smoke");
+            let out = take_opt(&mut rest, "--out")?.map(PathBuf::from);
+            if !rest.is_empty() {
+                return Err(format!("bench-serve: unexpected argument '{}'", rest[0]));
+            }
+            Ok(Command::BenchServe {
+                addr,
+                expr,
+                deadline_ms,
+                clients,
+                burst_clients,
+                duration_ms,
+                smoke,
+                out,
+            })
+        }
         other => Err(format!("unknown subcommand '{other}' (try 'vist help')")),
     }
 }
@@ -521,12 +651,15 @@ pub fn run(cmd: Command) -> Result<String, String> {
             trace,
             no_plan,
             limit,
+            deadline_ms,
         } => {
             let idx = open(&index)?;
             let was_tracing = vist_obs::tracing_enabled();
             if trace {
                 vist_obs::set_tracing(true);
             }
+            let deadline = deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
             let result = idx.query(
                 &expr,
                 &QueryOptions {
@@ -534,6 +667,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     workers,
                     no_plan,
                     limit,
+                    deadline,
                     ..Default::default()
                 },
             );
@@ -904,6 +1038,144 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 io.wal_discarded_bytes,
             ))
         }
+        Command::Serve {
+            index,
+            addr,
+            max_inflight,
+            queue_depth,
+            query_workers,
+            max_deadline_ms,
+            drain_deadline_ms,
+        } => {
+            let idx = std::sync::Arc::new(open(&index)?);
+            let cfg = vist_serve::ServeConfig {
+                addr,
+                max_inflight,
+                queue_depth,
+                query_workers,
+                max_deadline_ms,
+                drain_deadline_ms,
+            };
+            let handle = vist_serve::Server::start(idx, cfg).map_err(|e| e.to_string())?;
+            // Announce readiness immediately — run() only returns its
+            // string after the drain, which may be hours away.
+            print_stdout(&format!(
+                "serving {} on {} (SIGTERM drains and exits)\n",
+                index.display(),
+                handle.local_addr(),
+            ));
+            let report = handle.join();
+            let s = report.stats;
+            let summary = format!(
+                "drained: {} request(s) — {} ok, {} shed, {} deadline-expired, \
+                 {} draining-rejected, {} bad, {} error(s); flush {}\n",
+                s.requests,
+                s.ok,
+                s.shed,
+                s.deadline_expired,
+                s.draining_rejected,
+                s.bad_requests,
+                s.errors,
+                if report.flush_ok { "ok" } else { "FAILED" },
+            );
+            if !report.drained_clean {
+                return Err(format!(
+                    "{summary}drain deadline passed with {} query(ies) still in flight",
+                    report.inflight_at_deadline,
+                ));
+            }
+            if !report.flush_ok {
+                return Err(format!("{summary}final flush failed"));
+            }
+            Ok(summary)
+        }
+        Command::BenchServe {
+            addr,
+            expr,
+            deadline_ms,
+            clients,
+            burst_clients,
+            duration_ms,
+            smoke,
+            out,
+        } => {
+            let mut cfg = vist_serve::BenchConfig {
+                addr,
+                expr,
+                deadline_ms,
+                ..vist_serve::BenchConfig::default()
+            };
+            if smoke {
+                cfg = cfg.smoke();
+            }
+            if let Some(n) = clients {
+                cfg.clients = n;
+            }
+            if let Some(n) = burst_clients {
+                cfg.burst_clients = n;
+            }
+            if let Some(ms) = duration_ms {
+                cfg.duration = std::time::Duration::from_millis(ms);
+            }
+            let report = vist_serve::bench::run(&cfg);
+            if let Some(path) = &out {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+            }
+            let mut text = String::new();
+            for p in [&report.baseline, &report.loaded, &report.burst] {
+                let _ = writeln!(
+                    text,
+                    "{:<9} {:>3} client(s): {:>6} req ({} ok, {} shed, {} expired) \
+                     p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms shed-rate {:.1}%",
+                    p.name,
+                    p.clients,
+                    p.requests,
+                    p.ok,
+                    p.shed,
+                    p.deadline_expired,
+                    p.p50_ns as f64 / 1e6,
+                    p.p99_ns as f64 / 1e6,
+                    p.p999_ns as f64 / 1e6,
+                    p.shed_rate() * 100.0,
+                );
+            }
+            let _ = writeln!(
+                text,
+                "loaded p99 / baseline p99 = {:.2}x",
+                report.p99_ratio_loaded_vs_baseline
+            );
+            if smoke && report.burst.shed == 0 {
+                return Err(format!(
+                    "{text}smoke: overload burst produced no shed responses — \
+                     admission control is not engaging"
+                ));
+            }
+            Ok(text)
+        }
+    }
+}
+
+/// Write `s` to `w`. `Ok(false)` means the reader hung up
+/// (`BrokenPipe`) — not a failure, the caller should just stop writing.
+pub fn write_or_broken_pipe<W: std::io::Write>(w: &mut W, s: &str) -> std::io::Result<bool> {
+    match w.write_all(s.as_bytes()).and_then(|()| w.flush()) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Print to stdout, exiting cleanly (status 0) when the pipe is gone —
+/// so `vist query ... | head` ends quietly instead of panicking.
+pub fn print_stdout(s: &str) {
+    match write_or_broken_pipe(&mut std::io::stdout(), s) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: cannot write to stdout: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -1083,6 +1355,7 @@ mod tests {
                 trace: false,
                 no_plan: false,
                 limit: None,
+                deadline_ms: None,
             }
         );
         let c = parse_args(&argv("query idx //author --workers 4 --trace")).unwrap();
@@ -1097,6 +1370,7 @@ mod tests {
                 trace: true,
                 no_plan: false,
                 limit: None,
+                deadline_ms: None,
             }
         );
         assert!(parse_args(&argv("query idx //author --workers")).is_err());
@@ -1117,6 +1391,7 @@ mod tests {
                 trace: false,
                 no_plan: true,
                 limit: Some(7),
+                deadline_ms: None,
             }
         );
         assert!(parse_args(&argv("query idx //author --limit many")).is_err());
@@ -1382,6 +1657,7 @@ mod tests {
             trace: false,
             no_plan: false,
             limit: None,
+            deadline_ms: None,
         })
         .unwrap();
         assert!(out.starts_with("1 document(s)"), "{out}");
@@ -1413,6 +1689,7 @@ mod tests {
             trace: false,
             no_plan: false,
             limit: None,
+            deadline_ms: None,
         })
         .unwrap();
         assert!(out.starts_with("1 document(s)"), "{out}");
@@ -1490,6 +1767,7 @@ mod tests {
             trace: false,
             no_plan: false,
             limit: None,
+            deadline_ms: None,
         })
         .unwrap();
         assert!(out.starts_with("4 document(s)"), "{out}");
@@ -1528,6 +1806,7 @@ mod tests {
             trace: false,
             no_plan: false,
             limit: None,
+            deadline_ms: None,
         })
         .unwrap();
         assert!(out.starts_with("3 document(s)"), "{out}");
@@ -1566,6 +1845,7 @@ mod tests {
             trace: true,
             no_plan: false,
             limit: None,
+            deadline_ms: None,
         })
         .unwrap();
         assert!(out.contains("trace:"), "{out}");
@@ -1589,6 +1869,7 @@ mod tests {
             trace: false,
             no_plan: false,
             limit: None,
+            deadline_ms: None,
         })
         .unwrap();
         let prom = run(Command::Stats {
@@ -1648,5 +1929,108 @@ mod tests {
             slow_ms: 0,
         })
         .is_err());
+    }
+
+    #[test]
+    fn parse_query_deadline() {
+        let c = parse_args(&argv("query idx //author --deadline-ms 250")).unwrap();
+        match c {
+            Command::Query { deadline_ms, .. } => assert_eq!(deadline_ms, Some(250)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("query idx //author --deadline-ms soon")).is_err());
+        assert!(parse_args(&argv("query idx //author --deadline-ms")).is_err());
+    }
+
+    #[test]
+    fn parse_serve() {
+        let c = parse_args(&argv(
+            "serve idx --addr 127.0.0.1:0 --max-inflight 2 --queue-depth 3 \
+             --query-workers 4 --max-deadline-ms 500 --drain-deadline-ms 900",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                index: PathBuf::from("idx"),
+                addr: "127.0.0.1:0".into(),
+                max_inflight: 2,
+                queue_depth: 3,
+                query_workers: 4,
+                max_deadline_ms: 500,
+                drain_deadline_ms: 900,
+            }
+        );
+        // Defaults fill in everything but the index path.
+        match parse_args(&argv("serve idx")).unwrap() {
+            Command::Serve {
+                index,
+                queue_depth,
+                max_deadline_ms,
+                ..
+            } => {
+                assert_eq!(index, PathBuf::from("idx"));
+                assert_eq!(queue_depth, vist_serve::ServeConfig::default().queue_depth);
+                assert_eq!(
+                    max_deadline_ms,
+                    vist_serve::ServeConfig::default().max_deadline_ms
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("serve")).is_err());
+        assert!(parse_args(&argv("serve idx --max-inflight lots")).is_err());
+    }
+
+    #[test]
+    fn parse_bench_serve() {
+        let c = parse_args(&argv(
+            "bench-serve --addr 127.0.0.1:4170 --expr /book --deadline-ms 100 \
+             --clients 2 --burst-clients 16 --duration-ms 50 --smoke --out r.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::BenchServe {
+                addr: "127.0.0.1:4170".into(),
+                expr: "/book".into(),
+                deadline_ms: 100,
+                clients: Some(2),
+                burst_clients: Some(16),
+                duration_ms: Some(50),
+                smoke: true,
+                out: Some(PathBuf::from("r.json")),
+            }
+        );
+        match parse_args(&argv("bench-serve")).unwrap() {
+            Command::BenchServe { smoke, out, .. } => {
+                assert!(!smoke);
+                assert_eq!(out, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("bench-serve stray")).is_err());
+    }
+
+    #[test]
+    fn broken_pipe_is_a_clean_stop_not_an_error() {
+        struct Sink(std::io::ErrorKind);
+        impl std::io::Write for Sink {
+            fn write(&mut self, _b: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(self.0))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut ok = Vec::new();
+        assert!(write_or_broken_pipe(&mut ok, "hello").unwrap());
+        assert_eq!(ok, b"hello");
+        // A hung-up reader is a clean stop…
+        let mut gone = Sink(std::io::ErrorKind::BrokenPipe);
+        assert!(!write_or_broken_pipe(&mut gone, "x").unwrap());
+        // …while any other I/O failure propagates.
+        let mut broken = Sink(std::io::ErrorKind::PermissionDenied);
+        assert!(write_or_broken_pipe(&mut broken, "x").is_err());
     }
 }

@@ -35,6 +35,7 @@
 //! | [`storage`] | `vist-storage` | pagers, buffer pool, slotted pages |
 //! | [`btree`] | `vist-btree` | the disk B+Tree substrate |
 //! | [`obs`] | `vist-obs` | metrics registry, span tracing, slow-query log |
+//! | [`serve`] | `vist-serve` | network front-end: binary protocol + HTTP shim, admission control, drain |
 
 pub use vist_core::{
     search_sequences, AllocatorKind, DocId, Error, IndexOptions, IndexStats, MatchCountersSnapshot,
@@ -84,4 +85,10 @@ pub mod btree {
 /// slow-query log (`vist-obs`). See `docs/OBSERVABILITY.md`.
 pub mod obs {
     pub use vist_obs::*;
+}
+
+/// Network front-end (`vist-serve`): `vist serve` / `vist bench-serve`,
+/// deadlines, admission control, graceful drain. See `docs/SERVING.md`.
+pub mod serve {
+    pub use vist_serve::*;
 }

@@ -1,0 +1,142 @@
+//! Deadline/cancellation semantics (ISSUE 8 satellite): a query
+//! cancelled mid-match on a tiered index returns `DeadlineExceeded`,
+//! leaves no poisoned locks, and the next query returns bit-identical
+//! results to an undisturbed run — for both the serial (workers=1) and
+//! parallel (workers=4) match paths.
+
+use std::time::{Duration, Instant};
+
+use vist::datagen::dblp;
+use vist::{Error, IndexOptions, QueryOptions, VistIndex};
+use vist_storage::testutil::TempDir;
+
+const EXPR: &str = "/book/author";
+
+/// A tiered index: one packed segment (bulk load) under a mutable
+/// delta (per-document inserts), so cancellation crosses tier
+/// boundaries too.
+fn build_tiered(dir: &TempDir) -> VistIndex {
+    let path = dir.file("index");
+    let idx = VistIndex::create_file(
+        &path,
+        IndexOptions {
+            store_documents: true,
+            ..IndexOptions::default()
+        },
+    )
+    .unwrap();
+    let docs = dblp::documents(400, 11);
+    let (seg, delta) = docs.split_at(300);
+    idx.bulk_build(seg.iter().map(|d| d.to_xml())).unwrap();
+    for d in delta {
+        idx.insert_document(d).unwrap();
+    }
+    idx.flush().unwrap();
+    idx
+}
+
+fn opts(workers: usize) -> QueryOptions {
+    QueryOptions {
+        workers,
+        ..QueryOptions::default()
+    }
+}
+
+#[test]
+fn expired_deadline_cancels_and_leaves_index_undisturbed() {
+    let dir = TempDir::new("deadline-semantics");
+    let idx = build_tiered(&dir);
+    for workers in [1, 4] {
+        let o = opts(workers);
+        let undisturbed = idx.query(EXPR, &o).unwrap();
+        assert!(!undisturbed.doc_ids.is_empty());
+
+        // A deadline already in the past must trip the engine's first
+        // cooperative check, deterministically.
+        let expired = idx.query(
+            EXPR,
+            &QueryOptions {
+                deadline: Some(Instant::now()),
+                ..o
+            },
+        );
+        assert!(
+            matches!(expired, Err(Error::DeadlineExceeded)),
+            "workers={workers}: {expired:?}"
+        );
+
+        // No poisoned locks, no mutated state: the next query is
+        // bit-identical to the undisturbed run.
+        let after = idx.query(EXPR, &o).unwrap();
+        assert_eq!(
+            after.doc_ids, undisturbed.doc_ids,
+            "workers={workers}: results diverged after cancellation"
+        );
+        assert_eq!(after.candidates, undisturbed.candidates);
+    }
+}
+
+#[test]
+fn tight_budgets_either_finish_or_cancel_cleanly() {
+    // Sweep budgets from "instant" to "comfortable": every outcome must
+    // be either the exact answer or a clean DeadlineExceeded, and the
+    // index must stay consistent throughout. This exercises mid-match
+    // cancellation at whatever work-item the budget happens to land on.
+    let dir = TempDir::new("deadline-budgets");
+    let idx = build_tiered(&dir);
+    for workers in [1, 4] {
+        let o = opts(workers);
+        let baseline = idx.query(EXPR, &o).unwrap();
+        let mut cancelled = 0u32;
+        for micros in [0u64, 20, 50, 100, 500, 5_000, 500_000] {
+            let r = idx.query(
+                EXPR,
+                &QueryOptions {
+                    deadline: Some(Instant::now() + Duration::from_micros(micros)),
+                    ..o
+                },
+            );
+            match r {
+                Ok(res) => assert_eq!(res.doc_ids, baseline.doc_ids, "workers={workers}"),
+                Err(Error::DeadlineExceeded) => cancelled += 1,
+                Err(e) => panic!("workers={workers}: unexpected error {e}"),
+            }
+        }
+        // The 0 µs budget always cancels.
+        assert!(cancelled >= 1, "workers={workers}");
+        let after = idx.query(EXPR, &o).unwrap();
+        assert_eq!(after.doc_ids, baseline.doc_ids);
+    }
+}
+
+#[test]
+fn verify_loop_honors_deadline() {
+    let dir = TempDir::new("deadline-verify");
+    let idx = build_tiered(&dir);
+    let verified = idx.query(
+        EXPR,
+        &QueryOptions {
+            verify: true,
+            ..QueryOptions::default()
+        },
+    );
+    assert!(verified.is_ok());
+    let expired = idx.query(
+        EXPR,
+        &QueryOptions {
+            verify: true,
+            deadline: Some(Instant::now()),
+            ..QueryOptions::default()
+        },
+    );
+    assert!(matches!(expired, Err(Error::DeadlineExceeded)));
+    // Still fully readable, including document retrieval.
+    let after = idx.query(
+        EXPR,
+        &QueryOptions {
+            verify: true,
+            ..QueryOptions::default()
+        },
+    );
+    assert_eq!(after.unwrap().doc_ids, verified.unwrap().doc_ids);
+}
