@@ -88,4 +88,49 @@ pub fn register_metrics() {
     let _ = vist_obs::histogram!("vist_core_stage_docid_nanos");
     let _ = vist_obs::histogram!("vist_core_worker_busy_nanos");
     let _ = vist_obs::histogram!("vist_core_worker_idle_nanos");
+    for op in ["compaction", "checkpoint", "segment_build", "wal_recovery"] {
+        let _ = vist_obs::registry::gauge(&format!("vist_bg_{op}_inprogress"));
+        let _ = vist_obs::registry::gauge(&format!("vist_bg_{op}_last_duration_ms"));
+        let _ = vist_obs::registry::counter(&format!("vist_bg_{op}_total"));
+    }
+    vist_obs::describe(
+        "vist_core_query_nanos",
+        "End-to-end query latency; buckets carry the last trace id as an exemplar.",
+    );
+    vist_obs::describe(
+        "vist_bg_compaction_inprogress",
+        "Compactions currently running (0 or 1; the writer lock serializes them).",
+    );
+    vist_obs::describe(
+        "vist_bg_checkpoint_inprogress",
+        "Flush/checkpoint operations currently running.",
+    );
+    vist_obs::describe(
+        "vist_bg_segment_build_inprogress",
+        "Bulk segment builds currently running.",
+    );
+    vist_obs::describe(
+        "vist_bg_wal_recovery_inprogress",
+        "Index opens (incl. WAL replay and crash redo) currently running.",
+    );
+    for (name, help) in [
+        (
+            "vist_bg_compaction_total",
+            "Completed compaction operations.",
+        ),
+        (
+            "vist_bg_checkpoint_total",
+            "Completed flush/checkpoint operations.",
+        ),
+        (
+            "vist_bg_segment_build_total",
+            "Completed bulk segment builds.",
+        ),
+        (
+            "vist_bg_wal_recovery_total",
+            "Completed index opens (incl. WAL replay and crash redo).",
+        ),
+    ] {
+        vist_obs::describe(name, help);
+    }
 }

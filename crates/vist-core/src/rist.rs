@@ -182,6 +182,7 @@ impl RistIndex {
             stats: outcome.stats,
             timings: outcome.timings,
             trace: None,
+            trace_id: opts.trace_id,
         })
     }
 

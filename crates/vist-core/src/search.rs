@@ -236,6 +236,18 @@ pub struct QueryStats {
     /// DocId resolutions where the planner chose the keyed sweep over
     /// per-scope range jumps.
     pub planner_docid_sweeps: u64,
+    /// Buffer-pool hits attributed to this query (filled by the index
+    /// layer from the request's [`vist_obs::attr`] context; zero for
+    /// direct `search_sequences` calls and `noop` builds).
+    pub io_pool_hits: u64,
+    /// Buffer-pool misses attributed to this query.
+    pub io_pool_misses: u64,
+    /// Pages read from the backing file for this query.
+    pub io_pages_read: u64,
+    /// Bytes read from the backing file for this query.
+    pub io_bytes_read: u64,
+    /// WAL appends issued while this query's context was installed.
+    pub io_wal_appends: u64,
 }
 
 impl QueryStats {
@@ -255,6 +267,20 @@ impl QueryStats {
         self.planner_probes += other.planner_probes;
         self.planner_probe_prunes += other.planner_probe_prunes;
         self.planner_docid_sweeps += other.planner_docid_sweeps;
+        self.io_pool_hits += other.io_pool_hits;
+        self.io_pool_misses += other.io_pool_misses;
+        self.io_pages_read += other.io_pages_read;
+        self.io_bytes_read += other.io_bytes_read;
+        self.io_wal_appends += other.io_wal_appends;
+    }
+
+    /// Copy the attributed I/O counters from an attribution snapshot.
+    pub fn set_io(&mut self, io: &vist_obs::AttrSnapshot) {
+        self.io_pool_hits = io.pool_hits;
+        self.io_pool_misses = io.pool_misses;
+        self.io_pages_read = io.pages_read;
+        self.io_bytes_read = io.bytes_read;
+        self.io_wal_appends = io.wal_appends;
     }
 }
 
@@ -348,6 +374,10 @@ pub struct SearchOptions {
     /// read per frame and only when a deadline is set; expiry never
     /// poisons locks or mutates the index.
     pub deadline: Option<Instant>,
+    /// Trace id of the owning request (0 = none). The engine does not
+    /// act on it; it rides along so every layer below the serve
+    /// front-end sees the same id the response will carry.
+    pub trace_id: u128,
 }
 
 impl Default for SearchOptions {
@@ -360,6 +390,7 @@ impl Default for SearchOptions {
             limit: None,
             collect_plan: false,
             deadline: None,
+            trace_id: 0,
         }
     }
 }
@@ -652,7 +683,12 @@ pub fn search_sequences_opts(
             None => pool::SchedPolicy::Fifo,
             Some(s) => pool::SchedPolicy::Seeded(s),
         };
+        // One attribution context per query, shared by every worker: a
+        // frame donated through the stealing queue is still charged to
+        // the owning query no matter which thread expands it.
+        let attr_ctx = vist_obs::attr::current();
         pool::run_workers_with(workers, seeds, policy, |id, queue| {
+            let _attr = attr_ctx.clone().map(vist_obs::attr::install);
             let worker_start = vist_obs::now();
             let mut busy_nanos = 0u64;
             let mut out = outs[id].lock().unwrap_or_else(|e| e.into_inner());
@@ -696,17 +732,38 @@ pub fn search_sequences_opts(
                 vist_obs::histogram!("vist_core_worker_busy_nanos").record(busy_nanos);
                 vist_obs::histogram!("vist_core_worker_idle_nanos")
                     .record(wall.saturating_sub(busy_nanos));
+                out.busy_nanos = busy_nanos;
+                out.idle_nanos = wall.saturating_sub(busy_nanos);
             }
         });
         if let Some(e) = first_err.into_inner().unwrap_or_else(|e| e.into_inner()) {
             return Err(e);
         }
+        let (mut busy_total, mut idle_total) = (0u64, 0u64);
         for out in outs {
             let mut out = out.into_inner().unwrap_or_else(|e| e.into_inner());
+            busy_total += out.busy_nanos;
+            idle_total += out.idle_nanos;
             stats.merge(&out.stats);
             scopes.append(&mut out.scopes);
             absorb_steps(&mut plans, &out);
         }
+        // Worker threads have no span collector of their own; graft
+        // their aggregate busy/idle time onto the open `match` span so
+        // the trace tree covers parallel execution. CPU time across N
+        // workers can legitimately exceed the match span's wall time.
+        vist_obs::span::attach(vist_obs::SpanNode {
+            name: "workers",
+            nanos: busy_total,
+            count: workers as u64,
+            children: Vec::new(),
+        });
+        vist_obs::span::attach(vist_obs::SpanNode {
+            name: "workers_idle",
+            nanos: idle_total,
+            count: workers as u64,
+            children: Vec::new(),
+        });
     }
     timings.match_nanos = vist_obs::elapsed_nanos(match_start).unwrap_or(0);
     drop(match_span);
@@ -1183,6 +1240,11 @@ struct WorkerOut {
     probed: HashMap<Vec<u8>, bool>,
     /// Per-`(seq, qi)` actual `(frames, nodes)` counts (`track` only).
     steps: HashMap<(u32, u32), (u64, u64)>,
+    /// Wall time this worker spent expanding frames (zero when timing is
+    /// off); grafted onto the `match` span as a `workers` node.
+    busy_nanos: u64,
+    /// Wall time this worker spent waiting on the shared queue.
+    idle_nanos: u64,
 }
 
 impl WorkerOut {

@@ -116,6 +116,13 @@ pub struct QueryOptions {
     /// poisons locks or mutates the index — the next query on the same
     /// index is undisturbed. `None` (the default) runs to completion.
     pub deadline: Option<std::time::Instant>,
+    /// Request-scoped 128-bit trace id. `0` (the default) mints a fresh
+    /// one; a caller that already has an id (e.g. `vist-serve` echoing a
+    /// client-supplied `X-Vist-Trace-Id`) passes it here so slow-log
+    /// entries, retained traces, and histogram exemplars all key to the
+    /// same id. The effective id is returned on
+    /// [`QueryResult::trace_id`].
+    pub trace_id: u128,
 }
 
 impl Default for QueryOptions {
@@ -128,6 +135,7 @@ impl Default for QueryOptions {
             no_plan: false,
             limit: None,
             deadline: None,
+            trace_id: 0,
         }
     }
 }
@@ -152,6 +160,11 @@ pub struct QueryResult {
     /// `vist_obs::set_tracing(true)` was active and this query started
     /// the trace (e.g. `vist query --trace`).
     pub trace: Option<vist_obs::SpanNode>,
+    /// The trace id this query ran under: [`QueryOptions::trace_id`] if
+    /// non-zero, otherwise freshly minted. Keys the slow log, retained
+    /// traces (`tracez`), and latency exemplars (all inert under the
+    /// `noop` feature, but the id itself is always present).
+    pub trace_id: u128,
 }
 
 /// The ViST index.
@@ -182,6 +195,36 @@ pub struct VistIndex {
 /// How many segments accumulate before [`VistIndex::bulk_build`]
 /// auto-triggers a compaction.
 const COMPACT_SEGMENT_THRESHOLD: usize = 4;
+
+/// Run a background operation — compaction, checkpoint, segment build,
+/// WAL-recovery reopen — as a traced unit of work: `vist_bg_<op>_*`
+/// in-progress/last-duration/total metrics, one wide event carrying its
+/// own freshly minted trace id, and (when tracing is on and the op is
+/// not nested inside another traced operation on this thread) a span
+/// tree retained in `tracez` under that id.
+fn bg_op<T>(op: &'static str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    let trace_id = vist_obs::traceid::mint();
+    let inprogress = vist_obs::registry::gauge(&format!("vist_bg_{op}_inprogress"));
+    inprogress.add(1);
+    let trace = vist_obs::Trace::begin(op);
+    let start = vist_obs::now();
+    let result = f();
+    let nanos = vist_obs::elapsed_nanos(start).unwrap_or(0);
+    inprogress.add(-1);
+    vist_obs::registry::gauge(&format!("vist_bg_{op}_last_duration_ms"))
+        .set(i64::try_from(nanos / 1_000_000).unwrap_or(i64::MAX));
+    vist_obs::registry::counter(&format!("vist_bg_{op}_total")).inc();
+    if let Some(trace) = trace {
+        let root = trace.finish();
+        vist_obs::tracez::record(trace_id, format!("bg:{op}"), root.nanos, root);
+    }
+    vist_obs::WideEvent::new(op)
+        .str_field("trace_id", &vist_obs::traceid::format(trace_id))
+        .u64_field("total_nanos", nanos)
+        .str_field("outcome", if result.is_ok() { "ok" } else { "error" })
+        .emit();
+    result
+}
 
 /// The segment tier of a file-backed index: the manifest naming the live
 /// segments, and the opened segments themselves (newest last, matching
@@ -320,8 +363,16 @@ impl VistIndex {
         Self::open_at(Arc::new(RealVfs), path.as_ref(), cache_pages)
     }
 
-    /// [`VistIndex::open_file`] through an explicit [`Vfs`].
+    /// [`VistIndex::open_file`] through an explicit [`Vfs`]. The open —
+    /// which replays any pending WAL and redoes interrupted compactions
+    /// and bulk loads — is a traced `wal_recovery` background operation.
     pub fn open_at(vfs: Arc<dyn Vfs>, path: &Path, cache_pages: usize) -> Result<Self> {
+        bg_op("wal_recovery", move || {
+            Self::open_at_inner(vfs, path, cache_pages)
+        })
+    }
+
+    fn open_at_inner(vfs: Arc<dyn Vfs>, path: &Path, cache_pages: usize) -> Result<Self> {
         let pager = FilePager::open_with_vfs(vfs.as_ref(), path)?;
         let pool = Arc::new(BufferPool::with_capacity(pager, cache_pages));
         let page_size = pool.page_size();
@@ -593,19 +644,22 @@ impl VistIndex {
 
     /// Persist meta state and flush dirty pages to the backing store. A
     /// `WithClues` allocator's statistics model is persisted too, so it is
-    /// restored by [`VistIndex::open_file`].
+    /// restored by [`VistIndex::open_file`]. Runs as a traced
+    /// `checkpoint` background operation.
     pub fn flush(&self) -> Result<()> {
-        let _w = self.writer.lock();
-        let model = match &self.alloc.lock().kind {
-            AllocatorKind::WithClues(model) => Some(model.clone()),
-            AllocatorKind::NoClues => None,
-        };
-        if let Some(model) = model {
-            self.store.save_stats_model(&model)?;
-        }
-        let table = self.table.read().clone();
-        self.store.flush(&table, &self.order)?;
-        Ok(())
+        bg_op("checkpoint", || {
+            let _w = self.writer.lock();
+            let model = match &self.alloc.lock().kind {
+                AllocatorKind::WithClues(model) => Some(model.clone()),
+                AllocatorKind::NoClues => None,
+            };
+            if let Some(model) = model {
+                self.store.save_stats_model(&model)?;
+            }
+            let table = self.table.read().clone();
+            self.store.flush(&table, &self.order)?;
+            Ok(())
+        })
     }
 
     /// Flush the delta store under an already-held writer lock, persisting
@@ -629,6 +683,14 @@ impl VistIndex {
     /// ([`VistIndex::create_file`] / [`VistIndex::open_file`] or the
     /// `_at` variants), else [`Error::NotTiered`].
     pub fn bulk_build<I, S>(&self, docs: I) -> Result<Vec<DocId>>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        bg_op("segment_build", move || self.bulk_build_inner(docs))
+    }
+
+    fn bulk_build_inner<I, S>(&self, docs: I) -> Result<Vec<DocId>>
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
@@ -720,6 +782,10 @@ impl VistIndex {
     }
 
     fn compact_locked(&self) -> Result<()> {
+        bg_op("compaction", || self.compact_inner())
+    }
+
+    fn compact_inner(&self) -> Result<()> {
         let tier = self.tier.as_ref().ok_or(Error::NotTiered)?;
         if !self.store.meta().store_documents {
             return Err(Error::DocumentsNotStored);
@@ -1419,6 +1485,7 @@ impl VistIndex {
             limit: opts.limit,
             collect_plan: true,
             deadline: opts.deadline,
+            trace_id: opts.trace_id,
         };
         let _m = self.maintenance.read();
         let mut sources = Vec::new();
@@ -1506,15 +1573,33 @@ impl VistIndex {
     /// naming an element absent from the data returns an empty result
     /// directly.
     pub fn query(&self, expr: &str, opts: &QueryOptions) -> Result<QueryResult> {
+        // The effective trace id: honor a caller-supplied one (serve echoes
+        // the client's), otherwise mint. Everything this query emits — slow
+        // log, retained trace, exemplars — keys to this single id.
+        let trace_id = if opts.trace_id != 0 {
+            opts.trace_id
+        } else {
+            vist_obs::traceid::mint()
+        };
+        // Per-query I/O attribution: installed here, cloned onto every
+        // match worker (see `search.rs`), charged by the storage layer.
+        let attr_ctx = vist_obs::AttrCounters::new();
+        let attr_guard = vist_obs::attr::install(attr_ctx.clone());
         let trace = vist_obs::Trace::begin("query");
         let total_start = vist_obs::now();
         let parse_span = vist_obs::Span::enter("parse");
         let pattern = parse_query(expr)?.to_pattern();
         drop(parse_span);
-        let mut result = self.query_pattern(&pattern, opts)?;
+        let effective = QueryOptions {
+            trace_id,
+            ..opts.clone()
+        };
+        let mut result = self.query_pattern(&pattern, &effective)?;
+        drop(attr_guard);
+        result.stats.set_io(&attr_ctx.snapshot());
         if let Some(total) = vist_obs::elapsed_nanos(total_start) {
             result.timings.total_nanos = total;
-            vist_obs::histogram!("vist_core_query_nanos").record(total);
+            vist_obs::histogram!("vist_core_query_nanos").record_with_exemplar(total, trace_id);
             vist_obs::histogram!("vist_core_stage_translate_nanos")
                 .record(result.timings.translate_nanos);
             vist_obs::histogram!("vist_core_stage_match_nanos").record(result.timings.match_nanos);
@@ -1522,6 +1607,7 @@ impl VistIndex {
             vist_obs::histogram!("vist_core_stage_docid_nanos").record(result.timings.docid_nanos);
             let s = &result.stats;
             vist_obs::slowlog::record(vist_obs::SlowQuery {
+                trace_id,
                 query: expr.to_owned(),
                 workers: opts.workers.max(1),
                 total_nanos: total,
@@ -1540,11 +1626,19 @@ impl VistIndex {
                     ("planner_probes", s.planner_probes),
                     ("planner_probe_prunes", s.planner_probe_prunes),
                     ("planner_docid_sweeps", s.planner_docid_sweeps),
+                    ("io_pool_hits", s.io_pool_hits),
+                    ("io_pool_misses", s.io_pool_misses),
+                    ("io_pages_read", s.io_pages_read),
+                    ("io_bytes_read", s.io_bytes_read),
+                    ("io_wal_appends", s.io_wal_appends),
                 ],
             });
         }
+        result.trace_id = trace_id;
         if let Some(trace) = trace {
-            result.trace = Some(trace.finish());
+            let root = trace.finish();
+            vist_obs::tracez::record(trace_id, expr.to_owned(), root.nanos, root.clone());
+            result.trace = Some(root);
         }
         Ok(result)
     }
@@ -1623,6 +1717,7 @@ impl VistIndex {
                     ..StageTimings::default()
                 },
                 trace: None,
+                trace_id: opts.trace_id,
             });
         };
         let _m = self.maintenance.read();
@@ -1639,6 +1734,7 @@ impl VistIndex {
             limit: raw_limit,
             collect_plan: false,
             deadline: opts.deadline,
+            trace_id: opts.trace_id,
         };
         let mut outcome = search_sequences_opts(&self.store, &translation.sequences, &base)?;
         if !segments.is_empty() {
@@ -1727,6 +1823,7 @@ impl VistIndex {
             stats,
             timings,
             trace: None,
+            trace_id: opts.trace_id,
         })
     }
 }

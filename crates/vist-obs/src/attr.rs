@@ -1,0 +1,255 @@
+//! Per-query I/O attribution.
+//!
+//! The registry's `vist_storage_*` counters are process-global: they say
+//! the buffer pool missed, not *whose* query missed. Attribution closes
+//! that gap with a thread-local context: the query layer allocates an
+//! [`AttrCounters`] per request and [`install`]s it on the calling
+//! thread; the match engine installs a clone of the same `Arc` on every
+//! worker-pool thread it fans out to, so work that migrates between
+//! workers through the stealing queue is still charged to the owning
+//! query — propagation across steals is correct by construction, because
+//! there is exactly one counter block per query no matter which thread
+//! runs a frame. Storage-layer hot paths call the `charge_*` free
+//! functions right next to the registry counters they mirror, so summing
+//! per-query attribution over a workload must equal the registry deltas
+//! (a differential test in `vist-core` holds this invariant).
+//!
+//! Cost model: a charge is one thread-local borrow plus a relaxed
+//! `fetch_add` when a context is installed, and a borrow + branch when
+//! not. Under the `noop` feature everything — the thread-local included —
+//! compiles out; [`install`] returns an inert guard and [`current`] is
+//! always `None`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[cfg(not(feature = "noop"))]
+use std::cell::RefCell;
+
+/// Atomic I/O counters for one query. Shared (`Arc`) between the query
+/// layer and every worker thread serving that query.
+#[derive(Debug, Default)]
+pub struct AttrCounters {
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    pages_read: AtomicU64,
+    bytes_read: AtomicU64,
+    wal_appends: AtomicU64,
+}
+
+impl AttrCounters {
+    /// A fresh zeroed counter block, ready to [`install`].
+    #[must_use]
+    pub fn new() -> Arc<AttrCounters> {
+        Arc::new(AttrCounters::default())
+    }
+
+    /// Point-in-time copy of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> AttrSnapshot {
+        AttrSnapshot {
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of one query's attributed I/O.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AttrSnapshot {
+    /// Buffer-pool hits charged to this query.
+    pub pool_hits: u64,
+    /// Buffer-pool misses charged to this query.
+    pub pool_misses: u64,
+    /// Pages read from the backing file for this query.
+    pub pages_read: u64,
+    /// Bytes read from the backing file for this query.
+    pub bytes_read: u64,
+    /// WAL appends issued while this query's context was installed.
+    pub wal_appends: u64,
+}
+
+impl AttrSnapshot {
+    /// `(counter name, value)` pairs in declaration order, for slow-log
+    /// and wide-event rendering.
+    #[must_use]
+    pub fn entries(&self) -> [(&'static str, u64); 5] {
+        [
+            ("pool_hits", self.pool_hits),
+            ("pool_misses", self.pool_misses),
+            ("pages_read", self.pages_read),
+            ("bytes_read", self.bytes_read),
+            ("wal_appends", self.wal_appends),
+        ]
+    }
+}
+
+#[cfg(not(feature = "noop"))]
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<AttrCounters>>> = const { RefCell::new(None) };
+}
+
+/// Guard returned by [`install`]; restores the thread's previous
+/// attribution context (if any) on drop. `!Send` by construction.
+pub struct AttrGuard {
+    #[cfg(not(feature = "noop"))]
+    prev: Option<Arc<AttrCounters>>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for AttrGuard {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "noop"))]
+        CURRENT.with(|c| {
+            *c.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+/// Install `ctx` as the current thread's attribution context until the
+/// returned guard drops. Nested installs stack: the guard restores
+/// whatever was installed before.
+#[must_use]
+pub fn install(ctx: Arc<AttrCounters>) -> AttrGuard {
+    #[cfg(feature = "noop")]
+    {
+        let _ = ctx;
+        AttrGuard {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+    #[cfg(not(feature = "noop"))]
+    {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(ctx));
+        AttrGuard {
+            prev,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+/// The current thread's attribution context, if one is installed.
+/// Worker-pool fan-out captures this before spawning and installs a
+/// clone on each worker.
+#[must_use]
+pub fn current() -> Option<Arc<AttrCounters>> {
+    #[cfg(feature = "noop")]
+    return None;
+    #[cfg(not(feature = "noop"))]
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+#[cfg(not(feature = "noop"))]
+#[inline]
+fn with_current(f: impl FnOnce(&AttrCounters)) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_deref() {
+            f(ctx);
+        }
+    });
+}
+
+/// Charge one buffer-pool hit to the current query, if any.
+#[inline]
+pub fn charge_pool_hit() {
+    #[cfg(not(feature = "noop"))]
+    with_current(|c| {
+        c.pool_hits.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// Charge one buffer-pool miss to the current query, if any.
+#[inline]
+pub fn charge_pool_miss() {
+    #[cfg(not(feature = "noop"))]
+    with_current(|c| {
+        c.pool_misses.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// Charge one page read of `bytes` bytes to the current query, if any.
+#[inline]
+pub fn charge_page_read(bytes: u64) {
+    #[cfg(feature = "noop")]
+    let _ = bytes;
+    #[cfg(not(feature = "noop"))]
+    with_current(|c| {
+        c.pages_read.fetch_add(1, Ordering::Relaxed);
+        c.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    });
+}
+
+/// Charge one WAL append to the current query, if any.
+#[inline]
+pub fn charge_wal_append() {
+    #[cfg(not(feature = "noop"))]
+    with_current(|c| {
+        c.wal_appends.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_go_to_installed_context_only() {
+        charge_pool_hit(); // no context: must not panic, charges nowhere
+        let ctx = AttrCounters::new();
+        {
+            let _g = install(Arc::clone(&ctx));
+            charge_pool_hit();
+            charge_pool_miss();
+            charge_page_read(4096);
+            charge_wal_append();
+        }
+        charge_pool_hit(); // after the guard: charges nowhere again
+        let s = ctx.snapshot();
+        assert_eq!(
+            s,
+            AttrSnapshot {
+                pool_hits: 1,
+                pool_misses: 1,
+                pages_read: 1,
+                bytes_read: 4096,
+                wal_appends: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn installs_nest_and_restore() {
+        let outer = AttrCounters::new();
+        let inner = AttrCounters::new();
+        let _a = install(Arc::clone(&outer));
+        {
+            let _b = install(Arc::clone(&inner));
+            charge_page_read(10);
+            assert!(Arc::ptr_eq(&current().unwrap(), &inner));
+        }
+        charge_page_read(20);
+        assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+        assert_eq!(inner.snapshot().bytes_read, 10);
+        assert_eq!(outer.snapshot().bytes_read, 20);
+    }
+
+    #[test]
+    fn shared_arc_sums_across_threads() {
+        let ctx = AttrCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ctx = Arc::clone(&ctx);
+                s.spawn(move || {
+                    let _g = install(ctx);
+                    for _ in 0..100 {
+                        charge_pool_hit();
+                    }
+                });
+            }
+        });
+        assert_eq!(ctx.snapshot().pool_hits, 400);
+    }
+}

@@ -15,6 +15,22 @@
 //!   queries over a latency threshold, with stage timings and counter
 //!   deltas.
 //!
+//! Request-scoped telemetry builds on those three:
+//!
+//! - **Trace ids** ([`traceid`]): 128-bit per-request ids minted at the
+//!   serve front-end (or accepted from clients) and carried through
+//!   every layer.
+//! - **I/O attribution** ([`attr`]): a thread-local context that charges
+//!   buffer-pool and WAL activity to the owning query, including across
+//!   worker-pool work-stealing.
+//! - **Wide events** ([`wide`]): one JSON line per request or background
+//!   op, in a bounded ring plus an optional rotating access-log file.
+//! - **Trace retention** ([`tracez`]): head-sampled plus
+//!   always-keep-slowest span trees, resolvable by trace id; histogram
+//!   buckets carry the last trace id as an exemplar.
+//! - **Shared percentiles** ([`percentile`]): the one nearest-rank rule
+//!   behind both histogram estimates and exact benchmark quantiles.
+//!
 //! Registry values are *process-lifetime*: they keep accumulating
 //! across index close/reopen, unlike `IndexStats` which is since-open.
 //!
@@ -23,17 +39,25 @@
 //! build against a genuinely uninstrumented build of identical engine
 //! code (see `BENCH_obs_overhead.json`).
 
+pub mod attr;
 pub mod expo;
 pub mod metrics;
+pub mod percentile;
 pub mod registry;
 pub mod slowlog;
 pub mod span;
+pub mod traceid;
+pub mod tracez;
+pub mod wide;
 
+pub use attr::{AttrCounters, AttrGuard, AttrSnapshot};
 pub use expo::{json_escape, render_json, render_prometheus};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
-pub use registry::{counter, gauge, histogram, snapshot, MetricValue, Snapshot};
+pub use registry::{counter, describe, gauge, histogram, snapshot, MetricValue, Snapshot};
 pub use slowlog::SlowQuery;
 pub use span::{format_nanos, set_tracing, tracing_enabled, Span, SpanNode, Trace};
+pub use tracez::RetainedTrace;
+pub use wide::WideEvent;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;

@@ -11,6 +11,9 @@
 //! types keep their size and API so instrumented code builds unchanged.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::percentile;
 
 /// Number of power-of-two histogram buckets. Bucket 0 counts the value 0;
 /// bucket `i >= 1` counts values in `[2^(i-1), 2^i)`. The last bucket also
@@ -99,6 +102,10 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     sum: AtomicU64,
     max: AtomicU64,
+    /// Last trace id observed per bucket (0 = none). Behind a mutex:
+    /// exemplars are recorded per *request*, not per probe, so the lock
+    /// never sits on an engine hot path.
+    exemplars: Mutex<[u128; BUCKETS]>,
 }
 
 impl Default for Histogram {
@@ -138,6 +145,7 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplars: Mutex::new([0; BUCKETS]),
         }
     }
 
@@ -154,13 +162,30 @@ impl Histogram {
         let _ = v;
     }
 
+    /// Record one observation and remember `trace_id` as the bucket's
+    /// exemplar, so a quantile estimate can be resolved to the retained
+    /// trace (see [`crate::tracez`]) that landed in its bucket last.
+    /// Zero trace ids record the value but leave the exemplar alone.
+    #[inline]
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u128) {
+        self.record(v);
+        #[cfg(not(feature = "noop"))]
+        if trace_id != 0 {
+            self.exemplars.lock().unwrap_or_else(|e| e.into_inner())[bucket_of(v)] = trace_id;
+        }
+        #[cfg(feature = "noop")]
+        let _ = trace_id;
+    }
+
     /// A point-in-time copy of the bucket counts and aggregates.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let exemplars = *self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
+            exemplars,
         }
     }
 }
@@ -174,6 +199,8 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest recorded value (exact).
     pub max: u64,
+    /// Last trace id observed per bucket (0 = none recorded).
+    pub exemplars: [u128; BUCKETS],
 }
 
 impl HistogramSnapshot {
@@ -183,24 +210,42 @@ impl HistogramSnapshot {
         self.buckets.iter().sum()
     }
 
-    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the upper
-    /// bound of the first bucket whose cumulative count reaches
-    /// `ceil(q * count)`, clamped to the exact maximum. Zero when empty.
+    /// Index of the bucket containing the `q`-quantile's nearest rank
+    /// (see [`crate::percentile::rank`]); `None` when empty.
     #[must_use]
-    pub fn quantile(&self, q: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        let rank = percentile::rank(q, self.count());
+        if rank == 0 {
+            return None;
         }
-        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_upper_bound(i).min(self.max);
+                return Some(i);
             }
         }
-        self.max
+        None
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the upper
+    /// bound of the first bucket whose cumulative count reaches the
+    /// shared nearest rank, clamped to the exact maximum. Zero when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        match self.quantile_bucket(q) {
+            Some(i) => bucket_upper_bound(i).min(self.max),
+            None => 0,
+        }
+    }
+
+    /// The exemplar trace id of the bucket containing the `q`-quantile
+    /// (0 when empty or no exemplar was recorded in that bucket). A p99
+    /// spike resolves through this id to a retained trace in
+    /// [`crate::tracez`].
+    #[must_use]
+    pub fn exemplar(&self, q: f64) -> u128 {
+        self.quantile_bucket(q).map_or(0, |i| self.exemplars[i])
     }
 
     /// Median estimate (see [`HistogramSnapshot::quantile`]).
@@ -215,10 +260,22 @@ impl HistogramSnapshot {
         self.quantile(0.90)
     }
 
+    /// 95th-percentile estimate.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
     /// 99th-percentile estimate.
     #[must_use]
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
     }
 
     /// Mean of recorded values (0 when empty).
@@ -279,6 +336,37 @@ mod tests {
         assert!(s.p99() >= 990);
         assert!(s.quantile(1.0) == 1000, "max quantile is exact");
         assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p95_p999_use_the_shared_rank() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Nearest rank 950 lands in bucket [512, 1024); estimate is its
+        // upper bound clamped to the exact max.
+        assert_eq!(s.p95(), 1000);
+        assert_eq!(s.p999(), 1000);
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p95());
+        assert!(s.p95() <= s.p99() && s.p99() <= s.p999());
+    }
+
+    #[test]
+    fn exemplars_track_the_last_trace_per_bucket() {
+        let h = Histogram::new();
+        h.record_with_exemplar(3, 0xAA); // bucket [2,4)
+        h.record_with_exemplar(3, 0xBB); // same bucket: last wins
+        h.record_with_exemplar(900, 0xCC); // bucket [512,1024)
+        h.record_with_exemplar(901, 0); // zero id leaves exemplar alone
+        let s = h.snapshot();
+        assert_eq!(s.exemplars[bucket_of(3)], 0xBB);
+        assert_eq!(s.exemplars[bucket_of(900)], 0xCC);
+        // The p99 of this sample sits in the 900s bucket: its exemplar
+        // is the handle back to the retained trace.
+        assert_eq!(s.exemplar(0.99), 0xCC);
+        assert_eq!(Histogram::new().snapshot().exemplar(0.99), 0);
     }
 
     #[test]

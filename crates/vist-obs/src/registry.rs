@@ -107,6 +107,31 @@ pub fn histogram(name: &str) -> &'static Histogram {
     )
 }
 
+fn help_table() -> &'static Mutex<BTreeMap<&'static str, &'static str>> {
+    static HELP: OnceLock<Mutex<BTreeMap<&'static str, &'static str>>> = OnceLock::new();
+    HELP.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Attach a `# HELP` text to a metric name for Prometheus exposition.
+/// Undescribed metrics get generated help; describing twice keeps the
+/// latest text.
+pub fn describe(name: &'static str, help: &'static str) {
+    help_table()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(name, help);
+}
+
+/// The help text registered for `name`, if any.
+#[must_use]
+pub fn help_for(name: &str) -> Option<&'static str> {
+    help_table()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(name)
+        .copied()
+}
+
 /// A point-in-time value of one registered metric.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {

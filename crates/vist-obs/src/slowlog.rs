@@ -20,6 +20,9 @@ pub const DEFAULT_THRESHOLD_NANOS: u64 = 50_000_000;
 /// One recorded slow query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlowQuery {
+    /// Trace id of the request (0 when the query ran without one); the
+    /// key into [`crate::tracez`] for the retained span tree.
+    pub trace_id: u128,
     /// The query text as given to the engine.
     pub query: String,
     /// Worker threads the match engine ran with.
@@ -100,6 +103,7 @@ mod tests {
 
     fn q(name: &str, nanos: u64) -> SlowQuery {
         SlowQuery {
+            trace_id: 7,
             query: name.to_owned(),
             workers: 1,
             total_nanos: nanos,

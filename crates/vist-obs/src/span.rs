@@ -72,10 +72,42 @@ impl SpanNode {
         }
     }
 
+    /// Merge `child` into this node's children — the public form of the
+    /// collector's sibling-merging rule, for grafting externally built
+    /// nodes (e.g. per-worker aggregates) onto a tree.
+    pub fn merge_child(&mut self, child: SpanNode) {
+        self.absorb(child);
+    }
+
     /// Sum of direct children's durations.
     #[must_use]
     pub fn child_nanos(&self) -> u64 {
         self.children.iter().map(|c| c.nanos).sum()
+    }
+
+    /// Render the tree as a JSON object:
+    /// `{"name":...,"nanos":...,"count":...,"children":[...]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.json_into(&mut out);
+        out
+    }
+
+    fn json_into(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"nanos\":{},\"count\":{},\"children\":[",
+            crate::expo::json_escape(self.name),
+            self.nanos,
+            self.count
+        ));
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            child.json_into(out);
+        }
+        out.push_str("]}");
     }
 
     /// Render the tree as indented text, one node per line:
@@ -203,6 +235,24 @@ impl Drop for Trace {
     }
 }
 
+/// Graft an externally built span node into the innermost open span of
+/// the active trace on this thread. Worker threads have no collector of
+/// their own, so the match engine aggregates their timings into
+/// [`SpanNode`]s and attaches them here from the coordinating thread.
+/// A no-op when tracing is off or no trace is active.
+pub fn attach(node: SpanNode) {
+    if !tracing_enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(collector) = c.borrow_mut().as_mut() {
+            if let Some((top, _)) = collector.stack.last_mut() {
+                top.absorb(node);
+            }
+        }
+    });
+}
+
 /// Scoped phase guard. Construct with [`Span::enter`]; the phase closes
 /// when the guard drops.
 pub struct Span {
@@ -305,6 +355,36 @@ mod tests {
         let rendered = root.render();
         assert!(rendered.contains("query"));
         assert!(rendered.contains("(x3)"));
+    }
+
+    #[test]
+    fn attach_grafts_into_the_open_span() {
+        let _g = TRACE_TESTS.lock().unwrap();
+        set_tracing(true);
+        let trace = Trace::begin("query").expect("tracing on");
+        {
+            let _m = Span::enter("match");
+            for i in 0..2 {
+                attach(SpanNode {
+                    name: "worker",
+                    nanos: 100 + i,
+                    count: 1,
+                    children: Vec::new(),
+                });
+            }
+        }
+        let root = trace.finish();
+        set_tracing(false);
+        let m = &root.children[0];
+        assert_eq!(m.name, "match");
+        assert_eq!(m.children.len(), 1, "same-name workers merge");
+        assert_eq!(m.children[0].name, "worker");
+        assert_eq!(m.children[0].count, 2);
+        assert_eq!(m.children[0].nanos, 201);
+        let json = root.to_json();
+        assert!(json.contains("\"name\":\"worker\""), "{json}");
+        assert!(json.contains("\"count\":2"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Tracez-style trace retention: a bounded store of finished span trees
+//! keyed by trace id.
+//!
+//! Two retention policies run side by side:
+//!
+//! - **Head sampling** — every `sample_every`-th finished trace lands in
+//!   a FIFO ring of [`RECENT_CAPACITY`] entries (default: every trace,
+//!   so a freshly returned trace id is resolvable until the ring wraps).
+//! - **Always-keep-slowest** — the [`SLOWEST_CAPACITY`] slowest traces
+//!   seen so far are kept regardless of sampling, so the trace behind a
+//!   p99 spike survives long after the ring has wrapped past it.
+//!
+//! Histogram exemplars (see [`crate::metrics::Histogram`]) record the
+//! last trace id per latency bucket; resolving an exemplar here links a
+//! quantile estimate directly to the span tree that produced it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::span::SpanNode;
+
+/// Head-sampled ring capacity.
+pub const RECENT_CAPACITY: usize = 128;
+
+/// Always-retained slowest-trace capacity.
+pub const SLOWEST_CAPACITY: usize = 16;
+
+/// One retained trace: the finished span tree plus identifying context.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    /// The request's trace id.
+    pub trace_id: u128,
+    /// Human label — the query expression or background-op name.
+    pub label: String,
+    /// Total wall time (the root span's duration).
+    pub total_nanos: u64,
+    /// The finished span tree.
+    pub root: SpanNode,
+}
+
+struct State {
+    recent: VecDeque<RetainedTrace>,
+    slowest: Vec<RetainedTrace>,
+    seen: u64,
+}
+
+struct Tracez {
+    sample_every: AtomicU64,
+    state: Mutex<State>,
+}
+
+fn global() -> &'static Tracez {
+    static TRACEZ: OnceLock<Tracez> = OnceLock::new();
+    TRACEZ.get_or_init(|| Tracez {
+        sample_every: AtomicU64::new(1),
+        state: Mutex::new(State {
+            recent: VecDeque::with_capacity(RECENT_CAPACITY),
+            slowest: Vec::with_capacity(SLOWEST_CAPACITY),
+            seen: 0,
+        }),
+    })
+}
+
+/// Keep every `n`-th trace in the recent ring (minimum 1 = keep all).
+/// The slowest set is unaffected by sampling.
+pub fn set_sample_every(n: u64) {
+    global().sample_every.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Retain one finished trace. A no-op under the `noop` feature.
+pub fn record(trace_id: u128, label: String, total_nanos: u64, root: SpanNode) {
+    #[cfg(feature = "noop")]
+    {
+        let _ = (trace_id, label, total_nanos, root);
+    }
+    #[cfg(not(feature = "noop"))]
+    {
+        let t = RetainedTrace {
+            trace_id,
+            label,
+            total_nanos,
+            root,
+        };
+        let every = global().sample_every.load(Ordering::Relaxed);
+        let mut st = global().state.lock().unwrap_or_else(|e| e.into_inner());
+        st.seen += 1;
+        if st.seen.is_multiple_of(every) {
+            if st.recent.len() == RECENT_CAPACITY {
+                st.recent.pop_front();
+            }
+            st.recent.push_back(t.clone());
+        }
+        let qualifies = st.slowest.len() < SLOWEST_CAPACITY
+            || st
+                .slowest
+                .last()
+                .is_some_and(|s| t.total_nanos > s.total_nanos);
+        if qualifies {
+            st.slowest.push(t);
+            st.slowest.sort_by_key(|s| std::cmp::Reverse(s.total_nanos));
+            st.slowest.truncate(SLOWEST_CAPACITY);
+        }
+    }
+}
+
+/// Look up a retained trace by id (newest match wins).
+#[must_use]
+pub fn get(trace_id: u128) -> Option<RetainedTrace> {
+    let st = global().state.lock().unwrap_or_else(|e| e.into_inner());
+    st.recent
+        .iter()
+        .rev()
+        .find(|t| t.trace_id == trace_id)
+        .or_else(|| st.slowest.iter().find(|t| t.trace_id == trace_id))
+        .cloned()
+}
+
+/// The always-retained slowest traces, slowest first.
+#[must_use]
+pub fn slowest() -> Vec<RetainedTrace> {
+    global()
+        .state
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .slowest
+        .clone()
+}
+
+/// The head-sampled recent ring, oldest first.
+#[must_use]
+pub fn recent() -> Vec<RetainedTrace> {
+    global()
+        .state
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .recent
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Drop everything (tests and profiling runs).
+pub fn clear() {
+    let mut st = global().state.lock().unwrap_or_else(|e| e.into_inner());
+    st.recent.clear();
+    st.slowest.clear();
+    st.seen = 0;
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // The store is process-global; serialize tests that use it.
+    static TRACEZ_TESTS: StdMutex<()> = StdMutex::new(());
+
+    fn node(nanos: u64) -> SpanNode {
+        SpanNode {
+            name: "query",
+            nanos,
+            count: 1,
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn recent_ring_wraps_but_slowest_survive() {
+        let _g = TRACEZ_TESTS.lock().unwrap();
+        clear();
+        set_sample_every(1);
+        // One early, very slow trace...
+        record(42, "slowpoke".into(), 1_000_000, node(1_000_000));
+        // ...then a flood of fast ones that wraps the ring.
+        for i in 0..(RECENT_CAPACITY as u64 + 10) {
+            record(1000 + u128::from(i), format!("fast{i}"), 10 + i, node(10));
+        }
+        assert!(
+            !recent().iter().any(|t| t.trace_id == 42),
+            "ring wrapped past the slow trace"
+        );
+        let got = get(42).expect("slowest retention kept it");
+        assert_eq!(got.label, "slowpoke");
+        assert_eq!(got.root.name, "query");
+        assert_eq!(slowest()[0].trace_id, 42);
+        clear();
+    }
+
+    #[test]
+    fn head_sampling_thins_the_ring() {
+        let _g = TRACEZ_TESTS.lock().unwrap();
+        clear();
+        set_sample_every(4);
+        for i in 0..16u64 {
+            record(u128::from(i) + 1, format!("q{i}"), 100, node(100));
+        }
+        assert_eq!(recent().len(), 4, "every 4th trace sampled");
+        set_sample_every(1);
+        clear();
+    }
+
+    #[test]
+    fn missing_id_is_none() {
+        let _g = TRACEZ_TESTS.lock().unwrap();
+        clear();
+        assert!(get(9999).is_none());
+    }
+}

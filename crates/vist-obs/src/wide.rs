@@ -1,0 +1,254 @@
+//! Wide events: one structured JSON line per unit of work.
+//!
+//! A wide event is the single place everything known about one request
+//! (or one background operation) lands: trace id, peer, admission wait,
+//! plan summary, stage timings, attribution counters, outcome. Events go
+//! to a bounded in-process ring (always, for `/debug` inspection) and
+//! optionally to an append-only access-log file with size-based
+//! rotation (`vist serve --access-log <path>`).
+//!
+//! Rotation: when appending a line would push the file past the
+//! configured byte cap, the current file is renamed to `<path>.1`
+//! (replacing any previous `.1`) and a fresh file is started — at most
+//! two generations ever exist on disk.
+//!
+//! Under the `noop` feature [`WideEvent::emit`] compiles to nothing.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+use crate::expo::json_escape;
+
+/// Events retained in the in-process ring.
+pub const RING_CAPACITY: usize = 256;
+
+/// Default access-log rotation threshold (16 MiB).
+pub const DEFAULT_MAX_LOG_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Builder for one wide event. Fields render in insertion order; the
+/// `event` kind is always first.
+#[derive(Debug)]
+pub struct WideEvent {
+    buf: String,
+}
+
+impl WideEvent {
+    /// Start an event of the given kind (e.g. `"query"`, `"compaction"`).
+    #[must_use]
+    pub fn new(kind: &str) -> WideEvent {
+        let mut buf = String::with_capacity(256);
+        let _ = write!(buf, "{{\"event\":\"{}\"", json_escape(kind));
+        WideEvent { buf }
+    }
+
+    /// Add a string field (JSON-escaped).
+    #[must_use]
+    pub fn str_field(mut self, key: &str, value: &str) -> Self {
+        let _ = write!(
+            self.buf,
+            ",\"{}\":\"{}\"",
+            json_escape(key),
+            json_escape(value)
+        );
+        self
+    }
+
+    /// Add an unsigned integer field.
+    #[must_use]
+    pub fn u64_field(mut self, key: &str, value: u64) -> Self {
+        let _ = write!(self.buf, ",\"{}\":{}", json_escape(key), value);
+        self
+    }
+
+    /// Add a pre-rendered JSON value (object, array, number...). The
+    /// caller is responsible for `value` being valid JSON.
+    #[must_use]
+    pub fn raw_field(mut self, key: &str, value: &str) -> Self {
+        let _ = write!(self.buf, ",\"{}\":{}", json_escape(key), value);
+        self
+    }
+
+    /// Finish the event as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+
+    /// Finish and record the event into the ring and file sink.
+    /// A no-op under the `noop` feature.
+    pub fn emit(self) {
+        #[cfg(not(feature = "noop"))]
+        emit_line(self.finish());
+    }
+}
+
+struct FileSink {
+    path: PathBuf,
+    max_bytes: u64,
+    file: File,
+    written: u64,
+}
+
+#[derive(Default)]
+struct Sink {
+    ring: VecDeque<String>,
+    file: Option<FileSink>,
+}
+
+fn global() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink::default()))
+}
+
+/// Record one already-rendered event line.
+pub fn emit_line(line: String) {
+    let mut sink = global().lock().unwrap_or_else(|e| e.into_inner());
+    if sink.ring.len() == RING_CAPACITY {
+        sink.ring.pop_front();
+    }
+    if let Some(fs) = sink.file.as_mut() {
+        if fs.written + line.len() as u64 + 1 > fs.max_bytes && fs.written > 0 {
+            let rotated =
+                fs.path
+                    .with_extension(match fs.path.extension().and_then(|e| e.to_str()) {
+                        Some(ext) => format!("{ext}.1"),
+                        None => "1".to_string(),
+                    });
+            let _ = std::fs::rename(&fs.path, rotated);
+            if let Ok(f) = File::create(&fs.path) {
+                fs.file = f;
+                fs.written = 0;
+            }
+        }
+        if fs.file.write_all(line.as_bytes()).is_ok() && fs.file.write_all(b"\n").is_ok() {
+            fs.written += line.len() as u64 + 1;
+        }
+    }
+    sink.ring.push_back(line);
+}
+
+/// Start appending events to `path`, rotating at `max_bytes`
+/// (0 means [`DEFAULT_MAX_LOG_BYTES`]).
+pub fn set_file_sink(path: &str, max_bytes: u64) -> std::io::Result<()> {
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    let written = file.metadata().map_or(0, |m| m.len());
+    let mut sink = global().lock().unwrap_or_else(|e| e.into_inner());
+    sink.file = Some(FileSink {
+        path: PathBuf::from(path),
+        max_bytes: if max_bytes == 0 {
+            DEFAULT_MAX_LOG_BYTES
+        } else {
+            max_bytes
+        },
+        file,
+        written,
+    });
+    Ok(())
+}
+
+/// Stop writing events to a file (the ring keeps recording).
+pub fn clear_file_sink() {
+    global().lock().unwrap_or_else(|e| e.into_inner()).file = None;
+}
+
+/// Copy of the ring, oldest first.
+#[must_use]
+pub fn recent() -> Vec<String> {
+    global()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .ring
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Drop all ring entries (tests).
+pub fn clear() {
+    global()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .ring
+        .clear();
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // The sink is process-global; serialize tests that use it.
+    static SINK_TESTS: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn builder_renders_one_json_line() {
+        let line = WideEvent::new("query")
+            .str_field("trace_id", "00ff")
+            .u64_field("total_nanos", 1234)
+            .str_field("expr", "/a\"b")
+            .raw_field("stages", "{\"plan\":5}")
+            .finish();
+        assert_eq!(
+            line,
+            "{\"event\":\"query\",\"trace_id\":\"00ff\",\"total_nanos\":1234,\
+             \"expr\":\"/a\\\"b\",\"stages\":{\"plan\":5}}"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn ring_bounds_and_orders_events() {
+        let _g = SINK_TESTS.lock().unwrap();
+        clear();
+        clear_file_sink();
+        for i in 0..RING_CAPACITY + 3 {
+            WideEvent::new("e").u64_field("i", i as u64).emit();
+        }
+        let got = recent();
+        assert_eq!(got.len(), RING_CAPACITY);
+        assert!(got[0].contains("\"i\":3"), "oldest evicted: {}", got[0]);
+        assert!(got
+            .last()
+            .unwrap()
+            .contains(&format!("\"i\":{}", RING_CAPACITY + 2)));
+        clear();
+    }
+
+    #[test]
+    fn file_sink_rotates_at_cap() {
+        let _g = SINK_TESTS.lock().unwrap();
+        clear();
+        let dir = std::env::temp_dir().join(format!("vist_wide_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.log");
+        let path_s = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(dir.join("access.log.1"));
+
+        set_file_sink(path_s, 200).unwrap();
+        for i in 0..12 {
+            // ~40 bytes per line: the 200-byte cap forces rotation.
+            WideEvent::new("rot").u64_field("seq", i).emit();
+        }
+        clear_file_sink();
+
+        let current = std::fs::read_to_string(&path).unwrap();
+        let rotated = std::fs::read_to_string(dir.join("access.log.1")).unwrap();
+        assert!(current.len() as u64 <= 200);
+        for part in [&current, &rotated] {
+            for line in part.lines() {
+                assert!(line.starts_with("{\"event\":\"rot\""), "{line}");
+                assert!(line.ends_with('}'), "{line}");
+            }
+        }
+        // The newest line is in the current file, not the rotated one.
+        assert!(current.contains("\"seq\":11"));
+        let _ = std::fs::remove_dir_all(&dir);
+        clear();
+    }
+}

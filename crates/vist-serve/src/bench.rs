@@ -12,13 +12,16 @@
 //!    slot count by the caller): overload, where the admission gate
 //!    must shed rather than queue unboundedly.
 //!
-//! Percentiles (p50/p99/p999) are exact — computed from the sorted
-//! vector of every successful request's wall-clock latency, not from
+//! Percentiles (p50/p95/p99/p999) are exact — computed with the shared
+//! nearest-rank rule ([`vist_obs::percentile`]) over the sorted vector
+//! of every successful request's wall-clock latency, not from
 //! log-bucketed histograms — because the acceptance bar (`loaded p99 ≤
 //! 2× baseline p99`) is too tight for bucket resolution.
 
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+
+use vist_obs::percentile::nearest_rank as quantile;
 
 use crate::proto::{roundtrip, ProtoError, Request, Response};
 
@@ -80,6 +83,7 @@ pub struct PhaseReport {
     pub errors: u64,
     pub transport_errors: u64,
     pub p50_ns: u64,
+    pub p95_ns: u64,
     pub p99_ns: u64,
     pub p999_ns: u64,
     pub max_ns: u64,
@@ -101,7 +105,7 @@ impl PhaseReport {
             "{{\"name\":\"{}\",\"clients\":{},\"duration_ms\":{},\"requests\":{},\"ok\":{},\
              \"shed\":{},\"deadline_expired\":{},\"draining\":{},\"bad_request\":{},\
              \"errors\":{},\"transport_errors\":{},\"shed_rate\":{:.4},\"p50_ns\":{},\
-             \"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"throughput_rps\":{:.1}}}",
+             \"p95_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"throughput_rps\":{:.1}}}",
             self.name,
             self.clients,
             self.duration_ms,
@@ -115,6 +119,7 @@ impl PhaseReport {
             self.transport_errors,
             self.shed_rate(),
             self.p50_ns,
+            self.p95_ns,
             self.p99_ns,
             self.p999_ns,
             self.max_ns,
@@ -166,6 +171,7 @@ struct ClientTally {
 fn client_loop(addr: &str, expr: &str, deadline_ms: u32, until: Instant) -> ClientTally {
     let mut tally = ClientTally::default();
     let req = Request::Query {
+        trace_id: 0,
         deadline_ms,
         verify: false,
         no_plan: false,
@@ -231,15 +237,6 @@ fn client_loop(addr: &str, expr: &str, deadline_ms: u32, until: Instant) -> Clie
     tally
 }
 
-/// Exact quantile of a sorted sample (nearest-rank).
-fn quantile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 fn run_phase(
     name: &str,
     addr: &str,
@@ -285,6 +282,7 @@ fn run_phase(
         errors: merged.errors,
         transport_errors: merged.transport_errors,
         p50_ns: quantile(lat, 0.50),
+        p95_ns: quantile(lat, 0.95),
         p99_ns: quantile(lat, 0.99),
         p999_ns: quantile(lat, 0.999),
         max_ns: lat.last().copied().unwrap_or(0),

@@ -4,9 +4,16 @@
 //!
 //! Routes:
 //! - `GET /query?q=EXPR[&deadline_ms=N][&limit=N][&verify=1][&no_plan=1]`
-//!   → JSON `{"doc_ids":[...],"count":N}`; overload maps to 429 with a
-//!   `Retry-After` header, draining to 503, an expired deadline to 504,
-//!   malformed queries to 400.
+//!   → JSON `{"trace_id":"...","count":N,"doc_ids":[...]}`; overload
+//!   maps to 429 with a `Retry-After` header, draining to 503, an
+//!   expired deadline to 504, malformed queries to 400. Every `/query`
+//!   response carries an `X-Vist-Trace-Id` header; a client may supply
+//!   its own id in the same request header (32 hex digits) and it is
+//!   used verbatim.
+//! - `GET /debug/traces` → JSON summaries of retained traces (the
+//!   head-sampled recent ring plus the always-kept slowest set);
+//!   `GET /debug/traces?id=HEX` resolves one trace id to its full span
+//!   tree, 404 if it aged out.
 //! - `GET /metrics` → Prometheus exposition of the process registry.
 //! - `GET /healthz` → `200 ok` while serving, `503 draining` during
 //!   drain (readiness, not liveness).
@@ -23,7 +30,7 @@ use crate::server::{handle_request, Shared};
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
 /// Serve one HTTP exchange on `stream` and close.
-pub(crate) fn serve_http(mut stream: TcpStream, shared: &Shared) {
+pub(crate) fn serve_http(mut stream: TcpStream, shared: &Shared, peer: &str) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let head = match read_head(&mut stream) {
         Ok(h) => h,
@@ -95,7 +102,8 @@ pub(crate) fn serve_http(mut stream: TcpStream, shared: &Shared) {
                 &[],
             );
         }
-        "/query" => serve_query(&mut stream, shared, query),
+        "/query" => serve_query(&mut stream, shared, query, &head, peer),
+        "/debug/traces" => serve_traces(&mut stream, query),
         _ => {
             let _ = write_response(
                 &mut stream,
@@ -109,7 +117,25 @@ pub(crate) fn serve_http(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn serve_query(stream: &mut TcpStream, shared: &Shared, query: &str) {
+/// Case-insensitive header lookup in the raw request head.
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().skip(1).find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        if k.trim().eq_ignore_ascii_case(name) {
+            Some(v.trim())
+        } else {
+            None
+        }
+    })
+}
+
+fn serve_query(stream: &mut TcpStream, shared: &Shared, query: &str, head: &str, peer: &str) {
+    // A client-supplied trace id rides the X-Vist-Trace-Id header
+    // (32 hex digits); anything unparsable is ignored and the server
+    // mints one instead.
+    let client_trace_id = header_value(head, "X-Vist-Trace-Id")
+        .and_then(vist_obs::traceid::parse)
+        .unwrap_or(0);
     let mut expr = None;
     let mut deadline_ms: u32 = 0;
     let mut limit: u32 = 0;
@@ -128,30 +154,39 @@ fn serve_query(stream: &mut TcpStream, shared: &Shared, query: &str) {
         }
     }
     let Some(expr) = expr else {
+        let trace_hex = vist_obs::traceid::format(if client_trace_id != 0 {
+            client_trace_id
+        } else {
+            vist_obs::traceid::mint()
+        });
         let _ = write_response(
             stream,
             400,
             "Bad Request",
             "application/json",
             b"{\"error\":\"missing q parameter\"}",
-            &[],
+            &[("X-Vist-Trace-Id", trace_hex)],
         );
         return;
     };
-    let resp = handle_request(
+    let (trace_id, resp) = handle_request(
         shared,
         Request::Query {
+            trace_id: client_trace_id,
             deadline_ms,
             verify,
             no_plan,
             limit,
             expr,
         },
+        peer,
+        "http",
     );
+    let trace_hex = vist_obs::traceid::format(trace_id);
+    let trace_header = [("X-Vist-Trace-Id", trace_hex.clone())];
     let _ = match resp {
         Response::Ok(ids) => {
-            let mut body = String::from("{\"count\":");
-            body.push_str(&ids.len().to_string());
+            let mut body = format!("{{\"trace_id\":\"{trace_hex}\",\"count\":{}", ids.len());
             body.push_str(",\"doc_ids\":[");
             for (i, id) in ids.iter().enumerate() {
                 if i > 0 {
@@ -160,10 +195,19 @@ fn serve_query(stream: &mut TcpStream, shared: &Shared, query: &str) {
                 body.push_str(&id.to_string());
             }
             body.push_str("]}");
-            write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[])
+            write_response(
+                stream,
+                200,
+                "OK",
+                "application/json",
+                body.as_bytes(),
+                &trace_header,
+            )
         }
         Response::Overloaded { retry_after_ms } => {
-            let body = format!("{{\"error\":\"overloaded\",\"retry_after_ms\":{retry_after_ms}}}");
+            let body = format!(
+                "{{\"trace_id\":\"{trace_hex}\",\"error\":\"overloaded\",\"retry_after_ms\":{retry_after_ms}}}"
+            );
             let secs = retry_after_ms.div_ceil(1000).max(1);
             write_response(
                 stream,
@@ -171,49 +215,124 @@ fn serve_query(stream: &mut TcpStream, shared: &Shared, query: &str) {
                 "Too Many Requests",
                 "application/json",
                 body.as_bytes(),
-                &[("Retry-After", secs.to_string())],
+                &[
+                    ("Retry-After", secs.to_string()),
+                    ("X-Vist-Trace-Id", trace_hex.clone()),
+                ],
             )
         }
-        Response::Draining => write_response(
-            stream,
-            503,
-            "Service Unavailable",
-            "application/json",
-            b"{\"error\":\"draining\"}",
-            &[],
-        ),
-        Response::DeadlineExceeded => write_response(
-            stream,
-            504,
-            "Gateway Timeout",
-            "application/json",
-            b"{\"error\":\"deadline exceeded\"}",
-            &[],
-        ),
+        Response::Draining => {
+            let body = format!("{{\"trace_id\":\"{trace_hex}\",\"error\":\"draining\"}}");
+            write_response(
+                stream,
+                503,
+                "Service Unavailable",
+                "application/json",
+                body.as_bytes(),
+                &trace_header,
+            )
+        }
+        Response::DeadlineExceeded => {
+            let body = format!("{{\"trace_id\":\"{trace_hex}\",\"error\":\"deadline exceeded\"}}");
+            write_response(
+                stream,
+                504,
+                "Gateway Timeout",
+                "application/json",
+                body.as_bytes(),
+                &trace_header,
+            )
+        }
         Response::BadRequest(m) => {
-            let body = format!("{{\"error\":{}}}", json_string(&m));
+            let body = format!(
+                "{{\"trace_id\":\"{trace_hex}\",\"error\":{}}}",
+                json_string(&m)
+            );
             write_response(
                 stream,
                 400,
                 "Bad Request",
                 "application/json",
                 body.as_bytes(),
-                &[],
+                &trace_header,
             )
         }
         Response::Error(m) => {
-            let body = format!("{{\"error\":{}}}", json_string(&m));
+            let body = format!(
+                "{{\"trace_id\":\"{trace_hex}\",\"error\":{}}}",
+                json_string(&m)
+            );
             write_response(
                 stream,
                 500,
                 "Internal Server Error",
                 "application/json",
                 body.as_bytes(),
-                &[],
+                &trace_header,
             )
         }
-        Response::Pong => write_response(stream, 200, "OK", "text/plain", b"pong\n", &[]),
+        Response::Pong => write_response(stream, 200, "OK", "text/plain", b"pong\n", &trace_header),
     };
+}
+
+/// `/debug/traces`: list retained traces, or resolve one id to its
+/// full span tree.
+fn serve_traces(stream: &mut TcpStream, query: &str) {
+    let wanted = query
+        .split('&')
+        .filter_map(|p| p.split_once('='))
+        .find(|(k, _)| *k == "id")
+        .map(|(_, v)| percent_decode(v));
+    match wanted {
+        Some(hex) => {
+            let Some(found) = vist_obs::traceid::parse(&hex).and_then(vist_obs::tracez::get) else {
+                let _ = write_response(
+                    stream,
+                    404,
+                    "Not Found",
+                    "application/json",
+                    b"{\"error\":\"no such trace (malformed id, never sampled, or aged out)\"}",
+                    &[],
+                );
+                return;
+            };
+            let body = format!(
+                "{{\"trace_id\":\"{}\",\"label\":{},\"total_nanos\":{},\"root\":{}}}",
+                vist_obs::traceid::format(found.trace_id),
+                json_string(&found.label),
+                found.total_nanos,
+                found.root.to_json()
+            );
+            let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
+        }
+        None => {
+            let summarize = |traces: &[vist_obs::RetainedTrace]| {
+                let mut out = String::from("[");
+                for (i, t) in traces.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = std::fmt::Write::write_fmt(
+                        &mut out,
+                        format_args!(
+                            "{{\"trace_id\":\"{}\",\"label\":{},\"total_nanos\":{}}}",
+                            vist_obs::traceid::format(t.trace_id),
+                            json_string(&t.label),
+                            t.total_nanos
+                        ),
+                    );
+                }
+                out.push(']');
+                out
+            };
+            let body = format!(
+                "{{\"recent\":{},\"slowest\":{}}}",
+                summarize(&vist_obs::tracez::recent()),
+                summarize(&vist_obs::tracez::slowest())
+            );
+            let _ = write_response(stream, 200, "OK", "application/json", body.as_bytes(), &[]);
+        }
+    }
 }
 
 enum HeadError {

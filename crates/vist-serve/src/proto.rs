@@ -11,28 +11,34 @@
 //! *before* any allocation, so a hostile length prefix cannot make the
 //! server reserve gigabytes. All multi-byte integers are big-endian.
 //!
-//! Request payload layout (opcode [`OP_QUERY`]):
+//! Request payload layout (opcode [`OP_QUERY`], version 2):
 //!
 //! ```text
-//! u8  version        = PROTO_VERSION
-//! u8  opcode         = OP_QUERY | OP_PING
-//! u32 deadline_ms    0 = no client deadline (server cap still applies)
-//! u8  flags          bit 0 = verify, bit 1 = no_plan
-//! u32 limit          0 = unlimited
-//! u32 expr_len
+//! u8   version       = PROTO_VERSION
+//! u8   opcode        = OP_QUERY | OP_PING
+//! u32  deadline_ms   0 = no client deadline (server cap still applies)
+//! u8   flags         bit 0 = verify, bit 1 = no_plan
+//! u32  limit         0 = unlimited
+//! u128 trace_id      0 = server mints one
+//! u32  expr_len
 //! [expr_len bytes]   UTF-8 query expression
 //! ```
 //!
-//! Response payload layout:
+//! Response payload layout (version 2):
 //!
 //! ```text
-//! u8  version
-//! u8  status         see Status
+//! u8   version
+//! u8   status        see Status
+//! u128 trace_id      the id the request ran under (echoed or minted);
+//!                    0 only for responses encoded without one
 //! Ok          -> u32 count, count × u64 doc ids
 //! Overloaded  -> u32 retry_after_ms
 //! Error/BadRequest -> u32 len, len bytes UTF-8 message
 //! DeadlineExceeded / Draining / Pong -> (empty tail)
 //! ```
+//!
+//! Version 2 added the `trace_id` fields; version-1 peers are rejected
+//! with [`ProtoError::BadVersion`].
 //!
 //! Decoding is total: any malformed input yields a structured
 //! [`ProtoError`], never a panic, and allocation is bounded by the
@@ -41,8 +47,9 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Protocol version carried in every frame header.
-pub const PROTO_VERSION: u8 = 1;
+/// Protocol version carried in every frame header. Version 2 added
+/// request-scoped trace ids to both directions.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Hard cap on a single frame's payload, enforced before allocating.
 /// Generous for query expressions and result sets alike (a maximal Ok
@@ -155,6 +162,9 @@ pub enum Request {
         no_plan: bool,
         /// Cap on returned doc ids; 0 means unlimited.
         limit: u32,
+        /// Client-supplied 128-bit trace id; 0 asks the server to mint
+        /// one. Either way the effective id comes back in the response.
+        trace_id: u128,
         /// The query expression (vist-query syntax).
         expr: String,
     },
@@ -259,6 +269,11 @@ impl<'a> Cursor<'a> {
             self.take(8)?.try_into().expect("8-byte slice"),
         ))
     }
+    fn u128(&mut self) -> Result<u128, ProtoError> {
+        Ok(u128::from_be_bytes(
+            self.take(16)?.try_into().expect("16-byte slice"),
+        ))
+    }
     fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
         let end = self.pos.checked_add(n).ok_or(ProtoError::BadLength)?;
         if end > self.buf.len() {
@@ -291,6 +306,7 @@ impl Request {
                 verify,
                 no_plan,
                 limit,
+                trace_id,
                 expr,
             } => {
                 out.push(OP_QUERY);
@@ -304,6 +320,7 @@ impl Request {
                 }
                 out.push(flags);
                 out.extend_from_slice(&limit.to_be_bytes());
+                out.extend_from_slice(&trace_id.to_be_bytes());
                 out.extend_from_slice(&(expr.len() as u32).to_be_bytes());
                 out.extend_from_slice(expr.as_bytes());
             }
@@ -326,6 +343,7 @@ impl Request {
                 let deadline_ms = c.u32()?;
                 let flags = c.u8()?;
                 let limit = c.u32()?;
+                let trace_id = c.u128()?;
                 let expr_len = c.u32()? as usize;
                 let expr = std::str::from_utf8(c.take(expr_len)?)
                     .map_err(|_| ProtoError::BadUtf8)?
@@ -335,6 +353,7 @@ impl Request {
                     verify: flags & 1 != 0,
                     no_plan: flags & 2 != 0,
                     limit,
+                    trace_id,
                     expr,
                 }
             }
@@ -348,11 +367,20 @@ impl Request {
 // ---------------------------------------------------------------- response
 
 impl Response {
-    /// Serialize to a frame payload.
+    /// Serialize to a frame payload with a zero trace id. Prefer
+    /// [`Response::encode_with_trace`] on the server, where every
+    /// response carries the id its request ran under.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_trace(0)
+    }
+
+    /// Serialize to a frame payload carrying `trace_id` (every status
+    /// echoes one — a shed or malformed request is still traceable).
+    pub fn encode_with_trace(&self, trace_id: u128) -> Vec<u8> {
         let mut out = Vec::new();
         out.push(PROTO_VERSION);
         out.push(self.status() as u8);
+        out.extend_from_slice(&trace_id.to_be_bytes());
         match self {
             Response::Ok(ids) => {
                 out.extend_from_slice(&(ids.len() as u32).to_be_bytes());
@@ -372,8 +400,13 @@ impl Response {
         out
     }
 
-    /// Decode a frame payload.
+    /// Decode a frame payload, discarding the trace id.
     pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        Self::decode_with_trace(payload).map(|(_, resp)| resp)
+    }
+
+    /// Decode a frame payload along with the trace id it carries.
+    pub fn decode_with_trace(payload: &[u8]) -> Result<(u128, Response), ProtoError> {
         let mut c = Cursor::new(payload);
         let version = c.u8()?;
         if version != PROTO_VERSION {
@@ -383,6 +416,7 @@ impl Response {
             // Re-read the byte we just consumed for the error message.
             ProtoError::BadOpcode(payload[1])
         })?;
+        let trace_id = c.u128()?;
         let resp = match status {
             Status::Ok => {
                 let n = c.u32()? as usize;
@@ -413,7 +447,7 @@ impl Response {
             Status::Pong => Response::Pong,
         };
         c.finish()?;
-        Ok(resp)
+        Ok((trace_id, resp))
     }
 }
 
@@ -426,9 +460,18 @@ pub fn roundtrip<T: Read + Write>(
     transport: &mut T,
     req: &Request,
 ) -> Result<Response, ProtoError> {
+    roundtrip_traced(transport, req).map(|(_, resp)| resp)
+}
+
+/// [`roundtrip`], also returning the trace id the response carried —
+/// the handle for `vist traces <id>` / `/debug/traces?id=<id>`.
+pub fn roundtrip_traced<T: Read + Write>(
+    transport: &mut T,
+    req: &Request,
+) -> Result<(u128, Response), ProtoError> {
     write_frame(transport, &req.encode())?;
     let payload = read_frame(transport)?.ok_or(ProtoError::Truncated)?;
-    Response::decode(&payload)
+    Response::decode_with_trace(&payload)
 }
 
 #[cfg(test)]
@@ -441,6 +484,7 @@ mod tests {
             verify: true,
             no_plan: false,
             limit: 10,
+            trace_id: 0xfeed_beef_cafe,
             expr: expr.to_string(),
         }
     }
@@ -450,6 +494,28 @@ mod tests {
         for req in [query("/book/author"), query(""), Request::Ping] {
             let decoded = Request::decode(&req.encode()).unwrap();
             assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn every_status_carries_the_trace_id() {
+        let id = u128::MAX - 7;
+        let cases = [
+            Response::Ok(vec![1, 2]),
+            Response::Error("boom".into()),
+            Response::Overloaded { retry_after_ms: 9 },
+            Response::DeadlineExceeded,
+            Response::Draining,
+            Response::BadRequest("nope".into()),
+            Response::Pong,
+        ];
+        for resp in cases {
+            let (got_id, got) = Response::decode_with_trace(&resp.encode_with_trace(id)).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(got, resp);
+            // The id-less helpers interoperate: encode() writes id 0.
+            let (zero, _) = Response::decode_with_trace(&resp.encode()).unwrap();
+            assert_eq!(zero, 0);
         }
     }
 
@@ -581,6 +647,7 @@ mod tests {
         // Status::Ok claiming u32::MAX ids in a short payload must fail
         // with Truncated, with allocation capped by the frame limit.
         let mut p = vec![PROTO_VERSION, Status::Ok as u8];
+        p.extend_from_slice(&7u128.to_be_bytes());
         p.extend_from_slice(&u32::MAX.to_be_bytes());
         p.extend_from_slice(&[0u8; 16]);
         assert!(matches!(Response::decode(&p), Err(ProtoError::Truncated)));

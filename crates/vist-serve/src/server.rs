@@ -54,6 +54,13 @@ pub struct ServeConfig {
     /// How long SIGTERM waits for in-flight queries before giving up.
     /// Clamped up to `max_deadline_ms` so a drain always terminates.
     pub drain_deadline_ms: u64,
+    /// Slow-query log threshold in milliseconds; 0 keeps the library
+    /// default ([`vist_obs::slowlog::DEFAULT_THRESHOLD_NANOS`]).
+    pub slow_ms: u64,
+    /// Append one wide-event JSON line per request to this file,
+    /// rotating at [`vist_obs::wide::DEFAULT_MAX_LOG_BYTES`]. The
+    /// in-process ring records regardless.
+    pub access_log: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +72,8 @@ impl Default for ServeConfig {
             query_workers: 1,
             max_deadline_ms: 2_000,
             drain_deadline_ms: 5_000,
+            slow_ms: 0,
+            access_log: None,
         }
     }
 }
@@ -159,6 +168,59 @@ pub fn register_metrics() {
     let _ = vist_obs::gauge!("vist_serve_draining");
     let _ = vist_obs::histogram!("vist_serve_request_nanos");
     let _ = vist_obs::histogram!("vist_serve_queue_wait_nanos");
+    for (name, help) in [
+        (
+            "vist_serve_requests_total",
+            "Requests received (binary + HTTP), including malformed ones.",
+        ),
+        (
+            "vist_serve_admitted_total",
+            "Queries that took an execution slot and ran.",
+        ),
+        (
+            "vist_serve_shed_total",
+            "Queries refused because pool and queue were saturated.",
+        ),
+        (
+            "vist_serve_deadline_expired_total",
+            "Admitted queries that hit their effective deadline mid-match.",
+        ),
+        (
+            "vist_serve_draining_rejected_total",
+            "Requests refused because the server was draining.",
+        ),
+        (
+            "vist_serve_bad_request_total",
+            "Malformed frames and unparsable queries.",
+        ),
+        (
+            "vist_serve_errors_total",
+            "Admitted queries that failed server-side.",
+        ),
+        (
+            "vist_serve_ok_total",
+            "Admitted queries answered successfully.",
+        ),
+        (
+            "vist_serve_inflight",
+            "Queries currently holding an execution slot.",
+        ),
+        (
+            "vist_serve_queue_depth",
+            "Admission waiters currently queued.",
+        ),
+        ("vist_serve_draining", "1 while the server drains, else 0."),
+        (
+            "vist_serve_request_nanos",
+            "Service time per admitted query; buckets carry the last trace id as an exemplar.",
+        ),
+        (
+            "vist_serve_queue_wait_nanos",
+            "Time admitted queries spent waiting for a slot.",
+        ),
+    ] {
+        vist_obs::describe(name, help);
+    }
 }
 
 /// A running server. Dropping the handle does not stop it; call
@@ -208,6 +270,15 @@ impl Server {
     pub fn start(index: Arc<VistIndex>, cfg: ServeConfig) -> io::Result<ServerHandle> {
         register_metrics();
         signal::install_handlers();
+        // Spans feed the tracez retention and /debug/traces; measured
+        // overhead is within the obs budget (see BENCH_obs_overhead).
+        vist_obs::set_tracing(true);
+        if cfg.slow_ms > 0 {
+            vist_obs::slowlog::set_threshold_nanos(cfg.slow_ms.saturating_mul(1_000_000));
+        }
+        if let Some(path) = &cfg.access_log {
+            vist_obs::wide::set_file_sink(path, 0)?;
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -285,6 +356,9 @@ fn drain(shared: &Shared) -> DrainReport {
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
     let mut first = [0u8; 1];
     loop {
         if should_stop(&shared) && shared.gate.is_draining() {
@@ -304,15 +378,15 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
         }
     }
     if first[0] == 0 {
-        serve_binary(stream, &shared);
+        serve_binary(stream, &shared, &peer);
     } else {
-        http::serve_http(stream, &shared);
+        http::serve_http(stream, &shared, &peer);
     }
 }
 
 /// Binary protocol: a sequence of request frames, one response frame
 /// each, until clean EOF or a protocol error.
-fn serve_binary(mut stream: TcpStream, shared: &Shared) {
+fn serve_binary(mut stream: TcpStream, shared: &Shared, peer: &str) {
     loop {
         // Idle-wait on the first byte so read timeouts can never land
         // mid-frame on a healthy client.
@@ -342,45 +416,110 @@ fn serve_binary(mut stream: TcpStream, shared: &Shared) {
             Err(e) => {
                 // Malformed framing: answer structurally, then close —
                 // the stream position is no longer trustworthy.
-                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                vist_obs::counter!("vist_serve_requests_total").inc();
-                vist_obs::counter!("vist_serve_bad_request_total").inc();
-                let resp = Response::BadRequest(e.to_string());
-                let _ = proto::write_frame(&mut stream, &resp.encode());
+                let (trace_id, resp) = bad_binary_request(shared, peer, &e.to_string());
+                let _ = proto::write_frame(&mut stream, &resp.encode_with_trace(trace_id));
                 return;
             }
         };
-        let resp = match Request::decode(&payload) {
-            Ok(req) => handle_request(shared, req),
-            Err(e) => {
-                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                vist_obs::counter!("vist_serve_requests_total").inc();
-                vist_obs::counter!("vist_serve_bad_request_total").inc();
-                Response::BadRequest(e.to_string())
-            }
+        let (trace_id, resp) = match Request::decode(&payload) {
+            Ok(req) => handle_request(shared, req, peer, "binary"),
+            Err(e) => bad_binary_request(shared, peer, &e.to_string()),
         };
-        if proto::write_frame(&mut stream, &resp.encode()).is_err() {
+        if proto::write_frame(&mut stream, &resp.encode_with_trace(trace_id)).is_err() {
             return;
         }
     }
 }
 
+/// Account + wide-event a request that never decoded; even these get a
+/// (minted) trace id so the response frame stays uniform.
+fn bad_binary_request(shared: &Shared, peer: &str, error: &str) -> (u128, Response) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+    vist_obs::counter!("vist_serve_requests_total").inc();
+    vist_obs::counter!("vist_serve_bad_request_total").inc();
+    let trace_id = vist_obs::traceid::mint();
+    vist_obs::WideEvent::new("request")
+        .str_field("trace_id", &vist_obs::traceid::format(trace_id))
+        .str_field("transport", "binary")
+        .str_field("peer", peer)
+        .str_field("outcome", "bad_request")
+        .str_field("error", error)
+        .emit();
+    (trace_id, Response::BadRequest(error.to_string()))
+}
+
+/// Render the per-stage timings of one query as a JSON object.
+fn stages_json(t: &vist_core::StageTimings) -> String {
+    format!(
+        "{{\"translate\":{},\"plan\":{},\"match\":{},\"merge\":{},\"docid\":{},\"verify\":{},\"total\":{}}}",
+        t.translate_nanos,
+        t.plan_nanos,
+        t.match_nanos,
+        t.merge_nanos,
+        t.docid_nanos,
+        t.verify_nanos,
+        t.total_nanos
+    )
+}
+
+/// Render one query's attributed I/O counters as a JSON object.
+fn io_json(s: &vist_core::QueryStats) -> String {
+    format!(
+        "{{\"pool_hits\":{},\"pool_misses\":{},\"pages_read\":{},\"bytes_read\":{},\"wal_appends\":{}}}",
+        s.io_pool_hits, s.io_pool_misses, s.io_pages_read, s.io_bytes_read, s.io_wal_appends
+    )
+}
+
 /// Shared request path for both transports: admission, deadline,
-/// execution, terminal-state accounting.
-pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
+/// execution, terminal-state accounting, and the wide event. Returns
+/// the request's trace id — client-supplied when present, minted here
+/// otherwise — alongside the response; every response (including shed
+/// and draining refusals) carries it back to the client.
+pub(crate) fn handle_request(
+    shared: &Shared,
+    req: Request,
+    peer: &str,
+    transport: &'static str,
+) -> (u128, Response) {
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     vist_obs::counter!("vist_serve_requests_total").inc();
-    let (deadline_ms, verify, no_plan, limit, expr) = match req {
-        Request::Ping => return Response::Pong,
+    let (client_trace_id, deadline_ms, verify, no_plan, limit, expr) = match req {
+        Request::Ping => {
+            let trace_id = vist_obs::traceid::mint();
+            vist_obs::WideEvent::new("request")
+                .str_field("trace_id", &vist_obs::traceid::format(trace_id))
+                .str_field("transport", transport)
+                .str_field("peer", peer)
+                .str_field("op", "ping")
+                .str_field("outcome", "ok")
+                .emit();
+            return (trace_id, Response::Pong);
+        }
         Request::Query {
+            trace_id,
             deadline_ms,
             verify,
             no_plan,
             limit,
             expr,
-        } => (deadline_ms, verify, no_plan, limit, expr),
+        } => (trace_id, deadline_ms, verify, no_plan, limit, expr),
+    };
+    let trace_id = if client_trace_id != 0 {
+        client_trace_id
+    } else {
+        vist_obs::traceid::mint()
+    };
+    // Everything known about the request lands on one of these; each
+    // terminal arm below finishes and emits exactly one.
+    let event = |outcome: &str| {
+        vist_obs::WideEvent::new("request")
+            .str_field("trace_id", &vist_obs::traceid::format(trace_id))
+            .str_field("transport", transport)
+            .str_field("peer", peer)
+            .str_field("op", "query")
+            .str_field("expr", &expr)
+            .str_field("outcome", outcome)
     };
     // Effective budget: the client's ask capped by the server; 0 means
     // "whatever the server allows".
@@ -393,27 +532,30 @@ pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
     let budget = Duration::from_millis(budget_ms);
     let arrival = Instant::now();
     let deadline = arrival + budget;
-    match shared.gate.admit(budget) {
+    let resp = match shared.gate.admit(budget) {
         Admission::Draining => {
             shared
                 .stats
                 .draining_rejected
                 .fetch_add(1, Ordering::Relaxed);
             vist_obs::counter!("vist_serve_draining_rejected_total").inc();
+            event("draining").emit();
             Response::Draining
         }
         Admission::Shed { retry_after } => {
             shared.stats.shed.fetch_add(1, Ordering::Relaxed);
             vist_obs::counter!("vist_serve_shed_total").inc();
-            Response::Overloaded {
-                retry_after_ms: retry_after.as_millis().min(u128::from(u32::MAX)) as u32,
-            }
+            let retry_after_ms = retry_after.as_millis().min(u128::from(u32::MAX)) as u32;
+            event("shed")
+                .u64_field("retry_after_ms", u64::from(retry_after_ms))
+                .emit();
+            Response::Overloaded { retry_after_ms }
         }
         Admission::Admitted { queued } => {
             shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
             vist_obs::counter!("vist_serve_admitted_total").inc();
-            vist_obs::histogram!("vist_serve_queue_wait_nanos")
-                .record(queued.as_nanos().min(u128::from(u64::MAX)) as u64);
+            let queue_wait_nanos = queued.as_nanos().min(u128::from(u64::MAX)) as u64;
+            vist_obs::histogram!("vist_serve_queue_wait_nanos").record(queue_wait_nanos);
             vist_obs::gauge!("vist_serve_inflight").set(shared.gate.inflight() as i64);
             vist_obs::gauge!("vist_serve_queue_depth").set(shared.gate.queued() as i64);
             let started = Instant::now();
@@ -427,18 +569,35 @@ pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
                     Some(limit as usize)
                 },
                 deadline: Some(deadline),
+                trace_id,
                 ..QueryOptions::default()
             };
             let result = shared.index.query(&expr, &opts);
             let service = started.elapsed();
             shared.gate.release(service);
             vist_obs::gauge!("vist_serve_inflight").set(shared.gate.inflight() as i64);
+            let service_nanos = service.as_nanos().min(u128::from(u64::MAX)) as u64;
             vist_obs::histogram!("vist_serve_request_nanos")
-                .record(service.as_nanos().min(u128::from(u64::MAX)) as u64);
+                .record_with_exemplar(service_nanos, trace_id);
+            let admitted_event = |outcome: &str| {
+                event(outcome)
+                    .u64_field("queue_wait_nanos", queue_wait_nanos)
+                    .u64_field("total_nanos", service_nanos)
+            };
             match result {
                 Ok(r) => {
                     shared.stats.ok.fetch_add(1, Ordering::Relaxed);
                     vist_obs::counter!("vist_serve_ok_total").inc();
+                    admitted_event("ok")
+                        .u64_field("docs", r.doc_ids.len() as u64)
+                        .u64_field("candidates", r.candidates as u64)
+                        .u64_field("workers", shared.cfg.query_workers as u64)
+                        .u64_field("work_items", r.stats.work_items)
+                        .u64_field("steals", r.stats.steals)
+                        .u64_field("planner_seqs_pruned", r.stats.planner_seqs_pruned)
+                        .raw_field("stages", &stages_json(&r.timings))
+                        .raw_field("io", &io_json(&r.stats))
+                        .emit();
                     Response::Ok(r.doc_ids)
                 }
                 Err(CoreError::DeadlineExceeded) => {
@@ -447,19 +606,27 @@ pub(crate) fn handle_request(shared: &Shared, req: Request) -> Response {
                         .deadline_expired
                         .fetch_add(1, Ordering::Relaxed);
                     vist_obs::counter!("vist_serve_deadline_expired_total").inc();
+                    admitted_event("deadline").emit();
                     Response::DeadlineExceeded
                 }
                 Err(CoreError::Query(e)) => {
                     shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                     vist_obs::counter!("vist_serve_bad_request_total").inc();
+                    admitted_event("bad_request")
+                        .str_field("error", &e.to_string())
+                        .emit();
                     Response::BadRequest(e.to_string())
                 }
                 Err(e) => {
                     shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                     vist_obs::counter!("vist_serve_errors_total").inc();
+                    admitted_event("error")
+                        .str_field("error", &e.to_string())
+                        .emit();
                     Response::Error(e.to_string())
                 }
             }
         }
-    }
+    };
+    (trace_id, resp)
 }

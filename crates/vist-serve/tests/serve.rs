@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use vist_core::{IndexOptions, VistIndex};
-use vist_serve::proto::{roundtrip, write_frame, Request, Response};
+use vist_serve::proto::{roundtrip, roundtrip_traced, write_frame, Request, Response};
 use vist_serve::{ServeConfig, Server, ServerHandle};
 
 /// A small index: `n` two-author books plus one decoy per book.
@@ -42,6 +42,7 @@ fn connect(h: &ServerHandle) -> TcpStream {
 
 fn query(expr: &str) -> Request {
     Request::Query {
+        trace_id: 0,
         deadline_ms: 0,
         verify: false,
         no_plan: false,
@@ -227,6 +228,213 @@ fn overload_sheds_with_structured_responses() {
     let report = h.join();
     assert!(report.drained_clean);
     assert_eq!(report.stats.shed, stats.shed);
+}
+
+#[test]
+fn binary_responses_carry_trace_ids() {
+    let h = start(index(2), |_| {});
+    let mut s = connect(&h);
+
+    // Server-minted: non-zero, unique per request.
+    let (id1, resp) = roundtrip_traced(&mut s, &query("/book/author")).unwrap();
+    assert!(matches!(resp, Response::Ok(_)));
+    assert_ne!(id1, 0, "response carries no trace id");
+    let (id2, _) = roundtrip_traced(&mut s, &query("/book/author")).unwrap();
+    assert_ne!(id1, id2, "distinct requests share a trace id");
+
+    // Client-supplied: echoed verbatim.
+    let supplied = 0x00C0_FFEE_u128;
+    let req = Request::Query {
+        trace_id: supplied,
+        deadline_ms: 0,
+        verify: false,
+        no_plan: false,
+        limit: 0,
+        expr: "/book/author".to_string(),
+    };
+    let (id, resp) = roundtrip_traced(&mut s, &req).unwrap();
+    assert!(matches!(resp, Response::Ok(_)));
+    assert_eq!(id, supplied);
+
+    // Even a ping reply carries a (minted) id.
+    let (id, resp) = roundtrip_traced(&mut s, &Request::Ping).unwrap();
+    assert_eq!(resp, Response::Pong);
+    assert_ne!(id, 0);
+
+    drop(s);
+    h.request_shutdown();
+    assert!(h.join().drained_clean);
+}
+
+/// Pull one `Name: value` header out of a raw HTTP response.
+fn header_of(resp: &str, name: &str) -> Option<String> {
+    resp.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        if k.eq_ignore_ascii_case(name) {
+            Some(v.trim().to_string())
+        } else {
+            None
+        }
+    })
+}
+
+fn http_get_with_header(h: &ServerHandle, target: &str, header: &str) -> String {
+    let mut s = connect(h);
+    s.write_all(format!("GET {target} HTTP/1.1\r\nHost: test\r\n{header}\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+#[test]
+fn http_trace_ids_resolve_via_debug_traces() {
+    let h = start(index(4), |_| {});
+
+    // Server-minted id: header and JSON body agree, and the id resolves
+    // to a retained span tree. Other tests flood tracez concurrently
+    // (its recent ring is process-global and bounded), so retry with a
+    // fresh query if the trace aged out before we fetched it.
+    let mut resolved = None;
+    for _ in 0..10 {
+        let r = http_get(&h, "/query?q=%2Fbook%2Fauthor");
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        let hex = header_of(&r, "X-Vist-Trace-Id").expect("response lacks X-Vist-Trace-Id");
+        assert_eq!(hex.len(), 32, "{hex}");
+        assert!(r.contains(&format!("\"trace_id\":\"{hex}\"")), "{r}");
+        let t = http_get(&h, &format!("/debug/traces?id={hex}"));
+        if t.starts_with("HTTP/1.1 200") {
+            resolved = Some((hex, t));
+            break;
+        }
+    }
+    let (hex, t) = resolved.expect("no query's trace id resolved via /debug/traces");
+    assert!(t.contains(&format!("\"trace_id\":\"{hex}\"")), "{t}");
+    assert!(t.contains("\"label\":\"/book/author\""), "{t}");
+    assert!(t.contains("\"root\":{"), "{t}");
+    assert!(t.contains("\"name\":\"query\""), "{t}");
+
+    // Client-supplied header: echoed verbatim and listed.
+    let supplied = "000102030405060708090a0b0c0d0e0f";
+    let r = http_get_with_header(
+        &h,
+        "/query?q=%2Fbook%2Fauthor",
+        &format!("x-vist-trace-id: {supplied}"),
+    );
+    assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+    assert_eq!(header_of(&r, "X-Vist-Trace-Id").as_deref(), Some(supplied));
+
+    // Unknown (random) id: structured 404.
+    let miss = http_get(&h, "/debug/traces?id=deadbeefdeadbeefdeadbeefdeadbeef");
+    assert!(miss.starts_with("HTTP/1.1 404"), "{miss}");
+
+    // The listing is well-formed and has both retention sets.
+    let l = http_get(&h, "/debug/traces");
+    assert!(l.starts_with("HTTP/1.1 200"), "{l}");
+    assert!(l.contains("\"recent\":["), "{l}");
+    assert!(l.contains("\"slowest\":["), "{l}");
+
+    h.request_shutdown();
+    assert!(h.join().drained_clean);
+}
+
+#[test]
+fn access_log_and_slow_ms() {
+    let dir = std::env::temp_dir().join(format!("vist_serve_log_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("access.log");
+    // slow_ms high enough that loopback queries stay under it.
+    let h = start(index(4), |cfg| {
+        cfg.access_log = Some(log_path.to_str().unwrap().to_string());
+        cfg.slow_ms = 600_000;
+    });
+    assert_eq!(
+        vist_obs::slowlog::threshold_nanos(),
+        600_000 * 1_000_000,
+        "--slow-ms did not reach the slow-query log"
+    );
+
+    let supplied = 0x0051_071D_u128;
+    let mut s = connect(&h);
+    let (id, resp) = roundtrip_traced(
+        &mut s,
+        &Request::Query {
+            trace_id: supplied,
+            deadline_ms: 0,
+            verify: false,
+            no_plan: false,
+            limit: 0,
+            expr: "/book/author".to_string(),
+        },
+    )
+    .unwrap();
+    assert!(matches!(resp, Response::Ok(_)));
+    assert_eq!(id, supplied);
+    let hex = vist_obs::traceid::format(supplied);
+
+    // Below threshold: the slow-query ring did not record it.
+    assert!(
+        !vist_obs::slowlog::entries()
+            .iter()
+            .any(|e| e.trace_id == supplied),
+        "fast query landed in the slow log despite a 600s threshold"
+    );
+
+    // Above threshold (0 = record everything): the entry appears, keyed
+    // by the request's trace id, with attributed I/O counters.
+    vist_obs::slowlog::set_threshold_nanos(0);
+    let above = 0x0051_072D_u128;
+    let (_, resp) = roundtrip_traced(
+        &mut s,
+        &Request::Query {
+            trace_id: above,
+            deadline_ms: 0,
+            verify: false,
+            no_plan: false,
+            limit: 0,
+            expr: "/book/author".to_string(),
+        },
+    )
+    .unwrap();
+    assert!(matches!(resp, Response::Ok(_)));
+    let entry = vist_obs::slowlog::entries()
+        .into_iter()
+        .find(|e| e.trace_id == above)
+        .expect("zero threshold records every query");
+    assert_eq!(entry.query, "/book/author");
+    assert!(entry.counters.iter().any(|(k, _)| *k == "io_pool_hits"));
+    vist_obs::slowlog::set_threshold_nanos(vist_obs::slowlog::DEFAULT_THRESHOLD_NANOS);
+
+    // The access log got one parseable wide-event line for the request.
+    let mut logged = None;
+    for _ in 0..50 {
+        let text = std::fs::read_to_string(&log_path).unwrap_or_default();
+        if let Some(line) = text.lines().find(|l| l.contains(&hex)) {
+            logged = Some(line.to_string());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let line = logged.expect("request's trace id never appeared in the access log");
+    assert!(line.starts_with("{\"event\":\"request\""), "{line}");
+    assert!(line.ends_with('}'), "{line}");
+    assert!(line.contains("\"transport\":\"binary\""), "{line}");
+    assert!(line.contains("\"expr\":\"/book/author\""), "{line}");
+    assert!(line.contains("\"outcome\":\"ok\""), "{line}");
+    assert!(line.contains("\"io\":{\"pool_hits\":"), "{line}");
+    assert!(line.contains("\"stages\":{\"translate\":"), "{line}");
+
+    // The same line is in the in-process ring.
+    assert!(
+        vist_obs::wide::recent().iter().any(|l| l.contains(&hex)),
+        "wide-event ring is missing the request"
+    );
+
+    drop(s);
+    h.request_shutdown();
+    assert!(h.join().drained_clean);
+    vist_obs::wide::clear_file_sink();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -287,12 +287,14 @@ impl BufferPool {
                 shard.uncontended_hits.fetch_add(1, Ordering::Relaxed);
             }
             vist_obs::counter!("vist_storage_pool_hit_total").inc();
+            vist_obs::attr::charge_pool_hit();
             frame.referenced.store(true, Ordering::Relaxed);
             frame.pins.fetch_add(1, Ordering::Acquire);
             return Ok(Arc::clone(frame));
         }
         shard.misses.fetch_add(1, Ordering::Relaxed);
         vist_obs::counter!("vist_storage_pool_miss_total").inc();
+        vist_obs::attr::charge_pool_miss();
         if inner.ring.len() >= inner.capacity {
             self.evict_one(shard, &mut inner)?;
         }
@@ -300,6 +302,7 @@ impl BufferPool {
         let t = vist_obs::now();
         self.pager.lock().read(pid, &mut buf)?;
         vist_obs::observe_since(vist_obs::histogram!("vist_storage_page_read_nanos"), t);
+        vist_obs::attr::charge_page_read(self.page_size as u64);
         let frame = Arc::new(Frame {
             pid,
             data: Arc::new(RwLock::new(buf)),

@@ -257,6 +257,7 @@ impl FilePager {
         vist_obs::observe_since(vist_obs::histogram!("vist_storage_wal_append_nanos"), t);
         self.stats.wal_appends += 1;
         vist_obs::counter!("vist_storage_wal_append_total").inc();
+        vist_obs::attr::charge_wal_append();
         self.pending.insert(id, off);
         Ok(())
     }

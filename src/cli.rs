@@ -149,7 +149,8 @@ pub enum Command {
         dump: bool,
     },
     /// `vist serve <index> [--addr H:P] [--max-inflight N] [--queue-depth N]
-    /// [--query-workers N] [--max-deadline-ms N] [--drain-deadline-ms N]`
+    /// [--query-workers N] [--max-deadline-ms N] [--drain-deadline-ms N]
+    /// [--slow-ms N] [--access-log FILE]`
     Serve {
         /// Index file path.
         index: PathBuf,
@@ -165,6 +166,18 @@ pub enum Command {
         max_deadline_ms: u64,
         /// How long SIGTERM waits for in-flight queries.
         drain_deadline_ms: u64,
+        /// Slow-query log threshold in ms (0 keeps the 50ms default).
+        slow_ms: u64,
+        /// Wide-event access log path (one JSON line per request).
+        access_log: Option<PathBuf>,
+    },
+    /// `vist traces [--addr H:P] [<trace-id>]`
+    Traces {
+        /// Server address whose `/debug/traces` endpoint to query.
+        addr: String,
+        /// Resolve one 32-hex-digit trace id to its span tree instead
+        /// of listing the retained traces.
+        id: Option<String>,
     },
     /// `vist bench-serve [--addr H:P] [--expr E] [--deadline-ms N]
     /// [--clients N] [--burst-clients N] [--duration-ms N] [--smoke]
@@ -242,6 +255,8 @@ USAGE:
                [--page-size N] [--lambda N] [--mutate scope-off-by-one] [--dump]
   vist serve   <index> [--addr H:P] [--max-inflight N] [--queue-depth N]
                [--query-workers N] [--max-deadline-ms N] [--drain-deadline-ms N]
+               [--slow-ms N] [--access-log FILE]
+  vist traces  [--addr H:P] [<trace-id>]
   vist bench-serve [--addr H:P] [--expr E] [--deadline-ms N] [--clients N]
                [--burst-clients N] [--duration-ms N] [--smoke] [--out FILE]
 
@@ -253,7 +268,7 @@ SERVING (see docs/SERVING.md):
                        drains in-flight queries then flushes and exits 0
   bench-serve          closed-loop load generator: uncontended baseline,
                        capacity load, then an overload burst; reports exact
-                       p50/p99/p999 latencies and shed rate as JSON
+                       p50/p95/p99/p999 latencies and shed rate as JSON
   query --deadline-ms  cooperative per-query budget: past it the engine stops
                        at the next work-item and reports 'deadline exceeded'
 
@@ -274,12 +289,21 @@ QUERY PLANNING (ViST §3.4 statistical clues):
                        estimated vs actual cardinalities per step, and the
                        chosen DocId resolution strategy
 
-OBSERVABILITY:
+OBSERVABILITY (see docs/OBSERVABILITY.md):
   query --trace        print the hierarchical span tree of one execution
   stats --format       emit the process-wide metrics registry (counters,
-                       gauges, latency histograms) as JSON or Prometheus text
+                       gauges, latency histograms with p50/p90/p95/p99/p999
+                       and trace-id exemplars) as JSON or Prometheus text
   profile              replay a query workload and print a per-query latency
                        table with stage timings, plus the slow-query log
+  serve --access-log   one wide-event JSON line per request (trace id, peer,
+                       admission wait, stage timings, attributed I/O,
+                       outcome), size-rotated at 16 MiB
+  serve --slow-ms      slow-query log threshold for served queries
+  traces               fetch a server's retained traces (/debug/traces):
+                       head-sampled recent ring + always-kept slowest; pass a
+                       trace id (every response carries one, header
+                       X-Vist-Trace-Id over HTTP) for its full span tree
 
 TIERED STORAGE (see docs/SEGMENTS.md):
   load                 bulk-load a batch through external sort into one
@@ -554,6 +578,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .map(|v| v.parse().map_err(|_| "bad --drain-deadline-ms".to_string()))
                 .transpose()?
                 .unwrap_or(defaults.drain_deadline_ms);
+            let slow_ms = take_opt(&mut rest, "--slow-ms")?
+                .map(|v| v.parse().map_err(|_| "bad --slow-ms".to_string()))
+                .transpose()?
+                .unwrap_or(defaults.slow_ms);
+            let access_log = take_opt(&mut rest, "--access-log")?.map(PathBuf::from);
             let [index] = rest.as_slice() else {
                 return Err("serve: expected exactly one index path".into());
             };
@@ -565,7 +594,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 query_workers,
                 max_deadline_ms,
                 drain_deadline_ms,
+                slow_ms,
+                access_log,
             })
+        }
+        "traces" => {
+            let addr = take_opt(&mut rest, "--addr")?
+                .unwrap_or_else(|| vist_serve::ServeConfig::default().addr);
+            let id = match rest.as_slice() {
+                [] => None,
+                [id] => Some((*id).clone()),
+                _ => return Err("traces: expected at most one trace id".into()),
+            };
+            Ok(Command::Traces { addr, id })
         }
         "bench-serve" => {
             let addr = take_opt(&mut rest, "--addr")?
@@ -959,6 +1000,20 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 vist_obs::format_nanos(total_nanos)
             )
             .unwrap();
+            let mut totals: Vec<u64> = rows.iter().map(|(_, _, t)| t.total_nanos).collect();
+            totals.sort_unstable();
+            let q = |p: f64| vist_obs::format_nanos(vist_obs::percentile::nearest_rank(&totals, p));
+            writeln!(
+                out,
+                "per-query latency: p50 {}  p90 {}  p95 {}  p99 {}  p999 {}  max {}",
+                q(0.50),
+                q(0.90),
+                q(0.95),
+                q(0.99),
+                q(0.999),
+                vist_obs::format_nanos(totals.last().copied().unwrap_or(0)),
+            )
+            .unwrap();
 
             writeln!(
                 out,
@@ -1046,6 +1101,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
             query_workers,
             max_deadline_ms,
             drain_deadline_ms,
+            slow_ms,
+            access_log,
         } => {
             let idx = std::sync::Arc::new(open(&index)?);
             let cfg = vist_serve::ServeConfig {
@@ -1055,6 +1112,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 query_workers,
                 max_deadline_ms,
                 drain_deadline_ms,
+                slow_ms,
+                access_log: access_log.map(|p| p.to_string_lossy().into_owned()),
             };
             let handle = vist_serve::Server::start(idx, cfg).map_err(|e| e.to_string())?;
             // Announce readiness immediately — run() only returns its
@@ -1088,6 +1147,24 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 return Err(format!("{summary}final flush failed"));
             }
             Ok(summary)
+        }
+        Command::Traces { addr, id } => {
+            let target = match &id {
+                Some(id) => {
+                    if vist_obs::traceid::parse(id).is_none() {
+                        return Err(format!(
+                            "traces: '{id}' is not a trace id (expected up to 32 hex digits)"
+                        ));
+                    }
+                    format!("/debug/traces?id={id}")
+                }
+                None => "/debug/traces".to_string(),
+            };
+            let (status, body) = http_get(&addr, &target)?;
+            if status != 200 {
+                return Err(format!("traces: {addr} answered {status}: {body}"));
+            }
+            Ok(format!("{body}\n"))
         }
         Command::BenchServe {
             addr,
@@ -1127,7 +1204,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 let _ = writeln!(
                     text,
                     "{:<9} {:>3} client(s): {:>6} req ({} ok, {} shed, {} expired) \
-                     p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms shed-rate {:.1}%",
+                     p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms p999 {:.2}ms shed-rate {:.1}%",
                     p.name,
                     p.clients,
                     p.requests,
@@ -1135,6 +1212,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     p.shed,
                     p.deadline_expired,
                     p.p50_ns as f64 / 1e6,
+                    p.p95_ns as f64 / 1e6,
                     p.p99_ns as f64 / 1e6,
                     p.p999_ns as f64 / 1e6,
                     p.shed_rate() * 100.0,
@@ -1154,6 +1232,32 @@ pub fn run(cmd: Command) -> Result<String, String> {
             Ok(text)
         }
     }
+}
+
+/// Minimal HTTP GET against a `vist serve` instance (it answers one
+/// request per connection and closes). Returns `(status, body)`.
+fn http_get(addr: &str, target: &str) -> Result<(u16, String), String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e} (is 'vist serve' running?)"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: vist\r\n\r\n").as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map_or("", |(_, b)| b)
+        .to_string();
+    Ok((status, body))
 }
 
 /// Write `s` to `w`. `Ok(false)` means the reader hung up
@@ -1946,7 +2050,8 @@ mod tests {
     fn parse_serve() {
         let c = parse_args(&argv(
             "serve idx --addr 127.0.0.1:0 --max-inflight 2 --queue-depth 3 \
-             --query-workers 4 --max-deadline-ms 500 --drain-deadline-ms 900",
+             --query-workers 4 --max-deadline-ms 500 --drain-deadline-ms 900 \
+             --slow-ms 25 --access-log access.jsonl",
         ))
         .unwrap();
         assert_eq!(
@@ -1959,6 +2064,8 @@ mod tests {
                 query_workers: 4,
                 max_deadline_ms: 500,
                 drain_deadline_ms: 900,
+                slow_ms: 25,
+                access_log: Some(PathBuf::from("access.jsonl")),
             }
         );
         // Defaults fill in everything but the index path.
@@ -1967,6 +2074,8 @@ mod tests {
                 index,
                 queue_depth,
                 max_deadline_ms,
+                slow_ms,
+                access_log,
                 ..
             } => {
                 assert_eq!(index, PathBuf::from("idx"));
@@ -1975,11 +2084,41 @@ mod tests {
                     max_deadline_ms,
                     vist_serve::ServeConfig::default().max_deadline_ms
                 );
+                assert_eq!(slow_ms, 0);
+                assert_eq!(access_log, None);
             }
             other => panic!("{other:?}"),
         }
         assert!(parse_args(&argv("serve")).is_err());
         assert!(parse_args(&argv("serve idx --max-inflight lots")).is_err());
+        assert!(parse_args(&argv("serve idx --slow-ms soon")).is_err());
+        assert!(parse_args(&argv("serve idx --access-log")).is_err());
+    }
+
+    #[test]
+    fn parse_traces() {
+        assert_eq!(
+            parse_args(&argv("traces --addr 127.0.0.1:9 00ff")).unwrap(),
+            Command::Traces {
+                addr: "127.0.0.1:9".into(),
+                id: Some("00ff".into()),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("traces")).unwrap(),
+            Command::Traces {
+                addr: vist_serve::ServeConfig::default().addr,
+                id: None,
+            }
+        );
+        assert!(parse_args(&argv("traces a b")).is_err());
+        // A malformed id is rejected before any connection attempt.
+        let err = run(Command::Traces {
+            addr: "127.0.0.1:1".into(),
+            id: Some("not-hex".into()),
+        })
+        .unwrap_err();
+        assert!(err.contains("not a trace id"), "{err}");
     }
 
     #[test]
