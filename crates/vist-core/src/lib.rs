@@ -34,6 +34,7 @@
 mod alloc;
 mod error;
 mod extsort;
+mod ingest;
 mod naive;
 mod pool;
 mod rist;
@@ -54,7 +55,9 @@ pub use search::{
     PlanReport, PruneReason, QueryStats, SearchMode, SearchOptions, SearchOutcome, SearchSource,
     SeqPlan, SourceTotals, StageTimings, StepPlan,
 };
-pub use stats::{IndexStats, MatchCounters, MatchCountersSnapshot};
+pub use stats::{
+    IndexStats, IngestCounters, IngestCountersSnapshot, MatchCounters, MatchCountersSnapshot,
+};
 pub use store::{DocId, NodeState, Store, StoreBreakdown};
 pub use trie::{Trie, TrieNode};
 pub use vist::{IndexOptions, QueryOptions, QueryResult, VistIndex};
@@ -79,6 +82,15 @@ pub fn register_metrics() {
     let _ = vist_obs::gauge!("vist_core_delta_leaf_fill_bp");
     let _ = vist_obs::gauge!("vist_core_segment_leaf_fill_bp");
     let _ = vist_obs::counter!("vist_core_bulk_docs_total");
+    let _ = vist_obs::counter!("vist_core_ingest_batches_total");
+    let _ = vist_obs::counter!("vist_core_ingest_docs_total");
+    let _ = vist_obs::counter!("vist_core_ingest_dkey_cache_hits_total");
+    let _ = vist_obs::counter!("vist_core_ingest_dkey_cache_misses_total");
+    let _ = vist_obs::counter!("vist_core_ingest_edge_cache_hits_total");
+    let _ = vist_obs::counter!("vist_core_ingest_edge_cache_misses_total");
+    let _ = vist_obs::histogram!("vist_core_ingest_prepare_nanos");
+    let _ = vist_obs::histogram!("vist_core_ingest_apply_nanos");
+    let _ = vist_obs::histogram!("vist_core_ingest_commit_nanos");
     let _ = vist_obs::counter!("vist_core_compactions_total");
     let _ = vist_obs::histogram!("vist_core_query_nanos");
     let _ = vist_obs::histogram!("vist_core_insert_nanos");

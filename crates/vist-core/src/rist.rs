@@ -138,6 +138,12 @@ impl RistIndex {
             match_planner_probes: mc.planner_probes,
             match_planner_probe_prunes: mc.planner_probe_prunes,
             match_planner_docid_sweeps: mc.planner_docid_sweeps,
+            ingest_batches: 0,
+            ingest_batch_docs: 0,
+            ingest_dkey_cache_hits: 0,
+            ingest_dkey_cache_misses: 0,
+            ingest_edge_cache_hits: 0,
+            ingest_edge_cache_misses: 0,
             store_bytes: self.store.store_bytes(),
             io: self.store.pool().stats(),
             pool: self.store.pool().pool_stats(),

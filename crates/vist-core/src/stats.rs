@@ -52,6 +52,18 @@ pub struct IndexStats {
     /// DocId resolutions where the planner chose the keyed sweep over
     /// per-scope range jumps, across all queries.
     pub match_planner_docid_sweeps: u64,
+    /// Group-commit ingest batches applied ([`crate::VistIndex::insert_batch`]).
+    pub ingest_batches: u64,
+    /// Documents ingested through batches (a subset of `documents`).
+    pub ingest_batch_docs: u64,
+    /// D-Ancestor key lookups answered by a batch's private dkey cache.
+    pub ingest_dkey_cache_hits: u64,
+    /// D-Ancestor key lookups a batch had to send to the B+Tree.
+    pub ingest_dkey_cache_misses: u64,
+    /// Trie-edge child lookups answered by a batch's private edge cache.
+    pub ingest_edge_cache_hits: u64,
+    /// Trie-edge child lookups a batch had to send to the B+Tree.
+    pub ingest_edge_cache_misses: u64,
     /// Total bytes of the backing store (the "index size" of Figure 11a).
     pub store_bytes: u64,
     /// Cumulative I/O counters of the shared buffer pool — **since the
@@ -114,6 +126,71 @@ impl MatchCounters {
     }
 }
 
+/// Cumulative batched-ingest counters, recorded once per
+/// [`crate::VistIndex::insert_batch`] group commit. Atomics because
+/// batches run under `&self`.
+#[derive(Debug, Default)]
+pub struct IngestCounters {
+    batches: AtomicU64,
+    docs: AtomicU64,
+    dkey_cache_hits: AtomicU64,
+    dkey_cache_misses: AtomicU64,
+    edge_cache_hits: AtomicU64,
+    edge_cache_misses: AtomicU64,
+}
+
+impl IngestCounters {
+    /// Fold one committed batch into the running totals.
+    pub fn record_batch(
+        &self,
+        docs: u64,
+        dkey_cache_hits: u64,
+        dkey_cache_misses: u64,
+        edge_cache_hits: u64,
+        edge_cache_misses: u64,
+    ) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.docs.fetch_add(docs, Ordering::Relaxed);
+        self.dkey_cache_hits
+            .fetch_add(dkey_cache_hits, Ordering::Relaxed);
+        self.dkey_cache_misses
+            .fetch_add(dkey_cache_misses, Ordering::Relaxed);
+        self.edge_cache_hits
+            .fetch_add(edge_cache_hits, Ordering::Relaxed);
+        self.edge_cache_misses
+            .fetch_add(edge_cache_misses, Ordering::Relaxed);
+    }
+
+    /// The running totals so far.
+    pub fn snapshot(&self) -> IngestCountersSnapshot {
+        IngestCountersSnapshot {
+            batches: self.batches.load(Ordering::Relaxed),
+            docs: self.docs.load(Ordering::Relaxed),
+            dkey_cache_hits: self.dkey_cache_hits.load(Ordering::Relaxed),
+            dkey_cache_misses: self.dkey_cache_misses.load(Ordering::Relaxed),
+            edge_cache_hits: self.edge_cache_hits.load(Ordering::Relaxed),
+            edge_cache_misses: self.edge_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time values of [`IngestCounters`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IngestCountersSnapshot {
+    /// Group-commit batches applied.
+    pub batches: u64,
+    /// Documents ingested through batches.
+    pub docs: u64,
+    /// Dkey lookups answered by a batch's private cache.
+    pub dkey_cache_hits: u64,
+    /// Dkey lookups sent to the B+Tree.
+    pub dkey_cache_misses: u64,
+    /// Edge lookups answered by a batch's private cache.
+    pub edge_cache_hits: u64,
+    /// Edge lookups sent to the B+Tree.
+    pub edge_cache_misses: u64,
+}
+
 /// Point-in-time values of [`MatchCounters`]. A named struct (not a
 /// tuple) so call sites can't transpose counters when new ones are
 /// added.
@@ -161,12 +238,36 @@ mod tests {
             match_planner_probes: 0,
             match_planner_probe_prunes: 0,
             match_planner_docid_sweeps: 0,
+            ingest_batches: 0,
+            ingest_batch_docs: 0,
+            ingest_dkey_cache_hits: 0,
+            ingest_dkey_cache_misses: 0,
+            ingest_edge_cache_hits: 0,
+            ingest_edge_cache_misses: 0,
             store_bytes: 4096,
             io: IoStats::default(),
             pool: PoolStats::default(),
         };
         let s2 = s.clone();
         assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn ingest_counters_accumulate() {
+        let c = IngestCounters::default();
+        c.record_batch(3, 10, 2, 20, 4);
+        c.record_batch(1, 5, 1, 10, 2);
+        assert_eq!(
+            c.snapshot(),
+            IngestCountersSnapshot {
+                batches: 2,
+                docs: 4,
+                dkey_cache_hits: 15,
+                dkey_cache_misses: 3,
+                edge_cache_hits: 30,
+                edge_cache_misses: 6,
+            }
+        );
     }
 
     #[test]

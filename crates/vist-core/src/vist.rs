@@ -29,12 +29,13 @@ use vist_xml::Document;
 use crate::alloc::{Allocation, AllocatorKind, ScopeAllocator, SimMutation};
 use crate::error::{Error, Result};
 use crate::extsort::DEFAULT_SORT_BUDGET;
+use crate::ingest::IngestCache;
 use crate::search::{
     search_sequences_opts, DocIdStrategy, PruneReason, QueryStats, SearchMode, SearchOptions,
     StageTimings,
 };
 use crate::segment::{Segment, SegmentBuilder};
-use crate::stats::{IndexStats, MatchCounters};
+use crate::stats::{IndexStats, IngestCounters, MatchCounters};
 use crate::store::{DocId, NodeState, Store, StoreBreakdown};
 
 /// Configuration for creating an index.
@@ -172,20 +173,24 @@ pub struct QueryResult {
 /// See the crate docs for an end-to-end example, and the module docs for
 /// the concurrency contract (`Arc<VistIndex>` + `&self` everywhere).
 pub struct VistIndex {
-    store: Store,
+    pub(crate) store: Store,
     /// Symbol table shared by data and queries. Writers intern new names
     /// under the write lock; queries translate under the read lock.
-    table: RwLock<SymbolTable>,
-    order: SiblingOrder,
+    pub(crate) table: RwLock<SymbolTable>,
+    pub(crate) order: SiblingOrder,
     alloc: Mutex<ScopeAllocator>,
     /// Serializes all mutations (inserts, removes, flushes). Top of the
     /// lock hierarchy: writer → maintenance → table → (btree/pool locks).
-    writer: Mutex<()>,
+    pub(crate) writer: Mutex<()>,
     /// Readers hold this shared; `remove_document` holds it exclusively
     /// because B+Tree deletion frees pages and is not reader-safe.
-    maintenance: RwLock<()>,
+    /// `insert_batch` also holds it exclusively across its apply phase so
+    /// readers never observe a torn (partially applied) batch.
+    pub(crate) maintenance: RwLock<()>,
     /// Cumulative parallel-match counters across all queries.
     match_counters: MatchCounters,
+    /// Cumulative batched-ingest counters across all `insert_batch` calls.
+    pub(crate) ingest_counters: IngestCounters,
     /// Tiered storage: immutable packed segments beneath the mutable
     /// delta. `None` for in-memory and pool-provided indexes, which stay
     /// single-tier.
@@ -347,6 +352,7 @@ impl VistIndex {
             writer: Mutex::new(()),
             maintenance: RwLock::new(()),
             match_counters: MatchCounters::default(),
+            ingest_counters: IngestCounters::default(),
             tier: None,
         })
     }
@@ -455,6 +461,7 @@ impl VistIndex {
             writer: Mutex::new(()),
             maintenance: RwLock::new(()),
             match_counters: MatchCounters::default(),
+            ingest_counters: IngestCounters::default(),
             tier: None,
         })
     }
@@ -548,6 +555,7 @@ impl VistIndex {
     pub fn stats(&self) -> IndexStats {
         let meta = self.store.meta();
         let mc = self.match_counters.snapshot();
+        let ic = self.ingest_counters.snapshot();
         vist_obs::gauge!("vist_core_documents")
             .set(i64::try_from(meta.doc_count).unwrap_or(i64::MAX));
         let segments = self.segments_snapshot();
@@ -577,6 +585,12 @@ impl VistIndex {
             match_planner_probes: mc.planner_probes,
             match_planner_probe_prunes: mc.planner_probe_prunes,
             match_planner_docid_sweeps: mc.planner_docid_sweeps,
+            ingest_batches: ic.batches,
+            ingest_batch_docs: ic.docs,
+            ingest_dkey_cache_hits: ic.dkey_cache_hits,
+            ingest_dkey_cache_misses: ic.dkey_cache_misses,
+            ingest_edge_cache_hits: ic.edge_cache_hits,
+            ingest_edge_cache_misses: ic.edge_cache_misses,
             store_bytes: self.store.store_bytes(),
             io: self.store.pool().stats(),
             pool: self.store.pool().pool_stats(),
@@ -649,17 +663,25 @@ impl VistIndex {
     pub fn flush(&self) -> Result<()> {
         bg_op("checkpoint", || {
             let _w = self.writer.lock();
-            let model = match &self.alloc.lock().kind {
-                AllocatorKind::WithClues(model) => Some(model.clone()),
-                AllocatorKind::NoClues => None,
-            };
-            if let Some(model) = model {
-                self.store.save_stats_model(&model)?;
-            }
-            let table = self.table.read().clone();
-            self.store.flush(&table, &self.order)?;
-            Ok(())
+            self.checkpoint_locked()
         })
+    }
+
+    /// Full checkpoint under an already-held writer lock: persist a
+    /// `WithClues` allocator's statistics model, then flush the delta. The
+    /// WAL commit record this writes is the durability point for
+    /// everything applied since the previous checkpoint — the group-commit
+    /// path ([`VistIndex::insert_batch`]) relies on that by applying a
+    /// whole batch and then calling this once.
+    pub(crate) fn checkpoint_locked(&self) -> Result<()> {
+        let model = match &self.alloc.lock().kind {
+            AllocatorKind::WithClues(model) => Some(model.clone()),
+            AllocatorKind::NoClues => None,
+        };
+        if let Some(model) = model {
+            self.store.save_stats_model(&model)?;
+        }
+        self.flush_locked()
     }
 
     /// Flush the delta store under an already-held writer lock, persisting
@@ -957,6 +979,20 @@ impl VistIndex {
 
     /// Core of Algorithm 4. Caller must hold `self.writer`.
     fn insert_sequence_locked(&self, seq: &Sequence, xml: Option<&str>) -> Result<DocId> {
+        self.insert_sequence_cached(seq, xml, None)
+    }
+
+    /// [`VistIndex::insert_sequence_locked`] with an optional per-batch
+    /// cache (see [`IngestCache`]): repeated dkey lookups and trie-edge
+    /// probes — the bulk of the B+Tree traffic for structure-sharing
+    /// corpora — are answered from the cache instead of the trees. Caller
+    /// must hold `self.writer`; the cache must not outlive it.
+    pub(crate) fn insert_sequence_cached(
+        &self,
+        seq: &Sequence,
+        xml: Option<&str>,
+        mut cache: Option<&mut IngestCache>,
+    ) -> Result<DocId> {
         let (doc_id, store_documents, root_state) = {
             let mut meta = self.store.meta_mut();
             let id = meta.next_doc;
@@ -981,13 +1017,13 @@ impl VistIndex {
                 .as_concrete()
                 .ok_or_else(|| Error::Corrupt("wildcard in data sequence".into()))?;
             let key = dkey::encode(elem.sym, &prefix);
-            let dkid = self.store.dkey_get_or_create(&key)?;
+            let dkid = self.dkid_cached(&key, cache.as_deref_mut())?;
 
             // Follow an existing branch if there is one (Algorithm 4:
             // "search in e for scope r such that r is an immediate child of
             // s"), checking every incarnation of the parent.
             let head_n = chain.last().expect("chain non-empty").head_n;
-            if let Some(child_n) = self.find_child(head_n, dkid)? {
+            if let Some(child_n) = self.find_child_cached(head_n, dkid, cache.as_deref_mut())? {
                 let state = self
                     .store
                     .node_get(dkid, child_n)?
@@ -1022,6 +1058,12 @@ impl VistIndex {
                     chain.last_mut().expect("non-empty").state = pstate;
                     self.store.node_put(dkid, &state)?;
                     self.store.edge_put(parent_inc_n, dkid, state.n)?;
+                    // The fresh edge is keyed under the chain head, which is
+                    // where `find_child` starts, so future batch documents
+                    // resolve it from the cache.
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.edges.insert((head_n, dkid), state.n);
+                    }
                     self.store.meta_mut().node_count += 1;
                     self.store.stats_node_added(dkid);
                     if let Loc::Node(pd) = ploc {
@@ -1037,7 +1079,8 @@ impl VistIndex {
                 Allocation::Underflow => {
                     // Scope underflow (paper §3.4.1), resolved *soundly* by
                     // node incarnations — see `grow_and_insert_tail`.
-                    let (last_n, last_dkid) = self.grow_and_insert_tail(&mut chain, &seq.0[i..])?;
+                    let (last_n, last_dkid) =
+                        self.grow_and_insert_tail(&mut chain, &seq.0[i..], cache)?;
                     self.store.docid_put(last_n, doc_id)?;
                     if let Some(dk) = last_dkid {
                         self.store.stats_doc_added(dk);
@@ -1055,6 +1098,47 @@ impl VistIndex {
             self.store.stats_doc_added(dk);
         }
         Ok(doc_id)
+    }
+
+    /// [`VistIndex::find_child`] through an optional per-batch edge cache.
+    /// Only positive results are cached: an edge, once present, is never
+    /// modified or removed while the writer lock is held, so a cached hit
+    /// can never go stale within a batch — but an absent edge may appear.
+    fn find_child_cached(
+        &self,
+        head_n: u128,
+        dkid: u64,
+        cache: Option<&mut IngestCache>,
+    ) -> Result<Option<u128>> {
+        let Some(c) = cache else {
+            return self.find_child(head_n, dkid);
+        };
+        if let Some(&n) = c.edges.get(&(head_n, dkid)) {
+            c.edge_hits += 1;
+            return Ok(Some(n));
+        }
+        c.edge_misses += 1;
+        let found = self.find_child(head_n, dkid)?;
+        if let Some(n) = found {
+            c.edges.insert((head_n, dkid), n);
+        }
+        Ok(found)
+    }
+
+    /// `Store::dkey_get_or_create` through an optional per-batch cache.
+    /// Dkey ids are append-only, so cached entries can never go stale.
+    fn dkid_cached(&self, key: &[u8], cache: Option<&mut IngestCache>) -> Result<u64> {
+        let Some(c) = cache else {
+            return self.store.dkey_get_or_create(key);
+        };
+        if let Some(&id) = c.dkeys.get(key) {
+            c.dkey_hits += 1;
+            return Ok(id);
+        }
+        c.dkey_misses += 1;
+        let id = self.store.dkey_get_or_create(key)?;
+        c.dkeys.insert(key.to_vec(), id);
+        Ok(id)
     }
 
     /// Find the child of a node for `dkid`, following the node's overflow
@@ -1091,6 +1175,7 @@ impl VistIndex {
         &self,
         chain: &mut [ChainEntry],
         tail: &[vist_seq::SeqElem],
+        mut cache: Option<&mut IngestCache>,
     ) -> Result<(u128, Option<u64>)> {
         let rem = tail.len() as u128;
         // Donor j must cover incarnations for chain[j+1..] plus the tail.
@@ -1150,7 +1235,7 @@ impl VistIndex {
                 .as_concrete()
                 .ok_or_else(|| Error::Corrupt("wildcard in data sequence".into()))?;
             let key = dkey::encode(elem.sym, &prefix);
-            let dkid = self.store.dkey_get_or_create(&key)?;
+            let dkid = self.dkid_cached(&key, cache.as_deref_mut())?;
             let state = NodeState {
                 n: block + off,
                 size: needed - off,
@@ -1158,6 +1243,9 @@ impl VistIndex {
                 k: 0,
             };
             self.store.node_put(dkid, &state)?;
+            // Tail edges hang off fresh incarnations, not chain heads, so
+            // they are deliberately NOT added to the edge cache (its keys
+            // are chain-head labels).
             self.store.edge_put(prev_n, dkid, state.n)?;
             self.store.meta_mut().node_count += 1;
             self.store.stats_node_added(dkid);

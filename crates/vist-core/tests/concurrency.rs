@@ -238,6 +238,145 @@ fn readers_with_concurrent_remover_match_serial_oracle() {
     idx.check().unwrap();
 }
 
+/// Group-commit visibility: query threads run continuously while ingest
+/// batches land (`insert_batch`, parallel prepare). Each batch's documents
+/// carry a marker element no other document has, so a reader probing that
+/// marker must see either *nothing* (pre-batch) or the *complete* batch
+/// (post-batch) — a non-empty strict subset would be torn scope
+/// visibility across the batch's apply phase, which holds the maintenance
+/// latch exclusively precisely to prevent that.
+#[test]
+fn readers_never_observe_a_torn_batch() {
+    const PREFILL: u64 = 100;
+    const BATCHES: usize = 3;
+    const BATCH_SIZE: u64 = 40;
+    // One unique marker element per batch; prefill docs use none of them.
+    const MARKERS: [&str; BATCHES] = ["u", "v", "w"];
+    let opts = IndexOptions {
+        cache_pages: 64, // eviction churn while the batch applies
+        ..Default::default()
+    };
+    let prefill_doc = |i: u64| format!("<r><a>{}</a><b><c>{}</c></b></r>", i % 13, i % 7);
+    let batch_doc = |marker: &str, i: u64| {
+        format!(
+            "<r><{marker}>x</{marker}><a>{}</a><b><c>{}</c></b></r>",
+            i % 13,
+            i % 7
+        )
+    };
+
+    let idx = Arc::new(VistIndex::in_memory(opts.clone()).unwrap());
+    for i in 0..PREFILL {
+        idx.insert_xml(&prefill_doc(i)).unwrap();
+    }
+    // The complete id set each batch will occupy: ids are deterministic
+    // (the ingest thread is the only writer).
+    let batch_ids: Vec<Vec<u64>> = (0..BATCHES as u64)
+        .map(|k| {
+            let first = PREFILL + k * BATCH_SIZE;
+            (first..first + BATCH_SIZE).collect()
+        })
+        .collect();
+    let prefill_queries: Vec<String> = (0..13).map(|v| format!("/r/a[text='{v}']")).collect();
+    let prefill_expected: Vec<Vec<u64>> = prefill_queries
+        .iter()
+        .map(|q| {
+            let mut ids = idx.query(q, &QueryOptions::default()).unwrap().doc_ids;
+            ids.retain(|&id| id < PREFILL);
+            ids
+        })
+        .collect();
+
+    let batch_ids = &batch_ids;
+    std::thread::scope(|s| {
+        let ingester = {
+            let idx = Arc::clone(&idx);
+            s.spawn(move || {
+                for (k, marker) in MARKERS.iter().enumerate() {
+                    let first = PREFILL + k as u64 * BATCH_SIZE;
+                    let docs: Vec<String> = (first..first + BATCH_SIZE)
+                        .map(|i| batch_doc(marker, i))
+                        .collect();
+                    let ids = idx.insert_batch(&docs, 3).unwrap();
+                    assert_eq!(ids, batch_ids[k], "batch {k} id drift");
+                }
+            })
+        };
+        for t in 0..6usize {
+            let idx = Arc::clone(&idx);
+            let prefill_queries = &prefill_queries;
+            let prefill_expected = &prefill_expected;
+            s.spawn(move || {
+                for round in 0..80usize {
+                    // Marker probe: all-or-nothing per batch.
+                    let k = (t + round) % BATCHES;
+                    let got = idx
+                        .query(&format!("//{}", MARKERS[k]), &QueryOptions::default())
+                        .unwrap()
+                        .doc_ids;
+                    assert!(
+                        got.is_empty() || got == batch_ids[k],
+                        "thread {t} round {round}: torn batch {k} visible: \
+                         {} of {} docs",
+                        got.len(),
+                        batch_ids[k].len(),
+                    );
+                    // Prefill answers stay intact throughout.
+                    let qi = (t * 5 + round) % prefill_queries.len();
+                    let got = idx
+                        .query(&prefill_queries[qi], &QueryOptions::default())
+                        .unwrap()
+                        .doc_ids;
+                    let prefill_part: Vec<u64> =
+                        got.iter().copied().filter(|&id| id < PREFILL).collect();
+                    assert_eq!(
+                        prefill_part, prefill_expected[qi],
+                        "thread {t} round {round}: batch clobbered a committed answer"
+                    );
+                }
+            });
+        }
+        ingester.join().unwrap();
+    });
+
+    // Post-quiesce: identical to a serially built oracle — doc ids,
+    // answers, and scope sets (batch apply replays serial insertion).
+    let oracle = VistIndex::in_memory(opts).unwrap();
+    for i in 0..PREFILL {
+        oracle.insert_xml(&prefill_doc(i)).unwrap();
+    }
+    for (k, marker) in MARKERS.iter().enumerate() {
+        let first = PREFILL + k as u64 * BATCH_SIZE;
+        for i in first..first + BATCH_SIZE {
+            oracle.insert_xml(&batch_doc(marker, i)).unwrap();
+        }
+    }
+    assert_eq!(idx.doc_count(), oracle.doc_count());
+    let all_queries: Vec<String> = (0..13)
+        .map(|v| format!("/r/a[text='{v}']"))
+        .chain((0..7).map(|v| format!("/r[b/c='{v}']")))
+        .chain([
+            "//c".to_string(),
+            "//u".to_string(),
+            "/r/*[c='3']".to_string(),
+        ])
+        .collect();
+    for q in &all_queries {
+        let got = idx.query(q, &QueryOptions::default()).unwrap().doc_ids;
+        let want = oracle.query(q, &QueryOptions::default()).unwrap().doc_ids;
+        assert_eq!(got, want, "{q}");
+        let pattern = vist_query::parse_query(q).unwrap().to_pattern();
+        let (got_scopes, _) = idx
+            .match_scopes(&pattern, &QueryOptions::default())
+            .unwrap();
+        let (want_scopes, _) = oracle
+            .match_scopes(&pattern, &QueryOptions::default())
+            .unwrap();
+        assert_eq!(got_scopes, want_scopes, "{q}: scope sets diverge");
+    }
+    idx.check().unwrap();
+}
+
 #[test]
 fn index_is_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}

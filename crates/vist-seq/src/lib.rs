@@ -32,7 +32,8 @@ pub mod dkey;
 pub use prefix::{PathSym, Prefix};
 pub use scope::{decode_scope_value, encode_scope_value, DynamicScope, Scope, MAX_SCOPE};
 pub use sequence::{
-    document_to_record_tree, document_to_sequence, record_tree_to_elems, sort_siblings, RecordNode,
-    SeqElem, Sequence, SiblingOrder,
+    document_to_record_tree, document_to_record_tree_with, document_to_sequence,
+    document_to_sequence_with, record_tree_to_elems, sort_siblings, RecordNode, SeqElem, Sequence,
+    SiblingOrder,
 };
-pub use symbols::{hash_value, Sym, Symbol, SymbolTable, TableOverlay};
+pub use symbols::{hash_value, Interner, Sym, Symbol, SymbolTable, TableOverlay};

@@ -3,7 +3,7 @@
 use vist_xml::{Document, NodeId};
 
 use crate::prefix::{PathSym, Prefix};
-use crate::symbols::{hash_value, Sym, SymbolTable};
+use crate::symbols::{hash_value, Interner, Sym, SymbolTable};
 
 /// One `(symbol, prefix)` pair of a structure-encoded sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,13 +123,24 @@ pub fn document_to_record_tree(
     table: &mut SymbolTable,
     order: &SiblingOrder,
 ) -> Option<RecordNode> {
+    document_to_record_tree_with(doc, table, order)
+}
+
+/// [`document_to_record_tree`] generic over the interner, so callers can
+/// encode against a [`crate::TableOverlay`] without mutating the shared
+/// table (see [`Interner`]).
+pub fn document_to_record_tree_with<I: Interner>(
+    doc: &Document,
+    table: &mut I,
+    order: &SiblingOrder,
+) -> Option<RecordNode> {
     doc.root().map(|root| build_rnode(doc, root, table, order))
 }
 
-fn build_rnode(
+fn build_rnode<I: Interner>(
     doc: &Document,
     id: NodeId,
-    table: &mut SymbolTable,
+    table: &mut I,
     order: &SiblingOrder,
 ) -> RecordNode {
     let name = doc.name(id).to_string();
@@ -215,7 +226,19 @@ pub fn document_to_sequence(
     table: &mut SymbolTable,
     order: &SiblingOrder,
 ) -> Sequence {
-    let Some(tree) = document_to_record_tree(doc, table, order) else {
+    document_to_sequence_with(doc, table, order)
+}
+
+/// [`document_to_sequence`] generic over the interner (see [`Interner`]):
+/// batch ingest encodes each document against a private [`crate::TableOverlay`]
+/// on a worker thread, then remaps overlay ids once the shared table's write
+/// lock is held.
+pub fn document_to_sequence_with<I: Interner>(
+    doc: &Document,
+    table: &mut I,
+    order: &SiblingOrder,
+) -> Sequence {
+    let Some(tree) = document_to_record_tree_with(doc, table, order) else {
         return Sequence::default();
     };
     Sequence(record_tree_to_elems(&tree, doc.node_count()))

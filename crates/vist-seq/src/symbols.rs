@@ -159,6 +159,29 @@ impl SymbolTable {
     }
 }
 
+/// Anything that can intern a name into a [`Symbol`].
+///
+/// Document encoding only needs `intern`, so making the conversion generic
+/// over this trait lets a batch-ingest worker encode against a
+/// [`TableOverlay`] (a read-only snapshot of the shared table plus private
+/// scratch ids) instead of holding the shared table's write lock.
+pub trait Interner {
+    /// Intern `name`, returning its symbol (allocating one if new).
+    fn intern(&mut self, name: &str) -> Symbol;
+}
+
+impl Interner for SymbolTable {
+    fn intern(&mut self, name: &str) -> Symbol {
+        SymbolTable::intern(self, name)
+    }
+}
+
+impl Interner for TableOverlay<'_> {
+    fn intern(&mut self, name: &str) -> Symbol {
+        TableOverlay::intern(self, name)
+    }
+}
+
 /// An ephemeral overlay on a borrowed [`SymbolTable`].
 ///
 /// Query translation needs to *intern* names so it can render and compare

@@ -31,7 +31,7 @@ use vist_query::parse_query;
 use vist_seq::SiblingOrder;
 use vist_storage::{is_injected, FaultHandle, FaultMode, FaultVfs, RealVfs};
 
-use crate::model::{ModelIndex, Snapshot};
+use crate::model::{ModelDoc, ModelIndex, Snapshot};
 use crate::ops::{doc_xml, query_expr, Op, Trace};
 
 /// Small on purpose: eviction write-backs are crash surface.
@@ -42,6 +42,9 @@ const CACHE_PAGES: usize = 8;
 pub struct Report {
     pub ops: usize,
     pub inserts: u64,
+    /// Completed `insert_batch` group commits (their documents also count
+    /// into `inserts`).
+    pub batch_inserts: u64,
     pub removes: u64,
     pub queries: u64,
     pub bursts: u64,
@@ -60,10 +63,11 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ops={} inserts={} removes={} queries={} bursts={} flushes={} compacts={} reopens={} \
-             crashes_recovered={} checks={} truncated={} final_docs={}",
+            "ops={} inserts={} batch_inserts={} removes={} queries={} bursts={} flushes={} \
+             compacts={} reopens={} crashes_recovered={} checks={} truncated={} final_docs={}",
             self.ops,
             self.inserts,
+            self.batch_inserts,
             self.removes,
             self.queries,
             self.bursts,
@@ -106,7 +110,20 @@ struct Exec<'t> {
     naive: Option<(NaiveIndex, Vec<u64>)>,
     report: Report,
     op_index: usize,
+    /// Mirror of the store's persistent `next_doc` counter (monotonic,
+    /// never reused by removes, rolled back by crash recovery). Lets the
+    /// executor predict a batch's document ids *before* running it, so
+    /// the ambiguous group-commit candidate can be built without the real
+    /// index's help.
+    next_id: u64,
+    /// `next_id` as of the last committed checkpoint — the counter value
+    /// recovery lands on when it adopts the durable snapshot.
+    durable_next_id: u64,
 }
+
+/// A legal post-recovery state: the document snapshot plus the
+/// `next_doc` counter value that goes with it.
+type Candidate = (Snapshot, u64);
 
 /// Run a trace to completion. `dir` must be an existing directory private
 /// to this run; the store lives in `dir/store` and is recreated.
@@ -151,6 +168,8 @@ pub fn run_trace(trace: &Trace, dir: &Path) -> Result<Report, Divergence> {
         naive: None,
         report: Report::default(),
         op_index: 0,
+        next_id: 0,
+        durable_next_id: 0,
     };
     exec.model.commit();
 
@@ -187,10 +206,27 @@ impl Exec<'_> {
         }
     }
 
+    /// The durable snapshot paired with its committed doc-id counter.
+    fn durable_candidate(&self) -> Candidate {
+        (self.model.durable().clone(), self.durable_next_id)
+    }
+
+    /// The live snapshot paired with the current doc-id counter.
+    fn live_candidate(&self) -> Candidate {
+        (self.model.live().clone(), self.next_id)
+    }
+
+    /// A successful checkpoint: live state (and its counter) become
+    /// durable.
+    fn commit_model(&mut self) {
+        self.model.commit();
+        self.durable_next_id = self.next_id;
+    }
+
     /// Classify an index error: injected faults route to crash recovery
     /// (with `candidates` as the legal post-recovery states), anything
     /// else is a divergence.
-    fn fail(&mut self, e: vist_core::Error, candidates: Vec<Snapshot>) -> Result<(), Divergence> {
+    fn fail(&mut self, e: vist_core::Error, candidates: Vec<Candidate>) -> Result<(), Divergence> {
         // Once the scheduled crash has fired, every VFS op fails, so *any*
         // error — including aggregates like `Error::Corrupt` from `check()`
         // that bury the injected cause in a formatted report — is expected.
@@ -205,7 +241,7 @@ impl Exec<'_> {
 
     /// Drop the (possibly crashed) index while the VFS is still failing,
     /// reopen for real, verify invariants, and reconcile with the model.
-    fn recover(&mut self, candidates: Vec<Snapshot>) -> Result<(), Divergence> {
+    fn recover(&mut self, candidates: Vec<Candidate>) -> Result<(), Divergence> {
         // Drop first: a dead process cannot write back dirty pages, and
         // with the fault still armed neither can the dropped pool.
         self.idx = None;
@@ -222,14 +258,14 @@ impl Exec<'_> {
 
         let recovered =
             read_contents(&idx).map_err(|e| self.diverge("recovery-read-failed", e.to_string()))?;
-        let adopted = candidates
+        let (adopted, adopted_next) = candidates
             .iter()
-            .find(|c| snapshot_eq(c, &recovered))
+            .find(|(c, _)| snapshot_eq(c, &recovered))
             .cloned()
             .ok_or_else(|| {
                 let cands: Vec<Vec<u64>> = candidates
                     .iter()
-                    .map(|c| c.keys().copied().collect())
+                    .map(|(c, _)| c.keys().copied().collect())
                     .collect();
                 let got: Vec<u64> = recovered.iter().map(|(id, _)| *id).collect();
                 self.diverge(
@@ -238,6 +274,8 @@ impl Exec<'_> {
                 )
             })?;
         self.model.adopt(adopted);
+        self.next_id = adopted_next;
+        self.durable_next_id = adopted_next;
         self.idx = Some(idx);
         self.report.crashes_recovered += 1;
         Ok(())
@@ -251,6 +289,7 @@ impl Exec<'_> {
                     Ok(id) => {
                         self.naive = None;
                         self.report.inserts += 1;
+                        self.next_id = id + 1;
                         let doc = vist_xml::parse(&xml)
                             .map_err(|e| self.diverge("setup-error", e.to_string()))?;
                         if !self.model.insert(id, xml, doc) {
@@ -261,9 +300,13 @@ impl Exec<'_> {
                         }
                         Ok(())
                     }
-                    Err(e) => self.fail(e, vec![self.model.durable().clone()]),
+                    Err(e) => {
+                        let durable = self.durable_candidate();
+                        self.fail(e, vec![durable])
+                    }
                 }
             }
+            Op::BatchInsert { payload, count } => self.run_batch_insert(payload, count),
             Op::Remove { pick } => {
                 if self.model.is_empty() {
                     return Ok(());
@@ -277,7 +320,10 @@ impl Exec<'_> {
                         self.model.remove(victim);
                         Ok(())
                     }
-                    Err(e) => self.fail(e, vec![self.model.durable().clone()]),
+                    Err(e) => {
+                        let durable = self.durable_candidate();
+                        self.fail(e, vec![durable])
+                    }
                 }
             }
             Op::Query {
@@ -289,12 +335,12 @@ impl Exec<'_> {
             Op::Flush => match self.idx().flush() {
                 Ok(()) => {
                     self.report.flushes += 1;
-                    self.model.commit();
+                    self.commit_model();
                     Ok(())
                 }
                 Err(e) => {
                     // The commit record may or may not have reached disk.
-                    let ambiguous = vec![self.model.durable().clone(), self.model.live().clone()];
+                    let ambiguous = vec![self.durable_candidate(), self.live_candidate()];
                     self.fail(e, ambiguous)
                 }
             },
@@ -304,32 +350,33 @@ impl Exec<'_> {
                     // Compaction is a checkpoint: the pre-swap flush
                     // commits the delta and the manifest swap publishes
                     // the segment holding every live document.
-                    self.model.commit();
+                    self.commit_model();
                     Ok(())
                 }
                 Err(e) => {
                     // The pre-swap flush may have committed the delta
                     // even if the swap never happened; the document set
                     // is the same on both sides of the swap.
-                    let ambiguous = vec![self.model.durable().clone(), self.model.live().clone()];
+                    let ambiguous = vec![self.durable_candidate(), self.live_candidate()];
                     self.fail(e, ambiguous)
                 }
             },
             Op::Reopen => match self.idx().flush() {
                 Ok(()) => {
-                    self.model.commit();
+                    self.commit_model();
                     self.idx = None;
                     self.naive = None;
                     // A clean restart must land exactly on the state just
                     // committed; reuse the recovery machinery to verify.
-                    self.recover(vec![self.model.live().clone()])?;
+                    let live = self.live_candidate();
+                    self.recover(vec![live])?;
                     // recover() counts itself as a crash; reclassify.
                     self.report.crashes_recovered -= 1;
                     self.report.reopens += 1;
                     Ok(())
                 }
                 Err(e) => {
-                    let ambiguous = vec![self.model.durable().clone(), self.model.live().clone()];
+                    let ambiguous = vec![self.durable_candidate(), self.live_candidate()];
                     self.fail(e, ambiguous)
                 }
             },
@@ -349,7 +396,8 @@ impl Exec<'_> {
                     if self.handle.crashed()
                         || matches!(&e, vist_core::Error::Storage(inner) if is_injected(inner))
                     {
-                        self.recover(vec![self.model.durable().clone()])
+                        let durable = self.durable_candidate();
+                        self.recover(vec![durable])
                     } else {
                         Err(self.diverge("check-failed", e.to_string()))
                     }
@@ -360,6 +408,74 @@ impl Exec<'_> {
                 value,
                 threads,
             } => self.run_burst(template, value, threads),
+        }
+    }
+
+    /// One `insert_batch` group commit. The batch either lands whole
+    /// (self-committing: its trailing checkpoint makes *everything* live
+    /// durable, sweeping in any earlier uncommitted inserts) or not at
+    /// all — there is no crash point that yields a partial batch.
+    fn run_batch_insert(&mut self, payload: u64, count: u8) -> Result<(), Divergence> {
+        if count == 0 {
+            // An empty batch never touches the index or the WAL.
+            return Ok(());
+        }
+        let docs: Vec<String> = (0..count as u64)
+            .map(|k| doc_xml(payload.wrapping_add(k)))
+            .collect();
+        // Predict the batch's ids from the mirrored counter so the
+        // ambiguous-commit candidate (live state plus the whole batch)
+        // exists before the real index runs — it may die mid-op.
+        let first = self.next_id;
+        let mut with_batch = self.model.live().clone();
+        for (k, xml) in docs.iter().enumerate() {
+            let doc =
+                vist_xml::parse(xml).map_err(|e| self.diverge("setup-error", e.to_string()))?;
+            with_batch.insert(
+                first + k as u64,
+                ModelDoc {
+                    xml: xml.clone(),
+                    doc,
+                },
+            );
+        }
+        match self.idx().insert_batch(&docs, 2) {
+            Ok(ids) => {
+                self.naive = None;
+                self.report.batch_inserts += 1;
+                self.report.inserts += count as u64;
+                let want: Vec<u64> = (first..first + count as u64).collect();
+                if ids != want {
+                    // Not just cosmetic: the crash candidate above was
+                    // built from this prediction, so drift means the
+                    // harness would mis-verify recovery.
+                    return Err(self.diverge(
+                        "batch-id-drift",
+                        format!("batch assigned ids {ids:?}, counter predicted {want:?}"),
+                    ));
+                }
+                for (id, xml) in ids.iter().zip(&docs) {
+                    let doc = vist_xml::parse(xml)
+                        .map_err(|e| self.diverge("setup-error", e.to_string()))?;
+                    if !self.model.insert(*id, xml.clone(), doc) {
+                        return Err(self.diverge(
+                            "duplicate-doc-id",
+                            format!("batch insert returned already-live id {id}"),
+                        ));
+                    }
+                }
+                self.next_id = first + count as u64;
+                self.commit_model();
+                Ok(())
+            }
+            Err(e) => {
+                // The batch-final checkpoint is the only commit point in
+                // the op: recovery lands on the last durable state, or —
+                // when the fault hit inside that checkpoint — on
+                // everything live plus the whole batch. Never in between.
+                let durable = self.durable_candidate();
+                self.fail(e, vec![durable, (with_batch, first + count as u64)])
+            }
         }
     }
 
@@ -385,7 +501,7 @@ impl Exec<'_> {
             schedule_seed: Some(seed),
             ..Default::default()
         };
-        let durable = vec![self.model.durable().clone()];
+        let durable = vec![self.durable_candidate()];
         let raw_a = match self.idx().query(&expr, &opts(false, sched)) {
             Ok(r) => r,
             Err(e) => return self.fail(e, durable),
@@ -532,7 +648,10 @@ impl Exec<'_> {
                         ));
                     }
                 }
-                Err(e) => return self.fail(e, vec![self.model.durable().clone()]),
+                Err(e) => {
+                    let durable = self.durable_candidate();
+                    return self.fail(e, vec![durable]);
+                }
             }
         }
         self.report.bursts += 1;
@@ -543,9 +662,9 @@ impl Exec<'_> {
     /// equal the model byte for byte and `check()` to pass.
     fn finish(&mut self) -> Result<(), Divergence> {
         match self.idx().flush() {
-            Ok(()) => self.model.commit(),
+            Ok(()) => self.commit_model(),
             Err(e) => {
-                let ambiguous = vec![self.model.durable().clone(), self.model.live().clone()];
+                let ambiguous = vec![self.durable_candidate(), self.live_candidate()];
                 self.fail(e, ambiguous)?;
             }
         }
@@ -553,7 +672,8 @@ impl Exec<'_> {
         // read; route it through recovery (which re-checks) and read again.
         if let Err(e) = self.idx().check() {
             if self.handle.crashed() {
-                self.fail(e, vec![self.model.durable().clone()])?;
+                let durable = self.durable_candidate();
+                self.fail(e, vec![durable])?;
             } else {
                 return Err(self.diverge("check-failed", e.to_string()));
             }
@@ -561,7 +681,8 @@ impl Exec<'_> {
         let contents = match read_contents(self.idx()) {
             Ok(c) => c,
             Err(e) => {
-                self.fail(e, vec![self.model.durable().clone()])?;
+                let durable = self.durable_candidate();
+                self.fail(e, vec![durable])?;
                 read_contents(self.idx())
                     .map_err(|e| self.diverge("unexpected-error", e.to_string()))?
             }

@@ -23,6 +23,12 @@ pub enum Op {
     /// Insert the deterministic document derived from `payload`
     /// (see [`doc_xml`]).
     Insert { payload: u64 },
+    /// Insert `count` documents (payloads `payload..payload+count`)
+    /// through `VistIndex::insert_batch` as one group commit. The
+    /// batch-final checkpoint is the only commit point: on crash the
+    /// batch is all-or-nothing, and on success *everything* live —
+    /// including earlier uncommitted inserts — becomes durable with it.
+    BatchInsert { payload: u64, count: u8 },
     /// Remove the `pick % live`-th live document (ascending id order);
     /// no-op when the index is empty.
     Remove { pick: u64 },
@@ -170,8 +176,12 @@ pub fn generate(cfg: &SimConfig) -> Trace {
         let op = if actor == 0 {
             // Writer actor.
             match rng.below(20) {
-                0..=8 => Op::Insert {
+                0..=6 => Op::Insert {
                     payload: rng.below(1 << 20),
+                },
+                7..=8 => Op::BatchInsert {
+                    payload: rng.below(1 << 20),
+                    count: (2 + rng.below(4)) as u8,
                 },
                 9..=12 => Op::Remove {
                     pick: rng.next_u64(),
@@ -233,6 +243,9 @@ impl Trace {
             match *op {
                 Op::Insert { payload } => {
                     let _ = writeln!(out, "op insert {payload}");
+                }
+                Op::BatchInsert { payload, count } => {
+                    let _ = writeln!(out, "op batch_insert {payload} {count}");
                 }
                 Op::Remove { pick } => {
                     let _ = writeln!(out, "op remove {pick}");
@@ -325,6 +338,10 @@ impl Trace {
                         "insert" => Op::Insert {
                             payload: num("payload")?,
                         },
+                        "batch_insert" => Op::BatchInsert {
+                            payload: num("payload")?,
+                            count: num("count")? as u8,
+                        },
                         "remove" => Op::Remove { pick: num("pick")? },
                         "query" => Op::Query {
                             template: num("template")? as u8,
@@ -394,6 +411,46 @@ mod tests {
         let back = Trace::from_text(&text).unwrap();
         assert_eq!(trace, back);
         assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn generator_emits_batch_inserts() {
+        let cfg = SimConfig {
+            seed: 11,
+            ops: 300,
+            ..Default::default()
+        };
+        let trace = generate(&cfg);
+        assert!(
+            trace
+                .ops
+                .iter()
+                .any(|op| matches!(op, Op::BatchInsert { .. })),
+            "300 generated ops should include at least one batch insert"
+        );
+        // Batch sizes stay in the generator's 2..=5 window.
+        for op in &trace.ops {
+            if let Op::BatchInsert { count, .. } = op {
+                assert!((2..=5).contains(count), "batch count {count} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_insert_text_round_trips() {
+        let text = "vist-sim trace v1\nseed 3\npage_size 256\nlambda 8\nmutation none\nop batch_insert 4242 3\nop flush\n";
+        let trace = Trace::from_text(text).unwrap();
+        assert_eq!(
+            trace.ops,
+            vec![
+                Op::BatchInsert {
+                    payload: 4242,
+                    count: 3
+                },
+                Op::Flush
+            ]
+        );
+        assert_eq!(Trace::from_text(&trace.to_text()).unwrap(), trace);
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Differential property tests for batched parallel ingest.
+//!
+//! `VistIndex::insert_batch` must be *invisible* in the results: the same
+//! document set ingested serially, via `insert_batch` at 1/2/4/8 prepare
+//! threads, and via `bulk_build` must answer every query identically.
+//! Against the serial path the guarantee is exact — same document ids,
+//! same doc-id answers, same final scope sets — because the apply phase
+//! replays the batch in input order through the same allocator. Against
+//! `bulk_build` only document ids and doc-id answers must agree (segments
+//! label nodes statically, so scope values legitimately differ).
+
+use std::collections::BTreeSet;
+
+use vist::{IndexOptions, QueryOptions, VistIndex};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 7;
+
+/// Small vocabulary, duplicated names and whole-document duplicates:
+/// maximal structural sharing, which is where the batch edge cache and the
+/// overlay remap have the most opportunities to get subtly wrong.
+const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+const VALUES: [&str; 4] = ["1", "2", "3", "4"];
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn random_xml(rng: &mut Rng, depth: usize) -> String {
+    let name = NAMES[rng.below(NAMES.len())];
+    let mut body = String::new();
+    if rng.below(2) == 0 {
+        body.push_str(VALUES[rng.below(VALUES.len())]);
+    }
+    if depth > 0 {
+        for _ in 0..rng.below(4) {
+            body.push_str(&random_xml(rng, depth - 1));
+        }
+    }
+    format!("<{name}>{body}</{name}>")
+}
+
+/// A corpus with deliberate duplicate documents (same structure AND same
+/// element names) sprinkled in.
+fn corpus(seed: u64, n: usize) -> Vec<String> {
+    let mut rng = Rng(seed);
+    let mut docs: Vec<String> = (0..n)
+        .map(|_| {
+            let depth = 1 + rng.below(3);
+            random_xml(&mut rng, depth)
+        })
+        .collect();
+    for i in (0..n).step_by(5) {
+        let dup = docs[i].clone();
+        docs[(i + 2) % n] = dup;
+    }
+    docs
+}
+
+/// The query corpus of the planner-diff suite: wildcard-heavy, branch-heavy
+/// and dead-prefix shapes.
+fn queries(rng: &mut Rng) -> Vec<String> {
+    let mut qs = vec![
+        "/a".to_string(),
+        "//b".to_string(),
+        "/a/b".to_string(),
+        "//a//c".to_string(),
+        "/*/b".to_string(),
+        "/a[b='1']".to_string(),
+        "//c[d]".to_string(),
+        "/zzz".to_string(),
+        "//zzz/*".to_string(),
+    ];
+    for _ in 0..6 {
+        let steps = 1 + rng.below(3);
+        let mut q = String::new();
+        for _ in 0..steps {
+            let n = rng.below(NAMES.len() + 3);
+            let name = if n >= NAMES.len() { "*" } else { NAMES[n] };
+            q.push_str(if rng.below(2) == 0 { "//" } else { "/" });
+            q.push_str(name);
+        }
+        if rng.below(2) == 0 {
+            q.push_str(&format!(
+                "[{}='{}']",
+                NAMES[rng.below(NAMES.len())],
+                VALUES[rng.below(VALUES.len())]
+            ));
+        }
+        qs.push(q);
+    }
+    qs
+}
+
+fn doc_ids(idx: &VistIndex, q: &str) -> Vec<u64> {
+    idx.query(q, &QueryOptions::default()).unwrap().doc_ids
+}
+
+fn scopes(idx: &VistIndex, q: &str) -> Vec<(u128, u128)> {
+    let pattern = vist_query::parse_query(q).unwrap().to_pattern();
+    idx.match_scopes(&pattern, &QueryOptions::default())
+        .unwrap()
+        .0
+}
+
+/// Serial vs `insert_batch` at every thread count: identical document ids,
+/// identical doc-id answers, identical scope sets.
+#[test]
+fn batch_matches_serial_at_all_thread_counts() {
+    let docs = corpus(0x1B_0001, 36);
+    let mut rng = Rng(0x1B_0002);
+    let qs = queries(&mut rng);
+
+    let serial = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    let mut serial_ids = Vec::new();
+    for xml in &docs {
+        serial_ids.push(serial.insert_xml(xml).unwrap());
+    }
+
+    for &threads in &THREAD_COUNTS {
+        let batch = VistIndex::in_memory(IndexOptions::default()).unwrap();
+        let mut batch_ids = Vec::new();
+        for chunk in docs.chunks(BATCH) {
+            batch_ids.extend(batch.insert_batch(chunk, threads).unwrap());
+        }
+        assert_eq!(
+            batch_ids, serial_ids,
+            "doc ids diverge at {threads} threads"
+        );
+        assert_eq!(batch.doc_count(), serial.doc_count());
+        for q in &qs {
+            assert_eq!(
+                doc_ids(&batch, q),
+                doc_ids(&serial, q),
+                "doc-id answers diverge at {threads} threads: {q}"
+            );
+            assert_eq!(
+                scopes(&batch, q),
+                scopes(&serial, q),
+                "scope sets diverge at {threads} threads: {q}"
+            );
+        }
+        let st = batch.stats();
+        assert!(st.ingest_batches > 0, "batches recorded in stats");
+        assert_eq!(st.ingest_batch_docs, docs.len() as u64);
+    }
+}
+
+/// Interleaved removes between batches: remove a sprinkling of documents
+/// after each batch (same schedule on the serial index) and the results
+/// must still be identical — including the scope labels of later batches,
+/// which allocate after the removals.
+#[test]
+fn batch_with_interleaved_removes_matches_serial() {
+    let docs = corpus(0x1B_0003, 30);
+    let mut rng = Rng(0x1B_0004);
+    let qs = queries(&mut rng);
+    // Remove schedule: after batch k, remove these offsets of that batch.
+    let victims = |first: u64, len: usize| -> Vec<u64> {
+        (0..len as u64)
+            .filter(|o| o % 3 == 1)
+            .map(|o| first + o)
+            .collect()
+    };
+
+    let serial = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    for chunk in docs.chunks(BATCH) {
+        let mut first = None;
+        for xml in chunk {
+            let id = serial.insert_xml(xml).unwrap();
+            first.get_or_insert(id);
+        }
+        for id in victims(first.unwrap(), chunk.len()) {
+            serial.remove_document(id).unwrap();
+        }
+    }
+
+    for &threads in &THREAD_COUNTS {
+        let batch = VistIndex::in_memory(IndexOptions::default()).unwrap();
+        for chunk in docs.chunks(BATCH) {
+            let ids = batch.insert_batch(chunk, threads).unwrap();
+            for id in victims(ids[0], chunk.len()) {
+                batch.remove_document(id).unwrap();
+            }
+        }
+        assert_eq!(batch.doc_count(), serial.doc_count());
+        for q in &qs {
+            assert_eq!(
+                doc_ids(&batch, q),
+                doc_ids(&serial, q),
+                "doc-id answers diverge at {threads} threads: {q}"
+            );
+            assert_eq!(
+                scopes(&batch, q),
+                scopes(&serial, q),
+                "scope sets diverge at {threads} threads: {q}"
+            );
+        }
+    }
+}
+
+/// `insert_batch` vs `bulk_build` on a tiered index: same document ids,
+/// same doc-id answers (scope labels legitimately differ across tiers).
+#[test]
+fn batch_matches_bulk_build_answers() {
+    let docs = corpus(0x1B_0005, 24);
+    let mut rng = Rng(0x1B_0006);
+    let qs = queries(&mut rng);
+
+    let dir = vist_storage::testutil::TempDir::new("parallel-ingest-bulk");
+    let bulk = VistIndex::create_file(dir.file("bulk"), IndexOptions::default()).unwrap();
+    let bulk_ids = bulk.bulk_build(docs.clone()).unwrap();
+
+    let batch = VistIndex::create_file(dir.file("batch"), IndexOptions::default()).unwrap();
+    let mut batch_ids = Vec::new();
+    for chunk in docs.chunks(BATCH) {
+        batch_ids.extend(batch.insert_batch(chunk, 4).unwrap());
+    }
+    assert_eq!(batch_ids, bulk_ids);
+    for q in &qs {
+        let b: BTreeSet<u64> = doc_ids(&batch, q).into_iter().collect();
+        let s: BTreeSet<u64> = doc_ids(&bulk, q).into_iter().collect();
+        assert_eq!(b, s, "batch vs bulk answers diverge: {q}");
+    }
+}
+
+/// A parse failure anywhere in a batch rejects the whole batch before any
+/// mutation: no documents land, ids are not consumed, queries are
+/// unchanged.
+#[test]
+fn bad_document_rejects_whole_batch() {
+    let idx = VistIndex::in_memory(IndexOptions::default()).unwrap();
+    idx.insert_xml("<a><b>1</b></a>").unwrap();
+    let before = idx.doc_count();
+    let batch = [
+        "<a>ok</a>".to_string(),
+        "<broken".to_string(),
+        "<b/>".to_string(),
+    ];
+    assert!(idx.insert_batch(&batch, 2).is_err());
+    assert_eq!(
+        idx.doc_count(),
+        before,
+        "failed batch must not change the index"
+    );
+    let id = idx.insert_xml("<a><b>2</b></a>").unwrap();
+    assert_eq!(id, 1, "failed batch must not consume document ids");
+}
+
+/// Group-commit durability smoke: a batch is fully visible after reopen
+/// with no extra flush (the batch-final checkpoint is the commit).
+#[test]
+fn batch_is_durable_without_extra_flush() {
+    let dir = vist_storage::testutil::TempDir::new("parallel-ingest-durable");
+    let path = dir.file("store");
+    let docs = corpus(0x1B_0007, 12);
+    let ids = {
+        let idx = VistIndex::create_file(&path, IndexOptions::default()).unwrap();
+        idx.insert_batch(&docs, 2).unwrap()
+        // No flush: dropped hot.
+    };
+    let idx = VistIndex::open_file(&path, 256).unwrap();
+    idx.check().unwrap();
+    assert_eq!(idx.doc_count(), ids.len() as u64);
+    let got: BTreeSet<u64> = idx.document_ids().unwrap().into_iter().collect();
+    assert_eq!(got, ids.into_iter().collect::<BTreeSet<u64>>());
+}
